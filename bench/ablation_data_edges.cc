@@ -1,0 +1,41 @@
+// Ablation over the data-edge density (Table 1's %added_data_edges row,
+// which the paper parameterizes in [-25,+25] but does not plot): how do
+// added/deleted data edges change Work and response time?
+//
+// Expected: added edges raise READY thresholds (more inputs must stabilize)
+// which slows parallel strategies; deleted edges shorten chains and make
+// backward pruning less connected, slightly raising work under 'P'.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  const std::vector<std::string> strategies = {"PCE0", "PCE100", "PSE100"};
+  std::vector<double> xs;
+  std::vector<std::vector<double>> work(strategies.size());
+  std::vector<std::vector<double>> time(strategies.size());
+
+  for (int delta : {-25, -10, 0, 10, 25}) {
+    gen::PatternParams params;
+    params.nb_nodes = 64;
+    params.nb_rows = 4;
+    params.pct_enabled = 75;
+    params.pct_added_data_edges = delta;
+    xs.push_back(delta);
+    for (size_t s = 0; s < strategies.size(); ++s) {
+      const auto outcome = bench::MeasureStrategy(
+          params, *core::Strategy::Parse(strategies[s]));
+      work[s].push_back(outcome.mean_work);
+      time[s].push_back(outcome.mean_time_units);
+    }
+  }
+
+  bench::PrintSeriesTable(
+      "Ablation: Work vs %added_data_edges (nb_nodes=64, nb_rows=4, "
+      "%enabled=75)",
+      "%added", strategies, xs, work);
+  bench::PrintSeriesTable(
+      "Ablation: TimeInUnits vs %added_data_edges (same pattern)", "%added",
+      strategies, xs, time);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 5(a): Work performed by the serial strategies PCC0, PCE0, NCC0,
+// NCE0 as %enabled varies (nb_nodes=64, nb_rows=4). Since %Permitted = 0
+// these Work values are also the response times (the paper notes the same).
+//
+// Expected shape: two clusters — the 'N' strategies' work falls linearly
+// with %enabled (they execute exactly the enabled attributes), while the
+// 'P' strategies save additional work by pruning enabled-but-unneeded
+// attributes, with the largest relative savings at small %enabled.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  const std::vector<std::string> curves = {"PCC0", "PCE0", "NCC0", "NCE0"};
+  std::vector<double> xs;
+  std::vector<std::vector<double>> work(curves.size());
+
+  for (int pct = 10; pct <= 100; pct += 10) {
+    gen::PatternParams params;
+    params.nb_nodes = 64;
+    params.nb_rows = 4;
+    params.pct_enabled = pct;
+    xs.push_back(pct);
+    for (size_t c = 0; c < curves.size(); ++c) {
+      const auto outcome = bench::MeasureStrategy(
+          params, *core::Strategy::Parse(curves[c]));
+      work[c].push_back(outcome.mean_work);
+    }
+  }
+
+  bench::PrintSeriesTable(
+      "Figure 5(a): Work vs %enabled (nb_nodes=64, nb_rows=4, serial)",
+      "%enabled", curves, xs, work);
+
+  // Headline numbers the paper calls out.
+  const double n10 = work[3].front();
+  const double p10 = work[1].front();
+  std::printf("\nPropagation benefit at %%enabled=10: %.0f%% less work "
+              "(NCE0 %.1f -> PCE0 %.1f)\n",
+              100.0 * (n10 - p10) / n10, n10, p10);
+  return 0;
+}

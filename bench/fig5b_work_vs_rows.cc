@@ -1,0 +1,31 @@
+// Figure 5(b): Work performed by PCC0, PCE0, NCC0, NCE0 as the number of
+// skeleton rows varies (nb_nodes=64, %enabled=75). Fewer rows means a
+// longer diameter (less potential parallelism) but similar total work; the
+// 'P' vs 'N' gap persists across row counts.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  const std::vector<std::string> curves = {"PCC0", "PCE0", "NCC0", "NCE0"};
+  std::vector<double> xs;
+  std::vector<std::vector<double>> work(curves.size());
+
+  for (int rows = 2; rows <= 8; ++rows) {
+    gen::PatternParams params;
+    params.nb_nodes = 64;
+    params.nb_rows = rows;
+    params.pct_enabled = 75;
+    xs.push_back(rows);
+    for (size_t c = 0; c < curves.size(); ++c) {
+      work[c].push_back(
+          bench::MeasureStrategy(params, *core::Strategy::Parse(curves[c]))
+              .mean_work);
+    }
+  }
+
+  bench::PrintSeriesTable(
+      "Figure 5(b): Work vs nb_rows (nb_nodes=64, %enabled=75, serial)",
+      "nb_rows", curves, xs, work);
+  return 0;
+}

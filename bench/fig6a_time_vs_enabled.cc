@@ -1,0 +1,43 @@
+// Figure 6(a): response time (TimeInUnits) of PC*100, PS*100 and the serial
+// baseline PCE0 as %enabled varies (nb_nodes=64, nb_rows=4).
+//
+// Expected shape: full parallelism cuts response time drastically versus
+// PCE0 (~60% at %enabled=75); the Speculative option buys only a small
+// further reduction (~10%) over Conservative.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  const std::vector<std::string> curves = {"PC*100", "PS*100", "PCE0"};
+  std::vector<double> xs;
+  std::vector<std::vector<double>> time(curves.size());
+
+  for (int pct = 10; pct <= 100; pct += 10) {
+    gen::PatternParams params;
+    params.nb_nodes = 64;
+    params.nb_rows = 4;
+    params.pct_enabled = pct;
+    xs.push_back(pct);
+    time[0].push_back(bench::MeasureFamily(params, "PC*100", true, false, 100)
+                          .mean_time_units);
+    time[1].push_back(bench::MeasureFamily(params, "PS*100", true, true, 100)
+                          .mean_time_units);
+    time[2].push_back(
+        bench::MeasureStrategy(params, *core::Strategy::Parse("PCE0"))
+            .mean_time_units);
+  }
+
+  bench::PrintSeriesTable(
+      "Figure 6(a): TimeInUnits vs %enabled (nb_nodes=64, nb_rows=4)",
+      "%enabled", curves, xs, time);
+
+  const size_t i75 = 6;  // %enabled = 75 is not on the grid; use 70
+  std::printf("\nAt %%enabled=70: PC*100 cuts response %.0f%% vs PCE0; "
+              "PS*100 adds %.0f%% over PC*100\n",
+              100.0 * (time[2][i75] - time[0][i75]) / time[2][i75],
+              100.0 * (time[0][i75] - time[1][i75]) / time[0][i75]);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 6(b): Work of PC*100, PS*100 and PCE0 as %enabled varies
+// (nb_nodes=64, nb_rows=4) — the work cost of the response-time gains in
+// Figure 6(a).
+//
+// Expected shape: Conservative parallelism (PC*100) costs little extra work
+// over the serial PCE0; Speculative (PS*100) pays a large work premium that
+// shrinks as %enabled grows (fewer speculations turn out DISABLED).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  const std::vector<std::string> curves = {"PC*100", "PS*100", "PCE0"};
+  std::vector<double> xs;
+  std::vector<std::vector<double>> work(curves.size());
+
+  for (int pct = 10; pct <= 100; pct += 10) {
+    gen::PatternParams params;
+    params.nb_nodes = 64;
+    params.nb_rows = 4;
+    params.pct_enabled = pct;
+    xs.push_back(pct);
+    work[0].push_back(
+        bench::MeasureFamily(params, "PC*100", true, false, 100).mean_work);
+    work[1].push_back(
+        bench::MeasureFamily(params, "PS*100", true, true, 100).mean_work);
+    work[2].push_back(
+        bench::MeasureStrategy(params, *core::Strategy::Parse("PCE0"))
+            .mean_work);
+  }
+
+  bench::PrintSeriesTable(
+      "Figure 6(b): Work vs %enabled (nb_nodes=64, nb_rows=4)", "%enabled",
+      curves, xs, work);
+
+  const size_t i50 = 4;  // %enabled = 50
+  std::printf("\nAt %%enabled=50: speculative work premium over conservative "
+              "= %.0f%%\n",
+              100.0 * (work[1][i50] - work[0][i50]) / work[0][i50]);
+  return 0;
+}

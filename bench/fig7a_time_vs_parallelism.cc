@@ -1,0 +1,60 @@
+// Figure 7(a): response time (TimeInUnits) of PCC*, PCE*, PSC*, PSE* as the
+// degree of permitted parallelism varies (nb_nodes=64, nb_rows=4,
+// %enabled=75).
+//
+// Expected shape: Earliest-first dominates Cheapest-first at equal
+// parallelism (it feeds forward/backward propagation sooner), with the
+// largest gaps at intermediate %Permitted (40-80) and under Speculation.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  struct Curve {
+    std::string label;
+    bool speculative;
+    core::Strategy::Heuristic heuristic;
+  };
+  const std::vector<Curve> curves = {
+      {"PCC*", false, core::Strategy::Heuristic::kCheapest},
+      {"PCE*", false, core::Strategy::Heuristic::kEarliest},
+      {"PSC*", true, core::Strategy::Heuristic::kCheapest},
+      {"PSE*", true, core::Strategy::Heuristic::kEarliest},
+  };
+
+  gen::PatternParams params;
+  params.nb_nodes = 64;
+  params.nb_rows = 4;
+  params.pct_enabled = 75;
+
+  std::vector<double> xs;
+  std::vector<std::vector<double>> time(curves.size());
+  std::vector<std::string> labels;
+  for (const Curve& c : curves) labels.push_back(c.label);
+
+  for (int pct : {0, 20, 40, 60, 80, 100}) {
+    xs.push_back(pct);
+    for (size_t c = 0; c < curves.size(); ++c) {
+      core::Strategy s;
+      s.propagation = true;
+      s.speculative = curves[c].speculative;
+      s.heuristic = curves[c].heuristic;
+      s.pct_permitted = pct;
+      time[c].push_back(bench::MeasureStrategy(params, s).mean_time_units);
+    }
+  }
+
+  bench::PrintSeriesTable(
+      "Figure 7(a): TimeInUnits vs %Permitted (nb_nodes=64, nb_rows=4, "
+      "%enabled=75)",
+      "%Permitted", labels, xs, time);
+
+  const size_t i40 = 2;
+  std::printf("\nAt %%Permitted=40: Earliest vs Cheapest gain = %.0f%% "
+              "(conservative), %.0f%% (speculative)\n",
+              100.0 * (time[0][i40] - time[1][i40]) / time[0][i40],
+              100.0 * (time[2][i40] - time[3][i40]) / time[2][i40]);
+  return 0;
+}

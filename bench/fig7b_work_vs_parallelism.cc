@@ -1,0 +1,50 @@
+// Figure 7(b): Work of PCC*, PCE*, PSC*, PSE* as %Permitted varies
+// (nb_nodes=64, nb_rows=4, %enabled=75).
+//
+// Expected shape: Earliest and Cheapest consume approximately the same
+// work at every parallelism level; Speculative strategies pay a work
+// premium that grows with parallelism.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  struct Curve {
+    std::string label;
+    bool speculative;
+    core::Strategy::Heuristic heuristic;
+  };
+  const std::vector<Curve> curves = {
+      {"PCC*", false, core::Strategy::Heuristic::kCheapest},
+      {"PCE*", false, core::Strategy::Heuristic::kEarliest},
+      {"PSC*", true, core::Strategy::Heuristic::kCheapest},
+      {"PSE*", true, core::Strategy::Heuristic::kEarliest},
+  };
+
+  gen::PatternParams params;
+  params.nb_nodes = 64;
+  params.nb_rows = 4;
+  params.pct_enabled = 75;
+
+  std::vector<double> xs;
+  std::vector<std::vector<double>> work(curves.size());
+  std::vector<std::string> labels;
+  for (const Curve& c : curves) labels.push_back(c.label);
+
+  for (int pct : {0, 20, 40, 60, 80, 100}) {
+    xs.push_back(pct);
+    for (size_t c = 0; c < curves.size(); ++c) {
+      core::Strategy s;
+      s.propagation = true;
+      s.speculative = curves[c].speculative;
+      s.heuristic = curves[c].heuristic;
+      s.pct_permitted = pct;
+      work[c].push_back(bench::MeasureStrategy(params, s).mean_work);
+    }
+  }
+
+  bench::PrintSeriesTable(
+      "Figure 7(b): Work vs %Permitted (nb_nodes=64, nb_rows=4, %enabled=75)",
+      "%Permitted", labels, xs, work);
+  return 0;
+}

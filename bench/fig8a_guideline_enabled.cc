@@ -1,0 +1,43 @@
+// Figure 8(a): guideline maps — minimal achievable TimeInUnits as a
+// function of the Work budget, one frontier per %enabled value
+// (nb_nodes=64, nb_rows=4). Each frontier point names the execution
+// strategy attaining it; moving right along a frontier the best strategy
+// shifts PCE0 -> PC*100 -> PS*100, as in the paper.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+const char* kStrategies[] = {
+    "PCE0",  "PCC0",  "PCE20", "PCE40",  "PCE60",  "PCE80",  "PCE100",
+    "PCC100", "PSE20", "PSE40", "PSE60", "PSE80",  "PSE100", "PSC100",
+};
+
+}  // namespace
+
+int main() {
+  using namespace dflow;
+  for (int pct : {10, 25, 50, 75, 100}) {
+    gen::PatternParams params;
+    params.nb_nodes = 64;
+    params.nb_rows = 4;
+    params.pct_enabled = pct;
+
+    std::vector<model::StrategyOutcome> outcomes;
+    for (const char* s : kStrategies) {
+      outcomes.push_back(
+          bench::MeasureStrategy(params, *core::Strategy::Parse(s)));
+    }
+    const auto frontier = model::BuildGuidelineMap(std::move(outcomes));
+
+    std::printf("\n== Figure 8(a) frontier, %%enabled = %d ==\n", pct);
+    std::printf("%-12s%-12s%-10s\n", "Work bound", "minT", "strategy");
+    for (const auto& p : frontier) {
+      std::printf("%-12.1f%-12.1f%-10s\n", p.work_bound, p.min_time_units,
+                  p.strategy.c_str());
+    }
+  }
+  return 0;
+}

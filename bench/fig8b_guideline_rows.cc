@@ -1,0 +1,51 @@
+// Figure 8(b): guideline maps — minimal achievable TimeInUnits vs Work
+// budget, one frontier per nb_rows value (nb_nodes=16, %enabled=75; the
+// paper's Figure 4 pattern). The paper's reading: "for a work limit of 40
+// units, the minimal response time can be obtained with PS*100% when the
+// schema pattern has 2 or 4 rows", and no implementation sustains a work
+// limit of 25 units with 8 rows.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+const char* kStrategies[] = {
+    "PCE0",  "PCC0",  "PCE20", "PCE40",  "PCE60",  "PCE80",  "PCE100",
+    "PCC100", "PSE20", "PSE40", "PSE60", "PSE80",  "PSE100", "PSC100",
+};
+
+}  // namespace
+
+int main() {
+  using namespace dflow;
+  for (int rows : {1, 2, 4, 8, 16}) {
+    gen::PatternParams params;
+    params.nb_nodes = 16;
+    params.nb_rows = rows;
+    params.pct_enabled = 75;
+
+    std::vector<model::StrategyOutcome> outcomes;
+    for (const char* s : kStrategies) {
+      outcomes.push_back(
+          bench::MeasureStrategy(params, *core::Strategy::Parse(s)));
+    }
+    const auto frontier = model::BuildGuidelineMap(std::move(outcomes));
+
+    std::printf("\n== Figure 8(b) frontier, nb_rows = %d ==\n", rows);
+    std::printf("%-12s%-12s%-10s\n", "Work bound", "minT", "strategy");
+    for (const auto& p : frontier) {
+      std::printf("%-12.1f%-12.1f%-10s\n", p.work_bound, p.min_time_units,
+                  p.strategy.c_str());
+    }
+    // The paper's example lookup: best strategy within a 40-unit budget.
+    if (const auto* best = model::LookupGuideline(frontier, 40.0)) {
+      std::printf("Work limit 40 -> %s, expected T = %.1f units\n",
+                  best->strategy.c_str(), best->min_time_units);
+    } else {
+      std::printf("Work limit 40 -> infeasible for every strategy\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 9(a): the database characteristic function Db — response time of
+// one unit of processing (UnitTime, ms) as a function of the database
+// multiprogramming level Gmpl. Measured empirically on the simulated
+// database the Figure 9 experiments use (calibrated to the published
+// curve: ~10ms at low load rising toward ~100ms at Gmpl=35; see
+// bench_util.h and EXPERIMENTS.md).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/db_profiler.h"
+
+int main() {
+  using namespace dflow;
+  sim::DbProfiler profiler(bench::PaperCalibratedDb(), /*seed=*/42);
+
+  std::printf("\n== Figure 9(a): UnitTime vs Gmpl (calibrated database) ==\n");
+  std::printf("%-8s%-12s\n", "Gmpl", "UnitTime(ms)");
+  for (int g = 1; g <= 35; ++g) {
+    const sim::DbSample s = profiler.Measure(g, 1000, 10000);
+    std::printf("%-8d%-12.2f\n", g, s.unit_time_ms);
+  }
+
+  // For reference, the same curve for the raw Table 1 parameters.
+  sim::DbProfiler table1(sim::DatabaseParams{}, /*seed=*/42);
+  std::printf("\n-- Raw Table 1 parameters (for comparison) --\n");
+  std::printf("%-8s%-12s\n", "Gmpl", "UnitTime(ms)");
+  for (int g : {1, 5, 10, 15, 20, 25, 30, 35}) {
+    std::printf("%-8d%-12.2f\n", g, table1.Measure(g, 1000, 10000).unit_time_ms);
+  }
+  return 0;
+}

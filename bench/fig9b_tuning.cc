@@ -1,0 +1,146 @@
+// Figure 9(b): tuning with the analytical model under finite database
+// resources. Reproduces all four graphs of the figure for the nb_nodes=16,
+// nb_rows=4, %enabled=75 pattern at a fixed target throughput:
+//   (a) UnitTime vs Work at the fixed throughput (Equation (6) fixed point);
+//   (b) the guideline map minT vs Work (as Figure 8(b), nb_rows=4);
+//   (c) predicted response time = minT x UnitTime, per strategy;
+//   (d) measured response time from open-load simulation against the
+//       calibrated database, compared to (c).
+// Also exercises the model's first application: the upper bound on Work for
+// a target throughput (the paper's example: ~18 units at 20 instances/s).
+
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.h"
+#include "model/analytic.h"
+#include "sim/db_profiler.h"
+
+int main() {
+  using namespace dflow;
+
+  // --- Empirical Db curve. The paper determines Db "empirically for each
+  // database"; since it is used to predict *open-system* response, we
+  // profile operationally: Poisson query arrivals (costs matched to the
+  // workload's 1..5 units) at a grid of offered loads, recording
+  // (mean Gmpl, mean per-unit response). A closed-loop curve at the same
+  // mean Gmpl understates queueing because the open level fluctuates.
+  const sim::DatabaseParams db_params = bench::PaperCalibratedDb();
+  sim::DbProfiler profiler(db_params, /*seed=*/42);
+  std::vector<double> loads;
+  for (double l = 0.03; l <= 0.46; l += 0.025) loads.push_back(l);
+  const std::vector<sim::DbSample> open_curve =
+      profiler.MeasureOpenCurve(loads, 1, 5);
+  std::vector<std::pair<double, double>> samples;
+  for (const sim::DbSample& s : open_curve) {
+    samples.push_back({s.gmpl, s.unit_time_ms});
+  }
+  const model::AnalyticModel analytic{model::DbCurve(samples)};
+
+  // --- Application 1: max affordable Work per throughput.
+  std::printf("\n== Max Work bound per throughput (Equation (6)) ==\n");
+  std::printf("%-16s%-16s\n", "Th (inst/s)", "max Work (units)");
+  for (double th : {5.0, 10.0, 20.0, 30.0}) {
+    std::printf("%-16.0f%-16.1f\n", th, analytic.MaxWorkForThroughput(th));
+  }
+
+  // --- The pattern under study.
+  gen::PatternParams params;
+  params.nb_nodes = 16;
+  params.nb_rows = 4;
+  params.pct_enabled = 75;
+  params.seed = 1;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  // Operating point: ~45-55% database utilization, like the paper's (their
+  // curve supports ~385 units/s and they drive 10/s x ~22-35 units). Our
+  // calibrated server sustains ~500 units/s and this pattern needs ~37-46
+  // units per instance, so 6 instances/s lands in the same regime.
+  const double th = 6.0;  // instances per second
+
+  // --- Graph (a): UnitTime vs Work at Th = 10/s.
+  std::printf("\n== Graph (a): UnitTime vs Work at Th=%.0f/s ==\n", th);
+  std::printf("%-10s%-14s\n", "Work", "UnitTime(ms)");
+  for (double w = 10; w <= 45; w += 5) {
+    const std::optional<double> u = analytic.SolveUnitTimeMs(th, w);
+    if (u.has_value()) {
+      std::printf("%-10.0f%-14.2f\n", w, *u);
+    } else {
+      std::printf("%-10.0finfeasible\n", w);
+    }
+  }
+
+  // --- Strategies of the paper's graphs (b)-(d).
+  const char* kStrategies[] = {"PCE0",  "PCE80",  "PCE100", "PCC100",
+                               "PSE40", "PSE80",  "PSE100"};
+
+  std::printf("\n== Graphs (b)-(d): per-strategy prediction vs measurement "
+              "==\n");
+  std::printf("%-10s%-9s%-9s%-14s%-15s%-15s%-8s\n", "strategy", "Work",
+              "minT", "UnitTime(ms)", "predicted(ms)", "measured(ms)",
+              "err%");
+
+  std::string best_pred, best_meas;
+  double best_pred_ms = 1e30, best_meas_ms = 1e30;
+
+  for (const char* name : kStrategies) {
+    const core::Strategy strategy = *core::Strategy::Parse(name);
+
+    // Infinite-resource profile of the strategy on this exact pattern.
+    double work = 0, time_units = 0;
+    const int kProfileInstances = 200;
+    for (int i = 0; i < kProfileInstances; ++i) {
+      const uint64_t inst = gen::InstanceSeed(params, i);
+      const auto r = core::RunSingleInfinite(
+          pattern.schema, gen::MakeSourceBinding(pattern, inst), inst,
+          strategy);
+      work += static_cast<double>(r.metrics.work);
+      time_units += r.metrics.ResponseTime();
+    }
+    work /= kProfileInstances;
+    time_units /= kProfileInstances;
+
+    const std::optional<double> unit_time = analytic.SolveUnitTimeMs(th, work);
+    const std::optional<double> predicted =
+        analytic.PredictResponseMs(th, work, time_units);
+
+    // Graph (d): measured response on the calibrated database.
+    core::OpenLoadOptions options;
+    options.arrivals_per_second = th;
+    options.num_instances = 500;
+    options.warmup_instances = 100;
+    options.db = db_params;
+    options.seed = 7;
+    const core::OpenLoadStats stats = core::RunOpenLoad(
+        pattern.schema,
+        [&](int i) {
+          const uint64_t seed = gen::InstanceSeed(params, i);
+          return std::make_pair(gen::MakeSourceBinding(pattern, seed), seed);
+        },
+        strategy, options);
+
+    if (predicted.has_value()) {
+      const double err = 100.0 * (stats.mean_response_ms - *predicted) /
+                         stats.mean_response_ms;
+      std::printf("%-10s%-9.1f%-9.1f%-14.2f%-15.1f%-15.1f%-+8.1f\n", name,
+                  work, time_units, *unit_time, *predicted,
+                  stats.mean_response_ms, err);
+      if (*predicted < best_pred_ms) {
+        best_pred_ms = *predicted;
+        best_pred = name;
+      }
+    } else {
+      std::printf("%-10s%-9.1f%-9.1finfeasible    -              %-15.1f-\n",
+                  name, work, time_units, stats.mean_response_ms);
+    }
+    if (stats.mean_response_ms < best_meas_ms) {
+      best_meas_ms = stats.mean_response_ms;
+      best_meas = name;
+    }
+  }
+
+  std::printf("\nPredicted-optimal strategy: %s (%.0f ms); "
+              "measured-optimal: %s (%.0f ms)\n",
+              best_pred.c_str(), best_pred_ms, best_meas.c_str(),
+              best_meas_ms);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 1: the simulation parameters, as implemented by gen::PatternParams
+// and sim::DatabaseParams, with one generated pattern summarized to show
+// each knob taking effect.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace dflow;
+  const gen::PatternParams p;  // defaults = Table 1 fixed values
+  const sim::DatabaseParams d;
+
+  std::printf("\n== Table 1: simulation parameters ==\n");
+  std::printf("%-22s%-12s%s\n", "Parameter", "Value", "Description");
+  std::printf("%-22s%-12d%s\n", "nb_nodes", p.nb_nodes, "# of internal nodes");
+  std::printf("%-22s%-12s%s\n", "nb_rows", "[1,16]", "# of schema rows");
+  std::printf("%-22s%-12s%s\n", "%enabled", "[10,100]", "% of enabled nodes");
+  std::printf("%-22s%-12d%s\n", "%enabler", p.pct_enabler,
+              "% of potential enablers");
+  std::printf("%-22s%-12d%s\n", "%enabling_hop", p.pct_enabling_hop,
+              "max enabling edge hop (% of # columns)");
+  std::printf("%-22s%-12d%s\n", "Min_pred", p.min_pred,
+              "min # of predicates per enabling condition");
+  std::printf("%-22s%-12d%s\n", "Max_pred", p.max_pred,
+              "max # of predicates per enabling condition");
+  std::printf("%-22s%-12s%s\n", "%added_data_edges", "[-25,+25]",
+              "% of data edges added to skeleton");
+  std::printf("%-22s%-12d%s\n", "%data_hop", p.pct_data_hop,
+              "max data edge hop (% of # columns)");
+  std::printf("%-22s[%d,%d]      %s\n", "module_cost", p.min_cost, p.max_cost,
+              "units of cost for executing a module");
+  std::printf("%-22s%-12d%s\n", "num_CPUs", d.num_cpus,
+              "# of CPUs in the database");
+  std::printf("%-22s%-12d%s\n", "num_disks", d.num_disks,
+              "# of disks in the database");
+  std::printf("%-22s%-12.0f%s\n", "unit_CPU_cost", d.unit_cpu_ms,
+              "ms of CPU per execution unit");
+  std::printf("%-22s%-12d%s\n", "unit_IO_cost", d.unit_io_pages,
+              "# of IO pages per unit execution");
+  std::printf("%-22s%-12.0f%s\n", "%IO_hit", d.io_hit * 100,
+              "probability of IO page hit in buffer");
+  std::printf("%-22s%-12.0f%s\n", "IO_delay", d.io_delay_ms,
+              "IO delay in msecs");
+
+  // Demonstrate a generated Figure 4 pattern.
+  gen::PatternParams fig4;
+  fig4.nb_nodes = 16;
+  fig4.nb_rows = 4;
+  const gen::GeneratedSchema g = gen::GeneratePattern(fig4);
+  std::printf("\nGenerated Figure 4 pattern: %d attributes, %d columns, "
+              "total query cost %lld units\n",
+              g.schema.num_attributes(), g.columns,
+              static_cast<long long>(g.schema.TotalQueryCost()));
+  return 0;
+}

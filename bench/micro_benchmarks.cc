@@ -1,0 +1,105 @@
+// Google-benchmark microbenchmarks for the engine's real (wall-clock)
+// costs: prequalifier passes, full instance executions per strategy,
+// pattern generation, and the discrete-event simulator core. These measure
+// the *implementation*, complementing the fig* binaries which measure the
+// *simulated* metrics of the paper.
+
+#include <benchmark/benchmark.h>
+
+#include "core/prequalifier.h"
+#include "core/runner.h"
+#include "core/semantics.h"
+#include "gen/schema_generator.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace dflow;
+
+const gen::GeneratedSchema& Pattern64() {
+  static const gen::GeneratedSchema& pattern = *new gen::GeneratedSchema([] {
+    gen::PatternParams p;
+    p.nb_nodes = 64;
+    p.nb_rows = 4;
+    p.pct_enabled = 75;
+    return gen::GeneratePattern(p);
+  }());
+  return pattern;
+}
+
+void BM_PrequalifierPass(benchmark::State& state) {
+  const auto& pattern = Pattern64();
+  core::Strategy strategy;  // PCE0
+  for (auto _ : state) {
+    core::Snapshot snap(&pattern.schema);
+    snap.BindSources(gen::MakeSourceBinding(pattern, 1));
+    core::Prequalifier preq(&pattern.schema, strategy);
+    preq.Update(&snap);
+    benchmark::DoNotOptimize(preq.candidates().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          pattern.schema.num_attributes());
+}
+BENCHMARK(BM_PrequalifierPass);
+
+void BM_InstanceExecution(benchmark::State& state) {
+  const auto& pattern = Pattern64();
+  const char* names[] = {"NCE0", "PCE0", "PCE100", "PSE100"};
+  const core::Strategy strategy =
+      *core::Strategy::Parse(names[state.range(0)]);
+  uint64_t seed = 0;
+  int64_t total_work = 0;
+  for (auto _ : state) {
+    const auto result = core::RunSingleInfinite(
+        pattern.schema, gen::MakeSourceBinding(pattern, seed), seed, strategy);
+    total_work += result.metrics.work;
+    ++seed;
+  }
+  state.SetLabel(strategy.ToString());
+  state.counters["sim_work_units"] =
+      benchmark::Counter(static_cast<double>(total_work),
+                         benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_InstanceExecution)->DenseRange(0, 3);
+
+void BM_ReferenceEvaluator(benchmark::State& state) {
+  const auto& pattern = Pattern64();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EvaluateComplete(
+        pattern.schema, gen::MakeSourceBinding(pattern, seed), seed));
+    ++seed;
+  }
+}
+BENCHMARK(BM_ReferenceEvaluator);
+
+void BM_PatternGeneration(benchmark::State& state) {
+  gen::PatternParams p;
+  p.nb_nodes = static_cast<int>(state.range(0));
+  p.nb_rows = 4;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    p.seed = seed++;
+    benchmark::DoNotOptimize(gen::GeneratePattern(p).schema.num_attributes());
+  }
+}
+BENCHMARK(BM_PatternGeneration)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&]() {
+      if (--remaining > 0) sim.Schedule(1.0, tick);
+    };
+    sim.Schedule(1.0, tick);
+    sim.RunUntilEmpty();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

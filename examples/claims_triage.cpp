@@ -1,0 +1,152 @@
+// Insurance-claims triage — one of the customer-care applications the paper
+// names (§1: "e-commerce, call centers, insurance claims processing").
+//
+// An incoming claim is triaged in near-realtime: policy and history lookups
+// run against (simulated) databases, a fraud score gates the expensive
+// investigation branch, and the flow decides between FAST_TRACK, STANDARD
+// and INVESTIGATE. The example also injects a *database failure* — the
+// history database is down, its dip returns ⊥ — demonstrating the §2
+// requirement that decisions complete with incomplete information.
+//
+// Run: ./build/examples/claims_triage
+
+#include <cstdio>
+
+#include "core/runner.h"
+#include "core/schema_builder.h"
+#include "expr/predicate.h"
+
+using namespace dflow;
+using expr::CompareOp;
+using expr::Condition;
+using expr::Predicate;
+
+namespace {
+
+struct Claim {
+  const char* id;
+  int64_t amount;
+  int64_t customer_id;
+  bool history_db_up;
+};
+
+}  // namespace
+
+int main() {
+  // The claim currently being processed; rebuilt per instance in a real
+  // deployment, bound through sources here.
+  core::SchemaBuilder builder;
+  const AttributeId amount = builder.AddSource("claim_amount");
+  const AttributeId customer = builder.AddSource("customer_id");
+  const AttributeId history_up = builder.AddSource("history_db_up");
+
+  // Policy lookup: always needed.
+  const AttributeId policy = builder.AddQuery(
+      "policy_lookup", 2,
+      [customer](const core::TaskContext& ctx) {
+        // Coverage limit derived from the customer id (simulated table).
+        return Value::Int(1000 + 500 * (ctx.input(customer).int_value() % 4));
+      },
+      {customer});
+
+  // Claim history dip: *fails* (returns ⊥) when the history database is
+  // down. The dip itself is guarded so we can also demonstrate skipping it.
+  const AttributeId history = builder.AddQuery(
+      "claim_history", 3,
+      [customer, history_up](const core::TaskContext& ctx) {
+        if (!ctx.input(history_up).IsTruthy()) return Value::Null();
+        return Value::Int(ctx.input(customer).int_value() % 3);  // past claims
+      },
+      {customer});
+
+  // Fraud score: cheap model over amount + history; must tolerate ⊥ history
+  // (defaults to a conservative middle score).
+  const AttributeId fraud = builder.AddSynthesis(
+      "fraud_score",
+      [amount, history](const core::TaskContext& ctx) {
+        int64_t score = ctx.input(amount).int_value() > 5000 ? 40 : 10;
+        if (ctx.input(history).is_null()) {
+          score += 25;  // unknown history: be cautious
+        } else {
+          score += 20 * ctx.input(history).int_value();
+        }
+        return Value::Int(score);
+      },
+      {amount, history});
+
+  // Expensive investigation branch, enabled only for suspicious claims.
+  builder.BeginModule("investigation",
+                      Condition::Pred(Predicate::Compare(
+                          fraud, CompareOp::kGe, Value::Int(50))));
+  const AttributeId siu_check = builder.AddQuery(
+      "special_investigations_check", 6,
+      [fraud](const core::TaskContext& ctx) {
+        return Value::Bool(ctx.input(fraud).int_value() >= 70);
+      },
+      {fraud});
+  builder.EndModule();
+
+  // Fast-track branch for small, clean claims.
+  const AttributeId fast_track_ok = builder.AddSynthesis(
+      "fast_track_ok",
+      [amount, policy](const core::TaskContext& ctx) {
+        return Value::Bool(ctx.input(amount).int_value() <=
+                           ctx.input(policy).int_value() / 2);
+      },
+      {amount, policy},
+      Condition::Pred(
+          Predicate::Compare(fraud, CompareOp::kLt, Value::Int(50))));
+
+  // Final routing decision (target).
+  builder.AddSynthesis(
+      "routing",
+      [siu_check, fast_track_ok](const core::TaskContext& ctx) {
+        if (!ctx.input(siu_check).is_null()) {
+          return Value::String(ctx.input(siu_check).IsTruthy()
+                                   ? "INVESTIGATE"
+                                   : "STANDARD_REVIEW");
+        }
+        if (ctx.input(fast_track_ok).IsTruthy()) {
+          return Value::String("FAST_TRACK");
+        }
+        return Value::String("STANDARD_REVIEW");
+      },
+      {siu_check, fast_track_ok}, Condition::True(), /*is_target=*/true);
+
+  std::string error;
+  auto schema = builder.Build(&error);
+  if (!schema.has_value()) {
+    std::fprintf(stderr, "schema error: %s\n", error.c_str());
+    return 1;
+  }
+
+  const Claim claims[] = {
+      {"CLM-1001 (small, clean)", 400, 1, true},
+      {"CLM-1002 (large, repeat claimant)", 9000, 5, true},
+      {"CLM-1003 (history db DOWN)", 400, 1, false},
+      {"CLM-1004 (large, clean history)", 8000, 4, true},
+  };
+
+  const AttributeId routing = schema->FindAttribute("routing");
+  std::printf("%-36s%-16s%-8s%-6s%s\n", "claim", "decision", "work",
+              "time", "notes");
+  for (const Claim& c : claims) {
+    const core::InstanceResult result = core::RunSingleInfinite(
+        *schema,
+        {{amount, Value::Int(c.amount)},
+         {customer, Value::Int(c.customer_id)},
+         {history_up, Value::Bool(c.history_db_up)}},
+        /*instance_seed=*/1, *core::Strategy::Parse("PSE100"));
+
+    const bool investigated =
+        result.snapshot.state(schema->FindAttribute(
+            "special_investigations_check")) == core::AttrState::kValue;
+    std::printf("%-36s%-16s%-8lld%-6.0f%s\n", c.id,
+                result.snapshot.value(routing).string_value().c_str(),
+                static_cast<long long>(result.metrics.work),
+                result.metrics.ResponseTime(),
+                investigated ? "SIU consulted"
+                             : "investigation branch pruned");
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+// dflow_explore — command-line experiment driver: evaluate execution
+// strategies on Table 1 patterns without writing code.
+//
+// Usage:
+//   dflow_explore [--nodes N] [--rows R] [--enabled PCT] [--seed S]
+//                 [--instances K] [--strategies PCE0,PSE100,...]
+//                 [--csv] [--dot]
+//
+// Prints mean Work / TimeInUnits / waste per strategy on the chosen
+// pattern; --csv additionally dumps the §2 snapshot relation of the last
+// strategy, --dot the schema's dependency graph.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/dot_export.h"
+#include "core/runner.h"
+#include "gen/schema_generator.h"
+#include "report/snapshot_relation.h"
+
+using namespace dflow;
+
+namespace {
+
+struct Options {
+  gen::PatternParams params;
+  int instances = 100;
+  std::vector<std::string> strategies = {"NCE0", "PCE0", "PCE100", "PSE100"};
+  bool csv = false;
+  bool dot = false;
+};
+
+void PrintUsageAndExit(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--nodes N] [--rows R] [--enabled PCT] [--seed S]\n"
+      "          [--instances K] [--strategies CSV] [--csv] [--dot]\n",
+      argv0);
+  std::exit(2);
+}
+
+std::vector<std::string> SplitCsv(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+Options ParseArgs(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int* out) {
+      if (i + 1 >= argc) PrintUsageAndExit(argv[0]);
+      *out = std::atoi(argv[++i]);
+    };
+    if (arg == "--nodes") {
+      next_int(&options.params.nb_nodes);
+    } else if (arg == "--rows") {
+      next_int(&options.params.nb_rows);
+    } else if (arg == "--enabled") {
+      next_int(&options.params.pct_enabled);
+    } else if (arg == "--seed") {
+      int seed = 0;
+      next_int(&seed);
+      options.params.seed = static_cast<uint64_t>(seed);
+    } else if (arg == "--instances") {
+      next_int(&options.instances);
+    } else if (arg == "--strategies") {
+      if (i + 1 >= argc) PrintUsageAndExit(argv[0]);
+      options.strategies = SplitCsv(argv[++i]);
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg == "--dot") {
+      options.dot = true;
+    } else {
+      PrintUsageAndExit(argv[0]);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options = ParseArgs(argc, argv);
+  if (const auto error = options.params.Validate()) {
+    std::fprintf(stderr, "invalid pattern parameters: %s\n", error->c_str());
+    return 2;
+  }
+
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(options.params);
+  std::printf("pattern: nodes=%d rows=%d columns=%d %%enabled=%d seed=%llu, "
+              "total query cost %lld units\n\n",
+              options.params.nb_nodes, options.params.nb_rows, pattern.columns,
+              options.params.pct_enabled,
+              static_cast<unsigned long long>(options.params.seed),
+              static_cast<long long>(pattern.schema.TotalQueryCost()));
+
+  std::printf("%-10s%-12s%-14s%-12s%-14s%-12s\n", "strategy", "mean Work",
+              "mean T(units)", "waste", "eager disb.", "unneeded");
+
+  report::SnapshotRelation relation(&pattern.schema);
+  for (const std::string& name : options.strategies) {
+    const auto strategy = core::Strategy::Parse(name);
+    if (!strategy.has_value()) {
+      std::fprintf(stderr, "unknown strategy '%s' (expected e.g. PSE80)\n",
+                   name.c_str());
+      return 2;
+    }
+    const bool last = name == options.strategies.back();
+    double work = 0, time = 0, waste = 0, eager = 0, unneeded = 0;
+    for (int i = 0; i < options.instances; ++i) {
+      const uint64_t seed = gen::InstanceSeed(options.params, i);
+      core::InstanceResult result = core::RunSingleInfinite(
+          pattern.schema, gen::MakeSourceBinding(pattern, seed), seed,
+          *strategy);
+      work += static_cast<double>(result.metrics.work);
+      time += result.metrics.ResponseTime();
+      waste += static_cast<double>(result.metrics.wasted_work);
+      eager += result.metrics.eager_disables;
+      unneeded += result.metrics.unneeded_skipped;
+      if (last && options.csv) relation.Record(result);
+    }
+    const double n = options.instances;
+    std::printf("%-10s%-12.1f%-14.1f%-12.1f%-14.1f%-12.1f\n", name.c_str(),
+                work / n, time / n, waste / n, eager / n, unneeded / n);
+  }
+
+  if (options.csv) {
+    std::printf("\n# snapshot relation (%s, %d instances)\n%s",
+                options.strategies.back().c_str(), options.instances,
+                relation.ToCsv().c_str());
+  }
+  if (options.dot) {
+    std::printf("\n%s", core::ToDot(pattern.schema).c_str());
+  }
+  return 0;
+}

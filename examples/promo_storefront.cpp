@@ -1,0 +1,235 @@
+// The paper's running example (Figure 1): selecting and assembling promo
+// images for a clothing retailer's web storefront. Three promo modules
+// (boys' / men's / women's coats) are considered depending on the shopping
+// cart and purchase history, a decision module weighs expendable income
+// against the promo hit list, and a presentation module assembles the
+// winning promos — all backed by in-memory store tables standing in for the
+// customer-profile, catalog and inventory databases.
+//
+// Run: ./build/examples/promo_storefront
+
+#include <cstdio>
+#include <string>
+
+#include "core/runner.h"
+#include "core/schema_builder.h"
+#include "expr/predicate.h"
+#include "store/table.h"
+
+using namespace dflow;
+using expr::CompareOp;
+using expr::Condition;
+using expr::Predicate;
+
+namespace {
+
+// Populate the retailer's databases.
+store::Database MakeStoreData() {
+  store::Database db;
+  store::Table& catalog = db.CreateTable("catalog");
+  catalog.Insert({{"item", Value::String("boys_coat")},
+                  {"price", Value::Int(45)},
+                  {"profit", Value::Int(12)},
+                  {"segment", Value::String("boys")}});
+  catalog.Insert({{"item", Value::String("mens_parka")},
+                  {"price", Value::Int(140)},
+                  {"profit", Value::Int(38)},
+                  {"segment", Value::String("mens")}});
+  catalog.Insert({{"item", Value::String("womens_trench")},
+                  {"price", Value::Int(160)},
+                  {"profit", Value::Int(44)},
+                  {"segment", Value::String("womens")}});
+
+  store::Table& inventory = db.CreateTable("inventory");
+  inventory.Insert({{"item", Value::String("boys_coat")},
+                    {"size", Value::String("M")},
+                    {"stock", Value::Int(7)}});
+  inventory.Insert({{"item", Value::String("mens_parka")},
+                    {"size", Value::String("L")},
+                    {"stock", Value::Int(0)}});  // out of stock!
+  inventory.Insert({{"item", Value::String("womens_trench")},
+                    {"size", Value::String("S")},
+                    {"stock", Value::Int(3)}});
+  return db;
+}
+
+struct Customer {
+  std::string name;
+  int64_t expendable_income;
+  bool boys_item_in_cart;
+  bool mens_interest;
+  bool womens_interest;
+  int64_t db_load;  // current load on the inventory database, %
+};
+
+// One promo module (a dashed box of Figure 1(a)): climate dip -> hit list ->
+// inventory check -> scored promos, guarded by the module condition.
+AttributeId AddPromoModule(core::SchemaBuilder& builder,
+                           const store::Database& db,
+                           const std::string& segment,
+                           Condition module_condition, AttributeId db_load) {
+  builder.BeginModule(segment + "_coat_promo", std::move(module_condition));
+
+  const AttributeId climate = builder.AddQuery(
+      "climate_" + segment, 2,
+      [](const core::TaskContext&) { return Value::String("cold"); }, {});
+
+  const AttributeId hit_list = builder.AddQuery(
+      "hit_list_" + segment, 3,
+      [&db, segment](const core::TaskContext& ctx) {
+        // Hit list of appropriate coats (climate may be ⊥ if that dip
+        // failed; then we match on segment alone).
+        (void)ctx;
+        const auto rows = db.table("catalog")->Select([&](const store::Row& r) {
+          return r.Get("segment") == Value::String(segment);
+        });
+        return rows.empty() ? Value::Null()
+                            : Value::String(rows[0].Get("item").string_value());
+      },
+      {climate});
+
+  // Paper's enabling condition: "C and (at least one coat has score > 80 or
+  // db load < 95%)" — the db_load escape hatch is eagerly evaluable.
+  const AttributeId inventory = builder.AddQuery(
+      "inventory_" + segment, 4,
+      [&db, hit_list](const core::TaskContext& ctx) {
+        const Value item = ctx.input(hit_list);
+        if (item.is_null()) return Value::Null();
+        const auto row = db.table("inventory")->FindFirst(
+            [&](const store::Row& r) { return r.Get("item") == item; });
+        if (!row.has_value()) return Value::Null();
+        return Value::Int(row->Get("stock").int_value());
+      },
+      {hit_list},
+      Condition::All({Condition::Pred(Predicate::IsNotNull(hit_list)),
+                      Condition::Pred(Predicate::Compare(
+                          db_load, CompareOp::kLt, Value::Int(95)))}));
+
+  const AttributeId scored = builder.AddQuery(
+      "scored_" + segment, 2,
+      [&db, segment, inventory](const core::TaskContext& ctx) {
+        // Price, profit and match score of available coats.
+        if (ctx.input(inventory).is_null() ||
+            ctx.input(inventory).int_value() <= 0) {
+          return Value::Null();  // nothing in stock to promote
+        }
+        const auto rows = db.table("catalog")->Select([&](const store::Row& r) {
+          return r.Get("segment") == Value::String(segment);
+        });
+        return Value::Int(rows[0].Get("profit").int_value());
+      },
+      {inventory});
+
+  builder.EndModule();
+  return scored;
+}
+
+}  // namespace
+
+int main() {
+  const store::Database db = MakeStoreData();
+
+  core::SchemaBuilder builder;
+  const AttributeId income = builder.AddSource("customer_expendable_income");
+  const AttributeId cart_boys = builder.AddSource("boys_item_in_cart");
+  const AttributeId hist_mens = builder.AddSource("mens_interest");
+  const AttributeId hist_womens = builder.AddSource("womens_interest");
+  const AttributeId db_load = builder.AddSource("inventory_db_load");
+
+  // Figure 1(a)'s module enabling conditions.
+  const AttributeId boys = AddPromoModule(
+      builder, db, "boys", Condition::Pred(Predicate::IsTrue(cart_boys)),
+      db_load);
+  const AttributeId mens = AddPromoModule(
+      builder, db, "mens", Condition::Pred(Predicate::IsTrue(hist_mens)),
+      db_load);
+  const AttributeId womens = AddPromoModule(
+      builder, db, "womens", Condition::Pred(Predicate::IsTrue(hist_womens)),
+      db_load);
+
+  // Decision module: promo hit list + give_promo(s)?
+  const AttributeId promo_hits = builder.AddSynthesis(
+      "promo_hit_list",
+      [boys, mens, womens](const core::TaskContext& ctx) {
+        int64_t best = 0;
+        for (AttributeId a : {boys, mens, womens}) {
+          if (!ctx.input(a).is_null()) {
+            best = std::max(best, ctx.input(a).int_value());
+          }
+        }
+        return best > 0 ? Value::Int(best) : Value::Null();
+      },
+      {boys, mens, womens});
+
+  const AttributeId give_promo = builder.AddSynthesis(
+      "give_promo",
+      [promo_hits](const core::TaskContext& ctx) {
+        return Value::Bool(!ctx.input(promo_hits).is_null());
+      },
+      {promo_hits},
+      Condition::Pred(
+          Predicate::Compare(income, CompareOp::kGt, Value::Int(0))));
+
+  // Presentation module: image retrieval + assembly (the gray target).
+  builder.BeginModule("presentation",
+                      Condition::Pred(Predicate::IsTrue(give_promo)));
+  const AttributeId images = builder.AddQuery(
+      "image_retrievals", 3,
+      [](const core::TaskContext&) { return Value::String("coat.png"); },
+      {promo_hits});
+  builder.AddSynthesis(
+      "image_and_text_assembly",
+      [images, promo_hits](const core::TaskContext& ctx) {
+        return Value::String("promo[" + ctx.input(images).ToString() +
+                             ", expected profit " +
+                             ctx.input(promo_hits).ToString() + "]");
+      },
+      {images, promo_hits}, Condition::True(), /*is_target=*/true);
+  builder.EndModule();
+  // The assembly must also be marked target-compatible when disabled: a
+  // customer who gets no promo still completes the flow (target DISABLED).
+
+  std::string error;
+  auto schema = builder.Build(&error);
+  if (!schema.has_value()) {
+    std::fprintf(stderr, "schema error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("schema: %d attributes, total query cost %lld units\n\n",
+              schema->num_attributes(),
+              static_cast<long long>(schema->TotalQueryCost()));
+
+  const Customer customers[] = {
+      {"alice (boys coat shopper)", 500, true, false, false, 20},
+      {"bob (menswear browser)", 300, false, true, false, 20},
+      {"carol (no budget)", 0, true, true, true, 20},
+      {"dave (db overloaded)", 800, false, false, true, 99},
+      {"erin (everything)", 900, true, true, true, 20},
+  };
+
+  const AttributeId assembly = schema->FindAttribute("image_and_text_assembly");
+  for (const Customer& c : customers) {
+    const core::SourceBinding bindings = {
+        {income, Value::Int(c.expendable_income)},
+        {cart_boys, Value::Bool(c.boys_item_in_cart)},
+        {hist_mens, Value::Bool(c.mens_interest)},
+        {hist_womens, Value::Bool(c.womens_interest)},
+        {db_load, Value::Int(c.db_load)},
+    };
+    std::printf("%-28s", c.name.c_str());
+    for (const char* strat : {"PCE0", "PSE100"}) {
+      const auto result = core::RunSingleInfinite(
+          *schema, bindings, 1, *core::Strategy::Parse(strat));
+      std::printf("  [%s work=%2lld T=%2.0f]", strat,
+                  static_cast<long long>(result.metrics.work),
+                  result.metrics.ResponseTime());
+      if (std::string(strat) == "PSE100") {
+        const Value out = result.snapshot.value(assembly);
+        std::printf("  -> %s",
+                    out.is_null() ? "no promo" : out.ToString().c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,16 @@
+#ifndef DFLOW_COMMON_IDS_H_
+#define DFLOW_COMMON_IDS_H_
+
+#include <cstdint>
+
+namespace dflow {
+
+// Dense index of an attribute within one decision-flow schema. Attribute 0..n-1
+// are assigned by the schema in insertion order; source attributes included.
+using AttributeId = int32_t;
+
+inline constexpr AttributeId kInvalidAttribute = -1;
+
+}  // namespace dflow
+
+#endif  // DFLOW_COMMON_IDS_H_

@@ -1,0 +1,22 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace dflow {
+
+double Rng::Exponential(double mean) {
+  // Inverse-CDF sampling; guard against log(0).
+  double u = UniformDouble();
+  if (u <= 0.0) u = 1e-18;
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Mix(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t z = a * 0x9e3779b97f4a7c15ULL + b * 0xbf58476d1ce4e5b9ULL +
+               c * 0x94d049bb133111ebULL + 0x2545f4914f6cdd1dULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace dflow

@@ -1,0 +1,56 @@
+#ifndef DFLOW_COMMON_RNG_H_
+#define DFLOW_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dflow {
+
+// SplitMix64: tiny, fast, high-quality 64-bit mixer. Used both as the
+// repository-wide PRNG (simulation, schema generation) and as a stateless
+// hash for deriving deterministic per-(instance, attribute) task outputs.
+//
+// We deliberately avoid <random> engines: their streams are implementation-
+// defined across standard libraries, and reproducibility of generated
+// schemas and simulations across toolchains is a hard requirement for the
+// experiment harness.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  // Next raw 64-bit draw.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli draw: true with probability p (clamped to [0,1]).
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  // Exponential variate with the given mean (for Poisson arrivals).
+  double Exponential(double mean);
+
+  // Stateless mix of up to three keys; used to derive deterministic
+  // attribute values per instance without advancing any stream.
+  static uint64_t Mix(uint64_t a, uint64_t b = 0x9e3779b97f4a7c15ULL,
+                      uint64_t c = 0x165667b19e3779f9ULL);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dflow
+
+#endif  // DFLOW_COMMON_RNG_H_

@@ -1,0 +1,42 @@
+#include "common/value.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace dflow {
+
+Value::Type Value::type() const {
+  switch (rep_.index()) {
+    case 0: return Type::kNull;
+    case 1: return Type::kBool;
+    case 2: return Type::kInt;
+    case 3: return Type::kDouble;
+    default: return Type::kString;
+  }
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_value());
+  return double_value();
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull: return "null";
+    case Type::kBool: return bool_value() ? "true" : "false";
+    case Type::kInt: return std::to_string(int_value());
+    case Type::kDouble: {
+      std::ostringstream os;
+      os << double_value();
+      return os.str();
+    }
+    case Type::kString: return "\"" + string_value() + "\"";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace dflow

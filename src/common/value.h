@@ -1,0 +1,88 @@
+#ifndef DFLOW_COMMON_VALUE_H_
+#define DFLOW_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace dflow {
+
+// The runtime value of a decision-flow attribute.
+//
+// A `Value` is either the distinguished null value (written ⊥ in the paper;
+// the value taken by every DISABLED attribute) or one of four scalar types.
+// Values are cheap to copy for the numeric/bool cases and use small-string
+// friendly std::string for text.
+//
+// Comparison semantics follow SQL-ish rules used by the enabling-condition
+// language in expr/: ordering comparisons involving null are *false* (never
+// throw), while `IsNull` predicates observe nullness directly. `operator==`
+// on Value itself is structural (null == null is true) and is what tests and
+// snapshot comparison use; the 3-valued predicate layer lives in expr/.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString };
+
+  // Constructs the null value ⊥.
+  Value() : rep_(NullRep{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Double(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) { return Value(Rep(std::move(s))); }
+
+  Value(const Value&) = default;
+  Value& operator=(const Value&) = default;
+  Value(Value&&) = default;
+  Value& operator=(Value&&) = default;
+
+  Type type() const;
+  bool is_null() const { return std::holds_alternative<NullRep>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  // Accessors; calling the wrong one is a programming error (asserts in
+  // debug builds via std::get).
+  bool bool_value() const { return std::get<bool>(rep_); }
+  int64_t int_value() const { return std::get<int64_t>(rep_); }
+  double double_value() const { return std::get<double>(rep_); }
+  const std::string& string_value() const { return std::get<std::string>(rep_); }
+
+  // Numeric view: int promoted to double. Requires is_numeric().
+  double AsDouble() const;
+
+  // True iff the value is bool(true). Null and non-bool values are not truthy.
+  bool IsTruthy() const { return is_bool() && bool_value(); }
+
+  // Structural equality: null == null, int/double compare numerically only
+  // when both are the same type (no implicit cross-type promotion here; the
+  // predicate layer in expr/ does numeric promotion explicitly).
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  // Debug/reporting rendering, e.g. "null", "true", "42", "3.5", "\"coat\"".
+  std::string ToString() const;
+
+ private:
+  struct NullRep {
+    friend bool operator==(const NullRep&, const NullRep&) { return true; }
+  };
+  using Rep = std::variant<NullRep, bool, int64_t, double, std::string>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace dflow
+
+#endif  // DFLOW_COMMON_VALUE_H_

@@ -1,0 +1,70 @@
+#include "core/attribute_state.h"
+
+#include <ostream>
+
+namespace dflow::core {
+
+bool IsValidTransition(AttrState from, AttrState to) {
+  switch (from) {
+    case AttrState::kUninitialized:
+      return to == AttrState::kEnabled || to == AttrState::kReady ||
+             to == AttrState::kDisabled;
+    case AttrState::kEnabled:
+      return to == AttrState::kReadyEnabled;
+    case AttrState::kReady:
+      return to == AttrState::kReadyEnabled || to == AttrState::kComputed ||
+             to == AttrState::kDisabled;
+    case AttrState::kReadyEnabled:
+      return to == AttrState::kValue;
+    case AttrState::kComputed:
+      return to == AttrState::kValue || to == AttrState::kDisabled;
+    case AttrState::kValue:
+    case AttrState::kDisabled:
+      return false;  // terminal
+  }
+  return false;
+}
+
+bool PrecedesOrEqual(AttrState a, AttrState b) {
+  if (a == b) return true;
+  // Small graph: depth-first reachability over the 7 states.
+  constexpr int kNumStates = 7;
+  bool seen[kNumStates] = {};
+  bool frontier[kNumStates] = {};
+  frontier[static_cast<int>(a)] = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int s = 0; s < kNumStates; ++s) {
+      if (!frontier[s] || seen[s]) continue;
+      seen[s] = true;
+      progress = true;
+      for (int t = 0; t < kNumStates; ++t) {
+        if (IsValidTransition(static_cast<AttrState>(s),
+                              static_cast<AttrState>(t))) {
+          frontier[t] = true;
+        }
+      }
+    }
+  }
+  return seen[static_cast<int>(b)];
+}
+
+std::string ToString(AttrState s) {
+  switch (s) {
+    case AttrState::kUninitialized: return "UNINITIALIZED";
+    case AttrState::kEnabled: return "ENABLED";
+    case AttrState::kReady: return "READY";
+    case AttrState::kReadyEnabled: return "READY+ENABLED";
+    case AttrState::kComputed: return "COMPUTED";
+    case AttrState::kValue: return "VALUE";
+    case AttrState::kDisabled: return "DISABLED";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, AttrState s) {
+  return os << ToString(s);
+}
+
+}  // namespace dflow::core

@@ -1,0 +1,49 @@
+#ifndef DFLOW_CORE_ATTRIBUTE_STATE_H_
+#define DFLOW_CORE_ATTRIBUTE_STATE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace dflow::core {
+
+// Runtime state of one attribute: the finite state automaton of Figure 3.
+//
+//   UNINITIALIZED --> ENABLED ----------> READY+ENABLED --> VALUE
+//        |  \--------> READY --/    /--->   (^ via COMPUTED too)
+//        |               | \-> COMPUTED --> VALUE | DISABLED
+//        \--> DISABLED <-/
+//
+// VALUE and DISABLED are the terminal ("stable") states of §2. READY means
+// all data inputs are stable while the enabling condition is still unknown;
+// a READY attribute may be evaluated *speculatively* (option 'S'), moving to
+// COMPUTED until the condition resolves.
+enum class AttrState : uint8_t {
+  kUninitialized = 0,
+  kEnabled,        // condition known true; some data input not yet stable
+  kReady,          // data inputs stable; condition unknown
+  kReadyEnabled,   // data inputs stable and condition true
+  kComputed,       // value computed speculatively; condition still unknown
+  kValue,          // stable with a computed value
+  kDisabled,       // stable with the null value (condition false)
+};
+
+// Stable == terminal (double circles in Figure 3).
+constexpr bool IsStable(AttrState s) {
+  return s == AttrState::kValue || s == AttrState::kDisabled;
+}
+
+// True iff the FSA of Figure 3 has a single edge from `from` to `to`.
+bool IsValidTransition(AttrState from, AttrState to);
+
+// The natural partial order on FSA states ("READY ⊑ COMPUTED" in the paper):
+// a ⊑ b iff b is reachable from a (reflexively) in the FSA. Used by tests to
+// check that per-attribute knowledge only grows during execution.
+bool PrecedesOrEqual(AttrState a, AttrState b);
+
+std::string ToString(AttrState s);
+std::ostream& operator<<(std::ostream& os, AttrState s);
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_ATTRIBUTE_STATE_H_

@@ -1,0 +1,36 @@
+#include "core/dot_export.h"
+
+#include <sstream>
+
+namespace dflow::core {
+
+std::string ToDot(const Schema& schema) {
+  std::ostringstream os;
+  os << "digraph decision_flow {\n"
+     << "  rankdir=LR;\n"
+     << "  node [fontsize=10];\n";
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    const Attribute& attr = schema.attribute(a);
+    os << "  a" << a << " [label=\"" << attr.name << "\"";
+    if (attr.is_source) {
+      os << ", shape=ellipse";
+    } else if (attr.is_target) {
+      os << ", shape=box, style=filled, fillcolor=gray85";
+    } else {
+      os << ", shape=box";
+    }
+    os << "];\n";
+  }
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    for (AttributeId in : schema.data_inputs(a)) {
+      os << "  a" << in << " -> a" << a << " [style=dashed];\n";
+    }
+    for (AttributeId in : schema.cond_inputs(a)) {
+      os << "  a" << in << " -> a" << a << " [style=solid, color=gray40];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dflow::core

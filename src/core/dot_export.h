@@ -1,0 +1,17 @@
+#ifndef DFLOW_CORE_DOT_EXPORT_H_
+#define DFLOW_CORE_DOT_EXPORT_H_
+
+#include <string>
+
+#include "core/schema.h"
+
+namespace dflow::core {
+
+// Renders the schema's dependency graph in Graphviz dot format, mirroring
+// Figure 1(b): dashed edges for dataflow, solid edges for enabling flow,
+// boxes for attributes (sources as ellipses, targets shaded).
+std::string ToDot(const Schema& schema);
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_DOT_EXPORT_H_

@@ -1,0 +1,159 @@
+#include "core/prequalifier.h"
+
+namespace dflow::core {
+
+Prequalifier::Prequalifier(const Schema* schema, const Strategy& strategy)
+    : schema_(schema),
+      strategy_(strategy),
+      cond_state_(static_cast<size_t>(schema->num_attributes()),
+                  expr::Tribool::kUnknown),
+      needed_(static_cast<size_t>(schema->num_attributes()), 1),
+      counted_unneeded_(static_cast<size_t>(schema->num_attributes()), 0) {}
+
+void Prequalifier::Update(Snapshot* snap) {
+  ForwardPass(snap);
+  if (strategy_.unneeded_detection()) BackwardPass(*snap);
+  CollectCandidates(*snap);
+}
+
+expr::Tribool Prequalifier::ConditionState(const Snapshot& snap,
+                                           AttributeId a) const {
+  const expr::Condition& cond = schema_->enabling_condition(a);
+  if (cond.IsLiteralTrue()) return expr::Tribool::kTrue;
+  if (!strategy_.eager_conditions()) {
+    // Naive: wait until every condition input is stable, then the
+    // evaluation below is definite by construction.
+    for (AttributeId in : schema_->cond_inputs(a)) {
+      if (!snap.IsStableAttr(in)) return expr::Tribool::kUnknown;
+    }
+  }
+  return cond.Eval(snap);
+}
+
+void Prequalifier::ForwardPass(Snapshot* snap) {
+  // Topological order guarantees every input of `a` was finalized (for this
+  // pass) before `a` is visited, so one sweep reaches the fixpoint: eagerly
+  // DISABLED attributes become stable-with-⊥ in time to resolve the
+  // conditions of everything downstream (forward propagation).
+  for (AttributeId a : schema_->topo_order()) {
+    if (schema_->is_source(a) || snap->IsStableAttr(a)) continue;
+
+    expr::Tribool& cond = cond_state_[static_cast<size_t>(a)];
+    if (cond == expr::Tribool::kUnknown) {
+      cond = ConditionState(*snap, a);
+      if (cond == expr::Tribool::kFalse) {
+        // Eager if some condition input had not stabilized yet.
+        for (AttributeId in : schema_->cond_inputs(a)) {
+          if (!snap->IsStableAttr(in)) {
+            ++eager_disables_;
+            break;
+          }
+        }
+      }
+    }
+
+    bool ready = true;
+    for (AttributeId in : schema_->data_inputs(a)) {
+      if (!snap->IsStableAttr(in)) {
+        ready = false;
+        break;
+      }
+    }
+
+    switch (snap->state(a)) {
+      case AttrState::kUninitialized:
+        if (cond == expr::Tribool::kFalse) {
+          snap->Transition(a, AttrState::kDisabled);
+        } else if (cond == expr::Tribool::kTrue) {
+          snap->Transition(a, AttrState::kEnabled);
+          if (ready) snap->Transition(a, AttrState::kReadyEnabled);
+        } else if (ready) {
+          snap->Transition(a, AttrState::kReady);
+        }
+        break;
+      case AttrState::kEnabled:
+        if (ready) snap->Transition(a, AttrState::kReadyEnabled);
+        break;
+      case AttrState::kReady:
+        if (cond == expr::Tribool::kTrue) {
+          snap->Transition(a, AttrState::kReadyEnabled);
+        } else if (cond == expr::Tribool::kFalse) {
+          snap->Transition(a, AttrState::kDisabled);
+        }
+        break;
+      case AttrState::kComputed:
+        if (cond == expr::Tribool::kTrue) {
+          snap->Transition(a, AttrState::kValue);
+        } else if (cond == expr::Tribool::kFalse) {
+          snap->Transition(a, AttrState::kDisabled);
+        }
+        break;
+      case AttrState::kReadyEnabled:
+        break;  // waiting for the task to complete
+      case AttrState::kValue:
+      case AttrState::kDisabled:
+        break;  // stable (unreachable: filtered above)
+    }
+  }
+}
+
+void Prequalifier::BackwardPass(const Snapshot& snap) {
+  // Reverse topological sweep computing which unstable attributes are still
+  // needed for all targets to stabilize. An attribute is needed if it is an
+  // unstable target, or if some needed consumer may still use it:
+  //   - a data consumer whose task may still run (condition not false) and
+  //     whose value is not already known;
+  //   - a condition consumer whose condition is still unresolved.
+  // Everything else is unneeded (backward propagation) and will be kept out
+  // of the candidate pool.
+  const auto& order = schema_->topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const AttributeId a = *it;
+    if (snap.IsStableAttr(a)) {
+      needed_[static_cast<size_t>(a)] = 0;
+      continue;
+    }
+    bool needed = schema_->is_target(a);
+    if (!needed) {
+      for (AttributeId b : schema_->data_consumers(a)) {
+        if (needed_[static_cast<size_t>(b)] != 0 && !snap.ValueKnown(b) &&
+            cond_state_[static_cast<size_t>(b)] != expr::Tribool::kFalse) {
+          needed = true;
+          break;
+        }
+      }
+    }
+    if (!needed) {
+      for (AttributeId b : schema_->cond_consumers(a)) {
+        if (needed_[static_cast<size_t>(b)] != 0 && !snap.IsStableAttr(b) &&
+            cond_state_[static_cast<size_t>(b)] == expr::Tribool::kUnknown) {
+          needed = true;
+          break;
+        }
+      }
+    }
+    needed_[static_cast<size_t>(a)] = needed ? 1 : 0;
+  }
+}
+
+void Prequalifier::CollectCandidates(const Snapshot& snap) {
+  candidates_.clear();
+  for (AttributeId a : schema_->topo_order()) {
+    if (schema_->is_source(a)) continue;
+    const AttrState state = snap.state(a);
+    const bool runnable =
+        state == AttrState::kReadyEnabled ||
+        (strategy_.speculative && state == AttrState::kReady);
+    if (!runnable) continue;
+    if (strategy_.unneeded_detection() && needed_[static_cast<size_t>(a)] == 0) {
+      if (counted_unneeded_[static_cast<size_t>(a)] == 0) {
+        counted_unneeded_[static_cast<size_t>(a)] = 1;
+        ++unneeded_skipped_;
+      }
+      continue;
+    }
+    candidates_.push_back(a);
+  }
+}
+
+}  // namespace dflow::core

@@ -1,0 +1,84 @@
+#ifndef DFLOW_CORE_PREQUALIFIER_H_
+#define DFLOW_CORE_PREQUALIFIER_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "core/schema.h"
+#include "core/snapshot.h"
+#include "core/strategy.h"
+#include "expr/tribool.h"
+
+namespace dflow::core {
+
+// The prequalifier of the Figure 2 architecture: after each batch of new
+// attribute values it (re)computes attribute states and the candidate task
+// pool.
+//
+// With option 'P' (Propagation Algorithm, §4 / [HLS+99b]) an Update pass
+// performs, in one forward sweep in topological order:
+//   - *eager evaluation* of enabling conditions: Kleene partial evaluation
+//     over the stable prefix, so attributes can become ENABLED or DISABLED
+//     before all of their condition inputs are stable (e.g. the coat
+//     inventory check disabled from db_load alone);
+//   - *forward propagation*: an eagerly DISABLED attribute is stable with
+//     value ⊥, which may immediately resolve conditions of later attributes
+//     within the same sweep;
+// and in one backward sweep in reverse topological order:
+//   - *backward propagation*: detection of attributes whose values are
+//     unneeded for completing the instance (their consumers are all stable,
+//     value-known, disabled, or themselves unneeded). Unneeded tasks never
+//     enter the candidate pool.
+// Both sweeps are linear in the size of the decision flow, matching the
+// paper's cost claim, and run to fixpoint in a single pass each because
+// condition inputs always precede an attribute in topological order.
+//
+// With option 'N' (naive) a condition is evaluated only once all of its
+// inputs are stable, and no unneeded detection is performed.
+//
+// Options 'S'/'C' select whether READY (speculative) tasks are candidates
+// in addition to READY+ENABLED ones.
+class Prequalifier {
+ public:
+  Prequalifier(const Schema* schema, const Strategy& strategy);
+
+  // One prequalifying pass: advances states in `snap` (ENABLED / DISABLED /
+  // READY / READY+ENABLED / COMPUTED resolution) and recomputes the
+  // candidate pool. Call after instance start and after every new value.
+  void Update(Snapshot* snap);
+
+  // Candidate attributes whose tasks are eligible for execution, in
+  // ascending topological order. The engine filters out tasks it has
+  // already launched.
+  const std::vector<AttributeId>& candidates() const { return candidates_; }
+
+  // True if `a`'s value is (still possibly) needed for successful
+  // completion. Always true under option 'N'. Meaningful after Update().
+  bool needed(AttributeId a) const { return needed_[static_cast<size_t>(a)] != 0; }
+
+  // Attributes disabled before all their condition inputs stabilized.
+  int eager_disables() const { return eager_disables_; }
+  // Runnable-but-unneeded tasks pruned from the pool so far (counted once
+  // per attribute).
+  int unneeded_skipped() const { return unneeded_skipped_; }
+
+ private:
+  expr::Tribool ConditionState(const Snapshot& snap, AttributeId a) const;
+  void ForwardPass(Snapshot* snap);
+  void BackwardPass(const Snapshot& snap);
+  void CollectCandidates(const Snapshot& snap);
+
+  const Schema* schema_;
+  Strategy strategy_;
+  // Cached condition truth per attribute; kUnknown until determined.
+  std::vector<expr::Tribool> cond_state_;
+  std::vector<char> needed_;
+  std::vector<char> counted_unneeded_;
+  std::vector<AttributeId> candidates_;
+  int eager_disables_ = 0;
+  int unneeded_skipped_ = 0;
+};
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_PREQUALIFIER_H_

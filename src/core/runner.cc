@@ -1,0 +1,108 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/rng.h"
+#include "sim/infinite_service.h"
+
+namespace dflow::core {
+
+InstanceResult RunSingle(const Schema& schema, const SourceBinding& sources,
+                         uint64_t instance_seed, const Strategy& strategy,
+                         sim::Simulator* sim, sim::QueryService* service) {
+  ExecutionEngine engine(&schema, strategy, sim, service);
+  std::optional<InstanceResult> result;
+  engine.StartInstance(sources, instance_seed,
+                       [&result](InstanceResult r) { result = std::move(r); });
+  while (!result.has_value() && sim->RunOne()) {
+  }
+  // A well-formed schema always terminates (see core/prequalifier.cc): the
+  // topologically-least unstable needed attribute is always a candidate.
+  return std::move(*result);
+}
+
+InstanceResult RunSingleInfinite(const Schema& schema,
+                                 const SourceBinding& sources,
+                                 uint64_t instance_seed,
+                                 const Strategy& strategy) {
+  sim::Simulator sim;
+  sim::InfiniteResourceService service(&sim);
+  return RunSingle(schema, sources, instance_seed, strategy, &sim, &service);
+}
+
+OpenLoadStats RunOpenLoad(const Schema& schema,
+                          const BindingProvider& bindings,
+                          const Strategy& strategy,
+                          const OpenLoadOptions& options) {
+  sim::Simulator sim;
+  sim::DatabaseServer db(&sim, options.db, options.seed);
+  ExecutionEngine engine(&schema, strategy, &sim, &db);
+  Rng arrivals(Rng::Mix(options.seed, 0xa5a5a5a5ULL));
+
+  const int total = options.warmup_instances + options.num_instances;
+  const double mean_interarrival_ms =
+      1000.0 / options.arrivals_per_second;
+
+  OpenLoadStats stats;
+  double sum_response = 0;
+  double sum_work = 0;
+  double sum_lmpl = 0;
+  int completions = 0;
+  double first_measured_completion = 0;
+  double last_measured_completion = 0;
+  // Time-integral of active instances, for Impl.
+  double impl_area = 0;
+  double impl_mark = 0;
+  int active = 0;
+
+  auto update_impl = [&](int delta) {
+    impl_area += active * (sim.now() - impl_mark);
+    impl_mark = sim.now();
+    active += delta;
+  };
+
+  // Schedule all arrivals up front (exponential interarrival times).
+  double at = 0;
+  for (int i = 0; i < total; ++i) {
+    at += arrivals.Exponential(mean_interarrival_ms);
+    sim.ScheduleAt(at, [&, i]() {
+      update_impl(+1);
+      auto [sources, seed] = bindings(i);
+      engine.StartInstance(
+          std::move(sources), seed, [&, i](InstanceResult result) {
+            update_impl(-1);
+            ++completions;
+            if (completions <= options.warmup_instances) return;
+            const double response = result.metrics.ResponseTime();
+            sum_response += response;
+            stats.max_response_ms = std::max(stats.max_response_ms, response);
+            sum_work += static_cast<double>(result.metrics.work);
+            sum_lmpl += result.metrics.MeanLmpl();
+            ++stats.completed;
+            if (stats.completed == 1) {
+              first_measured_completion = sim.now();
+            }
+            last_measured_completion = sim.now();
+          });
+    });
+  }
+  sim.RunUntilEmpty();
+
+  if (stats.completed > 0) {
+    stats.mean_response_ms = sum_response / stats.completed;
+    stats.mean_work = sum_work / stats.completed;
+    stats.mean_lmpl = sum_lmpl / stats.completed;
+    const double span = last_measured_completion - first_measured_completion;
+    if (span > 0) {
+      stats.achieved_throughput = (stats.completed - 1) * 1000.0 / span;
+    }
+  }
+  if (sim.now() > 0) {
+    stats.mean_impl = impl_area / sim.now();
+    stats.mean_gmpl = db.MeanGmpl();
+  }
+  return stats;
+}
+
+}  // namespace dflow::core

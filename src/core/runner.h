@@ -1,0 +1,62 @@
+#ifndef DFLOW_CORE_RUNNER_H_
+#define DFLOW_CORE_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "core/engine.h"
+#include "core/schema.h"
+#include "core/snapshot.h"
+#include "core/strategy.h"
+#include "sim/database_server.h"
+
+namespace dflow::core {
+
+// Runs one instance against the supplied service/simulator to completion.
+InstanceResult RunSingle(const Schema& schema, const SourceBinding& sources,
+                         uint64_t instance_seed, const Strategy& strategy,
+                         sim::Simulator* sim, sim::QueryService* service);
+
+// Runs one instance with unbounded database resources (a query of cost c
+// takes c time units): the §5 "infinite resources" setting. ResponseTime()
+// of the returned metrics is the paper's TimeInUnits; `work` is Work.
+InstanceResult RunSingleInfinite(const Schema& schema,
+                                 const SourceBinding& sources,
+                                 uint64_t instance_seed,
+                                 const Strategy& strategy);
+
+// ---------------------------------------------------------------------------
+// Open-system workload: Poisson arrivals against a bounded DatabaseServer
+// (the §5 finite-resources experiments, Figure 9(b)-(d)).
+
+// Supplies the source bindings and task seed for the i-th arriving instance.
+using BindingProvider =
+    std::function<std::pair<SourceBinding, uint64_t>(int index)>;
+
+struct OpenLoadOptions {
+  double arrivals_per_second = 10.0;
+  int num_instances = 1000;    // measured after warmup
+  int warmup_instances = 100;  // completions discarded from the averages
+  sim::DatabaseParams db;
+  uint64_t seed = 1;
+};
+
+struct OpenLoadStats {
+  int completed = 0;               // measured completions
+  double mean_response_ms = 0;     // the paper's TimeInSeconds (in ms)
+  double max_response_ms = 0;
+  double mean_work = 0;            // units per instance
+  double mean_lmpl = 0;            // per-instance multiprogramming level
+  double mean_impl = 0;            // time-avg concurrently active instances
+  double mean_gmpl = 0;            // time-avg units in the database
+  double achieved_throughput = 0;  // completions per second over the run
+};
+
+OpenLoadStats RunOpenLoad(const Schema& schema, const BindingProvider& bindings,
+                          const Strategy& strategy,
+                          const OpenLoadOptions& options);
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_RUNNER_H_

@@ -1,0 +1,32 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+namespace dflow::core {
+
+std::vector<AttributeId> Scheduler::SelectForLaunch(
+    const std::vector<AttributeId>& candidates, int in_flight) const {
+  if (candidates.empty()) return {};
+
+  const int pool = static_cast<int>(candidates.size()) + in_flight;
+  const int target =
+      std::max(1, (strategy_.pct_permitted * pool + 99) / 100);
+  const int allowed =
+      std::min(static_cast<int>(candidates.size()),
+               std::max(0, target - in_flight));
+  if (allowed <= 0) return {};
+
+  std::vector<AttributeId> ordered = candidates;
+  if (strategy_.heuristic == Strategy::Heuristic::kCheapest) {
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [this](AttributeId a, AttributeId b) {
+                       return schema_->task(a).cost_units <
+                              schema_->task(b).cost_units;
+                     });
+  }
+  // Earliest: candidates are already in ascending topological order.
+  ordered.resize(static_cast<size_t>(allowed));
+  return ordered;
+}
+
+}  // namespace dflow::core

@@ -1,0 +1,41 @@
+#include "core/schema.h"
+
+#include <sstream>
+
+namespace dflow::core {
+
+AttributeId Schema::FindAttribute(std::string_view name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name == name) return static_cast<AttributeId>(i);
+  }
+  return kInvalidAttribute;
+}
+
+int64_t Schema::TotalQueryCost() const {
+  int64_t total = 0;
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    if (!attrs_[i].is_source) total += tasks_[i].cost_units;
+  }
+  return total;
+}
+
+std::string Schema::DebugString() const {
+  std::ostringstream os;
+  auto name = [this](AttributeId a) { return attribute(a).name; };
+  for (AttributeId a = 0; a < num_attributes(); ++a) {
+    const Attribute& attr = attribute(a);
+    os << (attr.is_source ? "source " : (attr.is_target ? "target " : "attr   "))
+       << attr.name;
+    if (!attr.module_path.empty()) os << "  [module " << attr.module_path << "]";
+    if (!attr.is_source) {
+      os << "\n  cost: " << task(a).cost_units
+         << "\n  cond: " << enabling_condition(a).ToString(name)
+         << "\n  data inputs:";
+      for (AttributeId in : data_inputs(a)) os << " " << name(in);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dflow::core

@@ -1,0 +1,218 @@
+#include "core/schema_builder.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+namespace dflow::core {
+
+namespace {
+
+bool SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+AttributeId SchemaBuilder::AddSource(std::string name) {
+  const AttributeId id = static_cast<AttributeId>(schema_.attrs_.size());
+  schema_.attrs_.push_back(
+      Attribute{std::move(name), /*is_source=*/true, /*is_target=*/false,
+                CurrentModulePath()});
+  schema_.conditions_.push_back(expr::Condition::True());
+  schema_.tasks_.push_back(Task{});
+  schema_.data_inputs_.emplace_back();
+  schema_.cond_inputs_.emplace_back();
+  return id;
+}
+
+AttributeId SchemaBuilder::AddAttribute(std::string name, Task task,
+                                        std::vector<AttributeId> data_inputs,
+                                        expr::Condition condition,
+                                        bool is_target) {
+  const AttributeId id = static_cast<AttributeId>(schema_.attrs_.size());
+  schema_.attrs_.push_back(Attribute{std::move(name), /*is_source=*/false,
+                                     is_target, CurrentModulePath()});
+  schema_.conditions_.push_back(WrapWithModules(std::move(condition)));
+  schema_.tasks_.push_back(std::move(task));
+  schema_.data_inputs_.push_back(std::move(data_inputs));
+  schema_.cond_inputs_.push_back(schema_.conditions_.back().Attributes());
+  return id;
+}
+
+AttributeId SchemaBuilder::AddQuery(std::string name, int cost_units,
+                                    TaskFn fn,
+                                    std::vector<AttributeId> data_inputs,
+                                    expr::Condition condition,
+                                    bool is_target) {
+  return AddAttribute(std::move(name), Task::Query(cost_units, std::move(fn)),
+                      std::move(data_inputs), std::move(condition), is_target);
+}
+
+AttributeId SchemaBuilder::AddSynthesis(std::string name, TaskFn fn,
+                                        std::vector<AttributeId> data_inputs,
+                                        expr::Condition condition,
+                                        bool is_target) {
+  return AddAttribute(std::move(name), Task::Synthesis(std::move(fn)),
+                      std::move(data_inputs), std::move(condition), is_target);
+}
+
+void SchemaBuilder::MarkTarget(AttributeId a) {
+  schema_.attrs_[static_cast<size_t>(a)].is_target = true;
+}
+
+void SchemaBuilder::BeginModule(std::string name, expr::Condition condition) {
+  module_stack_.push_back(PendingModule{std::move(name), std::move(condition)});
+}
+
+void SchemaBuilder::EndModule() {
+  if (module_stack_.empty()) {
+    module_underflow_ = true;
+    return;
+  }
+  module_stack_.pop_back();
+}
+
+std::string SchemaBuilder::CurrentModulePath() const {
+  std::string path;
+  for (const PendingModule& m : module_stack_) {
+    if (!path.empty()) path += "/";
+    path += m.name;
+  }
+  return path;
+}
+
+expr::Condition SchemaBuilder::WrapWithModules(expr::Condition condition) const {
+  // Flattening (Fig 1a -> 1b): enclosing module conditions are ANDed in.
+  expr::Condition result = std::move(condition);
+  for (auto it = module_stack_.rbegin(); it != module_stack_.rend(); ++it) {
+    result = it->condition.AndWith(result);
+  }
+  return result;
+}
+
+std::optional<Schema> SchemaBuilder::Build(std::string* error) {
+  Schema& s = schema_;
+  const int n = s.num_attributes();
+
+  if (module_underflow_) {
+    SetError(error, "EndModule() called with no open module");
+    return std::nullopt;
+  }
+  if (!module_stack_.empty()) {
+    SetError(error, "Build() called with unclosed module '" +
+                        module_stack_.back().name + "'");
+    return std::nullopt;
+  }
+  if (n == 0) {
+    SetError(error, "schema has no attributes");
+    return std::nullopt;
+  }
+
+  std::unordered_set<std::string> names;
+  for (AttributeId a = 0; a < n; ++a) {
+    const Attribute& attr = s.attribute(a);
+    if (attr.name.empty()) {
+      SetError(error, "attribute " + std::to_string(a) + " has an empty name");
+      return std::nullopt;
+    }
+    if (!names.insert(attr.name).second) {
+      SetError(error, "duplicate attribute name '" + attr.name + "'");
+      return std::nullopt;
+    }
+    if (attr.is_source && attr.is_target) {
+      SetError(error, "attribute '" + attr.name + "' is both source and target");
+      return std::nullopt;
+    }
+    for (AttributeId in : s.data_inputs_[static_cast<size_t>(a)]) {
+      if (in < 0 || in >= n) {
+        SetError(error, "attribute '" + attr.name +
+                            "' has an out-of-range data input");
+        return std::nullopt;
+      }
+      if (in == a) {
+        SetError(error, "attribute '" + attr.name + "' is its own data input");
+        return std::nullopt;
+      }
+    }
+    for (AttributeId in : s.cond_inputs_[static_cast<size_t>(a)]) {
+      if (in < 0 || in >= n) {
+        SetError(error, "condition of '" + attr.name +
+                            "' references an out-of-range attribute");
+        return std::nullopt;
+      }
+      if (in == a) {
+        SetError(error, "condition of '" + attr.name + "' references itself");
+        return std::nullopt;
+      }
+    }
+    if (!attr.is_source && !s.tasks_[static_cast<size_t>(a)].fn) {
+      SetError(error, "attribute '" + attr.name + "' has no task function");
+      return std::nullopt;
+    }
+    if (!attr.is_source && s.tasks_[static_cast<size_t>(a)].cost_units < 0) {
+      SetError(error, "attribute '" + attr.name + "' has negative cost");
+      return std::nullopt;
+    }
+  }
+
+  // Reverse adjacency + Kahn's algorithm over the union of data and
+  // enabling edges (the §2 dependency graph).
+  s.data_consumers_.assign(static_cast<size_t>(n), {});
+  s.cond_consumers_.assign(static_cast<size_t>(n), {});
+  std::vector<int> in_degree(static_cast<size_t>(n), 0);
+  for (AttributeId a = 0; a < n; ++a) {
+    for (AttributeId in : s.data_inputs_[static_cast<size_t>(a)]) {
+      s.data_consumers_[static_cast<size_t>(in)].push_back(a);
+      ++in_degree[static_cast<size_t>(a)];
+    }
+    for (AttributeId in : s.cond_inputs_[static_cast<size_t>(a)]) {
+      s.cond_consumers_[static_cast<size_t>(in)].push_back(a);
+      ++in_degree[static_cast<size_t>(a)];
+    }
+  }
+
+  std::deque<AttributeId> frontier;
+  for (AttributeId a = 0; a < n; ++a) {
+    if (in_degree[static_cast<size_t>(a)] == 0) frontier.push_back(a);
+  }
+  s.topo_order_.clear();
+  s.topo_order_.reserve(static_cast<size_t>(n));
+  while (!frontier.empty()) {
+    const AttributeId a = frontier.front();
+    frontier.pop_front();
+    s.topo_order_.push_back(a);
+    auto relax = [&](const std::vector<AttributeId>& consumers) {
+      for (AttributeId b : consumers) {
+        if (--in_degree[static_cast<size_t>(b)] == 0) frontier.push_back(b);
+      }
+    };
+    relax(s.data_consumers_[static_cast<size_t>(a)]);
+    relax(s.cond_consumers_[static_cast<size_t>(a)]);
+  }
+  if (static_cast<int>(s.topo_order_.size()) != n) {
+    SetError(error, "dependency graph has a cycle (schema is not well-formed)");
+    return std::nullopt;
+  }
+  s.topo_index_.assign(static_cast<size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    s.topo_index_[static_cast<size_t>(s.topo_order_[static_cast<size_t>(i)])] = i;
+  }
+
+  s.sources_.clear();
+  s.targets_.clear();
+  for (AttributeId a = 0; a < n; ++a) {
+    if (s.attribute(a).is_source) s.sources_.push_back(a);
+    if (s.attribute(a).is_target) s.targets_.push_back(a);
+  }
+  if (s.targets_.empty()) {
+    SetError(error, "schema has no target attribute");
+    return std::nullopt;
+  }
+
+  return std::move(schema_);
+}
+
+}  // namespace dflow::core

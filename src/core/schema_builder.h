@@ -1,0 +1,82 @@
+#ifndef DFLOW_CORE_SCHEMA_BUILDER_H_
+#define DFLOW_CORE_SCHEMA_BUILDER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/schema.h"
+#include "core/task.h"
+#include "expr/condition.h"
+
+namespace dflow::core {
+
+// Incrementally assembles a decision-flow schema and validates it.
+//
+// Modules (the dashed groupings of Figure 1(a)) are supported through
+// BeginModule/EndModule: the enabling condition of every enclosing module is
+// ANDed into each attribute declared inside, which is exactly the paper's
+// flattening construction (Figure 1(b): "the enabling condition for the
+// boy's coat promo module has been 'anded' into each of the enabling
+// conditions for the four tasks inside").
+//
+// Build() validates:
+//   - attribute names are unique and non-empty;
+//   - every edge endpoint is a declared attribute;
+//   - no attribute is its own input;
+//   - the dependency graph (data + enabling edges) is acyclic (§2
+//     well-formedness);
+//   - every target is a non-source attribute.
+class SchemaBuilder {
+ public:
+  // Declares a source attribute (state VALUE from the start; bound per
+  // instance).
+  AttributeId AddSource(std::string name);
+
+  // Declares a non-source attribute computed by `task` from `data_inputs`,
+  // guarded by `condition` (ANDed with any enclosing modules' conditions).
+  AttributeId AddAttribute(std::string name, Task task,
+                           std::vector<AttributeId> data_inputs,
+                           expr::Condition condition = expr::Condition::True(),
+                           bool is_target = false);
+
+  // Sugar for the two task kinds.
+  AttributeId AddQuery(std::string name, int cost_units, TaskFn fn,
+                       std::vector<AttributeId> data_inputs,
+                       expr::Condition condition = expr::Condition::True(),
+                       bool is_target = false);
+  AttributeId AddSynthesis(std::string name, TaskFn fn,
+                           std::vector<AttributeId> data_inputs,
+                           expr::Condition condition = expr::Condition::True(),
+                           bool is_target = false);
+
+  void MarkTarget(AttributeId a);
+
+  // Opens a module whose condition guards everything declared until the
+  // matching EndModule(). Modules nest.
+  void BeginModule(std::string name, expr::Condition condition);
+  void EndModule();
+
+  // Validates and produces the schema. On failure returns nullopt and, if
+  // `error` is non-null, stores a description of the first problem found.
+  // The builder is consumed (moved-from) on success.
+  std::optional<Schema> Build(std::string* error = nullptr);
+
+ private:
+  struct PendingModule {
+    std::string name;
+    expr::Condition condition;
+  };
+
+  std::string CurrentModulePath() const;
+  expr::Condition WrapWithModules(expr::Condition condition) const;
+
+  Schema schema_;
+  std::vector<PendingModule> module_stack_;
+  bool module_underflow_ = false;
+};
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_SCHEMA_BUILDER_H_

@@ -1,0 +1,79 @@
+#include "core/semantics.h"
+
+#include "expr/predicate.h"
+#include "expr/tribool.h"
+
+namespace dflow::core {
+
+CompleteSnapshot EvaluateComplete(const Schema& schema,
+                                  const SourceBinding& sources,
+                                  uint64_t instance_seed) {
+  const int n = schema.num_attributes();
+  CompleteSnapshot snap;
+  snap.values.assign(static_cast<size_t>(n), Value::Null());
+  snap.enabled.assign(static_cast<size_t>(n), false);
+
+  expr::MapEnv env;
+  for (const auto& [attr, value] : sources) {
+    snap.values[static_cast<size_t>(attr)] = value;
+  }
+  for (AttributeId s : schema.sources()) {
+    snap.enabled[static_cast<size_t>(s)] = true;
+    env.Set(s, snap.values[static_cast<size_t>(s)]);
+  }
+
+  for (AttributeId a : schema.topo_order()) {
+    if (schema.is_source(a)) continue;
+    const expr::Tribool cond = schema.enabling_condition(a).Eval(env);
+    // Every condition input precedes `a` topologically and is already in
+    // `env`, so the condition is definite here.
+    const bool enabled = cond == expr::Tribool::kTrue;
+    snap.enabled[static_cast<size_t>(a)] = enabled;
+    if (enabled) {
+      TaskContext ctx;
+      ctx.attr = a;
+      ctx.instance_seed = instance_seed;
+      ctx.input = [&snap](AttributeId in) {
+        return snap.values[static_cast<size_t>(in)];
+      };
+      snap.values[static_cast<size_t>(a)] = schema.task(a).fn(ctx);
+    }
+    env.Set(a, snap.values[static_cast<size_t>(a)]);
+  }
+  return snap;
+}
+
+bool IsCompatible(const Schema& schema, const CompleteSnapshot& complete,
+                  const Snapshot& observed, std::string* why) {
+  auto fail = [why](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+
+  for (AttributeId t : schema.targets()) {
+    if (!observed.IsStableAttr(t)) {
+      return fail("target '" + schema.attribute(t).name + "' is not stable");
+    }
+  }
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    if (schema.is_source(a) || !observed.IsStableAttr(a)) continue;
+    const bool expect_enabled = complete.enabled[static_cast<size_t>(a)];
+    const AttrState state = observed.state(a);
+    if (expect_enabled && state != AttrState::kValue) {
+      return fail("attribute '" + schema.attribute(a).name +
+                  "' should be VALUE but is " + core::ToString(state));
+    }
+    if (!expect_enabled && state != AttrState::kDisabled) {
+      return fail("attribute '" + schema.attribute(a).name +
+                  "' should be DISABLED but is " + core::ToString(state));
+    }
+    if (observed.value(a) != complete.values[static_cast<size_t>(a)]) {
+      return fail("attribute '" + schema.attribute(a).name + "' has value " +
+                  observed.value(a).ToString() + ", expected " +
+                  complete.values[static_cast<size_t>(a)].ToString());
+    }
+  }
+  return true;
+}
+
+}  // namespace dflow::core

@@ -1,0 +1,45 @@
+#ifndef DFLOW_CORE_SEMANTICS_H_
+#define DFLOW_CORE_SEMANTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "core/schema.h"
+#include "core/snapshot.h"
+
+namespace dflow::core {
+
+// The declarative semantics of §2: the *unique complete snapshot* of an
+// instance. For every non-source attribute, `enabled[a]` records whether its
+// enabling condition holds over the complete snapshot, and `values[a]` is
+// the task's value when enabled and the null value when disabled. Source
+// attributes are recorded as enabled with their bound values.
+struct CompleteSnapshot {
+  std::vector<Value> values;
+  std::vector<bool> enabled;
+};
+
+// Computes the unique complete snapshot by direct topological evaluation
+// (the "straightforward approach" of §2: conditions and tasks evaluated in
+// dependency order). This is the correctness oracle the optimized engine is
+// validated against; it performs every enabled task's work, so it is only
+// used for reference, never for performance.
+CompleteSnapshot EvaluateComplete(const Schema& schema,
+                                  const SourceBinding& sources,
+                                  uint64_t instance_seed);
+
+// Checks the §2 correctness criterion: an execution is correct if it
+// produced states and values for all target attributes and these are
+// compatible with the unique complete snapshot. This checker additionally
+// verifies the stronger property our engine guarantees — *every* stabilized
+// attribute agrees with the complete snapshot (monotonic assignment means
+// nothing it published can be retracted). On failure returns false and, if
+// `why` is non-null, describes the first mismatch.
+bool IsCompatible(const Schema& schema, const CompleteSnapshot& complete,
+                  const Snapshot& observed, std::string* why = nullptr);
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_SEMANTICS_H_

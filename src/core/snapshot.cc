@@ -1,0 +1,63 @@
+#include "core/snapshot.h"
+
+#include <sstream>
+
+namespace dflow::core {
+
+Snapshot::Snapshot(const Schema* schema)
+    : schema_(schema),
+      states_(static_cast<size_t>(schema->num_attributes()),
+              AttrState::kUninitialized),
+      values_(static_cast<size_t>(schema->num_attributes())) {
+  for (AttributeId s : schema_->sources()) {
+    states_[static_cast<size_t>(s)] = AttrState::kValue;
+    ++num_stable_;
+  }
+}
+
+void Snapshot::BindSources(const SourceBinding& sources) {
+  for (const auto& [attr, value] : sources) {
+    values_[static_cast<size_t>(attr)] = value;
+  }
+}
+
+std::optional<Value> Snapshot::StableValue(AttributeId id) const {
+  if (!IsStable(states_[static_cast<size_t>(id)])) return std::nullopt;
+  return values_[static_cast<size_t>(id)];
+}
+
+bool Snapshot::Transition(AttributeId a, AttrState to, Value value) {
+  const AttrState from = states_[static_cast<size_t>(a)];
+  if (!IsValidTransition(from, to)) return false;
+  states_[static_cast<size_t>(a)] = to;
+  if (to == AttrState::kValue || to == AttrState::kComputed) {
+    // Entering VALUE from COMPUTED keeps the speculatively computed value.
+    if (from != AttrState::kComputed) {
+      values_[static_cast<size_t>(a)] = std::move(value);
+    }
+  } else if (to == AttrState::kDisabled) {
+    values_[static_cast<size_t>(a)] = Value::Null();
+  }
+  if (IsStable(to)) ++num_stable_;
+  if (listener_) listener_(a, from, to);
+  return true;
+}
+
+bool Snapshot::AllTargetsStable() const {
+  for (AttributeId t : schema_->targets()) {
+    if (!IsStableAttr(t)) return false;
+  }
+  return true;
+}
+
+std::string Snapshot::DebugString() const {
+  std::ostringstream os;
+  for (AttributeId a = 0; a < schema_->num_attributes(); ++a) {
+    os << schema_->attribute(a).name << ": " << ToString(state(a));
+    if (ValueKnown(a)) os << " = " << value(a).ToString();
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dflow::core

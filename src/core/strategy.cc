@@ -1,0 +1,60 @@
+#include "core/strategy.h"
+
+#include <cctype>
+
+namespace dflow::core {
+
+std::string Strategy::ToString() const {
+  std::string s;
+  s += propagation ? 'P' : 'N';
+  s += speculative ? 'S' : 'C';
+  s += heuristic == Heuristic::kEarliest ? 'E' : 'C';
+  s += std::to_string(pct_permitted);
+  return s;
+}
+
+std::optional<Strategy> Strategy::Parse(std::string_view text) {
+  if (text.size() < 4) return std::nullopt;
+  Strategy s;
+  const char p = static_cast<char>(std::toupper(text[0]));
+  const char spec = static_cast<char>(std::toupper(text[1]));
+  const char heur = static_cast<char>(std::toupper(text[2]));
+  if (p == 'P') {
+    s.propagation = true;
+  } else if (p == 'N') {
+    s.propagation = false;
+  } else {
+    return std::nullopt;
+  }
+  if (spec == 'S') {
+    s.speculative = true;
+  } else if (spec == 'C') {
+    s.speculative = false;
+  } else {
+    return std::nullopt;
+  }
+  if (heur == 'E') {
+    s.heuristic = Heuristic::kEarliest;
+  } else if (heur == 'C') {
+    s.heuristic = Heuristic::kCheapest;
+  } else {
+    return std::nullopt;
+  }
+  int pct = 0;
+  size_t i = 3;
+  bool any_digit = false;
+  for (; i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]));
+       ++i) {
+    pct = pct * 10 + (text[i] - '0');
+    any_digit = true;
+    if (pct > 100) return std::nullopt;
+  }
+  if (!any_digit) return std::nullopt;
+  if (i < text.size()) {
+    if (text[i] != '%' || i + 1 != text.size()) return std::nullopt;
+  }
+  s.pct_permitted = pct;
+  return s;
+}
+
+}  // namespace dflow::core

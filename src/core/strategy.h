@@ -1,0 +1,60 @@
+#ifndef DFLOW_CORE_STRATEGY_H_
+#define DFLOW_CORE_STRATEGY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dflow::core {
+
+// Ablation switches: the paper's option 'P' bundles two mechanisms — eager
+// partial evaluation of enabling conditions and backward detection of
+// unneeded attributes. They default to the strategy's `propagation` flag;
+// overriding one isolates its contribution (see bench/ablation_propagation).
+
+// An execution strategy: the four option axes of §5, printed/parsed in the
+// paper's compact notation, e.g. "PSE80" = Propagation + Speculative +
+// Earliest-first scheduling at 80% permitted parallelism; "NCC0" = Naive +
+// Conservative + Cheapest-first, fully serial.
+struct Strategy {
+  enum class Heuristic { kEarliest, kCheapest };
+
+  // 'P' (Propagation Algorithm: eager condition evaluation + forward /
+  // backward propagation of DISABLED / unneeded facts) vs 'N' (naive).
+  bool propagation = true;
+  // 'S' (Speculative: READY tasks join the candidate pool) vs
+  // 'C' (Conservative: only READY+ENABLED tasks run).
+  bool speculative = false;
+  // 'E' (topologically-earliest first) vs 'C' (cheapest first).
+  Heuristic heuristic = Heuristic::kEarliest;
+  // %Permitted ∈ [0,100]: the fraction of the candidate pool the scheduler
+  // may keep in flight concurrently; at least one task is always permitted,
+  // so 0 means fully serial execution.
+  int pct_permitted = 0;
+
+  // Ablation overrides (not part of the parse/print notation): when set,
+  // they replace `propagation` for the respective mechanism.
+  std::optional<bool> eager_conditions_override;
+  std::optional<bool> unneeded_detection_override;
+
+  // Effective feature flags consulted by the prequalifier.
+  bool eager_conditions() const {
+    return eager_conditions_override.value_or(propagation);
+  }
+  bool unneeded_detection() const {
+    return unneeded_detection_override.value_or(propagation);
+  }
+
+  // e.g. "PSE80".
+  std::string ToString() const;
+  // Parses "PSE80"-style strings (case-insensitive, % suffix allowed, e.g.
+  // "pce0", "PC*100" is *not* accepted — '*' families are expanded by the
+  // benches). Returns nullopt on malformed input.
+  static std::optional<Strategy> Parse(std::string_view text);
+
+  friend bool operator==(const Strategy&, const Strategy&) = default;
+};
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_STRATEGY_H_

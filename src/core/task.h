@@ -1,0 +1,60 @@
+#ifndef DFLOW_CORE_TASK_H_
+#define DFLOW_CORE_TASK_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "common/ids.h"
+#include "common/value.h"
+
+namespace dflow::core {
+
+// Evaluation context handed to a task's value function when the task
+// completes. `input(a)` returns the stable value of data input `a` (the
+// null Value if `a` stabilized DISABLED) — the engine guarantees all data
+// inputs are stable before a task may run, per §2: "A task can be executed
+// after all of its input attributes have become stable."
+struct TaskContext {
+  AttributeId attr = kInvalidAttribute;
+  // Per-instance seed; generated schemas derive deterministic values from
+  // (instance_seed, attr) so the reference evaluator can predict them.
+  uint64_t instance_seed = 0;
+  std::function<Value(AttributeId)> input;
+};
+
+// Computes the attribute's value. Must be deterministic in (context), must
+// tolerate null inputs (§2: tasks "must be capable of executing once their
+// input attributes are stable, even if some of them have value ⊥").
+using TaskFn = std::function<Value(const TaskContext&)>;
+
+// The unit of work producing one attribute (we adopt the paper's simplifying
+// assumption that each task produces a single attribute).
+//
+// A *foreign* task is external to the engine — in this library a database
+// query whose latency is modeled by a QueryService and whose cost is given
+// in units of processing (Table 1's module_cost). A *synthesis* task is a
+// user-defined function evaluated by the engine itself at zero simulated
+// cost.
+struct Task {
+  enum class Kind { kQuery, kSynthesis };
+
+  Kind kind = Kind::kSynthesis;
+  int cost_units = 0;  // > 0 for queries; 0 for synthesis tasks
+  TaskFn fn;
+
+  static Task Query(int cost_units, TaskFn fn) {
+    return Task{Kind::kQuery, cost_units, std::move(fn)};
+  }
+  static Task Synthesis(TaskFn fn) {
+    return Task{Kind::kSynthesis, 0, std::move(fn)};
+  }
+  // Synthesis task returning a fixed value; handy in tests and examples.
+  static Task Constant(Value v) {
+    return Synthesis([v = std::move(v)](const TaskContext&) { return v; });
+  }
+};
+
+}  // namespace dflow::core
+
+#endif  // DFLOW_CORE_TASK_H_

@@ -1,0 +1,168 @@
+#include "expr/condition.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dflow::expr {
+
+namespace {
+enum class NodeKind { kTrue, kFalse, kPred, kAnd, kOr, kNot };
+}  // namespace
+
+struct Condition::Node {
+  NodeKind kind;
+  std::optional<Predicate> pred;                       // kPred
+  std::vector<std::shared_ptr<const Node>> children;   // kAnd / kOr / kNot
+};
+
+Condition::Condition(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+Condition::Condition() : Condition(True()) {}
+
+Condition Condition::True() {
+  static const std::shared_ptr<const Node>& node =
+      *new std::shared_ptr<const Node>(new Node{NodeKind::kTrue, {}, {}});
+  return Condition(node);
+}
+
+Condition Condition::False() {
+  static const std::shared_ptr<const Node>& node =
+      *new std::shared_ptr<const Node>(new Node{NodeKind::kFalse, {}, {}});
+  return Condition(node);
+}
+
+Condition Condition::Pred(Predicate p) {
+  return Condition(std::make_shared<const Node>(
+      Node{NodeKind::kPred, std::move(p), {}}));
+}
+
+Condition Condition::All(std::vector<Condition> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kAnd;
+  node->children.reserve(children.size());
+  for (Condition& c : children) node->children.push_back(std::move(c.node_));
+  return Condition(std::move(node));
+}
+
+Condition Condition::Any(std::vector<Condition> children) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kOr;
+  node->children.reserve(children.size());
+  for (Condition& c : children) node->children.push_back(std::move(c.node_));
+  return Condition(std::move(node));
+}
+
+Condition Condition::Not(Condition child) {
+  auto node = std::make_shared<Node>();
+  node->kind = NodeKind::kNot;
+  node->children.push_back(std::move(child.node_));
+  return Condition(std::move(node));
+}
+
+Condition Condition::AndWith(const Condition& other) const {
+  // Keep flattened schemas tidy: true ∧ c = c.
+  if (IsLiteralTrue()) return other;
+  if (other.IsLiteralTrue()) return *this;
+  return All({*this, other});
+}
+
+Tribool Condition::Eval(const AttributeEnv& env) const {
+  struct Rec {
+    static Tribool Go(const Node& n, const AttributeEnv& env) {
+      switch (n.kind) {
+        case NodeKind::kTrue: return Tribool::kTrue;
+        case NodeKind::kFalse: return Tribool::kFalse;
+        case NodeKind::kPred: return n.pred->Eval(env);
+        case NodeKind::kAnd: {
+          Tribool acc = Tribool::kTrue;
+          for (const auto& c : n.children) {
+            acc = And(acc, Go(*c, env));
+            if (acc == Tribool::kFalse) return acc;  // short-circuit
+          }
+          return acc;
+        }
+        case NodeKind::kOr: {
+          Tribool acc = Tribool::kFalse;
+          for (const auto& c : n.children) {
+            acc = Or(acc, Go(*c, env));
+            if (acc == Tribool::kTrue) return acc;  // short-circuit
+          }
+          return acc;
+        }
+        case NodeKind::kNot:
+          // Qualified: Condition::Not would otherwise shadow the Tribool Not.
+          return expr::Not(Go(*n.children[0], env));
+      }
+      return Tribool::kUnknown;
+    }
+  };
+  return Rec::Go(*node_, env);
+}
+
+std::vector<AttributeId> Condition::Attributes() const {
+  std::vector<AttributeId> out;
+  struct Rec {
+    static void Go(const Node& n, std::vector<AttributeId>* out) {
+      if (n.kind == NodeKind::kPred) {
+        n.pred->CollectAttributes(out);
+        return;
+      }
+      for (const auto& c : n.children) Go(*c, out);
+    }
+  };
+  Rec::Go(*node_, &out);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Condition::IsLiteralTrue() const { return node_->kind == NodeKind::kTrue; }
+
+int Condition::NodeCount() const {
+  struct Rec {
+    static int Go(const Node& n) {
+      int count = 1;
+      for (const auto& c : n.children) count += Go(*c);
+      return count;
+    }
+  };
+  return Rec::Go(*node_);
+}
+
+std::string Condition::ToString(
+    const std::function<std::string(AttributeId)>& name) const {
+  struct Rec {
+    static std::string Go(const Node& n,
+                          const std::function<std::string(AttributeId)>& name) {
+      switch (n.kind) {
+        case NodeKind::kTrue: return "true";
+        case NodeKind::kFalse: return "false";
+        case NodeKind::kPred: return n.pred->ToString(name);
+        case NodeKind::kAnd:
+        case NodeKind::kOr: {
+          const char* sep = n.kind == NodeKind::kAnd ? " and " : " or ";
+          if (n.children.empty()) {
+            return n.kind == NodeKind::kAnd ? "true" : "false";
+          }
+          std::string s = "(";
+          for (size_t i = 0; i < n.children.size(); ++i) {
+            if (i > 0) s += sep;
+            s += Go(*n.children[i], name);
+          }
+          s += ")";
+          return s;
+        }
+        case NodeKind::kNot:
+          return "not " + Go(*n.children[0], name);
+      }
+      return "?";
+    }
+  };
+  return Rec::Go(*node_, name);
+}
+
+std::string Condition::ToString() const {
+  return ToString([](AttributeId id) { return "a" + std::to_string(id); });
+}
+
+}  // namespace dflow::expr

@@ -1,0 +1,67 @@
+#ifndef DFLOW_EXPR_CONDITION_H_
+#define DFLOW_EXPR_CONDITION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "expr/predicate.h"
+#include "expr/tribool.h"
+
+namespace dflow::expr {
+
+// An enabling condition: a boolean combination of predicates over attribute
+// values. Conditions are immutable and cheaply copyable (shared AST).
+//
+// The paper's generated schemas use flat conjunctions/disjunctions of 1–4
+// predicates; hand-written schemas (and flattening, which ANDs a module's
+// condition into its members') produce nested combinations, so the AST is
+// fully recursive.
+class Condition {
+ public:
+  // The always-true condition; also the default.
+  Condition();
+
+  static Condition True();
+  static Condition False();
+  static Condition Pred(Predicate p);
+  // Conjunction / disjunction. Empty All() is true; empty Any() is false.
+  static Condition All(std::vector<Condition> children);
+  static Condition Any(std::vector<Condition> children);
+  static Condition Not(Condition child);
+
+  // Convenience: this AND other (used by module flattening).
+  Condition AndWith(const Condition& other) const;
+
+  // Kleene partial evaluation: definite as soon as stable inputs force the
+  // outcome; kUnknown otherwise. Once all referenced attributes are stable
+  // the result is always definite.
+  Tribool Eval(const AttributeEnv& env) const;
+
+  // Attributes read by this condition (deduplicated, sorted).
+  std::vector<AttributeId> Attributes() const;
+
+  // True iff the condition is the literal `true` (no attribute reads and
+  // trivially satisfied); used to short-circuit bookkeeping.
+  bool IsLiteralTrue() const;
+
+  // Number of AST nodes; the prequalifier's cost accounting uses this.
+  int NodeCount() const;
+
+  std::string ToString(
+      const std::function<std::string(AttributeId)>& name) const;
+  // Renders with default attribute names "a<id>".
+  std::string ToString() const;
+
+ private:
+  struct Node;
+  explicit Condition(std::shared_ptr<const Node> node);
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace dflow::expr
+
+#endif  // DFLOW_EXPR_CONDITION_H_

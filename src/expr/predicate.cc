@@ -1,0 +1,145 @@
+#include "expr/predicate.h"
+
+#include <cstddef>
+
+namespace dflow::expr {
+
+void MapEnv::Set(AttributeId id, Value v) {
+  if (static_cast<size_t>(id) >= stable_.size()) {
+    stable_.resize(static_cast<size_t>(id) + 1);
+  }
+  stable_[static_cast<size_t>(id)] = std::move(v);
+}
+
+std::optional<Value> MapEnv::StableValue(AttributeId id) const {
+  if (id < 0 || static_cast<size_t>(id) >= stable_.size()) return std::nullopt;
+  return stable_[static_cast<size_t>(id)];
+}
+
+std::string ToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "==";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+// Three-way compare of non-null values of compatible types; nullopt when the
+// types are incomparable (e.g. string vs int).
+std::optional<int> OrderValues(const Value& lhs, const Value& rhs) {
+  if (lhs.is_numeric() && rhs.is_numeric()) {
+    const double a = lhs.AsDouble();
+    const double b = rhs.AsDouble();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (lhs.is_string() && rhs.is_string()) {
+    const int c = lhs.string_value().compare(rhs.string_value());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (lhs.is_bool() && rhs.is_bool()) {
+    const int a = lhs.bool_value() ? 1 : 0;
+    const int b = rhs.bool_value() ? 1 : 0;
+    return a - b;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) return false;
+  const std::optional<int> ord = OrderValues(lhs, rhs);
+  if (!ord.has_value()) {
+    // Incomparable types: only != holds.
+    return op == CompareOp::kNe;
+  }
+  switch (op) {
+    case CompareOp::kEq: return *ord == 0;
+    case CompareOp::kNe: return *ord != 0;
+    case CompareOp::kLt: return *ord < 0;
+    case CompareOp::kLe: return *ord <= 0;
+    case CompareOp::kGt: return *ord > 0;
+    case CompareOp::kGe: return *ord >= 0;
+  }
+  return false;
+}
+
+Predicate Predicate::Compare(AttributeId attr, CompareOp op, Value constant) {
+  return Predicate(Kind::kCompareConst, attr, op, std::move(constant),
+                   kInvalidAttribute);
+}
+
+Predicate Predicate::CompareAttrs(AttributeId lhs, CompareOp op,
+                                  AttributeId rhs) {
+  return Predicate(Kind::kCompareAttrs, lhs, op, Value::Null(), rhs);
+}
+
+Predicate Predicate::IsNull(AttributeId attr) {
+  return Predicate(Kind::kIsNull, attr, CompareOp::kEq, Value::Null(),
+                   kInvalidAttribute);
+}
+
+Predicate Predicate::IsNotNull(AttributeId attr) {
+  return Predicate(Kind::kIsNotNull, attr, CompareOp::kEq, Value::Null(),
+                   kInvalidAttribute);
+}
+
+Predicate Predicate::IsTrue(AttributeId attr) {
+  return Predicate(Kind::kIsTrue, attr, CompareOp::kEq, Value::Bool(true),
+                   kInvalidAttribute);
+}
+
+Tribool Predicate::Eval(const AttributeEnv& env) const {
+  const std::optional<Value> lhs = env.StableValue(attr_);
+  if (!lhs.has_value()) return Tribool::kUnknown;
+  switch (kind_) {
+    case Kind::kIsNull:
+      return FromBool(lhs->is_null());
+    case Kind::kIsNotNull:
+      return FromBool(!lhs->is_null());
+    case Kind::kIsTrue:
+      return FromBool(lhs->IsTruthy());
+    case Kind::kCompareConst:
+      return FromBool(CompareValues(*lhs, op_, constant_));
+    case Kind::kCompareAttrs: {
+      const std::optional<Value> rhs = env.StableValue(rhs_attr_);
+      if (!rhs.has_value()) {
+        // One stable null operand already forces any comparison false.
+        if (lhs->is_null()) return Tribool::kFalse;
+        return Tribool::kUnknown;
+      }
+      return FromBool(CompareValues(*lhs, op_, *rhs));
+    }
+  }
+  return Tribool::kUnknown;
+}
+
+void Predicate::CollectAttributes(std::vector<AttributeId>* out) const {
+  out->push_back(attr_);
+  if (kind_ == Kind::kCompareAttrs) out->push_back(rhs_attr_);
+}
+
+std::string Predicate::ToString(
+    const std::function<std::string(AttributeId)>& name) const {
+  switch (kind_) {
+    case Kind::kIsNull: return "IsNull(" + name(attr_) + ")";
+    case Kind::kIsNotNull: return "IsNotNull(" + name(attr_) + ")";
+    case Kind::kIsTrue: return name(attr_) + " = true";
+    case Kind::kCompareConst:
+      return name(attr_) + " " + expr::ToString(op_) + " " +
+             constant_.ToString();
+    case Kind::kCompareAttrs:
+      return name(attr_) + " " + expr::ToString(op_) + " " + name(rhs_attr_);
+  }
+  return "?";
+}
+
+}  // namespace dflow::expr

@@ -1,0 +1,102 @@
+#ifndef DFLOW_EXPR_PREDICATE_H_
+#define DFLOW_EXPR_PREDICATE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "expr/tribool.h"
+
+namespace dflow::expr {
+
+// Evaluation environment for enabling conditions.
+//
+// `StableValue(a)` returns nullopt while attribute `a` has not yet
+// stabilized, and its final value (the null Value for DISABLED attributes)
+// once it has. Partial evaluation treats nullopt operands as `unknown`;
+// once every referenced attribute is stable the result is definite, which —
+// together with acyclicity — is what guarantees executions terminate with
+// the unique complete snapshot of §2.
+class AttributeEnv {
+ public:
+  virtual ~AttributeEnv() = default;
+  virtual std::optional<Value> StableValue(AttributeId id) const = 0;
+};
+
+// Convenience env backed by a map; used by tests and the reference evaluator.
+class MapEnv : public AttributeEnv {
+ public:
+  // Marks `id` stable with value `v`.
+  void Set(AttributeId id, Value v);
+  std::optional<Value> StableValue(AttributeId id) const override;
+
+ private:
+  std::vector<std::optional<Value>> stable_;
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+std::string ToString(CompareOp op);
+
+// Definite comparison of two (stable) values. Comparisons where either
+// operand is null evaluate to false — including kEq and kNe — so that a
+// predicate over stable inputs is always definite. Nullness itself is
+// observed via the kIsNull / kIsNotNull predicate kinds. Numeric operands
+// compare with int→double promotion; mismatched non-numeric types compare
+// unequal (ordering over mismatched types is false).
+bool CompareValues(const Value& lhs, CompareOp op, const Value& rhs);
+
+// Atomic test over attribute values: the leaves of enabling conditions.
+//
+// Forms:
+//   attr <op> constant        (Compare)
+//   attr <op> attr            (CompareAttrs)
+//   IsNull(attr), IsNotNull(attr)
+//   IsTrue(attr)              — sugar for attr == true, common for decision
+//                               outputs like "give_promo(s)? = true".
+class Predicate {
+ public:
+  enum class Kind { kCompareConst, kCompareAttrs, kIsNull, kIsNotNull, kIsTrue };
+
+  static Predicate Compare(AttributeId attr, CompareOp op, Value constant);
+  static Predicate CompareAttrs(AttributeId lhs, CompareOp op, AttributeId rhs);
+  static Predicate IsNull(AttributeId attr);
+  static Predicate IsNotNull(AttributeId attr);
+  static Predicate IsTrue(AttributeId attr);
+
+  Kind kind() const { return kind_; }
+  AttributeId attr() const { return attr_; }
+  AttributeId rhs_attr() const { return rhs_attr_; }
+  CompareOp op() const { return op_; }
+  const Value& constant() const { return constant_; }
+
+  // Partial evaluation: kUnknown until every referenced attribute is stable,
+  // then a definite truth value.
+  Tribool Eval(const AttributeEnv& env) const;
+
+  // Appends the attributes this predicate reads to `out`.
+  void CollectAttributes(std::vector<AttributeId>* out) const;
+
+  // Renders e.g. "a3 > 80" using `name` to print attributes.
+  std::string ToString(
+      const std::function<std::string(AttributeId)>& name) const;
+
+ private:
+  Predicate(Kind kind, AttributeId attr, CompareOp op, Value constant,
+            AttributeId rhs_attr)
+      : kind_(kind), attr_(attr), rhs_attr_(rhs_attr), op_(op),
+        constant_(std::move(constant)) {}
+
+  Kind kind_;
+  AttributeId attr_;
+  AttributeId rhs_attr_;
+  CompareOp op_;
+  Value constant_;
+};
+
+}  // namespace dflow::expr
+
+#endif  // DFLOW_EXPR_PREDICATE_H_

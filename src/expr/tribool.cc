@@ -1,0 +1,20 @@
+#include "expr/tribool.h"
+
+#include <ostream>
+
+namespace dflow::expr {
+
+std::string ToString(Tribool t) {
+  switch (t) {
+    case Tribool::kFalse: return "false";
+    case Tribool::kUnknown: return "unknown";
+    case Tribool::kTrue: return "true";
+  }
+  return "?";
+}
+
+std::ostream& operator<<(std::ostream& os, Tribool t) {
+  return os << ToString(t);
+}
+
+}  // namespace dflow::expr

@@ -1,0 +1,47 @@
+#ifndef DFLOW_EXPR_TRIBOOL_H_
+#define DFLOW_EXPR_TRIBOOL_H_
+
+#include <iosfwd>
+#include <string>
+
+namespace dflow::expr {
+
+// Kleene strong three-valued logic.
+//
+// `kUnknown` arises during *partial* evaluation of an enabling condition:
+// some attributes referenced by the condition have not yet stabilized, so
+// their contribution is not yet determined. Eager evaluation (§4 of the
+// paper, option 'P') resolves a condition to kTrue/kFalse as soon as the
+// stable prefix of its inputs forces the outcome — e.g. one true disjunct or
+// one false conjunct — without waiting for every input to stabilize.
+enum class Tribool { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+constexpr Tribool FromBool(bool b) { return b ? Tribool::kTrue : Tribool::kFalse; }
+
+// True iff the tribool carries a definite truth value.
+constexpr bool IsDetermined(Tribool t) { return t != Tribool::kUnknown; }
+
+constexpr Tribool And(Tribool a, Tribool b) {
+  if (a == Tribool::kFalse || b == Tribool::kFalse) return Tribool::kFalse;
+  if (a == Tribool::kTrue && b == Tribool::kTrue) return Tribool::kTrue;
+  return Tribool::kUnknown;
+}
+
+constexpr Tribool Or(Tribool a, Tribool b) {
+  if (a == Tribool::kTrue || b == Tribool::kTrue) return Tribool::kTrue;
+  if (a == Tribool::kFalse && b == Tribool::kFalse) return Tribool::kFalse;
+  return Tribool::kUnknown;
+}
+
+constexpr Tribool Not(Tribool a) {
+  if (a == Tribool::kTrue) return Tribool::kFalse;
+  if (a == Tribool::kFalse) return Tribool::kTrue;
+  return Tribool::kUnknown;
+}
+
+std::string ToString(Tribool t);
+std::ostream& operator<<(std::ostream& os, Tribool t);
+
+}  // namespace dflow::expr
+
+#endif  // DFLOW_EXPR_TRIBOOL_H_

@@ -1,0 +1,36 @@
+#ifndef DFLOW_GEN_PATTERN_PARAMS_H_
+#define DFLOW_GEN_PATTERN_PARAMS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dflow::gen {
+
+// The simulation parameters of Table 1. Defaults are the paper's fixed
+// values; the ranged parameters (nb_rows, %enabled, %added_data_edges,
+// module cost) default to the values used by Figures 5–8 unless a bench
+// sweeps them.
+struct PatternParams {
+  int nb_nodes = 64;         // # of internal nodes
+  int nb_rows = 4;           // # of schema rows (diameter = nb_nodes/nb_rows)
+  int pct_enabled = 75;      // % of enabling conditions true per execution
+  int pct_enabler = 50;      // % of attributes used in >= 1 enabling condition
+  int pct_enabling_hop = 50; // max enabling-edge hop as % of total # columns
+  int min_pred = 1;          // min # of predicates per enabling condition
+  int max_pred = 4;          // max # of predicates per enabling condition
+  int pct_added_data_edges = 0;  // % of data edges added (< 0: deleted)
+  int pct_data_hop = 50;     // max added-data-edge hop as % of total # columns
+  int min_cost = 1;          // units of cost for executing a module (query)
+  int max_cost = 5;
+  uint64_t seed = 0;         // structure seed: same seed => same schema
+
+  // Returns an error message if any parameter is out of its Table 1 range
+  // (nb_rows in [1,16] and dividing decisions, percentages in range, etc.);
+  // nullopt when valid.
+  std::optional<std::string> Validate() const;
+};
+
+}  // namespace dflow::gen
+
+#endif  // DFLOW_GEN_PATTERN_PARAMS_H_

@@ -1,0 +1,287 @@
+#include "gen/schema_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/rng.h"
+#include "core/schema_builder.h"
+#include "expr/condition.h"
+#include "expr/predicate.h"
+
+namespace dflow::gen {
+
+namespace {
+
+// Attribute values are uniform integers on [0, kValueRange).
+constexpr int64_t kValueRange = 1000;
+
+Value GeneratedValue(uint64_t instance_seed, uint64_t schema_seed,
+                     AttributeId attr) {
+  return Value::Int(static_cast<int64_t>(
+      Rng::Mix(instance_seed, schema_seed, static_cast<uint64_t>(attr)) %
+      static_cast<uint64_t>(kValueRange)));
+}
+
+core::TaskFn MakeTaskFn(uint64_t schema_seed) {
+  return [schema_seed](const core::TaskContext& ctx) {
+    return GeneratedValue(ctx.instance_seed, schema_seed, ctx.attr);
+  };
+}
+
+// A predicate that holds with probability ~q over the uniform per-instance
+// value of `enabler`, with a fixed null branch (drawn with the same
+// probability) so that DISABLED enablers do not systematically bias the
+// condition toward false.
+expr::Condition MakeLeaf(AttributeId enabler, double q, Rng* rng) {
+  const int64_t threshold = static_cast<int64_t>(
+      std::llround(q * static_cast<double>(kValueRange)));
+  expr::Condition test = expr::Condition::Pred(expr::Predicate::Compare(
+      enabler, expr::CompareOp::kLt, Value::Int(threshold)));
+  if (rng->Chance(q)) {
+    return expr::Condition::Any(
+        {expr::Condition::Pred(expr::Predicate::IsNull(enabler)),
+         std::move(test)});
+  }
+  return test;
+}
+
+}  // namespace
+
+std::optional<std::string> PatternParams::Validate() const {
+  if (nb_nodes < 1) return "nb_nodes must be >= 1";
+  if (nb_rows < 1 || nb_rows > nb_nodes) {
+    return "nb_rows must be in [1, nb_nodes]";
+  }
+  if (pct_enabled < 0 || pct_enabled > 100) return "pct_enabled out of [0,100]";
+  if (pct_enabler < 0 || pct_enabler > 100) return "pct_enabler out of [0,100]";
+  if (pct_enabling_hop < 0 || pct_enabling_hop > 100) {
+    return "pct_enabling_hop out of [0,100]";
+  }
+  if (min_pred < 1 || max_pred < min_pred) {
+    return "predicate bounds must satisfy 1 <= min_pred <= max_pred";
+  }
+  if (pct_added_data_edges < -100 || pct_added_data_edges > 100) {
+    return "pct_added_data_edges out of [-100,100]";
+  }
+  if (pct_data_hop < 0 || pct_data_hop > 100) {
+    return "pct_data_hop out of [0,100]";
+  }
+  if (min_cost < 0 || max_cost < min_cost) {
+    return "cost bounds must satisfy 0 <= min_cost <= max_cost";
+  }
+  return std::nullopt;
+}
+
+GeneratedSchema GeneratePattern(const PatternParams& params) {
+  assert(!params.Validate().has_value());
+  Rng rng(Rng::Mix(params.seed, 0x5eed5eedULL));
+
+  AttributeId source = kInvalidAttribute;
+  AttributeId target = kInvalidAttribute;
+  std::vector<std::vector<AttributeId>> grid;
+
+  // --- Plan the skeleton grid (Figure 4). Row lengths differ by at most one
+  // when nb_rows does not divide nb_nodes; `columns` is the longest row.
+  const int base_len = params.nb_nodes / params.nb_rows;
+  const int remainder = params.nb_nodes % params.nb_rows;
+  const int columns = base_len + (remainder > 0 ? 1 : 0);
+  auto row_len = [&](int r) { return base_len + (r < remainder ? 1 : 0); };
+
+  // Nodes are *created in column-major order* (column 1 across all rows,
+  // then column 2, ...) so that any node in an earlier column — a legal
+  // enabler or added-data-edge origin — already has an id when referenced.
+  struct PlannedNode {
+    int row = 0;
+    int col = 0;                        // 1-based; source is column 0
+    std::vector<int> extra_inputs;      // plan indices of added-edge origins
+    bool chain_edge_deleted = false;
+  };
+  std::vector<PlannedNode> plan;
+  std::vector<std::vector<int>> plan_at(  // [row][col-1] -> plan index
+      static_cast<size_t>(params.nb_rows));
+  for (int c = 1; c <= columns; ++c) {
+    for (int r = 0; r < params.nb_rows; ++r) {
+      if (c > row_len(r)) continue;
+      plan_at[static_cast<size_t>(r)].push_back(static_cast<int>(plan.size()));
+      plan.push_back(PlannedNode{r, c, {}, false});
+    }
+  }
+  assert(static_cast<int>(plan.size()) == params.nb_nodes);
+
+  // --- Enabler set: pct_enabler% of the internal nodes (uniform sample via
+  // a Fisher-Yates prefix shuffle over plan indices).
+  const int num_enablers = params.nb_nodes * params.pct_enabler / 100;
+  std::vector<int> shuffled(plan.size());
+  for (size_t i = 0; i < plan.size(); ++i) shuffled[i] = static_cast<int>(i);
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const size_t j = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(i), static_cast<int64_t>(plan.size()) - 1));
+    std::swap(shuffled[i], shuffled[j]);
+  }
+  std::vector<char> is_enabler(plan.size(), 0);
+  for (int i = 0; i < num_enablers; ++i) {
+    is_enabler[static_cast<size_t>(shuffled[static_cast<size_t>(i)])] = 1;
+  }
+
+  // --- Data-edge mutations. The skeleton has nb_nodes + nb_rows data edges
+  // (source hookups + chains + target hookups counted per §5's skeleton).
+  const int skeleton_edges = params.nb_nodes + params.nb_rows;
+  const int data_hop = std::max(1, columns * params.pct_data_hop / 100);
+  if (params.pct_added_data_edges < 0) {
+    // Delete the requested share of within-row chain edges (nodes fall back
+    // to the source as input so every task keeps a data input).
+    std::vector<int> chain_nodes;
+    for (size_t i = 0; i < plan.size(); ++i) {
+      if (plan[i].col > 1) chain_nodes.push_back(static_cast<int>(i));
+    }
+    int to_delete = std::min<int>(
+        static_cast<int>(chain_nodes.size()),
+        skeleton_edges * (-params.pct_added_data_edges) / 100);
+    for (int d = 0; d < to_delete; ++d) {
+      const size_t pick = static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(chain_nodes.size()) - 1));
+      plan[static_cast<size_t>(chain_nodes[pick])].chain_edge_deleted = true;
+      chain_nodes.erase(chain_nodes.begin() +
+                        static_cast<std::ptrdiff_t>(pick));
+    }
+  } else if (params.pct_added_data_edges > 0 && columns > 1) {
+    const int to_add = skeleton_edges * params.pct_added_data_edges / 100;
+    std::vector<std::set<int>> extra(plan.size());
+    int added = 0;
+    for (int attempt = 0; attempt < to_add * 20 && added < to_add; ++attempt) {
+      const int v = static_cast<int>(
+          rng.UniformInt(0, static_cast<int64_t>(plan.size()) - 1));
+      const int cv = plan[static_cast<size_t>(v)].col;
+      if (cv < 2) continue;
+      // Origin: uniform over nodes in columns [cv - data_hop, cv - 1].
+      std::vector<int> origins;
+      for (size_t u = 0; u < plan.size(); ++u) {
+        const int cu = plan[u].col;
+        if (cu < cv && cv - cu <= data_hop) origins.push_back(static_cast<int>(u));
+      }
+      if (origins.empty()) continue;
+      const int u = origins[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(origins.size()) - 1))];
+      // Skip duplicates (including the skeleton chain edge).
+      const PlannedNode& pv = plan[static_cast<size_t>(v)];
+      const bool is_chain =
+          plan[static_cast<size_t>(u)].row == pv.row &&
+          plan[static_cast<size_t>(u)].col == pv.col - 1;
+      if (is_chain || !extra[static_cast<size_t>(v)].insert(u).second) continue;
+      ++added;
+    }
+    for (size_t v = 0; v < plan.size(); ++v) {
+      plan[v].extra_inputs.assign(extra[v].begin(), extra[v].end());
+    }
+  }
+
+  // --- Create the attributes.
+  core::SchemaBuilder builder;
+  source = builder.AddSource("src");
+  grid.assign(static_cast<size_t>(params.nb_rows), {});
+
+  const int max_hop = std::max(1, columns * params.pct_enabling_hop / 100);
+  const double p_enabled = params.pct_enabled / 100.0;
+  core::TaskFn task_fn = MakeTaskFn(params.seed);
+
+  std::vector<AttributeId> ids(plan.size(), kInvalidAttribute);
+  // by_column[c] lists enabler-eligible attributes at column c (the source
+  // occupies column 0 and is always eligible as a fallback).
+  std::vector<std::vector<AttributeId>> by_column(
+      static_cast<size_t>(columns) + 1);
+  by_column[0].push_back(source);
+  std::vector<AttributeId> prev_in_row(static_cast<size_t>(params.nb_rows),
+                                       kInvalidAttribute);
+
+  for (size_t i = 0; i < plan.size(); ++i) {
+    const PlannedNode& node = plan[i];
+
+    std::vector<AttributeId> data_inputs;
+    if (node.col == 1 || node.chain_edge_deleted) {
+      data_inputs.push_back(source);
+    } else {
+      data_inputs.push_back(prev_in_row[static_cast<size_t>(node.row)]);
+    }
+    for (int u : node.extra_inputs) {
+      data_inputs.push_back(ids[static_cast<size_t>(u)]);
+    }
+
+    // Enabling condition: k predicates over enablers within the hop window.
+    const int k =
+        static_cast<int>(rng.UniformInt(params.min_pred, params.max_pred));
+    std::vector<AttributeId> eligible;
+    for (int col = std::max(0, node.col - max_hop); col < node.col; ++col) {
+      for (AttributeId e : by_column[static_cast<size_t>(col)]) {
+        eligible.push_back(e);
+      }
+    }
+    if (eligible.empty()) eligible.push_back(source);
+
+    const bool conjunction = rng.Chance(0.5);
+    const double q = conjunction
+                         ? std::pow(p_enabled, 1.0 / k)
+                         : 1.0 - std::pow(1.0 - p_enabled, 1.0 / k);
+    std::vector<expr::Condition> leaves;
+    leaves.reserve(static_cast<size_t>(k));
+    for (int leaf = 0; leaf < k; ++leaf) {
+      const AttributeId e = eligible[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(eligible.size()) - 1))];
+      leaves.push_back(MakeLeaf(e, q, &rng));
+    }
+    expr::Condition cond = conjunction
+                               ? expr::Condition::All(std::move(leaves))
+                               : expr::Condition::Any(std::move(leaves));
+
+    const int cost =
+        static_cast<int>(rng.UniformInt(params.min_cost, params.max_cost));
+    const AttributeId id = builder.AddQuery(
+        "n" + std::to_string(node.row) + "_" + std::to_string(node.col), cost,
+        task_fn, std::move(data_inputs), std::move(cond));
+    ids[i] = id;
+    grid[static_cast<size_t>(node.row)].push_back(id);
+    prev_in_row[static_cast<size_t>(node.row)] = id;
+    if (is_enabler[i] != 0) {
+      by_column[static_cast<size_t>(node.col)].push_back(id);
+    }
+  }
+
+  // Target: fed by every row end; always enabled (the decision itself must
+  // complete; disabled sub-decisions reach it as ⊥).
+  std::vector<AttributeId> row_ends;
+  row_ends.reserve(static_cast<size_t>(params.nb_rows));
+  for (int r = 0; r < params.nb_rows; ++r) {
+    row_ends.push_back(prev_in_row[static_cast<size_t>(r)]);
+  }
+  const int target_cost =
+      static_cast<int>(rng.UniformInt(params.min_cost, params.max_cost));
+  target = builder.AddQuery("target", target_cost, task_fn,
+                                std::move(row_ends), expr::Condition::True(),
+                                /*is_target=*/true);
+
+  std::string error;
+  std::optional<core::Schema> schema = builder.Build(&error);
+  assert(schema.has_value() && "generated schema failed validation");
+  (void)error;
+
+  GeneratedSchema out{std::move(*schema), params, columns,
+                      source,             target, std::move(grid)};
+  return out;
+}
+
+core::SourceBinding MakeSourceBinding(const GeneratedSchema& pattern,
+                                      uint64_t instance_seed) {
+  return core::SourceBinding{
+      {pattern.source,
+       GeneratedValue(instance_seed, pattern.params.seed, pattern.source)}};
+}
+
+uint64_t InstanceSeed(const PatternParams& params, int index) {
+  return Rng::Mix(params.seed, 0x1257a9e1ULL,
+                  static_cast<uint64_t>(index) + 1);
+}
+
+}  // namespace dflow::gen

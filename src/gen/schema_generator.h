@@ -1,0 +1,64 @@
+#ifndef DFLOW_GEN_SCHEMA_GENERATOR_H_
+#define DFLOW_GEN_SCHEMA_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/snapshot.h"
+#include "gen/pattern_params.h"
+
+namespace dflow::gen {
+
+// A generated decision-flow pattern (§5, Figure 4): the schema plus the
+// layout metadata benches and tests use.
+struct GeneratedSchema {
+  core::Schema schema;
+  PatternParams params;
+  int columns = 0;  // internal columns; the skeleton diameter
+  AttributeId source = kInvalidAttribute;
+  AttributeId target = kInvalidAttribute;
+  // grid[row] lists the internal attributes of that row, in column order.
+  // Rows may differ in length by one when nb_rows does not divide nb_nodes.
+  std::vector<std::vector<AttributeId>> grid;
+};
+
+// Builds a schema pattern from Table 1 parameters. The construction follows
+// §5 "Experiment Environment":
+//   - a skeleton of one source, nb_nodes internal nodes arranged in nb_rows
+//     rows, and one target; data edges run source → row starts, along each
+//     row, and row ends → target (Figure 4);
+//   - %added_data_edges extra forward data edges within %data_hop columns
+//     (negative values delete within-row edges instead);
+//   - pct_enabler% of the internal nodes act as enablers; each internal
+//     node's enabling condition is a conjunction or disjunction of
+//     [min_pred, max_pred] predicates over enablers at most
+//     %enabling_hop × columns earlier; the target's condition is `true`;
+//   - every internal node and the target is a database query with cost
+//     uniform in [min_cost, max_cost] units (Table 1 "module cost");
+//   - predicates are *rigged* so that, in expectation over instances, each
+//     enabling condition is true with probability pct_enabled/100: a
+//     condition with k conjuncts uses per-predicate probability
+//     (pct_enabled/100)^(1/k) (dually for disjunctions), realized as
+//     threshold tests over the deterministic per-instance attribute values
+//     (each generated task returns Int(Mix(instance_seed, seed, attr) %
+//     1000), uniform on [0, 1000)); predicates over enablers that may
+//     themselves be DISABLED carry a fixed null-branch (IsNull ∨ test)
+//     drawn with the same probability.
+//
+// Dies (assert) on invalid parameters — call params.Validate() first when
+// handling untrusted input. Deterministic: same params => same schema.
+GeneratedSchema GeneratePattern(const PatternParams& params);
+
+// Source bindings for the i-th instance of a pattern: the source attribute
+// takes Int(Mix(instance_seed, seed, source) % 1000), matching the task
+// value convention so conditions over the source behave like any other.
+core::SourceBinding MakeSourceBinding(const GeneratedSchema& pattern,
+                                      uint64_t instance_seed);
+
+// Convenience: a well-spread per-instance seed for instance `index`.
+uint64_t InstanceSeed(const PatternParams& params, int index);
+
+}  // namespace dflow::gen
+
+#endif  // DFLOW_GEN_SCHEMA_GENERATOR_H_

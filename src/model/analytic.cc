@@ -1,0 +1,116 @@
+#include "model/analytic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace dflow::model {
+
+namespace {
+
+// Iteration guards for the Equation (6) fixed point.
+constexpr int kMaxIterations = 100000;
+constexpr double kDivergenceCeilingMs = 1e9;
+constexpr double kRelativeTolerance = 1e-10;
+
+}  // namespace
+
+DbCurve::DbCurve(std::vector<std::pair<double, double>> samples)
+    : samples_(std::move(samples)) {
+  assert(!samples_.empty());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    assert(samples_[i].second > 0);
+    assert(i == 0 || samples_[i].first > samples_[i - 1].first);
+    // Empirically measured curves can jitter slightly; enforce the
+    // monotonicity the model relies on by clamping to a running maximum.
+    if (i > 0 && samples_[i].second < samples_[i - 1].second) {
+      samples_[i].second = samples_[i - 1].second;
+    }
+  }
+  // Tail slope for extrapolation: least-squares fit over the last few
+  // samples, which is far more robust to measurement noise than the final
+  // segment alone (the fixed-point divergence test depends on it).
+  const size_t n = samples_.size();
+  const size_t k = std::min<size_t>(5, n);
+  if (k >= 2) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (size_t i = n - k; i < n; ++i) {
+      sx += samples_[i].first;
+      sy += samples_[i].second;
+      sxx += samples_[i].first * samples_[i].first;
+      sxy += samples_[i].first * samples_[i].second;
+    }
+    const double denom = k * sxx - sx * sx;
+    tail_slope_ = denom > 0 ? (k * sxy - sx * sy) / denom : 0;
+    if (tail_slope_ < 0) tail_slope_ = 0;
+  }
+}
+
+double DbCurve::Eval(double gmpl) const {
+  if (gmpl <= samples_.front().first) return samples_.front().second;
+  if (gmpl >= samples_.back().first) {
+    return samples_.back().second +
+           tail_slope_ * (gmpl - samples_.back().first);
+  }
+  // Binary search for the surrounding segment.
+  size_t lo = 0;
+  size_t hi = samples_.size() - 1;
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (samples_[mid].first <= gmpl) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const auto& [x1, y1] = samples_[lo];
+  const auto& [x2, y2] = samples_[hi];
+  const double t = (gmpl - x1) / (x2 - x1);
+  return y1 + t * (y2 - y1);
+}
+
+std::optional<double> AnalyticModel::SolveUnitTimeMs(double th_per_sec,
+                                                     double work) const {
+  const double th_per_ms = th_per_sec / 1000.0;
+  const double c = th_per_ms * work;  // Gmpl = c * UnitTime
+  // Monotone iteration from below: u0 = Db(0) <= f(u0), and f is
+  // non-decreasing, so u_n increases to the least fixed point if one exists
+  // and diverges past the ceiling otherwise.
+  double u = db_.Eval(0);
+  for (int i = 0; i < kMaxIterations; ++i) {
+    const double next = db_.Eval(c * u);
+    if (!(next < kDivergenceCeilingMs)) return std::nullopt;
+    if (std::abs(next - u) <= kRelativeTolerance * u) return next;
+    u = next;
+  }
+  return std::nullopt;
+}
+
+double AnalyticModel::MaxWorkForThroughput(double th_per_sec) const {
+  double lo = 0;         // feasible
+  double hi = 1.0;       // grow until infeasible
+  while (SolveUnitTimeMs(th_per_sec, hi).has_value()) {
+    lo = hi;
+    hi *= 2;
+    if (hi > 1e12) return lo;  // effectively unbounded
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = (lo + hi) / 2;
+    if (SolveUnitTimeMs(th_per_sec, mid).has_value()) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::optional<double> AnalyticModel::PredictResponseMs(
+    double th_per_sec, double work, double time_in_units) const {
+  const std::optional<double> unit_time = SolveUnitTimeMs(th_per_sec, work);
+  if (!unit_time.has_value()) return std::nullopt;
+  return time_in_units * *unit_time;
+}
+
+}  // namespace dflow::model

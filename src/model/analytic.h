@@ -1,0 +1,82 @@
+#ifndef DFLOW_MODEL_ANALYTIC_H_
+#define DFLOW_MODEL_ANALYTIC_H_
+
+#include <optional>
+#include <vector>
+
+namespace dflow::model {
+
+// The empirically determined database characteristic function Db of §5:
+// maps the database's global multiprogramming level (units of processing in
+// service) to the response time of one unit of processing, in milliseconds
+// (Figure 9(a)). Piecewise-linear interpolation between samples; linear
+// extrapolation beyond the last sample (the curve's tail slope), which is
+// what makes the Equation (6) fixed point diverge for infeasible operating
+// points.
+class DbCurve {
+ public:
+  // `samples` are (gmpl, unit_time_ms) pairs; gmpl must be strictly
+  // increasing and unit_time_ms positive. Small non-monotonic jitter (from
+  // empirical measurement) is clamped to a running maximum.
+  explicit DbCurve(std::vector<std::pair<double, double>> samples);
+
+  double Eval(double gmpl) const;
+  const std::vector<std::pair<double, double>>& samples() const {
+    return samples_;
+  }
+  // Slope (ms per unit of Gmpl) used beyond the last sample: a
+  // least-squares fit over the last few samples.
+  double tail_slope() const { return tail_slope_; }
+
+ private:
+  std::vector<std::pair<double, double>> samples_;
+  double tail_slope_ = 0;
+};
+
+// The analytical model of §5 for finite database resources, built from the
+// steady-state equations:
+//   (1) Impl       = Th * TimeInSeconds                 (Little's law)
+//   (2) Gmpl       = Lmpl * Impl
+//   (3) Lmpl * TimeInSeconds = Work * UnitTime          (unit-time balance)
+//   (4) UnitTime   = Db(Gmpl)
+//   (5) Gmpl       = Th * Work * UnitTime               (from 1-3)
+//   (6) UnitTime   = Db(Th * Work * UnitTime)           (from 4, 5)
+// with Th in instances/second, Work in units of processing per instance,
+// UnitTime in ms. Equation (6) is solved by monotone fixed-point iteration
+// from below; when the iteration diverges the operating point cannot be
+// sustained by the database.
+class AnalyticModel {
+ public:
+  explicit AnalyticModel(DbCurve db) : db_(std::move(db)) {}
+
+  const DbCurve& db() const { return db_; }
+
+  // Solves Equation (6); nullopt when no stable fixed point exists.
+  std::optional<double> SolveUnitTimeMs(double th_per_sec, double work) const;
+
+  // The largest Work (in units) for which Equation (6) has a solution at
+  // the given throughput — the paper's "upper bound on the amount of work
+  // that can be performed for each decision flow instance".
+  double MaxWorkForThroughput(double th_per_sec) const;
+
+  // Predicted response time of an instance: TimeInUnits(Work) * UnitTime
+  // (graph (c) of Figure 9(b) combines graphs (a) and (b) "using
+  // multiplication"). nullopt when the operating point is infeasible.
+  std::optional<double> PredictResponseMs(double th_per_sec, double work,
+                                          double time_in_units) const;
+
+  // Derived quantities (Equations (1), (2), (5)) for reporting/tests.
+  static double Impl(double th_per_sec, double time_in_seconds) {
+    return th_per_sec * time_in_seconds;
+  }
+  static double Gmpl(double th_per_sec, double work, double unit_time_ms) {
+    return th_per_sec / 1000.0 * work * unit_time_ms;
+  }
+
+ private:
+  DbCurve db_;
+};
+
+}  // namespace dflow::model
+
+#endif  // DFLOW_MODEL_ANALYTIC_H_

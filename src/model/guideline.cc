@@ -1,0 +1,33 @@
+#include "model/guideline.h"
+
+#include <algorithm>
+
+namespace dflow::model {
+
+std::vector<GuidelinePoint> BuildGuidelineMap(
+    std::vector<StrategyOutcome> outcomes) {
+  std::sort(outcomes.begin(), outcomes.end(),
+            [](const StrategyOutcome& a, const StrategyOutcome& b) {
+              if (a.mean_work != b.mean_work) return a.mean_work < b.mean_work;
+              return a.mean_time_units < b.mean_time_units;
+            });
+  std::vector<GuidelinePoint> frontier;
+  for (const StrategyOutcome& o : outcomes) {
+    if (!frontier.empty() && o.mean_time_units >= frontier.back().min_time_units) {
+      continue;  // dominated: more work, no faster
+    }
+    frontier.push_back(GuidelinePoint{o.mean_work, o.mean_time_units, o.strategy});
+  }
+  return frontier;
+}
+
+const GuidelinePoint* LookupGuideline(const std::vector<GuidelinePoint>& map,
+                                      double work_bound) {
+  const GuidelinePoint* best = nullptr;
+  for (const GuidelinePoint& p : map) {
+    if (p.work_bound <= work_bound) best = &p;
+  }
+  return best;
+}
+
+}  // namespace dflow::model

@@ -1,0 +1,40 @@
+#ifndef DFLOW_MODEL_GUIDELINE_H_
+#define DFLOW_MODEL_GUIDELINE_H_
+
+#include <string>
+#include <vector>
+
+namespace dflow::model {
+
+// One measured execution strategy on one schema pattern: mean Work and mean
+// TimeInUnits over a set of instances (infinite-resource setting).
+struct StrategyOutcome {
+  std::string strategy;  // e.g. "PSE80"
+  double mean_work = 0;
+  double mean_time_units = 0;
+};
+
+// One point of a guideline map (Figure 8): under a Work budget of
+// `work_bound`, `min_time_units` is the best achievable response time and
+// `strategy` attains it. Maps are produced sorted by work_bound, with
+// strictly decreasing min_time_units (only frontier points are kept).
+struct GuidelinePoint {
+  double work_bound = 0;
+  double min_time_units = 0;
+  std::string strategy;
+};
+
+// Builds the minT-vs-Work frontier from measured strategy outcomes: for a
+// work budget w, the minimum mean_time_units over outcomes with
+// mean_work <= w. Outcomes dominated in both dimensions are dropped.
+std::vector<GuidelinePoint> BuildGuidelineMap(
+    std::vector<StrategyOutcome> outcomes);
+
+// Convenience lookup: the frontier point honoring `work_bound`, i.e. the
+// last point with work_bound <= the budget; nullptr when no strategy fits.
+const GuidelinePoint* LookupGuideline(
+    const std::vector<GuidelinePoint>& map, double work_bound);
+
+}  // namespace dflow::model
+
+#endif  // DFLOW_MODEL_GUIDELINE_H_

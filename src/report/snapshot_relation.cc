@@ -1,0 +1,124 @@
+#include "report/snapshot_relation.h"
+
+#include <sstream>
+
+namespace dflow::report {
+
+void SnapshotRelation::Record(const core::InstanceResult& result) {
+  Tuple tuple;
+  tuple.instance_id = result.instance_id;
+  tuple.work = result.metrics.work;
+  tuple.wasted_work = result.metrics.wasted_work;
+  tuple.response_time = result.metrics.ResponseTime();
+  const int n = schema_->num_attributes();
+  tuple.states.reserve(static_cast<size_t>(n));
+  tuple.values.reserve(static_cast<size_t>(n));
+  for (AttributeId a = 0; a < n; ++a) {
+    tuple.states.push_back(result.snapshot.state(a));
+    tuple.values.push_back(result.snapshot.value(a));
+  }
+  tuples_.push_back(std::move(tuple));
+}
+
+std::string SnapshotRelation::ToCsv() const {
+  std::ostringstream os;
+  os << "instance_id,work,wasted_work,response_time";
+  for (AttributeId a = 0; a < schema_->num_attributes(); ++a) {
+    const std::string& name = schema_->attribute(a).name;
+    os << "," << name << "_state," << name << "_value";
+  }
+  os << "\n";
+  for (const Tuple& t : tuples_) {
+    os << t.instance_id << "," << t.work << "," << t.wasted_work << ","
+       << t.response_time;
+    for (size_t a = 0; a < t.states.size(); ++a) {
+      os << "," << core::ToString(t.states[a]) << ","
+         << t.values[a].ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::vector<SnapshotRelation::AttributeProfile> SnapshotRelation::Profile()
+    const {
+  std::vector<AttributeProfile> profiles;
+  const int n = schema_->num_attributes();
+  profiles.reserve(static_cast<size_t>(n));
+  for (AttributeId a = 0; a < n; ++a) {
+    AttributeProfile p;
+    p.attr = a;
+    p.name = schema_->attribute(a).name;
+    for (const Tuple& t : tuples_) {
+      switch (t.states[static_cast<size_t>(a)]) {
+        case core::AttrState::kValue:
+          ++p.enabled;
+          break;
+        case core::AttrState::kDisabled:
+          ++p.disabled;
+          break;
+        default:
+          ++p.unstabilized;
+          break;
+      }
+    }
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+std::vector<std::string> SnapshotRelation::SuggestRefinements(
+    double rate_threshold) const {
+  std::vector<std::string> suggestions;
+  const int64_t total = size();
+  if (total == 0) return suggestions;
+  for (const AttributeProfile& p : Profile()) {
+    if (schema_->is_source(p.attr)) continue;
+    const double enabled_rate = static_cast<double>(p.enabled) / total;
+    const double disabled_rate = static_cast<double>(p.disabled) / total;
+    const double unstable_rate = static_cast<double>(p.unstabilized) / total;
+    const bool guarded =
+        !schema_->enabling_condition(p.attr).IsLiteralTrue();
+    if (enabled_rate > 0 && enabled_rate <= rate_threshold) {
+      suggestions.push_back(
+          "attribute '" + p.name + "' produced a value in only " +
+          std::to_string(static_cast<int>(enabled_rate * 100)) +
+          "% of executions; consider moving it to an on-demand branch");
+    }
+    if (guarded && disabled_rate == 0 && unstable_rate == 0) {
+      suggestions.push_back("enabling condition of '" + p.name +
+                            "' never fired false; consider removing the "
+                            "guard to simplify the flow");
+    }
+    if (unstable_rate >= 1.0 - rate_threshold) {
+      suggestions.push_back(
+          "attribute '" + p.name +
+          "' was pruned as unneeded in nearly every execution; consider "
+          "removing it or computing it lazily outside the flow");
+    }
+  }
+  return suggestions;
+}
+
+double SnapshotRelation::MeanWork() const {
+  if (tuples_.empty()) return 0;
+  double sum = 0;
+  for (const Tuple& t : tuples_) sum += static_cast<double>(t.work);
+  return sum / static_cast<double>(tuples_.size());
+}
+
+double SnapshotRelation::MeanResponseTime() const {
+  if (tuples_.empty()) return 0;
+  double sum = 0;
+  for (const Tuple& t : tuples_) sum += t.response_time;
+  return sum / static_cast<double>(tuples_.size());
+}
+
+double SnapshotRelation::MeanWastedWork() const {
+  if (tuples_.empty()) return 0;
+  double sum = 0;
+  for (const Tuple& t : tuples_) sum += static_cast<double>(t.wasted_work);
+  return sum / static_cast<double>(tuples_.size());
+}
+
+}  // namespace dflow::report

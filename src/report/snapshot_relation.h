@@ -1,0 +1,74 @@
+#ifndef DFLOW_REPORT_SNAPSHOT_RELATION_H_
+#define DFLOW_REPORT_SNAPSHOT_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/schema.h"
+
+namespace dflow::report {
+
+// The snapshot relation of §2: "a relation can be formed, where each tuple
+// is the snapshot of one execution of the decision flow... Manual and
+// automated data mining techniques can be performed on this relation, to
+// discover possible refinements to the decision flow."
+//
+// Record() appends one tuple per finished instance (terminal states, values
+// and execution metrics); ToCsv() exports the relation; Profile() and
+// SuggestRefinements() implement simple mining passes over it.
+class SnapshotRelation {
+ public:
+  explicit SnapshotRelation(const core::Schema* schema) : schema_(schema) {}
+
+  void Record(const core::InstanceResult& result);
+
+  int64_t size() const { return static_cast<int64_t>(tuples_.size()); }
+
+  // CSV with header: instance_id, work, wasted_work, time, then one
+  // state/value column pair per attribute.
+  std::string ToCsv() const;
+
+  // Per-attribute aggregate over the recorded executions.
+  struct AttributeProfile {
+    AttributeId attr = kInvalidAttribute;
+    std::string name;
+    int64_t enabled = 0;        // terminal state VALUE
+    int64_t disabled = 0;       // terminal state DISABLED
+    int64_t unstabilized = 0;   // left unstable (pruned as unneeded)
+    // Fraction of executions in which the attribute produced a value.
+    double EnabledRate(int64_t total) const {
+      return total > 0 ? static_cast<double>(enabled) / total : 0;
+    }
+  };
+  std::vector<AttributeProfile> Profile() const;
+
+  // Heuristic refinement suggestions (§2's mining step): near-dead
+  // attributes, guards that never fire, and chronically unneeded work.
+  // `rate_threshold` is the "rare" cutoff (default 5%).
+  std::vector<std::string> SuggestRefinements(
+      double rate_threshold = 0.05) const;
+
+  // Mean metrics over the relation, for dashboards.
+  double MeanWork() const;
+  double MeanResponseTime() const;
+  double MeanWastedWork() const;
+
+ private:
+  struct Tuple {
+    int64_t instance_id = 0;
+    int64_t work = 0;
+    int64_t wasted_work = 0;
+    double response_time = 0;
+    std::vector<core::AttrState> states;
+    std::vector<Value> values;
+  };
+
+  const core::Schema* schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace dflow::report
+
+#endif  // DFLOW_REPORT_SNAPSHOT_RELATION_H_

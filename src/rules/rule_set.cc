@@ -1,0 +1,126 @@
+#include "rules/rule_set.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "expr/predicate.h"
+#include "expr/tribool.h"
+
+namespace dflow::rules {
+
+namespace {
+
+// Adapts a TaskContext to the condition-evaluation environment: every input
+// the engine hands to a running task is stable by construction, so rule
+// conditions always evaluate definitely.
+class ContextEnv : public expr::AttributeEnv {
+ public:
+  explicit ContextEnv(const core::TaskContext* ctx) : ctx_(ctx) {}
+  std::optional<Value> StableValue(AttributeId id) const override {
+    return ctx_->input(id);
+  }
+
+ private:
+  const core::TaskContext* ctx_;
+};
+
+}  // namespace
+
+std::string ToString(CombinePolicy policy) {
+  switch (policy) {
+    case CombinePolicy::kFirstMatch: return "first-match";
+    case CombinePolicy::kLastMatch: return "last-match";
+    case CombinePolicy::kSumNumeric: return "sum";
+    case CombinePolicy::kMaxNumeric: return "max";
+    case CombinePolicy::kCountMatches: return "count";
+  }
+  return "?";
+}
+
+RuleSet& RuleSet::Add(std::string name, expr::Condition condition,
+                      core::TaskFn contribution) {
+  rules_.push_back(
+      Rule{std::move(name), std::move(condition), std::move(contribution)});
+  return *this;
+}
+
+RuleSet& RuleSet::Add(std::string name, expr::Condition condition,
+                      Value constant) {
+  return Add(std::move(name), std::move(condition),
+             [constant = std::move(constant)](const core::TaskContext&) {
+               return constant;
+             });
+}
+
+std::vector<AttributeId> RuleSet::ConditionAttributes() const {
+  std::vector<AttributeId> out;
+  for (const Rule& rule : rules_) {
+    const std::vector<AttributeId> attrs = rule.condition.Attributes();
+    out.insert(out.end(), attrs.begin(), attrs.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+core::TaskFn RuleSet::Compile(CombinePolicy policy,
+                              Value default_value) const {
+  // The compiled closure owns a copy of the rules; the RuleSet may go out
+  // of scope after Compile().
+  return [rules = rules_, policy,
+          default_value = std::move(default_value)](
+             const core::TaskContext& ctx) -> Value {
+    const ContextEnv env(&ctx);
+    int matches = 0;
+    Value result = default_value;
+    double accumulator = 0;
+    bool have_numeric = false;
+
+    for (const Rule& rule : rules) {
+      if (rule.condition.Eval(env) != expr::Tribool::kTrue) continue;
+      ++matches;
+      switch (policy) {
+        case CombinePolicy::kFirstMatch:
+          if (matches == 1) result = rule.contribution(ctx);
+          break;
+        case CombinePolicy::kLastMatch:
+          result = rule.contribution(ctx);
+          break;
+        case CombinePolicy::kSumNumeric: {
+          const Value v = rule.contribution(ctx);
+          if (v.is_numeric()) {
+            accumulator += v.AsDouble();
+            have_numeric = true;
+          }
+          break;
+        }
+        case CombinePolicy::kMaxNumeric: {
+          const Value v = rule.contribution(ctx);
+          if (v.is_numeric()) {
+            accumulator = have_numeric ? std::max(accumulator, v.AsDouble())
+                                       : v.AsDouble();
+            have_numeric = true;
+          }
+          break;
+        }
+        case CombinePolicy::kCountMatches:
+          break;
+      }
+      if (policy == CombinePolicy::kFirstMatch) break;
+    }
+
+    switch (policy) {
+      case CombinePolicy::kFirstMatch:
+      case CombinePolicy::kLastMatch:
+        return result;
+      case CombinePolicy::kSumNumeric:
+      case CombinePolicy::kMaxNumeric:
+        return have_numeric ? Value::Double(accumulator) : default_value;
+      case CombinePolicy::kCountMatches:
+        return Value::Int(matches);
+    }
+    return default_value;
+  };
+}
+
+}  // namespace dflow::rules

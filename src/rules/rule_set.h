@@ -1,0 +1,69 @@
+#ifndef DFLOW_RULES_RULE_SET_H_
+#define DFLOW_RULES_RULE_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "core/task.h"
+#include "expr/condition.h"
+
+namespace dflow::rules {
+
+// How a RuleSet combines the contributions of its matching rules into the
+// attribute's single value.
+enum class CombinePolicy {
+  kFirstMatch,  // the first matching rule's contribution (classic decision list)
+  kLastMatch,   // the last matching rule wins (override semantics)
+  kSumNumeric,  // sum of matching numeric contributions (scoring)
+  kMaxNumeric,  // maximum matching numeric contribution
+  kCountMatches,  // Int(number of matching rules)
+};
+
+std::string ToString(CombinePolicy policy);
+
+// A declarative rule list for synthesis attributes — the "generalized form
+// of business rules" the paper inherits from the Vortex model [HLS+99a].
+// Each rule pairs a condition over the attribute's *data inputs* with a
+// contribution; Compile() produces an ordinary TaskFn, so rule-based
+// attributes plug into SchemaBuilder::AddSynthesis like any other task.
+//
+// Rule conditions are evaluated over the task's stable inputs, so they are
+// always definite at fire time (disabled inputs appear as ⊥ and satisfy
+// IsNull predicates — a rule can explicitly handle missing information).
+// Callers must list every attribute referenced by a rule condition or
+// contribution among the attribute's data inputs; ConditionAttributes()
+// returns the set to include.
+class RuleSet {
+ public:
+  // Adds a rule contributing a computed value.
+  RuleSet& Add(std::string name, expr::Condition condition,
+               core::TaskFn contribution);
+  // Adds a rule contributing a constant.
+  RuleSet& Add(std::string name, expr::Condition condition, Value constant);
+
+  int size() const { return static_cast<int>(rules_.size()); }
+  const std::string& rule_name(int i) const {
+    return rules_[static_cast<size_t>(i)].name;
+  }
+
+  // Attributes read by any rule condition (sorted, deduplicated).
+  std::vector<AttributeId> ConditionAttributes() const;
+
+  // Compiles to a synthesis task function. When no rule matches the result
+  // is `default_value` (kCountMatches ignores it and returns Int(0)).
+  core::TaskFn Compile(CombinePolicy policy,
+                       Value default_value = Value::Null()) const;
+
+ private:
+  struct Rule {
+    std::string name;
+    expr::Condition condition;
+    core::TaskFn contribution;
+  };
+  std::vector<Rule> rules_;
+};
+
+}  // namespace dflow::rules
+
+#endif  // DFLOW_RULES_RULE_SET_H_

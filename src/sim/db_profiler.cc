@@ -1,0 +1,117 @@
+#include "sim/db_profiler.h"
+
+#include "common/rng.h"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+namespace dflow::sim {
+
+DbSample DbProfiler::Measure(int gmpl, int warmup_queries,
+                             int measured_queries) const {
+  Simulator sim;
+  DatabaseServer db(&sim, params_, seed_ + static_cast<uint64_t>(gmpl));
+
+  int completed = 0;
+  double total_response = 0;
+  int measured = 0;
+  const int target = warmup_queries + measured_queries;
+  bool stop = false;
+
+  // Each stream submits one 1-unit query at a time, resubmitting on
+  // completion, so exactly `gmpl` queries are always inside the server.
+  std::function<void()> submit = [&]() {
+    if (stop) return;
+    const Time start = sim.now();
+    db.Submit(1, [&, start]() {
+      ++completed;
+      if (completed > warmup_queries && measured < measured_queries) {
+        total_response += sim.now() - start;
+        ++measured;
+      }
+      if (completed >= target) {
+        stop = true;
+        return;
+      }
+      submit();
+    });
+  };
+  for (int s = 0; s < gmpl; ++s) submit();
+  while (!stop && sim.RunOne()) {
+  }
+
+  DbSample sample;
+  sample.gmpl = gmpl;
+  sample.unit_time_ms = measured > 0 ? total_response / measured : 0;
+  return sample;
+}
+
+std::vector<DbSample> DbProfiler::MeasureCurve(int max_gmpl) const {
+  std::vector<DbSample> curve;
+  curve.reserve(static_cast<size_t>(max_gmpl));
+  for (int g = 1; g <= max_gmpl; ++g) curve.push_back(Measure(g));
+  return curve;
+}
+
+DbSample DbProfiler::MeasureOpen(double units_per_ms, int min_cost,
+                                 int max_cost, int warmup_queries,
+                                 int measured_queries) const {
+  Simulator sim;
+  DatabaseServer db(&sim, params_, seed_ ^ 0xabcdef12ULL);
+  Rng rng(Rng::Mix(seed_, 0x09e17ULL));
+
+  const double mean_cost = (min_cost + max_cost) / 2.0;
+  const double queries_per_ms = units_per_ms / mean_cost;
+  const int total = warmup_queries + measured_queries;
+
+  double sum_unit_response = 0;
+  int measured = 0;
+  int completed = 0;
+
+  double at = 0;
+  for (int i = 0; i < total; ++i) {
+    at += rng.Exponential(1.0 / queries_per_ms);
+    const int cost = static_cast<int>(rng.UniformInt(min_cost, max_cost));
+    sim.ScheduleAt(at, [&, cost]() {
+      const Time start = sim.now();
+      db.Submit(cost, [&, cost, start]() {
+        ++completed;
+        if (completed > warmup_queries && measured < measured_queries) {
+          sum_unit_response += (sim.now() - start) / cost;
+          ++measured;
+        }
+      });
+    });
+  }
+  sim.RunUntilEmpty();
+
+  DbSample sample;
+  sample.unit_time_ms = measured > 0 ? sum_unit_response / measured : 0;
+  // Little's law in units: mean level = offered unit rate x unit response.
+  sample.gmpl = units_per_ms * sample.unit_time_ms;
+  return sample;
+}
+
+std::vector<DbSample> DbProfiler::MeasureOpenCurve(
+    const std::vector<double>& loads, int min_cost, int max_cost) const {
+  std::vector<DbSample> curve;
+  curve.reserve(loads.size());
+  for (double load : loads) {
+    curve.push_back(MeasureOpen(load, min_cost, max_cost));
+  }
+  std::sort(curve.begin(), curve.end(),
+            [](const DbSample& a, const DbSample& b) { return a.gmpl < b.gmpl; });
+  // Collapse duplicate levels (keep the slower sample: conservative).
+  std::vector<DbSample> out;
+  for (const DbSample& s : curve) {
+    if (!out.empty() && s.gmpl <= out.back().gmpl + 1e-9) {
+      out.back().unit_time_ms = std::max(out.back().unit_time_ms, s.unit_time_ms);
+      continue;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace dflow::sim

@@ -1,0 +1,62 @@
+#ifndef DFLOW_SIM_DB_PROFILER_H_
+#define DFLOW_SIM_DB_PROFILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/database_server.h"
+
+namespace dflow::sim {
+
+// One sample of the database characteristic function Db: the mean response
+// time (ms) of a unit of processing when the server sustains a
+// multiprogramming level of `gmpl` units (fractional for open-loop
+// operational measurements).
+struct DbSample {
+  double gmpl = 0;
+  double unit_time_ms = 0;
+};
+
+// Empirically measures the Db function of Figure 9(a): for each requested
+// multiprogramming level G, runs G closed-loop streams that each submit
+// 1-unit queries back-to-back, and reports the mean query response time
+// after a warmup period. Deterministic given the seed.
+class DbProfiler {
+ public:
+  explicit DbProfiler(DatabaseParams params, uint64_t seed = 42)
+      : params_(params), seed_(seed) {}
+
+  // Measures UnitTime at one multiprogramming level. `measured_queries` is
+  // the number of completions averaged after `warmup_queries` completions
+  // are discarded.
+  DbSample Measure(int gmpl, int warmup_queries = 2000,
+                   int measured_queries = 20000) const;
+
+  // Measures the whole curve for gmpl = 1..max_gmpl (inclusive).
+  std::vector<DbSample> MeasureCurve(int max_gmpl) const;
+
+  // Operational (open-loop) measurement: Poisson query arrivals at
+  // `units_per_ms` offered load with query costs uniform in
+  // [min_cost, max_cost]. Returns the mean response per unit and the
+  // implied mean multiprogramming level (Little's law: Gmpl = lambda_units
+  // * UnitTime). This is the curve to use when predicting open-system
+  // behaviour (Figure 9(b)-(d)): a closed-loop curve at the same *mean*
+  // Gmpl understates queueing because the open system's level fluctuates.
+  // The offered load must be below the server's capacity.
+  DbSample MeasureOpen(double units_per_ms, int min_cost, int max_cost,
+                       int warmup_queries = 2000,
+                       int measured_queries = 20000) const;
+
+  // Operational curve over an offered-load grid: `loads` in units/ms,
+  // returned sorted by gmpl with duplicate levels collapsed.
+  std::vector<DbSample> MeasureOpenCurve(const std::vector<double>& loads,
+                                         int min_cost, int max_cost) const;
+
+ private:
+  DatabaseParams params_;
+  uint64_t seed_;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_DB_PROFILER_H_

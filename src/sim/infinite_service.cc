@@ -1,0 +1,13 @@
+#include "sim/infinite_service.h"
+
+#include <utility>
+
+namespace dflow::sim {
+
+void InfiniteResourceService::Submit(int cost_units, Completion done) {
+  units_submitted_ += cost_units;
+  ++queries_submitted_;
+  sim_->Schedule(unit_duration_ * cost_units, std::move(done));
+}
+
+}  // namespace dflow::sim

@@ -1,0 +1,35 @@
+#ifndef DFLOW_SIM_INFINITE_SERVICE_H_
+#define DFLOW_SIM_INFINITE_SERVICE_H_
+
+#include <cstdint>
+
+#include "sim/query_service.h"
+#include "sim/simulator.h"
+
+namespace dflow::sim {
+
+// Unbounded-resource query service: every query runs immediately and takes
+// exactly `cost_units * unit_duration` of simulated time, regardless of how
+// many queries are in flight. This realizes the paper's "database with
+// infinite resources" setting, where response time is measured in units of
+// processing (TimeInUnits) and Work is the total number of units consumed.
+class InfiniteResourceService : public QueryService {
+ public:
+  explicit InfiniteResourceService(Simulator* sim, Time unit_duration = 1.0)
+      : sim_(sim), unit_duration_(unit_duration) {}
+
+  void Submit(int cost_units, Completion done) override;
+
+  int64_t units_submitted() const { return units_submitted_; }
+  int64_t queries_submitted() const { return queries_submitted_; }
+
+ private:
+  Simulator* sim_;
+  Time unit_duration_;
+  int64_t units_submitted_ = 0;
+  int64_t queries_submitted_ = 0;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_INFINITE_SERVICE_H_

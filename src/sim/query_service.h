@@ -1,0 +1,33 @@
+#ifndef DFLOW_SIM_QUERY_SERVICE_H_
+#define DFLOW_SIM_QUERY_SERVICE_H_
+
+#include <functional>
+
+namespace dflow::sim {
+
+// The external server that foreign tasks run against (§3: the engine "sends
+// their corresponding queries to the external server(s)").
+//
+// A query is characterized solely by its cost in *units of processing*
+// (Table 1's module_cost); its semantic result is computed by the task's
+// value function at completion time, so the service only models *when* the
+// query finishes. Implementations:
+//   - InfiniteResourceService: unbounded resources, one unit == one time
+//     unit, arbitrary parallelism (the §5 "infinite resources" experiments).
+//   - DatabaseServer: CPU/disk service queues (the §5 bounded-resource
+//     experiments and the Db(Gmpl) curve of Figure 9(a)).
+class QueryService {
+ public:
+  using Completion = std::function<void()>;
+
+  virtual ~QueryService() = default;
+
+  // Submits a query costing `cost_units` (>= 0) units of processing.
+  // `done` runs at the simulated completion time. Cost 0 completes at the
+  // current time (still via the event queue, preserving FIFO determinism).
+  virtual void Submit(int cost_units, Completion done) = 0;
+};
+
+}  // namespace dflow::sim
+
+#endif  // DFLOW_SIM_QUERY_SERVICE_H_

@@ -1,0 +1,42 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dflow::sim {
+
+void Simulator::Schedule(Time delay, Callback cb) {
+  assert(delay >= 0);
+  ScheduleAt(now_ + delay, std::move(cb));
+}
+
+void Simulator::ScheduleAt(Time at, Callback cb) {
+  assert(at >= now_);
+  queue_.push(Event{at, next_seq_++, std::move(cb)});
+}
+
+bool Simulator::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped before the callback runs.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++events_processed_;
+  ev.cb();
+  return true;
+}
+
+void Simulator::RunUntilEmpty() {
+  while (RunOne()) {
+  }
+}
+
+void Simulator::RunUntil(Time t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    RunOne();
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace dflow::sim

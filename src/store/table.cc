@@ -1,0 +1,51 @@
+#include "store/table.h"
+
+namespace dflow::store {
+
+namespace {
+const Value& NullValue() {
+  static const Value& kNull = *new Value();
+  return kNull;
+}
+}  // namespace
+
+const Value& Row::Get(const std::string& field) const {
+  const auto it = fields_.find(field);
+  if (it == fields_.end()) return NullValue();
+  return it->second;
+}
+
+std::vector<Row> Table::Select(const RowPredicate& pred) const {
+  std::vector<Row> out;
+  for (const Row& row : rows_) {
+    if (pred(row)) out.push_back(row);
+  }
+  return out;
+}
+
+std::optional<Row> Table::FindFirst(const RowPredicate& pred) const {
+  for (const Row& row : rows_) {
+    if (pred(row)) return row;
+  }
+  return std::nullopt;
+}
+
+int64_t Table::Count(const RowPredicate& pred) const {
+  int64_t n = 0;
+  for (const Row& row : rows_) {
+    if (pred(row)) ++n;
+  }
+  return n;
+}
+
+const Table* Database::table(const std::string& name) const {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::mutable_table(const std::string& name) {
+  const auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dflow::store

@@ -1,0 +1,67 @@
+#ifndef DFLOW_STORE_TABLE_H_
+#define DFLOW_STORE_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dflow::store {
+
+// A row: named fields. Missing fields read as the null Value, mirroring how
+// decision flows treat missing information.
+class Row {
+ public:
+  Row() = default;
+  Row(std::initializer_list<std::pair<const std::string, Value>> fields)
+      : fields_(fields) {}
+
+  void Set(const std::string& field, Value v) { fields_[field] = std::move(v); }
+  // Null when the field is absent.
+  const Value& Get(const std::string& field) const;
+  bool Has(const std::string& field) const { return fields_.count(field) > 0; }
+
+ private:
+  std::map<std::string, Value> fields_;
+};
+
+// An in-memory table with predicate scans — the stand-in for the customer
+// profile / inventory / catalog databases of the Figure 1 example. This is
+// deliberately minimal: decision-flow foreign tasks wrap lookups on these
+// tables, with their *latency* modeled separately by sim::QueryService.
+class Table {
+ public:
+  using RowPredicate = std::function<bool(const Row&)>;
+
+  void Insert(Row row) { rows_.push_back(std::move(row)); }
+
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+
+  std::vector<Row> Select(const RowPredicate& pred) const;
+  std::optional<Row> FindFirst(const RowPredicate& pred) const;
+  int64_t Count(const RowPredicate& pred) const;
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+// A named collection of tables.
+class Database {
+ public:
+  Table& CreateTable(const std::string& name) { return tables_[name]; }
+  // nullptr when the table does not exist.
+  const Table* table(const std::string& name) const;
+  Table* mutable_table(const std::string& name);
+
+ private:
+  std::map<std::string, Table> tables_;
+};
+
+}  // namespace dflow::store
+
+#endif  // DFLOW_STORE_TABLE_H_

@@ -1,0 +1,114 @@
+#include "model/analytic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dflow::model {
+namespace {
+
+DbCurve LinearCurve(double base_ms, double slope) {
+  // Db(g) = base + slope * g, sampled at a few points (extrapolated beyond).
+  std::vector<std::pair<double, double>> samples;
+  for (double g : {0.0, 5.0, 10.0, 20.0}) {
+    samples.push_back({g, base_ms + slope * g});
+  }
+  return DbCurve(std::move(samples));
+}
+
+TEST(DbCurveTest, InterpolatesBetweenSamples) {
+  DbCurve curve({{0, 10}, {10, 30}});
+  EXPECT_DOUBLE_EQ(curve.Eval(5), 20);
+  EXPECT_DOUBLE_EQ(curve.Eval(2.5), 15);
+}
+
+TEST(DbCurveTest, ClampsBelowFirstSample) {
+  DbCurve curve({{5, 10}, {10, 30}});
+  EXPECT_DOUBLE_EQ(curve.Eval(0), 10);
+  EXPECT_DOUBLE_EQ(curve.Eval(-3), 10);
+}
+
+TEST(DbCurveTest, ExtrapolatesTailSlope) {
+  DbCurve curve({{0, 10}, {10, 30}});
+  EXPECT_DOUBLE_EQ(curve.Eval(20), 50);  // slope 2 continues
+}
+
+TEST(DbCurveTest, SingleSampleIsFlat) {
+  DbCurve curve({{1, 7}});
+  EXPECT_DOUBLE_EQ(curve.Eval(0), 7);
+  EXPECT_DOUBLE_EQ(curve.Eval(100), 7);
+}
+
+TEST(AnalyticModelTest, FixedPointMatchesClosedForm) {
+  // With Db(g) = b + s*g and Gmpl = c*u, Equation (6) reads
+  // u = b + s*c*u  =>  u = b / (1 - s*c) when s*c < 1.
+  const double base = 4.0, slope = 0.5;
+  AnalyticModel model(LinearCurve(base, slope));
+  const double th = 20.0;   // instances/s
+  const double work = 50.0; // units
+  const double c = th / 1000.0 * work;  // 1.0
+  ASSERT_LT(slope * c, 1.0);
+  const auto u = model.SolveUnitTimeMs(th, work);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_NEAR(*u, base / (1 - slope * c), 1e-6);
+}
+
+TEST(AnalyticModelTest, InfeasiblePointDiverges) {
+  // s*c >= 1 has no fixed point: u = b + s*c*u grows without bound.
+  AnalyticModel model(LinearCurve(4.0, 0.5));
+  EXPECT_FALSE(model.SolveUnitTimeMs(/*th=*/20.0, /*work=*/120.0).has_value());
+}
+
+TEST(AnalyticModelTest, UnitTimeGrowsWithWork) {
+  AnalyticModel model(LinearCurve(4.0, 0.5));
+  const auto u1 = model.SolveUnitTimeMs(20, 10);
+  const auto u2 = model.SolveUnitTimeMs(20, 60);
+  ASSERT_TRUE(u1.has_value() && u2.has_value());
+  EXPECT_GT(*u2, *u1);
+}
+
+TEST(AnalyticModelTest, MaxWorkMatchesClosedForm) {
+  // Feasibility boundary: s * (th/1000) * work < 1  =>  work < 1000/(s*th).
+  AnalyticModel model(LinearCurve(4.0, 0.5));
+  const double th = 20.0;
+  const double bound = model.MaxWorkForThroughput(th);
+  EXPECT_NEAR(bound, 1000.0 / (0.5 * th), 0.5);
+}
+
+TEST(AnalyticModelTest, MaxWorkDecreasesWithThroughput) {
+  AnalyticModel model(LinearCurve(4.0, 0.5));
+  EXPECT_GT(model.MaxWorkForThroughput(10), model.MaxWorkForThroughput(20));
+  EXPECT_GT(model.MaxWorkForThroughput(20), model.MaxWorkForThroughput(40));
+}
+
+TEST(AnalyticModelTest, PredictResponseCombinesGuidelineAndUnitTime) {
+  AnalyticModel model(LinearCurve(4.0, 0.5));
+  const double th = 20.0, work = 50.0, time_units = 30.0;
+  const auto unit = model.SolveUnitTimeMs(th, work);
+  ASSERT_TRUE(unit.has_value());
+  const auto predicted = model.PredictResponseMs(th, work, time_units);
+  ASSERT_TRUE(predicted.has_value());
+  EXPECT_DOUBLE_EQ(*predicted, time_units * *unit);
+}
+
+TEST(AnalyticModelTest, PredictResponseInfeasibleIsNullopt) {
+  AnalyticModel model(LinearCurve(4.0, 0.5));
+  EXPECT_FALSE(model.PredictResponseMs(20.0, 500.0, 30.0).has_value());
+}
+
+TEST(AnalyticModelTest, DerivedQuantities) {
+  EXPECT_DOUBLE_EQ(AnalyticModel::Impl(10.0, 0.25), 2.5);  // Little's law
+  // Gmpl = Th * Work * UnitTime with unit conversion: 10/s * 18 units *
+  // 50ms = 9 units in service.
+  EXPECT_DOUBLE_EQ(AnalyticModel::Gmpl(10.0, 18.0, 50.0), 9.0);
+}
+
+TEST(AnalyticModelTest, ZeroThroughputCostsBaseUnitTime) {
+  AnalyticModel model(LinearCurve(4.0, 0.5));
+  const auto u = model.SolveUnitTimeMs(0.0, 100.0);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_NEAR(*u, 4.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dflow::model

@@ -1,0 +1,96 @@
+#include "core/attribute_state.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::core {
+namespace {
+
+constexpr AttrState kAll[] = {
+    AttrState::kUninitialized, AttrState::kEnabled,  AttrState::kReady,
+    AttrState::kReadyEnabled,  AttrState::kComputed, AttrState::kValue,
+    AttrState::kDisabled,
+};
+
+TEST(AttrStateTest, StableStates) {
+  EXPECT_TRUE(IsStable(AttrState::kValue));
+  EXPECT_TRUE(IsStable(AttrState::kDisabled));
+  EXPECT_FALSE(IsStable(AttrState::kUninitialized));
+  EXPECT_FALSE(IsStable(AttrState::kEnabled));
+  EXPECT_FALSE(IsStable(AttrState::kReady));
+  EXPECT_FALSE(IsStable(AttrState::kReadyEnabled));
+  EXPECT_FALSE(IsStable(AttrState::kComputed));
+}
+
+TEST(AttrStateTest, Figure3Edges) {
+  EXPECT_TRUE(IsValidTransition(AttrState::kUninitialized, AttrState::kEnabled));
+  EXPECT_TRUE(IsValidTransition(AttrState::kUninitialized, AttrState::kReady));
+  EXPECT_TRUE(
+      IsValidTransition(AttrState::kUninitialized, AttrState::kDisabled));
+  EXPECT_TRUE(IsValidTransition(AttrState::kEnabled, AttrState::kReadyEnabled));
+  EXPECT_TRUE(IsValidTransition(AttrState::kReady, AttrState::kReadyEnabled));
+  EXPECT_TRUE(IsValidTransition(AttrState::kReady, AttrState::kComputed));
+  EXPECT_TRUE(IsValidTransition(AttrState::kReady, AttrState::kDisabled));
+  EXPECT_TRUE(IsValidTransition(AttrState::kReadyEnabled, AttrState::kValue));
+  EXPECT_TRUE(IsValidTransition(AttrState::kComputed, AttrState::kValue));
+  EXPECT_TRUE(IsValidTransition(AttrState::kComputed, AttrState::kDisabled));
+}
+
+TEST(AttrStateTest, IllegalTransitions) {
+  // Enabling conditions are monotone: once ENABLED an attribute can never
+  // become DISABLED.
+  EXPECT_FALSE(IsValidTransition(AttrState::kEnabled, AttrState::kDisabled));
+  EXPECT_FALSE(
+      IsValidTransition(AttrState::kReadyEnabled, AttrState::kDisabled));
+  // No skipping straight to VALUE without the task completing.
+  EXPECT_FALSE(IsValidTransition(AttrState::kUninitialized, AttrState::kValue));
+  EXPECT_FALSE(IsValidTransition(AttrState::kEnabled, AttrState::kValue));
+  EXPECT_FALSE(IsValidTransition(AttrState::kReady, AttrState::kValue));
+  // No regressions.
+  EXPECT_FALSE(IsValidTransition(AttrState::kReady, AttrState::kUninitialized));
+  EXPECT_FALSE(IsValidTransition(AttrState::kComputed, AttrState::kReady));
+}
+
+TEST(AttrStateTest, TerminalStatesHaveNoExits) {
+  for (AttrState to : kAll) {
+    EXPECT_FALSE(IsValidTransition(AttrState::kValue, to));
+    EXPECT_FALSE(IsValidTransition(AttrState::kDisabled, to));
+  }
+}
+
+TEST(AttrStateTest, PartialOrderReflexive) {
+  for (AttrState s : kAll) {
+    EXPECT_TRUE(PrecedesOrEqual(s, s));
+  }
+}
+
+TEST(AttrStateTest, PartialOrderExamples) {
+  // The paper's example: READY ⊑ COMPUTED.
+  EXPECT_TRUE(PrecedesOrEqual(AttrState::kReady, AttrState::kComputed));
+  EXPECT_TRUE(PrecedesOrEqual(AttrState::kUninitialized, AttrState::kValue));
+  EXPECT_TRUE(PrecedesOrEqual(AttrState::kEnabled, AttrState::kValue));
+  EXPECT_TRUE(PrecedesOrEqual(AttrState::kReady, AttrState::kDisabled));
+  // ENABLED can never lead to DISABLED.
+  EXPECT_FALSE(PrecedesOrEqual(AttrState::kEnabled, AttrState::kDisabled));
+  // Incomparable pair.
+  EXPECT_FALSE(PrecedesOrEqual(AttrState::kValue, AttrState::kDisabled));
+  EXPECT_FALSE(PrecedesOrEqual(AttrState::kDisabled, AttrState::kValue));
+}
+
+TEST(AttrStateTest, PartialOrderAntisymmetric) {
+  for (AttrState a : kAll) {
+    for (AttrState b : kAll) {
+      if (a == b) continue;
+      EXPECT_FALSE(PrecedesOrEqual(a, b) && PrecedesOrEqual(b, a))
+          << ToString(a) << " vs " << ToString(b);
+    }
+  }
+}
+
+TEST(AttrStateTest, ToStringMatchesPaperNames) {
+  EXPECT_EQ(ToString(AttrState::kUninitialized), "UNINITIALIZED");
+  EXPECT_EQ(ToString(AttrState::kReadyEnabled), "READY+ENABLED");
+  EXPECT_EQ(ToString(AttrState::kComputed), "COMPUTED");
+}
+
+}  // namespace
+}  // namespace dflow::core

@@ -1,0 +1,169 @@
+// Timing independence: correctness must not depend on *when* queries
+// complete. The bounded DatabaseServer introduces stochastic latencies and
+// reorders completions relative to the infinite-resource service; every
+// strategy must still reach a terminal snapshot compatible with the unique
+// complete snapshot, with identical target values.
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/runner.h"
+#include "core/semantics.h"
+#include "gen/schema_generator.h"
+#include "sim/database_server.h"
+
+namespace dflow {
+namespace {
+
+using Param = std::tuple<const char*, uint64_t>;
+
+class BoundedDbCorrectness : public ::testing::TestWithParam<Param> {};
+
+TEST_P(BoundedDbCorrectness, CompatibleDespiteQueueing) {
+  const auto& [strategy_text, db_seed] = GetParam();
+  gen::PatternParams params;
+  params.nb_nodes = 24;
+  params.nb_rows = 3;
+  params.pct_enabled = 50;
+  params.seed = 3;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  const core::Strategy strategy = *core::Strategy::Parse(strategy_text);
+
+  for (int i = 0; i < 4; ++i) {
+    const uint64_t inst = gen::InstanceSeed(params, i);
+    const core::SourceBinding bindings = gen::MakeSourceBinding(pattern, inst);
+
+    sim::Simulator sim;
+    sim::DatabaseServer db(&sim, sim::DatabaseParams{}, db_seed + static_cast<uint64_t>(i));
+    const core::InstanceResult bounded = core::RunSingle(
+        pattern.schema, bindings, inst, strategy, &sim, &db);
+
+    const core::CompleteSnapshot complete =
+        core::EvaluateComplete(pattern.schema, bindings, inst);
+    std::string why;
+    ASSERT_TRUE(core::IsCompatible(pattern.schema, complete, bounded.snapshot,
+                                   &why))
+        << strategy_text << " db_seed=" << db_seed << ": " << why;
+
+    // Target values agree with the infinite-resource execution exactly:
+    // completion order must not change the decision.
+    const core::InstanceResult infinite =
+        core::RunSingleInfinite(pattern.schema, bindings, inst, strategy);
+    for (AttributeId t : pattern.schema.targets()) {
+      EXPECT_EQ(bounded.snapshot.value(t), infinite.snapshot.value(t));
+      EXPECT_EQ(bounded.snapshot.state(t), infinite.snapshot.state(t));
+    }
+    // Response time is measured in milliseconds here and is positive
+    // whenever any query ran.
+    if (bounded.metrics.work > 0) {
+      EXPECT_GT(bounded.metrics.ResponseTime(), 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategiesTimesSeeds, BoundedDbCorrectness,
+    ::testing::Combine(::testing::Values("PCE0", "NCE0", "PCE100", "PSE100",
+                                         "PSC40"),
+                       ::testing::Values<uint64_t>(1, 99)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(std::get<0>(info.param)) + "_dbseed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BoundedDbIntegrationTest, MultipleFlowsShareOneDatabase) {
+  // The §6 deployment scenario: several *different* decision flows (with
+  // their own engines and strategies) execute concurrently against one
+  // dedicated database. Both must complete correctly while contending.
+  gen::PatternParams pa;
+  pa.nb_nodes = 16;
+  pa.nb_rows = 4;
+  pa.pct_enabled = 75;
+  pa.seed = 21;
+  gen::PatternParams pb;
+  pb.nb_nodes = 24;
+  pb.nb_rows = 2;
+  pb.pct_enabled = 40;
+  pb.seed = 22;
+  const gen::GeneratedSchema flow_a = gen::GeneratePattern(pa);
+  const gen::GeneratedSchema flow_b = gen::GeneratePattern(pb);
+
+  sim::Simulator sim;
+  sim::DatabaseServer db(&sim, sim::DatabaseParams{}, 77);
+  core::ExecutionEngine engine_a(&flow_a.schema,
+                                 *core::Strategy::Parse("PCE100"), &sim, &db);
+  core::ExecutionEngine engine_b(&flow_b.schema,
+                                 *core::Strategy::Parse("PSE100"), &sim, &db);
+
+  // Instances complete out of order under contention: index results by
+  // start order, not completion order.
+  int done = 0;
+  std::vector<std::optional<core::InstanceResult>> results_a(10), results_b(10);
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t sa = gen::InstanceSeed(pa, i);
+    engine_a.StartInstance(gen::MakeSourceBinding(flow_a, sa), sa,
+                           [&, i](core::InstanceResult r) {
+                             ++done;
+                             results_a[static_cast<size_t>(i)] = std::move(r);
+                           });
+    const uint64_t sb = gen::InstanceSeed(pb, i);
+    engine_b.StartInstance(gen::MakeSourceBinding(flow_b, sb), sb,
+                           [&, i](core::InstanceResult r) {
+                             ++done;
+                             results_b[static_cast<size_t>(i)] = std::move(r);
+                           });
+  }
+  sim.RunUntilEmpty();
+  ASSERT_EQ(done, 20);
+
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t sa = gen::InstanceSeed(pa, i);
+    const auto complete_a = core::EvaluateComplete(
+        flow_a.schema, gen::MakeSourceBinding(flow_a, sa), sa);
+    std::string why;
+    ASSERT_TRUE(results_a[static_cast<size_t>(i)].has_value());
+    EXPECT_TRUE(core::IsCompatible(
+        flow_a.schema, complete_a,
+        results_a[static_cast<size_t>(i)]->snapshot, &why))
+        << why;
+    const uint64_t sb = gen::InstanceSeed(pb, i);
+    const auto complete_b = core::EvaluateComplete(
+        flow_b.schema, gen::MakeSourceBinding(flow_b, sb), sb);
+    ASSERT_TRUE(results_b[static_cast<size_t>(i)].has_value());
+    EXPECT_TRUE(core::IsCompatible(
+        flow_b.schema, complete_b,
+        results_b[static_cast<size_t>(i)]->snapshot, &why))
+        << why;
+  }
+}
+
+TEST(BoundedDbIntegrationTest, WorkIsIdenticalAcrossServicesWhenSerial) {
+  // Serial conservative execution launches the same query set no matter how
+  // long queries take: Work on the bounded server equals Work on the
+  // infinite one (speculative strategies may differ: timing changes which
+  // conditions resolve before launch).
+  gen::PatternParams params;
+  params.nb_nodes = 24;
+  params.pct_enabled = 50;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  const core::Strategy strategy = *core::Strategy::Parse("PCE0");
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t inst = gen::InstanceSeed(params, i);
+    const auto bindings = gen::MakeSourceBinding(pattern, inst);
+    sim::Simulator sim;
+    sim::DatabaseServer db(&sim, sim::DatabaseParams{}, 5);
+    const auto bounded =
+        core::RunSingle(pattern.schema, bindings, inst, strategy, &sim, &db);
+    const auto infinite =
+        core::RunSingleInfinite(pattern.schema, bindings, inst, strategy);
+    EXPECT_EQ(bounded.metrics.work, infinite.metrics.work);
+  }
+}
+
+}  // namespace
+}  // namespace dflow

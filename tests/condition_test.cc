@@ -1,0 +1,133 @@
+#include "expr/condition.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::expr {
+namespace {
+
+using enum CompareOp;
+
+Condition Gt(AttributeId a, int64_t c) {
+  return Condition::Pred(Predicate::Compare(a, kGt, Value::Int(c)));
+}
+
+TEST(ConditionTest, LiteralsEvaluate) {
+  MapEnv env;
+  EXPECT_EQ(Condition::True().Eval(env), Tribool::kTrue);
+  EXPECT_EQ(Condition::False().Eval(env), Tribool::kFalse);
+  EXPECT_TRUE(Condition::True().IsLiteralTrue());
+  EXPECT_FALSE(Condition::False().IsLiteralTrue());
+}
+
+TEST(ConditionTest, DefaultIsTrue) {
+  Condition c;
+  EXPECT_TRUE(c.IsLiteralTrue());
+}
+
+TEST(ConditionTest, AndPartialEvaluation) {
+  // Paper §4: "the enabling condition of the node to check coat inventory
+  // might be evaluated to false using just the db_load attribute" — one
+  // false conjunct resolves the conjunction before other inputs stabilize.
+  const Condition c = Condition::All({Gt(0, 10), Gt(1, 10)});
+  MapEnv env;
+  env.Set(1, Value::Int(5));  // attribute 0 still unknown
+  EXPECT_EQ(c.Eval(env), Tribool::kFalse);
+}
+
+TEST(ConditionTest, AndStaysUnknownWhenUndetermined) {
+  const Condition c = Condition::All({Gt(0, 10), Gt(1, 10)});
+  MapEnv env;
+  env.Set(1, Value::Int(50));  // true, but attr 0 unknown
+  EXPECT_EQ(c.Eval(env), Tribool::kUnknown);
+}
+
+TEST(ConditionTest, OrPartialEvaluation) {
+  const Condition c = Condition::Any({Gt(0, 10), Gt(1, 10)});
+  MapEnv env;
+  env.Set(1, Value::Int(50));
+  EXPECT_EQ(c.Eval(env), Tribool::kTrue);  // one true disjunct suffices
+}
+
+TEST(ConditionTest, FullEvaluationIsDefinite) {
+  const Condition c = Condition::All({Gt(0, 10), Gt(1, 10)});
+  MapEnv env;
+  env.Set(0, Value::Int(20));
+  env.Set(1, Value::Int(30));
+  EXPECT_EQ(c.Eval(env), Tribool::kTrue);
+}
+
+TEST(ConditionTest, NotEvaluation) {
+  const Condition c = Condition::Not(Gt(0, 10));
+  MapEnv env;
+  EXPECT_EQ(c.Eval(env), Tribool::kUnknown);
+  env.Set(0, Value::Int(5));
+  EXPECT_EQ(c.Eval(env), Tribool::kTrue);
+}
+
+TEST(ConditionTest, EmptyCombinators) {
+  MapEnv env;
+  EXPECT_EQ(Condition::All({}).Eval(env), Tribool::kTrue);
+  EXPECT_EQ(Condition::Any({}).Eval(env), Tribool::kFalse);
+}
+
+TEST(ConditionTest, NestedCondition) {
+  // (a0 > 1 and (a1 > 1 or a2 > 1))
+  const Condition c =
+      Condition::All({Gt(0, 1), Condition::Any({Gt(1, 1), Gt(2, 1)})});
+  MapEnv env;
+  env.Set(0, Value::Int(5));
+  env.Set(2, Value::Int(9));
+  EXPECT_EQ(c.Eval(env), Tribool::kTrue);  // a1 never needed
+}
+
+TEST(ConditionTest, AttributesAreSortedAndDeduplicated) {
+  const Condition c = Condition::All(
+      {Gt(3, 1), Gt(1, 1), Condition::Any({Gt(3, 5), Gt(0, 1)})});
+  EXPECT_EQ(c.Attributes(), (std::vector<AttributeId>{0, 1, 3}));
+}
+
+TEST(ConditionTest, LiteralTrueHasNoAttributes) {
+  EXPECT_TRUE(Condition::True().Attributes().empty());
+}
+
+TEST(ConditionTest, AndWithSimplifiesLiteralTrue) {
+  const Condition c = Gt(0, 1);
+  EXPECT_EQ(Condition::True().AndWith(c).ToString(), c.ToString());
+  EXPECT_EQ(c.AndWith(Condition::True()).ToString(), c.ToString());
+}
+
+TEST(ConditionTest, AndWithCombines) {
+  const Condition c = Gt(0, 1).AndWith(Gt(1, 2));
+  MapEnv env;
+  env.Set(0, Value::Int(5));
+  env.Set(1, Value::Int(1));
+  EXPECT_EQ(c.Eval(env), Tribool::kFalse);
+  EXPECT_EQ(c.Attributes(), (std::vector<AttributeId>{0, 1}));
+}
+
+TEST(ConditionTest, NodeCount) {
+  EXPECT_EQ(Condition::True().NodeCount(), 1);
+  EXPECT_EQ(Gt(0, 1).NodeCount(), 1);
+  EXPECT_EQ(Condition::All({Gt(0, 1), Gt(1, 1)}).NodeCount(), 3);
+  EXPECT_EQ(Condition::Not(Condition::Any({Gt(0, 1), Gt(1, 1)})).NodeCount(),
+            4);
+}
+
+TEST(ConditionTest, ToStringRendering) {
+  EXPECT_EQ(Condition::True().ToString(), "true");
+  EXPECT_EQ(Condition::All({Gt(0, 1), Gt(1, 2)}).ToString(),
+            "(a0 > 1 and a1 > 2)");
+  EXPECT_EQ(Condition::Any({Gt(0, 1), Gt(1, 2)}).ToString(),
+            "(a0 > 1 or a1 > 2)");
+  EXPECT_EQ(Condition::Not(Gt(0, 1)).ToString(), "not a0 > 1");
+}
+
+TEST(ConditionTest, SharedAstIsCheaplyCopyable) {
+  const Condition a = Condition::All({Gt(0, 1), Gt(1, 1), Gt(2, 1)});
+  const Condition b = a;  // shares the AST
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(b.NodeCount(), 4);
+}
+
+}  // namespace
+}  // namespace dflow::expr

@@ -1,0 +1,228 @@
+#include "sim/database_server.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/db_profiler.h"
+#include "sim/infinite_service.h"
+
+namespace dflow::sim {
+namespace {
+
+DatabaseParams NoIoParams() {
+  DatabaseParams p;
+  p.num_cpus = 1;
+  p.num_disks = 1;
+  p.unit_cpu_ms = 2.0;
+  p.unit_io_pages = 0;  // pure CPU
+  return p;
+}
+
+TEST(DatabaseServerTest, SingleQueryPureCpuLatency) {
+  Simulator sim;
+  DatabaseServer db(&sim, NoIoParams(), 1);
+  double done_at = -1;
+  db.Submit(3, [&] { done_at = sim.now(); });
+  sim.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(done_at, 6.0);  // 3 units x 2ms CPU, no contention
+  EXPECT_EQ(db.queries_completed(), 1);
+  EXPECT_EQ(db.units_completed(), 3);
+}
+
+TEST(DatabaseServerTest, ZeroCostCompletesImmediately) {
+  Simulator sim;
+  DatabaseServer db(&sim, NoIoParams(), 1);
+  double done_at = -1;
+  db.Submit(0, [&] { done_at = sim.now(); });
+  sim.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(done_at, 0.0);
+  EXPECT_EQ(db.queries_completed(), 0);  // never entered the server
+}
+
+TEST(DatabaseServerTest, CpuContentionSerializesOnOneCpu) {
+  Simulator sim;
+  DatabaseServer db(&sim, NoIoParams(), 1);
+  std::vector<double> done;
+  db.Submit(1, [&] { done.push_back(sim.now()); });
+  db.Submit(1, [&] { done.push_back(sim.now()); });
+  sim.RunUntilEmpty();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 4.0);  // queued behind the first
+}
+
+TEST(DatabaseServerTest, MultipleCpusRunInParallel) {
+  DatabaseParams p = NoIoParams();
+  p.num_cpus = 2;
+  Simulator sim;
+  DatabaseServer db(&sim, p, 1);
+  std::vector<double> done;
+  db.Submit(1, [&] { done.push_back(sim.now()); });
+  db.Submit(1, [&] { done.push_back(sim.now()); });
+  sim.RunUntilEmpty();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+}
+
+TEST(DatabaseServerTest, IoMissesAddDiskTime) {
+  DatabaseParams p;
+  p.num_cpus = 1;
+  p.num_disks = 1;
+  p.unit_cpu_ms = 1.0;
+  p.unit_io_pages = 1;
+  p.io_hit = 0.0;  // every page misses
+  p.io_delay_ms = 5.0;
+  Simulator sim;
+  DatabaseServer db(&sim, p, 1);
+  double done_at = -1;
+  db.Submit(2, [&] { done_at = sim.now(); });
+  sim.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(done_at, 2 * (1.0 + 5.0));
+}
+
+TEST(DatabaseServerTest, FullBufferHitSkipsDisk) {
+  DatabaseParams p;
+  p.num_cpus = 1;
+  p.num_disks = 1;
+  p.unit_cpu_ms = 1.0;
+  p.unit_io_pages = 4;
+  p.io_hit = 1.0;  // all pages hit
+  p.io_delay_ms = 5.0;
+  Simulator sim;
+  DatabaseServer db(&sim, p, 1);
+  double done_at = -1;
+  db.Submit(3, [&] { done_at = sim.now(); });
+  sim.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(done_at, 3.0);
+}
+
+TEST(DatabaseServerTest, ActiveQueriesTracksGmpl) {
+  Simulator sim;
+  DatabaseServer db(&sim, NoIoParams(), 1);
+  EXPECT_EQ(db.active_queries(), 0);
+  db.Submit(2, [] {});
+  db.Submit(2, [] {});
+  EXPECT_EQ(db.active_queries(), 2);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(db.active_queries(), 0);
+}
+
+TEST(DatabaseServerTest, MeanGmplIntegratesLoad) {
+  Simulator sim;
+  DatabaseServer db(&sim, NoIoParams(), 1);
+  db.Submit(5, [] {});  // busy 0..10ms on one CPU, alone
+  sim.RunUntilEmpty();
+  EXPECT_NEAR(db.MeanGmpl(), 1.0, 1e-9);
+}
+
+TEST(DatabaseServerTest, DeterministicAcrossRuns) {
+  DatabaseParams p;  // Table 1 defaults: stochastic hits and disk choice
+  auto run = [&p]() {
+    Simulator sim;
+    DatabaseServer db(&sim, p, 99);
+    std::vector<double> done;
+    for (int i = 0; i < 50; ++i) {
+      db.Submit(3, [&done, &sim] { done.push_back(sim.now()); });
+    }
+    sim.RunUntilEmpty();
+    return done;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DatabaseServerTest, Table1DefaultsAreBalanced) {
+  // With Table 1 parameters the CPU demand (1ms/4) equals the expected disk
+  // demand (0.5 miss x 5ms / 10 disks) per unit: 0.25ms each. Sanity-check
+  // sustained throughput approaches 4 units/ms under heavy load.
+  DatabaseParams p;
+  Simulator sim;
+  DatabaseServer db(&sim, p, 7);
+  int completed = 0;
+  for (int i = 0; i < 400; ++i) {
+    db.Submit(10, [&completed] { ++completed; });
+  }
+  sim.RunUntilEmpty();
+  EXPECT_EQ(completed, 400);
+  const double units = 4000;
+  const double rate = units / sim.now();  // units per ms
+  EXPECT_GT(rate, 2.0);
+  EXPECT_LE(rate, 4.001);
+}
+
+TEST(InfiniteResourceServiceTest, CostEqualsLatencyAndNoContention) {
+  Simulator sim;
+  InfiniteResourceService svc(&sim);
+  std::vector<double> done;
+  for (int i = 0; i < 100; ++i) {
+    svc.Submit(7, [&done, &sim] { done.push_back(sim.now()); });
+  }
+  sim.RunUntilEmpty();
+  ASSERT_EQ(done.size(), 100u);
+  for (double d : done) EXPECT_DOUBLE_EQ(d, 7.0);
+  EXPECT_EQ(svc.units_submitted(), 700);
+  EXPECT_EQ(svc.queries_submitted(), 100);
+}
+
+TEST(InfiniteResourceServiceTest, CustomUnitDuration) {
+  Simulator sim;
+  InfiniteResourceService svc(&sim, 2.5);
+  double done_at = -1;
+  svc.Submit(4, [&] { done_at = sim.now(); });
+  sim.RunUntilEmpty();
+  EXPECT_DOUBLE_EQ(done_at, 10.0);
+}
+
+TEST(DbProfilerTest, CurveIsPositiveAndRoughlyMonotone) {
+  DatabaseParams p;
+  DbProfiler profiler(p, 5);
+  const auto curve = profiler.MeasureCurve(8);
+  ASSERT_EQ(curve.size(), 8u);
+  for (const auto& s : curve) EXPECT_GT(s.unit_time_ms, 0);
+  // Higher multiprogramming level => higher per-unit response (allow small
+  // measurement noise between adjacent points, none overall).
+  EXPECT_GT(curve.back().unit_time_ms, curve.front().unit_time_ms);
+}
+
+TEST(DbProfilerTest, DeterministicMeasurement) {
+  DatabaseParams p;
+  DbProfiler a(p, 11);
+  DbProfiler b(p, 11);
+  EXPECT_DOUBLE_EQ(a.Measure(4, 100, 1000).unit_time_ms,
+                   b.Measure(4, 100, 1000).unit_time_ms);
+}
+
+TEST(DbProfilerTest, OpenMeasurementAtLightLoadNearsBaseline) {
+  DatabaseParams p;
+  DbProfiler profiler(p, 13);
+  // Capacity with Table 1 defaults is 4 units/ms; at 2% load queueing is
+  // negligible and the per-unit response approaches the no-contention cost
+  // (1ms CPU + 0.5 * 5ms expected IO = 3.5ms).
+  const DbSample s = profiler.MeasureOpen(0.08, 1, 5, 500, 5000);
+  EXPECT_NEAR(s.unit_time_ms, 3.5, 0.7);
+  // Little's law: gmpl = offered rate x response.
+  EXPECT_NEAR(s.gmpl, 0.08 * s.unit_time_ms, 1e-9);
+}
+
+TEST(DbProfilerTest, OpenMeasurementGrowsWithLoad) {
+  DatabaseParams p;
+  DbProfiler profiler(p, 13);
+  const DbSample light = profiler.MeasureOpen(0.4, 1, 5, 500, 5000);
+  const DbSample heavy = profiler.MeasureOpen(3.2, 1, 5, 500, 5000);
+  EXPECT_GT(heavy.unit_time_ms, light.unit_time_ms);
+  EXPECT_GT(heavy.gmpl, light.gmpl);
+}
+
+TEST(DbProfilerTest, OpenCurveIsSortedAndDeduplicated) {
+  DatabaseParams p;
+  DbProfiler profiler(p, 13);
+  const auto curve = profiler.MeasureOpenCurve({2.0, 0.4, 1.2}, 1, 5);
+  ASSERT_GE(curve.size(), 2u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].gmpl, curve[i - 1].gmpl);
+  }
+}
+
+}  // namespace
+}  // namespace dflow::sim

@@ -1,0 +1,276 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/schema_builder.h"
+#include "core/semantics.h"
+#include "expr/predicate.h"
+#include "sim/infinite_service.h"
+#include "test_util.h"
+
+namespace dflow::core {
+namespace {
+
+using expr::Condition;
+using expr::Predicate;
+
+TaskFn Fixed(int64_t v) {
+  return [v](const TaskContext&) { return Value::Int(v); };
+}
+
+Strategy S(const char* text) { return *Strategy::Parse(text); }
+
+TEST(EngineTest, SerialTimeEqualsWork) {
+  // With %Permitted = 0 queries never overlap, so TimeInUnits == Work
+  // (the paper notes Figure 5 "also shows the response time" for this
+  // reason).
+  test::PromoFlow f = test::MakePromoFlow();
+  const InstanceResult r =
+      RunSingleInfinite(f.schema, test::HappyBindings(f), 1, S("PCE0"));
+  EXPECT_EQ(r.metrics.work, 12);  // 2+3+4+2+1 query units
+  EXPECT_DOUBLE_EQ(r.metrics.ResponseTime(), 12.0);
+  EXPECT_EQ(r.metrics.wasted_work, 0);
+}
+
+TEST(EngineTest, PaperWorkTimeExample) {
+  // §5: "if one instance takes total ten units of processing and three of
+  // the units were processed in parallel, then TimeInUnits is 8 and Work is
+  // 10": three 1-unit queries in parallel, then a 7-unit query.
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId p1 = b.AddQuery("p1", 1, Fixed(1), {src});
+  const AttributeId p2 = b.AddQuery("p2", 1, Fixed(2), {src});
+  const AttributeId p3 = b.AddQuery("p3", 1, Fixed(3), {src});
+  b.AddQuery("t", 7, Fixed(4), {p1, p2, p3}, Condition::True(), true);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+
+  const InstanceResult r =
+      RunSingleInfinite(*schema, {{src, Value::Int(0)}}, 1, S("PCE100"));
+  EXPECT_EQ(r.metrics.work, 10);
+  EXPECT_DOUBLE_EQ(r.metrics.ResponseTime(), 8.0);
+}
+
+TEST(EngineTest, EarlyExitWhenTargetDisabledUpFront) {
+  // expendable_income = 0 disables give_promo and assembly in the very
+  // first prequalifying pass: execution halts with zero queries issued.
+  test::PromoFlow f = test::MakePromoFlow();
+  const InstanceResult r = RunSingleInfinite(
+      f.schema,
+      {{f.income, Value::Int(0)},
+       {f.cart_boys, Value::Bool(true)},
+       {f.db_load, Value::Int(20)}},
+      1, S("PCE100"));
+  EXPECT_EQ(r.metrics.work, 0);
+  EXPECT_EQ(r.metrics.queries_launched, 0);
+  EXPECT_DOUBLE_EQ(r.metrics.ResponseTime(), 0.0);
+  EXPECT_EQ(r.snapshot.state(f.assembly), AttrState::kDisabled);
+}
+
+TEST(EngineTest, NaiveRunsUnneededWork) {
+  // A flow where a chain is enabled but unneeded: `gate` (returns false)
+  // disables t1, severing the need for `feeder`; a second target t2 keeps
+  // the instance alive. Propagation skips `feeder`; naive executes it.
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId gate = b.AddQuery(
+      "gate", 1, [](const TaskContext&) { return Value::Bool(false); }, {src});
+  const AttributeId feeder = b.AddQuery("feeder", 5, Fixed(1), {src});
+  b.AddQuery("t1", 1, Fixed(2), {feeder},
+             Condition::Pred(Predicate::IsTrue(gate)), /*is_target=*/true);
+  b.AddQuery("t2", 1, Fixed(3), {src}, Condition::True(), /*is_target=*/true);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+  const core::SourceBinding bindings = {{src, Value::Int(0)}};
+
+  const InstanceResult naive =
+      RunSingleInfinite(*schema, bindings, 1, S("NCE0"));
+  const InstanceResult prop = RunSingleInfinite(*schema, bindings, 1, S("PCE0"));
+  // Naive: gate(1) + feeder(5) + t2(1) = 7; propagation prunes feeder: 2.
+  EXPECT_EQ(naive.metrics.work, 7);
+  EXPECT_EQ(prop.metrics.work, 2);
+  EXPECT_GE(prop.metrics.unneeded_skipped, 1);
+  // Both are correct executions per §2.
+  const CompleteSnapshot complete = EvaluateComplete(*schema, bindings, 1);
+  std::string why;
+  EXPECT_TRUE(IsCompatible(*schema, complete, naive.snapshot, &why)) << why;
+  EXPECT_TRUE(IsCompatible(*schema, complete, prop.snapshot, &why)) << why;
+}
+
+TEST(EngineTest, SpeculativeCommitsComputedValue) {
+  test::PromoFlow f = test::MakePromoFlow();
+  const InstanceResult r =
+      RunSingleInfinite(f.schema, test::HappyBindings(f), 1, S("PSE100"));
+  EXPECT_EQ(r.snapshot.state(f.assembly), AttrState::kValue);
+  const CompleteSnapshot complete =
+      EvaluateComplete(f.schema, test::HappyBindings(f), 1);
+  std::string why;
+  EXPECT_TRUE(IsCompatible(f.schema, complete, r.snapshot, &why)) << why;
+}
+
+// A flow where speculation wastes work: `gate` (cost 5) resolves the
+// condition of `maybe` (cost 1) to false after `maybe` already ran.
+struct GatedFlow {
+  Schema schema;
+  AttributeId src, gate, maybe, target;
+};
+
+GatedFlow MakeGatedFlow(bool gate_opens) {
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId gate = b.AddQuery(
+      "gate", 5,
+      [gate_opens](const TaskContext&) { return Value::Bool(gate_opens); },
+      {src});
+  const AttributeId maybe =
+      b.AddQuery("maybe", 1, Fixed(7), {src},
+                 Condition::Pred(Predicate::IsTrue(gate)));
+  const AttributeId target = b.AddQuery("t", 1, Fixed(9), {maybe},
+                                        Condition::True(), /*is_target=*/true);
+  auto schema = b.Build();
+  return GatedFlow{std::move(*schema), src, gate, maybe, target};
+}
+
+TEST(EngineTest, SpeculationWastedWhenConditionFalse) {
+  GatedFlow f = MakeGatedFlow(/*gate_opens=*/false);
+  const InstanceResult r =
+      RunSingleInfinite(f.schema, {{f.src, Value::Int(0)}}, 1, S("PSE100"));
+  // gate(5) + maybe(1, speculative, wasted) + t(1) = 7 units of work.
+  EXPECT_EQ(r.metrics.work, 7);
+  EXPECT_EQ(r.metrics.wasted_work, 1);
+  EXPECT_EQ(r.metrics.speculative_launches, 1);
+  EXPECT_EQ(r.snapshot.state(f.maybe), AttrState::kDisabled);
+  // Response: gate resolves at 5, then t runs 1 unit.
+  EXPECT_DOUBLE_EQ(r.metrics.ResponseTime(), 6.0);
+}
+
+TEST(EngineTest, SpeculationPaysOffWhenConditionTrue) {
+  GatedFlow f = MakeGatedFlow(/*gate_opens=*/true);
+  const InstanceResult spec =
+      RunSingleInfinite(f.schema, {{f.src, Value::Int(0)}}, 1, S("PSE100"));
+  const InstanceResult cons =
+      RunSingleInfinite(f.schema, {{f.src, Value::Int(0)}}, 1, S("PCE100"));
+  // Speculative: maybe overlaps gate; conservative waits for gate.
+  EXPECT_DOUBLE_EQ(spec.metrics.ResponseTime(), 6.0);  // 5 (gate) + 1 (t)
+  EXPECT_DOUBLE_EQ(cons.metrics.ResponseTime(), 7.0);  // 5 + 1 (maybe) + 1
+  EXPECT_EQ(spec.metrics.wasted_work, 0);
+  EXPECT_EQ(spec.snapshot.state(f.maybe), AttrState::kValue);
+}
+
+TEST(EngineTest, EarlyExitAbandonsInFlightQueries) {
+  // target's condition reads gate; a long query feeding the target is in
+  // flight when gate disables the target: the instance finishes immediately
+  // and the stragglers count as wasted work.
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId gate =
+      b.AddQuery("gate", 1, [](const TaskContext&) { return Value::Bool(false); },
+                 {src});
+  const AttributeId slow = b.AddQuery("slow", 100, Fixed(1), {src});
+  b.AddQuery("t", 1, Fixed(2), {slow},
+             Condition::Pred(Predicate::IsTrue(gate)), /*is_target=*/true);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+
+  const InstanceResult r =
+      RunSingleInfinite(*schema, {{src, Value::Int(0)}}, 1, S("PCE100"));
+  EXPECT_DOUBLE_EQ(r.metrics.ResponseTime(), 1.0);  // gate resolves at 1
+  EXPECT_EQ(r.metrics.work, 101);                   // slow was submitted
+  EXPECT_EQ(r.metrics.wasted_work, 100);
+}
+
+TEST(EngineTest, SynthesisOnlyFlowsFinishInstantly) {
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId a = b.AddSynthesis(
+      "a",
+      [](const TaskContext& ctx) {
+        return Value::Int(ctx.input(0).int_value() + 1);
+      },
+      {src});
+  b.AddSynthesis(
+      "t",
+      [a](const TaskContext& ctx) {
+        return Value::Int(ctx.input(a).int_value() * 2);
+      },
+      {a}, Condition::True(), /*is_target=*/true);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+
+  const InstanceResult r =
+      RunSingleInfinite(*schema, {{src, Value::Int(20)}}, 1, S("PCE0"));
+  EXPECT_DOUBLE_EQ(r.metrics.ResponseTime(), 0.0);
+  EXPECT_EQ(r.metrics.work, 0);
+  EXPECT_EQ(r.snapshot.value(schema->FindAttribute("t")), Value::Int(42));
+}
+
+TEST(EngineTest, TaskContextExposesInstanceSeed) {
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  b.AddSynthesis(
+      "t",
+      [](const TaskContext& ctx) {
+        return Value::Int(static_cast<int64_t>(ctx.instance_seed));
+      },
+      {src}, Condition::True(), /*is_target=*/true);
+  auto schema = b.Build();
+  const InstanceResult r =
+      RunSingleInfinite(*schema, {{src, Value::Int(0)}}, 77, S("PCE0"));
+  EXPECT_EQ(r.snapshot.value(schema->FindAttribute("t")), Value::Int(77));
+}
+
+TEST(EngineTest, MultipleConcurrentInstances) {
+  test::PromoFlow f = test::MakePromoFlow();
+  sim::Simulator sim;
+  sim::InfiniteResourceService service(&sim);
+  ExecutionEngine engine(&f.schema, S("PCE100"), &sim, &service);
+
+  int completed = 0;
+  std::vector<int64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(engine.StartInstance(test::HappyBindings(f), 10 + i,
+                                       [&](InstanceResult result) {
+                                         ++completed;
+                                         EXPECT_TRUE(
+                                             result.snapshot.AllTargetsStable());
+                                       }));
+  }
+  EXPECT_EQ(engine.active_instances(), 5);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(engine.active_instances(), 0);
+  // Ids are distinct and monotonically assigned.
+  for (size_t i = 1; i < ids.size(); ++i) EXPECT_GT(ids[i], ids[i - 1]);
+}
+
+TEST(EngineTest, LmplReflectsParallelism) {
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  std::vector<AttributeId> qs;
+  for (int i = 0; i < 4; ++i) {
+    qs.push_back(b.AddQuery("q" + std::to_string(i), 2, Fixed(i), {src}));
+  }
+  b.AddSynthesis("t", Fixed(0), qs, Condition::True(), true);
+  auto schema = b.Build();
+
+  const InstanceResult parallel =
+      RunSingleInfinite(*schema, {{src, Value::Int(0)}}, 1, S("PCE100"));
+  const InstanceResult serial =
+      RunSingleInfinite(*schema, {{src, Value::Int(0)}}, 1, S("PCE0"));
+  EXPECT_NEAR(parallel.metrics.MeanLmpl(), 4.0, 1e-9);
+  EXPECT_NEAR(serial.metrics.MeanLmpl(), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(parallel.metrics.ResponseTime(), 2.0);
+  EXPECT_DOUBLE_EQ(serial.metrics.ResponseTime(), 8.0);
+}
+
+TEST(EngineTest, PrequalifierPassesAreCounted) {
+  test::PromoFlow f = test::MakePromoFlow();
+  const InstanceResult r =
+      RunSingleInfinite(f.schema, test::HappyBindings(f), 1, S("PCE0"));
+  // One initial pass plus one per completed task (5 queries + 1 synthesis).
+  EXPECT_EQ(r.metrics.prequalifier_passes, 7);
+}
+
+}  // namespace
+}  // namespace dflow::core

@@ -1,0 +1,126 @@
+// Failure injection: §2 requires that "a decision may have to be made with
+// incomplete information, e.g., if a database is down" — tasks must run even
+// when inputs are ⊥, and conditions over ⊥ must resolve definitively.
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/schema_builder.h"
+#include "core/semantics.h"
+#include "expr/predicate.h"
+#include "test_util.h"
+
+namespace dflow::core {
+namespace {
+
+using expr::Condition;
+using expr::Predicate;
+
+// A "database dip" whose backing database is down: the query completes (the
+// engine still pays its latency) but returns the null value.
+TaskFn DownDatabase() {
+  return [](const TaskContext&) { return Value::Null(); };
+}
+
+TEST(FailureTest, TasksRunWithNullInputs) {
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId dip = b.AddQuery("dip", 3, DownDatabase(), {src});
+  // The decision still completes, defaulting when the dip returned ⊥.
+  b.AddSynthesis(
+      "decision",
+      [dip](const TaskContext& ctx) {
+        return ctx.input(dip).is_null() ? Value::String("default")
+                                        : Value::String("personalized");
+      },
+      {dip}, Condition::True(), /*is_target=*/true);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+
+  const InstanceResult r = RunSingleInfinite(
+      *schema, {{src, Value::Int(1)}}, 1, *Strategy::Parse("PCE0"));
+  EXPECT_EQ(r.snapshot.value(schema->FindAttribute("decision")),
+            Value::String("default"));
+  // The failed dip still consumed database time.
+  EXPECT_EQ(r.metrics.work, 3);
+}
+
+TEST(FailureTest, ConditionsOverNullResolveFalse) {
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId dip = b.AddQuery("dip", 1, DownDatabase(), {src});
+  const AttributeId gated = b.AddQuery(
+      "gated", 2, [](const TaskContext&) { return Value::Int(1); }, {src},
+      Condition::Pred(Predicate::Compare(dip, expr::CompareOp::kGt,
+                                         Value::Int(10))));
+  b.AddSynthesis(
+      "t", [](const TaskContext&) { return Value::Int(0); }, {gated},
+      Condition::True(), /*is_target=*/true);
+  auto schema = b.Build();
+
+  const InstanceResult r = RunSingleInfinite(
+      *schema, {{src, Value::Int(1)}}, 1, *Strategy::Parse("PCE100"));
+  // dip > 10 over ⊥ is false: gated is DISABLED, never executed.
+  EXPECT_EQ(r.snapshot.state(gated), AttrState::kDisabled);
+  EXPECT_EQ(r.metrics.work, 1);  // only the dip ran
+}
+
+TEST(FailureTest, IsNullBranchesCanRouteAroundFailures) {
+  // A fallback attribute enabled exactly when the primary dip failed.
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId primary = b.AddQuery("primary", 2, DownDatabase(), {src});
+  const AttributeId fallback = b.AddQuery(
+      "fallback", 1, [](const TaskContext&) { return Value::Int(42); }, {src},
+      Condition::Pred(Predicate::IsNull(primary)));
+  b.AddSynthesis(
+      "t",
+      [primary, fallback](const TaskContext& ctx) {
+        return ctx.input(primary).is_null() ? ctx.input(fallback)
+                                            : ctx.input(primary);
+      },
+      {primary, fallback}, Condition::True(), /*is_target=*/true);
+  auto schema = b.Build();
+
+  const InstanceResult r = RunSingleInfinite(
+      *schema, {{src, Value::Int(1)}}, 1, *Strategy::Parse("PCE100"));
+  EXPECT_EQ(r.snapshot.state(fallback), AttrState::kValue);
+  EXPECT_EQ(r.snapshot.value(schema->FindAttribute("t")), Value::Int(42));
+}
+
+TEST(FailureTest, UnboundSourcesActAsNull) {
+  // Bindings may omit sources entirely (missing context data): they are
+  // stable-⊥ and conditions over them resolve immediately.
+  test::PromoFlow f = test::MakePromoFlow();
+  const InstanceResult r = RunSingleInfinite(
+      f.schema, /*sources=*/{}, 1, *Strategy::Parse("PCE100"));
+  // income is ⊥, so "income > 0" is false: give_promo and assembly disable;
+  // the instance finishes with no work at all.
+  EXPECT_EQ(r.snapshot.state(f.give_promo), AttrState::kDisabled);
+  EXPECT_EQ(r.snapshot.state(f.assembly), AttrState::kDisabled);
+  EXPECT_EQ(r.metrics.work, 0);
+}
+
+TEST(FailureTest, FailedExecutionStillMatchesSemantics) {
+  // The declarative semantics covers failures too: the complete snapshot of
+  // the same (failing) task functions must match the engine's result.
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("src");
+  const AttributeId dip = b.AddQuery("dip", 1, DownDatabase(), {src});
+  b.AddQuery(
+      "t", 1, [](const TaskContext&) { return Value::Int(5); }, {dip},
+      Condition::Pred(Predicate::IsNotNull(dip)), /*is_target=*/true);
+  auto schema = b.Build();
+
+  const core::SourceBinding bindings = {{src, Value::Int(1)}};
+  const InstanceResult r =
+      RunSingleInfinite(*schema, bindings, 1, *Strategy::Parse("PSE100"));
+  const CompleteSnapshot complete = EvaluateComplete(*schema, bindings, 1);
+  std::string why;
+  EXPECT_TRUE(IsCompatible(*schema, complete, r.snapshot, &why)) << why;
+  EXPECT_EQ(r.snapshot.state(schema->FindAttribute("t")),
+            AttrState::kDisabled);
+}
+
+}  // namespace
+}  // namespace dflow::core

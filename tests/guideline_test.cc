@@ -1,0 +1,68 @@
+#include "model/guideline.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::model {
+namespace {
+
+TEST(GuidelineTest, EmptyOutcomesGiveEmptyMap) {
+  EXPECT_TRUE(BuildGuidelineMap({}).empty());
+}
+
+TEST(GuidelineTest, SingleOutcome) {
+  const auto map = BuildGuidelineMap({{"PCE0", 100, 100}});
+  ASSERT_EQ(map.size(), 1u);
+  EXPECT_EQ(map[0].strategy, "PCE0");
+  EXPECT_EQ(map[0].work_bound, 100);
+  EXPECT_EQ(map[0].min_time_units, 100);
+}
+
+TEST(GuidelineTest, FrontierDropsDominatedStrategies) {
+  // PS*100 does more work than PC*100 and is faster; a strategy doing more
+  // work but not faster must vanish from the frontier.
+  const auto map = BuildGuidelineMap({
+      {"PCE0", 100, 100},
+      {"PC100", 105, 55},
+      {"PS100", 130, 48},
+      {"NCE0", 150, 150},  // dominated: most work, slowest
+  });
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(map[0].strategy, "PCE0");
+  EXPECT_EQ(map[1].strategy, "PC100");
+  EXPECT_EQ(map[2].strategy, "PS100");
+  // Frontier is monotone: work increases, time decreases.
+  for (size_t i = 1; i < map.size(); ++i) {
+    EXPECT_GT(map[i].work_bound, map[i - 1].work_bound);
+    EXPECT_LT(map[i].min_time_units, map[i - 1].min_time_units);
+  }
+}
+
+TEST(GuidelineTest, EqualWorkKeepsFaster) {
+  const auto map = BuildGuidelineMap({
+      {"A", 100, 90},
+      {"B", 100, 70},
+  });
+  ASSERT_EQ(map.size(), 1u);
+  EXPECT_EQ(map[0].strategy, "B");
+}
+
+TEST(GuidelineTest, LookupReturnsBestWithinBudget) {
+  const auto map = BuildGuidelineMap({
+      {"PCE0", 100, 100},
+      {"PC100", 105, 55},
+      {"PS100", 130, 48},
+  });
+  EXPECT_EQ(LookupGuideline(map, 99), nullptr);  // nothing fits
+  const GuidelinePoint* p = LookupGuideline(map, 100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->strategy, "PCE0");
+  p = LookupGuideline(map, 120);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->strategy, "PC100");
+  p = LookupGuideline(map, 1000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->strategy, "PS100");
+}
+
+}  // namespace
+}  // namespace dflow::model

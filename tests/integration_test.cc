@@ -1,0 +1,199 @@
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/semantics.h"
+#include "gen/schema_generator.h"
+
+namespace dflow {
+namespace {
+
+// Property suite over the full pipeline: generated pattern -> engine with a
+// given strategy -> terminal snapshot, validated against the declarative
+// semantics (§2) and the basic metric identities.
+//
+// Parameters: (strategy, pct_enabled, nb_rows, structure seed).
+using Param = std::tuple<const char*, int, int, uint64_t>;
+
+class StrategyCorrectness : public ::testing::TestWithParam<Param> {};
+
+TEST_P(StrategyCorrectness, TerminalSnapshotMatchesCompleteSnapshot) {
+  const auto& [strategy_text, pct_enabled, nb_rows, seed] = GetParam();
+  gen::PatternParams params;
+  params.nb_nodes = 32;  // small enough to keep the sweep fast
+  params.nb_rows = nb_rows;
+  params.pct_enabled = pct_enabled;
+  params.seed = seed;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  const core::Strategy strategy = *core::Strategy::Parse(strategy_text);
+
+  for (int i = 0; i < 5; ++i) {
+    const uint64_t inst = gen::InstanceSeed(params, i);
+    const core::SourceBinding bindings = gen::MakeSourceBinding(pattern, inst);
+    const core::InstanceResult result =
+        core::RunSingleInfinite(pattern.schema, bindings, inst, strategy);
+
+    // Correctness (§2): compatible with the unique complete snapshot.
+    const core::CompleteSnapshot complete =
+        core::EvaluateComplete(pattern.schema, bindings, inst);
+    std::string why;
+    ASSERT_TRUE(core::IsCompatible(pattern.schema, complete, result.snapshot,
+                                   &why))
+        << strategy_text << " seed=" << seed << " inst=" << i << ": " << why;
+
+    // Metric identities.
+    const auto& m = result.metrics;
+    EXPECT_GE(m.work, 0);
+    EXPECT_LE(m.work, pattern.schema.TotalQueryCost());
+    EXPECT_GE(m.ResponseTime(), 0);
+    // Work bounds response time from above (serial) and the critical path
+    // from below; with unit-duration queries response <= work always.
+    EXPECT_LE(m.ResponseTime(), static_cast<double>(m.work) + 1e-9);
+    if (strategy.pct_permitted == 0) {
+      // Fully serial: no two queries overlap.
+      EXPECT_DOUBLE_EQ(m.ResponseTime(), static_cast<double>(m.work));
+      EXPECT_LE(m.MeanLmpl(), 1.0 + 1e-9);
+    }
+    EXPECT_LE(m.wasted_work, m.work);
+    if (!strategy.speculative) {
+      EXPECT_EQ(m.speculative_launches, 0);
+    }
+    if (!strategy.propagation) {
+      EXPECT_EQ(m.eager_disables, 0);
+      EXPECT_EQ(m.unneeded_skipped, 0);
+    }
+  }
+}
+
+constexpr const char* kStrategies[] = {
+    "PCE0",  "PCC0",  "NCE0",   "NCC0",   "PSE0",   "PSE40",
+    "PCE40", "PCE80", "PCE100", "PSC100", "PSE100", "NSE100",
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyCorrectness,
+    ::testing::Combine(::testing::ValuesIn(kStrategies),
+                       ::testing::Values(10, 50, 90),
+                       ::testing::Values(2, 4),
+                       ::testing::Values<uint64_t>(1, 2)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return std::string(std::get<0>(info.param)) + "_enabled" +
+             std::to_string(std::get<1>(info.param)) + "_rows" +
+             std::to_string(std::get<2>(info.param)) + "_seed" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+// Cross-strategy invariants measured on a common pattern.
+class CrossStrategyTest : public ::testing::Test {
+ protected:
+  static constexpr int kInstances = 20;
+
+  double MeanWork(const gen::GeneratedSchema& pattern,
+                  const gen::PatternParams& params, const char* strategy) {
+    double total = 0;
+    for (int i = 0; i < kInstances; ++i) {
+      const uint64_t inst = gen::InstanceSeed(params, i);
+      total += static_cast<double>(
+          core::RunSingleInfinite(pattern.schema,
+                                  gen::MakeSourceBinding(pattern, inst), inst,
+                                  *core::Strategy::Parse(strategy))
+              .metrics.work);
+    }
+    return total / kInstances;
+  }
+
+  double MeanTime(const gen::GeneratedSchema& pattern,
+                  const gen::PatternParams& params, const char* strategy) {
+    double total = 0;
+    for (int i = 0; i < kInstances; ++i) {
+      const uint64_t inst = gen::InstanceSeed(params, i);
+      total += core::RunSingleInfinite(pattern.schema,
+                                       gen::MakeSourceBinding(pattern, inst),
+                                       inst, *core::Strategy::Parse(strategy))
+                   .metrics.ResponseTime();
+    }
+    return total / kInstances;
+  }
+};
+
+TEST_F(CrossStrategyTest, PropagationNeverIncreasesSerialWork) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    gen::PatternParams params;
+    params.seed = seed;
+    params.pct_enabled = 50;
+    const auto pattern = gen::GeneratePattern(params);
+    EXPECT_LE(MeanWork(pattern, params, "PCE0"),
+              MeanWork(pattern, params, "NCE0") + 1e-9)
+        << "seed=" << seed;
+  }
+}
+
+TEST_F(CrossStrategyTest, NaiveSerialHeuristicsAreWithinTenPercent) {
+  // Under 'N' the executed set is almost order-independent (only early exit
+  // after the target stabilizes can strand a pending enabled task), which is
+  // the paper's observation that the two heuristics stay "within 10% of
+  // each other".
+  gen::PatternParams params;
+  params.pct_enabled = 50;
+  const auto pattern = gen::GeneratePattern(params);
+  const double e = MeanWork(pattern, params, "NCE0");
+  const double c = MeanWork(pattern, params, "NCC0");
+  EXPECT_NEAR(e, c, 0.10 * std::max(e, c));
+  // Both run at least as much as their propagation counterparts.
+  EXPECT_GE(e, MeanWork(pattern, params, "PCE0") - 1e-9);
+  EXPECT_GE(c, MeanWork(pattern, params, "PCC0") - 1e-9);
+}
+
+TEST_F(CrossStrategyTest, ParallelismReducesResponseTime) {
+  gen::PatternParams params;
+  params.pct_enabled = 75;
+  const auto pattern = gen::GeneratePattern(params);
+  const double serial = MeanTime(pattern, params, "PCE0");
+  const double full = MeanTime(pattern, params, "PCE100");
+  EXPECT_LT(full, serial);
+}
+
+TEST_F(CrossStrategyTest, SpeculationTradesWorkForTime) {
+  gen::PatternParams params;
+  params.pct_enabled = 50;
+  const auto pattern = gen::GeneratePattern(params);
+  const double cons_time = MeanTime(pattern, params, "PCE100");
+  const double spec_time = MeanTime(pattern, params, "PSE100");
+  const double cons_work = MeanWork(pattern, params, "PCE100");
+  const double spec_work = MeanWork(pattern, params, "PSE100");
+  EXPECT_LE(spec_time, cons_time + 1e-9);
+  EXPECT_GE(spec_work, cons_work);
+}
+
+TEST_F(CrossStrategyTest, FullyEnabledPatternsDoIdenticalWork) {
+  // With %enabled = 100 nothing can be pruned: every strategy runs every
+  // query, so Work equals the schema's total cost for all of them.
+  gen::PatternParams params;
+  params.pct_enabled = 100;
+  const auto pattern = gen::GeneratePattern(params);
+  const double total = static_cast<double>(pattern.schema.TotalQueryCost());
+  for (const char* s : {"NCE0", "PCE0", "PCE100", "PSE100"}) {
+    EXPECT_DOUBLE_EQ(MeanWork(pattern, params, s), total) << s;
+  }
+}
+
+TEST_F(CrossStrategyTest, DeterministicEndToEnd) {
+  gen::PatternParams params;
+  params.pct_enabled = 50;
+  const auto pattern = gen::GeneratePattern(params);
+  const uint64_t inst = gen::InstanceSeed(params, 0);
+  const auto a = core::RunSingleInfinite(
+      pattern.schema, gen::MakeSourceBinding(pattern, inst), inst,
+      *core::Strategy::Parse("PSE80"));
+  const auto b = core::RunSingleInfinite(
+      pattern.schema, gen::MakeSourceBinding(pattern, inst), inst,
+      *core::Strategy::Parse("PSE80"));
+  EXPECT_EQ(a.metrics.work, b.metrics.work);
+  EXPECT_DOUBLE_EQ(a.metrics.ResponseTime(), b.metrics.ResponseTime());
+  EXPECT_EQ(a.metrics.queries_launched, b.metrics.queries_launched);
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "gen/schema_generator.h"
+#include "model/analytic.h"
+#include "sim/db_profiler.h"
+
+namespace dflow {
+namespace {
+
+core::OpenLoadStats RunSmallLoad(double arrivals_per_second,
+                                 const char* strategy, int pct_enabled = 75) {
+  gen::PatternParams params;
+  params.nb_nodes = 16;
+  params.nb_rows = 4;
+  params.pct_enabled = pct_enabled;
+  params.seed = 5;
+  static const gen::GeneratedSchema& pattern =
+      *new gen::GeneratedSchema(gen::GeneratePattern(params));
+
+  core::OpenLoadOptions options;
+  options.arrivals_per_second = arrivals_per_second;
+  options.num_instances = 300;
+  options.warmup_instances = 50;
+  options.seed = 3;
+  return core::RunOpenLoad(
+      pattern.schema,
+      [&](int i) {
+        const uint64_t seed = gen::InstanceSeed(params, i);
+        return std::make_pair(gen::MakeSourceBinding(pattern, seed), seed);
+      },
+      *core::Strategy::Parse(strategy), options);
+}
+
+TEST(OpenLoadTest, CompletesAllMeasuredInstances) {
+  const auto stats = RunSmallLoad(5.0, "PCE100");
+  EXPECT_EQ(stats.completed, 300);
+  EXPECT_GT(stats.mean_response_ms, 0);
+  EXPECT_GT(stats.mean_work, 0);
+}
+
+TEST(OpenLoadTest, ThroughputTracksArrivalRateWhenUnderloaded) {
+  const auto stats = RunSmallLoad(5.0, "PCE100");
+  EXPECT_NEAR(stats.achieved_throughput, 5.0, 1.5);
+}
+
+TEST(OpenLoadTest, LittlesLawHoldsApproximately) {
+  // Impl = Th * TimeInSeconds (Equation (1)); generous tolerance since the
+  // time-average Impl includes warmup and drain phases.
+  const auto stats = RunSmallLoad(8.0, "PCE100");
+  const double expected_impl =
+      model::AnalyticModel::Impl(stats.achieved_throughput,
+                                 stats.mean_response_ms / 1000.0);
+  EXPECT_NEAR(stats.mean_impl, expected_impl,
+              0.5 * std::max(1.0, expected_impl));
+}
+
+TEST(OpenLoadTest, HigherLoadSlowsResponses) {
+  const auto light = RunSmallLoad(2.0, "PCE0");
+  const auto heavy = RunSmallLoad(30.0, "PCE0");
+  EXPECT_GT(heavy.mean_response_ms, light.mean_response_ms);
+  EXPECT_GT(heavy.mean_gmpl, light.mean_gmpl);
+}
+
+TEST(OpenLoadTest, SerialStrategyKeepsLmplNearOne) {
+  const auto stats = RunSmallLoad(2.0, "PCE0");
+  EXPECT_LE(stats.mean_lmpl, 1.0 + 1e-6);
+  EXPECT_GT(stats.mean_lmpl, 0.5);
+}
+
+TEST(OpenLoadTest, DeterministicGivenSeeds) {
+  const auto a = RunSmallLoad(5.0, "PSE100");
+  const auto b = RunSmallLoad(5.0, "PSE100");
+  EXPECT_DOUBLE_EQ(a.mean_response_ms, b.mean_response_ms);
+  EXPECT_DOUBLE_EQ(a.mean_work, b.mean_work);
+}
+
+TEST(OpenLoadTest, Equation5RelatesGmplToMeasuredQuantities) {
+  // Gmpl = Th * Work * UnitTime; recover UnitTime from the profiler at the
+  // measured Gmpl and check consistency within a loose factor (the load is
+  // time-varying, the model assumes steady state).
+  const auto stats = RunSmallLoad(10.0, "PCE100");
+  sim::DbProfiler profiler(sim::DatabaseParams{}, 3);
+  const int gmpl = std::max(1, static_cast<int>(stats.mean_gmpl + 0.5));
+  const double unit_time = profiler.Measure(gmpl, 500, 5000).unit_time_ms;
+  const double predicted_gmpl = model::AnalyticModel::Gmpl(
+      stats.achieved_throughput, stats.mean_work, unit_time);
+  EXPECT_NEAR(predicted_gmpl, stats.mean_gmpl,
+              0.6 * std::max(1.0, stats.mean_gmpl));
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,160 @@
+#include "expr/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::expr {
+namespace {
+
+using enum CompareOp;
+
+TEST(CompareValuesTest, NumericComparisons) {
+  EXPECT_TRUE(CompareValues(Value::Int(3), kEq, Value::Int(3)));
+  EXPECT_TRUE(CompareValues(Value::Int(3), kLt, Value::Int(4)));
+  EXPECT_TRUE(CompareValues(Value::Int(3), kLe, Value::Int(3)));
+  EXPECT_TRUE(CompareValues(Value::Int(5), kGt, Value::Int(4)));
+  EXPECT_TRUE(CompareValues(Value::Int(5), kGe, Value::Int(5)));
+  EXPECT_TRUE(CompareValues(Value::Int(5), kNe, Value::Int(4)));
+  EXPECT_FALSE(CompareValues(Value::Int(5), kLt, Value::Int(5)));
+}
+
+TEST(CompareValuesTest, IntDoublePromotion) {
+  EXPECT_TRUE(CompareValues(Value::Int(3), kEq, Value::Double(3.0)));
+  EXPECT_TRUE(CompareValues(Value::Double(2.5), kLt, Value::Int(3)));
+  EXPECT_TRUE(CompareValues(Value::Int(4), kGt, Value::Double(3.5)));
+}
+
+TEST(CompareValuesTest, Strings) {
+  EXPECT_TRUE(CompareValues(Value::String("a"), kLt, Value::String("b")));
+  EXPECT_TRUE(CompareValues(Value::String("ab"), kEq, Value::String("ab")));
+  EXPECT_TRUE(CompareValues(Value::String("b"), kGe, Value::String("a")));
+}
+
+TEST(CompareValuesTest, Bools) {
+  EXPECT_TRUE(CompareValues(Value::Bool(false), kLt, Value::Bool(true)));
+  EXPECT_TRUE(CompareValues(Value::Bool(true), kEq, Value::Bool(true)));
+}
+
+TEST(CompareValuesTest, NullOperandsAlwaysFalse) {
+  // SQL-like: every comparison with ⊥ is false — including == and != — so
+  // stable inputs always yield definite predicates. Nullness is observed via
+  // the IsNull predicate kinds instead.
+  for (CompareOp op : {kEq, kNe, kLt, kLe, kGt, kGe}) {
+    EXPECT_FALSE(CompareValues(Value::Null(), op, Value::Int(1)));
+    EXPECT_FALSE(CompareValues(Value::Int(1), op, Value::Null()));
+    EXPECT_FALSE(CompareValues(Value::Null(), op, Value::Null()));
+  }
+}
+
+TEST(CompareValuesTest, MismatchedTypesOnlyNotEqual) {
+  EXPECT_TRUE(CompareValues(Value::String("3"), kNe, Value::Int(3)));
+  EXPECT_FALSE(CompareValues(Value::String("3"), kEq, Value::Int(3)));
+  EXPECT_FALSE(CompareValues(Value::String("3"), kLt, Value::Int(3)));
+  EXPECT_FALSE(CompareValues(Value::Bool(true), kGt, Value::Int(0)));
+}
+
+TEST(MapEnvTest, UnsetIsUnstable) {
+  MapEnv env;
+  EXPECT_FALSE(env.StableValue(0).has_value());
+  env.Set(2, Value::Int(5));
+  EXPECT_FALSE(env.StableValue(0).has_value());
+  EXPECT_FALSE(env.StableValue(1).has_value());
+  ASSERT_TRUE(env.StableValue(2).has_value());
+  EXPECT_EQ(*env.StableValue(2), Value::Int(5));
+}
+
+TEST(MapEnvTest, NullIsStable) {
+  MapEnv env;
+  env.Set(0, Value::Null());
+  ASSERT_TRUE(env.StableValue(0).has_value());
+  EXPECT_TRUE(env.StableValue(0)->is_null());
+}
+
+TEST(PredicateTest, CompareConstEval) {
+  const Predicate p = Predicate::Compare(0, kGt, Value::Int(80));
+  MapEnv env;
+  EXPECT_EQ(p.Eval(env), Tribool::kUnknown);
+  env.Set(0, Value::Int(85));
+  EXPECT_EQ(p.Eval(env), Tribool::kTrue);
+  MapEnv env2;
+  env2.Set(0, Value::Int(10));
+  EXPECT_EQ(p.Eval(env2), Tribool::kFalse);
+}
+
+TEST(PredicateTest, CompareConstOverNullIsFalse) {
+  const Predicate p = Predicate::Compare(0, kGt, Value::Int(80));
+  MapEnv env;
+  env.Set(0, Value::Null());
+  EXPECT_EQ(p.Eval(env), Tribool::kFalse);
+}
+
+TEST(PredicateTest, IsNullEval) {
+  const Predicate p = Predicate::IsNull(0);
+  MapEnv env;
+  EXPECT_EQ(p.Eval(env), Tribool::kUnknown);
+  env.Set(0, Value::Null());
+  EXPECT_EQ(p.Eval(env), Tribool::kTrue);
+  MapEnv env2;
+  env2.Set(0, Value::Int(1));
+  EXPECT_EQ(p.Eval(env2), Tribool::kFalse);
+}
+
+TEST(PredicateTest, IsNotNullEval) {
+  const Predicate p = Predicate::IsNotNull(3);
+  MapEnv env;
+  env.Set(3, Value::String("x"));
+  EXPECT_EQ(p.Eval(env), Tribool::kTrue);
+}
+
+TEST(PredicateTest, IsTrueEval) {
+  const Predicate p = Predicate::IsTrue(1);
+  MapEnv env;
+  env.Set(1, Value::Bool(true));
+  EXPECT_EQ(p.Eval(env), Tribool::kTrue);
+  MapEnv env2;
+  env2.Set(1, Value::Bool(false));
+  EXPECT_EQ(p.Eval(env2), Tribool::kFalse);
+  MapEnv env3;
+  env3.Set(1, Value::Null());  // disabled decision output
+  EXPECT_EQ(p.Eval(env3), Tribool::kFalse);
+  MapEnv env4;
+  env4.Set(1, Value::Int(1));  // non-bool is not truthy
+  EXPECT_EQ(p.Eval(env4), Tribool::kFalse);
+}
+
+TEST(PredicateTest, CompareAttrsEval) {
+  const Predicate p = Predicate::CompareAttrs(0, kLt, 1);
+  MapEnv env;
+  EXPECT_EQ(p.Eval(env), Tribool::kUnknown);
+  env.Set(0, Value::Int(3));
+  EXPECT_EQ(p.Eval(env), Tribool::kUnknown);  // rhs still unstable
+  env.Set(1, Value::Int(5));
+  EXPECT_EQ(p.Eval(env), Tribool::kTrue);
+}
+
+TEST(PredicateTest, CompareAttrsNullLhsShortCircuits) {
+  // A stable-null lhs forces the comparison false even before rhs is known.
+  const Predicate p = Predicate::CompareAttrs(0, kEq, 1);
+  MapEnv env;
+  env.Set(0, Value::Null());
+  EXPECT_EQ(p.Eval(env), Tribool::kFalse);
+}
+
+TEST(PredicateTest, CollectAttributes) {
+  std::vector<AttributeId> attrs;
+  Predicate::Compare(4, kEq, Value::Int(1)).CollectAttributes(&attrs);
+  Predicate::CompareAttrs(2, kLt, 7).CollectAttributes(&attrs);
+  EXPECT_EQ(attrs, (std::vector<AttributeId>{4, 2, 7}));
+}
+
+TEST(PredicateTest, ToStringForms) {
+  auto name = [](AttributeId id) { return "a" + std::to_string(id); };
+  EXPECT_EQ(Predicate::Compare(0, kGt, Value::Int(80)).ToString(name),
+            "a0 > 80");
+  EXPECT_EQ(Predicate::IsNull(1).ToString(name), "IsNull(a1)");
+  EXPECT_EQ(Predicate::IsNotNull(2).ToString(name), "IsNotNull(a2)");
+  EXPECT_EQ(Predicate::IsTrue(3).ToString(name), "a3 = true");
+  EXPECT_EQ(Predicate::CompareAttrs(0, kLe, 1).ToString(name), "a0 <= a1");
+}
+
+}  // namespace
+}  // namespace dflow::expr

@@ -1,0 +1,171 @@
+#include "rules/rule_set.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "core/schema_builder.h"
+#include "expr/predicate.h"
+
+namespace dflow::rules {
+namespace {
+
+using expr::CompareOp;
+using expr::Condition;
+using expr::Predicate;
+
+// A fixed evaluation context over two pseudo-attributes 0 and 1.
+core::TaskContext MakeContext(Value a0, Value a1) {
+  core::TaskContext ctx;
+  ctx.attr = 99;
+  ctx.instance_seed = 0;
+  ctx.input = [a0 = std::move(a0), a1 = std::move(a1)](AttributeId id) {
+    return id == 0 ? a0 : a1;
+  };
+  return ctx;
+}
+
+Condition Gt(AttributeId a, int64_t c) {
+  return Condition::Pred(Predicate::Compare(a, CompareOp::kGt, Value::Int(c)));
+}
+
+TEST(RuleSetTest, FirstMatchPicksEarliestRule) {
+  RuleSet rules;
+  rules.Add("gold", Gt(0, 100), Value::String("gold"))
+      .Add("silver", Gt(0, 50), Value::String("silver"))
+      .Add("bronze", Gt(0, 0), Value::String("bronze"));
+  const core::TaskFn fn =
+      rules.Compile(CombinePolicy::kFirstMatch, Value::String("none"));
+  EXPECT_EQ(fn(MakeContext(Value::Int(150), Value::Null())),
+            Value::String("gold"));
+  EXPECT_EQ(fn(MakeContext(Value::Int(60), Value::Null())),
+            Value::String("silver"));
+  EXPECT_EQ(fn(MakeContext(Value::Int(10), Value::Null())),
+            Value::String("bronze"));
+  EXPECT_EQ(fn(MakeContext(Value::Int(-5), Value::Null())),
+            Value::String("none"));
+}
+
+TEST(RuleSetTest, LastMatchOverrides) {
+  RuleSet rules;
+  rules.Add("base", Condition::True(), Value::Int(1))
+      .Add("override", Gt(0, 10), Value::Int(2));
+  const core::TaskFn fn = rules.Compile(CombinePolicy::kLastMatch);
+  EXPECT_EQ(fn(MakeContext(Value::Int(20), Value::Null())), Value::Int(2));
+  EXPECT_EQ(fn(MakeContext(Value::Int(5), Value::Null())), Value::Int(1));
+}
+
+TEST(RuleSetTest, SumAccumulatesMatchingContributions) {
+  // The paper's promo scoring style: business factors contribute weights.
+  RuleSet rules;
+  rules.Add("high_value_cart", Gt(0, 100), Value::Double(0.4))
+      .Add("loyal_customer", Gt(1, 2), Value::Double(0.35))
+      .Add("always", Condition::True(), Value::Double(0.1));
+  const core::TaskFn fn = rules.Compile(CombinePolicy::kSumNumeric);
+  const Value both = fn(MakeContext(Value::Int(150), Value::Int(5)));
+  EXPECT_DOUBLE_EQ(both.double_value(), 0.85);
+  const Value one = fn(MakeContext(Value::Int(150), Value::Int(1)));
+  EXPECT_DOUBLE_EQ(one.double_value(), 0.5);
+}
+
+TEST(RuleSetTest, MaxPicksLargestContribution) {
+  RuleSet rules;
+  rules.Add("a", Condition::True(), Value::Int(3))
+      .Add("b", Condition::True(), Value::Int(7))
+      .Add("c", Gt(0, 1000), Value::Int(100));  // does not fire
+  const core::TaskFn fn = rules.Compile(CombinePolicy::kMaxNumeric);
+  EXPECT_DOUBLE_EQ(fn(MakeContext(Value::Int(1), Value::Null())).double_value(),
+                   7.0);
+}
+
+TEST(RuleSetTest, CountMatches) {
+  RuleSet rules;
+  rules.Add("a", Gt(0, 0), Value::Int(0))
+      .Add("b", Gt(0, 10), Value::Int(0))
+      .Add("c", Gt(0, 100), Value::Int(0));
+  const core::TaskFn fn = rules.Compile(CombinePolicy::kCountMatches);
+  EXPECT_EQ(fn(MakeContext(Value::Int(50), Value::Null())), Value::Int(2));
+  EXPECT_EQ(fn(MakeContext(Value::Int(-1), Value::Null())), Value::Int(0));
+}
+
+TEST(RuleSetTest, DefaultWhenNothingMatches) {
+  RuleSet rules;
+  rules.Add("never", Gt(0, 1000), Value::Int(1));
+  EXPECT_EQ(rules.Compile(CombinePolicy::kSumNumeric, Value::Int(-1))(
+                MakeContext(Value::Int(0), Value::Null())),
+            Value::Int(-1));
+  EXPECT_TRUE(rules.Compile(CombinePolicy::kFirstMatch)(
+                  MakeContext(Value::Int(0), Value::Null()))
+                  .is_null());
+}
+
+TEST(RuleSetTest, NullInputsHandledViaIsNull) {
+  // Rules can route on missing information (⊥ inputs) explicitly.
+  RuleSet rules;
+  rules.Add("fallback_when_missing",
+            Condition::Pred(Predicate::IsNull(0)), Value::String("default"))
+      .Add("personalized", Condition::Pred(Predicate::IsNotNull(0)),
+           Value::String("personalized"));
+  const core::TaskFn fn = rules.Compile(CombinePolicy::kFirstMatch);
+  EXPECT_EQ(fn(MakeContext(Value::Null(), Value::Null())),
+            Value::String("default"));
+  EXPECT_EQ(fn(MakeContext(Value::Int(1), Value::Null())),
+            Value::String("personalized"));
+}
+
+TEST(RuleSetTest, ComputedContributionsSeeInputs) {
+  RuleSet rules;
+  rules.Add("double_it", Condition::True(),
+            [](const core::TaskContext& ctx) {
+              return Value::Int(ctx.input(0).int_value() * 2);
+            });
+  const core::TaskFn fn = rules.Compile(CombinePolicy::kFirstMatch);
+  EXPECT_EQ(fn(MakeContext(Value::Int(21), Value::Null())), Value::Int(42));
+}
+
+TEST(RuleSetTest, ConditionAttributesAreCollected) {
+  RuleSet rules;
+  rules.Add("a", Gt(3, 0), Value::Int(0))
+      .Add("b", Condition::All({Gt(1, 0), Gt(3, 5)}), Value::Int(0));
+  EXPECT_EQ(rules.ConditionAttributes(), (std::vector<AttributeId>{1, 3}));
+  EXPECT_EQ(rules.size(), 2);
+  EXPECT_EQ(rules.rule_name(0), "a");
+}
+
+TEST(RuleSetTest, EndToEndInsideDecisionFlow) {
+  // A rule-based synthesis attribute inside a real flow: service level
+  // chosen by decision list over cart value and loyalty.
+  core::SchemaBuilder b;
+  const AttributeId cart = b.AddSource("cart");
+  const AttributeId loyalty = b.AddSource("loyalty");
+  RuleSet rules;
+  rules.Add("vip", Condition::All({Gt(cart, 500), Gt(loyalty, 3)}),
+            Value::String("vip"))
+      .Add("priority", Gt(cart, 500), Value::String("priority"))
+      .Add("standard", Condition::True(), Value::String("standard"));
+  b.AddSynthesis("service_level",
+                 rules.Compile(CombinePolicy::kFirstMatch),
+                 /*data_inputs=*/{cart, loyalty}, expr::Condition::True(),
+                 /*is_target=*/true);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+
+  const auto vip = core::RunSingleInfinite(
+      *schema, {{cart, Value::Int(900)}, {loyalty, Value::Int(5)}}, 1,
+      *core::Strategy::Parse("PCE0"));
+  EXPECT_EQ(vip.snapshot.value(schema->FindAttribute("service_level")),
+            Value::String("vip"));
+  const auto std_level = core::RunSingleInfinite(
+      *schema, {{cart, Value::Int(50)}, {loyalty, Value::Int(0)}}, 1,
+      *core::Strategy::Parse("PCE0"));
+  EXPECT_EQ(std_level.snapshot.value(schema->FindAttribute("service_level")),
+            Value::String("standard"));
+}
+
+TEST(RuleSetTest, PolicyNames) {
+  EXPECT_EQ(ToString(CombinePolicy::kFirstMatch), "first-match");
+  EXPECT_EQ(ToString(CombinePolicy::kSumNumeric), "sum");
+  EXPECT_EQ(ToString(CombinePolicy::kCountMatches), "count");
+}
+
+}  // namespace
+}  // namespace dflow::rules

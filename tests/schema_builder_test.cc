@@ -1,0 +1,219 @@
+#include "core/schema_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dot_export.h"
+#include "expr/predicate.h"
+#include "test_util.h"
+
+namespace dflow::core {
+namespace {
+
+using expr::CompareOp;
+using expr::Condition;
+using expr::Predicate;
+
+TaskFn Noop() {
+  return [](const TaskContext&) { return Value::Int(0); };
+}
+
+TEST(SchemaBuilderTest, BuildsMinimalFlow) {
+  SchemaBuilder b;
+  const AttributeId src = b.AddSource("in");
+  const AttributeId out = b.AddQuery("out", 1, Noop(), {src},
+                                     Condition::True(), /*is_target=*/true);
+  std::string error;
+  auto schema = b.Build(&error);
+  ASSERT_TRUE(schema.has_value()) << error;
+  EXPECT_EQ(schema->num_attributes(), 2);
+  EXPECT_TRUE(schema->is_source(src));
+  EXPECT_TRUE(schema->is_target(out));
+  EXPECT_EQ(schema->sources(), (std::vector<AttributeId>{src}));
+  EXPECT_EQ(schema->targets(), (std::vector<AttributeId>{out}));
+  EXPECT_EQ(schema->data_inputs(out), (std::vector<AttributeId>{src}));
+  EXPECT_EQ(schema->data_consumers(src), (std::vector<AttributeId>{out}));
+}
+
+TEST(SchemaBuilderTest, FindAttribute) {
+  test::PromoFlow f = test::MakePromoFlow();
+  EXPECT_EQ(f.schema.FindAttribute("inventory"), f.inventory);
+  EXPECT_EQ(f.schema.FindAttribute("no_such"), kInvalidAttribute);
+}
+
+TEST(SchemaBuilderTest, TopoOrderRespectsAllEdges) {
+  test::PromoFlow f = test::MakePromoFlow();
+  const Schema& s = f.schema;
+  for (AttributeId a = 0; a < s.num_attributes(); ++a) {
+    for (AttributeId in : s.data_inputs(a)) {
+      EXPECT_LT(s.topo_index(in), s.topo_index(a));
+    }
+    for (AttributeId in : s.cond_inputs(a)) {
+      EXPECT_LT(s.topo_index(in), s.topo_index(a));
+    }
+  }
+}
+
+TEST(SchemaBuilderTest, ModuleConditionIsAndedIn) {
+  // Flattening (Fig 1a -> 1b): the boys_coat module condition (cart contains
+  // a boys item) must appear in each member's flattened condition.
+  test::PromoFlow f = test::MakePromoFlow();
+  const auto inputs = f.schema.cond_inputs(f.climate);
+  EXPECT_EQ(inputs, (std::vector<AttributeId>{f.cart_boys}));
+  // inventory combines the module condition with its own db_load test.
+  const auto inv_inputs = f.schema.cond_inputs(f.inventory);
+  EXPECT_EQ(inv_inputs, (std::vector<AttributeId>{f.cart_boys, f.db_load}));
+  EXPECT_EQ(f.schema.attribute(f.inventory).module_path, "boys_coat");
+  EXPECT_EQ(f.schema.attribute(f.give_promo).module_path, "");
+}
+
+TEST(SchemaBuilderTest, NestedModulesAndAllConditions) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("s");
+  b.BeginModule("outer", Condition::Pred(Predicate::Compare(
+                             s, CompareOp::kGt, Value::Int(0))));
+  b.BeginModule("inner", Condition::Pred(Predicate::Compare(
+                             s, CompareOp::kLt, Value::Int(10))));
+  const AttributeId a = b.AddQuery("a", 1, Noop(), {s}, Condition::True(),
+                                   /*is_target=*/true);
+  b.EndModule();
+  b.EndModule();
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_EQ(schema->attribute(a).module_path, "outer/inner");
+  // Both module predicates present.
+  const std::string cond = schema->enabling_condition(a).ToString(
+      [&](AttributeId id) { return schema->attribute(id).name; });
+  EXPECT_NE(cond.find("s > 0"), std::string::npos);
+  EXPECT_NE(cond.find("s < 10"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsDuplicateNames) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("x");
+  b.AddQuery("x", 1, Noop(), {s}, Condition::True(), true);
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsEmptySchema) {
+  SchemaBuilder b;
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+}
+
+TEST(SchemaBuilderTest, RejectsMissingTarget) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("s");
+  b.AddQuery("a", 1, Noop(), {s});
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("target"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsSelfInput) {
+  SchemaBuilder b;
+  b.AddSource("s");
+  b.AddQuery("a", 1, Noop(), {1}, Condition::True(), true);  // a's own id
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("own data input"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsOutOfRangeInput) {
+  SchemaBuilder b;
+  b.AddSource("s");
+  b.AddQuery("a", 1, Noop(), {42}, Condition::True(), true);
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("out-of-range"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsCycle) {
+  SchemaBuilder b;
+  b.AddSource("s");
+  // a (id 1) takes b (id 2) as input; b's condition reads a: cycle through
+  // the combined dependency graph.
+  b.AddQuery("a", 1, Noop(), {2}, Condition::True(), true);
+  b.AddQuery("b", 1, Noop(), {0},
+             Condition::Pred(Predicate::IsNotNull(1)));
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("cycle"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsConditionSelfReference) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("s");
+  b.AddQuery("a", 1, Noop(), {s},
+             Condition::Pred(Predicate::IsNotNull(1)), true);
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("references itself"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsMissingTaskFn) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("s");
+  b.AddAttribute("a", Task{}, {s}, Condition::True(), true);
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("no task function"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsUnclosedModule) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("s");
+  b.BeginModule("m", Condition::True());
+  b.AddQuery("a", 1, Noop(), {s}, Condition::True(), true);
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("unclosed module"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, RejectsModuleUnderflow) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("s");
+  b.EndModule();
+  b.AddQuery("a", 1, Noop(), {s}, Condition::True(), true);
+  std::string error;
+  EXPECT_FALSE(b.Build(&error).has_value());
+  EXPECT_NE(error.find("no open module"), std::string::npos);
+}
+
+TEST(SchemaBuilderTest, MarkTargetAfterAdd) {
+  SchemaBuilder b;
+  const AttributeId s = b.AddSource("s");
+  const AttributeId a = b.AddQuery("a", 1, Noop(), {s});
+  b.MarkTarget(a);
+  auto schema = b.Build();
+  ASSERT_TRUE(schema.has_value());
+  EXPECT_TRUE(schema->is_target(a));
+}
+
+TEST(SchemaBuilderTest, TotalQueryCost) {
+  test::PromoFlow f = test::MakePromoFlow();
+  // climate 2 + hit_list 3 + inventory 4 + scored 2 + give_promo 0 +
+  // assembly 1 = 12.
+  EXPECT_EQ(f.schema.TotalQueryCost(), 12);
+}
+
+TEST(SchemaBuilderTest, DebugStringMentionsEveryAttribute) {
+  test::PromoFlow f = test::MakePromoFlow();
+  const std::string s = f.schema.DebugString();
+  for (AttributeId a = 0; a < f.schema.num_attributes(); ++a) {
+    EXPECT_NE(s.find(f.schema.attribute(a).name), std::string::npos);
+  }
+}
+
+TEST(DotExportTest, ContainsNodesAndBothEdgeStyles) {
+  test::PromoFlow f = test::MakePromoFlow();
+  const std::string dot = ToDot(f.schema);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // data edges
+  EXPECT_NE(dot.find("style=solid"), std::string::npos);   // enabling edges
+  EXPECT_NE(dot.find("fillcolor=gray85"), std::string::npos);  // target
+}
+
+}  // namespace
+}  // namespace dflow::core

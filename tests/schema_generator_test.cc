@@ -1,0 +1,295 @@
+#include "gen/schema_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/semantics.h"
+
+namespace dflow::gen {
+namespace {
+
+TEST(PatternParamsTest, DefaultsAreValid) {
+  PatternParams p;
+  EXPECT_FALSE(p.Validate().has_value());
+}
+
+TEST(PatternParamsTest, RejectsBadValues) {
+  PatternParams p;
+  p.nb_nodes = 0;
+  EXPECT_TRUE(p.Validate().has_value());
+  p = PatternParams{};
+  p.nb_rows = 0;
+  EXPECT_TRUE(p.Validate().has_value());
+  p = PatternParams{};
+  p.nb_rows = 65;  // > nb_nodes
+  EXPECT_TRUE(p.Validate().has_value());
+  p = PatternParams{};
+  p.pct_enabled = 101;
+  EXPECT_TRUE(p.Validate().has_value());
+  p = PatternParams{};
+  p.min_pred = 0;
+  EXPECT_TRUE(p.Validate().has_value());
+  p = PatternParams{};
+  p.max_pred = 0;  // < min_pred
+  EXPECT_TRUE(p.Validate().has_value());
+  p = PatternParams{};
+  p.min_cost = 7;
+  p.max_cost = 3;
+  EXPECT_TRUE(p.Validate().has_value());
+  p = PatternParams{};
+  p.pct_added_data_edges = -150;
+  EXPECT_TRUE(p.Validate().has_value());
+}
+
+TEST(SchemaGeneratorTest, NodeAndAttributeCounts) {
+  PatternParams p;
+  p.nb_nodes = 64;
+  p.nb_rows = 4;
+  const GeneratedSchema g = GeneratePattern(p);
+  // source + 64 internal + target.
+  EXPECT_EQ(g.schema.num_attributes(), 66);
+  EXPECT_EQ(g.columns, 16);
+  ASSERT_EQ(g.grid.size(), 4u);
+  for (const auto& row : g.grid) EXPECT_EQ(row.size(), 16u);
+  EXPECT_EQ(g.schema.sources().size(), 1u);
+  EXPECT_EQ(g.schema.targets().size(), 1u);
+}
+
+TEST(SchemaGeneratorTest, UnevenRowsDifferByAtMostOne) {
+  PatternParams p;
+  p.nb_nodes = 64;
+  p.nb_rows = 5;  // 64 = 5*12 + 4
+  const GeneratedSchema g = GeneratePattern(p);
+  size_t total = 0;
+  size_t min_len = 1000, max_len = 0;
+  for (const auto& row : g.grid) {
+    total += row.size();
+    min_len = std::min(min_len, row.size());
+    max_len = std::max(max_len, row.size());
+  }
+  EXPECT_EQ(total, 64u);
+  EXPECT_LE(max_len - min_len, 1u);
+  EXPECT_EQ(g.columns, static_cast<int>(max_len));
+}
+
+TEST(SchemaGeneratorTest, SingleRowIsAChain) {
+  PatternParams p;
+  p.nb_nodes = 8;
+  p.nb_rows = 1;
+  const GeneratedSchema g = GeneratePattern(p);
+  EXPECT_EQ(g.columns, 8);
+  // Every internal node's primary input is its predecessor (or the source).
+  const auto& row = g.grid[0];
+  for (size_t c = 1; c < row.size(); ++c) {
+    const auto& inputs = g.schema.data_inputs(row[c]);
+    ASSERT_FALSE(inputs.empty());
+    EXPECT_EQ(inputs[0], row[c - 1]);
+  }
+}
+
+TEST(SchemaGeneratorTest, SkeletonHookupsAreCorrect) {
+  PatternParams p;
+  p.nb_nodes = 12;
+  p.nb_rows = 3;
+  const GeneratedSchema g = GeneratePattern(p);
+  for (const auto& row : g.grid) {
+    // Row start reads the source.
+    EXPECT_EQ(g.schema.data_inputs(row.front())[0], g.source);
+    // Target reads every row end.
+    const auto& tin = g.schema.data_inputs(g.target);
+    EXPECT_NE(std::find(tin.begin(), tin.end(), row.back()), tin.end());
+  }
+  EXPECT_TRUE(g.schema.is_target(g.target));
+  EXPECT_TRUE(g.schema.enabling_condition(g.target).IsLiteralTrue());
+}
+
+TEST(SchemaGeneratorTest, CostsWithinTable1Range) {
+  PatternParams p;
+  const GeneratedSchema g = GeneratePattern(p);
+  for (AttributeId a = 0; a < g.schema.num_attributes(); ++a) {
+    if (g.schema.is_source(a)) continue;
+    const int cost = g.schema.task(a).cost_units;
+    EXPECT_GE(cost, p.min_cost);
+    EXPECT_LE(cost, p.max_cost);
+  }
+}
+
+TEST(SchemaGeneratorTest, PredicateCountsWithinBounds) {
+  PatternParams p;
+  p.min_pred = 2;
+  p.max_pred = 3;
+  const GeneratedSchema g = GeneratePattern(p);
+  for (const auto& row : g.grid) {
+    for (AttributeId a : row) {
+      // Each leaf contributes >= 1 node; conditions are 1 combinator over
+      // k leaves, each leaf being a predicate or IsNull-or-predicate pair.
+      const int leaves_lower_bound =
+          (g.schema.enabling_condition(a).NodeCount() - 1) / 3;
+      EXPECT_LE(leaves_lower_bound, 3);
+      EXPECT_GE(g.schema.enabling_condition(a).NodeCount(), 1 + 2);
+    }
+  }
+}
+
+TEST(SchemaGeneratorTest, EnablingHopRespected) {
+  PatternParams p;
+  p.nb_nodes = 64;
+  p.nb_rows = 4;
+  p.pct_enabling_hop = 25;  // max hop = 4 of 16 columns
+  const GeneratedSchema g = GeneratePattern(p);
+  // Build a column lookup.
+  std::vector<int> column(static_cast<size_t>(g.schema.num_attributes()), 0);
+  for (size_t r = 0; r < g.grid.size(); ++r) {
+    for (size_t c = 0; c < g.grid[r].size(); ++c) {
+      column[static_cast<size_t>(g.grid[r][c])] = static_cast<int>(c) + 1;
+    }
+  }
+  const int max_hop = std::max(1, g.columns * p.pct_enabling_hop / 100);
+  for (const auto& row : g.grid) {
+    for (AttributeId a : row) {
+      for (AttributeId e : g.schema.cond_inputs(a)) {
+        const int hop = column[static_cast<size_t>(a)] -
+                        column[static_cast<size_t>(e)];
+        EXPECT_GE(hop, 1);
+        if (e != g.source) {
+          EXPECT_LE(hop, max_hop);
+        }
+      }
+    }
+  }
+}
+
+TEST(SchemaGeneratorTest, DeterministicForSameSeed) {
+  PatternParams p;
+  p.seed = 17;
+  const GeneratedSchema a = GeneratePattern(p);
+  const GeneratedSchema b = GeneratePattern(p);
+  ASSERT_EQ(a.schema.num_attributes(), b.schema.num_attributes());
+  for (AttributeId i = 0; i < a.schema.num_attributes(); ++i) {
+    EXPECT_EQ(a.schema.attribute(i).name, b.schema.attribute(i).name);
+    EXPECT_EQ(a.schema.data_inputs(i), b.schema.data_inputs(i));
+    EXPECT_EQ(a.schema.cond_inputs(i), b.schema.cond_inputs(i));
+    if (!a.schema.is_source(i)) {
+      EXPECT_EQ(a.schema.task(i).cost_units, b.schema.task(i).cost_units);
+    }
+  }
+}
+
+TEST(SchemaGeneratorTest, DifferentSeedsProduceDifferentSchemas) {
+  PatternParams p;
+  p.seed = 1;
+  const GeneratedSchema a = GeneratePattern(p);
+  p.seed = 2;
+  const GeneratedSchema b = GeneratePattern(p);
+  bool any_difference = false;
+  for (AttributeId i = 0; i < a.schema.num_attributes() && !any_difference;
+       ++i) {
+    if (a.schema.is_source(i)) continue;
+    any_difference =
+        a.schema.task(i).cost_units != b.schema.task(i).cost_units ||
+        a.schema.cond_inputs(i) != b.schema.cond_inputs(i);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SchemaGeneratorTest, EmpiricalEnabledFractionTracksParameter) {
+  // %enabled is a statistical target: measure the fraction of enabled
+  // internal conditions over many instances and several structure seeds.
+  for (int pct : {25, 50, 75}) {
+    double enabled = 0, total = 0;
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      PatternParams p;
+      p.pct_enabled = pct;
+      p.seed = seed;
+      const GeneratedSchema g = GeneratePattern(p);
+      for (int i = 0; i < 30; ++i) {
+        const uint64_t inst = InstanceSeed(p, i);
+        const auto complete = core::EvaluateComplete(
+            g.schema, MakeSourceBinding(g, inst), inst);
+        for (const auto& row : g.grid) {
+          for (AttributeId a : row) {
+            total += 1;
+            if (complete.enabled[static_cast<size_t>(a)]) enabled += 1;
+          }
+        }
+      }
+    }
+    const double fraction = enabled / total;
+    EXPECT_NEAR(fraction, pct / 100.0, 0.08) << "pct=" << pct;
+  }
+}
+
+TEST(SchemaGeneratorTest, ExtremesAreExact) {
+  for (int pct : {0, 100}) {
+    PatternParams p;
+    p.pct_enabled = pct;
+    const GeneratedSchema g = GeneratePattern(p);
+    const uint64_t inst = InstanceSeed(p, 0);
+    const auto complete =
+        core::EvaluateComplete(g.schema, MakeSourceBinding(g, inst), inst);
+    for (const auto& row : g.grid) {
+      for (AttributeId a : row) {
+        EXPECT_EQ(complete.enabled[static_cast<size_t>(a)], pct == 100);
+      }
+    }
+  }
+}
+
+TEST(SchemaGeneratorTest, AddedDataEdgesIncreaseInputs) {
+  PatternParams base;
+  base.seed = 3;
+  PatternParams added = base;
+  added.pct_added_data_edges = 25;
+  const GeneratedSchema g0 = GeneratePattern(base);
+  const GeneratedSchema g1 = GeneratePattern(added);
+  auto count_inputs = [](const GeneratedSchema& g) {
+    size_t n = 0;
+    for (AttributeId a = 0; a < g.schema.num_attributes(); ++a) {
+      n += g.schema.data_inputs(a).size();
+    }
+    return n;
+  };
+  EXPECT_GT(count_inputs(g1), count_inputs(g0));
+}
+
+TEST(SchemaGeneratorTest, DeletedDataEdgesFallBackToSource) {
+  PatternParams p;
+  p.seed = 4;
+  p.pct_added_data_edges = -25;
+  const GeneratedSchema g = GeneratePattern(p);
+  // Some non-first-column node now reads the source directly.
+  int fallbacks = 0;
+  for (size_t r = 0; r < g.grid.size(); ++r) {
+    for (size_t c = 1; c < g.grid[r].size(); ++c) {
+      if (g.schema.data_inputs(g.grid[r][c])[0] == g.source) ++fallbacks;
+    }
+  }
+  EXPECT_GT(fallbacks, 0);
+  // Every node still has at least one data input.
+  for (AttributeId a = 0; a < g.schema.num_attributes(); ++a) {
+    if (!g.schema.is_source(a)) {
+      EXPECT_FALSE(g.schema.data_inputs(a).empty());
+    }
+  }
+}
+
+TEST(SchemaGeneratorTest, SourceBindingIsDeterministic) {
+  PatternParams p;
+  const GeneratedSchema g = GeneratePattern(p);
+  const auto a = MakeSourceBinding(g, 42);
+  const auto b = MakeSourceBinding(g, 42);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a[0].second, b[0].second);
+  const auto c = MakeSourceBinding(g, 43);
+  EXPECT_NE(a[0].second, c[0].second);
+}
+
+TEST(SchemaGeneratorTest, InstanceSeedsAreSpread) {
+  PatternParams p;
+  EXPECT_NE(InstanceSeed(p, 0), InstanceSeed(p, 1));
+  PatternParams q;
+  q.seed = 9;
+  EXPECT_NE(InstanceSeed(p, 0), InstanceSeed(q, 0));
+}
+
+}  // namespace
+}  // namespace dflow::gen

@@ -1,0 +1,161 @@
+#include "core/semantics.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dflow::core {
+namespace {
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  test::PromoFlow flow_ = test::MakePromoFlow();
+};
+
+TEST_F(SemanticsTest, HappyPathEnablesEverything) {
+  const CompleteSnapshot snap =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 1);
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.climate)]);
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.inventory)]);
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.give_promo)]);
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.assembly)]);
+  EXPECT_EQ(snap.values[static_cast<size_t>(flow_.give_promo)],
+            Value::Bool(true));
+}
+
+TEST_F(SemanticsTest, ZeroIncomeDisablesDecisionAndTarget) {
+  // The paper's worked example: expendable_income = 0 makes give_promo(s)?
+  // DISABLED (value ⊥); "give_promo(s)? = true" is then false, disabling the
+  // presentation attributes.
+  core::SourceBinding bindings = {{flow_.income, Value::Int(0)},
+                                  {flow_.cart_boys, Value::Bool(true)},
+                                  {flow_.db_load, Value::Int(20)}};
+  const CompleteSnapshot snap = EvaluateComplete(flow_.schema, bindings, 1);
+  EXPECT_FALSE(snap.enabled[static_cast<size_t>(flow_.give_promo)]);
+  EXPECT_TRUE(snap.values[static_cast<size_t>(flow_.give_promo)].is_null());
+  EXPECT_FALSE(snap.enabled[static_cast<size_t>(flow_.assembly)]);
+}
+
+TEST_F(SemanticsTest, ModuleConditionDisablesWholeModule) {
+  core::SourceBinding bindings = {{flow_.income, Value::Int(50)},
+                                  {flow_.cart_boys, Value::Bool(false)},
+                                  {flow_.db_load, Value::Int(20)}};
+  const CompleteSnapshot snap = EvaluateComplete(flow_.schema, bindings, 1);
+  EXPECT_FALSE(snap.enabled[static_cast<size_t>(flow_.climate)]);
+  EXPECT_FALSE(snap.enabled[static_cast<size_t>(flow_.hit_list)]);
+  EXPECT_FALSE(snap.enabled[static_cast<size_t>(flow_.inventory)]);
+  EXPECT_FALSE(snap.enabled[static_cast<size_t>(flow_.scored)]);
+  // give_promo still runs (its own condition holds) but sees ⊥ input.
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.give_promo)]);
+  EXPECT_EQ(snap.values[static_cast<size_t>(flow_.give_promo)],
+            Value::Bool(false));
+}
+
+TEST_F(SemanticsTest, DbLoadDisablesInventoryOnly) {
+  core::SourceBinding bindings = {{flow_.income, Value::Int(50)},
+                                  {flow_.cart_boys, Value::Bool(true)},
+                                  {flow_.db_load, Value::Int(99)}};
+  const CompleteSnapshot snap = EvaluateComplete(flow_.schema, bindings, 1);
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.climate)]);
+  EXPECT_FALSE(snap.enabled[static_cast<size_t>(flow_.inventory)]);
+  // scored still runs with a ⊥ inventory input (tasks must tolerate ⊥, §2).
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.scored)]);
+}
+
+TEST_F(SemanticsTest, SourcesRecordedEnabledWithValues) {
+  const CompleteSnapshot snap =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 1);
+  EXPECT_TRUE(snap.enabled[static_cast<size_t>(flow_.income)]);
+  EXPECT_EQ(snap.values[static_cast<size_t>(flow_.income)], Value::Int(50));
+}
+
+TEST_F(SemanticsTest, CompatibilityAcceptsFaithfulExecution) {
+  const CompleteSnapshot complete =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 1);
+  Snapshot observed(&flow_.schema);
+  observed.BindSources(test::HappyBindings(flow_));
+  // Stabilize every attribute exactly as the complete snapshot says.
+  for (AttributeId a : flow_.schema.topo_order()) {
+    if (flow_.schema.is_source(a)) continue;
+    if (complete.enabled[static_cast<size_t>(a)]) {
+      ASSERT_TRUE(observed.Transition(a, AttrState::kEnabled));
+      ASSERT_TRUE(observed.Transition(a, AttrState::kReadyEnabled));
+      ASSERT_TRUE(observed.Transition(a, AttrState::kValue,
+                                      complete.values[static_cast<size_t>(a)]));
+    } else {
+      ASSERT_TRUE(observed.Transition(a, AttrState::kDisabled));
+    }
+  }
+  std::string why;
+  EXPECT_TRUE(IsCompatible(flow_.schema, complete, observed, &why)) << why;
+}
+
+TEST_F(SemanticsTest, CompatibilityAcceptsPartialNonTargetStabilization) {
+  // §2: only target attributes must be produced; unstabilized intermediates
+  // are irrelevant.
+  core::SourceBinding bindings = {{flow_.income, Value::Int(0)},
+                                  {flow_.cart_boys, Value::Bool(false)},
+                                  {flow_.db_load, Value::Int(20)}};
+  const CompleteSnapshot complete =
+      EvaluateComplete(flow_.schema, bindings, 1);
+  Snapshot observed(&flow_.schema);
+  observed.BindSources(bindings);
+  ASSERT_TRUE(observed.Transition(flow_.give_promo, AttrState::kDisabled));
+  ASSERT_TRUE(observed.Transition(flow_.assembly, AttrState::kDisabled));
+  std::string why;
+  EXPECT_TRUE(IsCompatible(flow_.schema, complete, observed, &why)) << why;
+}
+
+TEST_F(SemanticsTest, CompatibilityRejectsUnstableTarget) {
+  const CompleteSnapshot complete =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 1);
+  Snapshot observed(&flow_.schema);
+  observed.BindSources(test::HappyBindings(flow_));
+  std::string why;
+  EXPECT_FALSE(IsCompatible(flow_.schema, complete, observed, &why));
+  EXPECT_NE(why.find("not stable"), std::string::npos);
+}
+
+TEST_F(SemanticsTest, CompatibilityRejectsWrongState) {
+  const CompleteSnapshot complete =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 1);
+  Snapshot observed(&flow_.schema);
+  observed.BindSources(test::HappyBindings(flow_));
+  for (AttributeId t : flow_.schema.targets()) {
+    ASSERT_TRUE(observed.Transition(t, AttrState::kDisabled));  // wrong!
+  }
+  std::string why;
+  EXPECT_FALSE(IsCompatible(flow_.schema, complete, observed, &why));
+  EXPECT_NE(why.find("should be VALUE"), std::string::npos);
+}
+
+TEST_F(SemanticsTest, CompatibilityRejectsWrongValue) {
+  const CompleteSnapshot complete =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 1);
+  Snapshot observed(&flow_.schema);
+  observed.BindSources(test::HappyBindings(flow_));
+  ASSERT_TRUE(observed.Transition(flow_.climate, AttrState::kEnabled));
+  ASSERT_TRUE(observed.Transition(flow_.climate, AttrState::kReadyEnabled));
+  ASSERT_TRUE(
+      observed.Transition(flow_.climate, AttrState::kValue, Value::Int(999)));
+  for (AttributeId t : flow_.schema.targets()) {
+    ASSERT_TRUE(observed.Transition(t, AttrState::kDisabled));
+  }
+  std::string why;
+  EXPECT_FALSE(IsCompatible(flow_.schema, complete, observed, &why));
+}
+
+TEST_F(SemanticsTest, DeterministicForSameSeed) {
+  const CompleteSnapshot a =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 7);
+  const CompleteSnapshot b =
+      EvaluateComplete(flow_.schema, test::HappyBindings(flow_), 7);
+  EXPECT_EQ(a.values.size(), b.values.size());
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i], b.values[i]);
+    EXPECT_EQ(a.enabled[i], b.enabled[i]);
+  }
+}
+
+}  // namespace
+}  // namespace dflow::core

@@ -1,0 +1,104 @@
+#include "sim/simulator.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dflow::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(5, [&] { order.push_back(5); });
+  sim.Schedule(1, [&] { order.push_back(1); });
+  sim.Schedule(3, [&] { order.push_back(3); });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5}));
+  EXPECT_EQ(sim.now(), 5);
+}
+
+TEST(SimulatorTest, TiesFireInFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(2, [&order, i] { order.push_back(i); });
+  }
+  sim.RunUntilEmpty();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<std::string> log;
+  sim.Schedule(1, [&] {
+    log.push_back("a@" + std::to_string(static_cast<int>(sim.now())));
+    sim.Schedule(2, [&] {
+      log.push_back("b@" + std::to_string(static_cast<int>(sim.now())));
+    });
+  });
+  sim.RunUntilEmpty();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "a@1");
+  EXPECT_EQ(log[1], "b@3");
+}
+
+TEST(SimulatorTest, ZeroDelayEventRunsAtCurrentTime) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.Schedule(4, [&] {
+    sim.Schedule(0, [&] { fired_at = sim.now(); });
+  });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired_at, 4);
+}
+
+TEST(SimulatorTest, RunOneStepsSingleEvent) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(1, [&] { ++count; });
+  sim.Schedule(2, [&] { ++count; });
+  EXPECT_TRUE(sim.RunOne());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.RunOne());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.RunOne());
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockPastQuietPeriods) {
+  Simulator sim;
+  int fired = 0;
+  sim.Schedule(3, [&] { ++fired; });
+  sim.Schedule(10, [&] { ++fired; });
+  sim.RunUntil(7);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 7);
+  sim.RunUntilEmpty();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 10);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  double at = -1;
+  sim.ScheduleAt(12.5, [&] { at = sim.now(); });
+  sim.RunUntilEmpty();
+  EXPECT_EQ(at, 12.5);
+}
+
+TEST(SimulatorTest, CountsProcessedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.Schedule(i, [] {});
+  sim.RunUntilEmpty();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace dflow::sim

@@ -1,0 +1,113 @@
+#include "report/snapshot_relation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/runner.h"
+#include "test_util.h"
+
+namespace dflow::report {
+namespace {
+
+class SnapshotRelationTest : public ::testing::Test {
+ protected:
+  void RecordRun(const core::SourceBinding& bindings) {
+    relation_.Record(core::RunSingleInfinite(flow_.schema, bindings, 1,
+                                             *core::Strategy::Parse("PCE100")));
+  }
+
+  test::PromoFlow flow_ = test::MakePromoFlow();
+  SnapshotRelation relation_{&flow_.schema};
+};
+
+TEST_F(SnapshotRelationTest, EmptyRelation) {
+  EXPECT_EQ(relation_.size(), 0);
+  EXPECT_TRUE(relation_.SuggestRefinements().empty());
+  EXPECT_EQ(relation_.MeanWork(), 0);
+}
+
+TEST_F(SnapshotRelationTest, RecordsTuples) {
+  RecordRun(test::HappyBindings(flow_));
+  RecordRun({{flow_.income, Value::Int(0)},
+             {flow_.cart_boys, Value::Bool(true)},
+             {flow_.db_load, Value::Int(20)}});
+  EXPECT_EQ(relation_.size(), 2);
+  EXPECT_GT(relation_.MeanWork(), 0);
+  EXPECT_GT(relation_.MeanResponseTime(), 0);
+}
+
+TEST_F(SnapshotRelationTest, CsvHasHeaderAndRows) {
+  RecordRun(test::HappyBindings(flow_));
+  const std::string csv = relation_.ToCsv();
+  EXPECT_NE(csv.find("instance_id,work,wasted_work,response_time"),
+            std::string::npos);
+  EXPECT_NE(csv.find("assembly_state"), std::string::npos);
+  EXPECT_NE(csv.find("VALUE"), std::string::npos);
+  // Header + one data line.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST_F(SnapshotRelationTest, ProfileCountsStates) {
+  RecordRun(test::HappyBindings(flow_));  // everything enabled
+  RecordRun({{flow_.income, Value::Int(50)},
+             {flow_.cart_boys, Value::Bool(false)},  // module disabled
+             {flow_.db_load, Value::Int(20)}});
+  const auto profiles = relation_.Profile();
+  const auto& climate = profiles[static_cast<size_t>(flow_.climate)];
+  EXPECT_EQ(climate.name, "climate");
+  EXPECT_EQ(climate.enabled, 1);
+  EXPECT_EQ(climate.disabled, 1);
+  EXPECT_DOUBLE_EQ(climate.EnabledRate(relation_.size()), 0.5);
+}
+
+TEST_F(SnapshotRelationTest, ProfileCountsUnstabilized) {
+  // income = 0: the whole module is pruned as unneeded (left unstable).
+  RecordRun({{flow_.income, Value::Int(0)},
+             {flow_.cart_boys, Value::Bool(true)},
+             {flow_.db_load, Value::Int(20)}});
+  const auto profiles = relation_.Profile();
+  EXPECT_EQ(profiles[static_cast<size_t>(flow_.climate)].unstabilized, 1);
+  EXPECT_EQ(profiles[static_cast<size_t>(flow_.assembly)].disabled, 1);
+}
+
+TEST_F(SnapshotRelationTest, SuggestsRemovingAlwaysTrueGuards) {
+  for (int i = 0; i < 20; ++i) RecordRun(test::HappyBindings(flow_));
+  const auto suggestions = relation_.SuggestRefinements();
+  bool found = false;
+  for (const std::string& s : suggestions) {
+    if (s.find("never fired false") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SnapshotRelationTest, SuggestsPruningChronicallyUnneededWork) {
+  for (int i = 0; i < 20; ++i) {
+    RecordRun({{flow_.income, Value::Int(0)},
+               {flow_.cart_boys, Value::Bool(true)},
+               {flow_.db_load, Value::Int(20)}});
+  }
+  const auto suggestions = relation_.SuggestRefinements();
+  bool found = false;
+  for (const std::string& s : suggestions) {
+    if (s.find("pruned as unneeded") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SnapshotRelationTest, SuggestsDemotingRarelyEnabledAttributes) {
+  // 1 enabled run in 21: below the 5% threshold.
+  RecordRun(test::HappyBindings(flow_));
+  for (int i = 0; i < 20; ++i) {
+    RecordRun({{flow_.income, Value::Int(50)},
+               {flow_.cart_boys, Value::Bool(false)},
+               {flow_.db_load, Value::Int(20)}});
+  }
+  const auto suggestions = relation_.SuggestRefinements();
+  bool found = false;
+  for (const std::string& s : suggestions) {
+    if (s.find("on-demand branch") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace dflow::report

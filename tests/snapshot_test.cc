@@ -1,0 +1,120 @@
+#include "core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace dflow::core {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  test::PromoFlow flow_ = test::MakePromoFlow();
+};
+
+TEST_F(SnapshotTest, SourcesStartStableOthersUninitialized) {
+  Snapshot snap(&flow_.schema);
+  EXPECT_EQ(snap.state(flow_.income), AttrState::kValue);
+  EXPECT_EQ(snap.state(flow_.cart_boys), AttrState::kValue);
+  EXPECT_EQ(snap.state(flow_.climate), AttrState::kUninitialized);
+  EXPECT_EQ(snap.num_stable(), 3);  // the three sources
+}
+
+TEST_F(SnapshotTest, BindSourcesSetsValues) {
+  Snapshot snap(&flow_.schema);
+  snap.BindSources(test::HappyBindings(flow_));
+  EXPECT_EQ(snap.value(flow_.income), Value::Int(50));
+  EXPECT_EQ(snap.value(flow_.cart_boys), Value::Bool(true));
+}
+
+TEST_F(SnapshotTest, UnboundSourceIsStableNull) {
+  Snapshot snap(&flow_.schema);
+  snap.BindSources({{flow_.income, Value::Int(1)}});
+  ASSERT_TRUE(snap.StableValue(flow_.db_load).has_value());
+  EXPECT_TRUE(snap.StableValue(flow_.db_load)->is_null());
+}
+
+TEST_F(SnapshotTest, StableValueHidesUnstableAttributes) {
+  Snapshot snap(&flow_.schema);
+  EXPECT_FALSE(snap.StableValue(flow_.climate).has_value());
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kEnabled));
+  EXPECT_FALSE(snap.StableValue(flow_.climate).has_value());
+}
+
+TEST_F(SnapshotTest, ComputedValueIsHiddenFromConditions) {
+  // §2 semantics: conditions read *stable* values only; a speculative
+  // COMPUTED value is not yet observable.
+  Snapshot snap(&flow_.schema);
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kReady));
+  ASSERT_TRUE(
+      snap.Transition(flow_.climate, AttrState::kComputed, Value::Int(17)));
+  EXPECT_FALSE(snap.StableValue(flow_.climate).has_value());
+  EXPECT_TRUE(snap.ValueKnown(flow_.climate));
+  EXPECT_EQ(snap.value(flow_.climate), Value::Int(17));
+}
+
+TEST_F(SnapshotTest, TransitionToValueStoresValue) {
+  Snapshot snap(&flow_.schema);
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kEnabled));
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kReadyEnabled));
+  ASSERT_TRUE(
+      snap.Transition(flow_.climate, AttrState::kValue, Value::Int(9)));
+  EXPECT_EQ(snap.value(flow_.climate), Value::Int(9));
+  ASSERT_TRUE(snap.StableValue(flow_.climate).has_value());
+  EXPECT_EQ(*snap.StableValue(flow_.climate), Value::Int(9));
+}
+
+TEST_F(SnapshotTest, ComputedToValueKeepsSpeculativeValue) {
+  Snapshot snap(&flow_.schema);
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kReady));
+  ASSERT_TRUE(
+      snap.Transition(flow_.climate, AttrState::kComputed, Value::Int(5)));
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kValue));
+  EXPECT_EQ(snap.value(flow_.climate), Value::Int(5));
+}
+
+TEST_F(SnapshotTest, DisabledForcesNull) {
+  Snapshot snap(&flow_.schema);
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kReady));
+  ASSERT_TRUE(
+      snap.Transition(flow_.climate, AttrState::kComputed, Value::Int(5)));
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kDisabled));
+  EXPECT_TRUE(snap.value(flow_.climate).is_null());
+}
+
+TEST_F(SnapshotTest, IllegalTransitionRejectedAndStateUnchanged) {
+  Snapshot snap(&flow_.schema);
+  EXPECT_FALSE(
+      snap.Transition(flow_.climate, AttrState::kValue, Value::Int(1)));
+  EXPECT_EQ(snap.state(flow_.climate), AttrState::kUninitialized);
+  // Monotonicity: stable attributes cannot move.
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kDisabled));
+  EXPECT_FALSE(snap.Transition(flow_.climate, AttrState::kValue, Value::Int(1)));
+  EXPECT_TRUE(snap.value(flow_.climate).is_null());
+}
+
+TEST_F(SnapshotTest, AllTargetsStable) {
+  Snapshot snap(&flow_.schema);
+  EXPECT_FALSE(snap.AllTargetsStable());
+  ASSERT_TRUE(snap.Transition(flow_.assembly, AttrState::kDisabled));
+  EXPECT_TRUE(snap.AllTargetsStable());
+}
+
+TEST_F(SnapshotTest, NumStableCounts) {
+  Snapshot snap(&flow_.schema);
+  const int base = snap.num_stable();
+  ASSERT_TRUE(snap.Transition(flow_.climate, AttrState::kDisabled));
+  EXPECT_EQ(snap.num_stable(), base + 1);
+  ASSERT_TRUE(snap.Transition(flow_.hit_list, AttrState::kReady));
+  EXPECT_EQ(snap.num_stable(), base + 1);  // READY is not stable
+}
+
+TEST_F(SnapshotTest, DebugStringShowsStates) {
+  Snapshot snap(&flow_.schema);
+  const std::string s = snap.DebugString();
+  EXPECT_NE(s.find("climate: UNINITIALIZED"), std::string::npos);
+  EXPECT_NE(s.find("expendable_income: VALUE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dflow::core

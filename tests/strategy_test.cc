@@ -1,0 +1,85 @@
+#include "core/strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::core {
+namespace {
+
+TEST(StrategyTest, ParseCanonicalForms) {
+  auto s = Strategy::Parse("PSE80");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->propagation);
+  EXPECT_TRUE(s->speculative);
+  EXPECT_EQ(s->heuristic, Strategy::Heuristic::kEarliest);
+  EXPECT_EQ(s->pct_permitted, 80);
+
+  s = Strategy::Parse("NCC0");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_FALSE(s->propagation);
+  EXPECT_FALSE(s->speculative);
+  EXPECT_EQ(s->heuristic, Strategy::Heuristic::kCheapest);
+  EXPECT_EQ(s->pct_permitted, 0);
+}
+
+TEST(StrategyTest, ParseIsCaseInsensitive) {
+  auto s = Strategy::Parse("pce100");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->propagation);
+  EXPECT_FALSE(s->speculative);
+  EXPECT_EQ(s->pct_permitted, 100);
+}
+
+TEST(StrategyTest, ParseAcceptsPercentSuffix) {
+  auto s = Strategy::Parse("PSE80%");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->pct_permitted, 80);
+}
+
+TEST(StrategyTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Strategy::Parse("").has_value());
+  EXPECT_FALSE(Strategy::Parse("PSE").has_value());       // no percentage
+  EXPECT_FALSE(Strategy::Parse("XSE80").has_value());     // bad P/N
+  EXPECT_FALSE(Strategy::Parse("PXE80").has_value());     // bad S/C
+  EXPECT_FALSE(Strategy::Parse("PSX80").has_value());     // bad E/C
+  EXPECT_FALSE(Strategy::Parse("PSE101").has_value());    // out of range
+  EXPECT_FALSE(Strategy::Parse("PSE80x").has_value());    // trailing junk
+  EXPECT_FALSE(Strategy::Parse("PSE80%%").has_value());
+  EXPECT_FALSE(Strategy::Parse("PC*100").has_value());    // families rejected
+}
+
+TEST(StrategyTest, RoundTripAllCombinations) {
+  for (bool p : {true, false}) {
+    for (bool spec : {true, false}) {
+      for (auto h : {Strategy::Heuristic::kEarliest,
+                     Strategy::Heuristic::kCheapest}) {
+        for (int pct : {0, 1, 40, 99, 100}) {
+          Strategy s;
+          s.propagation = p;
+          s.speculative = spec;
+          s.heuristic = h;
+          s.pct_permitted = pct;
+          const auto parsed = Strategy::Parse(s.ToString());
+          ASSERT_TRUE(parsed.has_value()) << s.ToString();
+          EXPECT_EQ(*parsed, s);
+        }
+      }
+    }
+  }
+}
+
+TEST(StrategyTest, ToStringMatchesPaperNotation) {
+  Strategy s;
+  s.propagation = true;
+  s.speculative = true;
+  s.heuristic = Strategy::Heuristic::kEarliest;
+  s.pct_permitted = 80;
+  EXPECT_EQ(s.ToString(), "PSE80");
+}
+
+TEST(StrategyTest, DefaultIsConservativeSerialPropagation) {
+  Strategy s;
+  EXPECT_EQ(s.ToString(), "PCE0");
+}
+
+}  // namespace
+}  // namespace dflow::core

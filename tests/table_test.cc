@@ -1,0 +1,76 @@
+#include "store/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::store {
+namespace {
+
+Row Coat(const std::string& size, int64_t price, int64_t stock) {
+  return Row{{"item", Value::String("coat")},
+             {"size", Value::String(size)},
+             {"price", Value::Int(price)},
+             {"stock", Value::Int(stock)}};
+}
+
+TEST(RowTest, MissingFieldReadsNull) {
+  Row r;
+  EXPECT_TRUE(r.Get("anything").is_null());
+  EXPECT_FALSE(r.Has("anything"));
+  r.Set("x", Value::Int(1));
+  EXPECT_TRUE(r.Has("x"));
+  EXPECT_EQ(r.Get("x"), Value::Int(1));
+}
+
+TEST(RowTest, InitializerList) {
+  const Row r = Coat("M", 80, 3);
+  EXPECT_EQ(r.Get("size"), Value::String("M"));
+  EXPECT_EQ(r.Get("price"), Value::Int(80));
+}
+
+TEST(TableTest, SelectFiltersRows) {
+  Table t;
+  t.Insert(Coat("S", 60, 0));
+  t.Insert(Coat("M", 80, 3));
+  t.Insert(Coat("L", 90, 1));
+  const auto in_stock =
+      t.Select([](const Row& r) { return r.Get("stock").int_value() > 0; });
+  EXPECT_EQ(in_stock.size(), 2u);
+  EXPECT_EQ(t.size(), 3);
+}
+
+TEST(TableTest, FindFirstReturnsEarliestMatch) {
+  Table t;
+  t.Insert(Coat("S", 60, 0));
+  t.Insert(Coat("M", 80, 3));
+  const auto hit =
+      t.FindFirst([](const Row& r) { return r.Get("stock").int_value() > 0; });
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->Get("size"), Value::String("M"));
+  const auto miss =
+      t.FindFirst([](const Row& r) { return r.Get("price").int_value() > 500; });
+  EXPECT_FALSE(miss.has_value());
+}
+
+TEST(TableTest, CountMatches) {
+  Table t;
+  t.Insert(Coat("S", 60, 0));
+  t.Insert(Coat("M", 80, 3));
+  t.Insert(Coat("L", 90, 1));
+  EXPECT_EQ(t.Count([](const Row& r) { return r.Get("price").int_value() >= 80; }),
+            2);
+}
+
+TEST(DatabaseTest, CreateAndLookupTables) {
+  Database db;
+  Table& inv = db.CreateTable("inventory");
+  inv.Insert(Coat("M", 80, 3));
+  ASSERT_NE(db.table("inventory"), nullptr);
+  EXPECT_EQ(db.table("inventory")->size(), 1);
+  EXPECT_EQ(db.table("no_such"), nullptr);
+  ASSERT_NE(db.mutable_table("inventory"), nullptr);
+  db.mutable_table("inventory")->Insert(Coat("L", 90, 1));
+  EXPECT_EQ(db.table("inventory")->size(), 2);
+}
+
+}  // namespace
+}  // namespace dflow::store

@@ -1,0 +1,130 @@
+// Trajectory property tests: every attribute's state sequence must follow
+// the Figure 3 FSA edge by edge, across all strategies and patterns, and
+// knowledge must only grow (the paper's partial order on states).
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "gen/schema_generator.h"
+#include "sim/infinite_service.h"
+
+namespace dflow::core {
+namespace {
+
+struct Step {
+  AttributeId attr;
+  AttrState from;
+  AttrState to;
+};
+
+class TrajectoryTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TrajectoryTest, EveryTransitionFollowsTheFsa) {
+  gen::PatternParams params;
+  params.nb_nodes = 32;
+  params.nb_rows = 4;
+  params.pct_enabled = 50;
+  params.seed = 11;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  const Strategy strategy = *Strategy::Parse(GetParam());
+
+  sim::Simulator sim;
+  sim::InfiniteResourceService service(&sim);
+  ExecutionEngine engine(&pattern.schema, strategy, &sim, &service);
+
+  std::vector<Step> trace;
+  engine.SetTraceListener(
+      [&trace](int64_t, AttributeId a, AttrState from, AttrState to) {
+        trace.push_back(Step{a, from, to});
+      });
+
+  bool finished = false;
+  const uint64_t seed = gen::InstanceSeed(params, 0);
+  engine.StartInstance(gen::MakeSourceBinding(pattern, seed), seed,
+                       [&finished](InstanceResult) { finished = true; });
+  sim.RunUntilEmpty();
+  ASSERT_TRUE(finished);
+  ASSERT_FALSE(trace.empty());
+
+  // (1) Each recorded step is a legal FSA edge.
+  for (const Step& s : trace) {
+    EXPECT_TRUE(IsValidTransition(s.from, s.to))
+        << ToString(s.from) << " -> " << ToString(s.to);
+  }
+
+  // (2) Per-attribute trajectories chain correctly from UNINITIALIZED and
+  // respect the information partial order (knowledge only grows).
+  std::map<AttributeId, AttrState> current;
+  for (const Step& s : trace) {
+    const auto it = current.find(s.attr);
+    const AttrState prev =
+        it == current.end() ? AttrState::kUninitialized : it->second;
+    EXPECT_EQ(prev, s.from) << "trajectory gap for attribute " << s.attr;
+    EXPECT_TRUE(PrecedesOrEqual(s.from, s.to));
+    current[s.attr] = s.to;
+  }
+
+  // (3) No attribute moves after reaching a stable state (monotonicity).
+  std::map<AttributeId, bool> stable;
+  for (const Step& s : trace) {
+    EXPECT_FALSE(stable[s.attr]) << "attribute " << s.attr
+                                 << " transitioned after stabilizing";
+    if (IsStable(s.to)) stable[s.attr] = true;
+  }
+}
+
+TEST_P(TrajectoryTest, SpeculationOnlyUnderSpeculativeStrategies) {
+  gen::PatternParams params;
+  params.nb_nodes = 32;
+  params.pct_enabled = 50;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  const Strategy strategy = *Strategy::Parse(GetParam());
+
+  sim::Simulator sim;
+  sim::InfiniteResourceService service(&sim);
+  ExecutionEngine engine(&pattern.schema, strategy, &sim, &service);
+  int computed_transitions = 0;
+  engine.SetTraceListener(
+      [&](int64_t, AttributeId, AttrState, AttrState to) {
+        if (to == AttrState::kComputed) ++computed_transitions;
+      });
+  const uint64_t seed = gen::InstanceSeed(params, 1);
+  engine.StartInstance(gen::MakeSourceBinding(pattern, seed), seed, {});
+  sim.RunUntilEmpty();
+  if (!strategy.speculative) {
+    EXPECT_EQ(computed_transitions, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, TrajectoryTest,
+                         ::testing::Values("PCE0", "NCE0", "PCE100", "PSE100",
+                                           "PSC60", "NSC100"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(TraceListenerTest, ObservesOnlyInstancesStartedAfterAttach) {
+  gen::PatternParams params;
+  params.nb_nodes = 8;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  sim::Simulator sim;
+  sim::InfiniteResourceService service(&sim);
+  ExecutionEngine engine(&pattern.schema, *Strategy::Parse("PCE0"), &sim,
+                         &service);
+  const uint64_t seed = gen::InstanceSeed(params, 0);
+  engine.StartInstance(gen::MakeSourceBinding(pattern, seed), seed, {});
+  sim.RunUntilEmpty();
+
+  int events = 0;
+  engine.SetTraceListener(
+      [&events](int64_t, AttributeId, AttrState, AttrState) { ++events; });
+  engine.StartInstance(gen::MakeSourceBinding(pattern, seed), seed, {});
+  sim.RunUntilEmpty();
+  EXPECT_GT(events, 0);
+}
+
+}  // namespace
+}  // namespace dflow::core

@@ -1,0 +1,71 @@
+#include "expr/tribool.h"
+
+#include <gtest/gtest.h>
+
+namespace dflow::expr {
+namespace {
+
+constexpr Tribool T = Tribool::kTrue;
+constexpr Tribool F = Tribool::kFalse;
+constexpr Tribool U = Tribool::kUnknown;
+
+TEST(TriboolTest, FromBool) {
+  EXPECT_EQ(FromBool(true), T);
+  EXPECT_EQ(FromBool(false), F);
+}
+
+TEST(TriboolTest, IsDetermined) {
+  EXPECT_TRUE(IsDetermined(T));
+  EXPECT_TRUE(IsDetermined(F));
+  EXPECT_FALSE(IsDetermined(U));
+}
+
+TEST(TriboolTest, KleeneAndTable) {
+  EXPECT_EQ(And(T, T), T);
+  EXPECT_EQ(And(T, F), F);
+  EXPECT_EQ(And(F, T), F);
+  EXPECT_EQ(And(F, F), F);
+  // One false conjunct decides the conjunction even with unknowns: this is
+  // what lets the prequalifier disable attributes eagerly.
+  EXPECT_EQ(And(F, U), F);
+  EXPECT_EQ(And(U, F), F);
+  EXPECT_EQ(And(T, U), U);
+  EXPECT_EQ(And(U, T), U);
+  EXPECT_EQ(And(U, U), U);
+}
+
+TEST(TriboolTest, KleeneOrTable) {
+  EXPECT_EQ(Or(T, T), T);
+  EXPECT_EQ(Or(T, F), T);
+  EXPECT_EQ(Or(F, T), T);
+  EXPECT_EQ(Or(F, F), F);
+  EXPECT_EQ(Or(T, U), T);
+  EXPECT_EQ(Or(U, T), T);
+  EXPECT_EQ(Or(F, U), U);
+  EXPECT_EQ(Or(U, F), U);
+  EXPECT_EQ(Or(U, U), U);
+}
+
+TEST(TriboolTest, NotTable) {
+  EXPECT_EQ(Not(T), F);
+  EXPECT_EQ(Not(F), T);
+  EXPECT_EQ(Not(U), U);
+}
+
+TEST(TriboolTest, DeMorganHolds) {
+  for (Tribool a : {T, F, U}) {
+    for (Tribool b : {T, F, U}) {
+      EXPECT_EQ(Not(And(a, b)), Or(Not(a), Not(b)));
+      EXPECT_EQ(Not(Or(a, b)), And(Not(a), Not(b)));
+    }
+  }
+}
+
+TEST(TriboolTest, ToString) {
+  EXPECT_EQ(ToString(T), "true");
+  EXPECT_EQ(ToString(F), "false");
+  EXPECT_EQ(ToString(U), "unknown");
+}
+
+}  // namespace
+}  // namespace dflow::expr

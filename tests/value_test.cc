@@ -1,0 +1,87 @@
+#include "common/value.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace dflow {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), Value::Type::kNull);
+  EXPECT_FALSE(v.is_bool());
+  EXPECT_FALSE(v.is_numeric());
+}
+
+TEST(ValueTest, FactoryTypes) {
+  EXPECT_EQ(Value::Null().type(), Value::Type::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), Value::Type::kBool);
+  EXPECT_EQ(Value::Int(3).type(), Value::Type::kInt);
+  EXPECT_EQ(Value::Double(2.5).type(), Value::Type::kDouble);
+  EXPECT_EQ(Value::String("x").type(), Value::Type::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_DOUBLE_EQ(Value::Double(1.25).double_value(), 1.25);
+  EXPECT_EQ(Value::String("coat").string_value(), "coat");
+}
+
+TEST(ValueTest, IsNumeric) {
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1).is_numeric());
+  EXPECT_FALSE(Value::Bool(true).is_numeric());
+  EXPECT_FALSE(Value::String("1").is_numeric());
+  EXPECT_FALSE(Value::Null().is_numeric());
+}
+
+TEST(ValueTest, AsDoublePromotesInt) {
+  EXPECT_DOUBLE_EQ(Value::Int(42).AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(Value::Double(0.5).AsDouble(), 0.5);
+}
+
+TEST(ValueTest, IsTruthy) {
+  EXPECT_TRUE(Value::Bool(true).IsTruthy());
+  EXPECT_FALSE(Value::Bool(false).IsTruthy());
+  EXPECT_FALSE(Value::Int(1).IsTruthy());  // only bool(true) is truthy
+  EXPECT_FALSE(Value::Null().IsTruthy());
+}
+
+TEST(ValueTest, StructuralEquality) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  // No implicit cross-type promotion in structural equality.
+  EXPECT_NE(Value::Int(3), Value::Double(3.0));
+  EXPECT_NE(Value::Null(), Value::Int(0));
+  EXPECT_EQ(Value::String("a"), Value::String("a"));
+  EXPECT_NE(Value::Bool(false), Value::Null());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::String("coat").ToString(), "\"coat\"");
+}
+
+TEST(ValueTest, StreamOutput) {
+  std::ostringstream os;
+  os << Value::Int(7);
+  EXPECT_EQ(os.str(), "7");
+}
+
+TEST(ValueTest, CopyAndMove) {
+  Value a = Value::String("long enough to allocate");
+  Value b = a;
+  EXPECT_EQ(a, b);
+  Value c = std::move(a);
+  EXPECT_EQ(c, b);
+}
+
+}  // namespace
+}  // namespace dflow

@@ -1,0 +1,111 @@
+// Scaling benchmark for the runtime::FlowServer: wall-clock instances/second
+// as a function of the number of worker shards, on a generated Table 1
+// pattern workload. Unlike the fig* binaries (which plot *simulated* Work
+// and TimeInUnits), this measures the real machine: each shard drives its
+// own engine on its own thread, so throughput should rise monotonically
+// from 1 shard to hardware_concurrency shards and flatten beyond it.
+//
+// Run:  ./build/bench_throughput_vs_shards [num_requests]
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "gen/schema_generator.h"
+#include "runtime/flow_server.h"
+
+using namespace dflow;
+
+namespace {
+
+struct Measurement {
+  int shards = 0;
+  double wall_seconds = 0;
+  double instances_per_second = 0;
+  int64_t completed = 0;
+  int64_t total_work = 0;
+  double p99_latency_units = 0;
+};
+
+Measurement RunOnce(const gen::GeneratedSchema& pattern,
+                    const std::vector<runtime::FlowRequest>& requests,
+                    int shards) {
+  runtime::FlowServerOptions options;
+  options.num_shards = shards;
+  options.queue_capacity_per_shard = 1024;
+  options.strategy = *core::Strategy::Parse("PSE100");
+  runtime::FlowServer server(&pattern.schema, options);
+  for (const runtime::FlowRequest& request : requests) {
+    server.Submit(request);
+  }
+  server.Drain();
+
+  const runtime::FlowServerReport report = server.Report();
+  Measurement m;
+  m.shards = shards;
+  m.wall_seconds = report.wall_seconds;
+  m.instances_per_second = report.instances_per_second;
+  m.completed = report.stats.completed;
+  m.total_work = report.stats.total_work;
+  m.p99_latency_units = report.stats.p99_latency_units;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_requests = argc > 1 ? std::atoi(argv[1]) : 4000;
+
+  gen::PatternParams params;
+  params.nb_nodes = 64;
+  params.nb_rows = 4;
+  params.seed = 1;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+
+  std::vector<runtime::FlowRequest> requests;
+  requests.reserve(static_cast<size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) {
+    const uint64_t seed = gen::InstanceSeed(params, i);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+
+  const int hw = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> shard_counts;
+  for (int s = 1; s < hw; s *= 2) shard_counts.push_back(s);
+  shard_counts.push_back(hw);  // always end the sweep at the hardware width
+
+  std::printf("# throughput_vs_shards: %d requests, pattern nb_nodes=%d, "
+              "hardware_concurrency=%d\n",
+              num_requests, params.nb_nodes, hw);
+  std::printf("%-8s %-12s %-14s %-12s %-14s %s\n", "shards", "wall_s",
+              "instances/s", "speedup", "total_work", "p99_units");
+
+  double baseline = 0;
+  int64_t reference_work = -1;
+  bool monotone = true;
+  double previous = 0;
+  for (const int shards : shard_counts) {
+    const Measurement m = RunOnce(pattern, requests, shards);
+    if (baseline == 0) baseline = m.instances_per_second;
+    if (m.instances_per_second < previous) monotone = false;
+    previous = m.instances_per_second;
+    // The determinism contract: aggregate work must not depend on shards.
+    if (reference_work < 0) reference_work = m.total_work;
+    if (m.total_work != reference_work) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: total_work %lld at %d shards, "
+                   "expected %lld\n",
+                   static_cast<long long>(m.total_work), shards,
+                   static_cast<long long>(reference_work));
+      return 1;
+    }
+    std::printf("%-8d %-12.3f %-14.1f %-12.2f %-14lld %.1f\n", m.shards,
+                m.wall_seconds, m.instances_per_second,
+                baseline > 0 ? m.instances_per_second / baseline : 0,
+                static_cast<long long>(m.total_work), m.p99_latency_units);
+  }
+  std::printf("# monotone 1..hardware_concurrency: %s\n",
+              monotone ? "yes" : "no");
+  return 0;
+}

@@ -22,13 +22,23 @@ InstanceResult RunSingle(const Schema& schema, const SourceBinding& sources,
   return std::move(*result);
 }
 
+InstanceResult FlowHarness::Run(const SourceBinding& sources,
+                                uint64_t instance_seed) {
+  std::optional<InstanceResult> result;
+  engine_.StartInstance(sources, instance_seed,
+                        [&result](InstanceResult r) { result = std::move(r); });
+  while (!result.has_value() && sim_.RunOne()) {
+  }
+  ++instances_run_;
+  return std::move(*result);
+}
+
 InstanceResult RunSingleInfinite(const Schema& schema,
                                  const SourceBinding& sources,
                                  uint64_t instance_seed,
                                  const Strategy& strategy) {
-  sim::Simulator sim;
-  sim::InfiniteResourceService service(&sim);
-  return RunSingle(schema, sources, instance_seed, strategy, &sim, &service);
+  FlowHarness harness(&schema, strategy);
+  return harness.Run(sources, instance_seed);
 }
 
 OpenLoadStats RunOpenLoad(const Schema& schema,

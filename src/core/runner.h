@@ -10,8 +10,44 @@
 #include "core/snapshot.h"
 #include "core/strategy.h"
 #include "sim/database_server.h"
+#include "sim/infinite_service.h"
 
 namespace dflow::core {
+
+// A reusable single-threaded execution harness: one Simulator, one
+// infinite-resource QueryService, and one ExecutionEngine, amortized across
+// many instances run to completion one at a time. This is the unit of
+// ownership the runtime::FlowServer replicates per shard — each shard drives
+// its own harness on its own thread, so the single-threaded semantics of the
+// engine are reused unchanged under wall-clock parallelism.
+//
+// Determinism contract: the simulator clock accumulates across Run() calls,
+// but every field of InstanceMetrics is either a count or a clock
+// *difference*, so the metrics and terminal snapshot returned by
+// Run(sources, seed) depend only on (schema, strategy, sources, seed) —
+// never on which harness runs it or on what ran before. The exception is
+// InstanceResult::instance_id, which numbers instances per engine and
+// therefore reflects this harness's arrival order; don't key on it across
+// harnesses. flow_server_test.cc holds this contract to account.
+class FlowHarness {
+ public:
+  FlowHarness(const Schema* schema, const Strategy& strategy)
+      : service_(&sim_), engine_(schema, strategy, &sim_, &service_) {}
+  FlowHarness(const FlowHarness&) = delete;
+  FlowHarness& operator=(const FlowHarness&) = delete;
+
+  // Runs one instance to completion and returns its result.
+  InstanceResult Run(const SourceBinding& sources, uint64_t instance_seed);
+
+  int64_t instances_run() const { return instances_run_; }
+  const sim::Simulator& simulator() const { return sim_; }
+
+ private:
+  sim::Simulator sim_;
+  sim::InfiniteResourceService service_;
+  ExecutionEngine engine_;
+  int64_t instances_run_ = 0;
+};
 
 // Runs one instance against the supplied service/simulator to completion.
 InstanceResult RunSingle(const Schema& schema, const SourceBinding& sources,

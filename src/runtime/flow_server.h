@@ -1,0 +1,101 @@
+#ifndef DFLOW_RUNTIME_FLOW_SERVER_H_
+#define DFLOW_RUNTIME_FLOW_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/strategy.h"
+#include "runtime/request_queue.h"
+#include "runtime/server_stats.h"
+#include "runtime/shard.h"
+
+namespace dflow::runtime {
+
+struct FlowServerOptions {
+  // Number of worker shards; <= 0 means std::thread::hardware_concurrency().
+  int num_shards = 0;
+  // Bounded admission queue depth per shard (backpressure threshold).
+  size_t queue_capacity_per_shard = 256;
+  // Execution strategy every shard's engine runs (§5 notation, e.g. PSE100).
+  core::Strategy strategy;
+};
+
+// Aggregate server report: simulated-time statistics from the shared
+// StatsCollector plus the wall-clock view only the server can provide.
+struct FlowServerReport {
+  ServerStats stats;
+  int num_shards = 0;
+  double wall_seconds = 0;           // construction (or last Drain) span
+  double instances_per_second = 0;   // completed / wall_seconds
+  std::vector<int64_t> per_shard_processed;
+};
+
+// The parallel flow-serving runtime: accepts a stream of decision-flow
+// requests and executes them across N worker shards in wall-clock time.
+//
+// Architecture (shard-ownership model):
+//   - each Shard exclusively owns a deterministic core::FlowHarness
+//     (Simulator + InfiniteResourceService + ExecutionEngine), so the
+//     single-threaded §3 execution algorithm is reused unchanged;
+//   - requests are routed to shards by a stateless hash of their seed
+//     (ShardFor), making placement — and therefore every per-shard request
+//     sequence — a pure function of the submitted request set. Results are
+//     reproducible for ANY shard count because each instance additionally
+//     runs against a quiescent engine (see Shard);
+//   - Submit() blocks when the target shard's bounded queue is full
+//     (backpressure); TrySubmit() rejects instead and the rejection is
+//     counted in the stats;
+//   - Drain() closes all queues, lets every shard finish its backlog, and
+//     joins the worker threads. The destructor drains implicitly.
+class FlowServer {
+ public:
+  FlowServer(const core::Schema* schema, FlowServerOptions options);
+  ~FlowServer();
+  FlowServer(const FlowServer&) = delete;
+  FlowServer& operator=(const FlowServer&) = delete;
+
+  // Seed-based routing: which of `num_shards` shards executes a request
+  // with this seed. Stateless and stable across runs.
+  static int ShardFor(uint64_t seed, int num_shards);
+
+  // Installs a per-result observer on every shard (invoked on shard worker
+  // threads). Thread-safe, but only guaranteed to observe requests
+  // submitted after it returns — call it before the first Submit to see
+  // every result.
+  void SetResultCallback(Shard::ResultCallback callback);
+
+  // Blocking admission with backpressure. Returns false iff the server is
+  // draining (the request was dropped).
+  bool Submit(FlowRequest request);
+
+  // Non-blocking admission. Returns false if the target shard's queue is
+  // full or the server is draining; the rejection is recorded.
+  bool TrySubmit(FlowRequest request);
+
+  // Finishes all admitted requests and stops the workers. Idempotent.
+  void Drain();
+
+  FlowServerReport Report() const;
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const core::Strategy& strategy() const { return options_.strategy; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  FlowServerOptions options_;
+  StatsCollector stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Clock::time_point start_;
+  // Guards drained_/end_ against Report() racing Drain() (and serializes
+  // concurrent Drain() calls, which must not double-join the workers).
+  mutable std::mutex drain_mu_;
+  Clock::time_point end_;
+  bool drained_ = false;
+};
+
+}  // namespace dflow::runtime
+
+#endif  // DFLOW_RUNTIME_FLOW_SERVER_H_

@@ -1,0 +1,68 @@
+#ifndef DFLOW_RUNTIME_REQUEST_QUEUE_H_
+#define DFLOW_RUNTIME_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "core/snapshot.h"
+
+namespace dflow::runtime {
+
+// One decision-flow request: the source bindings of the instance (e.g. the
+// customer profile and shopping cart of Figure 1) plus the instance seed
+// that parameterizes its task value functions. The seed doubles as the
+// routing key: FlowServer maps it to a shard, so where a request executes
+// is a pure function of the request itself.
+struct FlowRequest {
+  core::SourceBinding sources;
+  uint64_t seed = 0;
+};
+
+// Bounded MPMC admission queue with blocking backpressure.
+//
+// Producers block in Push() while the queue is at capacity (admission
+// control: a flooded server slows its callers down instead of growing an
+// unbounded backlog), or use TryPush() to be rejected immediately. The
+// consumer blocks in Pop() while empty. Close() begins the drain protocol:
+// new pushes fail fast, queued requests remain poppable, and Pop() returns
+// nullopt once the backlog is exhausted — the worker's signal to exit.
+class RequestQueue {
+ public:
+  explicit RequestQueue(size_t capacity);
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  // Blocks until space is available or the queue is closed. Returns false
+  // iff the queue was closed (the request was not enqueued).
+  bool Push(FlowRequest request);
+
+  // Non-blocking: returns false if the queue is full or closed.
+  bool TryPush(FlowRequest request);
+
+  // Blocks until a request is available or the queue is closed and empty
+  // (then returns nullopt).
+  std::optional<FlowRequest> Pop();
+
+  // Closes the queue: pending and future pushes fail, pops drain the
+  // backlog. Idempotent.
+  void Close();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<FlowRequest> items_;
+  bool closed_ = false;
+};
+
+}  // namespace dflow::runtime
+
+#endif  // DFLOW_RUNTIME_REQUEST_QUEUE_H_

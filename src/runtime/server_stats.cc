@@ -1,0 +1,76 @@
+#include "runtime/server_stats.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace dflow::runtime {
+namespace {
+
+// Linearly interpolated percentile over a sorted sample (q in [0, 1]).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+StatsCollector::StatsCollector(size_t reservoir_capacity)
+    : reservoir_capacity_(reservoir_capacity > 0 ? reservoir_capacity : 1) {}
+
+void StatsCollector::Record(const core::InstanceMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  total_work_ += metrics.work;
+  total_wasted_work_ += metrics.wasted_work;
+  max_latency_ = std::max(max_latency_, metrics.ResponseTime());
+  if (latencies_.size() < reservoir_capacity_) {
+    latencies_.push_back(metrics.ResponseTime());
+  } else {
+    // Algorithm R with a stateless hash of the completion count standing in
+    // for the random draw: sample i replaces a reservoir slot with
+    // probability capacity/i, keeping the sample uniform over the stream.
+    const uint64_t slot = Rng::Mix(static_cast<uint64_t>(completed_),
+                                   0x7e57a75eed5ca1eULL) %
+                          static_cast<uint64_t>(completed_);
+    if (slot < reservoir_capacity_) {
+      latencies_[static_cast<size_t>(slot)] = metrics.ResponseTime();
+    }
+  }
+}
+
+void StatsCollector::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_;
+}
+
+ServerStats StatsCollector::Snapshot() const {
+  std::vector<double> sorted;
+  ServerStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.completed = completed_;
+    stats.rejected = rejected_;
+    stats.total_work = total_work_;
+    stats.total_wasted_work = total_wasted_work_;
+    stats.max_latency_units = max_latency_;
+    sorted = latencies_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  if (stats.completed > 0) {
+    stats.mean_work = static_cast<double>(stats.total_work) /
+                      static_cast<double>(stats.completed);
+  }
+  if (!sorted.empty()) {
+    stats.p50_latency_units = Percentile(sorted, 0.50);
+    stats.p95_latency_units = Percentile(sorted, 0.95);
+    stats.p99_latency_units = Percentile(sorted, 0.99);
+  }
+  return stats;
+}
+
+}  // namespace dflow::runtime

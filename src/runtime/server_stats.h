@@ -1,0 +1,70 @@
+#ifndef DFLOW_RUNTIME_SERVER_STATS_H_
+#define DFLOW_RUNTIME_SERVER_STATS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace dflow::runtime {
+
+// Server-level aggregate of per-instance metrics. Latencies are the paper's
+// TimeInUnits (units of processing under the infinite-resource service):
+// the simulated-time view of each instance, independent of how loaded the
+// host machine is. Wall-clock throughput is reported separately by the
+// FlowServer, which owns the real clock.
+struct ServerStats {
+  int64_t completed = 0;
+  int64_t rejected = 0;  // TrySubmit admissions refused by backpressure
+
+  int64_t total_work = 0;         // sum of InstanceMetrics::work
+  int64_t total_wasted_work = 0;  // sum of InstanceMetrics::wasted_work
+  double mean_work = 0;
+
+  // Latency distribution in work units (TimeInUnits). Percentiles come
+  // from the (possibly sampled) reservoir; the maximum is tracked exactly.
+  double p50_latency_units = 0;
+  double p95_latency_units = 0;
+  double p99_latency_units = 0;
+  double max_latency_units = 0;
+};
+
+// Thread-safe accumulator shards report into. Record() takes one lock per
+// completed instance; Snapshot() copies and sorts the latency reservoir to
+// compute percentiles, so it is meant for periodic or end-of-run reporting,
+// not per-request paths.
+//
+// Memory is bounded for long-running servers: counts and work totals are
+// exact forever, while latencies are kept in a fixed-capacity reservoir.
+// Up to `reservoir_capacity` completions the percentiles are exact; beyond
+// it, Algorithm R (with a deterministic SplitMix64 draw per completion)
+// keeps a uniform sample, so percentiles become estimates.
+class StatsCollector {
+ public:
+  static constexpr size_t kDefaultReservoirCapacity = 1 << 20;
+
+  explicit StatsCollector(
+      size_t reservoir_capacity = kDefaultReservoirCapacity);
+  StatsCollector(const StatsCollector&) = delete;
+  StatsCollector& operator=(const StatsCollector&) = delete;
+
+  void Record(const core::InstanceMetrics& metrics);
+  void RecordRejected();
+
+  ServerStats Snapshot() const;
+
+ private:
+  const size_t reservoir_capacity_;
+  mutable std::mutex mu_;
+  int64_t completed_ = 0;
+  int64_t rejected_ = 0;
+  int64_t total_work_ = 0;
+  int64_t total_wasted_work_ = 0;
+  double max_latency_ = 0;  // exact, independent of the reservoir
+  std::vector<double> latencies_;
+};
+
+}  // namespace dflow::runtime
+
+#endif  // DFLOW_RUNTIME_SERVER_STATS_H_

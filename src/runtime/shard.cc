@@ -1,0 +1,46 @@
+#include "runtime/shard.h"
+
+#include <utility>
+
+namespace dflow::runtime {
+
+Shard::Shard(int index, const core::Schema* schema,
+             const core::Strategy& strategy, size_t queue_capacity,
+             StatsCollector* stats)
+    : index_(index),
+      queue_(queue_capacity),
+      harness_(schema, strategy),
+      stats_(stats) {}
+
+Shard::~Shard() { Drain(); }
+
+void Shard::SetResultCallback(ResultCallback callback) {
+  std::lock_guard<std::mutex> lock(callback_mu_);
+  result_callback_ = std::move(callback);
+}
+
+void Shard::Start() {
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void Shard::Drain() {
+  queue_.Close();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Shard::WorkerLoop() {
+  while (std::optional<FlowRequest> request = queue_.Pop()) {
+    const core::InstanceResult result =
+        harness_.Run(request->sources, request->seed);
+    stats_->Record(result.metrics);
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    ResultCallback callback;
+    {
+      std::lock_guard<std::mutex> lock(callback_mu_);
+      callback = result_callback_;
+    }
+    if (callback) callback(index_, *request, result);
+  }
+}
+
+}  // namespace dflow::runtime

@@ -1,0 +1,85 @@
+#ifndef DFLOW_RUNTIME_SHARD_H_
+#define DFLOW_RUNTIME_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "core/runner.h"
+#include "runtime/request_queue.h"
+#include "runtime/server_stats.h"
+
+namespace dflow::runtime {
+
+// One worker shard of the FlowServer: a bounded request queue, a dedicated
+// std::thread, and a core::FlowHarness the shard exclusively owns. Because
+// the simulator, query service, and execution engine are all confined to
+// the shard's thread, none of the single-threaded core needs locks — the
+// only cross-thread touch points are the queue and the StatsCollector.
+//
+// Requests pop in FIFO order and run to completion one at a time, so every
+// instance observes a quiescent engine; combined with the FlowHarness
+// determinism contract this makes each result a pure function of the
+// request, independent of shard count and interleaving.
+class Shard {
+ public:
+  // Invoked on the shard's worker thread after each completed instance.
+  using ResultCallback =
+      std::function<void(int shard_index, const FlowRequest& request,
+                         const core::InstanceResult& result)>;
+
+  Shard(int index, const core::Schema* schema, const core::Strategy& strategy,
+        size_t queue_capacity, StatsCollector* stats);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // Installs an optional per-result observer. Thread-safe: the worker
+  // re-reads the callback under the same lock for every request, so the
+  // new observer applies to requests popped after the call (requests
+  // already executing keep the callback they started with).
+  void SetResultCallback(ResultCallback callback);
+
+  // Spawns the worker thread. Must be called exactly once.
+  void Start();
+
+  // Admission: blocking with backpressure / non-blocking. Both return false
+  // once the shard is draining.
+  bool Submit(FlowRequest request) { return queue_.Push(std::move(request)); }
+  bool TrySubmit(FlowRequest request) {
+    return queue_.TryPush(std::move(request));
+  }
+
+  // Stops admitting new requests without waiting for the backlog. The
+  // FlowServer closes every shard before joining any, so shards drain their
+  // backlogs concurrently.
+  void CloseQueue() { queue_.Close(); }
+
+  // Drain protocol: closes the queue, lets the worker finish the backlog,
+  // and joins the thread. Idempotent.
+  void Drain();
+
+  int index() const { return index_; }
+  int64_t processed() const {
+    return processed_.load(std::memory_order_relaxed);
+  }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  const int index_;
+  RequestQueue queue_;
+  core::FlowHarness harness_;
+  StatsCollector* const stats_;
+  std::mutex callback_mu_;  // guards result_callback_
+  ResultCallback result_callback_;
+  std::atomic<int64_t> processed_{0};
+  std::thread worker_;
+};
+
+}  // namespace dflow::runtime
+
+#endif  // DFLOW_RUNTIME_SHARD_H_

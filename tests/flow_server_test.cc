@@ -1,0 +1,273 @@
+#include "runtime/flow_server.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/runner.h"
+#include "gen/schema_generator.h"
+#include "runtime/request_queue.h"
+#include "runtime/server_stats.h"
+
+namespace dflow::runtime {
+namespace {
+
+core::Strategy S(const char* text) { return *core::Strategy::Parse(text); }
+
+gen::GeneratedSchema MakePattern(uint64_t seed = 7) {
+  gen::PatternParams params;
+  params.nb_nodes = 32;
+  params.nb_rows = 4;
+  params.seed = seed;
+  return gen::GeneratePattern(params);
+}
+
+std::vector<FlowRequest> MakeWorkload(const gen::GeneratedSchema& pattern,
+                                      int count) {
+  std::vector<FlowRequest> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+  return requests;
+}
+
+// Runs the workload through a FlowServer with `num_shards` shards and
+// returns the per-seed work totals observed via the result callback.
+std::map<uint64_t, int64_t> RunSharded(const gen::GeneratedSchema& pattern,
+                                       const std::vector<FlowRequest>& reqs,
+                                       int num_shards) {
+  FlowServerOptions options;
+  options.num_shards = num_shards;
+  options.strategy = S("PSE100");
+  FlowServer server(&pattern.schema, options);
+
+  std::mutex mu;
+  std::map<uint64_t, int64_t> work_by_seed;
+  server.SetResultCallback([&](int, const FlowRequest& request,
+                               const core::InstanceResult& result) {
+    std::lock_guard<std::mutex> lock(mu);
+    work_by_seed[request.seed] = result.metrics.work;
+  });
+  for (const FlowRequest& request : reqs) {
+    EXPECT_TRUE(server.Submit(request));
+  }
+  server.Drain();
+  EXPECT_EQ(server.Report().stats.completed,
+            static_cast<int64_t>(reqs.size()));
+  return work_by_seed;
+}
+
+// --- The tentpole determinism contract: same request seeds produce
+// identical per-instance work totals for 1, 2, and 8 shards.
+TEST(FlowServerTest, WorkIsIdenticalAcross1_2_8Shards) {
+  const gen::GeneratedSchema pattern = MakePattern();
+  const std::vector<FlowRequest> requests = MakeWorkload(pattern, 96);
+
+  const auto work1 = RunSharded(pattern, requests, 1);
+  const auto work2 = RunSharded(pattern, requests, 2);
+  const auto work8 = RunSharded(pattern, requests, 8);
+
+  ASSERT_EQ(work1.size(), requests.size());
+  EXPECT_EQ(work1, work2);
+  EXPECT_EQ(work1, work8);
+}
+
+// The sharded results must also equal the reference single-threaded
+// execution: sharding is a transparent wrapper around the §3 algorithm.
+TEST(FlowServerTest, ShardedMatchesSequentialReference) {
+  const gen::GeneratedSchema pattern = MakePattern(11);
+  const std::vector<FlowRequest> requests = MakeWorkload(pattern, 40);
+
+  const auto sharded = RunSharded(pattern, requests, 4);
+  for (const FlowRequest& request : requests) {
+    const core::InstanceResult reference = core::RunSingleInfinite(
+        pattern.schema, request.sources, request.seed, S("PSE100"));
+    ASSERT_TRUE(sharded.count(request.seed));
+    EXPECT_EQ(sharded.at(request.seed), reference.metrics.work)
+        << "seed " << request.seed;
+  }
+}
+
+// A FlowHarness reused across many instances must report the same metrics
+// as a fresh engine per instance (the clock accumulates; metrics must not).
+TEST(FlowServerTest, HarnessReuseDoesNotLeakClockIntoMetrics) {
+  const gen::GeneratedSchema pattern = MakePattern(3);
+  core::FlowHarness harness(&pattern.schema, S("PSE100"));
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i);
+    const core::SourceBinding sources = gen::MakeSourceBinding(pattern, seed);
+    const core::InstanceResult reused = harness.Run(sources, seed);
+    const core::InstanceResult fresh =
+        core::RunSingleInfinite(pattern.schema, sources, seed, S("PSE100"));
+    EXPECT_EQ(reused.metrics.work, fresh.metrics.work);
+    EXPECT_DOUBLE_EQ(reused.metrics.ResponseTime(),
+                     fresh.metrics.ResponseTime());
+  }
+  EXPECT_EQ(harness.instances_run(), 10);
+}
+
+TEST(FlowServerTest, SeedRoutingIsStableInRangeAndCoversShards) {
+  std::set<int> hit;
+  for (uint64_t seed = 0; seed < 1000; ++seed) {
+    const int shard = FlowServer::ShardFor(seed, 8);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 8);
+    EXPECT_EQ(shard, FlowServer::ShardFor(seed, 8));  // stateless
+    hit.insert(shard);
+  }
+  EXPECT_EQ(hit.size(), 8u);  // 1000 seeds over 8 shards hit every shard
+  EXPECT_EQ(FlowServer::ShardFor(42, 1), 0);
+}
+
+TEST(FlowServerTest, DrainCompletesEverythingAndCountsPerShard) {
+  const gen::GeneratedSchema pattern = MakePattern(5);
+  const std::vector<FlowRequest> requests = MakeWorkload(pattern, 64);
+
+  FlowServerOptions options;
+  options.num_shards = 3;
+  options.strategy = S("PCE0");
+  FlowServer server(&pattern.schema, options);
+  for (const FlowRequest& request : requests) {
+    ASSERT_TRUE(server.Submit(request));
+  }
+  server.Drain();
+
+  const FlowServerReport report = server.Report();
+  EXPECT_EQ(report.stats.completed, 64);
+  EXPECT_EQ(report.num_shards, 3);
+  int64_t total = 0;
+  for (int64_t processed : report.per_shard_processed) total += processed;
+  EXPECT_EQ(total, 64);
+  EXPECT_GT(report.stats.total_work, 0);
+  // Submitting after drain is refused rather than lost silently.
+  EXPECT_FALSE(server.Submit(requests[0]));
+  // Percentiles come out of one sorted sample: ordered by construction.
+  EXPECT_LE(report.stats.p50_latency_units, report.stats.p95_latency_units);
+  EXPECT_LE(report.stats.p95_latency_units, report.stats.p99_latency_units);
+  EXPECT_LE(report.stats.p99_latency_units, report.stats.max_latency_units);
+}
+
+// Server-level backpressure: with one shard whose queue holds one request
+// and a worker wedged in the result callback, the queue fills and
+// TrySubmit rejects (counted in the stats).
+TEST(FlowServerTest, TrySubmitRejectsWhenShardQueueIsFull) {
+  const gen::GeneratedSchema pattern = MakePattern(9);
+  const std::vector<FlowRequest> requests = MakeWorkload(pattern, 3);
+
+  FlowServerOptions options;
+  options.num_shards = 1;
+  options.queue_capacity_per_shard = 1;
+  options.strategy = S("PCE0");
+  FlowServer server(&pattern.schema, options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool first_started = false;
+  server.SetResultCallback(
+      [&](int, const FlowRequest&, const core::InstanceResult&) {
+        std::unique_lock<std::mutex> lock(mu);
+        first_started = true;
+        cv.notify_all();
+        cv.wait(lock, [&] { return release; });
+      });
+
+  // First request: popped by the worker, which then wedges in the callback.
+  ASSERT_TRUE(server.Submit(requests[0]));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return first_started; });
+  }
+  // Second request: Submit blocks until the worker's pop freed the slot,
+  // then parks in the queue (worker is wedged, so it stays there).
+  ASSERT_TRUE(server.Submit(requests[1]));
+  // Third request: the single-slot queue is full => non-blocking rejection.
+  EXPECT_FALSE(server.TrySubmit(requests[2]));
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  server.Drain();
+
+  const FlowServerReport report = server.Report();
+  EXPECT_EQ(report.stats.completed, 2);
+  EXPECT_EQ(report.stats.rejected, 1);
+}
+
+TEST(RequestQueueTest, PushBlocksUntilPopFreesASlot) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.TryPush({{}, 1}));
+  EXPECT_FALSE(queue.TryPush({{}, 2}));  // full
+
+  std::thread producer([&] { EXPECT_TRUE(queue.Push({{}, 2})); });
+  const std::optional<FlowRequest> first = queue.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->seed, 1u);
+  producer.join();
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(RequestQueueTest, CloseDrainsBacklogThenSignalsExhaustion) {
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue.Push({{}, 1}));
+  ASSERT_TRUE(queue.Push({{}, 2}));
+  queue.Close();
+  EXPECT_FALSE(queue.Push({{}, 3}));     // closed: admission refused
+  EXPECT_FALSE(queue.TryPush({{}, 3}));
+  ASSERT_TRUE(queue.Pop().has_value());  // backlog still drains
+  ASSERT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());  // drained: worker exit signal
+  queue.Close();                          // idempotent
+}
+
+TEST(ServerStatsTest, SnapshotAggregatesAndRanksLatencies) {
+  StatsCollector collector;
+  for (int i = 1; i <= 100; ++i) {
+    core::InstanceMetrics metrics;
+    metrics.start_time = 0;
+    metrics.end_time = i;  // latencies 1..100 units
+    metrics.work = 2 * i;
+    metrics.wasted_work = i % 3;
+    collector.Record(metrics);
+  }
+  collector.RecordRejected();
+
+  const ServerStats stats = collector.Snapshot();
+  EXPECT_EQ(stats.completed, 100);
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.total_work, 10100);  // 2 * (1+..+100)
+  EXPECT_DOUBLE_EQ(stats.mean_work, 101.0);
+  EXPECT_NEAR(stats.p50_latency_units, 50.5, 0.01);
+  EXPECT_NEAR(stats.p95_latency_units, 95.05, 0.01);
+  EXPECT_NEAR(stats.p99_latency_units, 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(stats.max_latency_units, 100.0);
+}
+
+TEST(ServerStatsTest, LatencyReservoirIsBoundedWhileCountsStayExact) {
+  StatsCollector collector(/*reservoir_capacity=*/16);
+  for (int i = 1; i <= 10000; ++i) {
+    core::InstanceMetrics metrics;
+    metrics.end_time = 5;  // constant latency: percentiles must stay exact
+    metrics.work = 1;
+    collector.Record(metrics);
+  }
+  const ServerStats stats = collector.Snapshot();
+  EXPECT_EQ(stats.completed, 10000);
+  EXPECT_EQ(stats.total_work, 10000);  // exact beyond the reservoir
+  EXPECT_DOUBLE_EQ(stats.p50_latency_units, 5.0);
+  EXPECT_DOUBLE_EQ(stats.p99_latency_units, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max_latency_units, 5.0);
+}
+
+}  // namespace
+}  // namespace dflow::runtime

@@ -5,10 +5,27 @@
 // own engine on its own thread, so throughput should rise monotonically
 // from 1 shard to hardware_concurrency shards and flatten beyond it.
 //
+// Every shard count is measured twice — result cache off and on — so the
+// table also shows the cross-instance caching win on repeated-request
+// workloads (cache_x = cached / uncached throughput, hit% = cache hit rate).
+//
 // Run:  ./build/bench_throughput_vs_shards [num_requests]
+//           [--backend=infinite|bounded]   (default infinite)
+//           [--distinct=K]  distinct requests; the workload cycles through
+//                           them (default: requests/8 bounded, requests
+//                           infinite — i.e. all unique)
+//           [--cache=N]     per-shard cache capacity in entries
+//                           (default: distinct, so capacity never evicts)
+//
+// The determinism contract is checked as a side effect: total simulated
+// work must be identical for every shard count AND with the cache on or off
+// (a cache hit replays byte-identical metrics).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -20,21 +37,24 @@ using namespace dflow;
 namespace {
 
 struct Measurement {
-  int shards = 0;
   double wall_seconds = 0;
   double instances_per_second = 0;
   int64_t completed = 0;
   int64_t total_work = 0;
   double p99_latency_units = 0;
+  double cache_hit_rate = 0;
 };
 
 Measurement RunOnce(const gen::GeneratedSchema& pattern,
                     const std::vector<runtime::FlowRequest>& requests,
-                    int shards) {
+                    int shards, core::BackendKind backend,
+                    size_t cache_capacity) {
   runtime::FlowServerOptions options;
   options.num_shards = shards;
   options.queue_capacity_per_shard = 1024;
   options.strategy = *core::Strategy::Parse("PSE100");
+  options.backend = backend;
+  options.result_cache_capacity = cache_capacity;
   runtime::FlowServer server(&pattern.schema, options);
   for (const runtime::FlowRequest& request : requests) {
     server.Submit(request);
@@ -43,19 +63,48 @@ Measurement RunOnce(const gen::GeneratedSchema& pattern,
 
   const runtime::FlowServerReport report = server.Report();
   Measurement m;
-  m.shards = shards;
   m.wall_seconds = report.wall_seconds;
   m.instances_per_second = report.instances_per_second;
   m.completed = report.stats.completed;
   m.total_work = report.stats.total_work;
   m.p99_latency_units = report.stats.p99_latency_units;
+  m.cache_hit_rate = report.stats.cache_hit_rate;
   return m;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int num_requests = argc > 1 ? std::atoi(argv[1]) : 4000;
+  int num_requests = 0;
+  int distinct = 0;
+  int cache_capacity = -1;
+  core::BackendKind backend = core::BackendKind::kInfinite;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--backend=", 10) == 0) {
+      const std::string kind = arg + 10;
+      if (kind == "bounded") {
+        backend = core::BackendKind::kBoundedDb;
+      } else if (kind != "infinite") {
+        std::fprintf(stderr, "unknown backend '%s'\n", kind.c_str());
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--distinct=", 11) == 0) {
+      distinct = std::atoi(arg + 11);
+    } else if (std::strncmp(arg, "--cache=", 8) == 0) {
+      cache_capacity = std::atoi(arg + 8);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    } else {
+      num_requests = std::atoi(arg);
+    }
+  }
+  const bool bounded = backend == core::BackendKind::kBoundedDb;
+  if (num_requests <= 0) num_requests = bounded ? 2000 : 4000;
+  if (distinct <= 0) distinct = bounded ? std::max(1, num_requests / 8)
+                                        : num_requests;
+  if (cache_capacity < 0) cache_capacity = distinct;
 
   gen::PatternParams params;
   params.nb_nodes = 64;
@@ -63,10 +112,13 @@ int main(int argc, char** argv) {
   params.seed = 1;
   const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
 
+  // The workload cycles through `distinct` request identities: with
+  // distinct < num_requests this is the repeated-request regime where the
+  // result cache pays off.
   std::vector<runtime::FlowRequest> requests;
   requests.reserve(static_cast<size_t>(num_requests));
   for (int i = 0; i < num_requests; ++i) {
-    const uint64_t seed = gen::InstanceSeed(params, i);
+    const uint64_t seed = gen::InstanceSeed(params, i % distinct);
     requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
   }
 
@@ -75,37 +127,61 @@ int main(int argc, char** argv) {
   for (int s = 1; s < hw; s *= 2) shard_counts.push_back(s);
   shard_counts.push_back(hw);  // always end the sweep at the hardware width
 
-  std::printf("# throughput_vs_shards: %d requests, pattern nb_nodes=%d, "
-              "hardware_concurrency=%d\n",
-              num_requests, params.nb_nodes, hw);
-  std::printf("%-8s %-12s %-14s %-12s %-14s %s\n", "shards", "wall_s",
-              "instances/s", "speedup", "total_work", "p99_units");
+  std::printf(
+      "# throughput_vs_shards: backend=%s, %d requests (%d distinct), "
+      "cache capacity %d/shard, pattern nb_nodes=%d, "
+      "hardware_concurrency=%d\n",
+      bounded ? "bounded" : "infinite", num_requests, distinct, cache_capacity,
+      params.nb_nodes, hw);
+  std::printf("%-8s %-12s %-14s %-12s %-14s %-10s %-8s %-14s %s\n", "shards",
+              "wall_s", "instances/s", "speedup", "cached_i/s", "cache_x",
+              "hit%", "total_work", "p99_units");
 
   double baseline = 0;
   int64_t reference_work = -1;
   bool monotone = true;
   double previous = 0;
-  for (const int shards : shard_counts) {
-    const Measurement m = RunOnce(pattern, requests, shards);
-    if (baseline == 0) baseline = m.instances_per_second;
-    if (m.instances_per_second < previous) monotone = false;
-    previous = m.instances_per_second;
-    // The determinism contract: aggregate work must not depend on shards.
-    if (reference_work < 0) reference_work = m.total_work;
-    if (m.total_work != reference_work) {
+  double last_cache_x = 0;
+  auto check_work = [&](int64_t total_work, int shards,
+                        const char* mode) -> bool {
+    if (reference_work < 0) reference_work = total_work;
+    if (total_work != reference_work) {
       std::fprintf(stderr,
-                   "DETERMINISM VIOLATION: total_work %lld at %d shards, "
-                   "expected %lld\n",
-                   static_cast<long long>(m.total_work), shards,
+                   "DETERMINISM VIOLATION: total_work %lld at %d shards "
+                   "(cache %s), expected %lld\n",
+                   static_cast<long long>(total_work), shards, mode,
                    static_cast<long long>(reference_work));
+      return false;
+    }
+    return true;
+  };
+  for (const int shards : shard_counts) {
+    const Measurement off = RunOnce(pattern, requests, shards, backend, 0);
+    const Measurement on = RunOnce(pattern, requests, shards, backend,
+                                   static_cast<size_t>(cache_capacity));
+    if (baseline == 0) baseline = off.instances_per_second;
+    if (off.instances_per_second < previous) monotone = false;
+    previous = off.instances_per_second;
+    // The determinism contract: aggregate work depends on neither the shard
+    // count nor the cache mode.
+    if (!check_work(off.total_work, shards, "off") ||
+        !check_work(on.total_work, shards, "on")) {
       return 1;
     }
-    std::printf("%-8d %-12.3f %-14.1f %-12.2f %-14lld %.1f\n", m.shards,
-                m.wall_seconds, m.instances_per_second,
-                baseline > 0 ? m.instances_per_second / baseline : 0,
-                static_cast<long long>(m.total_work), m.p99_latency_units);
+    last_cache_x = off.instances_per_second > 0
+                       ? on.instances_per_second / off.instances_per_second
+                       : 0;
+    std::printf("%-8d %-12.3f %-14.1f %-12.2f %-14.1f %-10.2f %-8.1f "
+                "%-14lld %.1f\n",
+                shards, off.wall_seconds, off.instances_per_second,
+                baseline > 0 ? off.instances_per_second / baseline : 0,
+                on.instances_per_second, last_cache_x,
+                100.0 * on.cache_hit_rate,
+                static_cast<long long>(off.total_work), off.p99_latency_units);
   }
   std::printf("# monotone 1..hardware_concurrency: %s\n",
               monotone ? "yes" : "no");
+  std::printf("# cache speedup at %d shards: %.2fx\n", shard_counts.back(),
+              last_cache_x);
   return 0;
 }

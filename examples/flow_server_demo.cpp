@@ -6,13 +6,18 @@
 // a private Simulator + QueryService + ExecutionEngine on its own thread),
 // routes each request to a shard by its seed, applies backpressure through
 // bounded admission queues, and aggregates per-instance metrics into
-// throughput and latency percentiles.
+// throughput and latency percentiles. Each shard serves either the infinite-
+// resource service or its own bounded DatabaseServer (the paper's finite-
+// resources regime), and can answer repeated requests from a shard-local
+// result cache without re-executing.
 //
 // Build:  cmake --build build --target example_flow_server_demo
 // Run:    ./build/example_flow_server_demo [num_requests] [num_shards]
+//             [infinite|bounded] [cache_entries]
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "gen/schema_generator.h"
 #include "runtime/flow_server.h"
@@ -22,6 +27,8 @@ using namespace dflow;
 int main(int argc, char** argv) {
   const int num_requests = argc > 1 ? std::atoi(argv[1]) : 1000;
   const int num_shards = argc > 2 ? std::atoi(argv[2]) : 0;  // 0 => hardware
+  const bool bounded = argc > 3 && std::strcmp(argv[3], "bounded") == 0;
+  const int cache_entries = argc > 4 ? std::atoi(argv[4]) : 0;
 
   // --- 1. A Table 1 pattern stands in for a production decision flow.
   gen::PatternParams params;
@@ -30,20 +37,33 @@ int main(int argc, char** argv) {
   params.seed = 42;
   const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
 
-  // --- 2. Start the server: shards spin up and wait for work.
+  // --- 2. Start the server: shards spin up and wait for work. With the
+  // bounded backend every shard owns a private DatabaseServer (Table 1's
+  // last six rows: CPUs, disks, buffer-pool hit rate), so per-shard DB
+  // capacity scales with the shard count.
   runtime::FlowServerOptions options;
   options.num_shards = num_shards;
   options.queue_capacity_per_shard = 128;
   options.strategy = *core::Strategy::Parse("PSE100");
+  options.backend =
+      bounded ? core::BackendKind::kBoundedDb : core::BackendKind::kInfinite;
+  options.result_cache_capacity = static_cast<size_t>(
+      cache_entries > 0 ? cache_entries : 0);
   runtime::FlowServer server(&pattern.schema, options);
-  std::printf("FlowServer up: %d shards, strategy %s, queue capacity %zu\n",
-              server.num_shards(), server.strategy().ToString().c_str(),
-              options.queue_capacity_per_shard);
+  std::printf(
+      "FlowServer up: %d shards, strategy %s, backend %s, queue capacity "
+      "%zu, cache %zu entries/shard\n",
+      server.num_shards(), server.strategy().ToString().c_str(),
+      bounded ? "bounded-db" : "infinite", options.queue_capacity_per_shard,
+      options.result_cache_capacity);
 
   // --- 3. Submit the request stream. Submit() blocks when a shard's queue
-  // is full — backpressure instead of an unbounded backlog.
+  // is full — backpressure instead of an unbounded backlog. Reusing a small
+  // set of seeds turns this into the repeated-request workload the result
+  // cache accelerates.
+  const int distinct = cache_entries > 0 ? cache_entries : num_requests;
   for (int i = 0; i < num_requests; ++i) {
-    const uint64_t seed = gen::InstanceSeed(params, i);
+    const uint64_t seed = gen::InstanceSeed(params, i % distinct);
     server.Submit({gen::MakeSourceBinding(pattern, seed), seed});
   }
 
@@ -59,6 +79,13 @@ int main(int argc, char** argv) {
   std::printf("latency p50/p95/p99  %.1f / %.1f / %.1f units\n",
               report.stats.p50_latency_units, report.stats.p95_latency_units,
               report.stats.p99_latency_units);
+  std::printf("cache hit rate       %.1f%% (%lld hits, %lld misses, "
+              "%lld entries, %lld bytes resident)\n",
+              100.0 * report.stats.cache_hit_rate,
+              static_cast<long long>(report.cache.hits),
+              static_cast<long long>(report.cache.misses),
+              static_cast<long long>(report.cache.entries),
+              static_cast<long long>(report.cache.bytes));
   std::printf("per-shard load      ");
   for (const int64_t processed : report.per_shard_processed) {
     std::printf(" %lld", static_cast<long long>(processed));

@@ -22,13 +22,48 @@ InstanceResult RunSingle(const Schema& schema, const SourceBinding& sources,
   return std::move(*result);
 }
 
+namespace {
+
+// The salt separating a harness DatabaseServer's random stream from every
+// other per-instance derivation of the same seed.
+constexpr uint64_t kDbStreamSalt = 0xdb5eed0f10a75ULL;
+
+std::unique_ptr<sim::QueryService> MakeService(sim::Simulator* sim,
+                                               const HarnessOptions& options) {
+  if (options.backend == BackendKind::kBoundedDb) {
+    return std::make_unique<sim::DatabaseServer>(sim, options.db,
+                                                 kDbStreamSalt);
+  }
+  return std::make_unique<sim::InfiniteResourceService>(sim);
+}
+
+}  // namespace
+
+FlowHarness::FlowHarness(const Schema* schema, const Strategy& strategy,
+                         const HarnessOptions& options)
+    : options_(options),
+      service_(MakeService(&sim_, options)),
+      db_(options.backend == BackendKind::kBoundedDb
+              ? static_cast<sim::DatabaseServer*>(service_.get())
+              : nullptr),
+      engine_(schema, strategy, &sim_, service_.get()) {}
+
 InstanceResult FlowHarness::Run(const SourceBinding& sources,
                                 uint64_t instance_seed) {
+  // Bounded backend: make the DB's buffer-hit/disk-choice stream a pure
+  // function of the instance seed, independent of what ran here before.
+  if (db_ != nullptr) db_->Reseed(Rng::Mix(instance_seed, kDbStreamSalt));
   std::optional<InstanceResult> result;
   engine_.StartInstance(sources, instance_seed,
                         [&result](InstanceResult r) { result = std::move(r); });
   while (!result.has_value() && sim_.RunOne()) {
   }
+  // Run the instance's leftover in-flight queries (speculative work still
+  // executing at the terminal snapshot) to completion so the next instance
+  // starts against a quiescent service. On the bounded backend this is part
+  // of the determinism contract: leftovers would otherwise occupy CPU/disk
+  // queues and perturb the next instance's response time.
+  sim_.RunUntilEmpty();
   ++instances_run_;
   return std::move(*result);
 }

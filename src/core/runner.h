@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <utility>
 
 #include "core/engine.h"
@@ -14,40 +15,80 @@
 
 namespace dflow::core {
 
-// A reusable single-threaded execution harness: one Simulator, one
-// infinite-resource QueryService, and one ExecutionEngine, amortized across
-// many instances run to completion one at a time. This is the unit of
-// ownership the runtime::FlowServer replicates per shard — each shard drives
-// its own harness on its own thread, so the single-threaded semantics of the
-// engine are reused unchanged under wall-clock parallelism.
+// Which QueryService a harness (and therefore a runtime shard) runs its
+// instances against: the §5 "infinite resources" setting, or the bounded
+// contention-prone DatabaseServer of the Figure 9(b)-(d) experiments.
+enum class BackendKind {
+  kInfinite,   // InfiniteResourceService: one unit == one time unit
+  kBoundedDb,  // DatabaseServer: CPU/disk queues, per-unit time = Db(Gmpl)
+};
+
+// Backend selection for a FlowHarness. `db` is consulted only when
+// `backend == kBoundedDb`; each harness then owns a private DatabaseServer
+// with exactly these physical parameters (per-shard DB capacity in the
+// serving runtime).
+struct HarnessOptions {
+  BackendKind backend = BackendKind::kInfinite;
+  sim::DatabaseParams db;
+};
+
+// A reusable single-threaded execution harness: one Simulator, one owned
+// QueryService backend (chosen by HarnessOptions), and one ExecutionEngine,
+// amortized across many instances run to completion one at a time. This is
+// the unit of ownership the runtime::FlowServer replicates per shard — each
+// shard drives its own harness on its own thread, so the single-threaded
+// semantics of the engine are reused unchanged under wall-clock parallelism.
 //
 // Determinism contract: the simulator clock accumulates across Run() calls,
 // but every field of InstanceMetrics is either a count or a clock
 // *difference*, so the metrics and terminal snapshot returned by
-// Run(sources, seed) depend only on (schema, strategy, sources, seed) —
-// never on which harness runs it or on what ran before. The exception is
-// InstanceResult::instance_id, which numbers instances per engine and
-// therefore reflects this harness's arrival order; don't key on it across
-// harnesses. flow_server_test.cc holds this contract to account.
+// Run(sources, seed) depend only on (schema, strategy, backend options,
+// sources, seed) — never on which harness runs it or on what ran before.
+// On the bounded backend this requires two extra steps, both taken by Run():
+// the DatabaseServer's random stream is reseeded from the instance seed, and
+// leftover in-flight queries of the previous instance are run to completion
+// before the next one starts (otherwise they would contend for CPU/disk).
+// The exception is InstanceResult::instance_id, which numbers instances per
+// engine and therefore reflects this harness's arrival order; don't key on
+// it across harnesses. flow_server_test.cc holds this contract to account.
 class FlowHarness {
  public:
   FlowHarness(const Schema* schema, const Strategy& strategy)
-      : service_(&sim_), engine_(schema, strategy, &sim_, &service_) {}
+      : FlowHarness(schema, strategy, HarnessOptions{}) {}
+  FlowHarness(const Schema* schema, const Strategy& strategy,
+              const HarnessOptions& options);
   FlowHarness(const FlowHarness&) = delete;
   FlowHarness& operator=(const FlowHarness&) = delete;
 
   // Runs one instance to completion and returns its result.
   InstanceResult Run(const SourceBinding& sources, uint64_t instance_seed);
 
+  BackendKind backend() const { return options_.backend; }
+  // The owned DatabaseServer; null unless backend() == kBoundedDb.
+  const sim::DatabaseServer* db() const { return db_; }
   int64_t instances_run() const { return instances_run_; }
   const sim::Simulator& simulator() const { return sim_; }
 
  private:
   sim::Simulator sim_;
-  sim::InfiniteResourceService service_;
+  HarnessOptions options_;
+  std::unique_ptr<sim::QueryService> service_;
+  sim::DatabaseServer* db_ = nullptr;  // aliases service_ when bounded
   ExecutionEngine engine_;
   int64_t instances_run_ = 0;
 };
+
+// Convenience factory for the bounded-DB harness variant: a FlowHarness
+// that owns a private sim::DatabaseServer with the given physical
+// parameters (a free function rather than a subclass — FlowHarness is not
+// polymorphic, so deriving from it would invite deletion through a base
+// pointer without a virtual destructor).
+inline std::unique_ptr<FlowHarness> MakeBoundedFlowHarness(
+    const Schema* schema, const Strategy& strategy,
+    const sim::DatabaseParams& db) {
+  return std::make_unique<FlowHarness>(
+      schema, strategy, HarnessOptions{BackendKind::kBoundedDb, db});
+}
 
 // Runs one instance against the supplied service/simulator to completion.
 InstanceResult RunSingle(const Schema& schema, const SourceBinding& sources,

@@ -14,11 +14,15 @@ FlowServer::FlowServer(const core::Schema* schema, FlowServerOptions options)
     n = static_cast<int>(std::thread::hardware_concurrency());
     if (n <= 0) n = 1;
   }
+  ShardOptions shard_options;
+  shard_options.queue_capacity = options_.queue_capacity_per_shard;
+  shard_options.backend = options_.backend;
+  shard_options.db = options_.db;
+  shard_options.result_cache_capacity = options_.result_cache_capacity;
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, schema, options_.strategy,
-                                              options_.queue_capacity_per_shard,
-                                              &stats_));
+                                              shard_options, &stats_));
   }
   for (auto& shard : shards_) shard->Start();
   start_ = Clock::now();
@@ -55,11 +59,20 @@ bool FlowServer::TrySubmit(FlowRequest request) {
 }
 
 void FlowServer::Drain() {
-  std::lock_guard<std::mutex> lock(drain_mu_);
-  if (drained_) return;
+  // join_mu_ serializes concurrent Drain() calls for the whole backlog
+  // drain (Shard::Drain must not be entered twice concurrently, and a
+  // second caller must not return before the first finishes). drain_mu_
+  // covers only the drained_/end_ state, so Report() stays responsive
+  // while a long drain is in progress.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    if (drained_) return;
+  }
   // Close every queue first so all shards drain concurrently, then join.
   for (auto& shard : shards_) shard->CloseQueue();
   for (auto& shard : shards_) shard->Drain();
+  std::lock_guard<std::mutex> lock(drain_mu_);
   end_ = Clock::now();
   drained_ = true;
 }
@@ -82,7 +95,18 @@ FlowServerReport FlowServer::Report() const {
   report.per_shard_processed.reserve(shards_.size());
   for (const auto& shard : shards_) {
     report.per_shard_processed.push_back(shard->processed());
+    const ResultCacheStats cache = shard->cache_stats();
+    report.cache.hits += cache.hits;
+    report.cache.misses += cache.misses;
+    report.cache.evictions += cache.evictions;
+    report.cache.entries += cache.entries;
+    report.cache.bytes += cache.bytes;
   }
+  // The caches count shard-locally (no shared lock per request); fold the
+  // summed counters into the ServerStats view here.
+  report.stats.cache_hits = report.cache.hits;
+  report.stats.cache_misses = report.cache.misses;
+  report.stats.cache_hit_rate = report.cache.HitRate();
   return report;
 }
 

@@ -21,6 +21,15 @@ struct FlowServerOptions {
   size_t queue_capacity_per_shard = 256;
   // Execution strategy every shard's engine runs (§5 notation, e.g. PSE100).
   core::Strategy strategy;
+  // Which QueryService backend each shard's harness owns: the §5 infinite-
+  // resource service, or a *private per-shard* bounded sim::DatabaseServer
+  // (the Figure 9(b)-(d) finite-resources regime) with the DatabaseParams
+  // below. Results stay reproducible across shard counts either way.
+  core::BackendKind backend = core::BackendKind::kInfinite;
+  sim::DatabaseParams db;  // per-shard DB capacity when kBoundedDb
+  // Cross-instance result cache per shard, in entries; 0 disables caching.
+  // A hit returns a byte-identical InstanceResult without re-executing.
+  size_t result_cache_capacity = 0;
 };
 
 // Aggregate server report: simulated-time statistics from the shared
@@ -31,6 +40,9 @@ struct FlowServerReport {
   double wall_seconds = 0;           // construction (or last Drain) span
   double instances_per_second = 0;   // completed / wall_seconds
   std::vector<int64_t> per_shard_processed;
+  // Result-cache counters summed over every shard's ResultCache (all zero
+  // when result_cache_capacity == 0).
+  ResultCacheStats cache;
 };
 
 // The parallel flow-serving runtime: accepts a stream of decision-flow
@@ -89,8 +101,11 @@ class FlowServer {
   StatsCollector stats_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Clock::time_point start_;
-  // Guards drained_/end_ against Report() racing Drain() (and serializes
-  // concurrent Drain() calls, which must not double-join the workers).
+  // Serializes concurrent Drain() calls, which must not double-join the
+  // workers; held for the whole backlog drain.
+  std::mutex join_mu_;
+  // Guards only drained_/end_ against Report() racing Drain(), so Report()
+  // never blocks behind an in-progress drain.
   mutable std::mutex drain_mu_;
   Clock::time_point end_;
   bool drained_ = false;

@@ -1,0 +1,156 @@
+#include "runtime/result_cache.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace dflow::runtime {
+namespace {
+
+uint64_t HashValue(uint64_t h, const Value& value) {
+  h = Rng::Mix(h, static_cast<uint64_t>(value.type()));
+  switch (value.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      h = Rng::Mix(h, value.bool_value() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      h = Rng::Mix(h, static_cast<uint64_t>(value.int_value()));
+      break;
+    case Value::Type::kDouble:
+      h = Rng::Mix(h, std::bit_cast<uint64_t>(value.double_value()));
+      break;
+    case Value::Type::kString: {
+      const std::string& s = value.string_value();
+      h = Rng::Mix(h, s.size());
+      // Fold the bytes 8 at a time (tail zero-padded).
+      for (size_t i = 0; i < s.size(); i += 8) {
+        uint64_t chunk = 0;
+        std::memcpy(&chunk, s.data() + i, std::min<size_t>(8, s.size() - i));
+        h = Rng::Mix(h, chunk);
+      }
+      break;
+    }
+  }
+  return h;
+}
+
+uint64_t HashSources(uint64_t h, const core::SourceBinding& sources) {
+  h = Rng::Mix(h, sources.size());
+  for (const auto& [attr, value] : sources) {
+    h = Rng::Mix(h, static_cast<uint64_t>(attr));
+    h = HashValue(h, value);
+  }
+  return h;
+}
+
+uint64_t StrategySalt(const core::Strategy& strategy) {
+  uint64_t h = 0x5a17ca0c9e517ULL;
+  const std::string text = strategy.ToString();
+  for (const char c : text) h = Rng::Mix(h, static_cast<uint64_t>(c));
+  // The ablation overrides are not part of the printed notation but do
+  // change results; fold them in explicitly.
+  h = Rng::Mix(h, strategy.eager_conditions() ? 2 : 1);
+  h = Rng::Mix(h, strategy.unneeded_detection() ? 2 : 1);
+  return h;
+}
+
+int64_t ApproxValueBytes(const Value& value) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Value));
+  if (value.is_string()) {
+    bytes += static_cast<int64_t>(value.string_value().capacity());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t capacity, const core::Strategy& strategy)
+    : capacity_(capacity), strategy_salt_(StrategySalt(strategy)) {}
+
+uint64_t ResultCache::KeyHash(const core::SourceBinding& sources,
+                              uint64_t seed) const {
+  return HashSources(Rng::Mix(strategy_salt_, seed), sources);
+}
+
+int64_t ResultCache::ApproxResultBytes(const core::InstanceResult& result) {
+  const core::Snapshot& snapshot = result.snapshot;
+  const int n = snapshot.schema().num_attributes();
+  int64_t bytes = static_cast<int64_t>(sizeof(core::InstanceResult)) +
+                  n * static_cast<int64_t>(sizeof(core::AttrState));
+  for (int a = 0; a < n; ++a) {
+    bytes += ApproxValueBytes(snapshot.value(static_cast<AttributeId>(a)));
+  }
+  return bytes;
+}
+
+ResultCache::EntryList::iterator ResultCache::Find(
+    uint64_t hash, const core::SourceBinding& sources, uint64_t seed) {
+  auto [begin, end] = index_.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second->seed == seed && it->second->sources == sources) {
+      return it->second;
+    }
+  }
+  return entries_.end();
+}
+
+const core::InstanceResult* ResultCache::Lookup(
+    const core::SourceBinding& sources, uint64_t seed) {
+  if (!enabled()) return nullptr;
+  const uint64_t hash = KeyHash(sources, seed);
+  const EntryList::iterator it = Find(hash, sources, seed);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  entries_.splice(entries_.begin(), entries_, it);  // promote to MRU
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return &it->result;
+}
+
+void ResultCache::Erase(EntryList::iterator it) {
+  auto [begin, end] = index_.equal_range(it->hash);
+  for (auto idx = begin; idx != end; ++idx) {
+    if (idx->second == it) {
+      index_.erase(idx);
+      break;
+    }
+  }
+  resident_entries_.fetch_sub(1, std::memory_order_relaxed);
+  resident_bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+  entries_.erase(it);
+}
+
+void ResultCache::Insert(const core::SourceBinding& sources, uint64_t seed,
+                         const core::InstanceResult& result) {
+  if (!enabled()) return;
+  const uint64_t hash = KeyHash(sources, seed);
+  const EntryList::iterator existing = Find(hash, sources, seed);
+  if (existing != entries_.end()) Erase(existing);
+  while (entries_.size() >= capacity_) {
+    Erase(std::prev(entries_.end()));  // evict LRU
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const int64_t bytes = static_cast<int64_t>(sizeof(Entry)) +
+                        ApproxResultBytes(result);
+  entries_.push_front(Entry{sources, seed, result, hash, bytes});
+  index_.emplace(hash, entries_.begin());
+  resident_entries_.fetch_add(1, std::memory_order_relaxed);
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+ResultCacheStats ResultCache::Stats() const {
+  ResultCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.entries = resident_entries_.load(std::memory_order_relaxed);
+  stats.bytes = resident_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace dflow::runtime

@@ -1,0 +1,111 @@
+#ifndef DFLOW_RUNTIME_RESULT_CACHE_H_
+#define DFLOW_RUNTIME_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "core/engine.h"
+#include "core/snapshot.h"
+#include "core/strategy.h"
+
+namespace dflow::runtime {
+
+// Point-in-time counters of one ResultCache (or, in FlowServerReport, the
+// sum over every shard's cache). hits/misses/evictions are cumulative;
+// entries/bytes are the resident gauges at snapshot time.
+struct ResultCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t entries = 0;
+  int64_t bytes = 0;  // approximate resident size of the cached results
+
+  double HitRate() const {
+    const int64_t lookups = hits + misses;
+    return lookups > 0 ? static_cast<double>(hits) / lookups : 0;
+  }
+};
+
+// Shard-local cross-instance result cache: because an InstanceResult is a
+// pure function of (schema, strategy, backend options, sources, seed) — the
+// FlowHarness determinism contract — a repeated request can be answered from
+// memory with a byte-identical result, skipping the simulated execution
+// entirely.
+//
+// Keying: entries are keyed by (sources fingerprint, seed, strategy). The
+// strategy is folded into the hash salt at construction (one cache serves
+// one shard, and a shard runs one strategy); sources and seed are hashed for
+// lookup but the *full* SourceBinding is stored and compared on every probe,
+// so a 64-bit fingerprint collision can never surface a wrong result.
+//
+// Bounds: at most `capacity` entries, evicted in LRU order (a hit promotes
+// its entry to most-recently-used). Capacity 0 disables the cache: Lookup
+// always misses without counting, Insert is a no-op.
+//
+// Threading: Lookup/Insert are confined to the owning shard's worker thread
+// (cache lookups stay shard-local, preserving the quiescent-engine
+// contract); Stats() may be called from any thread and reads atomic gauges.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity, const core::Strategy& strategy);
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  // Returns the cached result for (sources, seed), promoting it to MRU, or
+  // nullptr on a miss. The pointer stays valid until the next Insert on this
+  // cache (Lookup itself never evicts).
+  const core::InstanceResult* Lookup(const core::SourceBinding& sources,
+                                     uint64_t seed);
+
+  // Caches a copy of `result` under (sources, seed), evicting the LRU entry
+  // if the cache is full. Inserting an already-present key refreshes its
+  // recency and overwrites the entry.
+  void Insert(const core::SourceBinding& sources, uint64_t seed,
+              const core::InstanceResult& result);
+
+  ResultCacheStats Stats() const;
+
+  // The 64-bit key hash: sources fingerprint mixed with the seed and the
+  // strategy salt. Exposed for tests.
+  uint64_t KeyHash(const core::SourceBinding& sources, uint64_t seed) const;
+
+  // Approximate heap + inline footprint of one cached result (snapshot
+  // states, values, string payloads, metrics).
+  static int64_t ApproxResultBytes(const core::InstanceResult& result);
+
+ private:
+  struct Entry {
+    core::SourceBinding sources;
+    uint64_t seed;
+    core::InstanceResult result;
+    uint64_t hash;
+    int64_t bytes;
+  };
+  using EntryList = std::list<Entry>;  // front = most recently used
+
+  EntryList::iterator Find(uint64_t hash, const core::SourceBinding& sources,
+                           uint64_t seed);
+  void Erase(EntryList::iterator it);
+
+  const size_t capacity_;
+  const uint64_t strategy_salt_;
+  EntryList entries_;
+  // hash -> entries with that hash (collisions chain; full keys disambiguate)
+  std::unordered_multimap<uint64_t, EntryList::iterator> index_;
+
+  // Gauges readable from other threads (FlowServer::Report).
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> resident_entries_{0};
+  std::atomic<int64_t> resident_bytes_{0};
+};
+
+}  // namespace dflow::runtime
+
+#endif  // DFLOW_RUNTIME_RESULT_CACHE_H_

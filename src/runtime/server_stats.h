@@ -28,6 +28,16 @@ struct ServerStats {
   double p95_latency_units = 0;
   double p99_latency_units = 0;
   double max_latency_units = 0;
+
+  // Result-cache lookups across all shards (0/0 when caching is disabled).
+  // The caches count shard-locally (no shared lock on the request path);
+  // FlowServer::Report() sums them in here. A hit replays the cached
+  // metrics into the collector, so `completed`, work totals, and the
+  // latency distribution are identical to a cache-off run of the same
+  // workload.
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  double cache_hit_rate = 0;  // hits / (hits + misses); 0 without lookups
 };
 
 // Thread-safe accumulator shards report into. Record() takes one lock per

@@ -1,15 +1,18 @@
 #include "runtime/shard.h"
 
+#include <optional>
 #include <utility>
 
 namespace dflow::runtime {
 
 Shard::Shard(int index, const core::Schema* schema,
-             const core::Strategy& strategy, size_t queue_capacity,
+             const core::Strategy& strategy, const ShardOptions& options,
              StatsCollector* stats)
     : index_(index),
-      queue_(queue_capacity),
-      harness_(schema, strategy),
+      queue_(options.queue_capacity),
+      harness_(schema, strategy,
+               core::HarnessOptions{options.backend, options.db}),
+      cache_(options.result_cache_capacity, strategy),
       stats_(stats) {}
 
 Shard::~Shard() { Drain(); }
@@ -30,8 +33,21 @@ void Shard::Drain() {
 
 void Shard::WorkerLoop() {
   while (std::optional<FlowRequest> request = queue_.Pop()) {
-    const core::InstanceResult result =
-        harness_.Run(request->sources, request->seed);
+    const core::InstanceResult* cached = nullptr;
+    if (cache_.enabled()) {
+      cached = cache_.Lookup(request->sources, request->seed);
+    }
+    std::optional<core::InstanceResult> computed;
+    if (cached == nullptr) {
+      computed = harness_.Run(request->sources, request->seed);
+      if (cache_.enabled()) {
+        cache_.Insert(request->sources, request->seed, *computed);
+      }
+    }
+    // A hit replays the cached result — byte-identical to what the harness
+    // would produce (the FlowHarness determinism contract) — so the stats
+    // stream below is the same with the cache on or off.
+    const core::InstanceResult& result = cached ? *cached : *computed;
     stats_->Record(result.metrics);
     processed_.fetch_add(1, std::memory_order_relaxed);
     ResultCallback callback;

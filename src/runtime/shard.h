@@ -9,20 +9,34 @@
 
 #include "core/runner.h"
 #include "runtime/request_queue.h"
+#include "runtime/result_cache.h"
 #include "runtime/server_stats.h"
 
 namespace dflow::runtime {
 
+// Per-shard configuration: admission-queue depth, which QueryService backend
+// the shard's harness owns (each bounded shard gets a *private*
+// DatabaseServer with these DatabaseParams), and the result-cache bound.
+struct ShardOptions {
+  size_t queue_capacity = 256;
+  core::BackendKind backend = core::BackendKind::kInfinite;
+  sim::DatabaseParams db;          // consulted when backend == kBoundedDb
+  size_t result_cache_capacity = 0;  // entries; 0 disables the cache
+};
+
 // One worker shard of the FlowServer: a bounded request queue, a dedicated
-// std::thread, and a core::FlowHarness the shard exclusively owns. Because
-// the simulator, query service, and execution engine are all confined to
-// the shard's thread, none of the single-threaded core needs locks — the
-// only cross-thread touch points are the queue and the StatsCollector.
+// std::thread, a core::FlowHarness the shard exclusively owns, and a
+// shard-local ResultCache. Because the simulator, query service, execution
+// engine, and cache are all confined to the shard's thread, none of the
+// single-threaded core needs locks — the only cross-thread touch points are
+// the queue and the StatsCollector.
 //
 // Requests pop in FIFO order and run to completion one at a time, so every
 // instance observes a quiescent engine; combined with the FlowHarness
 // determinism contract this makes each result a pure function of the
-// request, independent of shard count and interleaving.
+// request, independent of shard count and interleaving. A cache hit returns
+// the byte-identical InstanceResult the harness would have produced, so
+// caching preserves that contract (only wall-clock time changes).
 class Shard {
  public:
   // Invoked on the shard's worker thread after each completed instance.
@@ -31,7 +45,7 @@ class Shard {
                          const core::InstanceResult& result)>;
 
   Shard(int index, const core::Schema* schema, const core::Strategy& strategy,
-        size_t queue_capacity, StatsCollector* stats);
+        const ShardOptions& options, StatsCollector* stats);
   ~Shard();
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
@@ -66,6 +80,9 @@ class Shard {
     return processed_.load(std::memory_order_relaxed);
   }
   size_t queue_depth() const { return queue_.size(); }
+  core::BackendKind backend() const { return harness_.backend(); }
+  // Thread-safe gauge/counter snapshot of this shard's result cache.
+  ResultCacheStats cache_stats() const { return cache_.Stats(); }
 
  private:
   void WorkerLoop();
@@ -73,6 +90,7 @@ class Shard {
   const int index_;
   RequestQueue queue_;
   core::FlowHarness harness_;
+  ResultCache cache_;
   StatsCollector* const stats_;
   std::mutex callback_mu_;  // guards result_callback_
   ResultCallback result_callback_;

@@ -43,6 +43,14 @@ class DatabaseServer : public QueryService {
 
   void Submit(int cost_units, Completion done) override;
 
+  // Resets the random stream (buffer-pool hit draws, disk choices) so the
+  // next query sequence is a pure function of `seed`. The serving runtime
+  // reseeds before each instance: together with running one instance at a
+  // time against a quiescent server, this makes every bounded execution
+  // independent of what ran before on the same harness (the core::FlowHarness
+  // determinism contract, extended to the bounded backend).
+  void Reseed(uint64_t seed) { rng_ = Rng(seed); }
+
   // Queries currently inside the server (the instantaneous Gmpl).
   int active_queries() const { return active_queries_; }
   int64_t units_completed() const { return units_completed_; }

@@ -1,0 +1,144 @@
+// Stress suites for the flow-serving runtime, labeled `slow` in CTest and
+// excluded from the fast `ctest -L unit` gate (the full-suite CI job runs
+// them): the ~5k-request bounded-backend determinism sweep and the
+// TrySubmit-vs-Drain backpressure race.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gen/schema_generator.h"
+#include "runtime/flow_server.h"
+#include "runtime/request_queue.h"
+
+namespace dflow::runtime {
+namespace {
+
+core::Strategy S(const char* text) { return *core::Strategy::Parse(text); }
+
+// --- Bounded-backend determinism stress: ~5k mixed-seed requests (distinct
+// seeds interleaved with repeats) served against per-shard DatabaseServers.
+// The full seed -> (work, response time) map must be identical for 1, 3,
+// 7, and 8 shards: which shard runs an instance, and what ran on that
+// shard before it, must not leak into the result even when the backend
+// queues CPU/disk work and draws random buffer-pool hits.
+TEST(FlowServerStressTest, BoundedBackendResultsIdenticalAcross1_3_7_8Shards) {
+  gen::PatternParams params;
+  params.nb_nodes = 16;
+  params.nb_rows = 2;
+  params.seed = 21;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+
+  // 5000 requests over 1250 distinct seeds: each seed appears 4 times,
+  // scattered so repeats interleave with other seeds in every shard's FIFO.
+  const int kDistinct = 1250;
+  const int kTotal = 5000;
+  std::vector<FlowRequest> requests;
+  requests.reserve(kTotal);
+  for (int i = 0; i < kTotal; ++i) {
+    const uint64_t seed =
+        gen::InstanceSeed(params, static_cast<int>((i * 13) % kDistinct));
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+
+  using WorkAndResponse = std::pair<int64_t, double>;
+  auto run = [&](int num_shards) {
+    FlowServerOptions options;
+    options.num_shards = num_shards;
+    options.queue_capacity_per_shard = 512;
+    options.strategy = S("PSE100");
+    options.backend = core::BackendKind::kBoundedDb;
+    FlowServer server(&pattern.schema, options);
+
+    std::mutex mu;
+    std::map<uint64_t, WorkAndResponse> by_seed;
+    bool repeat_mismatch = false;
+    server.SetResultCallback([&](int, const FlowRequest& request,
+                                 const core::InstanceResult& result) {
+      const WorkAndResponse wr{result.metrics.work,
+                               result.metrics.ResponseTime()};
+      std::lock_guard<std::mutex> lock(mu);
+      auto [it, inserted] = by_seed.emplace(request.seed, wr);
+      if (!inserted && it->second != wr) repeat_mismatch = true;
+    });
+    for (const FlowRequest& request : requests) {
+      EXPECT_TRUE(server.Submit(request));
+    }
+    server.Drain();
+    EXPECT_FALSE(repeat_mismatch) << num_shards << " shards";
+    EXPECT_EQ(server.Report().stats.completed, kTotal);
+    return by_seed;
+  };
+
+  const auto shards1 = run(1);
+  const auto shards3 = run(3);
+  const auto shards7 = run(7);
+  const auto shards8 = run(8);
+  ASSERT_EQ(shards1.size(), static_cast<size_t>(kDistinct));
+  EXPECT_EQ(shards1, shards3);
+  EXPECT_EQ(shards1, shards7);
+  EXPECT_EQ(shards1, shards8);
+}
+
+// --- Backpressure/drain race: four producers hammer TrySubmit while the
+// main thread drains mid-stream. Every submission must be accounted for
+// exactly once: accepted requests all complete, refused ones are all
+// counted as rejections, and the two partition the submission count.
+TEST(FlowServerStressTest, TrySubmitDrainRaceLosesAndDoubleCountsNothing) {
+  gen::PatternParams params;
+  params.nb_nodes = 32;
+  params.nb_rows = 4;
+  params.seed = 17;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  const int kThreads = 4;
+  const int kPerThread = 400;
+
+  FlowServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity_per_shard = 8;  // small: rejections from fullness
+  options.strategy = S("PCE0");
+  FlowServer server(&pattern.schema, options);
+
+  std::atomic<int64_t> accepted{0};
+  std::atomic<int64_t> rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t seed =
+            gen::InstanceSeed(pattern.params, t * kPerThread + i);
+        if (server.TrySubmit({gen::MakeSourceBinding(pattern, seed), seed})) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          rejected.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Drain races the producers: some submissions land before the close,
+  // the rest are refused (queue full or closed — both are rejections).
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  server.Drain();
+  for (std::thread& producer : producers) producer.join();
+
+  const FlowServerReport report = server.Report();
+  EXPECT_EQ(accepted.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_EQ(report.stats.completed, accepted.load());
+  EXPECT_EQ(report.stats.rejected, rejected.load());
+  int64_t per_shard_total = 0;
+  for (const int64_t processed : report.per_shard_processed) {
+    per_shard_total += processed;
+  }
+  EXPECT_EQ(per_shard_total, accepted.load());
+}
+
+}  // namespace
+}  // namespace dflow::runtime

@@ -2,12 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/runner.h"
@@ -112,6 +115,31 @@ TEST(FlowServerTest, HarnessReuseDoesNotLeakClockIntoMetrics) {
                      fresh.metrics.ResponseTime());
   }
   EXPECT_EQ(harness.instances_run(), 10);
+}
+
+// A bounded harness reused across instances must reproduce what a fresh
+// bounded harness computes per instance: the per-run DatabaseServer reseed
+// and the post-run quiescence drain make each result independent of what
+// ran on the harness before.
+TEST(FlowServerTest, BoundedHarnessReuseMatchesFreshHarnessPerInstance) {
+  const gen::GeneratedSchema pattern = MakePattern(19);
+  const sim::DatabaseParams db;
+  const auto reused =
+      core::MakeBoundedFlowHarness(&pattern.schema, S("PSE100"), db);
+  ASSERT_EQ(reused->backend(), core::BackendKind::kBoundedDb);
+  ASSERT_NE(reused->db(), nullptr);
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i);
+    const core::SourceBinding sources = gen::MakeSourceBinding(pattern, seed);
+    const core::InstanceResult warm = reused->Run(sources, seed);
+    const core::InstanceResult cold =
+        core::MakeBoundedFlowHarness(&pattern.schema, S("PSE100"), db)
+            ->Run(sources, seed);
+    EXPECT_EQ(warm.metrics.work, cold.metrics.work) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(warm.metrics.ResponseTime(), cold.metrics.ResponseTime())
+        << "seed " << seed;
+  }
+  EXPECT_EQ(reused->instances_run(), 8);
 }
 
 TEST(FlowServerTest, SeedRoutingIsStableInRangeAndCoversShards) {

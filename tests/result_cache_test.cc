@@ -1,0 +1,305 @@
+#include "runtime/result_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/runner.h"
+#include "gen/schema_generator.h"
+#include "runtime/flow_server.h"
+
+namespace dflow::runtime {
+namespace {
+
+core::Strategy S(const char* text) { return *core::Strategy::Parse(text); }
+
+gen::GeneratedSchema MakePattern(uint64_t seed, int nb_nodes = 16,
+                                 int nb_rows = 2) {
+  gen::PatternParams params;
+  params.nb_nodes = nb_nodes;
+  params.nb_rows = nb_rows;
+  params.seed = seed;
+  return gen::GeneratePattern(params);
+}
+
+// The full observable content of an InstanceResult, minus instance_id
+// (which numbers instances per engine and is excluded from the determinism
+// contract): every snapshot (state, value) pair and every metrics field.
+struct CapturedResult {
+  std::vector<std::pair<core::AttrState, Value>> snapshot;
+  sim::Time response_time = 0;
+  int64_t work = 0;
+  int64_t wasted_work = 0;
+  int queries_launched = 0;
+  int speculative_launches = 0;
+  int eager_disables = 0;
+  int unneeded_skipped = 0;
+  int prequalifier_passes = 0;
+  double inflight_area = 0;
+
+  friend bool operator==(const CapturedResult&,
+                         const CapturedResult&) = default;
+};
+
+CapturedResult Capture(const core::InstanceResult& result) {
+  CapturedResult captured;
+  const int n = result.snapshot.schema().num_attributes();
+  captured.snapshot.reserve(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    const auto attr = static_cast<AttributeId>(a);
+    captured.snapshot.emplace_back(result.snapshot.state(attr),
+                                   result.snapshot.value(attr));
+  }
+  captured.response_time = result.metrics.ResponseTime();
+  captured.work = result.metrics.work;
+  captured.wasted_work = result.metrics.wasted_work;
+  captured.queries_launched = result.metrics.queries_launched;
+  captured.speculative_launches = result.metrics.speculative_launches;
+  captured.eager_disables = result.metrics.eager_disables;
+  captured.unneeded_skipped = result.metrics.unneeded_skipped;
+  captured.prequalifier_passes = result.metrics.prequalifier_passes;
+  captured.inflight_area = result.metrics.inflight_area;
+  return captured;
+}
+
+// Serves `requests` through a FlowServer and returns seed -> captured
+// result, plus the report (for cache counters).
+std::map<uint64_t, CapturedResult> Serve(const gen::GeneratedSchema& pattern,
+                                         const std::vector<FlowRequest>& reqs,
+                                         const FlowServerOptions& options,
+                                         FlowServerReport* report_out) {
+  FlowServer server(&pattern.schema, options);
+  std::mutex mu;
+  std::map<uint64_t, CapturedResult> by_seed;
+  bool repeat_mismatch = false;
+  server.SetResultCallback([&](int, const FlowRequest& request,
+                               const core::InstanceResult& result) {
+    CapturedResult captured = Capture(result);
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = by_seed.emplace(request.seed, std::move(captured));
+    // Repeats of a seed must reproduce the first occurrence exactly,
+    // whether served from the cache or re-executed.
+    if (!inserted && !(it->second == Capture(result))) repeat_mismatch = true;
+  });
+  for (const FlowRequest& request : reqs) {
+    EXPECT_TRUE(server.Submit(request));
+  }
+  server.Drain();
+  EXPECT_FALSE(repeat_mismatch);
+  if (report_out != nullptr) *report_out = server.Report();
+  return by_seed;
+}
+
+std::vector<FlowRequest> RepeatedWorkload(const gen::GeneratedSchema& pattern,
+                                          int count, int distinct) {
+  std::vector<FlowRequest> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i % distinct);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+  return requests;
+}
+
+// --- The cache determinism contract, as a property over randomized
+// schemas, strategies, backends, and seeds: serving with the cache enabled
+// yields results identical (snapshot + all metrics) to cache-disabled runs.
+TEST(ResultCachePropertyTest, CachedServingMatchesUncachedResults) {
+  struct Config {
+    uint64_t pattern_seed;
+    int nb_nodes;
+    int nb_rows;
+    const char* strategy;
+    core::BackendKind backend;
+  };
+  const Config configs[] = {
+      {3, 16, 2, "PSE100", core::BackendKind::kInfinite},
+      {4, 24, 3, "PCE50", core::BackendKind::kInfinite},
+      {5, 16, 2, "PSE100", core::BackendKind::kBoundedDb},
+      {6, 20, 2, "NCC0", core::BackendKind::kBoundedDb},
+      {7, 12, 2, "PSC80", core::BackendKind::kBoundedDb},
+  };
+  for (const Config& config : configs) {
+    const gen::GeneratedSchema pattern =
+        MakePattern(config.pattern_seed, config.nb_nodes, config.nb_rows);
+    const std::vector<FlowRequest> requests =
+        RepeatedWorkload(pattern, 120, 30);
+
+    FlowServerOptions options;
+    options.num_shards = 3;
+    options.strategy = S(config.strategy);
+    options.backend = config.backend;
+
+    options.result_cache_capacity = 0;
+    const auto uncached = Serve(pattern, requests, options, nullptr);
+
+    options.result_cache_capacity = 64;
+    FlowServerReport report;
+    const auto cached = Serve(pattern, requests, options, &report);
+
+    EXPECT_EQ(uncached.size(), 30u) << "strategy " << config.strategy;
+    EXPECT_EQ(uncached, cached) << "strategy " << config.strategy;
+    // 30 distinct seeds over 120 requests: every repeat hits.
+    EXPECT_EQ(report.cache.misses, 30);
+    EXPECT_EQ(report.cache.hits, 90);
+    EXPECT_DOUBLE_EQ(report.stats.cache_hit_rate, 0.75);
+    // A hit replays the cached metrics, so the aggregate stats match a
+    // cache-off run exactly.
+    EXPECT_EQ(report.stats.completed, 120);
+  }
+}
+
+// --- Direct ResultCache unit tests.
+
+class ResultCacheTest : public ::testing::Test {
+ protected:
+  ResultCacheTest() : pattern_(MakePattern(11)) {}
+
+  FlowRequest Request(int index) const {
+    const uint64_t seed = gen::InstanceSeed(pattern_.params, index);
+    return {gen::MakeSourceBinding(pattern_, seed), seed};
+  }
+
+  core::InstanceResult Run(const FlowRequest& request) const {
+    return core::RunSingleInfinite(pattern_.schema, request.sources,
+                                   request.seed, S("PSE100"));
+  }
+
+  gen::GeneratedSchema pattern_;
+};
+
+TEST_F(ResultCacheTest, CapacityZeroDisablesLookupAndInsert) {
+  ResultCache cache(0, S("PSE100"));
+  EXPECT_FALSE(cache.enabled());
+  const FlowRequest request = Request(0);
+  cache.Insert(request.sources, request.seed, Run(request));
+  EXPECT_EQ(cache.Lookup(request.sources, request.seed), nullptr);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 0);
+  EXPECT_EQ(stats.misses, 0);  // disabled lookups are not counted
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+}
+
+TEST_F(ResultCacheTest, HitReturnsIdenticalResultAndCountsStats) {
+  ResultCache cache(4, S("PSE100"));
+  const FlowRequest request = Request(1);
+  EXPECT_EQ(cache.Lookup(request.sources, request.seed), nullptr);  // miss
+  const core::InstanceResult result = Run(request);
+  cache.Insert(request.sources, request.seed, result);
+  const core::InstanceResult* hit = cache.Lookup(request.sources,
+                                                 request.seed);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(Capture(*hit), Capture(result));
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_GT(stats.bytes, 0);
+}
+
+TEST_F(ResultCacheTest, EvictsLeastRecentlyUsedAndHitPromotes) {
+  ResultCache cache(2, S("PSE100"));
+  const FlowRequest a = Request(1), b = Request(2), c = Request(3);
+  cache.Insert(a.sources, a.seed, Run(a));
+  cache.Insert(b.sources, b.seed, Run(b));
+  // Touch `a`: it becomes MRU, so inserting `c` must evict `b`.
+  ASSERT_NE(cache.Lookup(a.sources, a.seed), nullptr);
+  cache.Insert(c.sources, c.seed, Run(c));
+  EXPECT_NE(cache.Lookup(a.sources, a.seed), nullptr);
+  EXPECT_EQ(cache.Lookup(b.sources, b.seed), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(c.sources, c.seed), nullptr);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2);
+}
+
+TEST_F(ResultCacheTest, ReinsertingAKeyRefreshesInsteadOfDuplicating) {
+  ResultCache cache(2, S("PSE100"));
+  const FlowRequest a = Request(4);
+  const core::InstanceResult result = Run(a);
+  cache.Insert(a.sources, a.seed, result);
+  cache.Insert(a.sources, a.seed, result);
+  const ResultCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_NE(cache.Lookup(a.sources, a.seed), nullptr);
+}
+
+TEST_F(ResultCacheTest, EvictionReleasesByteAccounting) {
+  ResultCache cache(1, S("PSE100"));
+  const FlowRequest a = Request(5), b = Request(6);
+  cache.Insert(a.sources, a.seed, Run(a));
+  const int64_t bytes_one = cache.Stats().bytes;
+  EXPECT_GT(bytes_one, 0);
+  cache.Insert(b.sources, b.seed, Run(b));
+  EXPECT_EQ(cache.Stats().entries, 1);
+  // One resident entry before and after: the evicted entry's bytes must
+  // have been released (entries are same-schema, so sizes are comparable).
+  EXPECT_NEAR(static_cast<double>(cache.Stats().bytes),
+              static_cast<double>(bytes_one), 0.5 * bytes_one);
+}
+
+TEST_F(ResultCacheTest, KeyDistinguishesSeedSourcesAndStrategy) {
+  ResultCache pse(4, S("PSE100"));
+  ResultCache nce(4, S("NCE100"));
+  const FlowRequest a = Request(7), b = Request(8);
+  // Different strategies salt the key hash differently.
+  EXPECT_NE(pse.KeyHash(a.sources, a.seed), nce.KeyHash(a.sources, a.seed));
+  // Different seeds and different sources hash differently.
+  EXPECT_NE(pse.KeyHash(a.sources, a.seed), pse.KeyHash(a.sources, b.seed));
+  EXPECT_NE(pse.KeyHash(a.sources, a.seed), pse.KeyHash(b.sources, a.seed));
+
+  // A seed collision with different sources must not alias: full keys are
+  // compared on lookup.
+  pse.Insert(a.sources, a.seed, Run(a));
+  EXPECT_EQ(pse.Lookup(b.sources, a.seed), nullptr);
+}
+
+// Capacity 0 end to end: the server runs uncached and reports zero cache
+// activity.
+TEST(ResultCacheServerTest, ServerWithCapacityZeroReportsNoCacheActivity) {
+  const gen::GeneratedSchema pattern = MakePattern(9);
+  const std::vector<FlowRequest> requests = RepeatedWorkload(pattern, 40, 10);
+  FlowServerOptions options;
+  options.num_shards = 2;
+  options.strategy = S("PSE100");
+  options.result_cache_capacity = 0;
+  FlowServerReport report;
+  const auto results = Serve(pattern, requests, options, &report);
+  EXPECT_EQ(results.size(), 10u);
+  EXPECT_EQ(report.stats.completed, 40);
+  EXPECT_EQ(report.cache.hits, 0);
+  EXPECT_EQ(report.cache.misses, 0);
+  EXPECT_EQ(report.cache.entries, 0);
+  EXPECT_DOUBLE_EQ(report.stats.cache_hit_rate, 0.0);
+}
+
+// LRU bounds under serving: a cache smaller than the distinct-request set
+// still yields identical results, it just hits less often.
+TEST(ResultCacheServerTest, UndersizedCacheStaysCorrectUnderEviction) {
+  const gen::GeneratedSchema pattern = MakePattern(13);
+  const std::vector<FlowRequest> requests = RepeatedWorkload(pattern, 160, 40);
+  FlowServerOptions options;
+  options.num_shards = 2;
+  options.strategy = S("PSE100");
+  options.backend = core::BackendKind::kBoundedDb;
+
+  options.result_cache_capacity = 0;
+  const auto uncached = Serve(pattern, requests, options, nullptr);
+
+  options.result_cache_capacity = 4;  // far below 40 distinct requests
+  FlowServerReport report;
+  const auto cached = Serve(pattern, requests, options, &report);
+
+  EXPECT_EQ(uncached, cached);
+  EXPECT_GT(report.cache.evictions, 0);
+  // Resident entries respect the per-shard LRU bound.
+  EXPECT_LE(report.cache.entries, 4 * 2);
+}
+
+}  // namespace
+}  // namespace dflow::runtime

@@ -1,0 +1,425 @@
+// dflow_load: TCP load driver for dflow_serve, speaking the wire protocol
+// through net::Client. Generates the same Table 1 pattern workload as
+// bench_throughput_vs_shards (the pattern flags MUST match the server's,
+// or source bindings will not correspond to the server's schema) and
+// drives it over loopback in either loop discipline:
+//
+//   - closed loop (default): each connection keeps exactly one request in
+//     flight — send, await the response, repeat. Latency is a clean RTT;
+//     throughput is bounded by connections / RTT.
+//   - open loop (--mode=open --rate=R): each connection paces submissions
+//     at R/connections per second regardless of responses (a reader
+//     drains them concurrently), so queueing delay shows up in the
+//     latencies instead of slowing the arrival process.
+//
+// Prints the same throughput/latency table shape as
+// bench_throughput_vs_shards, or a machine-readable object with --json.
+// Exit status is nonzero on any transport/decode/protocol error, or — with
+// --fail-on-reject — on any REJECTED_BUSY/SHUTTING_DOWN response, so CI
+// can gate on "N requests served cleanly".
+//
+// Run:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
+//           [--mode=closed|open] [--rate=R] [--distinct=K] [--nonblocking]
+//           [--snapshot] [--info-every=N] [--strategy=PSE100]
+//           [--nodes=64 --rows=4 --pattern-seed=1]
+//           [--connect-timeout=5] [--json] [--fail-on-reject]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gen/schema_generator.h"
+#include "net/client.h"
+
+using namespace dflow;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  int port = 4517;
+  int requests = 2000;
+  int connections = 4;
+  bool open_loop = false;
+  double rate = 1000.0;  // total target arrivals/s across connections
+  int distinct = 0;      // 0 => all unique
+  int nodes = 64, rows = 4;
+  uint64_t pattern_seed = 1;
+  bool nonblocking = false;
+  bool want_snapshot = false;
+  int info_every = 0;  // every Nth request per connection also queries info
+  std::string strategy;  // optional override sent on every submit
+  double connect_timeout_s = 5.0;
+  bool json = false;
+  bool fail_on_reject = false;
+};
+
+// Per-connection tallies, merged after the workers join.
+struct WorkerResult {
+  int64_t ok = 0;
+  int64_t rejected_busy = 0;
+  int64_t rejected_shutdown = 0;
+  int64_t errors = 0;  // transport failures, decode failures, wrong replies
+  int64_t info_ok = 0;
+  int64_t bytes_sent = 0;
+  int64_t bytes_received = 0;
+  std::vector<double> latencies_ms;  // client-observed RTT per answered submit
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  const double rank = p * static_cast<double>(sorted->size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted->size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (*sorted)[lo] * (1 - frac) + (*sorted)[hi] * frac;
+}
+
+// Connect with retry until the deadline: lets CI start driver and server
+// concurrently without a sleep-and-hope race.
+bool ConnectWithRetry(net::Client* client, const Config& config,
+                      std::string* error) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             config.connect_timeout_s));
+  while (true) {
+    if (client->Connect(config.host, static_cast<uint16_t>(config.port),
+                        error)) {
+      return true;
+    }
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+void TallyReply(const net::ServerMessage& message, const Clock::time_point& t0,
+                WorkerResult* result) {
+  switch (message.type) {
+    case net::MsgType::kSubmitResult: {
+      const double ms = std::chrono::duration<double, std::milli>(
+                            Clock::now() - t0)
+                            .count();
+      result->latencies_ms.push_back(ms);
+      ++result->ok;
+      return;
+    }
+    case net::MsgType::kError:
+      if (message.error.code == net::WireError::kRejectedBusy) {
+        ++result->rejected_busy;
+      } else if (message.error.code == net::WireError::kShuttingDown) {
+        ++result->rejected_shutdown;
+      } else {
+        ++result->errors;
+      }
+      return;
+    default:
+      ++result->errors;
+      return;
+  }
+}
+
+// Closed loop: one request in flight per connection, RTT per request.
+WorkerResult RunClosedWorker(const Config& config,
+                             const gen::GeneratedSchema& pattern, int first,
+                             int count) {
+  WorkerResult result;
+  net::Client client;
+  std::string error;
+  if (!ConnectWithRetry(&client, config, &error)) {
+    result.errors += count;
+    return result;
+  }
+  const int distinct = config.distinct > 0 ? config.distinct
+                                           : config.requests;
+  for (int i = 0; i < count; ++i) {
+    const int index = first + i;
+    net::SubmitRequest request;
+    request.request_id = static_cast<uint64_t>(index) + 1;
+    request.seed = gen::InstanceSeed(pattern.params, index % distinct);
+    request.blocking = !config.nonblocking;
+    request.want_snapshot = config.want_snapshot;
+    request.strategy = config.strategy;
+    request.sources = gen::MakeSourceBinding(pattern, request.seed);
+    const Clock::time_point t0 = Clock::now();
+    const std::optional<net::ServerMessage> reply = client.Call(request);
+    if (!reply.has_value()) {
+      // Connection is gone; everything still unsent counts as errored.
+      result.errors += count - i;
+      break;
+    }
+    TallyReply(*reply, t0, &result);
+    if (config.info_every > 0 && (i + 1) % config.info_every == 0) {
+      if (client.Info().has_value()) {
+        ++result.info_ok;
+      } else {
+        ++result.errors;
+        break;
+      }
+    }
+  }
+  if (client.connected()) client.Goodbye();
+  result.bytes_sent = client.bytes_sent();
+  result.bytes_received = client.bytes_received();
+  return result;
+}
+
+// Open loop: paced sender + concurrent reader on one connection.
+WorkerResult RunOpenWorker(const Config& config,
+                           const gen::GeneratedSchema& pattern, int first,
+                           int count) {
+  WorkerResult result;
+  net::Client client;
+  std::string error;
+  if (!ConnectWithRetry(&client, config, &error)) {
+    result.errors += count;
+    return result;
+  }
+  const int distinct = config.distinct > 0 ? config.distinct
+                                           : config.requests;
+  const double per_connection_rate =
+      std::max(1e-6, config.rate / std::max(1, config.connections));
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / per_connection_rate));
+
+  std::mutex mu;  // guards send_times and result during the overlap
+  std::unordered_map<uint64_t, Clock::time_point> send_times;
+  std::atomic<bool> sender_failed{false};
+
+  std::thread reader([&] {
+    // Every submit produces exactly one reply (result or typed error);
+    // count replies until the sender's quota is fully answered.
+    int answered = 0;
+    while (answered < count && !sender_failed.load()) {
+      std::optional<net::ServerMessage> reply = client.ReadMessage();
+      if (!reply.has_value()) break;
+      std::lock_guard<std::mutex> lock(mu);
+      Clock::time_point t0 = Clock::now();
+      const uint64_t id = reply->type == net::MsgType::kSubmitResult
+                              ? reply->result.request_id
+                              : reply->error.request_id;
+      const auto it = send_times.find(id);
+      if (it != send_times.end()) {
+        t0 = it->second;
+        send_times.erase(it);
+      }
+      TallyReply(*reply, t0, &result);
+      ++answered;
+    }
+  });
+
+  Clock::time_point next_send = Clock::now();
+  for (int i = 0; i < count; ++i) {
+    std::this_thread::sleep_until(next_send);
+    next_send += interval;
+    const int index = first + i;
+    net::SubmitRequest request;
+    request.request_id = static_cast<uint64_t>(index) + 1;
+    request.seed = gen::InstanceSeed(pattern.params, index % distinct);
+    request.blocking = !config.nonblocking;
+    request.want_snapshot = config.want_snapshot;
+    request.strategy = config.strategy;
+    request.sources = gen::MakeSourceBinding(pattern, request.seed);
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      send_times.emplace(request.request_id, Clock::now());
+    }
+    if (!client.SendSubmit(request)) {
+      std::lock_guard<std::mutex> lock(mu);
+      result.errors += count - i;
+      sender_failed.store(true);
+      break;
+    }
+  }
+  reader.join();
+  if (client.connected() && !sender_failed.load()) client.Goodbye();
+  result.bytes_sent = client.bytes_sent();
+  result.bytes_received = client.bytes_received();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value_of = [&](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        return arg + len + 1;
+      }
+      return nullptr;
+    };
+    const char* v;
+    if ((v = value_of("--host"))) config.host = v;
+    else if ((v = value_of("--port"))) config.port = std::atoi(v);
+    else if ((v = value_of("--requests"))) config.requests = std::atoi(v);
+    else if ((v = value_of("--connections"))) config.connections = std::atoi(v);
+    else if ((v = value_of("--mode"))) {
+      if (std::strcmp(v, "open") == 0) config.open_loop = true;
+      else if (std::strcmp(v, "closed") != 0) {
+        std::fprintf(stderr, "unknown mode '%s'\n", v);
+        return 2;
+      }
+    }
+    else if ((v = value_of("--rate"))) config.rate = std::atof(v);
+    else if ((v = value_of("--distinct"))) config.distinct = std::atoi(v);
+    else if ((v = value_of("--nodes"))) config.nodes = std::atoi(v);
+    else if ((v = value_of("--rows"))) config.rows = std::atoi(v);
+    else if ((v = value_of("--pattern-seed"))) {
+      config.pattern_seed = std::strtoull(v, nullptr, 10);
+    }
+    else if ((v = value_of("--info-every"))) config.info_every = std::atoi(v);
+    else if ((v = value_of("--strategy"))) config.strategy = v;
+    else if ((v = value_of("--connect-timeout"))) {
+      config.connect_timeout_s = std::atof(v);
+    }
+    else if (std::strcmp(arg, "--nonblocking") == 0) config.nonblocking = true;
+    else if (std::strcmp(arg, "--snapshot") == 0) config.want_snapshot = true;
+    else if (std::strcmp(arg, "--json") == 0) config.json = true;
+    else if (std::strcmp(arg, "--fail-on-reject") == 0) {
+      config.fail_on_reject = true;
+    }
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    }
+  }
+  config.connections = std::max(1, config.connections);
+  config.requests = std::max(1, config.requests);
+
+  gen::PatternParams params;
+  params.nb_nodes = config.nodes;
+  params.nb_rows = config.rows;
+  params.seed = config.pattern_seed;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+
+  // Split the request range across connections (remainder to the first).
+  std::vector<std::pair<int, int>> ranges;
+  const int base = config.requests / config.connections;
+  int cursor = 0;
+  for (int c = 0; c < config.connections; ++c) {
+    const int count = base + (c < config.requests % config.connections ? 1 : 0);
+    ranges.emplace_back(cursor, count);
+    cursor += count;
+  }
+
+  const Clock::time_point start = Clock::now();
+  std::vector<WorkerResult> results(ranges.size());
+  std::vector<std::thread> workers;
+  workers.reserve(ranges.size());
+  for (size_t c = 0; c < ranges.size(); ++c) {
+    workers.emplace_back([&, c] {
+      results[c] = config.open_loop
+                       ? RunOpenWorker(config, pattern, ranges[c].first,
+                                       ranges[c].second)
+                       : RunClosedWorker(config, pattern, ranges[c].first,
+                                         ranges[c].second);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerResult total;
+  for (WorkerResult& result : results) {
+    total.ok += result.ok;
+    total.rejected_busy += result.rejected_busy;
+    total.rejected_shutdown += result.rejected_shutdown;
+    total.errors += result.errors;
+    total.info_ok += result.info_ok;
+    total.bytes_sent += result.bytes_sent;
+    total.bytes_received += result.bytes_received;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              result.latencies_ms.begin(),
+                              result.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  const double p50 = Percentile(&total.latencies_ms, 0.50);
+  const double p95 = Percentile(&total.latencies_ms, 0.95);
+  const double p99 = Percentile(&total.latencies_ms, 0.99);
+  const double lat_max =
+      total.latencies_ms.empty() ? 0 : total.latencies_ms.back();
+  const double rps = wall_s > 0 ? static_cast<double>(total.ok) / wall_s : 0;
+
+  // One last look at the server's own counters: CI gates on its aggregate
+  // decode_errors being zero, not just on this process's view.
+  int64_t server_decode_errors = -1;
+  int64_t server_completed = -1;
+  {
+    net::Client probe;
+    std::string error;
+    if (probe.Connect(config.host, static_cast<uint16_t>(config.port),
+                      &error)) {
+      if (const std::optional<net::ServerInfo> info = probe.Info()) {
+        server_decode_errors = info->ingress.decode_errors;
+        server_completed = info->completed;
+      }
+      probe.Goodbye();
+    }
+  }
+
+  const int64_t rejected = total.rejected_busy + total.rejected_shutdown;
+  if (config.json) {
+    std::printf(
+        "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"requests\":%d,"
+        "\"connections\":%d,\"ok\":%lld,\"rejected_busy\":%lld,"
+        "\"rejected_shutdown\":%lld,\"errors\":%lld,\"info_ok\":%lld,"
+        "\"wall_s\":%.6f,\"requests_per_second\":%.1f,"
+        "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
+        "\"max\":%.3f},\"bytes_sent\":%lld,\"bytes_received\":%lld,"
+        "\"server\":{\"completed\":%lld,\"decode_errors\":%lld}}\n",
+        config.open_loop ? "open" : "closed", config.requests,
+        config.connections, static_cast<long long>(total.ok),
+        static_cast<long long>(total.rejected_busy),
+        static_cast<long long>(total.rejected_shutdown),
+        static_cast<long long>(total.errors),
+        static_cast<long long>(total.info_ok), wall_s, rps, p50, p95, p99,
+        lat_max, static_cast<long long>(total.bytes_sent),
+        static_cast<long long>(total.bytes_received),
+        static_cast<long long>(server_completed),
+        static_cast<long long>(server_decode_errors));
+  } else {
+    std::printf(
+        "# dflow_load: %s loop, %d requests over %d connections to "
+        "%s:%d%s\n",
+        config.open_loop ? "open" : "closed", config.requests,
+        config.connections, config.host.c_str(), config.port,
+        config.nonblocking ? " (nonblocking admission)" : "");
+    std::printf("%-10s %-10s %-10s %-8s %-8s %-10s %-9s %-9s %-9s %-9s\n",
+                "ok", "busy", "shutdown", "errors", "wall_s", "req/s",
+                "p50_ms", "p95_ms", "p99_ms", "max_ms");
+    std::printf(
+        "%-10lld %-10lld %-10lld %-8lld %-8.3f %-10.1f %-9.3f %-9.3f "
+        "%-9.3f %-9.3f\n",
+        static_cast<long long>(total.ok),
+        static_cast<long long>(total.rejected_busy),
+        static_cast<long long>(total.rejected_shutdown),
+        static_cast<long long>(total.errors), wall_s, rps, p50, p95, p99,
+        lat_max);
+    std::printf("# bytes: %lld sent, %lld received; server completed=%lld "
+                "decode_errors=%lld\n",
+                static_cast<long long>(total.bytes_sent),
+                static_cast<long long>(total.bytes_received),
+                static_cast<long long>(server_completed),
+                static_cast<long long>(server_decode_errors));
+  }
+
+  if (total.errors > 0) return 1;
+  if (server_decode_errors != 0 && server_decode_errors != -1) return 1;
+  if (config.fail_on_reject && rejected > 0) return 1;
+  return 0;
+}

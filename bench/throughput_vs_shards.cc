@@ -16,6 +16,8 @@
 //                           infinite — i.e. all unique)
 //           [--cache=N]     per-shard cache capacity in entries
 //                           (default: distinct, so capacity never evicts)
+//           [--json]        emit one machine-readable JSON object instead
+//                           of the table (for recording bench trajectories)
 //
 // The determinism contract is checked as a side effect: total simulated
 // work must be identical for every shard count AND with the cache on or off
@@ -78,10 +80,13 @@ int main(int argc, char** argv) {
   int num_requests = 0;
   int distinct = 0;
   int cache_capacity = -1;
+  bool json = false;
   core::BackendKind backend = core::BackendKind::kInfinite;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--backend=", 10) == 0) {
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(arg, "--backend=", 10) == 0) {
       const std::string kind = arg + 10;
       if (kind == "bounded") {
         backend = core::BackendKind::kBoundedDb;
@@ -127,15 +132,17 @@ int main(int argc, char** argv) {
   for (int s = 1; s < hw; s *= 2) shard_counts.push_back(s);
   shard_counts.push_back(hw);  // always end the sweep at the hardware width
 
-  std::printf(
-      "# throughput_vs_shards: backend=%s, %d requests (%d distinct), "
-      "cache capacity %d/shard, pattern nb_nodes=%d, "
-      "hardware_concurrency=%d\n",
-      bounded ? "bounded" : "infinite", num_requests, distinct, cache_capacity,
-      params.nb_nodes, hw);
-  std::printf("%-8s %-12s %-14s %-12s %-14s %-10s %-8s %-14s %s\n", "shards",
-              "wall_s", "instances/s", "speedup", "cached_i/s", "cache_x",
-              "hit%", "total_work", "p99_units");
+  if (!json) {
+    std::printf(
+        "# throughput_vs_shards: backend=%s, %d requests (%d distinct), "
+        "cache capacity %d/shard, pattern nb_nodes=%d, "
+        "hardware_concurrency=%d\n",
+        bounded ? "bounded" : "infinite", num_requests, distinct,
+        cache_capacity, params.nb_nodes, hw);
+    std::printf("%-8s %-12s %-14s %-12s %-14s %-10s %-8s %-14s %s\n",
+                "shards", "wall_s", "instances/s", "speedup", "cached_i/s",
+                "cache_x", "hit%", "total_work", "p99_units");
+  }
 
   double baseline = 0;
   int64_t reference_work = -1;
@@ -155,6 +162,7 @@ int main(int argc, char** argv) {
     }
     return true;
   };
+  std::string json_rows;
   for (const int shards : shard_counts) {
     const Measurement off = RunOnce(pattern, requests, shards, backend, 0);
     const Measurement on = RunOnce(pattern, requests, shards, backend,
@@ -171,17 +179,45 @@ int main(int argc, char** argv) {
     last_cache_x = off.instances_per_second > 0
                        ? on.instances_per_second / off.instances_per_second
                        : 0;
-    std::printf("%-8d %-12.3f %-14.1f %-12.2f %-14.1f %-10.2f %-8.1f "
-                "%-14lld %.1f\n",
-                shards, off.wall_seconds, off.instances_per_second,
-                baseline > 0 ? off.instances_per_second / baseline : 0,
-                on.instances_per_second, last_cache_x,
-                100.0 * on.cache_hit_rate,
-                static_cast<long long>(off.total_work), off.p99_latency_units);
+    const double speedup =
+        baseline > 0 ? off.instances_per_second / baseline : 0;
+    if (json) {
+      char row[512];
+      std::snprintf(
+          row, sizeof(row),
+          "%s{\"shards\":%d,\"wall_s\":%.6f,\"instances_per_second\":%.1f,"
+          "\"speedup\":%.3f,\"cached_instances_per_second\":%.1f,"
+          "\"cache_x\":%.3f,\"hit_rate\":%.4f,\"total_work\":%lld,"
+          "\"p99_latency_units\":%.1f}",
+          json_rows.empty() ? "" : ",", shards, off.wall_seconds,
+          off.instances_per_second, speedup, on.instances_per_second,
+          last_cache_x, on.cache_hit_rate,
+          static_cast<long long>(off.total_work), off.p99_latency_units);
+      json_rows += row;
+    } else {
+      std::printf("%-8d %-12.3f %-14.1f %-12.2f %-14.1f %-10.2f %-8.1f "
+                  "%-14lld %.1f\n",
+                  shards, off.wall_seconds, off.instances_per_second, speedup,
+                  on.instances_per_second, last_cache_x,
+                  100.0 * on.cache_hit_rate,
+                  static_cast<long long>(off.total_work),
+                  off.p99_latency_units);
+    }
   }
-  std::printf("# monotone 1..hardware_concurrency: %s\n",
-              monotone ? "yes" : "no");
-  std::printf("# cache speedup at %d shards: %.2fx\n", shard_counts.back(),
-              last_cache_x);
+  if (json) {
+    std::printf(
+        "{\"tool\":\"bench_throughput_vs_shards\",\"backend\":\"%s\","
+        "\"requests\":%d,\"distinct\":%d,\"cache_capacity\":%d,"
+        "\"nb_nodes\":%d,\"hardware_concurrency\":%d,\"monotone\":%s,"
+        "\"cache_speedup_at_max_shards\":%.3f,\"rows\":[%s]}\n",
+        bounded ? "bounded" : "infinite", num_requests, distinct,
+        cache_capacity, params.nb_nodes, hw, monotone ? "true" : "false",
+        last_cache_x, json_rows.c_str());
+  } else {
+    std::printf("# monotone 1..hardware_concurrency: %s\n",
+                monotone ? "yes" : "no");
+    std::printf("# cache speedup at %d shards: %.2fx\n", shard_counts.back(),
+                last_cache_x);
+  }
   return 0;
 }

@@ -1,0 +1,176 @@
+// dflow_serve: the flow-serving runtime behind a real TCP front door.
+//
+// Builds a Table 1 pattern schema, starts a runtime::FlowServer wrapped in
+// a net::IngressServer, and serves the wire protocol on 127.0.0.1:<port>
+// until SIGINT/SIGTERM, then drains gracefully (every accepted request is
+// answered before the listener dies) and prints the final report,
+// including the ingress counters.
+//
+// The client must generate requests against the *same* generated schema:
+// point dflow_load at the same --nodes/--rows/--pattern-seed values.
+//
+// Build:  cmake --build build --target dflow_serve
+// Run:    ./build/dflow_serve --port=4517 --shards=4 --cache=256
+// Drive:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gen/schema_generator.h"
+#include "net/ingress_server.h"
+
+using namespace dflow;
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 4517;
+  int shards = 0;
+  int queue = 256;
+  int cache = 0;
+  long long cache_bytes = 0;
+  int nodes = 64, rows = 4;
+  unsigned long long pattern_seed = 1;
+  std::string strategy_text = "PSE100";
+  core::BackendKind backend = core::BackendKind::kInfinite;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (FlagValue(argv[i], "--port", &value)) {
+      port = std::atoi(value);
+    } else if (FlagValue(argv[i], "--shards", &value)) {
+      shards = std::atoi(value);
+    } else if (FlagValue(argv[i], "--queue", &value)) {
+      queue = std::atoi(value);
+    } else if (FlagValue(argv[i], "--cache", &value)) {
+      cache = std::atoi(value);
+    } else if (FlagValue(argv[i], "--cache-bytes", &value)) {
+      cache_bytes = std::atoll(value);
+    } else if (FlagValue(argv[i], "--nodes", &value)) {
+      nodes = std::atoi(value);
+    } else if (FlagValue(argv[i], "--rows", &value)) {
+      rows = std::atoi(value);
+    } else if (FlagValue(argv[i], "--pattern-seed", &value)) {
+      pattern_seed = std::strtoull(value, nullptr, 10);
+    } else if (FlagValue(argv[i], "--strategy", &value)) {
+      strategy_text = value;
+    } else if (FlagValue(argv[i], "--backend", &value)) {
+      if (std::strcmp(value, "bounded") == 0) {
+        backend = core::BackendKind::kBoundedDb;
+      } else if (std::strcmp(value, "infinite") != 0) {
+        std::fprintf(stderr, "unknown backend '%s'\n", value);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::optional<core::Strategy> strategy =
+      core::Strategy::Parse(strategy_text);
+  if (!strategy.has_value()) {
+    std::fprintf(stderr, "bad --strategy '%s'\n", strategy_text.c_str());
+    return 2;
+  }
+
+  gen::PatternParams params;
+  params.nb_nodes = nodes;
+  params.nb_rows = rows;
+  params.seed = pattern_seed;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = shards;
+  server_options.queue_capacity_per_shard = static_cast<size_t>(queue);
+  server_options.strategy = *strategy;
+  server_options.backend = backend;
+  server_options.result_cache_capacity = static_cast<size_t>(cache);
+  server_options.result_cache_max_bytes = cache_bytes;
+
+  net::IngressOptions ingress_options;
+  ingress_options.port = static_cast<uint16_t>(port);
+  ingress_options.verbose = verbose;
+
+  // Block the shutdown signals *before* spawning server threads so every
+  // thread inherits the mask and sigwait below is the only consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  net::IngressServer server(&pattern.schema, server_options, ingress_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "dflow_serve: cannot listen on port %d: %s\n", port,
+                 error.c_str());
+    return 1;
+  }
+  std::printf(
+      "dflow_serve listening on 127.0.0.1:%u (shards=%d, strategy=%s, "
+      "backend=%s, queue=%d, cache=%d entries%s, pattern nodes=%d rows=%d "
+      "seed=%llu)\n",
+      server.port(), server.flow_server().num_shards(),
+      strategy->ToString().c_str(),
+      backend == core::BackendKind::kBoundedDb ? "bounded" : "infinite",
+      queue, cache,
+      cache_bytes > 0 ? (", " + std::to_string(cache_bytes) + " bytes").c_str()
+                      : "",
+      nodes, rows, pattern_seed);
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&mask, &signal_number);
+  std::printf("dflow_serve: received signal %d, draining...\n", signal_number);
+  std::fflush(stdout);
+  server.Stop();
+
+  const runtime::FlowServerReport report = server.Report();
+  std::printf("completed            %lld instances\n",
+              static_cast<long long>(report.stats.completed));
+  std::printf("throughput           %.1f instances/s over %.3f s\n",
+              report.instances_per_second, report.wall_seconds);
+  std::printf("latency p50/p95/p99  %.1f / %.1f / %.1f units\n",
+              report.stats.p50_latency_units, report.stats.p95_latency_units,
+              report.stats.p99_latency_units);
+  std::printf("cache                %lld hits, %lld misses, %lld entries, "
+              "%lld bytes resident\n",
+              static_cast<long long>(report.cache.hits),
+              static_cast<long long>(report.cache.misses),
+              static_cast<long long>(report.cache.entries),
+              static_cast<long long>(report.cache.bytes));
+  const runtime::IngressStats& in = report.ingress;
+  std::printf("ingress              %lld conns (%lld closed), %lld accepted, "
+              "%lld busy, %lld shutdown, %lld decode errors, %lld protocol "
+              "errors, %lld info\n",
+              static_cast<long long>(in.connections_opened),
+              static_cast<long long>(in.connections_closed),
+              static_cast<long long>(in.requests_accepted),
+              static_cast<long long>(in.requests_rejected_busy),
+              static_cast<long long>(in.requests_rejected_shutdown),
+              static_cast<long long>(in.decode_errors),
+              static_cast<long long>(in.protocol_errors),
+              static_cast<long long>(in.info_requests));
+  std::printf("ingress bytes        %lld in, %lld out\n",
+              static_cast<long long>(in.bytes_in),
+              static_cast<long long>(in.bytes_out));
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "net/client.h"
+
+#include <vector>
+
+namespace dflow::net {
+
+bool Client::Connect(const std::string& host, uint16_t port,
+                     std::string* error) {
+  socket_ = Socket::ConnectTcp(host, port, error);
+  return socket_.valid();
+}
+
+bool Client::SendFrame(const std::vector<uint8_t>& frame) {
+  if (!socket_.valid()) return false;
+  if (!socket_.SendAll(frame.data(), frame.size())) return false;
+  bytes_sent_ += static_cast<int64_t>(frame.size());
+  return true;
+}
+
+bool Client::SendSubmit(const SubmitRequest& request) {
+  std::vector<uint8_t> frame;
+  EncodeSubmit(request, &frame);
+  return SendFrame(frame);
+}
+
+bool Client::SendInfoRequest() {
+  std::vector<uint8_t> frame;
+  EncodeInfoRequest(&frame);
+  return SendFrame(frame);
+}
+
+bool Client::SendGoodbye() {
+  std::vector<uint8_t> frame;
+  EncodeGoodbye(&frame);
+  return SendFrame(frame);
+}
+
+std::optional<ServerMessage> Client::ReadMessage() {
+  uint8_t chunk[16 * 1024];
+  while (true) {
+    if (std::optional<Frame> frame = assembler_.Next()) {
+      ServerMessage message;
+      switch (static_cast<MsgType>(frame->type)) {
+        case MsgType::kSubmitResult:
+          message.type = MsgType::kSubmitResult;
+          if (!DecodeSubmitResult(frame->payload, &message.result)) break;
+          return message;
+        case MsgType::kError:
+          message.type = MsgType::kError;
+          if (!DecodeError(frame->payload, &message.error)) break;
+          return message;
+        case MsgType::kInfo:
+          message.type = MsgType::kInfo;
+          if (!DecodeInfo(frame->payload, &message.info)) break;
+          return message;
+        case MsgType::kGoodbyeAck:
+          message.type = MsgType::kGoodbyeAck;
+          return message;
+        default:
+          break;
+      }
+      // A server frame we cannot decode: the stream can no longer be
+      // trusted (responses would silently go missing).
+      last_error_ = WireError::kMalformedFrame;
+      return std::nullopt;
+    }
+    if (assembler_.error() != WireError::kNone) {
+      last_error_ = assembler_.error();
+      return std::nullopt;
+    }
+    const ssize_t n = socket_.Recv(chunk, sizeof(chunk));
+    if (n <= 0) return std::nullopt;  // EOF or transport error
+    bytes_received_ += n;
+    assembler_.Feed(chunk, static_cast<size_t>(n));
+  }
+}
+
+std::optional<ServerMessage> Client::Call(const SubmitRequest& request) {
+  if (!SendSubmit(request)) return std::nullopt;
+  return ReadMessage();
+}
+
+std::optional<ServerInfo> Client::Info() {
+  if (!SendInfoRequest()) return std::nullopt;
+  const std::optional<ServerMessage> message = ReadMessage();
+  if (!message.has_value() || message->type != MsgType::kInfo) {
+    return std::nullopt;
+  }
+  return message->info;
+}
+
+bool Client::Goodbye() {
+  if (!SendGoodbye()) return false;
+  // Late results for requests this client abandoned may precede the ack;
+  // skip them (documented: Goodbye discards unread responses).
+  while (std::optional<ServerMessage> message = ReadMessage()) {
+    if (message->type == MsgType::kGoodbyeAck) {
+      Close();
+      return true;
+    }
+  }
+  Close();
+  return false;
+}
+
+}  // namespace dflow::net

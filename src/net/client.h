@@ -1,0 +1,85 @@
+#ifndef DFLOW_NET_CLIENT_H_
+#define DFLOW_NET_CLIENT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/socket.h"
+#include "net/wire_protocol.h"
+
+namespace dflow::net {
+
+// One message from the server, already decoded. `type` says which member
+// is meaningful.
+struct ServerMessage {
+  MsgType type = MsgType::kError;
+  SubmitResult result;  // when kSubmitResult
+  ErrorReply error;     // when kError
+  ServerInfo info;      // when kInfo
+};
+
+// Client side of the wire protocol: one TCP connection, blocking calls.
+//
+// Two usage styles:
+//   - synchronous RPC: Call() / Info() / Goodbye() pair one request with
+//     one response — the simplest correct loop for a closed-loop driver;
+//   - pipelined: issue several SendSubmit()s, then ReadMessage() until
+//     every request_id is answered. Responses arrive in *completion*
+//     order, not submission order; correlate by request_id.
+//
+// Threading: not generally thread-safe, with one supported overlap — a
+// dedicated sender thread (Send*) concurrent with a dedicated reader
+// thread (ReadMessage), as the open-loop load driver does; send-side and
+// receive-side state are disjoint. ReadMessage returning nullopt means the
+// connection is unusable — EOF, transport error, or an unrecoverable
+// protocol error (see last_error()).
+class Client {
+ public:
+  Client() = default;
+  ~Client() = default;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+  bool connected() const { return socket_.valid(); }
+
+  // Fire-and-record senders; false on transport failure.
+  bool SendSubmit(const SubmitRequest& request);
+  bool SendInfoRequest();
+  bool SendGoodbye();
+
+  // Blocks for the next server frame. kGoodbyeAck is surfaced as a message
+  // with that type (empty members).
+  std::optional<ServerMessage> ReadMessage();
+
+  // Synchronous conveniences.
+  std::optional<ServerMessage> Call(const SubmitRequest& request);
+  std::optional<ServerInfo> Info();
+  // Graceful close: sends kGoodbye, waits for the ack (the server flushes
+  // every outstanding response first — any still-pending results arrive
+  // before the ack and are DISCARDED here, so call this only after reading
+  // everything you care about), then closes. Returns false if the ack
+  // never came.
+  bool Goodbye();
+
+  void Close() { socket_.Close(); }
+
+  // Protocol-level failure of the *stream* (framing), if any.
+  WireError last_error() const { return last_error_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+  int64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  bool SendFrame(const std::vector<uint8_t>& frame);
+
+  Socket socket_;
+  FrameAssembler assembler_;
+  WireError last_error_ = WireError::kNone;
+  int64_t bytes_sent_ = 0;
+  int64_t bytes_received_ = 0;
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_CLIENT_H_

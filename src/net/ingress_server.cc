@@ -1,0 +1,407 @@
+#include "net/ingress_server.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "core/strategy.h"
+
+namespace dflow::net {
+
+namespace {
+constexpr size_t kRecvChunkBytes = 64 * 1024;
+}  // namespace
+
+IngressServer::IngressServer(const core::Schema* schema,
+                             runtime::FlowServerOptions server_options,
+                             IngressOptions ingress_options)
+    : options_(ingress_options), server_(schema, server_options) {
+  // Installed before the listener exists, so it observes every request the
+  // ingress will ever admit.
+  server_.SetResultCallback(
+      [this](int shard_index, const runtime::FlowRequest& request,
+             const core::InstanceResult& result) {
+        OnResult(shard_index, request, result);
+      });
+}
+
+IngressServer::~IngressServer() { Stop(); }
+
+bool IngressServer::Start(std::string* error) {
+  if (started_.exchange(true)) {
+    if (error != nullptr) *error = "Start() called twice";
+    return false;
+  }
+  if (!listener_.Listen(options_.port, error)) return false;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void IngressServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_release);
+  // 1. Stop accepting; retire the acceptor.
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  // 2. Half-close every session's read side: readers finish what they
+  // already buffered (which may still admit requests), then drain their
+  // in-flight responses and retire their writers.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const std::shared_ptr<Session>& session : sessions_) {
+      session->socket.ShutdownRead();
+    }
+  }
+  ReapSessions(/*all=*/true);
+  // 3. Only now quiesce the execution layer: every accepted request was
+  // answered, so the drain has nothing the wire still owes a client.
+  server_.Drain();
+}
+
+runtime::IngressStats IngressServer::ingress_stats() const {
+  runtime::IngressStats stats;
+  stats.connections_opened = connections_opened_.load();
+  stats.connections_closed = connections_closed_.load();
+  stats.requests_accepted = requests_accepted_.load();
+  stats.requests_rejected_busy = requests_rejected_busy_.load();
+  stats.requests_rejected_shutdown = requests_rejected_shutdown_.load();
+  stats.decode_errors = decode_errors_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  stats.info_requests = info_requests_.load();
+  stats.bytes_in = bytes_in_.load();
+  stats.bytes_out = bytes_out_.load();
+  return stats;
+}
+
+runtime::FlowServerReport IngressServer::Report() const {
+  runtime::FlowServerReport report = server_.Report();
+  report.ingress = ingress_stats();
+  return report;
+}
+
+void IngressServer::AcceptLoop() {
+  while (true) {
+    Socket socket = listener_.Accept();
+    if (!socket.valid()) break;  // Shutdown() poisoned the listener
+    if (stopping_.load(std::memory_order_acquire)) break;
+    socket.SetSendTimeout(options_.send_timeout_ms);
+    auto session = std::make_shared<Session>();
+    session->socket = std::move(socket);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session->id = next_session_id_++;
+      sessions_.push_back(session);
+    }
+    connections_opened_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.verbose) {
+      std::fprintf(stderr, "[ingress] connection %llu open\n",
+                   static_cast<unsigned long long>(session->id));
+    }
+    session->thread = std::thread([this, session] { SessionLoop(session); });
+    ReapSessions(/*all=*/false);
+  }
+}
+
+void IngressServer::ReapSessions(bool all) {
+  std::vector<std::shared_ptr<Session>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto keep = sessions_.begin();
+    for (auto& session : sessions_) {
+      if (all || session->finished.load(std::memory_order_acquire)) {
+        to_join.push_back(std::move(session));
+      } else {
+        *keep++ = std::move(session);
+      }
+    }
+    sessions_.erase(keep, sessions_.end());
+  }
+  for (const std::shared_ptr<Session>& session : to_join) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+void IngressServer::SessionLoop(const std::shared_ptr<Session>& session) {
+  std::thread writer([this, session] { WriterLoop(session); });
+  FrameAssembler assembler(options_.max_payload_bytes);
+  std::vector<uint8_t> chunk(kRecvChunkBytes);
+  bool open = true;
+  while (open) {
+    const ssize_t n = session->socket.Recv(chunk.data(), chunk.size());
+    if (n <= 0) break;  // peer closed, error, or our drain's ShutdownRead
+    session->bytes_in.fetch_add(n, std::memory_order_relaxed);
+    bytes_in_.fetch_add(n, std::memory_order_relaxed);
+    assembler.Feed(chunk.data(), static_cast<size_t>(n));
+    while (std::optional<Frame> frame = assembler.Next()) {
+      if (!HandleFrame(session, *frame)) {
+        open = false;
+        break;
+      }
+    }
+    if (open && assembler.error() != WireError::kNone) {
+      // Framing is lost: answer with the reason, then hang up — there is
+      // no way to find the next frame boundary in the stream.
+      session->decode_errors.fetch_add(1, std::memory_order_relaxed);
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(session, 0, assembler.error(), "unrecoverable frame stream");
+      break;
+    }
+  }
+  // Flush: answered everything we admitted, then retire the writer.
+  {
+    std::unique_lock<std::mutex> lock(session->inflight_mu);
+    session->inflight_cv.wait(lock, [&] { return session->inflight == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->out_mu);
+    session->out_closed = true;
+  }
+  session->out_cv.notify_all();
+  writer.join();
+  // Send the FIN now (the peer is owed an orderly close), but deliberately
+  // do NOT close(): Stop() may be calling ShutdownRead on this socket
+  // concurrently, and closing would free the fd for reuse under that call.
+  // shutdown() leaves the fd valid; the Socket destructor closes it once
+  // the last shared_ptr (sessions_ vector / pending map) lets go.
+  session->socket.ShutdownBoth();
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.verbose) {
+    std::fprintf(
+        stderr,
+        "[ingress] connection %llu closed: accepted=%lld busy=%lld "
+        "shutdown=%lld decode_errors=%lld bytes_in=%lld bytes_out=%lld\n",
+        static_cast<unsigned long long>(session->id),
+        static_cast<long long>(session->accepted.load()),
+        static_cast<long long>(session->rejected_busy.load()),
+        static_cast<long long>(session->rejected_shutdown.load()),
+        static_cast<long long>(session->decode_errors.load()),
+        static_cast<long long>(session->bytes_in.load()),
+        static_cast<long long>(session->bytes_out.load()));
+  }
+  session->finished.store(true, std::memory_order_release);
+}
+
+void IngressServer::WriterLoop(const std::shared_ptr<Session>& session) {
+  while (true) {
+    std::vector<uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(session->out_mu);
+      session->out_cv.wait(lock, [&] {
+        return !session->outbox.empty() || session->out_closed;
+      });
+      if (session->outbox.empty()) return;  // closed and drained
+      frame = std::move(session->outbox.front());
+      session->outbox.pop_front();
+      if (session->dead) continue;  // discard; peer is unreachable
+    }
+    if (session->socket.SendAll(frame.data(), frame.size())) {
+      session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
+                                   std::memory_order_relaxed);
+      bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
+                           std::memory_order_relaxed);
+    } else {
+      std::lock_guard<std::mutex> lock(session->out_mu);
+      session->dead = true;
+    }
+  }
+}
+
+bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
+                                const Frame& frame) {
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kSubmit: {
+      SubmitRequest request;
+      if (!DecodeSubmit(frame.payload, &request)) {
+        // The payload was bad but framing held: report and keep serving.
+        session->decode_errors.fetch_add(1, std::memory_order_relaxed);
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(session, 0, WireError::kMalformedFrame,
+                  "undecodable submit payload");
+        return true;
+      }
+      HandleSubmit(session, std::move(request));
+      return true;
+    }
+    case MsgType::kInfoRequest: {
+      info_requests_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> out;
+      EncodeInfo(BuildInfo(), &out);
+      Enqueue(session, std::move(out));
+      return true;
+    }
+    case MsgType::kGoodbye: {
+      // Flush-then-ack: every accepted submit on this connection is
+      // answered before the ack, so a client that waits for the ack has
+      // seen all its results.
+      {
+        std::unique_lock<std::mutex> lock(session->inflight_mu);
+        session->inflight_cv.wait(lock,
+                                  [&] { return session->inflight == 0; });
+      }
+      std::vector<uint8_t> out;
+      EncodeGoodbyeAck(&out);
+      Enqueue(session, std::move(out));
+      return false;  // reader retires; teardown flushes the ack
+    }
+    default:
+      session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(session, 0, WireError::kUnsupportedType,
+                "unknown frame type " + std::to_string(frame.type));
+      return true;
+  }
+}
+
+void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
+                                 SubmitRequest request) {
+  if (!request.strategy.empty()) {
+    const std::optional<core::Strategy> parsed =
+        core::Strategy::Parse(request.strategy);
+    // A shard's engine is bound to one strategy; an override may only name
+    // the strategy this server already runs (documented single-strategy
+    // limitation — multi-strategy shard pools are a ROADMAP item).
+    if (!parsed.has_value() ||
+        parsed->ToString() != server_.strategy().ToString()) {
+      session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(session, request.request_id, WireError::kBadStrategy,
+                "server runs " + server_.strategy().ToString());
+      return;
+    }
+  }
+  const uint64_t ticket =
+      next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.emplace(ticket,
+                     Pending{session, request.request_id,
+                             request.want_snapshot});
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->inflight_mu);
+    ++session->inflight;
+  }
+  runtime::FlowRequest flow_request{std::move(request.sources), request.seed,
+                                    ticket};
+  WireError refusal = WireError::kNone;
+  if (request.blocking) {
+    // May park this reader on the shard's bounded queue: that is the
+    // backpressure contract (TCP pushes the stall back to the client).
+    if (!server_.Submit(std::move(flow_request))) {
+      refusal = WireError::kShuttingDown;
+    }
+  } else {
+    switch (server_.TrySubmitEx(std::move(flow_request))) {
+      case runtime::TryPushResult::kOk:
+        break;
+      case runtime::TryPushResult::kFull:
+        refusal = WireError::kRejectedBusy;
+        break;
+      case runtime::TryPushResult::kClosed:
+        refusal = WireError::kShuttingDown;
+        break;
+    }
+  }
+  if (refusal == WireError::kNone) {
+    session->accepted.fetch_add(1, std::memory_order_relaxed);
+    requests_accepted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Refused: unwind the pending entry and answer with the typed reason.
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    pending_.erase(ticket);
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->inflight_mu);
+    --session->inflight;
+  }
+  session->inflight_cv.notify_all();
+  if (refusal == WireError::kRejectedBusy) {
+    session->rejected_busy.fetch_add(1, std::memory_order_relaxed);
+    requests_rejected_busy_.fetch_add(1, std::memory_order_relaxed);
+    SendError(session, request.request_id, refusal, "shard queue full");
+  } else {
+    session->rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    requests_rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    SendError(session, request.request_id, refusal, "server draining");
+  }
+}
+
+void IngressServer::OnResult(int shard_index,
+                             const runtime::FlowRequest& request,
+                             const core::InstanceResult& result) {
+  if (request.ticket == 0) return;  // not one of ours
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    const auto it = pending_.find(request.ticket);
+    if (it == pending_.end()) return;
+    pending = std::move(it->second);
+    pending_.erase(it);
+  }
+  SubmitResult reply;
+  reply.request_id = pending.request_id;
+  reply.shard = shard_index;
+  reply.work = result.metrics.work;
+  reply.wasted_work = result.metrics.wasted_work;
+  reply.response_time = result.metrics.ResponseTime();
+  reply.queries_launched = result.metrics.queries_launched;
+  reply.speculative_launches = result.metrics.speculative_launches;
+  reply.fingerprint = FingerprintResult(result);
+  if (pending.want_snapshot) {
+    reply.has_snapshot = true;
+    const int n = result.snapshot.schema().num_attributes();
+    reply.snapshot.reserve(static_cast<size_t>(n));
+    for (int a = 0; a < n; ++a) {
+      const auto attr = static_cast<AttributeId>(a);
+      reply.snapshot.push_back(SnapshotEntry{
+          attr, result.snapshot.state(attr), result.snapshot.value(attr)});
+    }
+  }
+  std::vector<uint8_t> out;
+  EncodeSubmitResult(reply, &out);
+  Enqueue(pending.session, std::move(out));
+  {
+    std::lock_guard<std::mutex> lock(pending.session->inflight_mu);
+    --pending.session->inflight;
+  }
+  pending.session->inflight_cv.notify_all();
+}
+
+void IngressServer::Enqueue(const std::shared_ptr<Session>& session,
+                            std::vector<uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(session->out_mu);
+    if (session->out_closed) return;  // session tearing down; drop
+    session->outbox.push_back(std::move(frame));
+  }
+  session->out_cv.notify_one();
+}
+
+void IngressServer::SendError(const std::shared_ptr<Session>& session,
+                              uint64_t request_id, WireError code,
+                              const std::string& message) {
+  std::vector<uint8_t> out;
+  EncodeError(ErrorReply{request_id, code, message}, &out);
+  Enqueue(session, std::move(out));
+}
+
+ServerInfo IngressServer::BuildInfo() const {
+  const runtime::FlowServerReport report = server_.Report();
+  ServerInfo info;
+  info.num_shards = report.num_shards;
+  info.strategy = server_.strategy().ToString();
+  info.backend = static_cast<uint8_t>(server_.options().backend);
+  info.queue_capacity_per_shard = server_.options().queue_capacity_per_shard;
+  info.completed = report.stats.completed;
+  info.rejected = report.stats.rejected;
+  info.cache_hits = report.cache.hits;
+  info.cache_misses = report.cache.misses;
+  info.ingress = ingress_stats();
+  return info;
+}
+
+}  // namespace dflow::net

@@ -1,0 +1,186 @@
+#ifndef DFLOW_NET_INGRESS_SERVER_H_
+#define DFLOW_NET_INGRESS_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.h"
+#include "net/wire_protocol.h"
+#include "runtime/flow_server.h"
+
+namespace dflow::net {
+
+struct IngressOptions {
+  // TCP port to listen on; 0 asks the kernel for an ephemeral port (read
+  // the result from port() after Start). The listener binds 127.0.0.1 only
+  // — exposing the ingress beyond the host is a deliberate non-goal until
+  // there is authentication in front of it.
+  uint16_t port = 0;
+  // Per-frame payload ceiling; larger frames kill the connection with
+  // FRAME_TOO_LARGE (framing cannot be trusted past an oversized length).
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  // Upper bound on one blocking send to a client. A client that stops
+  // reading cannot wedge a writer (and therefore Stop()) forever: the send
+  // times out, the session is marked dead, and its remaining responses are
+  // discarded.
+  int send_timeout_ms = 10000;
+  // Per-connection open/close log lines on stderr.
+  bool verbose = false;
+};
+
+// The network front door of the flow-serving runtime: a TCP listener whose
+// acceptor hands each connection to a session (reader thread + writer
+// thread), speaking the length-prefixed wire protocol and mapping submit
+// frames onto FlowServer::Submit / TrySubmitEx.
+//
+// Flow of one submit: the session reader decodes the frame, registers a
+// pending entry under a fresh ticket (FlowRequest::ticket), and admits the
+// request. Completions arrive on shard worker threads via the FlowServer
+// result callback, which looks the ticket up, builds the response (summary
+// + fingerprint, plus the full terminal snapshot when requested), and
+// enqueues it on the owning session's outbox; the session writer owns the
+// socket's write side. Responses therefore interleave across a
+// connection's in-flight requests in *completion* order — the client
+// matches them by request_id.
+//
+// Backpressure contract: a blocking submit parks the session reader in
+// Submit() when the target shard's queue is full, so the connection stops
+// consuming bytes and TCP flow control pushes the stall back to the
+// client. A non-blocking submit never parks: queue-full comes back as a
+// REJECTED_BUSY error frame (and a post-drain submit as SHUTTING_DOWN),
+// making shedding explicit instead of silent. Outboxes need no bound of
+// their own: a response exists only for an admitted request, so the
+// bounded shard queues already cap what any connection can have in flight.
+//
+// Shutdown (Stop, also run by the destructor): stop accepting, half-close
+// every session's read side, join sessions — each reader finishes its
+// buffered frames, waits for its in-flight requests to complete, and
+// retires its writer after the responses flushed — and only then
+// FlowServer::Drain(). No accepted request is dropped without an answer.
+class IngressServer {
+ public:
+  IngressServer(const core::Schema* schema,
+                runtime::FlowServerOptions server_options,
+                IngressOptions ingress_options);
+  ~IngressServer();
+  IngressServer(const IngressServer&) = delete;
+  IngressServer& operator=(const IngressServer&) = delete;
+
+  // Binds, listens, and starts the acceptor. Returns false and fills
+  // *error on failure (e.g. the port is taken). Call at most once.
+  bool Start(std::string* error);
+
+  // Graceful shutdown as described above. Idempotent.
+  void Stop();
+
+  // The bound port (meaningful after a successful Start).
+  uint16_t port() const { return listener_.port(); }
+
+  // The backing FlowServer's report with the ingress counters filled in.
+  runtime::FlowServerReport Report() const;
+  runtime::IngressStats ingress_stats() const;
+
+  const runtime::FlowServer& flow_server() const { return server_; }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    Socket socket;
+
+    // Outbox: encoded frames awaiting the writer. Closed (out_closed) by
+    // the reader only after the session's in-flight requests drained.
+    std::mutex out_mu;
+    std::condition_variable out_cv;
+    std::deque<std::vector<uint8_t>> outbox;
+    bool out_closed = false;
+    bool dead = false;  // a send failed; drain without sending
+
+    // Submitted-but-unanswered requests on this connection.
+    std::mutex inflight_mu;
+    std::condition_variable inflight_cv;
+    int64_t inflight = 0;
+
+    // Per-connection counters (the same shape as the aggregate
+    // IngressStats; summed there as they happen, kept here for the
+    // verbose close log and tests).
+    std::atomic<int64_t> accepted{0};
+    std::atomic<int64_t> rejected_busy{0};
+    std::atomic<int64_t> rejected_shutdown{0};
+    std::atomic<int64_t> decode_errors{0};
+    std::atomic<int64_t> protocol_errors{0};
+    std::atomic<int64_t> bytes_in{0};
+    std::atomic<int64_t> bytes_out{0};
+
+    std::thread thread;  // reader; joins the writer before exiting
+    std::atomic<bool> finished{false};  // safe to reap
+  };
+
+  struct Pending {
+    std::shared_ptr<Session> session;
+    uint64_t request_id = 0;
+    bool want_snapshot = false;
+  };
+
+  void AcceptLoop();
+  void SessionLoop(const std::shared_ptr<Session>& session);
+  void WriterLoop(const std::shared_ptr<Session>& session);
+  // Handles one decoded frame on the session reader. Returns false when
+  // the connection must close (goodbye or unrecoverable stream state).
+  bool HandleFrame(const std::shared_ptr<Session>& session,
+                   const Frame& frame);
+  void HandleSubmit(const std::shared_ptr<Session>& session,
+                    SubmitRequest request);
+  // Result callback, invoked on shard worker threads.
+  void OnResult(int shard_index, const runtime::FlowRequest& request,
+                const core::InstanceResult& result);
+  static void Enqueue(const std::shared_ptr<Session>& session,
+                      std::vector<uint8_t> frame);
+  void SendError(const std::shared_ptr<Session>& session, uint64_t request_id,
+                 WireError code, const std::string& message);
+  ServerInfo BuildInfo() const;
+  // Joins and drops sessions that finished on their own (client
+  // disconnects), so a long-lived server does not accumulate dead
+  // sessions. Joins *all* sessions when `all` is set (shutdown path).
+  void ReapSessions(bool all);
+
+  const IngressOptions options_;
+  runtime::FlowServer server_;
+  ListenSocket listener_;
+  std::thread acceptor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes Stop()
+  bool stopped_ = false;
+
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  std::atomic<uint64_t> next_ticket_{1};
+
+  // Aggregate ingress counters (see runtime::IngressStats).
+  std::atomic<int64_t> connections_opened_{0};
+  std::atomic<int64_t> connections_closed_{0};
+  std::atomic<int64_t> requests_accepted_{0};
+  std::atomic<int64_t> requests_rejected_busy_{0};
+  std::atomic<int64_t> requests_rejected_shutdown_{0};
+  std::atomic<int64_t> decode_errors_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> info_requests_{0};
+  std::atomic<int64_t> bytes_in_{0};
+  std::atomic<int64_t> bytes_out_{0};
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_INGRESS_SERVER_H_

@@ -1,0 +1,176 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dflow::net {
+namespace {
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+bool FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr,
+              std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "not an IPv4 address: '" + host + "'";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Socket::~Socket() { Close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Socket Socket::ConnectTcp(const std::string& host, uint16_t port,
+                          std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, error)) return Socket();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return Socket();
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return Socket();
+  }
+  SetNoDelay(fd);
+  return Socket(fd);
+}
+
+void Socket::SetSendTimeout(int timeout_ms) {
+  if (fd_ < 0 || timeout_ms < 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+bool Socket::SendAll(const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer must surface as an error return, not a
+    // process-killing SIGPIPE on the shard worker or writer thread.
+    const ssize_t n =
+        ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+ssize_t Socket::Recv(void* data, size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+void Socket::ShutdownRead() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ListenSocket::~ListenSocket() { Close(); }
+
+bool ListenSocket::Listen(uint16_t port, std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr("127.0.0.1", port, &addr, error)) return false;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, SOMAXCONN) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    Close();
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    Close();
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  return true;
+}
+
+Socket ListenSocket::Accept() {
+  while (fd_ >= 0) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Shutdown() poisons the listener: accept fails with EINVAL, the
+      // acceptor thread's signal to exit.
+      return Socket();
+    }
+    SetNoDelay(fd);
+    return Socket(fd);
+  }
+  return Socket();
+}
+
+void ListenSocket::Shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void ListenSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace dflow::net

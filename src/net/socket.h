@@ -1,0 +1,97 @@
+#ifndef DFLOW_NET_SOCKET_H_
+#define DFLOW_NET_SOCKET_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dflow::net {
+
+// Thin RAII wrappers over POSIX TCP sockets — just enough transport for the
+// wire protocol: connect/accept, full-buffer sends, chunk receives, and the
+// shutdown() calls the server's drain protocol needs to unblock readers.
+// Deliberately not a general networking layer; IPv4 only ("localhost" is
+// accepted as an alias for 127.0.0.1).
+
+// A connected stream socket. Move-only; the destructor closes.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  // Connects to host:port with TCP_NODELAY set (the protocol is
+  // request/response; Nagle would add latency for nothing). Returns an
+  // invalid socket and fills *error on failure.
+  static Socket ConnectTcp(const std::string& host, uint16_t port,
+                           std::string* error);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Caps how long one send may block (SO_SNDTIMEO); a timed-out SendAll
+  // returns false. 0 restores "block forever".
+  void SetSendTimeout(int timeout_ms);
+
+  // Sends the whole buffer, retrying short writes and EINTR. Returns false
+  // once the peer is gone (EPIPE/ECONNRESET/...) or a send timed out.
+  bool SendAll(const void* data, size_t size);
+
+  // Receives up to `size` bytes: >0 bytes received, 0 orderly peer close
+  // (or a local ShutdownRead), <0 error.
+  ssize_t Recv(void* data, size_t size);
+
+  // Half-close helpers. ShutdownRead unblocks a Recv() parked in the
+  // kernel — the server uses it to retire session readers during drain
+  // while their pending responses still flush out the write side.
+  void ShutdownRead();
+  void ShutdownWrite();
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening TCP socket bound to 127.0.0.1.
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket();
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  // Binds 127.0.0.1:port (0 asks the kernel for an ephemeral port — read
+  // the result from port()) and listens. SO_REUSEADDR is set so restarts
+  // do not trip over TIME_WAIT. Returns false and fills *error on failure.
+  bool Listen(uint16_t port, std::string* error);
+
+  bool valid() const { return fd_ >= 0; }
+  // The actually bound port (resolves port 0 via getsockname).
+  uint16_t port() const { return port_; }
+
+  // Blocks for the next connection; the accepted socket has TCP_NODELAY
+  // set. Returns an invalid Socket once Shutdown() was called (the
+  // acceptor's exit signal) or on a fatal error.
+  Socket Accept();
+
+  // Unblocks a pending Accept() and poisons the listener. Idempotent.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_SOCKET_H_

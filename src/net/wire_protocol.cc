@@ -1,0 +1,519 @@
+#include "net/wire_protocol.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace dflow::net {
+namespace {
+
+// --- Little-endian primitive writers appending to a byte vector.
+
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI64(int64_t v, std::vector<uint8_t>* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+void PutDouble(double v, std::vector<uint8_t>* out) {
+  PutU64(std::bit_cast<uint64_t>(v), out);
+}
+
+void PutString(const std::string& s, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutValue(const Value& value, std::vector<uint8_t>* out) {
+  PutU8(static_cast<uint8_t>(value.type()), out);
+  switch (value.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      PutU8(value.bool_value() ? 1 : 0, out);
+      break;
+    case Value::Type::kInt:
+      PutI64(value.int_value(), out);
+      break;
+    case Value::Type::kDouble:
+      PutDouble(value.double_value(), out);
+      break;
+    case Value::Type::kString:
+      PutString(value.string_value(), out);
+      break;
+  }
+}
+
+// --- Bounds-checked little-endian reader over a payload. Every Get fails
+// (returns false, poisoning the reader) on a short read; Done() afterwards
+// rejects trailing garbage, so a decode succeeds only on an exact parse.
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  bool GetU8(uint8_t* v) {
+    if (!Need(1)) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  bool GetU16(uint16_t* v) {
+    if (!Need(2)) return false;
+    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (!Need(4)) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (!Need(8)) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t raw;
+    if (!GetU64(&raw)) return false;
+    *v = static_cast<int64_t>(raw);
+    return true;
+  }
+
+  bool GetDouble(double* v) {
+    uint64_t raw;
+    if (!GetU64(&raw)) return false;
+    *v = std::bit_cast<double>(raw);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t size;
+    if (!GetU32(&size) || !Need(size)) return false;
+    s->assign(reinterpret_cast<const char*>(data_.data()) + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool GetValue(Value* value) {
+    uint8_t tag;
+    if (!GetU8(&tag)) return false;
+    // Range-check before casting: Value::Type has no fixed underlying
+    // type, so static_cast from an out-of-range wire byte would be UB.
+    if (tag > static_cast<uint8_t>(Value::Type::kString)) return Fail();
+    switch (static_cast<Value::Type>(tag)) {
+      case Value::Type::kNull:
+        *value = Value::Null();
+        return true;
+      case Value::Type::kBool: {
+        uint8_t b;
+        if (!GetU8(&b) || b > 1) return Fail();
+        *value = Value::Bool(b == 1);
+        return true;
+      }
+      case Value::Type::kInt: {
+        int64_t i;
+        if (!GetI64(&i)) return false;
+        *value = Value::Int(i);
+        return true;
+      }
+      case Value::Type::kDouble: {
+        double d;
+        if (!GetDouble(&d)) return false;
+        *value = Value::Double(d);
+        return true;
+      }
+      case Value::Type::kString: {
+        std::string s;
+        if (!GetString(&s)) return false;
+        *value = Value::String(std::move(s));
+        return true;
+      }
+    }
+    return Fail();  // unknown type tag
+  }
+
+  // True iff every byte was consumed and nothing failed.
+  bool Done() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || data_.size() - pos_ < n) return Fail();
+    return true;
+  }
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Reserves a frame header in `out`, returning the patch offset; the
+// payload is then appended in place and SealFrame fills in its length.
+size_t BeginFrame(MsgType type, std::vector<uint8_t>* out) {
+  const size_t header_at = out->size();
+  PutU8(kMagic0, out);
+  PutU8(kMagic1, out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(type), out);
+  PutU32(0, out);  // payload length, patched by SealFrame
+  return header_at;
+}
+
+void SealFrame(size_t header_at, std::vector<uint8_t>* out) {
+  const uint32_t payload_len =
+      static_cast<uint32_t>(out->size() - header_at - kFrameHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    (*out)[header_at + 4 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(payload_len >> (8 * i));
+  }
+}
+
+constexpr uint32_t kFlagBlocking = 1u << 0;
+constexpr uint32_t kFlagWantSnapshot = 1u << 1;
+constexpr uint32_t kKnownFlags = kFlagBlocking | kFlagWantSnapshot;
+
+bool GetSnapshotEntry(Reader* reader, SnapshotEntry* entry) {
+  uint32_t attr;
+  uint8_t state;
+  if (!reader->GetU32(&attr) || !reader->GetU8(&state) ||
+      !reader->GetValue(&entry->value)) {
+    return false;
+  }
+  if (state > static_cast<uint8_t>(core::AttrState::kDisabled)) return false;
+  entry->attr = static_cast<AttributeId>(attr);
+  entry->state = static_cast<core::AttrState>(state);
+  return true;
+}
+
+void PutIngressStats(const runtime::IngressStats& s,
+                     std::vector<uint8_t>* out) {
+  PutI64(s.connections_opened, out);
+  PutI64(s.connections_closed, out);
+  PutI64(s.requests_accepted, out);
+  PutI64(s.requests_rejected_busy, out);
+  PutI64(s.requests_rejected_shutdown, out);
+  PutI64(s.decode_errors, out);
+  PutI64(s.protocol_errors, out);
+  PutI64(s.info_requests, out);
+  PutI64(s.bytes_in, out);
+  PutI64(s.bytes_out, out);
+}
+
+bool GetIngressStats(Reader* reader, runtime::IngressStats* s) {
+  return reader->GetI64(&s->connections_opened) &&
+         reader->GetI64(&s->connections_closed) &&
+         reader->GetI64(&s->requests_accepted) &&
+         reader->GetI64(&s->requests_rejected_busy) &&
+         reader->GetI64(&s->requests_rejected_shutdown) &&
+         reader->GetI64(&s->decode_errors) &&
+         reader->GetI64(&s->protocol_errors) &&
+         reader->GetI64(&s->info_requests) && reader->GetI64(&s->bytes_in) &&
+         reader->GetI64(&s->bytes_out);
+}
+
+uint64_t FoldValue(uint64_t h, const Value& value) {
+  h = Rng::Mix(h, static_cast<uint64_t>(value.type()));
+  switch (value.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      h = Rng::Mix(h, value.bool_value() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      h = Rng::Mix(h, static_cast<uint64_t>(value.int_value()));
+      break;
+    case Value::Type::kDouble:
+      h = Rng::Mix(h, std::bit_cast<uint64_t>(value.double_value()));
+      break;
+    case Value::Type::kString: {
+      const std::string& s = value.string_value();
+      h = Rng::Mix(h, s.size());
+      for (size_t i = 0; i < s.size(); i += 8) {
+        uint64_t chunk = 0;
+        std::memcpy(&chunk, s.data() + i, std::min<size_t>(8, s.size() - i));
+        h = Rng::Mix(h, chunk);
+      }
+      break;
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+const char* ToString(WireError error) {
+  switch (error) {
+    case WireError::kNone: return "OK";
+    case WireError::kRejectedBusy: return "REJECTED_BUSY";
+    case WireError::kMalformedFrame: return "MALFORMED_FRAME";
+    case WireError::kUnsupportedVersion: return "UNSUPPORTED_VERSION";
+    case WireError::kUnsupportedType: return "UNSUPPORTED_TYPE";
+    case WireError::kFrameTooLarge: return "FRAME_TOO_LARGE";
+    case WireError::kBadStrategy: return "BAD_STRATEGY";
+    case WireError::kShuttingDown: return "SHUTTING_DOWN";
+    case WireError::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+void EncodeSubmit(const SubmitRequest& msg, std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kSubmit, out);
+  PutU64(msg.request_id, out);
+  PutU64(msg.seed, out);
+  uint32_t flags = 0;
+  if (msg.blocking) flags |= kFlagBlocking;
+  if (msg.want_snapshot) flags |= kFlagWantSnapshot;
+  PutU32(flags, out);
+  PutString(msg.strategy, out);
+  PutU32(static_cast<uint32_t>(msg.sources.size()), out);
+  for (const auto& [attr, value] : msg.sources) {
+    PutU32(static_cast<uint32_t>(attr), out);
+    PutValue(value, out);
+  }
+  SealFrame(frame, out);
+}
+
+bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitRequest* out) {
+  Reader reader(payload);
+  uint32_t flags, num_sources;
+  if (!reader.GetU64(&out->request_id) || !reader.GetU64(&out->seed) ||
+      !reader.GetU32(&flags) || !reader.GetString(&out->strategy) ||
+      !reader.GetU32(&num_sources)) {
+    return false;
+  }
+  if ((flags & ~kKnownFlags) != 0) return false;
+  out->blocking = (flags & kFlagBlocking) != 0;
+  out->want_snapshot = (flags & kFlagWantSnapshot) != 0;
+  // An attacker-controlled count must not drive a huge reserve; each
+  // binding is at least 5 payload bytes, so the payload length bounds it.
+  if (num_sources > payload.size() / 5) return false;
+  out->sources.clear();
+  out->sources.reserve(num_sources);
+  for (uint32_t i = 0; i < num_sources; ++i) {
+    uint32_t attr;
+    Value value;
+    if (!reader.GetU32(&attr) || !reader.GetValue(&value)) return false;
+    out->sources.emplace_back(static_cast<AttributeId>(attr),
+                              std::move(value));
+  }
+  return reader.Done();
+}
+
+void EncodeSubmitResult(const SubmitResult& msg, std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kSubmitResult, out);
+  PutU64(msg.request_id, out);
+  PutU32(static_cast<uint32_t>(msg.shard), out);
+  PutI64(msg.work, out);
+  PutI64(msg.wasted_work, out);
+  PutDouble(msg.response_time, out);
+  PutU32(static_cast<uint32_t>(msg.queries_launched), out);
+  PutU32(static_cast<uint32_t>(msg.speculative_launches), out);
+  PutU64(msg.fingerprint, out);
+  PutU8(msg.has_snapshot ? 1 : 0, out);
+  if (msg.has_snapshot) {
+    PutU32(static_cast<uint32_t>(msg.snapshot.size()), out);
+    for (const SnapshotEntry& entry : msg.snapshot) {
+      PutU32(static_cast<uint32_t>(entry.attr), out);
+      PutU8(static_cast<uint8_t>(entry.state), out);
+      PutValue(entry.value, out);
+    }
+  }
+  SealFrame(frame, out);
+}
+
+bool DecodeSubmitResult(const std::vector<uint8_t>& payload,
+                        SubmitResult* out) {
+  Reader reader(payload);
+  uint32_t shard, queries, speculative;
+  uint8_t has_snapshot;
+  if (!reader.GetU64(&out->request_id) || !reader.GetU32(&shard) ||
+      !reader.GetI64(&out->work) || !reader.GetI64(&out->wasted_work) ||
+      !reader.GetDouble(&out->response_time) || !reader.GetU32(&queries) ||
+      !reader.GetU32(&speculative) || !reader.GetU64(&out->fingerprint) ||
+      !reader.GetU8(&has_snapshot)) {
+    return false;
+  }
+  if (has_snapshot > 1) return false;
+  out->shard = static_cast<int32_t>(shard);
+  out->queries_launched = static_cast<int32_t>(queries);
+  out->speculative_launches = static_cast<int32_t>(speculative);
+  out->has_snapshot = has_snapshot == 1;
+  out->snapshot.clear();
+  if (out->has_snapshot) {
+    uint32_t count;
+    if (!reader.GetU32(&count) || count > payload.size() / 6) return false;
+    out->snapshot.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      SnapshotEntry entry;
+      if (!GetSnapshotEntry(&reader, &entry)) return false;
+      out->snapshot.push_back(std::move(entry));
+    }
+  }
+  return reader.Done();
+}
+
+void EncodeError(const ErrorReply& msg, std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kError, out);
+  PutU64(msg.request_id, out);
+  PutU16(static_cast<uint16_t>(msg.code), out);
+  PutString(msg.message, out);
+  SealFrame(frame, out);
+}
+
+bool DecodeError(const std::vector<uint8_t>& payload, ErrorReply* out) {
+  Reader reader(payload);
+  uint16_t code;
+  if (!reader.GetU64(&out->request_id) || !reader.GetU16(&code) ||
+      !reader.GetString(&out->message)) {
+    return false;
+  }
+  if (code == 0 || code > static_cast<uint16_t>(WireError::kInternal)) {
+    return false;
+  }
+  out->code = static_cast<WireError>(code);
+  return reader.Done();
+}
+
+void EncodeInfoRequest(std::vector<uint8_t>* out) {
+  SealFrame(BeginFrame(MsgType::kInfoRequest, out), out);
+}
+
+void EncodeInfo(const ServerInfo& msg, std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kInfo, out);
+  PutU32(static_cast<uint32_t>(msg.num_shards), out);
+  PutString(msg.strategy, out);
+  PutU8(msg.backend, out);
+  PutU64(msg.queue_capacity_per_shard, out);
+  PutI64(msg.completed, out);
+  PutI64(msg.rejected, out);
+  PutI64(msg.cache_hits, out);
+  PutI64(msg.cache_misses, out);
+  PutIngressStats(msg.ingress, out);
+  SealFrame(frame, out);
+}
+
+bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out) {
+  Reader reader(payload);
+  uint32_t shards;
+  if (!reader.GetU32(&shards) || !reader.GetString(&out->strategy) ||
+      !reader.GetU8(&out->backend) ||
+      !reader.GetU64(&out->queue_capacity_per_shard) ||
+      !reader.GetI64(&out->completed) || !reader.GetI64(&out->rejected) ||
+      !reader.GetI64(&out->cache_hits) ||
+      !reader.GetI64(&out->cache_misses) ||
+      !GetIngressStats(&reader, &out->ingress)) {
+    return false;
+  }
+  out->num_shards = static_cast<int32_t>(shards);
+  return reader.Done();
+}
+
+void EncodeGoodbye(std::vector<uint8_t>* out) {
+  SealFrame(BeginFrame(MsgType::kGoodbye, out), out);
+}
+
+void EncodeGoodbyeAck(std::vector<uint8_t>* out) {
+  SealFrame(BeginFrame(MsgType::kGoodbyeAck, out), out);
+}
+
+FrameAssembler::FrameAssembler(uint32_t max_payload_bytes)
+    : max_payload_bytes_(max_payload_bytes) {}
+
+void FrameAssembler::Feed(const uint8_t* data, size_t size) {
+  if (error_ != WireError::kNone) return;
+  // Compact the consumed prefix before growing, so a long-lived connection
+  // keeps its buffer proportional to in-flight data, not total traffic.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameAssembler::Next() {
+  if (error_ != WireError::kNone) return std::nullopt;
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes) return std::nullopt;
+  const uint8_t* header = buffer_.data() + consumed_;
+  if (header[0] != kMagic0 || header[1] != kMagic1) {
+    error_ = WireError::kMalformedFrame;
+    return std::nullopt;
+  }
+  if (header[2] != kWireVersion) {
+    error_ = WireError::kUnsupportedVersion;
+    return std::nullopt;
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(header[4 + i]) << (8 * i);
+  }
+  if (payload_len > max_payload_bytes_) {
+    error_ = WireError::kFrameTooLarge;
+    return std::nullopt;
+  }
+  if (buffer_.size() - consumed_ < kFrameHeaderBytes + payload_len) {
+    return std::nullopt;  // wait for the rest of the payload
+  }
+  Frame frame;
+  frame.type = header[3];
+  frame.payload.assign(header + kFrameHeaderBytes,
+                       header + kFrameHeaderBytes + payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return frame;
+}
+
+uint64_t FingerprintResult(const core::InstanceResult& result) {
+  uint64_t h = 0xd5f10f1e55a1ULL;
+  const core::Snapshot& snapshot = result.snapshot;
+  const int n = snapshot.schema().num_attributes();
+  h = Rng::Mix(h, static_cast<uint64_t>(n));
+  for (int a = 0; a < n; ++a) {
+    const auto attr = static_cast<AttributeId>(a);
+    h = Rng::Mix(h, static_cast<uint64_t>(snapshot.state(attr)));
+    h = FoldValue(h, snapshot.value(attr));
+  }
+  const core::InstanceMetrics& m = result.metrics;
+  h = Rng::Mix(h, static_cast<uint64_t>(m.work));
+  h = Rng::Mix(h, static_cast<uint64_t>(m.wasted_work));
+  h = Rng::Mix(h, std::bit_cast<uint64_t>(m.ResponseTime()));
+  h = Rng::Mix(h, static_cast<uint64_t>(m.queries_launched));
+  h = Rng::Mix(h, static_cast<uint64_t>(m.speculative_launches));
+  h = Rng::Mix(h, static_cast<uint64_t>(m.eager_disables));
+  h = Rng::Mix(h, static_cast<uint64_t>(m.unneeded_skipped));
+  h = Rng::Mix(h, static_cast<uint64_t>(m.prequalifier_passes));
+  h = Rng::Mix(h, std::bit_cast<uint64_t>(m.inflight_area));
+  return h;
+}
+
+}  // namespace dflow::net

@@ -1,0 +1,213 @@
+#ifndef DFLOW_NET_WIRE_PROTOCOL_H_
+#define DFLOW_NET_WIRE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+#include "core/attribute_state.h"
+#include "core/engine.h"
+#include "core/snapshot.h"
+#include "runtime/server_stats.h"
+
+namespace dflow::net {
+
+// The dflow wire protocol, version 1: length-prefixed binary frames over a
+// TCP byte stream. Every frame is
+//
+//   +------+------+---------+------+----------------+===============+
+//   | 'D'  | 'F'  | version | type |  payload_len   |    payload    |
+//   | u8   | u8   |   u8    |  u8  |    u32 LE      | payload_len B |
+//   +------+------+---------+------+----------------+===============+
+//    <------------- 8-byte header ------------------>
+//
+// All integers are little-endian; doubles travel as the bit pattern of
+// their IEEE-754 representation in a u64. Strings and the variable-length
+// sections are length-prefixed, never NUL-terminated. A receiver that sees
+// a bad magic, an unsupported version, or a payload length above its limit
+// cannot resynchronize the stream and must close the connection; a frame
+// whose *payload* fails to decode is reported with a typed error and the
+// connection stays usable (framing is still intact).
+inline constexpr uint8_t kMagic0 = 'D';
+inline constexpr uint8_t kMagic1 = 'F';
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 8;
+// Default ceiling on one frame's payload. Generous for request/response
+// traffic (a submit is dominated by its source bindings) while bounding
+// what one connection can make the peer buffer.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 1u << 20;
+
+// Frame types. Requests flow client -> server, responses server -> client.
+enum class MsgType : uint8_t {
+  kSubmit = 1,        // execute one decision-flow instance
+  kSubmitResult = 2,  // result summary (+ optional full snapshot)
+  kError = 3,         // typed failure, attributable via request_id
+  kInfoRequest = 4,   // server info/stats query (empty payload)
+  kInfo = 5,          // info response
+  kGoodbye = 6,       // graceful close: server flushes, acks, disconnects
+  kGoodbyeAck = 7,    // goodbye acknowledgment (empty payload)
+};
+
+// Typed error codes carried by kError frames.
+enum class WireError : uint16_t {
+  kNone = 0,
+  kRejectedBusy = 1,     // non-blocking admission refused: shard queue full
+  kMalformedFrame = 2,   // payload failed to decode
+  kUnsupportedVersion = 3,
+  kUnsupportedType = 4,  // unknown MsgType
+  kFrameTooLarge = 5,    // payload_len above the receiver's limit
+  kBadStrategy = 6,      // strategy override unparsable or not served here
+  kShuttingDown = 7,     // server draining; no further admissions
+  kInternal = 8,
+};
+
+const char* ToString(WireError error);
+
+// --- Typed messages. Field-for-field equality (used by the round-trip
+// property tests) is the defaulted operator== on each struct.
+
+// Client -> server: execute one instance.
+struct SubmitRequest {
+  // Client-chosen correlation id echoed in the response; responses may
+  // arrive out of submission order when requests land on different shards.
+  uint64_t request_id = 0;
+  uint64_t seed = 0;
+  // Admission mode: blocking Submit (backpressure stalls this connection's
+  // reader — TCP flow control propagates it to the client) or non-blocking
+  // TrySubmit (queue-full surfaces as a kRejectedBusy error frame).
+  bool blocking = true;
+  // When set, the response carries the full terminal snapshot (every
+  // attribute's state and value), not just the summary + fingerprint.
+  bool want_snapshot = false;
+  // Optional strategy override in the paper's notation ("PSE100"). Empty
+  // means "whatever the server runs". A server shard's engine is bound to
+  // one strategy, so an override naming any *other* strategy is refused
+  // with kBadStrategy rather than silently executed differently.
+  std::string strategy;
+  core::SourceBinding sources;
+
+  friend bool operator==(const SubmitRequest&, const SubmitRequest&) = default;
+};
+
+// One attribute of a terminal snapshot on the wire.
+struct SnapshotEntry {
+  AttributeId attr = 0;
+  core::AttrState state = core::AttrState::kUninitialized;
+  Value value;
+
+  friend bool operator==(const SnapshotEntry&, const SnapshotEntry&) = default;
+};
+
+// Server -> client: the outcome of one submitted instance.
+struct SubmitResult {
+  uint64_t request_id = 0;
+  int32_t shard = 0;  // which shard executed it (diagnostic, deterministic)
+  int64_t work = 0;
+  int64_t wasted_work = 0;
+  double response_time = 0;  // TimeInUnits (infinite) / sim ms (bounded)
+  int32_t queries_launched = 0;
+  int32_t speculative_launches = 0;
+  // FingerprintResult() over the full result (every snapshot state/value
+  // pair and every metrics field), so a client can verify byte-identical
+  // execution without shipping the snapshot.
+  uint64_t fingerprint = 0;
+  // Full terminal snapshot; present iff the request set want_snapshot.
+  bool has_snapshot = false;
+  std::vector<SnapshotEntry> snapshot;
+
+  friend bool operator==(const SubmitResult&, const SubmitResult&) = default;
+};
+
+// Server -> client: typed failure.
+struct ErrorReply {
+  // The request this error answers, or 0 when the failure is not
+  // attributable to one request (e.g. a framing-level decode error).
+  uint64_t request_id = 0;
+  WireError code = WireError::kInternal;
+  std::string message;
+
+  friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
+};
+
+// Server -> client: configuration + live counters, answering kInfoRequest.
+struct ServerInfo {
+  int32_t num_shards = 0;
+  std::string strategy;   // paper notation
+  uint8_t backend = 0;    // core::BackendKind as its underlying value
+  uint64_t queue_capacity_per_shard = 0;
+  int64_t completed = 0;
+  int64_t rejected = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  runtime::IngressStats ingress;
+
+  friend bool operator==(const ServerInfo&, const ServerInfo&) = default;
+};
+
+// --- Encoders. Each appends one complete frame (header + payload) to
+// `out`, so consecutive encodes into the same buffer form a valid stream.
+void EncodeSubmit(const SubmitRequest& msg, std::vector<uint8_t>* out);
+void EncodeSubmitResult(const SubmitResult& msg, std::vector<uint8_t>* out);
+void EncodeError(const ErrorReply& msg, std::vector<uint8_t>* out);
+void EncodeInfoRequest(std::vector<uint8_t>* out);
+void EncodeInfo(const ServerInfo& msg, std::vector<uint8_t>* out);
+void EncodeGoodbye(std::vector<uint8_t>* out);
+void EncodeGoodbyeAck(std::vector<uint8_t>* out);
+
+// --- Decoders. Each parses the *payload* of a frame whose header named the
+// matching type. Returns false (leaving *out unspecified) when the payload
+// is truncated, has trailing garbage, or contains an out-of-range tag —
+// the receiver should answer kMalformedFrame.
+bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitRequest* out);
+bool DecodeSubmitResult(const std::vector<uint8_t>& payload,
+                        SubmitResult* out);
+bool DecodeError(const std::vector<uint8_t>& payload, ErrorReply* out);
+bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out);
+
+// One complete frame as split off the stream by the FrameAssembler. `type`
+// is the raw on-wire byte: values outside MsgType are surfaced to the
+// caller (who answers kUnsupportedType) rather than swallowed here.
+struct Frame {
+  uint8_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Incremental stream decoder: feed it the bytes recv() produced, in
+// whatever chunking the transport chose, and pop complete frames. After
+// any error() != kNone the stream is unrecoverable (resynchronization is
+// impossible once framing is lost) and Next() returns nullopt forever.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(uint32_t max_payload_bytes = kDefaultMaxPayloadBytes);
+
+  void Feed(const uint8_t* data, size_t size);
+  // The next complete frame, or nullopt when more bytes are needed or the
+  // stream is broken (check error()).
+  std::optional<Frame> Next();
+
+  WireError error() const { return error_; }
+  // Bytes buffered but not yet consumed as frames (diagnostics).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const uint32_t max_payload_bytes_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already handed out as frames
+  WireError error_ = WireError::kNone;
+};
+
+// A 64-bit digest of everything the determinism contract promises about an
+// InstanceResult: every terminal-snapshot (state, value) pair and every
+// InstanceMetrics field except instance_id (which numbers arrivals per
+// engine and is excluded from the contract). Two results with equal
+// fingerprints are byte-identical for the contract's purposes; the ingress
+// stamps it into every SubmitResult so clients can verify remote execution
+// against a local reference without shipping snapshots.
+uint64_t FingerprintResult(const core::InstanceResult& result);
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_WIRE_PROTOCOL_H_

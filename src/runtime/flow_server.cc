@@ -19,6 +19,7 @@ FlowServer::FlowServer(const core::Schema* schema, FlowServerOptions options)
   shard_options.backend = options_.backend;
   shard_options.db = options_.db;
   shard_options.result_cache_capacity = options_.result_cache_capacity;
+  shard_options.result_cache_max_bytes = options_.result_cache_max_bytes;
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, schema, options_.strategy,
@@ -50,12 +51,15 @@ bool FlowServer::Submit(FlowRequest request) {
 }
 
 bool FlowServer::TrySubmit(FlowRequest request) {
+  return TrySubmitEx(std::move(request)) == TryPushResult::kOk;
+}
+
+TryPushResult FlowServer::TrySubmitEx(FlowRequest request) {
   const int target = ShardFor(request.seed, num_shards());
-  if (!shards_[static_cast<size_t>(target)]->TrySubmit(std::move(request))) {
-    stats_.RecordRejected();
-    return false;
-  }
-  return true;
+  const TryPushResult result =
+      shards_[static_cast<size_t>(target)]->TrySubmitEx(std::move(request));
+  if (result != TryPushResult::kOk) stats_.RecordRejected();
+  return result;
 }
 
 void FlowServer::Drain() {

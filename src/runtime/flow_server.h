@@ -30,6 +30,11 @@ struct FlowServerOptions {
   // Cross-instance result cache per shard, in entries; 0 disables caching.
   // A hit returns a byte-identical InstanceResult without re-executing.
   size_t result_cache_capacity = 0;
+  // Optional per-shard byte budget for the result cache: after every insert,
+  // LRU entries are evicted until the resident footprint (as counted by
+  // ResultCacheStats::bytes) is back under the budget. 0 means no byte
+  // bound (entries-only LRU).
+  int64_t result_cache_max_bytes = 0;
 };
 
 // Aggregate server report: simulated-time statistics from the shared
@@ -43,6 +48,9 @@ struct FlowServerReport {
   // Result-cache counters summed over every shard's ResultCache (all zero
   // when result_cache_capacity == 0).
   ResultCacheStats cache;
+  // Network-ingress counters; all zero unless a net::IngressServer fronts
+  // this server and fills them in (IngressServer::Report does).
+  IngressStats ingress;
 };
 
 // The parallel flow-serving runtime: accepts a stream of decision-flow
@@ -87,12 +95,23 @@ class FlowServer {
   // full or the server is draining; the rejection is recorded.
   bool TrySubmit(FlowRequest request);
 
+  // Non-blocking admission with the refusal reason: kFull is transient
+  // backpressure (retry later), kClosed is the terminal post-Drain state.
+  // Either refusal is recorded in ServerStats::rejected, exactly like
+  // TrySubmit's.
+  TryPushResult TrySubmitEx(FlowRequest request);
+
   // Finishes all admitted requests and stops the workers. Idempotent.
+  // Post-Drain contract (explicit, tested): Submit returns false forever,
+  // TrySubmit returns false / TrySubmitEx returns kClosed forever (still
+  // counted as rejections), and Report() keeps working with the wall clock
+  // frozen at the drain.
   void Drain();
 
   FlowServerReport Report() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const core::Strategy& strategy() const { return options_.strategy; }
+  const FlowServerOptions& options() const { return options_; }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -18,14 +18,15 @@ bool RequestQueue::Push(FlowRequest request) {
   return true;
 }
 
-bool RequestQueue::TryPush(FlowRequest request) {
+TryPushResult RequestQueue::TryPushEx(FlowRequest request) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || items_.size() >= capacity_) return false;
+    if (closed_) return TryPushResult::kClosed;
+    if (items_.size() >= capacity_) return TryPushResult::kFull;
     items_.push_back(std::move(request));
   }
   not_empty_.notify_one();
-  return true;
+  return TryPushResult::kOk;
 }
 
 std::optional<FlowRequest> RequestQueue::Pop() {

@@ -6,6 +6,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <utility>
 
 #include "core/snapshot.h"
 
@@ -16,10 +17,22 @@ namespace dflow::runtime {
 // that parameterizes its task value functions. The seed doubles as the
 // routing key: FlowServer maps it to a shard, so where a request executes
 // is a pure function of the request itself.
+//
+// `ticket` is an opaque caller-chosen correlation id carried through the
+// pipeline untouched and handed back in the result callback. It takes no
+// part in routing, execution, or result-cache keying, so it cannot perturb
+// the determinism contract; the network ingress uses it to match shard
+// completions to waiting connections. 0 (the default) means "no ticket".
 struct FlowRequest {
   core::SourceBinding sources;
   uint64_t seed = 0;
+  uint64_t ticket = 0;
 };
+
+// Why a non-blocking push failed. kFull is the backpressure signal (the
+// caller may retry or shed load); kClosed means the queue is draining and
+// will never admit again (retrying is pointless).
+enum class TryPushResult { kOk, kFull, kClosed };
 
 // Bounded MPMC admission queue with blocking backpressure.
 //
@@ -29,6 +42,13 @@ struct FlowRequest {
 // consumer blocks in Pop() while empty. Close() begins the drain protocol:
 // new pushes fail fast, queued requests remain poppable, and Pop() returns
 // nullopt once the backlog is exhausted — the worker's signal to exit.
+//
+// Post-Close() contract (deliberate, tested — not incidental state): once
+// Close() has been called, Push() and TryPush() return false *forever*
+// (TryPushEx() returns kClosed, never kFull), including for producers that
+// were already blocked inside Push() at close time; Pop() drains whatever
+// was admitted before the close and then returns nullopt forever; Close()
+// itself is idempotent. There is no reopen.
 class RequestQueue {
  public:
   explicit RequestQueue(size_t capacity);
@@ -40,7 +60,14 @@ class RequestQueue {
   bool Push(FlowRequest request);
 
   // Non-blocking: returns false if the queue is full or closed.
-  bool TryPush(FlowRequest request);
+  bool TryPush(FlowRequest request) {
+    return TryPushEx(std::move(request)) == TryPushResult::kOk;
+  }
+
+  // Non-blocking, with the refusal reason: kFull is transient backpressure,
+  // kClosed is the terminal post-drain state. The network ingress maps these
+  // to distinct wire errors (REJECTED_BUSY vs SHUTTING_DOWN).
+  TryPushResult TryPushEx(FlowRequest request);
 
   // Blocks until a request is available or the queue is closed and empty
   // (then returns nullopt).

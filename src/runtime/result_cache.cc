@@ -68,8 +68,11 @@ int64_t ApproxValueBytes(const Value& value) {
 
 }  // namespace
 
-ResultCache::ResultCache(size_t capacity, const core::Strategy& strategy)
-    : capacity_(capacity), strategy_salt_(StrategySalt(strategy)) {}
+ResultCache::ResultCache(size_t capacity, const core::Strategy& strategy,
+                         int64_t max_bytes)
+    : capacity_(capacity),
+      max_bytes_(max_bytes > 0 ? max_bytes : 0),
+      strategy_salt_(StrategySalt(strategy)) {}
 
 uint64_t ResultCache::KeyHash(const core::SourceBinding& sources,
                               uint64_t seed) const {
@@ -141,6 +144,14 @@ void ResultCache::Insert(const core::SourceBinding& sources, uint64_t seed,
   index_.emplace(hash, entries_.begin());
   resident_entries_.fetch_add(1, std::memory_order_relaxed);
   resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  // Byte budget: evict LRU until back under max_bytes_. This may evict the
+  // entry just inserted (when it alone exceeds the budget), leaving the
+  // cache empty — the budget is a hard bound, not advisory.
+  while (max_bytes_ > 0 && !entries_.empty() &&
+         resident_bytes_.load(std::memory_order_relaxed) > max_bytes_) {
+    Erase(std::prev(entries_.end()));
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 ResultCacheStats ResultCache::Stats() const {

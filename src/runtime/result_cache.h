@@ -42,19 +42,26 @@ struct ResultCacheStats {
 //
 // Bounds: at most `capacity` entries, evicted in LRU order (a hit promotes
 // its entry to most-recently-used). Capacity 0 disables the cache: Lookup
-// always misses without counting, Insert is a no-op.
+// always misses without counting, Insert is a no-op. An optional byte
+// budget (`max_bytes` > 0) additionally evicts LRU entries after every
+// insert until the resident footprint — the ApproxResultBytes-based gauge
+// reported as ResultCacheStats::bytes — is back under the budget; an entry
+// that alone exceeds the budget is evicted immediately (never cached), so
+// the budget holds even for single oversized results.
 //
 // Threading: Lookup/Insert are confined to the owning shard's worker thread
 // (cache lookups stay shard-local, preserving the quiescent-engine
 // contract); Stats() may be called from any thread and reads atomic gauges.
 class ResultCache {
  public:
-  explicit ResultCache(size_t capacity, const core::Strategy& strategy);
+  ResultCache(size_t capacity, const core::Strategy& strategy,
+              int64_t max_bytes = 0);
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
   bool enabled() const { return capacity_ > 0; }
   size_t capacity() const { return capacity_; }
+  int64_t max_bytes() const { return max_bytes_; }
 
   // Returns the cached result for (sources, seed), promoting it to MRU, or
   // nullptr on a miss. The pointer stays valid until the next Insert on this
@@ -63,8 +70,11 @@ class ResultCache {
                                      uint64_t seed);
 
   // Caches a copy of `result` under (sources, seed), evicting the LRU entry
-  // if the cache is full. Inserting an already-present key refreshes its
-  // recency and overwrites the entry.
+  // if the cache is full and then evicting LRU entries until the byte
+  // budget (when set) is respected. Inserting an already-present key
+  // refreshes its recency and overwrites the entry. Note the byte budget
+  // may evict the just-inserted entry itself, so a Lookup pointer obtained
+  // before an Insert is invalidated by it (as documented on Lookup).
   void Insert(const core::SourceBinding& sources, uint64_t seed,
               const core::InstanceResult& result);
 
@@ -93,6 +103,7 @@ class ResultCache {
   void Erase(EntryList::iterator it);
 
   const size_t capacity_;
+  const int64_t max_bytes_;  // 0 = entries-only bounding
   const uint64_t strategy_salt_;
   EntryList entries_;
   // hash -> entries with that hash (collisions chain; full keys disambiguate)

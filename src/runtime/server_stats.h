@@ -16,7 +16,10 @@ namespace dflow::runtime {
 // FlowServer, which owns the real clock.
 struct ServerStats {
   int64_t completed = 0;
-  int64_t rejected = 0;  // TrySubmit admissions refused by backpressure
+  // TrySubmit admissions refused — by backpressure (queue full) or because
+  // the server was already draining. Both land here: the caller asked for a
+  // non-blocking admission and did not get one.
+  int64_t rejected = 0;
 
   int64_t total_work = 0;         // sum of InstanceMetrics::work
   int64_t total_wasted_work = 0;  // sum of InstanceMetrics::wasted_work
@@ -38,6 +41,27 @@ struct ServerStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   double cache_hit_rate = 0;  // hits / (hits + misses); 0 without lookups
+};
+
+// Aggregate counters of a network ingress sitting in front of a FlowServer
+// (src/net/IngressServer): connection lifecycle, wire-level admission
+// outcomes, and raw byte traffic. Defined here (not in net/) so
+// FlowServerReport can carry them without the runtime depending on sockets;
+// all zero unless an ingress fills them in. The same shape is kept
+// per-connection by the ingress sessions and summed into this struct.
+struct IngressStats {
+  int64_t connections_opened = 0;
+  int64_t connections_closed = 0;
+  int64_t requests_accepted = 0;      // submits admitted to a shard queue
+  int64_t requests_rejected_busy = 0; // REJECTED_BUSY wire responses (kFull)
+  int64_t requests_rejected_shutdown = 0;  // SHUTTING_DOWN responses (kClosed)
+  int64_t decode_errors = 0;  // malformed frames / undecodable payloads
+  int64_t protocol_errors = 0;  // well-formed but unserviceable (bad strategy)
+  int64_t info_requests = 0;
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+
+  friend bool operator==(const IngressStats&, const IngressStats&) = default;
 };
 
 // Thread-safe accumulator shards report into. Record() takes one lock per

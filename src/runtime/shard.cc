@@ -12,7 +12,8 @@ Shard::Shard(int index, const core::Schema* schema,
       queue_(options.queue_capacity),
       harness_(schema, strategy,
                core::HarnessOptions{options.backend, options.db}),
-      cache_(options.result_cache_capacity, strategy),
+      cache_(options.result_cache_capacity, strategy,
+             options.result_cache_max_bytes),
       stats_(stats) {}
 
 Shard::~Shard() { Drain(); }

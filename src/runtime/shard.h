@@ -22,6 +22,8 @@ struct ShardOptions {
   core::BackendKind backend = core::BackendKind::kInfinite;
   sim::DatabaseParams db;          // consulted when backend == kBoundedDb
   size_t result_cache_capacity = 0;  // entries; 0 disables the cache
+  // Byte budget for the shard's result cache; 0 means entries-only bounding.
+  int64_t result_cache_max_bytes = 0;
 };
 
 // One worker shard of the FlowServer: a bounded request queue, a dedicated
@@ -60,10 +62,14 @@ class Shard {
   void Start();
 
   // Admission: blocking with backpressure / non-blocking. Both return false
-  // once the shard is draining.
+  // once the shard is draining (see the RequestQueue post-Close contract).
   bool Submit(FlowRequest request) { return queue_.Push(std::move(request)); }
   bool TrySubmit(FlowRequest request) {
     return queue_.TryPush(std::move(request));
+  }
+  // Non-blocking admission with the refusal reason (kFull vs kClosed).
+  TryPushResult TrySubmitEx(FlowRequest request) {
+    return queue_.TryPushEx(std::move(request));
   }
 
   // Stops admitting new requests without waiting for the backlog. The

@@ -232,6 +232,66 @@ TEST(FlowServerTest, TrySubmitRejectsWhenShardQueueIsFull) {
   EXPECT_EQ(report.stats.rejected, 1);
 }
 
+// --- The explicit post-Drain contract (not incidental state): after
+// Drain(), Submit returns false forever, TrySubmit returns false forever
+// (still counted as rejections, exactly like queue-full ones), and
+// TrySubmitEx distinguishes the terminal kClosed from transient kFull.
+TEST(FlowServerTest, SubmitAndTrySubmitAfterDrainAreRefusedForever) {
+  const gen::GeneratedSchema pattern = MakePattern(23);
+  const std::vector<FlowRequest> requests = MakeWorkload(pattern, 4);
+
+  FlowServerOptions options;
+  options.num_shards = 2;
+  options.strategy = S("PCE0");
+  FlowServer server(&pattern.schema, options);
+  for (const FlowRequest& request : requests) {
+    ASSERT_TRUE(server.Submit(request));
+  }
+  server.Drain();
+  server.Drain();  // idempotent
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(server.Submit(requests[0]));
+    EXPECT_FALSE(server.TrySubmit(requests[1]));
+    EXPECT_EQ(server.TrySubmitEx(requests[2]), TryPushResult::kClosed);
+  }
+  const FlowServerReport report = server.Report();
+  EXPECT_EQ(report.stats.completed, 4);
+  // Six non-blocking refusals (3 TrySubmit + 3 TrySubmitEx); blocking
+  // Submit refusals are not "rejections" — the caller asked to wait.
+  EXPECT_EQ(report.stats.rejected, 6);
+}
+
+TEST(RequestQueueTest, TryPushExDistinguishesFullFromClosed) {
+  RequestQueue queue(1);
+  EXPECT_EQ(queue.TryPushEx({{}, 1}), TryPushResult::kOk);
+  EXPECT_EQ(queue.TryPushEx({{}, 2}), TryPushResult::kFull);  // transient
+  queue.Close();
+  // Closed wins over full, and stays terminal after the backlog drains.
+  EXPECT_EQ(queue.TryPushEx({{}, 3}), TryPushResult::kClosed);
+  ASSERT_TRUE(queue.Pop().has_value());
+  EXPECT_FALSE(queue.Pop().has_value());
+  EXPECT_EQ(queue.TryPushEx({{}, 4}), TryPushResult::kClosed);
+  EXPECT_FALSE(queue.Push({{}, 5}));
+}
+
+TEST(RequestQueueTest, CloseUnblocksAWaitingPusherWithFalse) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.Push({{}, 1}));
+  std::thread blocked([&] {
+    // Blocks on the full queue until Close, which must refuse it (the
+    // post-Close contract: no admission after close, ever).
+    EXPECT_FALSE(queue.Push({{}, 2}));
+  });
+  // Give the pusher time to park; Close must wake it with false rather
+  // than admit it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  blocked.join();
+  ASSERT_TRUE(queue.Pop().has_value());   // pre-close backlog drains
+  EXPECT_FALSE(queue.Pop().has_value());  // request 2 was never admitted
+}
+
 TEST(RequestQueueTest, PushBlocksUntilPopFreesASlot) {
   RequestQueue queue(1);
   ASSERT_TRUE(queue.TryPush({{}, 1}));

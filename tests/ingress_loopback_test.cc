@@ -1,0 +1,432 @@
+// End-to-end tests of the network ingress over loopback: a real
+// net::IngressServer on an ephemeral port, driven by net::Client. The
+// centerpiece is the wire-determinism contract: results served over TCP
+// are byte-identical to in-process FlowServer execution of the same
+// request set, across shard counts.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/schema_generator.h"
+#include "net/client.h"
+#include "net/ingress_server.h"
+#include "net/socket.h"
+#include "net/wire_protocol.h"
+#include "runtime/flow_server.h"
+
+namespace dflow::net {
+namespace {
+
+core::Strategy S(const char* text) { return *core::Strategy::Parse(text); }
+
+gen::GeneratedSchema MakePattern(uint64_t seed = 21, int nb_nodes = 32,
+                                 int nb_rows = 4) {
+  gen::PatternParams params;
+  params.nb_nodes = nb_nodes;
+  params.nb_rows = nb_rows;
+  params.seed = seed;
+  return gen::GeneratePattern(params);
+}
+
+std::vector<runtime::FlowRequest> MakeWorkload(
+    const gen::GeneratedSchema& pattern, int count, int distinct = 0) {
+  if (distinct <= 0) distinct = count;
+  std::vector<runtime::FlowRequest> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i % distinct);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+  return requests;
+}
+
+// Everything the wire response carries, keyed for comparison.
+struct WireOutcome {
+  int64_t work = 0;
+  int64_t wasted_work = 0;
+  double response_time = 0;
+  int32_t queries_launched = 0;
+  int32_t speculative_launches = 0;
+  uint64_t fingerprint = 0;
+  std::vector<SnapshotEntry> snapshot;
+
+  friend bool operator==(const WireOutcome&, const WireOutcome&) = default;
+};
+
+WireOutcome FromWire(const SubmitResult& result) {
+  WireOutcome outcome;
+  outcome.work = result.work;
+  outcome.wasted_work = result.wasted_work;
+  outcome.response_time = result.response_time;
+  outcome.queries_launched = result.queries_launched;
+  outcome.speculative_launches = result.speculative_launches;
+  outcome.fingerprint = result.fingerprint;
+  outcome.snapshot = result.snapshot;
+  return outcome;
+}
+
+WireOutcome FromInstanceResult(const core::InstanceResult& result) {
+  WireOutcome outcome;
+  outcome.work = result.metrics.work;
+  outcome.wasted_work = result.metrics.wasted_work;
+  outcome.response_time = result.metrics.ResponseTime();
+  outcome.queries_launched = result.metrics.queries_launched;
+  outcome.speculative_launches = result.metrics.speculative_launches;
+  outcome.fingerprint = FingerprintResult(result);
+  const int n = result.snapshot.schema().num_attributes();
+  outcome.snapshot.reserve(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    const auto attr = static_cast<AttributeId>(a);
+    outcome.snapshot.push_back(SnapshotEntry{
+        attr, result.snapshot.state(attr), result.snapshot.value(attr)});
+  }
+  return outcome;
+}
+
+// Serves the workload over TCP (pipelined on one connection, full
+// snapshots requested) and returns seed -> outcome.
+std::map<uint64_t, WireOutcome> ServeOverWire(
+    const gen::GeneratedSchema& pattern,
+    const std::vector<runtime::FlowRequest>& requests, int num_shards) {
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = num_shards;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  EXPECT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.want_snapshot = true;
+    submit.sources = requests[i].sources;
+    EXPECT_TRUE(client.SendSubmit(submit));
+  }
+  std::map<uint64_t, WireOutcome> by_seed;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::optional<ServerMessage> message = client.ReadMessage();
+    if (!message.has_value() || message->type != MsgType::kSubmitResult) {
+      ADD_FAILURE() << "missing or non-result reply " << i;
+      break;
+    }
+    // Responses complete out of submission order across shards; request_id
+    // is the correlation key.
+    const size_t index = static_cast<size_t>(message->result.request_id) - 1;
+    if (index >= requests.size()) {
+      ADD_FAILURE() << "response names unknown request_id "
+                    << message->result.request_id;
+      break;
+    }
+    by_seed.emplace(requests[index].seed, FromWire(message->result));
+  }
+  EXPECT_TRUE(client.Goodbye());
+
+  const runtime::FlowServerReport report = server.Report();
+  EXPECT_EQ(report.ingress.requests_accepted,
+            static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(report.ingress.decode_errors, 0);
+  server.Stop();
+  return by_seed;
+}
+
+// --- The acceptance-criteria test: TCP-served results are byte-identical
+// to in-process FlowServer execution, across at least two shard counts.
+TEST(IngressLoopbackTest, WireResultsMatchInProcessAcrossShardCounts) {
+  const gen::GeneratedSchema pattern = MakePattern();
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 60);
+
+  // In-process reference: a FlowServer driven directly, no network.
+  runtime::FlowServerOptions options;
+  options.num_shards = 2;
+  options.strategy = S("PSE100");
+  runtime::FlowServer reference(&pattern.schema, options);
+  std::mutex mu;
+  std::map<uint64_t, WireOutcome> expected;
+  reference.SetResultCallback([&](int, const runtime::FlowRequest& request,
+                                  const core::InstanceResult& result) {
+    std::lock_guard<std::mutex> lock(mu);
+    expected.emplace(request.seed, FromInstanceResult(result));
+  });
+  for (const runtime::FlowRequest& request : requests) {
+    ASSERT_TRUE(reference.Submit(request));
+  }
+  reference.Drain();
+  ASSERT_EQ(expected.size(), requests.size());
+
+  for (const int shards : {1, 3}) {
+    const std::map<uint64_t, WireOutcome> served =
+        ServeOverWire(pattern, requests, shards);
+    ASSERT_EQ(served.size(), requests.size()) << shards << " shards";
+    EXPECT_EQ(served, expected) << shards << " shards";
+  }
+}
+
+TEST(IngressLoopbackTest, InfoReportsConfigurationAndCounters) {
+  const gen::GeneratedSchema pattern = MakePattern(5);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PCE50");
+  server_options.queue_capacity_per_shard = 77;
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 5);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.sources = requests[i].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+    ASSERT_TRUE(client.ReadMessage().has_value());
+  }
+  const std::optional<ServerInfo> info = client.Info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->num_shards, 2);
+  EXPECT_EQ(info->strategy, "PCE50");
+  EXPECT_EQ(info->queue_capacity_per_shard, 77u);
+  EXPECT_EQ(info->completed, 5);
+  EXPECT_EQ(info->ingress.requests_accepted, 5);
+  EXPECT_EQ(info->ingress.connections_opened, 1);
+  EXPECT_EQ(info->ingress.info_requests, 1);
+  EXPECT_GT(info->ingress.bytes_in, 0);
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+  // Post-stop report still carries the final counters.
+  const runtime::FlowServerReport report = server.Report();
+  EXPECT_EQ(report.stats.completed, 5);
+  EXPECT_EQ(report.ingress.connections_closed, 1);
+  EXPECT_GT(report.ingress.bytes_out, 0);
+}
+
+// Non-blocking admission against a deliberately tiny queue: a burst far
+// larger than the queue must surface REJECTED_BUSY frames, and every
+// request still gets exactly one answer.
+TEST(IngressLoopbackTest, NonBlockingBurstSurfacesRejectedBusy) {
+  const gen::GeneratedSchema pattern = MakePattern(7, 64, 4);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 1;
+  server_options.queue_capacity_per_shard = 1;
+  server_options.strategy = S("PSE100");
+  server_options.backend = core::BackendKind::kBoundedDb;  // slow instances
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kBurst = 200;
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, kBurst);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  for (int i = 0; i < kBurst; ++i) {
+    SubmitRequest submit;
+    submit.request_id = static_cast<uint64_t>(i) + 1;
+    submit.seed = requests[static_cast<size_t>(i)].seed;
+    submit.blocking = false;
+    submit.sources = requests[static_cast<size_t>(i)].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+  }
+  int ok = 0, busy = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    const std::optional<ServerMessage> message = client.ReadMessage();
+    ASSERT_TRUE(message.has_value()) << "reply " << i;
+    if (message->type == MsgType::kSubmitResult) {
+      ++ok;
+    } else {
+      ASSERT_EQ(message->type, MsgType::kError);
+      EXPECT_EQ(message->error.code, WireError::kRejectedBusy);
+      ++busy;
+    }
+  }
+  EXPECT_EQ(ok + busy, kBurst);
+  EXPECT_GT(ok, 0);    // at least the queued + in-flight ones complete
+  EXPECT_GT(busy, 0);  // a 200-burst into a 1-deep queue must shed load
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+  const runtime::IngressStats stats = server.ingress_stats();
+  EXPECT_EQ(stats.requests_accepted, ok);
+  EXPECT_EQ(stats.requests_rejected_busy, busy);
+  // The runtime counted the same rejections (TrySubmitEx surfacing).
+  EXPECT_EQ(server.Report().stats.rejected, busy);
+}
+
+TEST(IngressLoopbackTest, StrategyOverrideMatchingIsAcceptedOthersRefused) {
+  const gen::GeneratedSchema pattern = MakePattern(9);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 1;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 2);
+
+  SubmitRequest matching;
+  matching.request_id = 1;
+  matching.seed = requests[0].seed;
+  matching.strategy = "pse100";  // parsing is case-insensitive
+  matching.sources = requests[0].sources;
+  std::optional<ServerMessage> reply = client.Call(matching);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kSubmitResult);
+
+  SubmitRequest mismatched = matching;
+  mismatched.request_id = 2;
+  mismatched.strategy = "NCC0";
+  reply = client.Call(mismatched);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kError);
+  EXPECT_EQ(reply->error.code, WireError::kBadStrategy);
+  EXPECT_EQ(reply->error.request_id, 2u);
+
+  SubmitRequest unparsable = matching;
+  unparsable.request_id = 3;
+  unparsable.strategy = "bogus!";
+  reply = client.Call(unparsable);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kError);
+  EXPECT_EQ(reply->error.code, WireError::kBadStrategy);
+
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+  EXPECT_EQ(server.ingress_stats().protocol_errors, 2);
+}
+
+// A well-framed submit whose payload does not decode gets a typed
+// MALFORMED_FRAME error and the connection keeps serving; framing-level
+// garbage kills the stream after a final error frame.
+TEST(IngressLoopbackTest, MalformedPayloadAnsweredGarbageStreamCloses) {
+  const gen::GeneratedSchema pattern = MakePattern(11);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 1;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  // Raw socket: the Client cannot be coaxed into sending broken frames.
+  Socket raw = Socket::ConnectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  FrameAssembler assembler;
+  auto read_frame = [&]() -> std::optional<Frame> {
+    uint8_t chunk[4096];
+    while (true) {
+      if (std::optional<Frame> frame = assembler.Next()) return frame;
+      if (assembler.error() != WireError::kNone) return std::nullopt;
+      const ssize_t n = raw.Recv(chunk, sizeof(chunk));
+      if (n <= 0) return std::nullopt;
+      assembler.Feed(chunk, static_cast<size_t>(n));
+    }
+  };
+
+  // 1. Valid header, type kSubmit, garbage payload -> typed error, alive.
+  const uint8_t bad_payload[] = {'D', 'F', kWireVersion,
+                                 static_cast<uint8_t>(MsgType::kSubmit),
+                                 3,   0,   0,            0,
+                                 0xde, 0xad, 0xbe};
+  ASSERT_TRUE(raw.SendAll(bad_payload, sizeof(bad_payload)));
+  std::optional<Frame> frame = read_frame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kError));
+  ErrorReply reply;
+  ASSERT_TRUE(DecodeError(frame->payload, &reply));
+  EXPECT_EQ(reply.code, WireError::kMalformedFrame);
+
+  // 2. The connection survived: a real submit still gets its result.
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 1);
+  SubmitRequest submit;
+  submit.request_id = 42;
+  submit.seed = requests[0].seed;
+  submit.sources = requests[0].sources;
+  std::vector<uint8_t> encoded;
+  EncodeSubmit(submit, &encoded);
+  ASSERT_TRUE(raw.SendAll(encoded.data(), encoded.size()));
+  frame = read_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, static_cast<uint8_t>(MsgType::kSubmitResult));
+
+  // 3. Framing garbage -> one final error frame, then EOF.
+  const uint8_t garbage[] = {'X', 'X', 'X', 'X', 'X', 'X', 'X', 'X'};
+  ASSERT_TRUE(raw.SendAll(garbage, sizeof(garbage)));
+  frame = read_frame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kError));
+  ASSERT_TRUE(DecodeError(frame->payload, &reply));
+  EXPECT_EQ(reply.code, WireError::kMalformedFrame);
+  uint8_t byte;
+  EXPECT_EQ(raw.Recv(&byte, 1), 0);  // orderly close
+
+  server.Stop();
+  EXPECT_EQ(server.ingress_stats().decode_errors, 2);
+}
+
+// Stop() with clients mid-flight: the server answers everything it
+// accepted before the listener dies (drain-then-Drain).
+TEST(IngressLoopbackTest, StopAnswersEveryAcceptedRequest) {
+  const gen::GeneratedSchema pattern = MakePattern(13);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PSE100");
+  server_options.backend = core::BackendKind::kBoundedDb;
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  constexpr int kCount = 40;
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, kCount);
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  for (int i = 0; i < kCount; ++i) {
+    SubmitRequest submit;
+    submit.request_id = static_cast<uint64_t>(i) + 1;
+    submit.seed = requests[static_cast<size_t>(i)].seed;
+    submit.sources = requests[static_cast<size_t>(i)].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+  }
+  // Wait until the session reader has admitted the whole burst (Stop's
+  // read-side shutdown would otherwise discard frames still in the socket
+  // buffer — admission, not transmission, is what obligates an answer).
+  for (int spin = 0; spin < 10000; ++spin) {
+    if (server.ingress_stats().requests_accepted == kCount) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.ingress_stats().requests_accepted, kCount);
+  // Stop with the burst still executing: every accepted request must be
+  // answered before the sessions retire (drain-then-Drain).
+  server.Stop();
+  int answered = 0;
+  while (answered < kCount) {
+    const std::optional<ServerMessage> message = client.ReadMessage();
+    if (!message.has_value()) break;
+    if (message->type == MsgType::kSubmitResult ||
+        message->type == MsgType::kError) {
+      ++answered;
+    }
+  }
+  EXPECT_EQ(answered, kCount);
+  const runtime::FlowServerReport report = server.Report();
+  EXPECT_EQ(report.ingress.requests_accepted +
+                report.ingress.requests_rejected_shutdown,
+            kCount);
+  EXPECT_EQ(report.stats.completed, report.ingress.requests_accepted);
+}
+
+}  // namespace
+}  // namespace dflow::net

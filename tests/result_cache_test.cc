@@ -243,6 +243,74 @@ TEST_F(ResultCacheTest, EvictionReleasesByteAccounting) {
               static_cast<double>(bytes_one), 0.5 * bytes_one);
 }
 
+// --- Byte-budget eviction: max_bytes is a hard bound enforced after every
+// insert, evicting LRU-first, with the evictions/bytes counters that were
+// already part of ResultCacheStats.
+TEST_F(ResultCacheTest, ByteBudgetEvictsLruUntilUnderBudget) {
+  // Learn the per-entry footprint (same schema => comparable sizes), then
+  // budget for roughly two entries.
+  int64_t bytes_one = 0;
+  {
+    ResultCache probe(8, S("PSE100"));
+    const FlowRequest a = Request(1);
+    probe.Insert(a.sources, a.seed, Run(a));
+    bytes_one = probe.Stats().bytes;
+  }
+  ASSERT_GT(bytes_one, 0);
+
+  ResultCache cache(8, S("PSE100"), /*max_bytes=*/2 * bytes_one + bytes_one / 2);
+  EXPECT_EQ(cache.max_bytes(), 2 * bytes_one + bytes_one / 2);
+  const FlowRequest a = Request(1), b = Request(2), c = Request(3);
+  cache.Insert(a.sources, a.seed, Run(a));
+  cache.Insert(b.sources, b.seed, Run(b));
+  EXPECT_EQ(cache.Stats().entries, 2);  // two fit under the budget
+  EXPECT_EQ(cache.Stats().evictions, 0);
+  // Touch `a` so `b` is LRU; the third insert must push bytes over budget
+  // and evict `b` (capacity 8 would have kept all three).
+  ASSERT_NE(cache.Lookup(a.sources, a.seed), nullptr);
+  cache.Insert(c.sources, c.seed, Run(c));
+  EXPECT_LE(cache.Stats().bytes, cache.max_bytes());
+  EXPECT_EQ(cache.Stats().entries, 2);
+  EXPECT_EQ(cache.Stats().evictions, 1);
+  EXPECT_NE(cache.Lookup(a.sources, a.seed), nullptr);
+  EXPECT_EQ(cache.Lookup(b.sources, b.seed), nullptr);  // evicted
+  EXPECT_NE(cache.Lookup(c.sources, c.seed), nullptr);
+}
+
+TEST_F(ResultCacheTest, EntryLargerThanByteBudgetIsNeverResident) {
+  ResultCache cache(8, S("PSE100"), /*max_bytes=*/1);
+  const FlowRequest a = Request(4);
+  cache.Insert(a.sources, a.seed, Run(a));
+  // The budget is hard: the oversized entry was evicted immediately.
+  EXPECT_EQ(cache.Stats().entries, 0);
+  EXPECT_EQ(cache.Stats().bytes, 0);
+  EXPECT_EQ(cache.Stats().evictions, 1);
+  EXPECT_EQ(cache.Lookup(a.sources, a.seed), nullptr);
+}
+
+// Byte budget end to end: serving stays byte-identical under byte-driven
+// eviction, and every shard respects the bound.
+TEST(ResultCacheServerTest, ByteBudgetedServingStaysCorrectAndBounded) {
+  const gen::GeneratedSchema pattern = MakePattern(17);
+  const std::vector<FlowRequest> requests = RepeatedWorkload(pattern, 160, 40);
+  FlowServerOptions options;
+  options.num_shards = 2;
+  options.strategy = S("PSE100");
+
+  options.result_cache_capacity = 0;
+  const auto uncached = Serve(pattern, requests, options, nullptr);
+
+  options.result_cache_capacity = 64;  // entries would never evict...
+  options.result_cache_max_bytes = 4096;  // ...so the byte budget must
+  FlowServerReport report;
+  const auto cached = Serve(pattern, requests, options, &report);
+
+  EXPECT_EQ(uncached, cached);
+  EXPECT_GT(report.cache.evictions, 0);
+  // Summed resident bytes respect the sum of per-shard budgets.
+  EXPECT_LE(report.cache.bytes, 2 * 4096);
+}
+
 TEST_F(ResultCacheTest, KeyDistinguishesSeedSourcesAndStrategy) {
   ResultCache pse(4, S("PSE100"));
   ResultCache nce(4, S("NCE100"));

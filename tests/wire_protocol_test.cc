@@ -1,0 +1,309 @@
+#include "net/wire_protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dflow::net {
+namespace {
+
+// --- Randomized message builders for the round-trip property tests.
+
+Value RandomValue(Rng* rng) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0: return Value::Null();
+    case 1: return Value::Bool(rng->Chance(0.5));
+    case 2: return Value::Int(static_cast<int64_t>(rng->Next()));
+    case 3: return Value::Double(rng->UniformDouble() * 1e6 - 5e5);
+    default: {
+      std::string s;
+      const int len = static_cast<int>(rng->UniformInt(0, 40));
+      for (int i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(rng->UniformInt(0, 255)));
+      }
+      return Value::String(std::move(s));
+    }
+  }
+}
+
+SubmitRequest RandomSubmit(Rng* rng) {
+  SubmitRequest msg;
+  msg.request_id = rng->Next();
+  msg.seed = rng->Next();
+  msg.blocking = rng->Chance(0.5);
+  msg.want_snapshot = rng->Chance(0.5);
+  if (rng->Chance(0.5)) msg.strategy = rng->Chance(0.5) ? "PSE100" : "NCC0";
+  const int num_sources = static_cast<int>(rng->UniformInt(0, 12));
+  for (int i = 0; i < num_sources; ++i) {
+    msg.sources.emplace_back(static_cast<AttributeId>(rng->UniformInt(0, 500)),
+                             RandomValue(rng));
+  }
+  return msg;
+}
+
+SubmitResult RandomSubmitResult(Rng* rng) {
+  SubmitResult msg;
+  msg.request_id = rng->Next();
+  msg.shard = static_cast<int32_t>(rng->UniformInt(0, 63));
+  msg.work = rng->UniformInt(0, 1 << 20);
+  msg.wasted_work = rng->UniformInt(0, 1 << 10);
+  msg.response_time = rng->UniformDouble() * 1e4;
+  msg.queries_launched = static_cast<int32_t>(rng->UniformInt(0, 1000));
+  msg.speculative_launches = static_cast<int32_t>(rng->UniformInt(0, 100));
+  msg.fingerprint = rng->Next();
+  msg.has_snapshot = rng->Chance(0.5);
+  if (msg.has_snapshot) {
+    const int n = static_cast<int>(rng->UniformInt(0, 24));
+    for (int i = 0; i < n; ++i) {
+      msg.snapshot.push_back(SnapshotEntry{
+          static_cast<AttributeId>(i),
+          static_cast<core::AttrState>(rng->UniformInt(
+              0, static_cast<int64_t>(core::AttrState::kDisabled))),
+          RandomValue(rng)});
+    }
+  }
+  return msg;
+}
+
+ErrorReply RandomError(Rng* rng) {
+  ErrorReply msg;
+  msg.request_id = rng->Next();
+  msg.code = static_cast<WireError>(rng->UniformInt(1, 8));
+  const int len = static_cast<int>(rng->UniformInt(0, 60));
+  for (int i = 0; i < len; ++i) {
+    msg.message.push_back(static_cast<char>(rng->UniformInt(32, 126)));
+  }
+  return msg;
+}
+
+ServerInfo RandomInfo(Rng* rng) {
+  ServerInfo msg;
+  msg.num_shards = static_cast<int32_t>(rng->UniformInt(1, 64));
+  msg.strategy = rng->Chance(0.5) ? "PSE80" : "PCC0";
+  msg.backend = static_cast<uint8_t>(rng->UniformInt(0, 1));
+  msg.queue_capacity_per_shard = rng->Next() % 4096;
+  msg.completed = rng->UniformInt(0, 1 << 30);
+  msg.rejected = rng->UniformInt(0, 1 << 20);
+  msg.cache_hits = rng->UniformInt(0, 1 << 20);
+  msg.cache_misses = rng->UniformInt(0, 1 << 20);
+  msg.ingress.connections_opened = rng->UniformInt(0, 1000);
+  msg.ingress.connections_closed = rng->UniformInt(0, 1000);
+  msg.ingress.requests_accepted = rng->UniformInt(0, 1 << 30);
+  msg.ingress.requests_rejected_busy = rng->UniformInt(0, 1 << 20);
+  msg.ingress.requests_rejected_shutdown = rng->UniformInt(0, 1 << 10);
+  msg.ingress.decode_errors = rng->UniformInt(0, 100);
+  msg.ingress.protocol_errors = rng->UniformInt(0, 100);
+  msg.ingress.info_requests = rng->UniformInt(0, 1000);
+  msg.ingress.bytes_in = rng->UniformInt(0, 1LL << 40);
+  msg.ingress.bytes_out = rng->UniformInt(0, 1LL << 40);
+  return msg;
+}
+
+// Feeds `stream` to an assembler in pseudo-random chunk sizes: framing
+// must be agnostic to how the transport slices the byte stream.
+std::vector<Frame> Reassemble(const std::vector<uint8_t>& stream,
+                              uint64_t chunk_seed,
+                              WireError* error_out = nullptr) {
+  Rng rng(chunk_seed);
+  FrameAssembler assembler;
+  std::vector<Frame> frames;
+  size_t offset = 0;
+  while (offset < stream.size()) {
+    const size_t chunk = static_cast<size_t>(
+        rng.UniformInt(1, 37));
+    const size_t n = std::min(chunk, stream.size() - offset);
+    assembler.Feed(stream.data() + offset, n);
+    offset += n;
+    while (std::optional<Frame> frame = assembler.Next()) {
+      frames.push_back(std::move(*frame));
+    }
+  }
+  if (error_out != nullptr) *error_out = assembler.error();
+  return frames;
+}
+
+// --- The round-trip property: encode -> chunked reassembly -> decode is
+// the identity on every message type, for randomized messages.
+TEST(WireProtocolPropertyTest, RandomizedMessagesRoundTripThroughTheStream) {
+  Rng rng(20260727);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const SubmitRequest submit = RandomSubmit(&rng);
+    const SubmitResult result = RandomSubmitResult(&rng);
+    const ErrorReply error = RandomError(&rng);
+    const ServerInfo info = RandomInfo(&rng);
+
+    // One stream carrying all four (plus the payloadless frames), so the
+    // assembler also proves it finds consecutive frame boundaries.
+    std::vector<uint8_t> stream;
+    EncodeSubmit(submit, &stream);
+    EncodeSubmitResult(result, &stream);
+    EncodeError(error, &stream);
+    EncodeInfoRequest(&stream);
+    EncodeInfo(info, &stream);
+    EncodeGoodbye(&stream);
+    EncodeGoodbyeAck(&stream);
+
+    WireError stream_error = WireError::kNone;
+    const std::vector<Frame> frames =
+        Reassemble(stream, rng.Next(), &stream_error);
+    ASSERT_EQ(stream_error, WireError::kNone);
+    ASSERT_EQ(frames.size(), 7u);
+
+    EXPECT_EQ(frames[0].type, static_cast<uint8_t>(MsgType::kSubmit));
+    SubmitRequest submit_rt;
+    ASSERT_TRUE(DecodeSubmit(frames[0].payload, &submit_rt));
+    EXPECT_EQ(submit_rt, submit);
+
+    EXPECT_EQ(frames[1].type, static_cast<uint8_t>(MsgType::kSubmitResult));
+    SubmitResult result_rt;
+    ASSERT_TRUE(DecodeSubmitResult(frames[1].payload, &result_rt));
+    EXPECT_EQ(result_rt, result);
+
+    EXPECT_EQ(frames[2].type, static_cast<uint8_t>(MsgType::kError));
+    ErrorReply error_rt;
+    ASSERT_TRUE(DecodeError(frames[2].payload, &error_rt));
+    EXPECT_EQ(error_rt, error);
+
+    EXPECT_EQ(frames[3].type, static_cast<uint8_t>(MsgType::kInfoRequest));
+    EXPECT_TRUE(frames[3].payload.empty());
+
+    EXPECT_EQ(frames[4].type, static_cast<uint8_t>(MsgType::kInfo));
+    ServerInfo info_rt;
+    ASSERT_TRUE(DecodeInfo(frames[4].payload, &info_rt));
+    EXPECT_EQ(info_rt, info);
+
+    EXPECT_EQ(frames[5].type, static_cast<uint8_t>(MsgType::kGoodbye));
+    EXPECT_EQ(frames[6].type, static_cast<uint8_t>(MsgType::kGoodbyeAck));
+  }
+}
+
+// Truncating an encoded payload at every possible length must never
+// decode successfully (and never crash): decoders are exact parsers.
+TEST(WireProtocolPropertyTest, EveryTruncationOfAPayloadIsRejected) {
+  Rng rng(99);
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    std::vector<uint8_t> stream;
+    const SubmitRequest submit = RandomSubmit(&rng);
+    EncodeSubmit(submit, &stream);
+    const std::vector<uint8_t> payload(stream.begin() + kFrameHeaderBytes,
+                                       stream.end());
+    SubmitRequest out;
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::vector<uint8_t> truncated(payload.begin(),
+                                           payload.begin() + cut);
+      EXPECT_FALSE(DecodeSubmit(truncated, &out))
+          << "decoded a " << cut << "-byte prefix of " << payload.size();
+    }
+    // Trailing garbage is rejected too, not silently ignored.
+    std::vector<uint8_t> extended = payload;
+    extended.push_back(0x5a);
+    EXPECT_FALSE(DecodeSubmit(extended, &out));
+  }
+}
+
+TEST(WireProtocolTest, GarbageMagicKillsTheStream) {
+  FrameAssembler assembler;
+  const uint8_t garbage[] = {'X', 'Y', 1, 1, 0, 0, 0, 0};
+  assembler.Feed(garbage, sizeof(garbage));
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.error(), WireError::kMalformedFrame);
+  // Poisoned forever, even if valid bytes follow.
+  std::vector<uint8_t> valid;
+  EncodeGoodbye(&valid);
+  assembler.Feed(valid.data(), valid.size());
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.error(), WireError::kMalformedFrame);
+}
+
+TEST(WireProtocolTest, WrongVersionIsRejected) {
+  std::vector<uint8_t> stream;
+  EncodeGoodbye(&stream);
+  stream[2] = kWireVersion + 1;
+  FrameAssembler assembler;
+  assembler.Feed(stream.data(), stream.size());
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.error(), WireError::kUnsupportedVersion);
+}
+
+TEST(WireProtocolTest, OversizedFrameIsRejectedBeforeBuffering) {
+  FrameAssembler assembler(/*max_payload_bytes=*/64);
+  // A valid header announcing a 65-byte payload: must fail immediately,
+  // without waiting for (or buffering) the announced payload.
+  const uint8_t header[] = {'D', 'F', kWireVersion, 1, 65, 0, 0, 0};
+  assembler.Feed(header, sizeof(header));
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.error(), WireError::kFrameTooLarge);
+}
+
+TEST(WireProtocolTest, PartialHeaderAndPayloadWaitWithoutError) {
+  std::vector<uint8_t> stream;
+  EncodeError(ErrorReply{7, WireError::kRejectedBusy, "busy"}, &stream);
+  FrameAssembler assembler;
+  // Header minus one byte: no frame, no error.
+  assembler.Feed(stream.data(), kFrameHeaderBytes - 1);
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.error(), WireError::kNone);
+  // Full header, payload minus one byte: still waiting.
+  assembler.Feed(stream.data() + kFrameHeaderBytes - 1,
+                 stream.size() - kFrameHeaderBytes);
+  EXPECT_FALSE(assembler.Next().has_value());
+  EXPECT_EQ(assembler.error(), WireError::kNone);
+  // Last byte: the frame pops.
+  assembler.Feed(stream.data() + stream.size() - 1, 1);
+  const std::optional<Frame> frame = assembler.Next();
+  ASSERT_TRUE(frame.has_value());
+  ErrorReply reply;
+  ASSERT_TRUE(DecodeError(frame->payload, &reply));
+  EXPECT_EQ(reply.request_id, 7u);
+  EXPECT_EQ(reply.code, WireError::kRejectedBusy);
+  EXPECT_EQ(reply.message, "busy");
+}
+
+TEST(WireProtocolTest, UnknownMessageTypeIsSurfacedNotSwallowed) {
+  std::vector<uint8_t> stream;
+  EncodeGoodbye(&stream);
+  stream[3] = 0x7f;  // not a MsgType
+  FrameAssembler assembler;
+  assembler.Feed(stream.data(), stream.size());
+  const std::optional<Frame> frame = assembler.Next();
+  ASSERT_TRUE(frame.has_value());  // framing-valid: caller decides
+  EXPECT_EQ(frame->type, 0x7f);
+  EXPECT_EQ(assembler.error(), WireError::kNone);
+}
+
+TEST(WireProtocolTest, SubmitRejectsUnknownFlagsAndBadValueTags) {
+  SubmitRequest msg;
+  msg.request_id = 1;
+  msg.sources.emplace_back(0, Value::Int(3));
+  std::vector<uint8_t> stream;
+  EncodeSubmit(msg, &stream);
+  std::vector<uint8_t> payload(stream.begin() + kFrameHeaderBytes,
+                               stream.end());
+  SubmitRequest out;
+  ASSERT_TRUE(DecodeSubmit(payload, &out));
+
+  // Flag bits beyond the defined ones are a forward-compat error.
+  std::vector<uint8_t> bad_flags = payload;
+  bad_flags[16] = 0x80;  // flags u32 starts at offset 16
+  EXPECT_FALSE(DecodeSubmit(bad_flags, &out));
+
+  // Value type tag out of range (the binding's value tag is the byte
+  // after request_id+seed+flags+strategy_len+count+attr = 32).
+  std::vector<uint8_t> bad_tag = payload;
+  bad_tag[32] = 0x66;
+  EXPECT_FALSE(DecodeSubmit(bad_tag, &out));
+}
+
+TEST(WireProtocolTest, ErrorCodesHaveStableNames) {
+  EXPECT_STREQ(ToString(WireError::kRejectedBusy), "REJECTED_BUSY");
+  EXPECT_STREQ(ToString(WireError::kMalformedFrame), "MALFORMED_FRAME");
+  EXPECT_STREQ(ToString(WireError::kShuttingDown), "SHUTTING_DOWN");
+  EXPECT_STREQ(ToString(WireError::kFrameTooLarge), "FRAME_TOO_LARGE");
+}
+
+}  // namespace
+}  // namespace dflow::net

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Benchmark-regression gate for CI.
+
+Compares a BENCH_pr.json (written by the benchmark-regression job: the
+--json outputs of bench_throughput_vs_shards and the loopback dflow_load
+run, wrapped in one object) against the checked-in baseline
+(bench/BENCH_baseline.json) and exits nonzero when any compared
+throughput number drops more than --max-drop below its baseline.
+
+Only metrics present in BOTH files are compared (the shard sweep's row
+set depends on the machine's core count), so the gate works on any
+runner width. Improvements never fail the gate — re-seed the baseline
+from a fresh BENCH_pr.json artifact when a PR makes things faster on
+purpose, so the floor ratchets up.
+
+Usage: check_regression.py BENCH_pr.json bench/BENCH_baseline.json
+           [--max-drop=0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current", help="BENCH_pr.json from this run")
+    parser.add_argument("baseline", help="checked-in BENCH_baseline.json")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional drop below baseline (default 0.30)",
+    )
+    args = parser.parse_args()
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    # (name, current value, baseline value) triples; higher is better.
+    checks = []
+    base_rows = {
+        row["shards"]: row
+        for row in baseline["throughput_vs_shards"]["rows"]
+    }
+    for row in current["throughput_vs_shards"]["rows"]:
+        base = base_rows.get(row["shards"])
+        if base is None:
+            continue
+        checks.append((
+            "throughput_vs_shards[%d shards] instances/s" % row["shards"],
+            row["instances_per_second"],
+            base["instances_per_second"],
+        ))
+        checks.append((
+            "throughput_vs_shards[%d shards] cached instances/s"
+            % row["shards"],
+            row["cached_instances_per_second"],
+            base["cached_instances_per_second"],
+        ))
+    checks.append((
+        "dflow_load requests/s",
+        current["dflow_load"]["requests_per_second"],
+        baseline["dflow_load"]["requests_per_second"],
+    ))
+
+    if not checks:
+        print("FAIL: no comparable metrics between current and baseline")
+        return 1
+
+    failures = 0
+    for name, cur, base in checks:
+        floor = base * (1.0 - args.max_drop)
+        ok = cur >= floor
+        print("%-4s %-48s current=%10.1f baseline=%10.1f floor=%10.1f"
+              % ("OK" if ok else "FAIL", name, cur, base, floor))
+        if not ok:
+            failures += 1
+
+    # Correctness rider: the archived load-driver run must have been clean
+    # (determinism violations already fail the bench binary itself).
+    if current["dflow_load"]["errors"] != 0:
+        print("FAIL dflow_load saw %d errors"
+              % current["dflow_load"]["errors"])
+        failures += 1
+
+    if failures:
+        print("\n%d regression(s) beyond the %.0f%% budget"
+              % (failures, args.max_drop * 100))
+        return 1
+    print("\nall throughput metrics within the %.0f%% budget"
+          % (args.max_drop * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

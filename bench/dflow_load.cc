@@ -18,11 +18,19 @@
 // --fail-on-reject — on any REJECTED_BUSY/SHUTTING_DOWN response, so CI
 // can gate on "N requests served cleanly".
 //
+// Every run also folds the per-request result fingerprints (keyed by
+// request_id, so completion order is irrelevant) into one 64-bit workload
+// fingerprint. Replaying the same workload against a direct single-node
+// server and against a dflow_router fleet must produce the same value —
+// --expect-fingerprint-match=HEX makes that an exit-code gate, proving the
+// deployments byte-identical without shipping snapshots around.
+//
 // Run:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
 //           [--mode=closed|open] [--rate=R] [--distinct=K] [--nonblocking]
 //           [--snapshot] [--info-every=N] [--strategy=PSE100]
 //           [--nodes=64 --rows=4 --pattern-seed=1]
 //           [--connect-timeout=5] [--json] [--fail-on-reject]
+//           [--expect-fingerprint-match=HEX]
 
 #include <algorithm>
 #include <atomic>
@@ -38,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.h"
 #include "gen/schema_generator.h"
 #include "net/client.h"
 
@@ -64,6 +73,8 @@ struct Config {
   double connect_timeout_s = 5.0;
   bool json = false;
   bool fail_on_reject = false;
+  bool expect_fingerprint = false;
+  uint64_t expected_fingerprint = 0;
 };
 
 // Per-connection tallies, merged after the workers join.
@@ -76,6 +87,9 @@ struct WorkerResult {
   int64_t bytes_sent = 0;
   int64_t bytes_received = 0;
   std::vector<double> latencies_ms;  // client-observed RTT per answered submit
+  // (request_id, result fingerprint) per successful submit; merged and
+  // folded request_id-ordered into the workload fingerprint.
+  std::vector<std::pair<uint64_t, uint64_t>> fingerprints;
 };
 
 double Percentile(std::vector<double>* sorted, double p) {
@@ -113,6 +127,8 @@ void TallyReply(const net::ServerMessage& message, const Clock::time_point& t0,
                             Clock::now() - t0)
                             .count();
       result->latencies_ms.push_back(ms);
+      result->fingerprints.emplace_back(message.result.request_id,
+                                        message.result.fingerprint);
       ++result->ok;
       return;
     }
@@ -287,6 +303,10 @@ int main(int argc, char** argv) {
     else if ((v = value_of("--connect-timeout"))) {
       config.connect_timeout_s = std::atof(v);
     }
+    else if ((v = value_of("--expect-fingerprint-match"))) {
+      config.expect_fingerprint = true;
+      config.expected_fingerprint = std::strtoull(v, nullptr, 16);
+    }
     else if (std::strcmp(arg, "--nonblocking") == 0) config.nonblocking = true;
     else if (std::strcmp(arg, "--snapshot") == 0) config.want_snapshot = true;
     else if (std::strcmp(arg, "--json") == 0) config.json = true;
@@ -346,6 +366,20 @@ int main(int argc, char** argv) {
     total.latencies_ms.insert(total.latencies_ms.end(),
                               result.latencies_ms.begin(),
                               result.latencies_ms.end());
+    total.fingerprints.insert(total.fingerprints.end(),
+                              result.fingerprints.begin(),
+                              result.fingerprints.end());
+  }
+  // Workload fingerprint: per-request fingerprints folded in request_id
+  // order, so it is independent of completion order, connection split, and
+  // deployment topology — equal iff every request produced the same bytes.
+  std::sort(total.fingerprints.begin(), total.fingerprints.end());
+  uint64_t workload_fingerprint = 0x10adf1;
+  workload_fingerprint =
+      Rng::Mix(workload_fingerprint, total.fingerprints.size());
+  for (const auto& [request_id, fingerprint] : total.fingerprints) {
+    workload_fingerprint = Rng::Mix(workload_fingerprint, request_id);
+    workload_fingerprint = Rng::Mix(workload_fingerprint, fingerprint);
   }
   std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
   const double p50 = Percentile(&total.latencies_ms, 0.50);
@@ -381,6 +415,7 @@ int main(int argc, char** argv) {
         "\"wall_s\":%.6f,\"requests_per_second\":%.1f,"
         "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
         "\"max\":%.3f},\"bytes_sent\":%lld,\"bytes_received\":%lld,"
+        "\"workload_fingerprint\":\"%016llx\","
         "\"server\":{\"completed\":%lld,\"decode_errors\":%lld}}\n",
         config.open_loop ? "open" : "closed", config.requests,
         config.connections, static_cast<long long>(total.ok),
@@ -390,6 +425,7 @@ int main(int argc, char** argv) {
         static_cast<long long>(total.info_ok), wall_s, rps, p50, p95, p99,
         lat_max, static_cast<long long>(total.bytes_sent),
         static_cast<long long>(total.bytes_received),
+        static_cast<unsigned long long>(workload_fingerprint),
         static_cast<long long>(server_completed),
         static_cast<long long>(server_decode_errors));
   } else {
@@ -416,10 +452,28 @@ int main(int argc, char** argv) {
                 static_cast<long long>(total.bytes_received),
                 static_cast<long long>(server_completed),
                 static_cast<long long>(server_decode_errors));
+    std::printf("# workload fingerprint: %016llx (over %lld results)\n",
+                static_cast<unsigned long long>(workload_fingerprint),
+                static_cast<long long>(total.ok));
   }
 
   if (total.errors > 0) return 1;
   if (server_decode_errors != 0 && server_decode_errors != -1) return 1;
   if (config.fail_on_reject && rejected > 0) return 1;
+  if (config.expect_fingerprint) {
+    // A partial run cannot attest byte-identity: the match gate demands
+    // every request answered successfully AND the digests equal.
+    if (total.ok != config.requests ||
+        workload_fingerprint != config.expected_fingerprint) {
+      std::fprintf(stderr,
+                   "dflow_load: workload fingerprint %016llx over %lld/%d "
+                   "results does not match expected %016llx\n",
+                   static_cast<unsigned long long>(workload_fingerprint),
+                   static_cast<long long>(total.ok), config.requests,
+                   static_cast<unsigned long long>(
+                       config.expected_fingerprint));
+      return 1;
+    }
+  }
   return 0;
 }

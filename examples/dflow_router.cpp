@@ -1,0 +1,173 @@
+// dflow_router: the multi-node routing tier in front of a dflow_serve
+// fleet.
+//
+// Speaks the wire protocol to clients on 127.0.0.1:<port> and fans every
+// submit out to the configured backends by the same seed hash the
+// FlowServer uses for shard placement, so results are byte-identical to a
+// direct single-server run for any fleet size. Serves until
+// SIGINT/SIGTERM, then drains gracefully (every admitted request is
+// answered before the backends get their Goodbye) and prints the final
+// per-backend report.
+//
+// All backends must serve the same schema pattern and strategy; the
+// router verifies the strategy at startup via the Info handshake.
+//
+// Build:  cmake --build build --target dflow_router
+// Run:    ./build/dflow_serve --port=4521 &
+//         ./build/dflow_serve --port=4522 &
+//         ./build/dflow_router --port=4517 --backends=4521,4522
+// Drive:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/router.h"
+
+using namespace dflow;
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+// "4521,4522" or "host:4521,host:4522" (mixed forms allowed); host
+// defaults to 127.0.0.1.
+bool ParseBackends(const std::string& text,
+                   std::vector<net::BackendAddress>* out) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    if (item.empty()) return false;
+    net::BackendAddress address;
+    const size_t colon = item.rfind(':');
+    const std::string port_text =
+        colon == std::string::npos ? item : item.substr(colon + 1);
+    if (colon != std::string::npos) address.host = item.substr(0, colon);
+    const int port = std::atoi(port_text.c_str());
+    if (port <= 0 || port > 65535) return false;
+    address.port = static_cast<uint16_t>(port);
+    out->push_back(std::move(address));
+    if (comma == text.size()) break;
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::RouterOptions options;
+  int port = 4517;
+  std::string backends_text;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (FlagValue(argv[i], "--port", &value)) {
+      port = std::atoi(value);
+    } else if (FlagValue(argv[i], "--backends", &value)) {
+      backends_text = value;
+    } else if (FlagValue(argv[i], "--pool", &value)) {
+      options.connections_per_backend = std::atoi(value);
+    } else if (FlagValue(argv[i], "--connect-timeout", &value)) {
+      options.connect_timeout_s = std::atof(value);
+    } else if (FlagValue(argv[i], "--node-id", &value)) {
+      options.node_id = value;
+    } else if (std::strcmp(argv[i], "--verbose") == 0) {
+      options.verbose = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (backends_text.empty()) {
+    std::fprintf(stderr,
+                 "dflow_router: --backends=PORT[,PORT...] (or host:port "
+                 "items) is required\n");
+    return 2;
+  }
+  if (!ParseBackends(backends_text, &options.backends)) {
+    std::fprintf(stderr, "dflow_router: cannot parse --backends '%s'\n",
+                 backends_text.c_str());
+    return 2;
+  }
+  options.port = static_cast<uint16_t>(port);
+
+  // Block the shutdown signals before spawning server threads so every
+  // thread inherits the mask and sigwait below is the only consumer.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  net::Router router(options);
+  std::string error;
+  if (!router.Start(&error)) {
+    std::fprintf(stderr, "dflow_router: cannot start: %s\n", error.c_str());
+    return 1;
+  }
+  const net::ServerInfo info = router.BuildInfo();
+  std::printf(
+      "dflow_router listening on 127.0.0.1:%u (%d backends, %d total "
+      "shards, strategy=%s, pool=%d conns/backend)\n",
+      router.port(), router.num_backends(), info.num_shards,
+      info.strategy.c_str(), options.connections_per_backend);
+  for (const net::RouterBackendStats& backend : info.router.backends) {
+    std::printf("  backend %-21s node_id=%-12s shards=%d\n",
+                backend.address.c_str(), backend.node_id.c_str(),
+                backend.shards);
+  }
+  std::fflush(stdout);
+
+  int signal_number = 0;
+  sigwait(&mask, &signal_number);
+  std::printf("dflow_router: received signal %d, draining...\n",
+              signal_number);
+  std::fflush(stdout);
+  router.Stop();
+
+  const net::ServerInfo report = router.BuildInfo();
+  const runtime::IngressStats& front = report.ingress;
+  std::printf("routed               %lld submits (%lld results, %lld busy, "
+              "%lld shutdown, %lld unavailable)\n",
+              static_cast<long long>(front.requests_accepted),
+              static_cast<long long>(report.completed),
+              static_cast<long long>(front.requests_rejected_busy),
+              static_cast<long long>(front.requests_rejected_shutdown),
+              static_cast<long long>(report.rejected -
+                                     front.requests_rejected_busy -
+                                     front.requests_rejected_shutdown));
+  std::printf("front                %lld conns (%lld closed), %lld decode "
+              "errors, %lld protocol errors, %lld info\n",
+              static_cast<long long>(front.connections_opened),
+              static_cast<long long>(front.connections_closed),
+              static_cast<long long>(front.decode_errors),
+              static_cast<long long>(front.protocol_errors),
+              static_cast<long long>(front.info_requests));
+  std::printf("front bytes          %lld in, %lld out\n",
+              static_cast<long long>(front.bytes_in),
+              static_cast<long long>(front.bytes_out));
+  for (const net::RouterBackendStats& backend : report.router.backends) {
+    std::printf("backend %-21s forwarded=%lld answered=%lld "
+                "unavailable=%lld reconnects=%lld%s\n",
+                backend.address.c_str(),
+                static_cast<long long>(backend.forwarded),
+                static_cast<long long>(backend.answered),
+                static_cast<long long>(backend.unavailable),
+                static_cast<long long>(backend.reconnects),
+                backend.connected == 1 ? "" : " (down)");
+  }
+  return 0;
+}

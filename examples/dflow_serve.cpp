@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
   int nodes = 64, rows = 4;
   unsigned long long pattern_seed = 1;
   std::string strategy_text = "PSE100";
+  std::string node_id;
   core::BackendKind backend = core::BackendKind::kInfinite;
   bool verbose = false;
 
@@ -69,6 +70,10 @@ int main(int argc, char** argv) {
       pattern_seed = std::strtoull(value, nullptr, 10);
     } else if (FlagValue(argv[i], "--strategy", &value)) {
       strategy_text = value;
+    } else if (FlagValue(argv[i], "--node-id", &value)) {
+      // Identity reported in Info; a dflow_router records it per backend
+      // at handshake time. Defaults to "serve:<port>".
+      node_id = value;
     } else if (FlagValue(argv[i], "--backend", &value)) {
       if (std::strcmp(value, "bounded") == 0) {
         backend = core::BackendKind::kBoundedDb;
@@ -108,6 +113,7 @@ int main(int argc, char** argv) {
   net::IngressOptions ingress_options;
   ingress_options.port = static_cast<uint16_t>(port);
   ingress_options.verbose = verbose;
+  ingress_options.node_id = node_id;
 
   // Block the shutdown signals *before* spawning server threads so every
   // thread inherits the mask and sigwait below is the only consumer.

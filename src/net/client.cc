@@ -35,35 +35,10 @@ bool Client::SendGoodbye() {
   return SendFrame(frame);
 }
 
-std::optional<ServerMessage> Client::ReadMessage() {
+std::optional<Frame> Client::ReadFrame() {
   uint8_t chunk[16 * 1024];
   while (true) {
-    if (std::optional<Frame> frame = assembler_.Next()) {
-      ServerMessage message;
-      switch (static_cast<MsgType>(frame->type)) {
-        case MsgType::kSubmitResult:
-          message.type = MsgType::kSubmitResult;
-          if (!DecodeSubmitResult(frame->payload, &message.result)) break;
-          return message;
-        case MsgType::kError:
-          message.type = MsgType::kError;
-          if (!DecodeError(frame->payload, &message.error)) break;
-          return message;
-        case MsgType::kInfo:
-          message.type = MsgType::kInfo;
-          if (!DecodeInfo(frame->payload, &message.info)) break;
-          return message;
-        case MsgType::kGoodbyeAck:
-          message.type = MsgType::kGoodbyeAck;
-          return message;
-        default:
-          break;
-      }
-      // A server frame we cannot decode: the stream can no longer be
-      // trusted (responses would silently go missing).
-      last_error_ = WireError::kMalformedFrame;
-      return std::nullopt;
-    }
+    if (std::optional<Frame> frame = assembler_.Next()) return frame;
     if (assembler_.error() != WireError::kNone) {
       last_error_ = assembler_.error();
       return std::nullopt;
@@ -73,6 +48,35 @@ std::optional<ServerMessage> Client::ReadMessage() {
     bytes_received_ += n;
     assembler_.Feed(chunk, static_cast<size_t>(n));
   }
+}
+
+std::optional<ServerMessage> Client::ReadMessage() {
+  const std::optional<Frame> frame = ReadFrame();
+  if (!frame.has_value()) return std::nullopt;
+  ServerMessage message;
+  switch (static_cast<MsgType>(frame->type)) {
+    case MsgType::kSubmitResult:
+      message.type = MsgType::kSubmitResult;
+      if (!DecodeSubmitResult(frame->payload, &message.result)) break;
+      return message;
+    case MsgType::kError:
+      message.type = MsgType::kError;
+      if (!DecodeError(frame->payload, &message.error)) break;
+      return message;
+    case MsgType::kInfo:
+      message.type = MsgType::kInfo;
+      if (!DecodeInfo(frame->payload, &message.info)) break;
+      return message;
+    case MsgType::kGoodbyeAck:
+      message.type = MsgType::kGoodbyeAck;
+      return message;
+    default:
+      break;
+  }
+  // A server frame we cannot decode: the stream can no longer be trusted
+  // (responses would silently go missing).
+  last_error_ = WireError::kMalformedFrame;
+  return std::nullopt;
 }
 
 std::optional<ServerMessage> Client::Call(const SubmitRequest& request) {

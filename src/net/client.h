@@ -44,13 +44,31 @@ class Client {
   bool Connect(const std::string& host, uint16_t port, std::string* error);
   bool connected() const { return socket_.valid(); }
 
+  // Bounds one blocking read (see Socket::SetRecvTimeout); 0 restores
+  // "block forever". A timed-out read surfaces as nullopt.
+  void SetRecvTimeout(int timeout_ms) { socket_.SetRecvTimeout(timeout_ms); }
+
   // Fire-and-record senders; false on transport failure.
   bool SendSubmit(const SubmitRequest& request);
   bool SendInfoRequest();
   bool SendGoodbye();
 
-  // Blocks for the next server frame. kGoodbyeAck is surfaced as a message
-  // with that type (empty members).
+  // --- Raw-frame layer. The router's backend pool is built on these: it
+  // forwards frames wholesale (after patching the correlation id in the
+  // payload) without decoding message bodies, so a routing hop costs O(1)
+  // per frame regardless of snapshot or source-binding size.
+
+  // Sends one pre-encoded frame (or a run of concatenated frames) as-is;
+  // false on transport failure.
+  bool SendFrame(const std::vector<uint8_t>& frame);
+
+  // Blocks for the next complete frame, without interpreting its payload.
+  // nullopt means the connection is unusable (EOF, transport error, or
+  // broken framing — see last_error()).
+  std::optional<Frame> ReadFrame();
+
+  // Blocks for the next server frame, decoded. kGoodbyeAck is surfaced as
+  // a message with that type (empty members).
   std::optional<ServerMessage> ReadMessage();
 
   // Synchronous conveniences.
@@ -63,6 +81,12 @@ class Client {
   // never came.
   bool Goodbye();
 
+  // Unblocks a ReadFrame/ReadMessage parked in the kernel from another
+  // thread (shuts down both directions; the blocked read returns nullopt).
+  // The fd stays valid until Close()/destruction, so a concurrent reader
+  // never races a reused descriptor.
+  void Shutdown() { socket_.ShutdownBoth(); }
+
   void Close() { socket_.Close(); }
 
   // Protocol-level failure of the *stream* (framing), if any.
@@ -71,8 +95,6 @@ class Client {
   int64_t bytes_received() const { return bytes_received_; }
 
  private:
-  bool SendFrame(const std::vector<uint8_t>& frame);
-
   Socket socket_;
   FrameAssembler assembler_;
   WireError last_error_ = WireError::kNone;

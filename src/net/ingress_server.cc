@@ -217,8 +217,8 @@ bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
         // The payload was bad but framing held: report and keep serving.
         session->decode_errors.fetch_add(1, std::memory_order_relaxed);
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
-        SendError(session, 0, WireError::kMalformedFrame,
-                  "undecodable submit payload");
+        SendError(session, PeekRequestId(frame.payload),
+                  WireError::kMalformedFrame, "undecodable submit payload");
         return true;
       }
       HandleSubmit(session, std::move(request));
@@ -400,6 +400,9 @@ ServerInfo IngressServer::BuildInfo() const {
   info.rejected = report.stats.rejected;
   info.cache_hits = report.cache.hits;
   info.cache_misses = report.cache.misses;
+  info.node_id = options_.node_id.empty()
+                     ? "serve:" + std::to_string(listener_.port())
+                     : options_.node_id;
   info.ingress = ingress_stats();
   return info;
 }

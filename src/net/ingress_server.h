@@ -34,6 +34,10 @@ struct IngressOptions {
   int send_timeout_ms = 10000;
   // Per-connection open/close log lines on stderr.
   bool verbose = false;
+  // Identity this server reports in its Info responses (ServerInfo::
+  // node_id); a router records it per backend at handshake time. Empty
+  // means "serve:<bound port>".
+  std::string node_id;
 };
 
 // The network front door of the flow-serving runtime: a TCP listener whose

@@ -1,0 +1,697 @@
+#include "net/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "runtime/flow_server.h"
+
+namespace dflow::net {
+
+namespace {
+
+constexpr size_t kRecvChunkBytes = 64 * 1024;
+// Recv ceiling during the connect-time Info handshake only; steady-state
+// backend reads block forever (responses can legitimately be minutes away
+// behind a deep queue).
+constexpr int kHandshakeRecvTimeoutMs = 5000;
+
+// Fixed payload offsets the router peeks/patches without decoding:
+//   Submit:        request_id u64 | seed u64 | flags u32 | ...
+//   SubmitResult:  request_id u64 | ...
+//   Error:         request_id u64 | code u16 | ...
+constexpr size_t kSubmitPeekBytes = 20;
+
+std::string AddressText(const BackendAddress& address) {
+  return address.host + ":" + std::to_string(address.port);
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {}
+
+Router::~Router() { Stop(); }
+
+bool Router::Start(std::string* error) {
+  if (started_.exchange(true)) {
+    if (error != nullptr) *error = "Start() called twice";
+    return false;
+  }
+  if (options_.backends.empty()) {
+    if (error != nullptr) *error = "no backends configured";
+    return false;
+  }
+  const int pool = std::max(1, options_.connections_per_backend);
+  backends_.reserve(options_.backends.size());
+  for (const BackendAddress& address : options_.backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->address = address;
+    backends_.push_back(std::move(backend));
+  }
+  for (size_t b = 0; b < backends_.size(); ++b) {
+    Backend* backend = backends_[b].get();
+    for (int c = 0; c < pool; ++c) {
+      auto conn = std::make_unique<BackendConn>();
+      conn->backend_index = static_cast<int>(b);
+      conn->conn_index = c;
+      BackendConn* raw = conn.get();
+      backend->conns.push_back(std::move(conn));
+      raw->thread = std::thread([this, backend, raw] {
+        BackendLoop(backend, raw);
+      });
+    }
+  }
+  // Admit no client until the whole fleet answered its identity handshake:
+  // a router that starts half-connected would deterministically fail every
+  // seed hashing to the missing node.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.connect_timeout_s));
+  while (true) {
+    const Backend* missing = nullptr;
+    for (const std::unique_ptr<Backend>& backend : backends_) {
+      bool any = false;
+      for (const std::unique_ptr<BackendConn>& conn : backend->conns) {
+        any = any || conn->ready.load(std::memory_order_acquire);
+      }
+      if (!any) {
+        missing = backend.get();
+        break;
+      }
+    }
+    if (missing == nullptr) break;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      if (error != nullptr) {
+        *error = "backend " + AddressText(missing->address) +
+                 " unreachable within " +
+                 std::to_string(options_.connect_timeout_s) + "s";
+      }
+      Stop();
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // All backends must serve the same strategy: routing by seed assumes any
+  // node would produce the same bytes for a request, which only holds for
+  // a homogeneous fleet. (Re-handshakes enforce the same invariant later.)
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    std::string backend_strategy;
+    {
+      std::lock_guard<std::mutex> lock(backend->info_mu);
+      backend_strategy = backend->strategy;
+    }
+    bool mismatch = false;
+    {
+      std::lock_guard<std::mutex> lock(strategy_mu_);
+      if (strategy_.empty()) {
+        strategy_ = backend_strategy;
+      } else if (backend_strategy != strategy_) {
+        if (error != nullptr) {
+          *error = "backend " + AddressText(backend->address) + " runs " +
+                   backend_strategy + " but the fleet runs " + strategy_;
+        }
+        mismatch = true;
+      }
+    }
+    if (mismatch) {
+      Stop();
+      return false;
+    }
+  }
+  if (!listener_.Listen(options_.port, error)) {
+    Stop();
+    return false;
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void Router::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  stopping_.store(true, std::memory_order_seq_cst);
+  // 1. Stop accepting; retire the acceptor.
+  listener_.Shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.Close();
+  // 2. Half-close every session's read side. Readers finish what they
+  // buffered (which may still forward submits), wait for their in-flight
+  // tickets to be answered, and flush their writers — so this join is the
+  // "every admitted request answered" barrier.
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const std::shared_ptr<Session>& session : sessions_) {
+      session->socket.ShutdownRead();
+    }
+  }
+  ReapSessions(/*all=*/true);
+  // 3. Only now retire the pool: nothing is owed to any client, so the
+  // backends get a best-effort Goodbye and the conn threads exit instead
+  // of reconnecting (stopping_ is visible under each send_mu).
+  backoff_cv_.notify_all();
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    for (const std::unique_ptr<BackendConn>& conn : backend->conns) {
+      std::lock_guard<std::mutex> lock(conn->send_mu);
+      if (conn->client != nullptr) {
+        conn->client->SendGoodbye();
+        conn->client->Shutdown();
+      }
+    }
+  }
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    for (const std::unique_ptr<BackendConn>& conn : backend->conns) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+  }
+}
+
+runtime::IngressStats Router::front_stats() const {
+  runtime::IngressStats stats;
+  stats.connections_opened = connections_opened_.load();
+  stats.connections_closed = connections_closed_.load();
+  stats.requests_accepted = requests_routed_.load();
+  stats.requests_rejected_busy = relayed_busy_.load();
+  stats.requests_rejected_shutdown = relayed_shutdown_.load();
+  stats.decode_errors = decode_errors_.load();
+  stats.protocol_errors = protocol_errors_.load();
+  stats.info_requests = info_requests_.load();
+  stats.bytes_in = bytes_in_.load();
+  stats.bytes_out = bytes_out_.load();
+  return stats;
+}
+
+RouterStats Router::router_stats() const {
+  RouterStats stats;
+  stats.is_router = 1;
+  stats.backends.reserve(backends_.size());
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    RouterBackendStats entry;
+    entry.address = AddressText(backend->address);
+    {
+      std::lock_guard<std::mutex> lock(backend->info_mu);
+      entry.node_id = backend->node_id;
+      entry.shards = backend->shards;
+    }
+    for (const std::unique_ptr<BackendConn>& conn : backend->conns) {
+      if (conn->ready.load(std::memory_order_acquire)) {
+        entry.connected = 1;
+        break;
+      }
+    }
+    entry.forwarded = backend->forwarded.load();
+    entry.answered = backend->answered.load();
+    entry.unavailable = backend->unavailable.load();
+    entry.reconnects = backend->reconnects.load();
+    stats.backends.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+ServerInfo Router::BuildInfo() const {
+  ServerInfo info;
+  info.router = router_stats();
+  int64_t total_shards = 0;
+  for (const RouterBackendStats& backend : info.router.backends) {
+    total_shards += backend.shards;
+  }
+  info.num_shards = static_cast<int32_t>(total_shards);
+  {
+    std::lock_guard<std::mutex> lock(strategy_mu_);
+    info.strategy = strategy_;
+  }
+  if (!backends_.empty()) {
+    std::lock_guard<std::mutex> lock(backends_.front()->info_mu);
+    info.backend = backends_.front()->backend_kind;
+    info.queue_capacity_per_shard = backends_.front()->queue_capacity;
+  }
+  info.completed = relayed_results_.load();
+  info.rejected = relayed_busy_.load() + relayed_shutdown_.load() +
+                  unavailable_total_.load();
+  info.node_id = options_.node_id.empty()
+                     ? "router:" + std::to_string(listener_.port())
+                     : options_.node_id;
+  info.ingress = front_stats();
+  return info;
+}
+
+// --- Front door: acceptor + sessions (the same reader/writer/outbox shape
+// as the ingress server's sessions).
+
+void Router::AcceptLoop() {
+  while (true) {
+    Socket socket = listener_.Accept();
+    if (!socket.valid()) break;  // Shutdown() poisoned the listener
+    if (stopping_.load(std::memory_order_acquire)) break;
+    socket.SetSendTimeout(options_.send_timeout_ms);
+    auto session = std::make_shared<Session>();
+    session->socket = std::move(socket);
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      session->id = next_session_id_++;
+      sessions_.push_back(session);
+    }
+    connections_opened_.fetch_add(1, std::memory_order_relaxed);
+    if (options_.verbose) {
+      std::fprintf(stderr, "[router] connection %llu open\n",
+                   static_cast<unsigned long long>(session->id));
+    }
+    session->thread = std::thread([this, session] { SessionLoop(session); });
+    ReapSessions(/*all=*/false);
+  }
+}
+
+void Router::ReapSessions(bool all) {
+  std::vector<std::shared_ptr<Session>> to_join;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    auto keep = sessions_.begin();
+    for (auto& session : sessions_) {
+      if (all || session->finished.load(std::memory_order_acquire)) {
+        to_join.push_back(std::move(session));
+      } else {
+        *keep++ = std::move(session);
+      }
+    }
+    sessions_.erase(keep, sessions_.end());
+  }
+  for (const std::shared_ptr<Session>& session : to_join) {
+    if (session->thread.joinable()) session->thread.join();
+  }
+}
+
+void Router::SessionLoop(const std::shared_ptr<Session>& session) {
+  std::thread writer([this, session] { WriterLoop(session); });
+  FrameAssembler assembler(options_.max_payload_bytes);
+  std::vector<uint8_t> chunk(kRecvChunkBytes);
+  bool open = true;
+  while (open) {
+    const ssize_t n = session->socket.Recv(chunk.data(), chunk.size());
+    if (n <= 0) break;  // peer closed, error, or Stop's ShutdownRead
+    session->bytes_in.fetch_add(n, std::memory_order_relaxed);
+    bytes_in_.fetch_add(n, std::memory_order_relaxed);
+    assembler.Feed(chunk.data(), static_cast<size_t>(n));
+    while (std::optional<Frame> frame = assembler.Next()) {
+      if (!HandleFrame(session, std::move(*frame))) {
+        open = false;
+        break;
+      }
+    }
+    if (open && assembler.error() != WireError::kNone) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(session, 0, assembler.error(), "unrecoverable frame stream");
+      break;
+    }
+  }
+  // Flush: every ticket this session forwarded gets its answer before the
+  // writer retires.
+  {
+    std::unique_lock<std::mutex> lock(session->inflight_mu);
+    session->inflight_cv.wait(lock, [&] { return session->inflight == 0; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(session->out_mu);
+    session->out_closed = true;
+  }
+  session->out_cv.notify_all();
+  writer.join();
+  // shutdown(), not close(): Stop() may be touching this socket
+  // concurrently; the fd stays valid until the last shared_ptr drops.
+  session->socket.ShutdownBoth();
+  connections_closed_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.verbose) {
+    std::fprintf(stderr,
+                 "[router] connection %llu closed: accepted=%lld "
+                 "bytes_in=%lld bytes_out=%lld\n",
+                 static_cast<unsigned long long>(session->id),
+                 static_cast<long long>(session->accepted.load()),
+                 static_cast<long long>(session->bytes_in.load()),
+                 static_cast<long long>(session->bytes_out.load()));
+  }
+  session->finished.store(true, std::memory_order_release);
+}
+
+void Router::WriterLoop(const std::shared_ptr<Session>& session) {
+  while (true) {
+    std::vector<uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(session->out_mu);
+      session->out_cv.wait(lock, [&] {
+        return !session->outbox.empty() || session->out_closed;
+      });
+      if (session->outbox.empty()) return;  // closed and drained
+      frame = std::move(session->outbox.front());
+      session->outbox.pop_front();
+      if (session->dead) continue;  // discard; peer is unreachable
+    }
+    if (session->socket.SendAll(frame.data(), frame.size())) {
+      session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
+                                   std::memory_order_relaxed);
+      bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
+                           std::memory_order_relaxed);
+    } else {
+      std::lock_guard<std::mutex> lock(session->out_mu);
+      session->dead = true;
+    }
+  }
+}
+
+bool Router::HandleFrame(const std::shared_ptr<Session>& session,
+                         Frame frame) {
+  switch (static_cast<MsgType>(frame.type)) {
+    case MsgType::kSubmit:
+      HandleSubmit(session, std::move(frame));
+      return true;
+    case MsgType::kInfoRequest: {
+      info_requests_.fetch_add(1, std::memory_order_relaxed);
+      std::vector<uint8_t> out;
+      EncodeInfo(BuildInfo(), &out);
+      Enqueue(session, std::move(out));
+      return true;
+    }
+    case MsgType::kGoodbye: {
+      // Flush-then-ack, exactly like the ingress: every submit this
+      // connection forwarded is answered before the ack.
+      {
+        std::unique_lock<std::mutex> lock(session->inflight_mu);
+        session->inflight_cv.wait(lock,
+                                  [&] { return session->inflight == 0; });
+      }
+      std::vector<uint8_t> out;
+      EncodeGoodbyeAck(&out);
+      Enqueue(session, std::move(out));
+      return false;  // reader retires; teardown flushes the ack
+    }
+    default:
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(session, 0, WireError::kUnsupportedType,
+                "unknown frame type " + std::to_string(frame.type));
+      return true;
+  }
+}
+
+void Router::HandleSubmit(const std::shared_ptr<Session>& session,
+                          Frame frame) {
+  // The routing key and correlation id sit at fixed offsets; anything
+  // shorter cannot be a submit. Deeper validation is the backend's job —
+  // its typed MALFORMED_FRAME answer relays back like any other response.
+  // Like the ingress, echo the correlation id whenever the payload is
+  // long enough to carry one, so the error stays attributable.
+  if (frame.payload.size() < kSubmitPeekBytes) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(session, PeekRequestId(frame.payload),
+              WireError::kMalformedFrame, "short submit payload");
+    return;
+  }
+  const uint64_t request_id = ReadLe64(frame.payload.data());
+  const uint64_t seed = ReadLe64(frame.payload.data() + 8);
+  // The same hash the FlowServer uses for shard placement, over the fleet:
+  // node choice is a pure function of the seed, so any node count serves
+  // byte-identical results.
+  const int backend_index =
+      runtime::FlowServer::ShardFor(seed, num_backends());
+  Backend* backend = backends_[static_cast<size_t>(backend_index)].get();
+  const uint64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+  WriteLe64(ticket, frame.payload.data());
+  std::vector<uint8_t> forward;
+  forward.reserve(kFrameHeaderBytes + frame.payload.size());
+  EncodeRawFrame(frame.type, frame.payload, &forward);
+  {
+    std::lock_guard<std::mutex> lock(session->inflight_mu);
+    ++session->inflight;
+  }
+  switch (Forward(backend, session, request_id, ticket, forward)) {
+    case ForwardOutcome::kForwarded:
+      session->accepted.fetch_add(1, std::memory_order_relaxed);
+      requests_routed_.fetch_add(1, std::memory_order_relaxed);
+      backend->forwarded.fetch_add(1, std::memory_order_relaxed);
+      return;
+    case ForwardOutcome::kAnsweredElsewhere:
+      return;  // a death sweep answered (and decremented) already
+    case ForwardOutcome::kUnavailable:
+      backend->unavailable.fetch_add(1, std::memory_order_relaxed);
+      unavailable_total_.fetch_add(1, std::memory_order_relaxed);
+      SendError(session, request_id, WireError::kBackendUnavailable,
+                "backend " + AddressText(backend->address) +
+                    " disconnected");
+      FinishOne(session);
+      return;
+  }
+}
+
+Router::ForwardOutcome Router::Forward(
+    Backend* backend, const std::shared_ptr<Session>& session,
+    uint64_t request_id, uint64_t ticket,
+    const std::vector<uint8_t>& frame) {
+  const int pool = static_cast<int>(backend->conns.size());
+  const uint32_t start = backend->rr.fetch_add(1, std::memory_order_relaxed);
+  for (int k = 0; k < pool; ++k) {
+    BackendConn* conn =
+        backend->conns[(start + static_cast<uint32_t>(k)) %
+                       static_cast<uint32_t>(pool)]
+            .get();
+    if (!conn->ready.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(conn->send_mu);
+    // Recheck under the lock: a conn that died since the relaxed peek has
+    // ready=false here (the conn thread clears it before taking send_mu).
+    if (!conn->ready.load(std::memory_order_acquire) ||
+        conn->client == nullptr) {
+      continue;
+    }
+    // Register before sending — the response can arrive on the conn
+    // thread the instant the bytes leave. Whoever erases the entry
+    // (response relay, death sweep, or the unwind below) owns answering.
+    {
+      std::lock_guard<std::mutex> pending_lock(pending_mu_);
+      pending_.emplace(ticket, Pending{session, request_id,
+                                       conn->backend_index,
+                                       conn->conn_index});
+    }
+    // May block on a full TCP window — that is the end-to-end
+    // backpressure path (downstream queue full -> downstream reader
+    // parked -> our send stalls -> our session reader stalls -> the
+    // client's TCP stalls).
+    if (conn->client->SendFrame(frame)) return ForwardOutcome::kForwarded;
+    // Not fully delivered, so no response can exist: reclaim the ticket
+    // (unless the death sweep already answered it) and try the next conn.
+    bool reclaimed;
+    {
+      std::lock_guard<std::mutex> pending_lock(pending_mu_);
+      reclaimed = pending_.erase(ticket) > 0;
+    }
+    if (!reclaimed) return ForwardOutcome::kAnsweredElsewhere;
+  }
+  return ForwardOutcome::kUnavailable;
+}
+
+void Router::Enqueue(const std::shared_ptr<Session>& session,
+                     std::vector<uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(session->out_mu);
+    if (session->out_closed) return;  // session tearing down; drop
+    session->outbox.push_back(std::move(frame));
+  }
+  session->out_cv.notify_one();
+}
+
+void Router::SendError(const std::shared_ptr<Session>& session,
+                       uint64_t request_id, WireError code,
+                       const std::string& message) {
+  std::vector<uint8_t> out;
+  EncodeError(ErrorReply{request_id, code, message}, &out);
+  Enqueue(session, std::move(out));
+}
+
+void Router::FinishOne(const std::shared_ptr<Session>& session) {
+  {
+    std::lock_guard<std::mutex> lock(session->inflight_mu);
+    --session->inflight;
+  }
+  session->inflight_cv.notify_all();
+}
+
+// --- Backend pool: one thread per pooled connection owns its whole
+// connect / handshake / read / reconnect lifecycle.
+
+void Router::BackendLoop(Backend* backend, BackendConn* conn) {
+  int backoff_ms = options_.backoff_initial_ms;
+  bool connected_before = false;
+  bool first_attempt = true;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!first_attempt) {
+      // Exponential backoff between attempts, abandoned instantly on Stop.
+      std::unique_lock<std::mutex> lock(backoff_mu_);
+      backoff_cv_.wait_for(lock, std::chrono::milliseconds(backoff_ms), [&] {
+        return stopping_.load(std::memory_order_acquire);
+      });
+      if (stopping_.load(std::memory_order_acquire)) break;
+    }
+    first_attempt = false;
+    auto client = std::make_unique<Client>();
+    std::string error;
+    if (!client->Connect(backend->address.host, backend->address.port,
+                         &error) ||
+        !Handshake(backend, client.get())) {
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->send_mu);
+      // Stop() shuts down installed clients under this mutex; a client
+      // installed after that pass would never be unblocked, so check here.
+      if (stopping_.load(std::memory_order_acquire)) break;
+      conn->client = std::move(client);
+    }
+    conn->ready.store(true, std::memory_order_release);
+    if (connected_before) {
+      backend->reconnects.fetch_add(1, std::memory_order_relaxed);
+    }
+    connected_before = true;
+    backoff_ms = options_.backoff_initial_ms;
+    if (options_.verbose) {
+      std::fprintf(stderr, "[router] backend %s conn %d up\n",
+                   AddressText(backend->address).c_str(), conn->conn_index);
+    }
+    while (true) {
+      std::optional<Frame> frame = conn->client->ReadFrame();
+      if (!frame.has_value()) break;  // EOF, error, or Stop's Shutdown
+      HandleBackendFrame(backend, std::move(*frame));
+    }
+    // Disconnected. Clear ready first, then take send_mu: any sender
+    // mid-SendAll finishes (failing), and no new ticket can be registered
+    // on this conn until the next handshake completes — so the sweep
+    // below is complete.
+    conn->ready.store(false, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(conn->send_mu);
+      conn->client->Close();
+    }
+    FailPendingOn(conn->backend_index, conn->conn_index);
+    if (options_.verbose) {
+      std::fprintf(stderr, "[router] backend %s conn %d down\n",
+                   AddressText(backend->address).c_str(), conn->conn_index);
+    }
+  }
+}
+
+bool Router::Handshake(Backend* backend, Client* client) {
+  client->SetRecvTimeout(kHandshakeRecvTimeoutMs);
+  if (!client->SendInfoRequest()) return false;
+  ServerInfo info;
+  bool got = false;
+  // Tolerate a few stray frames, but a fresh connection should answer the
+  // info request first.
+  for (int i = 0; i < 8 && !got; ++i) {
+    const std::optional<Frame> frame = client->ReadFrame();
+    if (!frame.has_value()) return false;
+    if (frame->type == static_cast<uint8_t>(MsgType::kInfo)) {
+      if (!DecodeInfo(frame->payload, &info)) return false;
+      got = true;
+    }
+  }
+  if (!got) return false;
+  // Re-handshakes must keep the fleet homogeneous: a backend restarted
+  // with a different strategy is refused (the conn keeps backing off, its
+  // seeds keep failing fast) — re-attaching it would silently serve
+  // different bytes for those seeds. strategy_ is empty only during the
+  // initial Start() handshakes, which Start() itself cross-validates.
+  {
+    std::lock_guard<std::mutex> lock(strategy_mu_);
+    if (!strategy_.empty() && info.strategy != strategy_) {
+      if (options_.verbose) {
+        std::fprintf(stderr,
+                     "[router] backend %s refused: runs %s, fleet runs %s\n",
+                     AddressText(backend->address).c_str(),
+                     info.strategy.c_str(), strategy_.c_str());
+      }
+      return false;
+    }
+  }
+  client->SetRecvTimeout(0);
+  std::lock_guard<std::mutex> lock(backend->info_mu);
+  backend->node_id = info.node_id;
+  backend->strategy = info.strategy;
+  backend->shards = info.num_shards;
+  backend->backend_kind = info.backend;
+  backend->queue_capacity = info.queue_capacity_per_shard;
+  return true;
+}
+
+void Router::HandleBackendFrame(Backend* backend, Frame frame) {
+  const MsgType type = static_cast<MsgType>(frame.type);
+  if (type == MsgType::kInfo || type == MsgType::kGoodbyeAck) return;
+  if (type != MsgType::kSubmitResult && type != MsgType::kError) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (frame.payload.size() < 8) {
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t ticket = ReadLe64(frame.payload.data());
+  if (type == MsgType::kError && ticket == 0) {
+    // A stream-level complaint not attributable to one request. The
+    // router only relays well-formed frames, so this is a backend-side
+    // anomaly; it will be followed by the connection dropping.
+    protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Pending pending;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    const auto it = pending_.find(ticket);
+    if (it == pending_.end()) return;  // swept after a drop; already answered
+    pending = std::move(it->second);
+    pending_.erase(it);
+  }
+  if (type == MsgType::kSubmitResult) {
+    relayed_results_.fetch_add(1, std::memory_order_relaxed);
+  } else if (frame.payload.size() >= 10) {
+    const uint16_t code = ReadLe16(frame.payload.data() + 8);
+    if (code == static_cast<uint16_t>(WireError::kRejectedBusy)) {
+      relayed_busy_.fetch_add(1, std::memory_order_relaxed);
+    } else if (code == static_cast<uint16_t>(WireError::kShuttingDown)) {
+      relayed_shutdown_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  backend->answered.fetch_add(1, std::memory_order_relaxed);
+  // Restore the client's correlation id in place and relay the frame
+  // byte-for-byte otherwise (one re-framing copy, no decode).
+  WriteLe64(pending.request_id, frame.payload.data());
+  std::vector<uint8_t> out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size());
+  EncodeRawFrame(frame.type, frame.payload, &out);
+  Enqueue(pending.session, std::move(out));
+  FinishOne(pending.session);
+}
+
+void Router::FailPendingOn(int backend_index, int conn_index) {
+  std::vector<Pending> victims;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (it->second.backend_index == backend_index &&
+          it->second.conn_index == conn_index) {
+        victims.push_back(std::move(it->second));
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (victims.empty()) return;
+  Backend* backend = backends_[static_cast<size_t>(backend_index)].get();
+  const std::string message =
+      "backend " + AddressText(backend->address) + " connection lost";
+  for (const Pending& pending : victims) {
+    backend->unavailable.fetch_add(1, std::memory_order_relaxed);
+    unavailable_total_.fetch_add(1, std::memory_order_relaxed);
+    SendError(pending.session, pending.request_id,
+              WireError::kBackendUnavailable, message);
+    FinishOne(pending.session);
+  }
+}
+
+}  // namespace dflow::net

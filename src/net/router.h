@@ -1,0 +1,261 @@
+#ifndef DFLOW_NET_ROUTER_H_
+#define DFLOW_NET_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "net/socket.h"
+#include "net/wire_protocol.h"
+#include "runtime/server_stats.h"
+
+namespace dflow::net {
+
+// One downstream dflow_serve instance the router fans out to.
+struct BackendAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+struct RouterOptions {
+  // Front-door TCP port; 0 asks the kernel for an ephemeral port (read the
+  // result from port() after Start). Loopback-only, like the ingress.
+  uint16_t port = 0;
+  // The fleet. Routing is FlowServer::ShardFor(seed, backends.size()), so
+  // the backend a request lands on — and therefore every result byte — is
+  // a pure function of the submitted request set, for any fleet size.
+  std::vector<BackendAddress> backends;
+  // Wire connections kept to each backend. 1 gives strict fan-in (all
+  // sessions share one stream per backend, so one full downstream queue
+  // stalls everything routed there, exactly like in-process Submit); more
+  // connections let unrelated sessions bypass a stalled stream.
+  int connections_per_backend = 1;
+  // Per-frame payload ceiling on the front door.
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  // Upper bound on one blocking send to a *client* (a client that stops
+  // reading cannot wedge a writer). Backend sends are deliberately
+  // unbounded: a stalled backend send IS the backpressure path.
+  int send_timeout_ms = 10000;
+  // Start() fails unless every backend completed its Info handshake within
+  // this window (connection attempts retry with backoff inside it).
+  double connect_timeout_s = 10.0;
+  // Reconnect backoff after a backend drop: initial delay, doubling per
+  // failed attempt up to the cap.
+  int backoff_initial_ms = 50;
+  int backoff_max_ms = 2000;
+  bool verbose = false;
+  // Identity reported in Info responses; empty means "router:<port>".
+  std::string node_id;
+};
+
+// The multi-node routing tier: a standalone ingress process that speaks
+// the wire protocol to clients on the front and fans every submit out to
+// N downstream dflow_serve instances over pooled net::Client connections.
+//
+// Routing is the same seed hash the FlowServer uses internally
+// (ShardFor(seed, num_backends)), so placement is stateless and results
+// stay byte-identical to a direct single-server run for any fleet size:
+// each instance still executes against a quiescent deterministic harness,
+// wherever it lands.
+//
+// Forwarding is O(1) per frame: the router never decodes message bodies.
+// A submit's routing key (seed) and correlation id sit at fixed offsets in
+// the payload, so the router peeks them, rewrites the correlation id to a
+// router-issued ticket, and relays the frame wholesale; the response path
+// patches the client's original id back in. Ticket state lives in one map
+// (ticket -> session + original id + backend connection), and whoever
+// erases an entry — response relay, backend-death sweep, or a failed
+// forward unwinding — owns answering it, so every admitted request is
+// answered exactly once.
+//
+// Backpressure is end to end: a blocking submit that lands on a full
+// downstream shard queue parks the *backend's* session reader, TCP pushes
+// the stall back to the router's backend send, which parks the *router's*
+// session reader holding that frame, and TCP pushes the stall on to the
+// client. No queue in the chain is unbounded.
+//
+// Failure semantics: when a backend connection drops, every in-flight
+// ticket on it is answered with a typed BACKEND_UNAVAILABLE error, new
+// submits hashing to that backend fail fast with the same code, and a
+// per-connection thread reconnects with exponential backoff (re-running
+// the Info identity handshake); seeds hashing to live backends are
+// unaffected. The router never re-routes a seed to a different backend —
+// that would silently break the determinism contract.
+//
+// Shutdown (Stop, also run by the destructor) answers every admitted
+// request before Goodbye: stop accepting, half-close session readers, let
+// each session drain its in-flight tickets and flush responses, and only
+// then send Goodbye to the backends and retire the pool.
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // Connects the backend pool (retrying within connect_timeout_s), runs
+  // the identity handshake against every backend, verifies they all serve
+  // the same strategy, then binds the front listener and starts accepting.
+  // Returns false and fills *error on failure. Call at most once.
+  bool Start(std::string* error);
+
+  // Graceful shutdown as described above. Idempotent.
+  void Stop();
+
+  // The bound front port (meaningful after a successful Start).
+  uint16_t port() const { return listener_.port(); }
+
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+
+  // Live counters: the front door in IngressStats shape, and the
+  // per-backend RouterStats — the same objects a client reads via Info.
+  runtime::IngressStats front_stats() const;
+  RouterStats router_stats() const;
+  ServerInfo BuildInfo() const;
+
+ private:
+  // A client connection on the front door (same shape as the ingress
+  // server's sessions: reader thread + writer thread + outbox).
+  struct Session {
+    uint64_t id = 0;
+    Socket socket;
+
+    std::mutex out_mu;
+    std::condition_variable out_cv;
+    std::deque<std::vector<uint8_t>> outbox;
+    bool out_closed = false;
+    bool dead = false;  // a send failed; drain without sending
+
+    std::mutex inflight_mu;
+    std::condition_variable inflight_cv;
+    int64_t inflight = 0;
+
+    std::atomic<int64_t> accepted{0};
+    std::atomic<int64_t> bytes_in{0};
+    std::atomic<int64_t> bytes_out{0};
+
+    std::thread thread;  // reader; joins the writer before exiting
+    std::atomic<bool> finished{false};
+  };
+
+  // One pooled wire connection to a backend. The conn thread owns the
+  // connect/handshake/read/reconnect lifecycle and is the only writer of
+  // `client`; senders use it under send_mu while `ready` is true.
+  struct BackendConn {
+    int backend_index = 0;
+    int conn_index = 0;
+    std::mutex send_mu;              // serializes sends; held to swap client
+    std::unique_ptr<Client> client;  // swapped only by the conn thread
+    std::atomic<bool> ready{false};  // handshake done, sends allowed
+    std::thread thread;
+  };
+
+  struct Backend {
+    BackendAddress address;
+    std::vector<std::unique_ptr<BackendConn>> conns;
+    std::atomic<uint32_t> rr{0};  // round-robin cursor over the pool
+
+    // Identity from the latest Info handshake, guarded by info_mu.
+    mutable std::mutex info_mu;
+    std::string node_id;
+    std::string strategy;
+    int32_t shards = 0;
+    uint8_t backend_kind = 0;
+    uint64_t queue_capacity = 0;
+
+    std::atomic<int64_t> forwarded{0};
+    std::atomic<int64_t> answered{0};
+    std::atomic<int64_t> unavailable{0};
+    std::atomic<int64_t> reconnects{0};
+  };
+
+  struct Pending {
+    std::shared_ptr<Session> session;
+    uint64_t request_id = 0;  // client-chosen id, restored on the way back
+    int backend_index = 0;
+    int conn_index = 0;  // which pool connection carried it (death sweep)
+  };
+
+  // How one forward attempt ended (see HandleSubmit).
+  enum class ForwardOutcome { kForwarded, kUnavailable, kAnsweredElsewhere };
+
+  void AcceptLoop();
+  void SessionLoop(const std::shared_ptr<Session>& session);
+  void WriterLoop(const std::shared_ptr<Session>& session);
+  bool HandleFrame(const std::shared_ptr<Session>& session, Frame frame);
+  void HandleSubmit(const std::shared_ptr<Session>& session, Frame frame);
+  ForwardOutcome Forward(Backend* backend,
+                         const std::shared_ptr<Session>& session,
+                         uint64_t request_id, uint64_t ticket,
+                         const std::vector<uint8_t>& frame);
+  void ReapSessions(bool all);
+  static void Enqueue(const std::shared_ptr<Session>& session,
+                      std::vector<uint8_t> frame);
+  void SendError(const std::shared_ptr<Session>& session, uint64_t request_id,
+                 WireError code, const std::string& message);
+  static void FinishOne(const std::shared_ptr<Session>& session);
+
+  // Backend-pool machinery, all on the per-connection thread.
+  void BackendLoop(Backend* backend, BackendConn* conn);
+  bool Handshake(Backend* backend, Client* client);
+  void HandleBackendFrame(Backend* backend, Frame frame);
+  // Answers (BACKEND_UNAVAILABLE) and erases every pending ticket carried
+  // by the given backend connection.
+  void FailPendingOn(int backend_index, int conn_index);
+
+  const RouterOptions options_;
+  ListenSocket listener_;
+  std::thread acceptor_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mu_;  // serializes Stop()
+  bool stopped_ = false;
+
+  std::vector<std::unique_ptr<Backend>> backends_;
+  // The fleet-wide strategy: set once by Start() from the initial
+  // handshakes, then enforced by every re-handshake (a restarted backend
+  // serving a different strategy is refused — re-attaching it would
+  // silently break byte-identity). Guarded by strategy_mu_ because conn
+  // threads revalidate against it while Start() may still be writing it.
+  mutable std::mutex strategy_mu_;
+  std::string strategy_;
+
+  // Wakes conn threads out of their backoff sleep on Stop.
+  std::mutex backoff_mu_;
+  std::condition_variable backoff_cv_;
+
+  std::mutex sessions_mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  uint64_t next_session_id_ = 1;
+
+  std::mutex pending_mu_;
+  std::unordered_map<uint64_t, Pending> pending_;
+  std::atomic<uint64_t> next_ticket_{1};
+
+  // Front-door aggregates (IngressStats shape; `accepted` means forwarded
+  // to a backend — the router's notion of admission).
+  std::atomic<int64_t> connections_opened_{0};
+  std::atomic<int64_t> connections_closed_{0};
+  std::atomic<int64_t> requests_routed_{0};
+  std::atomic<int64_t> relayed_results_{0};
+  std::atomic<int64_t> relayed_busy_{0};
+  std::atomic<int64_t> relayed_shutdown_{0};
+  std::atomic<int64_t> unavailable_total_{0};
+  std::atomic<int64_t> decode_errors_{0};
+  std::atomic<int64_t> protocol_errors_{0};
+  std::atomic<int64_t> info_requests_{0};
+  std::atomic<int64_t> bytes_in_{0};
+  std::atomic<int64_t> bytes_out_{0};
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_ROUTER_H_

@@ -75,6 +75,14 @@ void Socket::SetSendTimeout(int timeout_ms) {
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+void Socket::SetRecvTimeout(int timeout_ms) {
+  if (fd_ < 0 || timeout_ms < 0) return;
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 bool Socket::SendAll(const void* data, size_t size) {
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   size_t sent = 0;

@@ -39,6 +39,12 @@ class Socket {
   // returns false. 0 restores "block forever".
   void SetSendTimeout(int timeout_ms);
 
+  // Caps how long one Recv may block (SO_RCVTIMEO); a timed-out Recv
+  // returns <0. 0 restores "block forever". The router bounds its backend
+  // Info handshake with this, so a wedged backend cannot pin a connection
+  // thread forever.
+  void SetRecvTimeout(int timeout_ms);
+
   // Sends the whole buffer, retrying short writes and EINTR. Returns false
   // once the peer is gone (EPIPE/ECONNRESET/...) or a send timed out.
   bool SendAll(const void* data, size_t size);

@@ -283,6 +283,7 @@ const char* ToString(WireError error) {
     case WireError::kBadStrategy: return "BAD_STRATEGY";
     case WireError::kShuttingDown: return "SHUTTING_DOWN";
     case WireError::kInternal: return "INTERNAL";
+    case WireError::kBackendUnavailable: return "BACKEND_UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -398,7 +399,8 @@ bool DecodeError(const std::vector<uint8_t>& payload, ErrorReply* out) {
       !reader.GetString(&out->message)) {
     return false;
   }
-  if (code == 0 || code > static_cast<uint16_t>(WireError::kInternal)) {
+  if (code == 0 ||
+      code > static_cast<uint16_t>(WireError::kBackendUnavailable)) {
     return false;
   }
   out->code = static_cast<WireError>(code);
@@ -419,7 +421,20 @@ void EncodeInfo(const ServerInfo& msg, std::vector<uint8_t>* out) {
   PutI64(msg.rejected, out);
   PutI64(msg.cache_hits, out);
   PutI64(msg.cache_misses, out);
+  PutString(msg.node_id, out);
   PutIngressStats(msg.ingress, out);
+  PutU8(msg.router.is_router, out);
+  PutU32(static_cast<uint32_t>(msg.router.backends.size()), out);
+  for (const RouterBackendStats& backend : msg.router.backends) {
+    PutString(backend.address, out);
+    PutString(backend.node_id, out);
+    PutU8(backend.connected, out);
+    PutU32(static_cast<uint32_t>(backend.shards), out);
+    PutI64(backend.forwarded, out);
+    PutI64(backend.answered, out);
+    PutI64(backend.unavailable, out);
+    PutI64(backend.reconnects, out);
+  }
   SealFrame(frame, out);
 }
 
@@ -432,11 +447,69 @@ bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out) {
       !reader.GetI64(&out->completed) || !reader.GetI64(&out->rejected) ||
       !reader.GetI64(&out->cache_hits) ||
       !reader.GetI64(&out->cache_misses) ||
+      !reader.GetString(&out->node_id) ||
       !GetIngressStats(&reader, &out->ingress)) {
     return false;
   }
   out->num_shards = static_cast<int32_t>(shards);
+  uint8_t is_router;
+  uint32_t num_backends;
+  if (!reader.GetU8(&is_router) || is_router > 1 ||
+      !reader.GetU32(&num_backends)) {
+    return false;
+  }
+  out->router.is_router = is_router;
+  // Each backend entry is at least 45 payload bytes (two empty strings:
+  // 2×4 length headers + 1 connected + 4 shards + 4×8 counters), so the
+  // payload length bounds a hostile count before the reserve.
+  if (num_backends > payload.size() / 45) return false;
+  out->router.backends.clear();
+  out->router.backends.reserve(num_backends);
+  for (uint32_t i = 0; i < num_backends; ++i) {
+    RouterBackendStats backend;
+    uint32_t backend_shards;
+    if (!reader.GetString(&backend.address) ||
+        !reader.GetString(&backend.node_id) ||
+        !reader.GetU8(&backend.connected) || backend.connected > 1 ||
+        !reader.GetU32(&backend_shards) ||
+        !reader.GetI64(&backend.forwarded) ||
+        !reader.GetI64(&backend.answered) ||
+        !reader.GetI64(&backend.unavailable) ||
+        !reader.GetI64(&backend.reconnects)) {
+      return false;
+    }
+    backend.shards = static_cast<int32_t>(backend_shards);
+    out->router.backends.push_back(std::move(backend));
+  }
   return reader.Done();
+}
+
+uint64_t ReadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void WriteLe64(uint64_t v, uint8_t* p) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+uint16_t ReadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint64_t PeekRequestId(const std::vector<uint8_t>& payload) {
+  return payload.size() >= 8 ? ReadLe64(payload.data()) : 0;
+}
+
+void EncodeRawFrame(uint8_t type, const std::vector<uint8_t>& payload,
+                    std::vector<uint8_t>* out) {
+  PutU8(kMagic0, out);
+  PutU8(kMagic1, out);
+  PutU8(kWireVersion, out);
+  PutU8(type, out);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  out->insert(out->end(), payload.begin(), payload.end());
 }
 
 void EncodeGoodbye(std::vector<uint8_t>* out) {

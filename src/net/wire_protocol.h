@@ -33,7 +33,11 @@ namespace dflow::net {
 // connection stays usable (framing is still intact).
 inline constexpr uint8_t kMagic0 = 'D';
 inline constexpr uint8_t kMagic1 = 'F';
-inline constexpr uint8_t kWireVersion = 1;
+// Version history: v1 was the original ingress protocol; v2 extended the
+// Info payload with the node identity and the routing-tier section
+// (node_id, RouterStats). The bump makes a mixed-version fleet fail with
+// a detectable UNSUPPORTED_VERSION instead of a silent Info decode error.
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 8;
 // Default ceiling on one frame's payload. Generous for request/response
 // traffic (a submit is dominated by its source bindings) while bounding
@@ -62,6 +66,10 @@ enum class WireError : uint16_t {
   kBadStrategy = 6,      // strategy override unparsable or not served here
   kShuttingDown = 7,     // server draining; no further admissions
   kInternal = 8,
+  // Routing tier only: the backend this request hashes to is disconnected
+  // and the router fails fast instead of queueing into the void. Transient
+  // (the router reconnects with backoff); a client may retry.
+  kBackendUnavailable = 9,
 };
 
 const char* ToString(WireError error);
@@ -132,6 +140,33 @@ struct ErrorReply {
   friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
 };
 
+// One downstream server as seen by a routing tier: its address, the
+// identity it reported in the connect-time Info handshake, and the
+// router's per-backend counters. Surfaced inside the router's own Info
+// response so a client (or operator probe) can see the whole fleet.
+struct RouterBackendStats {
+  std::string address;  // "host:port" as configured on the router
+  std::string node_id;  // backend's self-reported identity (handshake)
+  uint8_t connected = 0;  // >=1 pool connection is live right now
+  int32_t shards = 0;     // backend's num_shards (handshake)
+  int64_t forwarded = 0;  // submits sent to this backend
+  int64_t answered = 0;   // results/typed errors relayed back from it
+  int64_t unavailable = 0;  // submits refused: backend was disconnected
+  int64_t reconnects = 0;   // successful re-handshakes after a drop
+
+  friend bool operator==(const RouterBackendStats&,
+                         const RouterBackendStats&) = default;
+};
+
+// The routing-tier section of ServerInfo. is_router discriminates a
+// net::Router's Info from a plain dflow_serve's (whose section is empty).
+struct RouterStats {
+  uint8_t is_router = 0;
+  std::vector<RouterBackendStats> backends;
+
+  friend bool operator==(const RouterStats&, const RouterStats&) = default;
+};
+
 // Server -> client: configuration + live counters, answering kInfoRequest.
 struct ServerInfo {
   int32_t num_shards = 0;
@@ -142,7 +177,13 @@ struct ServerInfo {
   int64_t rejected = 0;
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
+  // Self-reported identity of the answering process ("serve:<port>" /
+  // "router:<port>" by default). The router's connect-time handshake
+  // records it per backend, so misrouted fleet configs are visible.
+  std::string node_id;
   runtime::IngressStats ingress;
+  // Filled in (is_router = 1) only when a net::Router answers.
+  RouterStats router;
 
   friend bool operator==(const ServerInfo&, const ServerInfo&) = default;
 };
@@ -174,6 +215,28 @@ struct Frame {
   uint8_t type = 0;
   std::vector<uint8_t> payload;
 };
+
+// Appends one complete frame carrying an already-built payload under a raw
+// type byte. The router's fast path: it forwards frames after patching the
+// correlation id in the payload, never re-encoding the message body.
+void EncodeRawFrame(uint8_t type, const std::vector<uint8_t>& payload,
+                    std::vector<uint8_t>* out);
+
+// Little-endian peek/poke over raw payload bytes — the single home of the
+// fixed-offset contract that submit/result/error payloads lead with the
+// u64 correlation id (and a submit's seed follows at offset 8). The
+// ingress uses ReadLe64 to answer undecodable submits attributably; the
+// routing tier uses all three to route and translate tickets without
+// decoding message bodies. Callers must bounds-check first.
+uint64_t ReadLe64(const uint8_t* p);
+void WriteLe64(uint64_t v, uint8_t* p);
+uint16_t ReadLe16(const uint8_t* p);
+
+// The correlation id led by every submit/result/error payload, or 0 when
+// the payload is too short to carry one. Both front doors use it to keep
+// even undecodable submits attributable (an unattributable error cannot
+// be matched to a router ticket).
+uint64_t PeekRequestId(const std::vector<uint8_t>& payload);
 
 // Incremental stream decoder: feed it the bytes recv() produced, in
 // whatever chunking the transport chose, and pop complete frames. After

@@ -1,0 +1,634 @@
+// End-to-end tests of the multi-node routing tier: a real net::Router on
+// an ephemeral port in front of real net::IngressServer backends, driven
+// by net::Client over loopback. The centerpiece is the fleet-determinism
+// contract: results served through the router are byte-identical to
+// in-process FlowServer execution of the same request set, for any
+// backend count — plus the failure-path contracts (backend down ->
+// BACKEND_UNAVAILABLE + reconnect with backoff; Stop() answers every
+// admitted request).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/schema_generator.h"
+#include "net/client.h"
+#include "net/ingress_server.h"
+#include "net/router.h"
+#include "net/wire_protocol.h"
+#include "runtime/flow_server.h"
+
+namespace dflow::net {
+namespace {
+
+core::Strategy S(const char* text) { return *core::Strategy::Parse(text); }
+
+gen::GeneratedSchema MakePattern(uint64_t seed = 31, int nb_nodes = 32,
+                                 int nb_rows = 4) {
+  gen::PatternParams params;
+  params.nb_nodes = nb_nodes;
+  params.nb_rows = nb_rows;
+  params.seed = seed;
+  return gen::GeneratePattern(params);
+}
+
+std::vector<runtime::FlowRequest> MakeWorkload(
+    const gen::GeneratedSchema& pattern, int count) {
+  std::vector<runtime::FlowRequest> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+  return requests;
+}
+
+// Everything a wire response carries, keyed for byte-identity comparison.
+struct WireOutcome {
+  int64_t work = 0;
+  int64_t wasted_work = 0;
+  double response_time = 0;
+  int32_t queries_launched = 0;
+  int32_t speculative_launches = 0;
+  uint64_t fingerprint = 0;
+  std::vector<SnapshotEntry> snapshot;
+
+  friend bool operator==(const WireOutcome&, const WireOutcome&) = default;
+};
+
+WireOutcome FromWire(const SubmitResult& result) {
+  WireOutcome outcome;
+  outcome.work = result.work;
+  outcome.wasted_work = result.wasted_work;
+  outcome.response_time = result.response_time;
+  outcome.queries_launched = result.queries_launched;
+  outcome.speculative_launches = result.speculative_launches;
+  outcome.fingerprint = result.fingerprint;
+  outcome.snapshot = result.snapshot;
+  return outcome;
+}
+
+WireOutcome FromInstanceResult(const core::InstanceResult& result) {
+  WireOutcome outcome;
+  outcome.work = result.metrics.work;
+  outcome.wasted_work = result.metrics.wasted_work;
+  outcome.response_time = result.metrics.ResponseTime();
+  outcome.queries_launched = result.metrics.queries_launched;
+  outcome.speculative_launches = result.metrics.speculative_launches;
+  outcome.fingerprint = FingerprintResult(result);
+  const int n = result.snapshot.schema().num_attributes();
+  outcome.snapshot.reserve(static_cast<size_t>(n));
+  for (int a = 0; a < n; ++a) {
+    const auto attr = static_cast<AttributeId>(a);
+    outcome.snapshot.push_back(SnapshotEntry{
+        attr, result.snapshot.state(attr), result.snapshot.value(attr)});
+  }
+  return outcome;
+}
+
+// A fleet of real ingress servers plus a router in front, torn down in
+// the right order by the destructor. `pattern` must outlive the fleet.
+struct Fleet {
+  const gen::GeneratedSchema* pattern = nullptr;
+  std::vector<std::unique_ptr<IngressServer>> backends;
+  std::unique_ptr<Router> router;
+
+  ~Fleet() {
+    if (router != nullptr) router->Stop();
+    for (const std::unique_ptr<IngressServer>& backend : backends) {
+      backend->Stop();
+    }
+  }
+};
+
+runtime::FlowServerOptions BackendOptions(int shards,
+                                          const char* strategy = "PSE100") {
+  runtime::FlowServerOptions options;
+  options.num_shards = shards;
+  options.strategy = S(strategy);
+  return options;
+}
+
+// Starts `shard_counts.size()` backends (backend i with the given shard
+// count) and a router over all of them.
+std::unique_ptr<Fleet> MakeFleet(const gen::GeneratedSchema& pattern,
+                                 const std::vector<int>& shard_counts,
+                                 RouterOptions router_options = {}) {
+  auto fleet = std::make_unique<Fleet>();
+  fleet->pattern = &pattern;
+  for (const int shards : shard_counts) {
+    auto backend = std::make_unique<IngressServer>(
+        &pattern.schema, BackendOptions(shards), IngressOptions{});
+    std::string error;
+    EXPECT_TRUE(backend->Start(&error)) << error;
+    router_options.backends.push_back(
+        BackendAddress{"127.0.0.1", backend->port()});
+    fleet->backends.push_back(std::move(backend));
+  }
+  // Fast backoff so the reconnect tests do not wait out production delays.
+  router_options.backoff_initial_ms = 10;
+  router_options.backoff_max_ms = 100;
+  fleet->router = std::make_unique<Router>(router_options);
+  std::string error;
+  EXPECT_TRUE(fleet->router->Start(&error)) << error;
+  return fleet;
+}
+
+// Serves the workload through the router (pipelined on one connection,
+// full snapshots requested) and returns seed -> outcome.
+std::map<uint64_t, WireOutcome> ServeThroughRouter(
+    const Fleet& fleet, const std::vector<runtime::FlowRequest>& requests) {
+  Client client;
+  std::string error;
+  EXPECT_TRUE(client.Connect("127.0.0.1", fleet.router->port(), &error))
+      << error;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.want_snapshot = true;
+    submit.sources = requests[i].sources;
+    EXPECT_TRUE(client.SendSubmit(submit));
+  }
+  std::map<uint64_t, WireOutcome> by_seed;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::optional<ServerMessage> message = client.ReadMessage();
+    if (!message.has_value() || message->type != MsgType::kSubmitResult) {
+      ADD_FAILURE() << "missing or non-result reply " << i;
+      break;
+    }
+    const size_t index = static_cast<size_t>(message->result.request_id) - 1;
+    if (index >= requests.size()) {
+      ADD_FAILURE() << "response names unknown request_id "
+                    << message->result.request_id;
+      break;
+    }
+    by_seed.emplace(requests[index].seed, FromWire(message->result));
+  }
+  EXPECT_TRUE(client.Goodbye());
+  return by_seed;
+}
+
+// --- The acceptance-criteria test: routing through 1, 2, and 3 backends
+// serves bytes identical to in-process FlowServer execution.
+TEST(RouterTest, RoutedResultsMatchDirectExecutionAcrossFleetSizes) {
+  const gen::GeneratedSchema pattern = MakePattern();
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 45);
+
+  // In-process reference: a FlowServer driven directly, no network.
+  runtime::FlowServerOptions options = BackendOptions(2);
+  runtime::FlowServer reference(&pattern.schema, options);
+  std::mutex mu;
+  std::map<uint64_t, WireOutcome> expected;
+  reference.SetResultCallback([&](int, const runtime::FlowRequest& request,
+                                  const core::InstanceResult& result) {
+    std::lock_guard<std::mutex> lock(mu);
+    expected.emplace(request.seed, FromInstanceResult(result));
+  });
+  for (const runtime::FlowRequest& request : requests) {
+    ASSERT_TRUE(reference.Submit(request));
+  }
+  reference.Drain();
+  ASSERT_EQ(expected.size(), requests.size());
+
+  // Deliberately heterogeneous shard counts: node placement AND shard
+  // placement both move as the fleet grows, and the bytes must not.
+  const std::vector<std::vector<int>> fleets = {{2}, {1, 3}, {2, 1, 2}};
+  for (const std::vector<int>& shard_counts : fleets) {
+    const std::unique_ptr<Fleet> fleet = MakeFleet(pattern, shard_counts);
+    const std::map<uint64_t, WireOutcome> served =
+        ServeThroughRouter(*fleet, requests);
+    ASSERT_EQ(served.size(), requests.size())
+        << shard_counts.size() << " backends";
+    EXPECT_EQ(served, expected) << shard_counts.size() << " backends";
+  }
+}
+
+// Placement is ShardFor(seed, num_backends), observable per backend in
+// RouterStats: the router and a local recomputation must agree exactly,
+// and a re-run must land every request on the same backend.
+TEST(RouterTest, SeedRoutingIsStableAndMatchesShardFor) {
+  const gen::GeneratedSchema pattern = MakePattern(33);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 60);
+  std::vector<int64_t> expected_per_backend(3, 0);
+  for (const runtime::FlowRequest& request : requests) {
+    ++expected_per_backend[static_cast<size_t>(
+        runtime::FlowServer::ShardFor(request.seed, 3))];
+  }
+  // The hash must actually spread this workload (not a degenerate split).
+  for (const int64_t count : expected_per_backend) EXPECT_GT(count, 0);
+
+  for (int run = 0; run < 2; ++run) {
+    const std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {1, 1, 1});
+    const std::map<uint64_t, WireOutcome> served =
+        ServeThroughRouter(*fleet, requests);
+    EXPECT_EQ(served.size(), requests.size());
+    const RouterStats stats = fleet->router->router_stats();
+    ASSERT_EQ(stats.backends.size(), 3u);
+    for (size_t b = 0; b < 3; ++b) {
+      EXPECT_EQ(stats.backends[b].forwarded, expected_per_backend[b])
+          << "backend " << b << " run " << run;
+      EXPECT_EQ(stats.backends[b].answered, expected_per_backend[b]);
+    }
+  }
+}
+
+TEST(RouterTest, InfoAggregatesTheFleet) {
+  const gen::GeneratedSchema pattern = MakePattern(35);
+  const std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {1, 3});
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet->router->port(), &error))
+      << error;
+  const std::optional<ServerInfo> info = client.Info();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->router.is_router, 1);
+  ASSERT_EQ(info->router.backends.size(), 2u);
+  EXPECT_EQ(info->num_shards, 4);  // 1 + 3, summed over the fleet
+  EXPECT_EQ(info->strategy, "PSE100");
+  EXPECT_EQ(info->router.backends[0].node_id,
+            "serve:" + std::to_string(fleet->backends[0]->port()));
+  EXPECT_EQ(info->router.backends[0].connected, 1);
+  EXPECT_EQ(info->router.backends[1].shards, 3);
+  EXPECT_EQ(info->node_id,
+            "router:" + std::to_string(fleet->router->port()));
+  EXPECT_TRUE(client.Goodbye());
+}
+
+// A mismatched fleet (different strategies) must be refused at Start:
+// routing by seed assumes any node serves the same bytes.
+TEST(RouterTest, StartRefusesAHeterogeneousFleet) {
+  gen::GeneratedSchema pattern = MakePattern(37);
+  IngressServer pse(&pattern.schema, BackendOptions(1, "PSE100"),
+                    IngressOptions{});
+  IngressServer ncc(&pattern.schema, BackendOptions(1, "NCC0"),
+                    IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(pse.Start(&error)) << error;
+  ASSERT_TRUE(ncc.Start(&error)) << error;
+  RouterOptions options;
+  options.backends = {BackendAddress{"127.0.0.1", pse.port()},
+                      BackendAddress{"127.0.0.1", ncc.port()}};
+  Router router(options);
+  EXPECT_FALSE(router.Start(&error));
+  EXPECT_NE(error.find("NCC0"), std::string::npos) << error;
+  router.Stop();
+  pse.Stop();
+  ncc.Stop();
+}
+
+TEST(RouterTest, StartFailsWhenABackendIsUnreachable) {
+  RouterOptions options;
+  // Reserve a port, then close it so nothing listens there.
+  uint16_t dead_port;
+  {
+    ListenSocket probe;
+    std::string error;
+    ASSERT_TRUE(probe.Listen(0, &error)) << error;
+    dead_port = probe.port();
+  }
+  options.backends = {BackendAddress{"127.0.0.1", dead_port}};
+  options.connect_timeout_s = 0.3;
+  options.backoff_initial_ms = 10;
+  options.backoff_max_ms = 50;
+  Router router(options);
+  std::string error;
+  EXPECT_FALSE(router.Start(&error));
+  EXPECT_NE(error.find("unreachable"), std::string::npos) << error;
+}
+
+// The reconnect/backoff path: a backend dies mid-run (its seeds fail fast
+// with BACKEND_UNAVAILABLE while the sibling keeps serving), then a new
+// server takes over the same port and the router must re-attach and serve
+// those seeds again — counting the reconnect.
+TEST(RouterTest, BackendDownSurfacesUnavailableThenReconnects) {
+  const gen::GeneratedSchema pattern = MakePattern(39);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 40);
+  std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {1, 1});
+
+  // One request routed to each backend.
+  const runtime::FlowRequest* to_backend0 = nullptr;
+  const runtime::FlowRequest* to_backend1 = nullptr;
+  for (const runtime::FlowRequest& request : requests) {
+    (runtime::FlowServer::ShardFor(request.seed, 2) == 0 ? to_backend0
+                                                         : to_backend1) =
+        &request;
+  }
+  ASSERT_NE(to_backend0, nullptr);
+  ASSERT_NE(to_backend1, nullptr);
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet->router->port(), &error))
+      << error;
+  auto submit = [&](const runtime::FlowRequest& request,
+                    uint64_t request_id) -> std::optional<ServerMessage> {
+    SubmitRequest message;
+    message.request_id = request_id;
+    message.seed = request.seed;
+    message.sources = request.sources;
+    return client.Call(message);
+  };
+
+  // Healthy fleet: both seeds serve.
+  std::optional<ServerMessage> reply = submit(*to_backend1, 1);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kSubmitResult);
+
+  // Kill backend 1 (keep its port). Its seeds fail fast with the typed
+  // error; backend 0's seeds are unaffected.
+  const uint16_t backend1_port = fleet->backends[1]->port();
+  fleet->backends[1]->Stop();
+  bool saw_unavailable = false;
+  for (int attempt = 0; attempt < 200 && !saw_unavailable; ++attempt) {
+    reply = submit(*to_backend1, 100 + static_cast<uint64_t>(attempt));
+    ASSERT_TRUE(reply.has_value());
+    if (reply->type == MsgType::kError) {
+      EXPECT_EQ(reply->error.code, WireError::kBackendUnavailable);
+      EXPECT_EQ(reply->error.request_id, 100 + static_cast<uint64_t>(attempt));
+      saw_unavailable = true;
+    } else {
+      // The router has not noticed the EOF yet; results already in flight
+      // may still arrive. Brief pause, try again.
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(saw_unavailable);
+  reply = submit(*to_backend0, 500);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, MsgType::kSubmitResult);
+
+  // Resurrect a server on the same port; the router's backoff loop must
+  // re-attach and serve backend-1 seeds again.
+  IngressOptions revived_options;
+  revived_options.port = backend1_port;
+  auto revived = std::make_unique<IngressServer>(
+      &pattern.schema, BackendOptions(1), revived_options);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (revived->Start(&error)) break;
+    // The old listener's port may take a moment to free.
+    revived = std::make_unique<IngressServer>(&pattern.schema,
+                                              BackendOptions(1),
+                                              revived_options);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_TRUE(revived->port() == backend1_port) << error;
+  bool recovered = false;
+  for (int attempt = 0; attempt < 500 && !recovered; ++attempt) {
+    reply = submit(*to_backend1, 1000 + static_cast<uint64_t>(attempt));
+    ASSERT_TRUE(reply.has_value());
+    if (reply->type == MsgType::kSubmitResult) {
+      recovered = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(recovered);
+  const RouterStats stats = fleet->router->router_stats();
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_GE(stats.backends[1].reconnects, 1);
+  EXPECT_GE(stats.backends[1].unavailable, 1);
+  EXPECT_TRUE(client.Goodbye());
+  fleet->router->Stop();
+  revived->Stop();
+}
+
+// A well-framed submit that peeks (>= 20 bytes) but does not decode is
+// forwarded, answered MALFORMED_FRAME by the backend, and relayed back
+// with the client's correlation id restored — the backend peeks the id
+// out of the undecodable payload precisely so the router's ticket does
+// not leak. The goodbye ack proves the session drained to zero in-flight.
+TEST(RouterTest, MalformedForwardedSubmitIsAnsweredAndDoesNotLeakTickets) {
+  const gen::GeneratedSchema pattern = MakePattern(43);
+  const std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {1, 1});
+  std::string error;
+  Socket raw = Socket::ConnectTcp("127.0.0.1", fleet->router->port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+
+  // request_id=77, seed=5, flags=blocking, then a truncated strategy
+  // length: long enough for the router to route, undecodable downstream.
+  std::vector<uint8_t> payload(21, 0);
+  payload[0] = 77;
+  payload[8] = 5;
+  payload[16] = 1;
+  payload[20] = 0xff;
+  std::vector<uint8_t> stream;
+  EncodeRawFrame(static_cast<uint8_t>(MsgType::kSubmit), payload, &stream);
+  EncodeGoodbye(&stream);
+  ASSERT_TRUE(raw.SendAll(stream.data(), stream.size()));
+
+  FrameAssembler assembler;
+  auto read_frame = [&]() -> std::optional<Frame> {
+    uint8_t chunk[4096];
+    while (true) {
+      if (std::optional<Frame> frame = assembler.Next()) return frame;
+      if (assembler.error() != WireError::kNone) return std::nullopt;
+      const ssize_t n = raw.Recv(chunk, sizeof(chunk));
+      if (n <= 0) return std::nullopt;
+      assembler.Feed(chunk, static_cast<size_t>(n));
+    }
+  };
+  std::optional<Frame> frame = read_frame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kError));
+  ErrorReply reply;
+  ASSERT_TRUE(DecodeError(frame->payload, &reply));
+  EXPECT_EQ(reply.code, WireError::kMalformedFrame);
+  EXPECT_EQ(reply.request_id, 77u);
+  // The ack only comes once the session's in-flight count hit zero.
+  frame = read_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, static_cast<uint8_t>(MsgType::kGoodbyeAck));
+}
+
+// A submit too short even to peek a seed (but long enough to carry the
+// correlation id) is answered by the router itself — with the id echoed,
+// so the error stays attributable.
+TEST(RouterTest, TooShortSubmitIsAnsweredAttributablyByTheRouter) {
+  const gen::GeneratedSchema pattern = MakePattern(44);
+  const std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {1});
+  std::string error;
+  Socket raw = Socket::ConnectTcp("127.0.0.1", fleet->router->port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  std::vector<uint8_t> payload(10, 0);  // request_id=55, then 2 stray bytes
+  payload[0] = 55;
+  std::vector<uint8_t> stream;
+  EncodeRawFrame(static_cast<uint8_t>(MsgType::kSubmit), payload, &stream);
+  ASSERT_TRUE(raw.SendAll(stream.data(), stream.size()));
+  FrameAssembler assembler;
+  uint8_t chunk[4096];
+  std::optional<Frame> frame;
+  while (!(frame = assembler.Next()).has_value()) {
+    ASSERT_EQ(assembler.error(), WireError::kNone);
+    const ssize_t n = raw.Recv(chunk, sizeof(chunk));
+    ASSERT_GT(n, 0);
+    assembler.Feed(chunk, static_cast<size_t>(n));
+  }
+  ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kError));
+  ErrorReply reply;
+  ASSERT_TRUE(DecodeError(frame->payload, &reply));
+  EXPECT_EQ(reply.code, WireError::kMalformedFrame);
+  EXPECT_EQ(reply.request_id, 55u);
+}
+
+// A backend restarted under a different strategy must be REFUSED at
+// re-handshake (its seeds keep failing fast) — re-attaching it would
+// silently serve different bytes. Restoring the right strategy recovers.
+TEST(RouterTest, RestartedBackendWithDifferentStrategyIsRefused) {
+  const gen::GeneratedSchema pattern = MakePattern(45);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 40);
+  std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {1, 1});
+  const runtime::FlowRequest* to_backend1 = nullptr;
+  for (const runtime::FlowRequest& request : requests) {
+    if (runtime::FlowServer::ShardFor(request.seed, 2) == 1) {
+      to_backend1 = &request;
+      break;
+    }
+  }
+  ASSERT_NE(to_backend1, nullptr);
+
+  const uint16_t backend1_port = fleet->backends[1]->port();
+  fleet->backends[1]->Stop();
+
+  IngressOptions takeover_options;
+  takeover_options.port = backend1_port;
+  auto start_on_port = [&](const char* strategy) {
+    auto server = std::make_unique<IngressServer>(
+        &pattern.schema, BackendOptions(1, strategy), takeover_options);
+    std::string error;
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      if (server->Start(&error)) return server;
+      server = std::make_unique<IngressServer>(
+          &pattern.schema, BackendOptions(1, strategy), takeover_options);
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ADD_FAILURE() << "cannot rebind " << backend1_port << ": " << error;
+    return server;
+  };
+  std::unique_ptr<IngressServer> wrong = start_on_port("NCC0");
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet->router->port(), &error))
+      << error;
+  // Give the router many backoff cycles (10..100ms in test config) to
+  // wrongly re-attach: every answer for this seed must stay the typed
+  // unavailable error, never a result computed under NCC0.
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    SubmitRequest submit;
+    submit.request_id = static_cast<uint64_t>(attempt) + 1;
+    submit.seed = to_backend1->seed;
+    submit.sources = to_backend1->sources;
+    const std::optional<ServerMessage> reply = client.Call(submit);
+    ASSERT_TRUE(reply.has_value());
+    ASSERT_EQ(reply->type, MsgType::kError) << "attempt " << attempt;
+    EXPECT_EQ(reply->error.code, WireError::kBackendUnavailable);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(fleet->router->router_stats().backends[1].connected, 0);
+
+  // Swap in a matching server: the router must re-attach and serve again.
+  wrong->Stop();
+  std::unique_ptr<IngressServer> right = start_on_port("PSE100");
+  bool recovered = false;
+  for (int attempt = 0; attempt < 500 && !recovered; ++attempt) {
+    SubmitRequest submit;
+    submit.request_id = 1000 + static_cast<uint64_t>(attempt);
+    submit.seed = to_backend1->seed;
+    submit.sources = to_backend1->sources;
+    const std::optional<ServerMessage> reply = client.Call(submit);
+    ASSERT_TRUE(reply.has_value());
+    if (reply->type == MsgType::kSubmitResult) {
+      recovered = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_TRUE(client.Goodbye());
+  fleet->router->Stop();
+  wrong->Stop();
+  right->Stop();
+}
+
+// Stop() with a burst still executing downstream: every request the
+// router admitted (forwarded) is answered before the front door dies.
+TEST(RouterTest, StopAnswersEveryAdmittedRequest) {
+  const gen::GeneratedSchema pattern = MakePattern(41);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 30);
+  // Bounded-DB backends execute slowly enough that the burst is still in
+  // flight when Stop lands.
+  auto fleet = std::make_unique<Fleet>();
+  fleet->pattern = &pattern;
+  RouterOptions router_options;
+  for (int b = 0; b < 2; ++b) {
+    runtime::FlowServerOptions options = BackendOptions(1);
+    options.backend = core::BackendKind::kBoundedDb;
+    auto backend = std::make_unique<IngressServer>(
+        &pattern.schema, options, IngressOptions{});
+    std::string error;
+    ASSERT_TRUE(backend->Start(&error)) << error;
+    router_options.backends.push_back(
+        BackendAddress{"127.0.0.1", backend->port()});
+    fleet->backends.push_back(std::move(backend));
+  }
+  fleet->router = std::make_unique<Router>(router_options);
+  std::string error;
+  ASSERT_TRUE(fleet->router->Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet->router->port(), &error))
+      << error;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.sources = requests[i].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+  }
+  // Admission (forwarding), not transmission, obligates an answer: wait
+  // until the router's session reader consumed the whole burst.
+  for (int spin = 0; spin < 10000; ++spin) {
+    if (fleet->router->front_stats().requests_accepted ==
+        static_cast<int64_t>(requests.size())) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fleet->router->front_stats().requests_accepted,
+            static_cast<int64_t>(requests.size()));
+
+  // Read concurrently with Stop(): the drain flushes into this reader.
+  std::thread reader([&] {
+    size_t answered = 0;
+    while (answered < requests.size()) {
+      const std::optional<ServerMessage> message = client.ReadMessage();
+      if (!message.has_value()) break;
+      if (message->type == MsgType::kSubmitResult ||
+          message->type == MsgType::kError) {
+        ++answered;
+      }
+    }
+    EXPECT_EQ(answered, requests.size());
+  });
+  fleet->router->Stop();
+  reader.join();
+  const runtime::IngressStats front = fleet->router->front_stats();
+  EXPECT_EQ(front.requests_accepted, static_cast<int64_t>(requests.size()));
+}
+
+}  // namespace
+}  // namespace dflow::net

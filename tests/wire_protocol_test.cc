@@ -72,7 +72,8 @@ SubmitResult RandomSubmitResult(Rng* rng) {
 ErrorReply RandomError(Rng* rng) {
   ErrorReply msg;
   msg.request_id = rng->Next();
-  msg.code = static_cast<WireError>(rng->UniformInt(1, 8));
+  msg.code = static_cast<WireError>(rng->UniformInt(
+      1, static_cast<int64_t>(WireError::kBackendUnavailable)));
   const int len = static_cast<int>(rng->UniformInt(0, 60));
   for (int i = 0; i < len; ++i) {
     msg.message.push_back(static_cast<char>(rng->UniformInt(32, 126)));
@@ -100,6 +101,23 @@ ServerInfo RandomInfo(Rng* rng) {
   msg.ingress.info_requests = rng->UniformInt(0, 1000);
   msg.ingress.bytes_in = rng->UniformInt(0, 1LL << 40);
   msg.ingress.bytes_out = rng->UniformInt(0, 1LL << 40);
+  msg.node_id = rng->Chance(0.5) ? "serve:4517" : "";
+  msg.router.is_router = rng->Chance(0.5) ? 1 : 0;
+  if (msg.router.is_router == 1) {
+    const int n = static_cast<int>(rng->UniformInt(0, 4));
+    for (int i = 0; i < n; ++i) {
+      RouterBackendStats backend;
+      backend.address = "127.0.0.1:" + std::to_string(4500 + i);
+      backend.node_id = rng->Chance(0.5) ? "serve:" + std::to_string(i) : "";
+      backend.connected = rng->Chance(0.5) ? 1 : 0;
+      backend.shards = static_cast<int32_t>(rng->UniformInt(0, 16));
+      backend.forwarded = rng->UniformInt(0, 1 << 30);
+      backend.answered = rng->UniformInt(0, 1 << 30);
+      backend.unavailable = rng->UniformInt(0, 1 << 10);
+      backend.reconnects = rng->UniformInt(0, 100);
+      msg.router.backends.push_back(std::move(backend));
+    }
+  }
   return msg;
 }
 
@@ -303,6 +321,25 @@ TEST(WireProtocolTest, ErrorCodesHaveStableNames) {
   EXPECT_STREQ(ToString(WireError::kMalformedFrame), "MALFORMED_FRAME");
   EXPECT_STREQ(ToString(WireError::kShuttingDown), "SHUTTING_DOWN");
   EXPECT_STREQ(ToString(WireError::kFrameTooLarge), "FRAME_TOO_LARGE");
+  EXPECT_STREQ(ToString(WireError::kBackendUnavailable),
+               "BACKEND_UNAVAILABLE");
+}
+
+// The router's forwarding path: splitting a frame off the stream and
+// re-framing its payload byte-for-byte must reproduce the original frame.
+TEST(WireProtocolTest, RawReframingIsTheIdentityOnTheStream) {
+  Rng rng(4242);
+  std::vector<uint8_t> stream;
+  EncodeSubmitResult(RandomSubmitResult(&rng), &stream);
+  EncodeError(RandomError(&rng), &stream);
+  FrameAssembler assembler;
+  assembler.Feed(stream.data(), stream.size());
+  std::vector<uint8_t> reframed;
+  while (std::optional<Frame> frame = assembler.Next()) {
+    EncodeRawFrame(frame->type, frame->payload, &reframed);
+  }
+  ASSERT_EQ(assembler.error(), WireError::kNone);
+  EXPECT_EQ(reframed, stream);
 }
 
 }  // namespace

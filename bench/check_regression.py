@@ -2,10 +2,16 @@
 """Benchmark-regression gate for CI.
 
 Compares a BENCH_pr.json (written by the benchmark-regression job: the
---json outputs of bench_throughput_vs_shards and the loopback dflow_load
-run, wrapped in one object) against the checked-in baseline
-(bench/BENCH_baseline.json) and exits nonzero when any compared
-throughput number drops more than --max-drop below its baseline.
+--json outputs of bench_throughput_vs_shards, the loopback dflow_load
+run, and bench_strategy_advisor, wrapped in one object) against the
+checked-in baseline (bench/BENCH_baseline.json) and exits nonzero when
+any compared throughput number drops more than --max-drop below its
+baseline.
+
+The strategy-advisor section is gated on absolute quality rather than a
+drop budget: AUTO's total work must stay within the baseline's
+max_auto_vs_best factor of the best fixed strategy and strictly below
+the worst fixed strategy's (the whole point of adapting).
 
 Only metrics present in BOTH files are compared (the shard sweep's row
 set depends on the machine's core count), so the gate works on any
@@ -87,6 +93,25 @@ def main():
         print("FAIL dflow_load saw %d errors"
               % current["dflow_load"]["errors"])
         failures += 1
+
+    # Strategy-advisor quality gate (absolute, not drop-relative).
+    if "strategy_advisor" in current and "strategy_advisor" in baseline:
+        advisor = current["strategy_advisor"]
+        max_vs_best = baseline["strategy_advisor"]["max_auto_vs_best"]
+        ok = advisor["auto_vs_best"] <= max_vs_best
+        print("%-4s %-48s current=%10.4f ceiling=%10.4f"
+              % ("OK" if ok else "FAIL",
+                 "strategy_advisor auto_vs_best", advisor["auto_vs_best"],
+                 max_vs_best))
+        if not ok:
+            failures += 1
+        ok = advisor["auto_vs_worst"] < 1.0
+        print("%-4s %-48s current=%10.4f ceiling=%10.4f"
+              % ("OK" if ok else "FAIL",
+                 "strategy_advisor auto_vs_worst", advisor["auto_vs_worst"],
+                 1.0))
+        if not ok:
+            failures += 1
 
     if failures:
         print("\n%d regression(s) beyond the %.0f%% budget"

@@ -25,10 +25,30 @@
 // --expect-fingerprint-match=HEX makes that an exit-code gate, proving the
 // deployments byte-identical without shipping snapshots around.
 //
+// Scenario diversity: --dist picks which of the --distinct request
+// classes the i-th request belongs to, as a pure function of (dist-seed,
+// i) — the workload is identical on every run and for any connection
+// split, so skewed traffic is exactly as reproducible as the default:
+//
+//   --dist=roundrobin          index % distinct (the default; the PR 2/3
+//                              behavior, exercises every class equally)
+//   --dist=uniform             uniform over the classes via a seeded
+//                              SplitMix64 draw per request
+//   --dist=zipf:<theta>        Zipf(theta) over class ranks 1..distinct
+//                              (theta > 0; bigger = more skew)
+//   --dist=hotset:<k>:<pct>    pct% of requests uniform over the first k
+//                              classes, the rest uniform over the others
+//   --dist-seed=S              the PRNG seed (default 42)
+//
+// When servers stamp the executed strategy into results (always, v3), the
+// --json report also carries a per-strategy selection histogram — on an
+// AUTO fleet this shows the advisor's choices across the workload.
+//
 // Run:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
 //           [--mode=closed|open] [--rate=R] [--distinct=K] [--nonblocking]
 //           [--snapshot] [--info-every=N] [--strategy=PSE100]
 //           [--nodes=64 --rows=4 --pattern-seed=1]
+//           [--dist=zipf:0.9] [--dist-seed=42]
 //           [--connect-timeout=5] [--json] [--fail-on-reject]
 //           [--expect-fingerprint-match=HEX]
 
@@ -39,6 +59,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -64,6 +85,8 @@ struct Config {
   bool open_loop = false;
   double rate = 1000.0;  // total target arrivals/s across connections
   int distinct = 0;      // 0 => all unique
+  std::string dist = "roundrobin";  // class distribution (see file header)
+  uint64_t dist_seed = 42;
   int nodes = 64, rows = 4;
   uint64_t pattern_seed = 1;
   bool nonblocking = false;
@@ -75,6 +98,104 @@ struct Config {
   bool fail_on_reject = false;
   bool expect_fingerprint = false;
   uint64_t expected_fingerprint = 0;
+};
+
+// Deterministic class picker behind --dist: Pick(i) is a pure function of
+// (kind, parameters, dist_seed, i), so the generated workload is
+// independent of run, connection split, and completion order. The draws
+// are stateless SplitMix64 hashes, never a shared PRNG stream.
+class ClassPicker {
+ public:
+  // Parses the --dist spec against `distinct` classes; false on a
+  // malformed spec.
+  bool Init(const std::string& spec, int distinct, uint64_t seed) {
+    distinct_ = std::max(1, distinct);
+    seed_ = seed;
+    if (spec == "roundrobin") {
+      kind_ = Kind::kRoundRobin;
+      return true;
+    }
+    if (spec == "uniform") {
+      kind_ = Kind::kUniform;
+      return true;
+    }
+    if (spec.rfind("zipf:", 0) == 0) {
+      char* end = nullptr;
+      const double theta = std::strtod(spec.c_str() + 5, &end);
+      // Reject trailing junk: the spec is echoed into the JSON report.
+      if (theta <= 0 || end == nullptr || *end != '\0') return false;
+      kind_ = Kind::kZipf;
+      // CDF over ranks 1..distinct with weight rank^-theta.
+      cdf_.reserve(static_cast<size_t>(distinct_));
+      double total = 0;
+      for (int rank = 1; rank <= distinct_; ++rank) {
+        total += std::pow(static_cast<double>(rank), -theta);
+        cdf_.push_back(total);
+      }
+      for (double& c : cdf_) c /= total;
+      return true;
+    }
+    if (spec.rfind("hotset:", 0) == 0) {
+      int k = 0, pct = 0, consumed = 0;
+      if (std::sscanf(spec.c_str(), "hotset:%d:%d%n", &k, &pct,
+                      &consumed) != 2 ||
+          static_cast<size_t>(consumed) != spec.size()) {
+        return false;
+      }
+      if (k <= 0 || k > distinct_ || pct < 0 || pct > 100) return false;
+      kind_ = Kind::kHotset;
+      hot_k_ = k;
+      hot_pct_ = pct;
+      return true;
+    }
+    return false;
+  }
+
+  int Pick(int index) const {
+    const auto draw = [&](uint64_t salt) {
+      // Uniform double in [0, 1) from a stateless hash, mirroring
+      // Rng::UniformDouble's mantissa construction.
+      const uint64_t bits =
+          Rng::Mix(seed_, static_cast<uint64_t>(index) + 1, salt);
+      return static_cast<double>(bits >> 11) * (1.0 / 9007199254740992.0);
+    };
+    switch (kind_) {
+      case Kind::kRoundRobin:
+        return index % distinct_;
+      case Kind::kUniform:
+        return static_cast<int>(
+            Rng::Mix(seed_, static_cast<uint64_t>(index) + 1, 0xd157u) %
+            static_cast<uint64_t>(distinct_));
+      case Kind::kZipf: {
+        const double u = draw(0x21bfu);
+        const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+        return static_cast<int>(std::min<ptrdiff_t>(
+            it - cdf_.begin(), static_cast<ptrdiff_t>(distinct_ - 1)));
+      }
+      case Kind::kHotset: {
+        const bool hot = draw(0x407u) * 100.0 < hot_pct_;
+        if (hot || hot_k_ >= distinct_) {
+          return static_cast<int>(
+              Rng::Mix(seed_, static_cast<uint64_t>(index) + 1, 0x4075e7u) %
+              static_cast<uint64_t>(hot_k_));
+        }
+        return hot_k_ + static_cast<int>(
+                            Rng::Mix(seed_, static_cast<uint64_t>(index) + 1,
+                                     0xc01d5e7u) %
+                            static_cast<uint64_t>(distinct_ - hot_k_));
+      }
+    }
+    return 0;
+  }
+
+ private:
+  enum class Kind { kRoundRobin, kUniform, kZipf, kHotset };
+  Kind kind_ = Kind::kRoundRobin;
+  int distinct_ = 1;
+  uint64_t seed_ = 0;
+  std::vector<double> cdf_;
+  int hot_k_ = 1;
+  double hot_pct_ = 0;
 };
 
 // Per-connection tallies, merged after the workers join.
@@ -90,7 +211,32 @@ struct WorkerResult {
   // (request_id, result fingerprint) per successful submit; merged and
   // folded request_id-ordered into the workload fingerprint.
   std::vector<std::pair<uint64_t, uint64_t>> fingerprints;
+  // Executed-strategy histogram from the results (per-request AUTO
+  // choices on an advisor-driven fleet; one bucket on a fixed fleet).
+  std::map<std::string, int64_t> strategies;
 };
+
+// Escapes a string for embedding in the hand-built JSON output. Strategy
+// names come off the wire, so a buggy or hostile server must not be able
+// to break the JSON framing CI parses.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const auto byte = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (byte < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x", byte);
+      out += buffer;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
 
 double Percentile(std::vector<double>* sorted, double p) {
   if (sorted->empty()) return 0;
@@ -129,6 +275,9 @@ void TallyReply(const net::ServerMessage& message, const Clock::time_point& t0,
       result->latencies_ms.push_back(ms);
       result->fingerprints.emplace_back(message.result.request_id,
                                         message.result.fingerprint);
+      if (!message.result.strategy.empty()) {
+        ++result->strategies[message.result.strategy];
+      }
       ++result->ok;
       return;
     }
@@ -149,7 +298,8 @@ void TallyReply(const net::ServerMessage& message, const Clock::time_point& t0,
 
 // Closed loop: one request in flight per connection, RTT per request.
 WorkerResult RunClosedWorker(const Config& config,
-                             const gen::GeneratedSchema& pattern, int first,
+                             const gen::GeneratedSchema& pattern,
+                             const ClassPicker& picker, int first,
                              int count) {
   WorkerResult result;
   net::Client client;
@@ -158,13 +308,11 @@ WorkerResult RunClosedWorker(const Config& config,
     result.errors += count;
     return result;
   }
-  const int distinct = config.distinct > 0 ? config.distinct
-                                           : config.requests;
   for (int i = 0; i < count; ++i) {
     const int index = first + i;
     net::SubmitRequest request;
     request.request_id = static_cast<uint64_t>(index) + 1;
-    request.seed = gen::InstanceSeed(pattern.params, index % distinct);
+    request.seed = gen::InstanceSeed(pattern.params, picker.Pick(index));
     request.blocking = !config.nonblocking;
     request.want_snapshot = config.want_snapshot;
     request.strategy = config.strategy;
@@ -194,7 +342,8 @@ WorkerResult RunClosedWorker(const Config& config,
 
 // Open loop: paced sender + concurrent reader on one connection.
 WorkerResult RunOpenWorker(const Config& config,
-                           const gen::GeneratedSchema& pattern, int first,
+                           const gen::GeneratedSchema& pattern,
+                           const ClassPicker& picker, int first,
                            int count) {
   WorkerResult result;
   net::Client client;
@@ -203,8 +352,6 @@ WorkerResult RunOpenWorker(const Config& config,
     result.errors += count;
     return result;
   }
-  const int distinct = config.distinct > 0 ? config.distinct
-                                           : config.requests;
   const double per_connection_rate =
       std::max(1e-6, config.rate / std::max(1, config.connections));
   const auto interval = std::chrono::duration_cast<Clock::duration>(
@@ -243,7 +390,7 @@ WorkerResult RunOpenWorker(const Config& config,
     const int index = first + i;
     net::SubmitRequest request;
     request.request_id = static_cast<uint64_t>(index) + 1;
-    request.seed = gen::InstanceSeed(pattern.params, index % distinct);
+    request.seed = gen::InstanceSeed(pattern.params, picker.Pick(index));
     request.blocking = !config.nonblocking;
     request.want_snapshot = config.want_snapshot;
     request.strategy = config.strategy;
@@ -293,6 +440,10 @@ int main(int argc, char** argv) {
     }
     else if ((v = value_of("--rate"))) config.rate = std::atof(v);
     else if ((v = value_of("--distinct"))) config.distinct = std::atoi(v);
+    else if ((v = value_of("--dist"))) config.dist = v;
+    else if ((v = value_of("--dist-seed"))) {
+      config.dist_seed = std::strtoull(v, nullptr, 10);
+    }
     else if ((v = value_of("--nodes"))) config.nodes = std::atoi(v);
     else if ((v = value_of("--rows"))) config.rows = std::atoi(v);
     else if ((v = value_of("--pattern-seed"))) {
@@ -327,6 +478,14 @@ int main(int argc, char** argv) {
   params.seed = config.pattern_seed;
   const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
 
+  ClassPicker picker;
+  if (!picker.Init(config.dist,
+                   config.distinct > 0 ? config.distinct : config.requests,
+                   config.dist_seed)) {
+    std::fprintf(stderr, "cannot parse --dist '%s'\n", config.dist.c_str());
+    return 2;
+  }
+
   // Split the request range across connections (remainder to the first).
   std::vector<std::pair<int, int>> ranges;
   const int base = config.requests / config.connections;
@@ -344,10 +503,10 @@ int main(int argc, char** argv) {
   for (size_t c = 0; c < ranges.size(); ++c) {
     workers.emplace_back([&, c] {
       results[c] = config.open_loop
-                       ? RunOpenWorker(config, pattern, ranges[c].first,
-                                       ranges[c].second)
-                       : RunClosedWorker(config, pattern, ranges[c].first,
-                                         ranges[c].second);
+                       ? RunOpenWorker(config, pattern, picker,
+                                       ranges[c].first, ranges[c].second)
+                       : RunClosedWorker(config, pattern, picker,
+                                         ranges[c].first, ranges[c].second);
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -369,6 +528,9 @@ int main(int argc, char** argv) {
     total.fingerprints.insert(total.fingerprints.end(),
                               result.fingerprints.begin(),
                               result.fingerprints.end());
+    for (const auto& [strategy, count] : result.strategies) {
+      total.strategies[strategy] += count;
+    }
   }
   // Workload fingerprint: per-request fingerprints folded in request_id
   // order, so it is independent of completion order, connection split, and
@@ -407,18 +569,30 @@ int main(int argc, char** argv) {
   }
 
   const int64_t rejected = total.rejected_busy + total.rejected_shutdown;
+  // Executed-strategy histogram as a JSON object fragment ({} when the
+  // fleet predates the v3 strategy stamp).
+  std::string strategies_json = "{";
+  for (const auto& [strategy, count] : total.strategies) {
+    if (strategies_json.size() > 1) strategies_json += ",";
+    strategies_json +=
+        "\"" + JsonEscape(strategy) + "\":" + std::to_string(count);
+  }
+  strategies_json += "}";
   if (config.json) {
     std::printf(
         "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"requests\":%d,"
-        "\"connections\":%d,\"ok\":%lld,\"rejected_busy\":%lld,"
+        "\"connections\":%d,\"dist\":\"%s\",\"dist_seed\":%llu,"
+        "\"ok\":%lld,\"rejected_busy\":%lld,"
         "\"rejected_shutdown\":%lld,\"errors\":%lld,\"info_ok\":%lld,"
         "\"wall_s\":%.6f,\"requests_per_second\":%.1f,"
         "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
         "\"max\":%.3f},\"bytes_sent\":%lld,\"bytes_received\":%lld,"
-        "\"workload_fingerprint\":\"%016llx\","
+        "\"workload_fingerprint\":\"%016llx\",\"strategies\":%s,"
         "\"server\":{\"completed\":%lld,\"decode_errors\":%lld}}\n",
         config.open_loop ? "open" : "closed", config.requests,
-        config.connections, static_cast<long long>(total.ok),
+        config.connections, JsonEscape(config.dist).c_str(),
+        static_cast<unsigned long long>(config.dist_seed),
+        static_cast<long long>(total.ok),
         static_cast<long long>(total.rejected_busy),
         static_cast<long long>(total.rejected_shutdown),
         static_cast<long long>(total.errors),
@@ -426,6 +600,7 @@ int main(int argc, char** argv) {
         lat_max, static_cast<long long>(total.bytes_sent),
         static_cast<long long>(total.bytes_received),
         static_cast<unsigned long long>(workload_fingerprint),
+        strategies_json.c_str(),
         static_cast<long long>(server_completed),
         static_cast<long long>(server_decode_errors));
   } else {
@@ -455,6 +630,16 @@ int main(int argc, char** argv) {
     std::printf("# workload fingerprint: %016llx (over %lld results)\n",
                 static_cast<unsigned long long>(workload_fingerprint),
                 static_cast<long long>(total.ok));
+    std::printf("# dist: %s (seed %llu)", config.dist.c_str(),
+                static_cast<unsigned long long>(config.dist_seed));
+    if (!total.strategies.empty()) {
+      std::printf("; strategies:");
+      for (const auto& [strategy, count] : total.strategies) {
+        std::printf(" %s=%lld", strategy.c_str(),
+                    static_cast<long long>(count));
+      }
+    }
+    std::printf("\n");
   }
 
   if (total.errors > 0) return 1;

@@ -1,0 +1,209 @@
+// bench_strategy_advisor: the AUTO strategy advisor vs every fixed
+// strategy on a mixed workload spanning several schema-parameter regimes
+// (the paper's Figure 8 axes: %enabled and nb_rows).
+//
+// Per regime, the advisor calibrates a CostModel over a prefix of the
+// instances (the same calibration pass dflow_serve --strategy=AUTO runs at
+// startup), then the full workload executes three ways:
+//
+//   - AUTO: the advisor's per-request choice (class-specific estimates for
+//     calibrated instances, the per-regime default aggregate for the
+//     rest, plus its deterministic explore schedule);
+//   - each fixed candidate strategy, for the best/worst comparison.
+//
+// The headline numbers — and the CI gate via check_regression.py — are
+// auto_vs_best (total AUTO work over the best single fixed strategy's
+// total; the guideline says this should stay near 1.0) and auto_vs_worst
+// (must stay < 1.0: adapting must beat the worst fixed choice).
+//
+// Run:  ./build/bench_strategy_advisor [--json]
+
+#include <cstdio>
+#include <cstring>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "gen/schema_generator.h"
+#include "opt/strategy_advisor.h"
+
+using namespace dflow;
+
+namespace {
+
+struct Regime {
+  int pct_enabled;
+  int nb_rows;
+};
+
+// Three %enabled regimes on the Table 1 default shape plus one deep-rows
+// regime: the fixed strategy that minimizes Work differs across them, so
+// no single fixed choice can win the mixed workload.
+const Regime kRegimes[] = {{10, 4}, {50, 4}, {100, 4}, {50, 16}};
+constexpr int kCalibrationInstances = 24;
+constexpr int kWorkloadInstances = 72;
+
+gen::GeneratedSchema MakeRegime(const Regime& regime) {
+  gen::PatternParams params;
+  params.nb_nodes = 64;
+  params.nb_rows = regime.nb_rows;
+  params.pct_enabled = regime.pct_enabled;
+  params.seed = 1000 + static_cast<uint64_t>(regime.pct_enabled) * 16 +
+                static_cast<uint64_t>(regime.nb_rows);
+  return gen::GeneratePattern(params);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+    else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
+  const std::vector<core::Strategy> candidates =
+      opt::StrategyAdvisor::DefaultCandidates();
+
+  double auto_total_work = 0;
+  int64_t explores = 0;
+  int64_t class_hits = 0;
+  std::map<std::string, int64_t> selections;
+  std::map<std::string, double> fixed_total_work;
+  for (const core::Strategy& candidate : candidates) {
+    fixed_total_work[candidate.ToString()] = 0;
+  }
+
+  for (const Regime& regime : kRegimes) {
+    const gen::GeneratedSchema pattern = MakeRegime(regime);
+    const uint64_t schema_salt = opt::SchemaSaltFromParams(pattern.params);
+
+    std::vector<opt::CalibrationInstance> workload;
+    workload.reserve(kWorkloadInstances);
+    for (int i = 0; i < kWorkloadInstances; ++i) {
+      const uint64_t seed = gen::InstanceSeed(pattern.params, i);
+      workload.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+    }
+
+    opt::CalibrationOptions calibration;
+    calibration.candidates = candidates;
+    calibration.schema_salt = schema_salt;
+    const std::vector<opt::CalibrationInstance> calibration_set(
+        workload.begin(), workload.begin() + kCalibrationInstances);
+    opt::AdvisorOptions advisor_options;
+    advisor_options.schema_salt = schema_salt;
+    opt::StrategyAdvisor advisor(
+        opt::CalibrateCostModel(pattern.schema, calibration_set, calibration),
+        candidates, advisor_options);
+
+    // AUTO: one harness per chosen strategy, exactly like an AUTO shard.
+    std::map<std::string, std::unique_ptr<core::FlowHarness>> harnesses;
+    for (const opt::CalibrationInstance& instance : workload) {
+      const opt::AdvisorChoice choice =
+          advisor.Choose(instance.sources, instance.seed);
+      const std::string name = choice.strategy.ToString();
+      auto& harness = harnesses[name];
+      if (harness == nullptr) {
+        harness = std::make_unique<core::FlowHarness>(&pattern.schema,
+                                                      choice.strategy);
+      }
+      const core::InstanceResult result =
+          harness->Run(instance.sources, instance.seed);
+      auto_total_work += static_cast<double>(result.metrics.work);
+      ++selections[name];
+      if (choice.explored) ++explores;
+      if (choice.class_hit) ++class_hits;
+    }
+
+    // Every fixed strategy over the same workload.
+    for (const core::Strategy& candidate : candidates) {
+      core::FlowHarness harness(&pattern.schema, candidate);
+      double total = 0;
+      for (const opt::CalibrationInstance& instance : workload) {
+        total += static_cast<double>(
+            harness.Run(instance.sources, instance.seed).metrics.work);
+      }
+      fixed_total_work[candidate.ToString()] += total;
+    }
+  }
+
+  std::string best_fixed, worst_fixed;
+  double best_work = 0, worst_work = 0;
+  for (const auto& [name, total] : fixed_total_work) {
+    if (best_fixed.empty() || total < best_work) {
+      best_fixed = name;
+      best_work = total;
+    }
+    if (worst_fixed.empty() || total > worst_work) {
+      worst_fixed = name;
+      worst_work = total;
+    }
+  }
+  const double auto_vs_best = best_work > 0 ? auto_total_work / best_work : 0;
+  const double auto_vs_worst =
+      worst_work > 0 ? auto_total_work / worst_work : 0;
+
+  const int total_instances =
+      static_cast<int>(std::size(kRegimes)) * kWorkloadInstances;
+  if (json) {
+    std::string selections_json = "{";
+    for (const auto& [name, count] : selections) {
+      if (selections_json.size() > 1) selections_json += ",";
+      selections_json += "\"" + name + "\":" + std::to_string(count);
+    }
+    selections_json += "}";
+    std::string fixed_json = "{";
+    for (const auto& [name, total] : fixed_total_work) {
+      if (fixed_json.size() > 1) fixed_json += ",";
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "\"%s\":%.1f", name.c_str(),
+                    total);
+      fixed_json += buffer;
+    }
+    fixed_json += "}";
+    std::printf(
+        "{\"tool\":\"bench_strategy_advisor\",\"regimes\":%d,"
+        "\"instances\":%d,\"calibration_instances_per_regime\":%d,"
+        "\"auto_total_work\":%.1f,"
+        "\"best_fixed\":{\"strategy\":\"%s\",\"total_work\":%.1f},"
+        "\"worst_fixed\":{\"strategy\":\"%s\",\"total_work\":%.1f},"
+        "\"auto_vs_best\":%.4f,\"auto_vs_worst\":%.4f,"
+        "\"explores\":%lld,\"class_hits\":%lld,"
+        "\"selections\":%s,\"fixed_total_work\":%s}\n",
+        static_cast<int>(std::size(kRegimes)), total_instances,
+        kCalibrationInstances, auto_total_work, best_fixed.c_str(), best_work,
+        worst_fixed.c_str(), worst_work, auto_vs_best, auto_vs_worst,
+        static_cast<long long>(explores), static_cast<long long>(class_hits),
+        selections_json.c_str(), fixed_json.c_str());
+    return 0;
+  }
+
+  std::printf("== strategy advisor: AUTO vs fixed strategies ==\n");
+  std::printf("mixed workload: %d regimes x %d instances "
+              "(%d calibrated per regime)\n\n",
+              static_cast<int>(std::size(kRegimes)), kWorkloadInstances,
+              kCalibrationInstances);
+  std::printf("%-12s%-14s\n", "strategy", "total work");
+  for (const auto& [name, total] : fixed_total_work) {
+    std::printf("%-12s%-14.1f\n", name.c_str(), total);
+  }
+  std::printf("%-12s%-14.1f\n", "AUTO", auto_total_work);
+  std::printf("\nAUTO vs best fixed (%s): %.3fx; vs worst fixed (%s): "
+              "%.3fx\n",
+              best_fixed.c_str(), auto_vs_best, worst_fixed.c_str(),
+              auto_vs_worst);
+  std::printf("explores: %lld, class hits: %lld/%d; selections:",
+              static_cast<long long>(explores),
+              static_cast<long long>(class_hits), total_instances);
+  for (const auto& [name, count] : selections) {
+    std::printf(" %s=%lld", name.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -21,6 +21,7 @@
 
 #include "gen/schema_generator.h"
 #include "net/ingress_server.h"
+#include "opt/strategy_advisor.h"
 
 using namespace dflow;
 
@@ -43,12 +44,16 @@ int main(int argc, char** argv) {
   int queue = 256;
   int cache = 0;
   long long cache_bytes = 0;
+  long long cache_min_cost = 0;
   int nodes = 64, rows = 4;
   unsigned long long pattern_seed = 1;
   std::string strategy_text = "PSE100";
   std::string node_id;
   core::BackendKind backend = core::BackendKind::kInfinite;
   bool verbose = false;
+  int advisor_samples = 48;
+  int advisor_explore = 64;
+  std::string advisor_calibration;  // load-or-create path; empty = in-memory
 
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
@@ -62,6 +67,23 @@ int main(int argc, char** argv) {
       cache = std::atoi(value);
     } else if (FlagValue(argv[i], "--cache-bytes", &value)) {
       cache_bytes = std::atoll(value);
+    } else if (FlagValue(argv[i], "--cache-min-cost", &value)) {
+      // Cost-based cache admission: results with work below this are not
+      // cached, so cheap instances stop evicting expensive ones.
+      cache_min_cost = std::atoll(value);
+    } else if (FlagValue(argv[i], "--advisor-samples", &value)) {
+      // AUTO only: how many pattern instances the startup calibration
+      // profiles per candidate strategy.
+      advisor_samples = std::atoi(value);
+    } else if (FlagValue(argv[i], "--advisor-explore", &value)) {
+      // AUTO only: explore period (1 request in N re-measures a rotation
+      // candidate; 0 disables exploration).
+      advisor_explore = std::atoi(value);
+    } else if (FlagValue(argv[i], "--advisor-calibration", &value)) {
+      // AUTO only: cost-model file. Loaded when it exists (restarts then
+      // reproduce every AUTO choice byte-for-byte); otherwise the startup
+      // calibration runs and its model is saved here.
+      advisor_calibration = value;
     } else if (FlagValue(argv[i], "--nodes", &value)) {
       nodes = std::atoi(value);
     } else if (FlagValue(argv[i], "--rows", &value)) {
@@ -109,6 +131,68 @@ int main(int argc, char** argv) {
   server_options.backend = backend;
   server_options.result_cache_capacity = static_cast<size_t>(cache);
   server_options.result_cache_max_bytes = cache_bytes;
+  server_options.result_cache_min_cost = cache_min_cost;
+
+  if (strategy->is_auto) {
+    // Build the strategy advisor: load the calibration if one was saved,
+    // otherwise profile the candidate strategies over this pattern now
+    // (deterministic, so every restart reproduces the same model anyway;
+    // the file just skips the profiling cost and pins the epoch).
+    opt::AdvisorOptions advisor_options;
+    advisor_options.explore_period =
+        advisor_explore < 0 ? 0 : static_cast<uint32_t>(advisor_explore);
+    advisor_options.schema_salt = opt::SchemaSaltFromParams(params);
+    std::optional<opt::CostModel> model;
+    if (!advisor_calibration.empty()) {
+      std::string load_error;
+      model = opt::CostModel::LoadFromFile(advisor_calibration, &load_error);
+      if (!model.has_value()) {
+        // Surface the reason before recalibrating: a corrupt file is about
+        // to be overwritten with a fresh model (a different epoch), which
+        // an operator pinning calibrations needs to know about.
+        std::fprintf(stderr,
+                     "dflow_serve: --advisor-calibration: %s; recalibrating "
+                     "and overwriting\n",
+                     load_error.c_str());
+      } else if (model->schema_salt() != advisor_options.schema_salt) {
+        // A model calibrated for a different pattern would silently
+        // degrade every request to wrong-schema default aggregates (its
+        // class keys can never match); refuse instead.
+        std::fprintf(stderr,
+                     "dflow_serve: %s was calibrated for a different "
+                     "pattern (schema salt %016llx, served pattern "
+                     "%016llx)\n",
+                     advisor_calibration.c_str(),
+                     static_cast<unsigned long long>(model->schema_salt()),
+                     static_cast<unsigned long long>(
+                         advisor_options.schema_salt));
+        return 1;
+      }
+    }
+    if (!model.has_value()) {
+      std::vector<opt::CalibrationInstance> instances;
+      instances.reserve(static_cast<size_t>(advisor_samples));
+      for (int i = 0; i < advisor_samples; ++i) {
+        const uint64_t seed = gen::InstanceSeed(params, i);
+        instances.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+      }
+      opt::CalibrationOptions calibration;
+      calibration.candidates = opt::StrategyAdvisor::DefaultCandidates();
+      calibration.harness = core::HarnessOptions{backend, sim::DatabaseParams{}};
+      calibration.schema_salt = advisor_options.schema_salt;
+      model = opt::CalibrateCostModel(pattern.schema, instances, calibration);
+      if (!advisor_calibration.empty()) {
+        std::string save_error;
+        if (!model->SaveToFile(advisor_calibration, &save_error)) {
+          std::fprintf(stderr, "dflow_serve: %s\n", save_error.c_str());
+          return 1;
+        }
+      }
+    }
+    server_options.advisor = std::make_shared<opt::StrategyAdvisor>(
+        std::move(*model), opt::StrategyAdvisor::DefaultCandidates(),
+        advisor_options);
+  }
 
   net::IngressOptions ingress_options;
   ingress_options.port = static_cast<uint16_t>(port);
@@ -141,6 +225,13 @@ int main(int argc, char** argv) {
       cache_bytes > 0 ? (", " + std::to_string(cache_bytes) + " bytes").c_str()
                       : "",
       nodes, rows, pattern_seed);
+  if (server_options.advisor != nullptr) {
+    std::printf(
+        "strategy advisor: fingerprint=%016llx, %zu calibrated classes, "
+        "explore 1/%d\n",
+        static_cast<unsigned long long>(server_options.advisor->Fingerprint()),
+        server_options.advisor->model().num_classes(), advisor_explore);
+  }
   std::fflush(stdout);
 
   int signal_number = 0;
@@ -158,11 +249,23 @@ int main(int argc, char** argv) {
               report.stats.p50_latency_units, report.stats.p95_latency_units,
               report.stats.p99_latency_units);
   std::printf("cache                %lld hits, %lld misses, %lld entries, "
-              "%lld bytes resident\n",
+              "%lld bytes resident, %lld admission skips\n",
               static_cast<long long>(report.cache.hits),
               static_cast<long long>(report.cache.misses),
               static_cast<long long>(report.cache.entries),
-              static_cast<long long>(report.cache.bytes));
+              static_cast<long long>(report.cache.bytes),
+              static_cast<long long>(report.cache.admission_skips));
+  if (report.stats.advisor_selections > 0) {
+    std::printf("advisor              %lld selections (%lld explores, %lld "
+                "class hits):",
+                static_cast<long long>(report.stats.advisor_selections),
+                static_cast<long long>(report.stats.advisor_explores),
+                static_cast<long long>(report.stats.advisor_class_hits));
+    for (const auto& [name, count] : report.stats.strategy_selections) {
+      std::printf(" %s=%lld", name.c_str(), static_cast<long long>(count));
+    }
+    std::printf("\n");
+  }
   const runtime::IngressStats& in = report.ingress;
   std::printf("ingress              %lld conns (%lld closed), %lld accepted, "
               "%lld busy, %lld shutdown, %lld decode errors, %lld protocol "

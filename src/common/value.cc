@@ -1,7 +1,12 @@
 #include "common/value.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
 #include <ostream>
 #include <sstream>
+
+#include "common/rng.h"
 
 namespace dflow {
 
@@ -37,6 +42,35 @@ std::string Value::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Value& v) {
   return os << v.ToString();
+}
+
+uint64_t HashValue(uint64_t h, const Value& value) {
+  h = Rng::Mix(h, static_cast<uint64_t>(value.type()));
+  switch (value.type()) {
+    case Value::Type::kNull:
+      break;
+    case Value::Type::kBool:
+      h = Rng::Mix(h, value.bool_value() ? 1 : 0);
+      break;
+    case Value::Type::kInt:
+      h = Rng::Mix(h, static_cast<uint64_t>(value.int_value()));
+      break;
+    case Value::Type::kDouble:
+      h = Rng::Mix(h, std::bit_cast<uint64_t>(value.double_value()));
+      break;
+    case Value::Type::kString: {
+      const std::string& s = value.string_value();
+      h = Rng::Mix(h, s.size());
+      // Fold the bytes 8 at a time (tail zero-padded).
+      for (size_t i = 0; i < s.size(); i += 8) {
+        uint64_t chunk = 0;
+        std::memcpy(&chunk, s.data() + i, std::min<size_t>(8, s.size() - i));
+        h = Rng::Mix(h, chunk);
+      }
+      break;
+    }
+  }
+  return h;
 }
 
 }  // namespace dflow

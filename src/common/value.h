@@ -83,6 +83,13 @@ class Value {
 
 std::ostream& operator<<(std::ostream& os, const Value& v);
 
+// Folds one value into a running SplitMix64-style digest (Rng::Mix): the
+// type tag plus the payload bytes (strings 8 bytes at a time, doubles as
+// their IEEE-754 bit pattern). The single definition the result cache, the
+// wire fingerprint, and the strategy advisor's class keys all share, so a
+// value hashes identically everywhere.
+uint64_t HashValue(uint64_t h, const Value& value);
+
 }  // namespace dflow
 
 #endif  // DFLOW_COMMON_VALUE_H_

@@ -5,6 +5,7 @@
 namespace dflow::core {
 
 std::string Strategy::ToString() const {
+  if (is_auto) return kAutoToken;
   std::string s;
   s += propagation ? 'P' : 'N';
   s += speculative ? 'S' : 'C';
@@ -14,6 +15,17 @@ std::string Strategy::ToString() const {
 }
 
 std::optional<Strategy> Strategy::Parse(std::string_view text) {
+  if (text.size() == 4) {
+    std::string upper;
+    for (const char c : text) {
+      upper += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (upper == kAutoToken) {
+      Strategy s;
+      s.is_auto = true;
+      return s;
+    }
+  }
   if (text.size() < 4) return std::nullopt;
   Strategy s;
   const char p = static_cast<char>(std::toupper(text[0]));

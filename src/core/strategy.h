@@ -16,8 +16,18 @@ namespace dflow::core {
 // paper's compact notation, e.g. "PSE80" = Propagation + Speculative +
 // Earliest-first scheduling at 80% permitted parallelism; "NCC0" = Naive +
 // Conservative + Cheapest-first, fully serial.
+//
+// The distinguished AUTO sentinel ("AUTO" in Parse/ToString) is not a
+// runnable strategy: it asks the serving runtime to pick a concrete
+// strategy per request via the opt::StrategyAdvisor. Engines, harnesses,
+// and caches only ever see concrete strategies — the runtime resolves the
+// sentinel before execution.
 struct Strategy {
   enum class Heuristic { kEarliest, kCheapest };
+
+  // The AUTO token accepted (case-insensitively) by Parse and produced by
+  // ToString when is_auto is set.
+  static constexpr const char* kAutoToken = "AUTO";
 
   // 'P' (Propagation Algorithm: eager condition evaluation + forward /
   // backward propagation of DISABLED / unneeded facts) vs 'N' (naive).
@@ -32,6 +42,10 @@ struct Strategy {
   // so 0 means fully serial execution.
   int pct_permitted = 0;
 
+  // The AUTO sentinel: when set, the other axes are meaningless and the
+  // serving runtime selects a concrete strategy per request.
+  bool is_auto = false;
+
   // Ablation overrides (not part of the parse/print notation): when set,
   // they replace `propagation` for the respective mechanism.
   std::optional<bool> eager_conditions_override;
@@ -45,11 +59,11 @@ struct Strategy {
     return unneeded_detection_override.value_or(propagation);
   }
 
-  // e.g. "PSE80".
+  // e.g. "PSE80", or "AUTO" for the sentinel.
   std::string ToString() const;
   // Parses "PSE80"-style strings (case-insensitive, % suffix allowed, e.g.
   // "pce0", "PC*100" is *not* accepted — '*' families are expanded by the
-  // benches). Returns nullopt on malformed input.
+  // benches) and the "AUTO" sentinel. Returns nullopt on malformed input.
   static std::optional<Strategy> Parse(std::string_view text);
 
   friend bool operator==(const Strategy&, const Strategy&) = default;

@@ -19,8 +19,9 @@ IngressServer::IngressServer(const core::Schema* schema,
   // ingress will ever admit.
   server_.SetResultCallback(
       [this](int shard_index, const runtime::FlowRequest& request,
-             const core::InstanceResult& result) {
-        OnResult(shard_index, request, result);
+             const core::InstanceResult& result,
+             const core::Strategy& executed) {
+        OnResult(shard_index, request, result, executed);
       });
 }
 
@@ -150,15 +151,8 @@ void IngressServer::SessionLoop(const std::shared_ptr<Session>& session) {
     }
   }
   // Flush: answered everything we admitted, then retire the writer.
-  {
-    std::unique_lock<std::mutex> lock(session->inflight_mu);
-    session->inflight_cv.wait(lock, [&] { return session->inflight == 0; });
-  }
-  {
-    std::lock_guard<std::mutex> lock(session->out_mu);
-    session->out_closed = true;
-  }
-  session->out_cv.notify_all();
+  session->outbox.WaitDrained();
+  session->outbox.Close();
   writer.join();
   // Send the FIN now (the peer is owed an orderly close), but deliberately
   // do NOT close(): Stop() may be calling ShutdownRead on this socket
@@ -184,28 +178,14 @@ void IngressServer::SessionLoop(const std::shared_ptr<Session>& session) {
 }
 
 void IngressServer::WriterLoop(const std::shared_ptr<Session>& session) {
-  while (true) {
-    std::vector<uint8_t> frame;
-    {
-      std::unique_lock<std::mutex> lock(session->out_mu);
-      session->out_cv.wait(lock, [&] {
-        return !session->outbox.empty() || session->out_closed;
-      });
-      if (session->outbox.empty()) return;  // closed and drained
-      frame = std::move(session->outbox.front());
-      session->outbox.pop_front();
-      if (session->dead) continue;  // discard; peer is unreachable
-    }
-    if (session->socket.SendAll(frame.data(), frame.size())) {
-      session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
-                                   std::memory_order_relaxed);
-      bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
-                           std::memory_order_relaxed);
-    } else {
-      std::lock_guard<std::mutex> lock(session->out_mu);
-      session->dead = true;
-    }
-  }
+  session->outbox.DrainTo([this, &session](const std::vector<uint8_t>& frame) {
+    if (!session->socket.SendAll(frame.data(), frame.size())) return false;
+    session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
+                                 std::memory_order_relaxed);
+    bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
+                         std::memory_order_relaxed);
+    return true;
+  });
 }
 
 bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
@@ -235,11 +215,7 @@ bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
       // Flush-then-ack: every accepted submit on this connection is
       // answered before the ack, so a client that waits for the ack has
       // seen all its results.
-      {
-        std::unique_lock<std::mutex> lock(session->inflight_mu);
-        session->inflight_cv.wait(lock,
-                                  [&] { return session->inflight == 0; });
-      }
+      session->outbox.WaitDrained();
       std::vector<uint8_t> out;
       EncodeGoodbyeAck(&out);
       Enqueue(session, std::move(out));
@@ -259,9 +235,11 @@ void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
   if (!request.strategy.empty()) {
     const std::optional<core::Strategy> parsed =
         core::Strategy::Parse(request.strategy);
-    // A shard's engine is bound to one strategy; an override may only name
-    // the strategy this server already runs (documented single-strategy
-    // limitation — multi-strategy shard pools are a ROADMAP item).
+    // An override may only name what this server already runs: its fixed
+    // strategy, or the AUTO sentinel on an advisor-driven server (the
+    // advisor still picks the concrete strategy — per-request pinning on
+    // an AUTO server is a ROADMAP item, as are multi-strategy shard
+    // pools).
     if (!parsed.has_value() ||
         parsed->ToString() != server_.strategy().ToString()) {
       session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -279,10 +257,7 @@ void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
                      Pending{session, request.request_id,
                              request.want_snapshot});
   }
-  {
-    std::lock_guard<std::mutex> lock(session->inflight_mu);
-    ++session->inflight;
-  }
+  session->outbox.BeginRequest();
   runtime::FlowRequest flow_request{std::move(request.sources), request.seed,
                                     ticket};
   WireError refusal = WireError::kNone;
@@ -314,11 +289,7 @@ void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending_.erase(ticket);
   }
-  {
-    std::lock_guard<std::mutex> lock(session->inflight_mu);
-    --session->inflight;
-  }
-  session->inflight_cv.notify_all();
+  session->outbox.FinishRequest();
   if (refusal == WireError::kRejectedBusy) {
     session->rejected_busy.fetch_add(1, std::memory_order_relaxed);
     requests_rejected_busy_.fetch_add(1, std::memory_order_relaxed);
@@ -332,7 +303,8 @@ void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
 
 void IngressServer::OnResult(int shard_index,
                              const runtime::FlowRequest& request,
-                             const core::InstanceResult& result) {
+                             const core::InstanceResult& result,
+                             const core::Strategy& executed) {
   if (request.ticket == 0) return;  // not one of ours
   Pending pending;
   {
@@ -351,6 +323,7 @@ void IngressServer::OnResult(int shard_index,
   reply.queries_launched = result.metrics.queries_launched;
   reply.speculative_launches = result.metrics.speculative_launches;
   reply.fingerprint = FingerprintResult(result);
+  reply.strategy = executed.ToString();
   if (pending.want_snapshot) {
     reply.has_snapshot = true;
     const int n = result.snapshot.schema().num_attributes();
@@ -364,21 +337,12 @@ void IngressServer::OnResult(int shard_index,
   std::vector<uint8_t> out;
   EncodeSubmitResult(reply, &out);
   Enqueue(pending.session, std::move(out));
-  {
-    std::lock_guard<std::mutex> lock(pending.session->inflight_mu);
-    --pending.session->inflight;
-  }
-  pending.session->inflight_cv.notify_all();
+  pending.session->outbox.FinishRequest();
 }
 
 void IngressServer::Enqueue(const std::shared_ptr<Session>& session,
                             std::vector<uint8_t> frame) {
-  {
-    std::lock_guard<std::mutex> lock(session->out_mu);
-    if (session->out_closed) return;  // session tearing down; drop
-    session->outbox.push_back(std::move(frame));
-  }
-  session->out_cv.notify_one();
+  session->outbox.Push(std::move(frame));
 }
 
 void IngressServer::SendError(const std::shared_ptr<Session>& session,
@@ -404,6 +368,16 @@ ServerInfo IngressServer::BuildInfo() const {
                      ? "serve:" + std::to_string(listener_.port())
                      : options_.node_id;
   info.ingress = ingress_stats();
+  if (server_.advisor() != nullptr) {
+    info.advisor.enabled = 1;
+    info.advisor.fingerprint = server_.advisor()->Fingerprint();
+    info.advisor.selections = report.stats.advisor_selections;
+    info.advisor.explores = report.stats.advisor_explores;
+    info.advisor.by_strategy.reserve(report.stats.strategy_selections.size());
+    for (const auto& [strategy, count] : report.stats.strategy_selections) {
+      info.advisor.by_strategy.push_back({strategy, count});
+    }
+  }
   return info;
 }
 

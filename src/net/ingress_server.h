@@ -2,9 +2,7 @@
 #define DFLOW_NET_INGRESS_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -12,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
 #include "runtime/flow_server.h"
@@ -99,18 +98,9 @@ class IngressServer {
     uint64_t id = 0;
     Socket socket;
 
-    // Outbox: encoded frames awaiting the writer. Closed (out_closed) by
-    // the reader only after the session's in-flight requests drained.
-    std::mutex out_mu;
-    std::condition_variable out_cv;
-    std::deque<std::vector<uint8_t>> outbox;
-    bool out_closed = false;
-    bool dead = false;  // a send failed; drain without sending
-
-    // Submitted-but-unanswered requests on this connection.
-    std::mutex inflight_mu;
-    std::condition_variable inflight_cv;
-    int64_t inflight = 0;
+    // The response outbox + in-flight accounting (the front-door
+    // invariants shared with the Router; see net::SessionOutbox).
+    SessionOutbox outbox;
 
     // Per-connection counters (the same shape as the aggregate
     // IngressStats; summed there as they happen, kept here for the
@@ -144,7 +134,8 @@ class IngressServer {
                     SubmitRequest request);
   // Result callback, invoked on shard worker threads.
   void OnResult(int shard_index, const runtime::FlowRequest& request,
-                const core::InstanceResult& result);
+                const core::InstanceResult& result,
+                const core::Strategy& executed);
   static void Enqueue(const std::shared_ptr<Session>& session,
                       std::vector<uint8_t> frame);
   void SendError(const std::shared_ptr<Session>& session, uint64_t request_id,

@@ -95,22 +95,36 @@ bool Router::Start(std::string* error) {
   }
   // All backends must serve the same strategy: routing by seed assumes any
   // node would produce the same bytes for a request, which only holds for
-  // a homogeneous fleet. (Re-handshakes enforce the same invariant later.)
+  // a homogeneous fleet. An AUTO fleet is homogeneous iff every backend
+  // also reports the same advisor fingerprint (same calibration, same
+  // candidates => identical per-request choices); AUTO backends with
+  // different calibrations would serve different bytes for the same seed.
+  // (Re-handshakes enforce the same invariants later.)
   for (const std::unique_ptr<Backend>& backend : backends_) {
     std::string backend_strategy;
+    uint64_t backend_advisor = 0;
     {
       std::lock_guard<std::mutex> lock(backend->info_mu);
       backend_strategy = backend->strategy;
+      backend_advisor = backend->advisor_fingerprint;
     }
     bool mismatch = false;
     {
       std::lock_guard<std::mutex> lock(strategy_mu_);
       if (strategy_.empty()) {
         strategy_ = backend_strategy;
+        advisor_fingerprint_ = backend_advisor;
       } else if (backend_strategy != strategy_) {
         if (error != nullptr) {
           *error = "backend " + AddressText(backend->address) + " runs " +
                    backend_strategy + " but the fleet runs " + strategy_;
+        }
+        mismatch = true;
+      } else if (backend_advisor != advisor_fingerprint_) {
+        if (error != nullptr) {
+          *error = "backend " + AddressText(backend->address) +
+                   " runs AUTO with a different calibration (advisor "
+                   "fingerprint mismatch)";
         }
         mismatch = true;
       }
@@ -221,6 +235,10 @@ ServerInfo Router::BuildInfo() const {
   {
     std::lock_guard<std::mutex> lock(strategy_mu_);
     info.strategy = strategy_;
+    if (advisor_fingerprint_ != 0) {
+      info.advisor.enabled = 1;
+      info.advisor.fingerprint = advisor_fingerprint_;
+    }
   }
   if (!backends_.empty()) {
     std::lock_guard<std::mutex> lock(backends_.front()->info_mu);
@@ -307,15 +325,8 @@ void Router::SessionLoop(const std::shared_ptr<Session>& session) {
   }
   // Flush: every ticket this session forwarded gets its answer before the
   // writer retires.
-  {
-    std::unique_lock<std::mutex> lock(session->inflight_mu);
-    session->inflight_cv.wait(lock, [&] { return session->inflight == 0; });
-  }
-  {
-    std::lock_guard<std::mutex> lock(session->out_mu);
-    session->out_closed = true;
-  }
-  session->out_cv.notify_all();
+  session->outbox.WaitDrained();
+  session->outbox.Close();
   writer.join();
   // shutdown(), not close(): Stop() may be touching this socket
   // concurrently; the fd stays valid until the last shared_ptr drops.
@@ -334,28 +345,14 @@ void Router::SessionLoop(const std::shared_ptr<Session>& session) {
 }
 
 void Router::WriterLoop(const std::shared_ptr<Session>& session) {
-  while (true) {
-    std::vector<uint8_t> frame;
-    {
-      std::unique_lock<std::mutex> lock(session->out_mu);
-      session->out_cv.wait(lock, [&] {
-        return !session->outbox.empty() || session->out_closed;
-      });
-      if (session->outbox.empty()) return;  // closed and drained
-      frame = std::move(session->outbox.front());
-      session->outbox.pop_front();
-      if (session->dead) continue;  // discard; peer is unreachable
-    }
-    if (session->socket.SendAll(frame.data(), frame.size())) {
-      session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
-                                   std::memory_order_relaxed);
-      bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
-                           std::memory_order_relaxed);
-    } else {
-      std::lock_guard<std::mutex> lock(session->out_mu);
-      session->dead = true;
-    }
-  }
+  session->outbox.DrainTo([this, &session](const std::vector<uint8_t>& frame) {
+    if (!session->socket.SendAll(frame.data(), frame.size())) return false;
+    session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
+                                 std::memory_order_relaxed);
+    bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
+                         std::memory_order_relaxed);
+    return true;
+  });
 }
 
 bool Router::HandleFrame(const std::shared_ptr<Session>& session,
@@ -374,11 +371,7 @@ bool Router::HandleFrame(const std::shared_ptr<Session>& session,
     case MsgType::kGoodbye: {
       // Flush-then-ack, exactly like the ingress: every submit this
       // connection forwarded is answered before the ack.
-      {
-        std::unique_lock<std::mutex> lock(session->inflight_mu);
-        session->inflight_cv.wait(lock,
-                                  [&] { return session->inflight == 0; });
-      }
+      session->outbox.WaitDrained();
       std::vector<uint8_t> out;
       EncodeGoodbyeAck(&out);
       Enqueue(session, std::move(out));
@@ -418,10 +411,7 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
   std::vector<uint8_t> forward;
   forward.reserve(kFrameHeaderBytes + frame.payload.size());
   EncodeRawFrame(frame.type, frame.payload, &forward);
-  {
-    std::lock_guard<std::mutex> lock(session->inflight_mu);
-    ++session->inflight;
-  }
+  session->outbox.BeginRequest();
   switch (Forward(backend, session, request_id, ticket, forward)) {
     case ForwardOutcome::kForwarded:
       session->accepted.fetch_add(1, std::memory_order_relaxed);
@@ -488,12 +478,7 @@ Router::ForwardOutcome Router::Forward(
 
 void Router::Enqueue(const std::shared_ptr<Session>& session,
                      std::vector<uint8_t> frame) {
-  {
-    std::lock_guard<std::mutex> lock(session->out_mu);
-    if (session->out_closed) return;  // session tearing down; drop
-    session->outbox.push_back(std::move(frame));
-  }
-  session->out_cv.notify_one();
+  session->outbox.Push(std::move(frame));
 }
 
 void Router::SendError(const std::shared_ptr<Session>& session,
@@ -505,11 +490,7 @@ void Router::SendError(const std::shared_ptr<Session>& session,
 }
 
 void Router::FinishOne(const std::shared_ptr<Session>& session) {
-  {
-    std::lock_guard<std::mutex> lock(session->inflight_mu);
-    --session->inflight;
-  }
-  session->inflight_cv.notify_all();
+  session->outbox.FinishRequest();
 }
 
 // --- Backend pool: one thread per pooled connection owns its whole
@@ -593,18 +574,25 @@ bool Router::Handshake(Backend* backend, Client* client) {
   }
   if (!got) return false;
   // Re-handshakes must keep the fleet homogeneous: a backend restarted
-  // with a different strategy is refused (the conn keeps backing off, its
-  // seeds keep failing fast) — re-attaching it would silently serve
-  // different bytes for those seeds. strategy_ is empty only during the
-  // initial Start() handshakes, which Start() itself cross-validates.
+  // with a different strategy — or, on an AUTO fleet, a different advisor
+  // calibration — is refused (the conn keeps backing off, its seeds keep
+  // failing fast); re-attaching it would silently serve different bytes
+  // for those seeds. strategy_ is empty only during the initial Start()
+  // handshakes, which Start() itself cross-validates.
   {
     std::lock_guard<std::mutex> lock(strategy_mu_);
-    if (!strategy_.empty() && info.strategy != strategy_) {
+    if (!strategy_.empty() &&
+        (info.strategy != strategy_ ||
+         info.advisor.fingerprint != advisor_fingerprint_)) {
       if (options_.verbose) {
-        std::fprintf(stderr,
-                     "[router] backend %s refused: runs %s, fleet runs %s\n",
-                     AddressText(backend->address).c_str(),
-                     info.strategy.c_str(), strategy_.c_str());
+        std::fprintf(
+            stderr,
+            "[router] backend %s refused: runs %s (advisor %016llx), fleet "
+            "runs %s (advisor %016llx)\n",
+            AddressText(backend->address).c_str(), info.strategy.c_str(),
+            static_cast<unsigned long long>(info.advisor.fingerprint),
+            strategy_.c_str(),
+            static_cast<unsigned long long>(advisor_fingerprint_));
       }
       return false;
     }
@@ -616,6 +604,7 @@ bool Router::Handshake(Backend* backend, Client* client) {
   backend->shards = info.num_shards;
   backend->backend_kind = info.backend;
   backend->queue_capacity = info.queue_capacity_per_shard;
+  backend->advisor_fingerprint = info.advisor.fingerprint;
   return true;
 }
 

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -13,6 +12,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
 #include "runtime/server_stats.h"
@@ -123,20 +123,13 @@ class Router {
 
  private:
   // A client connection on the front door (same shape as the ingress
-  // server's sessions: reader thread + writer thread + outbox).
+  // server's sessions: reader thread + writer thread + the shared
+  // net::SessionOutbox front-door plumbing).
   struct Session {
     uint64_t id = 0;
     Socket socket;
 
-    std::mutex out_mu;
-    std::condition_variable out_cv;
-    std::deque<std::vector<uint8_t>> outbox;
-    bool out_closed = false;
-    bool dead = false;  // a send failed; drain without sending
-
-    std::mutex inflight_mu;
-    std::condition_variable inflight_cv;
-    int64_t inflight = 0;
+    SessionOutbox outbox;
 
     std::atomic<int64_t> accepted{0};
     std::atomic<int64_t> bytes_in{0};
@@ -170,6 +163,7 @@ class Router {
     int32_t shards = 0;
     uint8_t backend_kind = 0;
     uint64_t queue_capacity = 0;
+    uint64_t advisor_fingerprint = 0;  // nonzero only on AUTO backends
 
     std::atomic<int64_t> forwarded{0};
     std::atomic<int64_t> answered{0};
@@ -223,10 +217,15 @@ class Router {
   // The fleet-wide strategy: set once by Start() from the initial
   // handshakes, then enforced by every re-handshake (a restarted backend
   // serving a different strategy is refused — re-attaching it would
-  // silently break byte-identity). Guarded by strategy_mu_ because conn
-  // threads revalidate against it while Start() may still be writing it.
+  // silently break byte-identity). An AUTO fleet is compatible as long as
+  // every backend also reports the same advisor fingerprint: equal
+  // fingerprints mean identical per-request choices, so byte-identity
+  // holds exactly as it does for a fixed-strategy fleet. Guarded by
+  // strategy_mu_ because conn threads revalidate against it while Start()
+  // may still be writing it.
   mutable std::mutex strategy_mu_;
   std::string strategy_;
+  uint64_t advisor_fingerprint_ = 0;  // fleet-wide; 0 unless AUTO
 
   // Wakes conn threads out of their backoff sleep on Stop.
   std::mutex backoff_mu_;

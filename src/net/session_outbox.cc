@@ -1,0 +1,61 @@
+#include "net/session_outbox.h"
+
+#include <utility>
+
+namespace dflow::net {
+
+void SessionOutbox::Push(std::vector<uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    if (out_closed_) return;  // session tearing down; drop
+    outbox_.push_back(std::move(frame));
+  }
+  out_cv_.notify_one();
+}
+
+void SessionOutbox::Close() {
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    out_closed_ = true;
+  }
+  out_cv_.notify_all();
+}
+
+void SessionOutbox::DrainTo(
+    const std::function<bool(const std::vector<uint8_t>&)>& send) {
+  while (true) {
+    std::vector<uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(out_mu_);
+      out_cv_.wait(lock, [&] { return !outbox_.empty() || out_closed_; });
+      if (outbox_.empty()) return;  // closed and drained
+      frame = std::move(outbox_.front());
+      outbox_.pop_front();
+      if (dead_) continue;  // discard; peer is unreachable
+    }
+    if (!send(frame)) {
+      std::lock_guard<std::mutex> lock(out_mu_);
+      dead_ = true;
+    }
+  }
+}
+
+void SessionOutbox::BeginRequest() {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  ++inflight_;
+}
+
+void SessionOutbox::FinishRequest() {
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    --inflight_;
+  }
+  inflight_cv_.notify_all();
+}
+
+void SessionOutbox::WaitDrained() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+}  // namespace dflow::net

@@ -1,0 +1,73 @@
+#ifndef DFLOW_NET_SESSION_OUTBOX_H_
+#define DFLOW_NET_SESSION_OUTBOX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace dflow::net {
+
+// The front-door session plumbing IngressServer and Router share: the
+// encoded-frame outbox a dedicated writer drains, and the in-flight
+// request accounting behind the drain-answers-everything shutdown
+// invariant. Extracted so the invariants live in one place:
+//
+//   - Push() after Close() drops the frame (the session is tearing down;
+//     nothing may be appended once the writer was told the stream is
+//     complete);
+//   - a failed send marks the session dead, and the writer then *drains
+//     without sending* — teardown never wedges on an unreachable peer;
+//   - the reader-side teardown order is WaitDrained() (every admitted
+//     request answered into the outbox) then Close() then joining the
+//     writer, so a client that waits for its responses sees all of them
+//     before the FIN.
+//
+// Threading: Push/Begin/Finish from any thread (session readers, shard
+// workers, backend conn threads); DrainTo from the single writer thread;
+// WaitDrained/Close from the session reader during teardown.
+class SessionOutbox {
+ public:
+  SessionOutbox() = default;
+  SessionOutbox(const SessionOutbox&) = delete;
+  SessionOutbox& operator=(const SessionOutbox&) = delete;
+
+  // Enqueues one encoded frame for the writer, unless the outbox is
+  // closed (then the frame is dropped — the peer already got everything
+  // it was owed).
+  void Push(std::vector<uint8_t> frame);
+
+  // Marks the stream complete: the writer retires once the backlog is
+  // drained, and further Push()es are dropped.
+  void Close();
+
+  // The writer loop: blocks for frames and hands each to `send` until the
+  // outbox is closed and drained. `send` returns false on transport
+  // failure, after which the session is dead and the remaining frames are
+  // discarded (the loop still runs to completion so Close() releases it).
+  void DrainTo(const std::function<bool(const std::vector<uint8_t>&)>& send);
+
+  // In-flight accounting: one Begin per admitted request, one Finish per
+  // answer enqueued (or per unwound refusal). WaitDrained blocks until
+  // they balance — the "every admitted request answered" barrier.
+  void BeginRequest();
+  void FinishRequest();
+  void WaitDrained();
+
+ private:
+  std::mutex out_mu_;
+  std::condition_variable out_cv_;
+  std::deque<std::vector<uint8_t>> outbox_;
+  bool out_closed_ = false;
+  bool dead_ = false;  // a send failed; drain without sending
+
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
+  int64_t inflight_ = 0;
+};
+
+}  // namespace dflow::net
+
+#endif  // DFLOW_NET_SESSION_OUTBOX_H_

@@ -242,34 +242,6 @@ bool GetIngressStats(Reader* reader, runtime::IngressStats* s) {
          reader->GetI64(&s->bytes_out);
 }
 
-uint64_t FoldValue(uint64_t h, const Value& value) {
-  h = Rng::Mix(h, static_cast<uint64_t>(value.type()));
-  switch (value.type()) {
-    case Value::Type::kNull:
-      break;
-    case Value::Type::kBool:
-      h = Rng::Mix(h, value.bool_value() ? 1 : 0);
-      break;
-    case Value::Type::kInt:
-      h = Rng::Mix(h, static_cast<uint64_t>(value.int_value()));
-      break;
-    case Value::Type::kDouble:
-      h = Rng::Mix(h, std::bit_cast<uint64_t>(value.double_value()));
-      break;
-    case Value::Type::kString: {
-      const std::string& s = value.string_value();
-      h = Rng::Mix(h, s.size());
-      for (size_t i = 0; i < s.size(); i += 8) {
-        uint64_t chunk = 0;
-        std::memcpy(&chunk, s.data() + i, std::min<size_t>(8, s.size() - i));
-        h = Rng::Mix(h, chunk);
-      }
-      break;
-    }
-  }
-  return h;
-}
-
 }  // namespace
 
 const char* ToString(WireError error) {
@@ -341,6 +313,7 @@ void EncodeSubmitResult(const SubmitResult& msg, std::vector<uint8_t>* out) {
   PutU32(static_cast<uint32_t>(msg.queries_launched), out);
   PutU32(static_cast<uint32_t>(msg.speculative_launches), out);
   PutU64(msg.fingerprint, out);
+  PutString(msg.strategy, out);
   PutU8(msg.has_snapshot ? 1 : 0, out);
   if (msg.has_snapshot) {
     PutU32(static_cast<uint32_t>(msg.snapshot.size()), out);
@@ -362,7 +335,7 @@ bool DecodeSubmitResult(const std::vector<uint8_t>& payload,
       !reader.GetI64(&out->work) || !reader.GetI64(&out->wasted_work) ||
       !reader.GetDouble(&out->response_time) || !reader.GetU32(&queries) ||
       !reader.GetU32(&speculative) || !reader.GetU64(&out->fingerprint) ||
-      !reader.GetU8(&has_snapshot)) {
+      !reader.GetString(&out->strategy) || !reader.GetU8(&has_snapshot)) {
     return false;
   }
   if (has_snapshot > 1) return false;
@@ -435,6 +408,15 @@ void EncodeInfo(const ServerInfo& msg, std::vector<uint8_t>* out) {
     PutI64(backend.unavailable, out);
     PutI64(backend.reconnects, out);
   }
+  PutU8(msg.advisor.enabled, out);
+  PutU64(msg.advisor.fingerprint, out);
+  PutI64(msg.advisor.selections, out);
+  PutI64(msg.advisor.explores, out);
+  PutU32(static_cast<uint32_t>(msg.advisor.by_strategy.size()), out);
+  for (const AdvisorStrategyCount& entry : msg.advisor.by_strategy) {
+    PutString(entry.strategy, out);
+    PutI64(entry.count, out);
+  }
   SealFrame(frame, out);
 }
 
@@ -480,6 +462,25 @@ bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out) {
     }
     backend.shards = static_cast<int32_t>(backend_shards);
     out->router.backends.push_back(std::move(backend));
+  }
+  uint32_t num_counts;
+  if (!reader.GetU8(&out->advisor.enabled) || out->advisor.enabled > 1 ||
+      !reader.GetU64(&out->advisor.fingerprint) ||
+      !reader.GetI64(&out->advisor.selections) ||
+      !reader.GetI64(&out->advisor.explores) || !reader.GetU32(&num_counts)) {
+    return false;
+  }
+  // Each histogram row is at least 12 payload bytes (4-byte string header
+  // + 8-byte count), bounding a hostile count before the reserve.
+  if (num_counts > payload.size() / 12) return false;
+  out->advisor.by_strategy.clear();
+  out->advisor.by_strategy.reserve(num_counts);
+  for (uint32_t i = 0; i < num_counts; ++i) {
+    AdvisorStrategyCount entry;
+    if (!reader.GetString(&entry.strategy) || !reader.GetI64(&entry.count)) {
+      return false;
+    }
+    out->advisor.by_strategy.push_back(std::move(entry));
   }
   return reader.Done();
 }
@@ -574,7 +575,7 @@ uint64_t FingerprintResult(const core::InstanceResult& result) {
   for (int a = 0; a < n; ++a) {
     const auto attr = static_cast<AttributeId>(a);
     h = Rng::Mix(h, static_cast<uint64_t>(snapshot.state(attr)));
-    h = FoldValue(h, snapshot.value(attr));
+    h = HashValue(h, snapshot.value(attr));
   }
   const core::InstanceMetrics& m = result.metrics;
   h = Rng::Mix(h, static_cast<uint64_t>(m.work));

@@ -35,9 +35,12 @@ inline constexpr uint8_t kMagic0 = 'D';
 inline constexpr uint8_t kMagic1 = 'F';
 // Version history: v1 was the original ingress protocol; v2 extended the
 // Info payload with the node identity and the routing-tier section
-// (node_id, RouterStats). The bump makes a mixed-version fleet fail with
-// a detectable UNSUPPORTED_VERSION instead of a silent Info decode error.
-inline constexpr uint8_t kWireVersion = 2;
+// (node_id, RouterStats); v3 added the executed strategy to SubmitResult
+// and the strategy-advisor section (AUTO flag, calibration fingerprint,
+// selection histogram) to Info. Each bump makes a mixed-version fleet
+// fail with a detectable UNSUPPORTED_VERSION instead of a silent decode
+// error.
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 8;
 // Default ceiling on one frame's payload. Generous for request/response
 // traffic (a submit is dominated by its source bindings) while bounding
@@ -122,6 +125,11 @@ struct SubmitResult {
   // pair and every metrics field), so a client can verify byte-identical
   // execution without shipping the snapshot.
   uint64_t fingerprint = 0;
+  // The concrete strategy that executed this instance, in paper notation:
+  // the server's fixed strategy, or — on AUTO servers — the advisor's
+  // per-request choice. Lets clients build per-strategy histograms and
+  // audit AUTO decisions.
+  std::string strategy;
   // Full terminal snapshot; present iff the request set want_snapshot.
   bool has_snapshot = false;
   std::vector<SnapshotEntry> snapshot;
@@ -167,6 +175,31 @@ struct RouterStats {
   friend bool operator==(const RouterStats&, const RouterStats&) = default;
 };
 
+// One row of the advisor's per-strategy selection histogram.
+struct AdvisorStrategyCount {
+  std::string strategy;
+  int64_t count = 0;
+
+  friend bool operator==(const AdvisorStrategyCount&,
+                         const AdvisorStrategyCount&) = default;
+};
+
+// The strategy-advisor section of ServerInfo; all zero/empty unless the
+// answering server runs AUTO. `fingerprint` digests everything that
+// determines AUTO choices (calibration model, candidates, objective,
+// explore schedule, schema salt) — a router refuses a fleet whose AUTO
+// backends disagree on it, since they would serve different bytes for the
+// same seed.
+struct AdvisorInfo {
+  uint8_t enabled = 0;
+  uint64_t fingerprint = 0;
+  int64_t selections = 0;
+  int64_t explores = 0;
+  std::vector<AdvisorStrategyCount> by_strategy;
+
+  friend bool operator==(const AdvisorInfo&, const AdvisorInfo&) = default;
+};
+
 // Server -> client: configuration + live counters, answering kInfoRequest.
 struct ServerInfo {
   int32_t num_shards = 0;
@@ -184,6 +217,8 @@ struct ServerInfo {
   runtime::IngressStats ingress;
   // Filled in (is_router = 1) only when a net::Router answers.
   RouterStats router;
+  // Filled in (enabled = 1) only when the answering server runs AUTO.
+  AdvisorInfo advisor;
 
   friend bool operator==(const ServerInfo&, const ServerInfo&) = default;
 };

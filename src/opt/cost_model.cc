@@ -1,0 +1,266 @@
+#include "opt/cost_model.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace dflow::opt {
+namespace {
+
+constexpr char kHeader[] = "dflow-cost-model v1";
+
+// %.17g round-trips every finite double exactly, keeping Serialize/Parse
+// fingerprint-stable.
+std::string DoubleText(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", v);
+  return buffer;
+}
+
+void AppendEstimateLine(const char* kind, const std::string& strategy,
+                        const CostEstimate& estimate, uint64_t class_key,
+                        std::string* out) {
+  char key_text[24] = "";
+  if (class_key != 0) {
+    std::snprintf(key_text, sizeof(key_text), "%016" PRIx64 " ", class_key);
+  }
+  *out += kind;
+  *out += ' ';
+  *out += key_text;
+  *out += strategy + " " + DoubleText(estimate.mean_work) + " " +
+          DoubleText(estimate.mean_time_units) + " " +
+          std::to_string(estimate.samples) + "\n";
+}
+
+uint64_t FoldEstimate(uint64_t h, const std::string& strategy,
+                      const CostEstimate& estimate) {
+  for (const char c : strategy) h = Rng::Mix(h, static_cast<uint64_t>(c));
+  h = Rng::Mix(h, std::bit_cast<uint64_t>(estimate.mean_work));
+  h = Rng::Mix(h, std::bit_cast<uint64_t>(estimate.mean_time_units));
+  h = Rng::Mix(h, static_cast<uint64_t>(estimate.samples));
+  return h;
+}
+
+}  // namespace
+
+void CostEstimate::Fold(double work, double time_units) {
+  ++samples;
+  const double n = static_cast<double>(samples);
+  mean_work += (work - mean_work) / n;
+  mean_time_units += (time_units - mean_time_units) / n;
+}
+
+uint64_t ClassKeyFor(uint64_t schema_salt,
+                     const core::SourceBinding& sources) {
+  uint64_t h = Rng::Mix(0xc1a55c0575ULL, schema_salt);
+  h = Rng::Mix(h, sources.size());
+  for (const auto& [attr, value] : sources) {
+    h = Rng::Mix(h, static_cast<uint64_t>(attr));
+    h = HashValue(h, value);
+  }
+  return h;
+}
+
+uint64_t SchemaSaltFromParams(const gen::PatternParams& params) {
+  uint64_t h = 0x5c11e3a5a17ULL;
+  h = Rng::Mix(h, static_cast<uint64_t>(params.nb_nodes));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.nb_rows));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.pct_enabled));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.pct_enabler));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.pct_enabling_hop));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.min_pred));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.max_pred));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.pct_added_data_edges));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.pct_data_hop));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.min_cost));
+  h = Rng::Mix(h, static_cast<uint64_t>(params.max_cost));
+  h = Rng::Mix(h, params.seed);
+  return h;
+}
+
+void CostEstimate::FoldBatch(const CostEstimate& other) {
+  if (other.samples <= 0) return;
+  const int64_t total = samples + other.samples;
+  const double weight =
+      static_cast<double>(other.samples) / static_cast<double>(total);
+  mean_work += (other.mean_work - mean_work) * weight;
+  mean_time_units += (other.mean_time_units - mean_time_units) * weight;
+  samples = total;
+}
+
+void CostModel::Record(uint64_t class_key, const std::string& strategy,
+                       double work, double time_units) {
+  classes_[class_key][strategy].Fold(work, time_units);
+  defaults_[strategy].Fold(work, time_units);
+}
+
+void CostModel::MergeFrom(const CostModel& other) {
+  for (const auto& [class_key, by_strategy] : other.classes_) {
+    for (const auto& [strategy, estimate] : by_strategy) {
+      classes_[class_key][strategy].FoldBatch(estimate);
+    }
+  }
+  for (const auto& [strategy, estimate] : other.defaults_) {
+    defaults_[strategy].FoldBatch(estimate);
+  }
+}
+
+const CostEstimate* CostModel::Find(uint64_t class_key,
+                                    const std::string& strategy) const {
+  const auto cls = classes_.find(class_key);
+  if (cls == classes_.end()) return nullptr;
+  const auto it = cls->second.find(strategy);
+  return it == cls->second.end() ? nullptr : &it->second;
+}
+
+const CostEstimate* CostModel::FindDefault(const std::string& strategy) const {
+  const auto it = defaults_.find(strategy);
+  return it == defaults_.end() ? nullptr : &it->second;
+}
+
+bool CostModel::HasClass(uint64_t class_key) const {
+  return classes_.count(class_key) > 0;
+}
+
+uint64_t CostModel::Fingerprint() const {
+  uint64_t h = 0xc057f17ULL;
+  h = Rng::Mix(h, schema_salt_);
+  h = Rng::Mix(h, classes_.size());
+  for (const auto& [class_key, by_strategy] : classes_) {
+    h = Rng::Mix(h, class_key);
+    for (const auto& [strategy, estimate] : by_strategy) {
+      h = FoldEstimate(h, strategy, estimate);
+    }
+  }
+  h = Rng::Mix(h, defaults_.size());
+  for (const auto& [strategy, estimate] : defaults_) {
+    h = FoldEstimate(h, strategy, estimate);
+  }
+  return h;
+}
+
+std::string CostModel::Serialize() const {
+  std::string out = kHeader;
+  out += "\n";
+  char salt_text[32];
+  std::snprintf(salt_text, sizeof(salt_text), "salt %016" PRIx64 "\n",
+                schema_salt_);
+  out += salt_text;
+  for (const auto& [strategy, estimate] : defaults_) {
+    AppendEstimateLine("default", strategy, estimate, 0, &out);
+  }
+  for (const auto& [class_key, by_strategy] : classes_) {
+    for (const auto& [strategy, estimate] : by_strategy) {
+      AppendEstimateLine("class", strategy, estimate, class_key, &out);
+    }
+  }
+  return out;
+}
+
+std::optional<CostModel> CostModel::Parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+  CostModel model;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    uint64_t class_key = 0;
+    if (kind == "salt") {
+      std::string salt_text;
+      fields >> salt_text;
+      char* end = nullptr;
+      model.schema_salt_ = std::strtoull(salt_text.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0' || salt_text.empty() ||
+          fields.fail()) {
+        return std::nullopt;
+      }
+      continue;
+    }
+    if (kind == "class") {
+      std::string key_text;
+      fields >> key_text;
+      char* end = nullptr;
+      class_key = std::strtoull(key_text.c_str(), &end, 16);
+      if (end == nullptr || *end != '\0' || key_text.empty()) {
+        return std::nullopt;
+      }
+    } else if (kind != "default") {
+      return std::nullopt;
+    }
+    std::string strategy;
+    CostEstimate estimate;
+    fields >> strategy >> estimate.mean_work >> estimate.mean_time_units >>
+        estimate.samples;
+    if (fields.fail() || strategy.empty() || estimate.samples < 0) {
+      return std::nullopt;
+    }
+    if (kind == "class") {
+      model.classes_[class_key][strategy] = estimate;
+    } else {
+      model.defaults_[strategy] = estimate;
+    }
+  }
+  return model;
+}
+
+bool CostModel::SaveToFile(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << Serialize();
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+std::optional<CostModel> CostModel::LoadFromFile(const std::string& path,
+                                                 std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::optional<CostModel> model = Parse(text.str());
+  if (!model.has_value() && error != nullptr) {
+    *error = path + " is not a valid cost model";
+  }
+  return model;
+}
+
+CostModel CalibrateCostModel(const core::Schema& schema,
+                             const std::vector<CalibrationInstance>& instances,
+                             const CalibrationOptions& options) {
+  CostModel model;
+  model.set_schema_salt(options.schema_salt);
+  for (const core::Strategy& strategy : options.candidates) {
+    // One private harness per candidate: instances see a quiescent engine,
+    // so every measurement equals what a serving shard would observe.
+    core::FlowHarness harness(&schema, strategy, options.harness);
+    const std::string name = strategy.ToString();
+    for (const CalibrationInstance& instance : instances) {
+      const core::InstanceResult result =
+          harness.Run(instance.sources, instance.seed);
+      model.Record(ClassKeyFor(options.schema_salt, instance.sources), name,
+                   static_cast<double>(result.metrics.work),
+                   result.metrics.ResponseTime());
+    }
+  }
+  return model;
+}
+
+}  // namespace dflow::opt

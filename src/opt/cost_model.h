@@ -1,0 +1,138 @@
+#ifndef DFLOW_OPT_COST_MODEL_H_
+#define DFLOW_OPT_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+#include "core/schema.h"
+#include "core/snapshot.h"
+#include "core/strategy.h"
+#include "gen/pattern_params.h"
+
+namespace dflow::opt {
+
+// One measured cost estimate for a (request class, strategy) pair: running
+// means of the paper's Work and TimeInUnits over `samples` executions.
+struct CostEstimate {
+  double mean_work = 0;
+  double mean_time_units = 0;
+  int64_t samples = 0;
+
+  // Folds one observation into the running means.
+  void Fold(double work, double time_units);
+  // Folds another estimate in as a sample-weighted batch.
+  void FoldBatch(const CostEstimate& other);
+
+  friend bool operator==(const CostEstimate&, const CostEstimate&) = default;
+};
+
+// One instance of the calibration workload: the source bindings plus the
+// instance seed, exactly what a serving request carries.
+struct CalibrationInstance {
+  core::SourceBinding sources;
+  uint64_t seed = 0;
+};
+
+// The request-class key the advisor (and calibration) buckets by: a salt
+// identifying the schema regime mixed with the digest of the source
+// bindings. Two requests with the same class key are the same decision-flow
+// "shape" for costing purposes — on one served schema, that means
+// identical source bindings.
+uint64_t ClassKeyFor(uint64_t schema_salt, const core::SourceBinding& sources);
+
+// A deterministic salt for a generated schema regime: a digest of every
+// Table 1 parameter. Calibration and serving must use the same salt so
+// class keys line up (dflow_serve derives it from its pattern flags).
+uint64_t SchemaSaltFromParams(const gen::PatternParams& params);
+
+// The frozen cost table the StrategyAdvisor consults: per-class and
+// per-strategy estimates plus a class-independent default aggregate per
+// strategy (the fallback for classes never calibrated or observed).
+//
+// A CostModel is plain data — building one (CalibrateCostModel below, or
+// StrategyAdvisor::PromotedModel) is the only thing that runs instances.
+// Serialization is a line-based text format (`Serialize`/`Parse`,
+// `SaveToFile`/`LoadFromFile`) so a server restart can reload the exact
+// model and reproduce every AUTO choice byte-for-byte.
+class CostModel {
+ public:
+  CostModel() = default;
+
+  // Folds one measured execution into both the class entry and the
+  // per-strategy default aggregate.
+  void Record(uint64_t class_key, const std::string& strategy, double work,
+              double time_units);
+
+  // Folds every entry of `other` into this model as one sample-weighted
+  // batch per (class, strategy) — the promotion step that turns online
+  // observations into the next epoch's calibration.
+  void MergeFrom(const CostModel& other);
+
+  // The class-specific estimate, or nullptr when this (class, strategy)
+  // was never recorded.
+  const CostEstimate* Find(uint64_t class_key,
+                           const std::string& strategy) const;
+  // The class-independent aggregate for a strategy, or nullptr.
+  const CostEstimate* FindDefault(const std::string& strategy) const;
+  bool HasClass(uint64_t class_key) const;
+
+  size_t num_classes() const { return classes_.size(); }
+  bool empty() const { return classes_.empty() && defaults_.empty(); }
+
+  // The schema salt this model was calibrated under (0 for an empty
+  // model). Serialized with the model, so a loaded calibration can be
+  // checked against the served schema — class keys of a different schema
+  // never match, which would silently degrade every request to the
+  // default aggregates measured on the wrong pattern.
+  uint64_t schema_salt() const { return schema_salt_; }
+  void set_schema_salt(uint64_t salt) { schema_salt_ = salt; }
+
+  // Order-independent 64-bit digest of the full contents. Equal
+  // fingerprints mean the models drive identical AUTO choices.
+  uint64_t Fingerprint() const;
+
+  // Text round trip. Parse returns nullopt on any malformed line; a parsed
+  // model has the same Fingerprint as its source.
+  std::string Serialize() const;
+  static std::optional<CostModel> Parse(const std::string& text);
+
+  // File round trip; false + *error on I/O or parse failure.
+  bool SaveToFile(const std::string& path, std::string* error) const;
+  static std::optional<CostModel> LoadFromFile(const std::string& path,
+                                               std::string* error);
+
+  friend bool operator==(const CostModel&, const CostModel&) = default;
+
+ private:
+  // std::map keeps iteration deterministic, which Serialize/Fingerprint
+  // rely on.
+  uint64_t schema_salt_ = 0;
+  std::map<uint64_t, std::map<std::string, CostEstimate>> classes_;
+  std::map<std::string, CostEstimate> defaults_;
+};
+
+// Calibration configuration: the candidate strategies to profile, the
+// backend regime they run against, and the schema salt class keys are
+// derived from.
+struct CalibrationOptions {
+  std::vector<core::Strategy> candidates;
+  core::HarnessOptions harness;
+  uint64_t schema_salt = 0;
+};
+
+// The offline calibration pass: runs every candidate strategy over every
+// calibration instance on a private FlowHarness and records the measured
+// Work / TimeInUnits into a fresh CostModel. Deterministic: same (schema,
+// instances, options) => byte-identical model (the FlowHarness determinism
+// contract), so re-calibrating on restart reproduces the exact model.
+CostModel CalibrateCostModel(const core::Schema& schema,
+                             const std::vector<CalibrationInstance>& instances,
+                             const CalibrationOptions& options);
+
+}  // namespace dflow::opt
+
+#endif  // DFLOW_OPT_COST_MODEL_H_

@@ -1,0 +1,147 @@
+#include "opt/strategy_advisor.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace dflow::opt {
+namespace {
+
+// Distinct salts for the two independent per-request draws, so "does this
+// request explore" and "which candidate does it explore" never correlate.
+constexpr uint64_t kExploreSalt = 0xe8b10e5eedULL;
+constexpr uint64_t kRotationSalt = 0x0707a7e10adULL;
+
+std::vector<std::string> NamesOf(const std::vector<core::Strategy>& list) {
+  std::vector<std::string> names;
+  names.reserve(list.size());
+  for (const core::Strategy& s : list) names.push_back(s.ToString());
+  return names;
+}
+
+uint64_t FingerprintOf(const CostModel& model,
+                       const std::vector<std::string>& names,
+                       const AdvisorOptions& options) {
+  uint64_t h = Rng::Mix(0xad7150f00dULL, model.Fingerprint());
+  h = Rng::Mix(h, names.size());
+  for (const std::string& name : names) {
+    for (const char c : name) h = Rng::Mix(h, static_cast<uint64_t>(c));
+  }
+  h = Rng::Mix(h, static_cast<uint64_t>(options.objective));
+  h = Rng::Mix(h, options.explore_period);
+  h = Rng::Mix(h, options.schema_salt);
+  return h;
+}
+
+}  // namespace
+
+std::vector<core::Strategy> StrategyAdvisor::DefaultCandidates() {
+  std::vector<core::Strategy> candidates;
+  for (const char* text :
+       {"PCE0", "PCC0", "PCE100", "PCC100", "PSE100", "PSC100"}) {
+    candidates.push_back(*core::Strategy::Parse(text));
+  }
+  return candidates;
+}
+
+StrategyAdvisor::StrategyAdvisor(CostModel model,
+                                 std::vector<core::Strategy> candidates,
+                                 AdvisorOptions options)
+    : model_(std::move(model)),
+      candidates_(std::move(candidates)),
+      candidate_names_(NamesOf(candidates_)),
+      options_(options),
+      fingerprint_(FingerprintOf(model_, candidate_names_, options_)) {
+  assert(!candidates_.empty());
+  for (const core::Strategy& candidate : candidates_) {
+    assert(!candidate.is_auto);
+    (void)candidate;
+  }
+}
+
+AdvisorChoice StrategyAdvisor::Choose(const core::SourceBinding& sources,
+                                      uint64_t seed) const {
+  const uint64_t class_key = ClassKeyFor(options_.schema_salt, sources);
+  AdvisorChoice choice;
+  choice.class_key = class_key;
+  choice.class_hit = model_.HasClass(class_key);
+  selections_.fetch_add(1, std::memory_order_relaxed);
+  (choice.class_hit ? class_hits_ : class_misses_)
+      .fetch_add(1, std::memory_order_relaxed);
+
+  // Explore: a pure hash of the request decides, so replays (and every
+  // shard count) explore exactly the same requests.
+  if (options_.explore_period > 0 &&
+      Rng::Mix(class_key, seed ^ kExploreSalt) % options_.explore_period ==
+          0) {
+    choice.explored = true;
+    choice.strategy = candidates_[Rng::Mix(seed, kRotationSalt) %
+                                  candidates_.size()];
+    explores_.fetch_add(1, std::memory_order_relaxed);
+    return choice;
+  }
+
+  // Exploit: the candidate with the lowest estimated cost, preferring the
+  // class-specific estimate and falling back to the class-independent
+  // aggregate. Candidates without any estimate are skipped; with an empty
+  // model the first candidate wins (still a pure function of the config).
+  const CostEstimate* best_estimate = nullptr;
+  size_t best_index = 0;
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const CostEstimate* estimate =
+        model_.Find(class_key, candidate_names_[i]);
+    if (estimate == nullptr) {
+      estimate = model_.FindDefault(candidate_names_[i]);
+    }
+    if (estimate == nullptr) continue;
+    const auto cost_of = [&](const CostEstimate& e) {
+      return options_.objective == AdvisorOptions::Objective::kWork
+                 ? e.mean_work
+                 : e.mean_time_units;
+    };
+    if (best_estimate == nullptr ||
+        cost_of(*estimate) < cost_of(*best_estimate)) {
+      best_estimate = estimate;
+      best_index = i;
+    }
+  }
+  choice.strategy = candidates_[best_index];
+  return choice;
+}
+
+void StrategyAdvisor::Observe(const core::SourceBinding& sources,
+                              const core::Strategy& strategy,
+                              const core::InstanceMetrics& metrics) {
+  Observe(ClassKeyFor(options_.schema_salt, sources), strategy.ToString(),
+          metrics);
+}
+
+void StrategyAdvisor::Observe(uint64_t class_key,
+                              const std::string& strategy_name,
+                              const core::InstanceMetrics& metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  observed_.Record(class_key, strategy_name,
+                   static_cast<double>(metrics.work), metrics.ResponseTime());
+  ++observations_;
+}
+
+CostModel StrategyAdvisor::PromotedModel() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CostModel promoted = model_;
+  promoted.MergeFrom(observed_);
+  return promoted;
+}
+
+AdvisorStats StrategyAdvisor::Stats() const {
+  AdvisorStats stats;
+  stats.selections = selections_.load(std::memory_order_relaxed);
+  stats.explores = explores_.load(std::memory_order_relaxed);
+  stats.class_hits = class_hits_.load(std::memory_order_relaxed);
+  stats.class_misses = class_misses_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats.observations = observations_;
+  return stats;
+}
+
+}  // namespace dflow::opt

@@ -1,0 +1,147 @@
+#ifndef DFLOW_OPT_STRATEGY_ADVISOR_H_
+#define DFLOW_OPT_STRATEGY_ADVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/snapshot.h"
+#include "core/strategy.h"
+#include "opt/cost_model.h"
+
+namespace dflow::opt {
+
+// Advisor configuration. The schema salt must match the one the model was
+// calibrated with, or every request falls back to the default aggregates.
+struct AdvisorOptions {
+  // What the exploit rule minimizes: the paper's Work (total units
+  // submitted to the database) or TimeInUnits (response time under
+  // infinite resources).
+  enum class Objective { kWork, kTimeUnits };
+  Objective objective = Objective::kWork;
+
+  // Deterministic explore schedule: a request whose Mix(class_key, seed)
+  // draw lands on 0 mod explore_period runs a rotation candidate instead
+  // of the exploit choice, so the online statistics keep covering
+  // non-best strategies. 0 disables exploration. Because the draw is a
+  // pure hash of the request, replays explore the same requests.
+  uint32_t explore_period = 64;
+
+  uint64_t schema_salt = 0;
+};
+
+// One AUTO decision: the concrete strategy to execute plus how it was
+// reached (diagnostics that feed the selection counters). `class_key` is
+// the request's class digest, handed back so the caller can Observe()
+// without re-hashing the source bindings.
+struct AdvisorChoice {
+  core::Strategy strategy;
+  uint64_t class_key = 0;
+  bool explored = false;   // explore rule fired (rotation pick)
+  bool class_hit = false;  // request class present in the frozen model
+};
+
+// Point-in-time advisor counters (cumulative since construction). The
+// per-strategy selection histogram lives in the runtime's StatsCollector
+// (ServerStats::strategy_selections), not here — the advisor only keeps
+// what PromotedModel() and these gauges need.
+struct AdvisorStats {
+  int64_t selections = 0;
+  int64_t explores = 0;
+  int64_t class_hits = 0;
+  int64_t class_misses = 0;
+  int64_t observations = 0;
+};
+
+// The cost-model-driven per-request strategy selector behind the AUTO
+// sentinel.
+//
+// Determinism contract (tested in tests/strategy_advisor_test.cc):
+// Choose() is a pure function of (sources, seed) and the *frozen*
+// calibration model — it never reads the online statistics — so the same
+// request stream produces byte-identical results and identical strategy
+// choices for any shard count, any interleaving, and across a server
+// restart with the same calibration. Online observations accumulate on
+// the side and only change decisions through an explicit epoch step:
+// PromotedModel() folds them into a new CostModel that a *new* advisor
+// (typically the next server start, which can persist it via
+// CostModel::SaveToFile) is built from.
+//
+// Threading: Choose() and Observe() are safe to call concurrently from
+// every shard worker; Choose touches only immutable state plus relaxed
+// counters, Observe takes a mutex on the observation accumulator.
+class StrategyAdvisor {
+ public:
+  // A compact candidate set spanning the paper's §5 strategy families:
+  // serial propagation (work-minimal regimes), fully parallel
+  // conservative, and fully parallel speculative (time-minimal regimes),
+  // each under both scheduling heuristics.
+  static std::vector<core::Strategy> DefaultCandidates();
+
+  // `model` is the frozen calibration; `candidates` the concrete
+  // strategies AUTO may pick (must be non-empty and concrete; an AUTO
+  // entry would recurse — callers pass DefaultCandidates() or a curated
+  // list).
+  StrategyAdvisor(CostModel model, std::vector<core::Strategy> candidates,
+                  AdvisorOptions options);
+  StrategyAdvisor(const StrategyAdvisor&) = delete;
+  StrategyAdvisor& operator=(const StrategyAdvisor&) = delete;
+
+  // Picks the concrete strategy for one request. Pure function of
+  // (sources, seed) and the frozen model; see the class comment.
+  AdvisorChoice Choose(const core::SourceBinding& sources,
+                       uint64_t seed) const;
+
+  // Feeds one completed execution into the online statistics. Never
+  // affects Choose() on this advisor.
+  void Observe(const core::SourceBinding& sources,
+               const core::Strategy& strategy,
+               const core::InstanceMetrics& metrics);
+  // Hot-path variant taking the class key from AdvisorChoice and the
+  // already-stringified strategy, so the per-request serving path hashes
+  // the sources and stringifies the strategy exactly once (in Choose /
+  // the shard).
+  void Observe(uint64_t class_key, const std::string& strategy_name,
+               const core::InstanceMetrics& metrics);
+
+  // The frozen model with every online observation folded in: the next
+  // epoch's calibration. Deterministic given the same observation
+  // multiset (per-class-and-strategy running means are order-independent
+  // up to floating-point rounding of identical values).
+  CostModel PromotedModel() const;
+
+  AdvisorStats Stats() const;
+
+  // Digest of everything that determines Choose(): the frozen model, the
+  // candidate list, the objective, the explore period, and the schema
+  // salt. Two servers with equal fingerprints make identical AUTO
+  // decisions — the router's fleet handshake compares this.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
+  const CostModel& model() const { return model_; }
+  const std::vector<core::Strategy>& candidates() const { return candidates_; }
+  const AdvisorOptions& options() const { return options_; }
+
+ private:
+  const CostModel model_;
+  const std::vector<core::Strategy> candidates_;
+  const std::vector<std::string> candidate_names_;
+  const AdvisorOptions options_;
+  const uint64_t fingerprint_;
+
+  // Online layer: the observation accumulator plus counters.
+  mutable std::mutex mu_;
+  CostModel observed_;
+  int64_t observations_ = 0;
+  mutable std::atomic<int64_t> selections_{0};
+  mutable std::atomic<int64_t> explores_{0};
+  mutable std::atomic<int64_t> class_hits_{0};
+  mutable std::atomic<int64_t> class_misses_{0};
+};
+
+}  // namespace dflow::opt
+
+#endif  // DFLOW_OPT_STRATEGY_ADVISOR_H_

@@ -8,11 +8,24 @@
 namespace dflow::runtime {
 
 FlowServer::FlowServer(const core::Schema* schema, FlowServerOptions options)
-    : options_(options) {
-  int n = options.num_shards;
+    : options_(std::move(options)) {
+  int n = options_.num_shards;
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
     if (n <= 0) n = 1;
+  }
+  if (options_.strategy.is_auto && options_.advisor == nullptr) {
+    // AUTO without a calibration: still deterministic (empty model =>
+    // first-candidate exploit + hash-scheduled explores), documented on
+    // FlowServerOptions::advisor.
+    options_.advisor = std::make_shared<opt::StrategyAdvisor>(
+        opt::CostModel(), opt::StrategyAdvisor::DefaultCandidates(),
+        opt::AdvisorOptions{});
+  } else if (!options_.strategy.is_auto) {
+    // An advisor configured alongside a concrete strategy is documented
+    // as ignored; drop it so advisor() (and the Info AdvisorInfo section
+    // keyed on it) never advertises a selector that is not consulted.
+    options_.advisor = nullptr;
   }
   ShardOptions shard_options;
   shard_options.queue_capacity = options_.queue_capacity_per_shard;
@@ -20,6 +33,8 @@ FlowServer::FlowServer(const core::Schema* schema, FlowServerOptions options)
   shard_options.db = options_.db;
   shard_options.result_cache_capacity = options_.result_cache_capacity;
   shard_options.result_cache_max_bytes = options_.result_cache_max_bytes;
+  shard_options.result_cache_min_cost = options_.result_cache_min_cost;
+  shard_options.advisor = options_.advisor.get();
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     shards_.push_back(std::make_unique<Shard>(i, schema, options_.strategy,
@@ -105,6 +120,7 @@ FlowServerReport FlowServer::Report() const {
     report.cache.evictions += cache.evictions;
     report.cache.entries += cache.entries;
     report.cache.bytes += cache.bytes;
+    report.cache.admission_skips += cache.admission_skips;
   }
   // The caches count shard-locally (no shared lock per request); fold the
   // summed counters into the ServerStats view here.

@@ -8,6 +8,7 @@
 
 #include "core/schema.h"
 #include "core/strategy.h"
+#include "opt/strategy_advisor.h"
 #include "runtime/request_queue.h"
 #include "runtime/server_stats.h"
 #include "runtime/shard.h"
@@ -19,8 +20,18 @@ struct FlowServerOptions {
   int num_shards = 0;
   // Bounded admission queue depth per shard (backpressure threshold).
   size_t queue_capacity_per_shard = 256;
-  // Execution strategy every shard's engine runs (§5 notation, e.g. PSE100).
+  // Execution strategy every shard's engine runs (§5 notation, e.g.
+  // PSE100), or the AUTO sentinel: the advisor below then picks a concrete
+  // strategy per request.
   core::Strategy strategy;
+  // The per-request strategy selector consulted when `strategy` is AUTO
+  // (ignored otherwise). Shared across shards — the advisor is internally
+  // synchronized and its Choose() is a pure function of the request, so
+  // sharing cannot couple shards. When AUTO is configured without an
+  // advisor, the server builds one over an empty cost model and the
+  // default candidate set (deterministic, but every request falls back to
+  // the first candidate except explore picks — calibrate for real use).
+  std::shared_ptr<opt::StrategyAdvisor> advisor;
   // Which QueryService backend each shard's harness owns: the §5 infinite-
   // resource service, or a *private per-shard* bounded sim::DatabaseServer
   // (the Figure 9(b)-(d) finite-resources regime) with the DatabaseParams
@@ -35,6 +46,10 @@ struct FlowServerOptions {
   // ResultCacheStats::bytes) is back under the budget. 0 means no byte
   // bound (entries-only LRU).
   int64_t result_cache_max_bytes = 0;
+  // Cost-based cache admission: results whose measured work is below this
+  // are not cached (ResultCacheStats::admission_skips counts them), so
+  // cheap instances stop evicting expensive ones. 0 admits everything.
+  int64_t result_cache_min_cost = 0;
 };
 
 // Aggregate server report: simulated-time statistics from the shared
@@ -112,6 +127,10 @@ class FlowServer {
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const core::Strategy& strategy() const { return options_.strategy; }
   const FlowServerOptions& options() const { return options_; }
+  // The strategy advisor, or null unless the server runs AUTO.
+  const std::shared_ptr<opt::StrategyAdvisor>& advisor() const {
+    return options_.advisor;
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

@@ -1,42 +1,12 @@
 #include "runtime/result_cache.h"
 
-#include <algorithm>
-#include <bit>
-#include <cstring>
+#include <iterator>
 
 #include "common/rng.h"
+#include "common/value.h"
 
 namespace dflow::runtime {
 namespace {
-
-uint64_t HashValue(uint64_t h, const Value& value) {
-  h = Rng::Mix(h, static_cast<uint64_t>(value.type()));
-  switch (value.type()) {
-    case Value::Type::kNull:
-      break;
-    case Value::Type::kBool:
-      h = Rng::Mix(h, value.bool_value() ? 1 : 0);
-      break;
-    case Value::Type::kInt:
-      h = Rng::Mix(h, static_cast<uint64_t>(value.int_value()));
-      break;
-    case Value::Type::kDouble:
-      h = Rng::Mix(h, std::bit_cast<uint64_t>(value.double_value()));
-      break;
-    case Value::Type::kString: {
-      const std::string& s = value.string_value();
-      h = Rng::Mix(h, s.size());
-      // Fold the bytes 8 at a time (tail zero-padded).
-      for (size_t i = 0; i < s.size(); i += 8) {
-        uint64_t chunk = 0;
-        std::memcpy(&chunk, s.data() + i, std::min<size_t>(8, s.size() - i));
-        h = Rng::Mix(h, chunk);
-      }
-      break;
-    }
-  }
-  return h;
-}
 
 uint64_t HashSources(uint64_t h, const core::SourceBinding& sources) {
   h = Rng::Mix(h, sources.size());
@@ -69,14 +39,19 @@ int64_t ApproxValueBytes(const Value& value) {
 }  // namespace
 
 ResultCache::ResultCache(size_t capacity, const core::Strategy& strategy,
-                         int64_t max_bytes)
+                         int64_t max_bytes, int64_t min_cost)
     : capacity_(capacity),
       max_bytes_(max_bytes > 0 ? max_bytes : 0),
+      min_cost_(min_cost > 0 ? min_cost : 0),
       strategy_salt_(StrategySalt(strategy)) {}
 
 uint64_t ResultCache::KeyHash(const core::SourceBinding& sources,
-                              uint64_t seed) const {
-  return HashSources(Rng::Mix(strategy_salt_, seed), sources);
+                              uint64_t seed, uint64_t variant_salt) const {
+  return HashSources(Rng::Mix(strategy_salt_ ^ variant_salt, seed), sources);
+}
+
+uint64_t ResultCache::StrategyVariantSalt(const core::Strategy& strategy) {
+  return StrategySalt(strategy);
 }
 
 int64_t ResultCache::ApproxResultBytes(const core::InstanceResult& result) {
@@ -91,10 +66,12 @@ int64_t ResultCache::ApproxResultBytes(const core::InstanceResult& result) {
 }
 
 ResultCache::EntryList::iterator ResultCache::Find(
-    uint64_t hash, const core::SourceBinding& sources, uint64_t seed) {
+    uint64_t hash, const core::SourceBinding& sources, uint64_t seed,
+    uint64_t variant_salt) {
   auto [begin, end] = index_.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
-    if (it->second->seed == seed && it->second->sources == sources) {
+    if (it->second->seed == seed && it->second->variant == variant_salt &&
+        it->second->sources == sources) {
       return it->second;
     }
   }
@@ -102,10 +79,11 @@ ResultCache::EntryList::iterator ResultCache::Find(
 }
 
 const core::InstanceResult* ResultCache::Lookup(
-    const core::SourceBinding& sources, uint64_t seed) {
+    const core::SourceBinding& sources, uint64_t seed,
+    uint64_t variant_salt) {
   if (!enabled()) return nullptr;
-  const uint64_t hash = KeyHash(sources, seed);
-  const EntryList::iterator it = Find(hash, sources, seed);
+  const uint64_t hash = KeyHash(sources, seed, variant_salt);
+  const EntryList::iterator it = Find(hash, sources, seed, variant_salt);
   if (it == entries_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
@@ -129,10 +107,17 @@ void ResultCache::Erase(EntryList::iterator it) {
 }
 
 void ResultCache::Insert(const core::SourceBinding& sources, uint64_t seed,
-                         const core::InstanceResult& result) {
+                         const core::InstanceResult& result,
+                         uint64_t variant_salt) {
   if (!enabled()) return;
-  const uint64_t hash = KeyHash(sources, seed);
-  const EntryList::iterator existing = Find(hash, sources, seed);
+  // Cost-based admission: re-executing a cheap instance costs less than
+  // the expensive entry it would evict.
+  if (min_cost_ > 0 && result.metrics.work < min_cost_) {
+    admission_skips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const uint64_t hash = KeyHash(sources, seed, variant_salt);
+  const EntryList::iterator existing = Find(hash, sources, seed, variant_salt);
   if (existing != entries_.end()) Erase(existing);
   while (entries_.size() >= capacity_) {
     Erase(std::prev(entries_.end()));  // evict LRU
@@ -140,7 +125,7 @@ void ResultCache::Insert(const core::SourceBinding& sources, uint64_t seed,
   }
   const int64_t bytes = static_cast<int64_t>(sizeof(Entry)) +
                         ApproxResultBytes(result);
-  entries_.push_front(Entry{sources, seed, result, hash, bytes});
+  entries_.push_front(Entry{sources, seed, variant_salt, result, hash, bytes});
   index_.emplace(hash, entries_.begin());
   resident_entries_.fetch_add(1, std::memory_order_relaxed);
   resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -159,6 +144,7 @@ ResultCacheStats ResultCache::Stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.admission_skips = admission_skips_.load(std::memory_order_relaxed);
   stats.entries = resident_entries_.load(std::memory_order_relaxed);
   stats.bytes = resident_bytes_.load(std::memory_order_relaxed);
   return stats;

@@ -21,6 +21,9 @@ struct ResultCacheStats {
   int64_t evictions = 0;
   int64_t entries = 0;
   int64_t bytes = 0;  // approximate resident size of the cached results
+  // Inserts refused by the cost-based admission policy (result cheaper
+  // than min_cost); cumulative, like the hit/miss counters.
+  int64_t admission_skips = 0;
 
   double HitRate() const {
     const int64_t lookups = hits + misses;
@@ -39,6 +42,14 @@ struct ResultCacheStats {
 // one shard, and a shard runs one strategy); sources and seed are hashed for
 // lookup but the *full* SourceBinding is stored and compared on every probe,
 // so a 64-bit fingerprint collision can never surface a wrong result.
+// Under the AUTO advisor a shard executes *several* concrete strategies:
+// the per-call `variant_salt` (StrategyVariantSalt of the chosen strategy)
+// disambiguates — it is mixed into the hash AND stored/compared in the
+// entry, so results of different chosen strategies never alias.
+//
+// Admission: when `min_cost` > 0, results whose measured work is below it
+// are not cached (counted in admission_skips) — cheap instances are
+// cheaper to re-execute than the expensive entries they would evict.
 //
 // Bounds: at most `capacity` entries, evicted in LRU order (a hit promotes
 // its entry to most-recently-used). Capacity 0 disables the cache: Lookup
@@ -55,34 +66,42 @@ struct ResultCacheStats {
 class ResultCache {
  public:
   ResultCache(size_t capacity, const core::Strategy& strategy,
-              int64_t max_bytes = 0);
+              int64_t max_bytes = 0, int64_t min_cost = 0);
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
   bool enabled() const { return capacity_ > 0; }
   size_t capacity() const { return capacity_; }
   int64_t max_bytes() const { return max_bytes_; }
+  int64_t min_cost() const { return min_cost_; }
 
-  // Returns the cached result for (sources, seed), promoting it to MRU, or
-  // nullptr on a miss. The pointer stays valid until the next Insert on this
-  // cache (Lookup itself never evicts).
+  // Returns the cached result for (sources, seed, variant), promoting it to
+  // MRU, or nullptr on a miss. The pointer stays valid until the next
+  // Insert on this cache (Lookup itself never evicts).
   const core::InstanceResult* Lookup(const core::SourceBinding& sources,
-                                     uint64_t seed);
+                                     uint64_t seed, uint64_t variant_salt = 0);
 
-  // Caches a copy of `result` under (sources, seed), evicting the LRU entry
-  // if the cache is full and then evicting LRU entries until the byte
-  // budget (when set) is respected. Inserting an already-present key
-  // refreshes its recency and overwrites the entry. Note the byte budget
-  // may evict the just-inserted entry itself, so a Lookup pointer obtained
-  // before an Insert is invalidated by it (as documented on Lookup).
+  // Caches a copy of `result` under (sources, seed, variant), evicting the
+  // LRU entry if the cache is full and then evicting LRU entries until the
+  // byte budget (when set) is respected. Results cheaper than min_cost are
+  // not admitted. Inserting an already-present key refreshes its recency
+  // and overwrites the entry. Note the byte budget may evict the
+  // just-inserted entry itself, so a Lookup pointer obtained before an
+  // Insert is invalidated by it (as documented on Lookup).
   void Insert(const core::SourceBinding& sources, uint64_t seed,
-              const core::InstanceResult& result);
+              const core::InstanceResult& result, uint64_t variant_salt = 0);
 
   ResultCacheStats Stats() const;
 
-  // The 64-bit key hash: sources fingerprint mixed with the seed and the
-  // strategy salt. Exposed for tests.
-  uint64_t KeyHash(const core::SourceBinding& sources, uint64_t seed) const;
+  // The 64-bit key hash: sources fingerprint mixed with the seed, the
+  // per-cache strategy salt, and the per-call variant salt. Exposed for
+  // tests.
+  uint64_t KeyHash(const core::SourceBinding& sources, uint64_t seed,
+                   uint64_t variant_salt = 0) const;
+
+  // The variant salt for one concrete strategy — what an AUTO shard passes
+  // to Lookup/Insert for its per-request chosen strategy.
+  static uint64_t StrategyVariantSalt(const core::Strategy& strategy);
 
   // Approximate heap + inline footprint of one cached result (snapshot
   // states, values, string payloads, metrics).
@@ -92,6 +111,7 @@ class ResultCache {
   struct Entry {
     core::SourceBinding sources;
     uint64_t seed;
+    uint64_t variant;  // per-call variant salt (0 for fixed-strategy shards)
     core::InstanceResult result;
     uint64_t hash;
     int64_t bytes;
@@ -99,11 +119,12 @@ class ResultCache {
   using EntryList = std::list<Entry>;  // front = most recently used
 
   EntryList::iterator Find(uint64_t hash, const core::SourceBinding& sources,
-                           uint64_t seed);
+                           uint64_t seed, uint64_t variant_salt);
   void Erase(EntryList::iterator it);
 
   const size_t capacity_;
   const int64_t max_bytes_;  // 0 = entries-only bounding
+  const int64_t min_cost_;   // 0 = admit every result
   const uint64_t strategy_salt_;
   EntryList entries_;
   // hash -> entries with that hash (collisions chain; full keys disambiguate)
@@ -113,6 +134,7 @@ class ResultCache {
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> admission_skips_{0};
   std::atomic<int64_t> resident_entries_{0};
   std::atomic<int64_t> resident_bytes_{0};
 };

@@ -22,8 +22,16 @@ double Percentile(const std::vector<double>& sorted, double q) {
 StatsCollector::StatsCollector(size_t reservoir_capacity)
     : reservoir_capacity_(reservoir_capacity > 0 ? reservoir_capacity : 1) {}
 
-void StatsCollector::Record(const core::InstanceMetrics& metrics) {
+void StatsCollector::Record(const core::InstanceMetrics& metrics,
+                            const std::string* selected_strategy,
+                            bool explored, bool class_hit) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (selected_strategy != nullptr) {
+    ++advisor_selections_;
+    if (explored) ++advisor_explores_;
+    if (class_hit) ++advisor_class_hits_;
+    ++strategy_selections_[*selected_strategy];
+  }
   ++completed_;
   total_work_ += metrics.work;
   total_wasted_work_ += metrics.wasted_work;
@@ -58,6 +66,11 @@ ServerStats StatsCollector::Snapshot() const {
     stats.total_work = total_work_;
     stats.total_wasted_work = total_wasted_work_;
     stats.max_latency_units = max_latency_;
+    stats.advisor_selections = advisor_selections_;
+    stats.advisor_explores = advisor_explores_;
+    stats.advisor_class_hits = advisor_class_hits_;
+    stats.strategy_selections.assign(strategy_selections_.begin(),
+                                     strategy_selections_.end());
     sorted = latencies_;
   }
   std::sort(sorted.begin(), sorted.end());

@@ -2,7 +2,10 @@
 #define DFLOW_RUNTIME_SERVER_STATS_H_
 
 #include <cstdint>
+#include <map>
 #include <mutex>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.h"
@@ -41,6 +44,16 @@ struct ServerStats {
   int64_t cache_hits = 0;
   int64_t cache_misses = 0;
   double cache_hit_rate = 0;  // hits / (hits + misses); 0 without lookups
+
+  // Strategy-advisor counters (all zero unless the server runs AUTO):
+  // how many per-request selections were made, how many of those were
+  // explore-rule picks, how many found their request class in the frozen
+  // model, and the per-strategy selection histogram (sorted by strategy
+  // notation).
+  int64_t advisor_selections = 0;
+  int64_t advisor_explores = 0;
+  int64_t advisor_class_hits = 0;
+  std::vector<std::pair<std::string, int64_t>> strategy_selections;
 };
 
 // Aggregate counters of a network ingress sitting in front of a FlowServer
@@ -83,7 +96,16 @@ class StatsCollector {
   StatsCollector(const StatsCollector&) = delete;
   StatsCollector& operator=(const StatsCollector&) = delete;
 
-  void Record(const core::InstanceMetrics& metrics);
+  void Record(const core::InstanceMetrics& metrics) {
+    Record(metrics, nullptr, false, false);
+  }
+  // AUTO shards: one completed instance plus its advisor selection —
+  // which concrete strategy ran it and how it was picked (explore draw /
+  // class found in the model) — folded in under a single lock
+  // acquisition, so the per-request path pays the shared mutex once.
+  void Record(const core::InstanceMetrics& metrics,
+              const std::string* selected_strategy, bool explored,
+              bool class_hit);
   void RecordRejected();
 
   ServerStats Snapshot() const;
@@ -97,6 +119,10 @@ class StatsCollector {
   int64_t total_wasted_work_ = 0;
   double max_latency_ = 0;  // exact, independent of the reservoir
   std::vector<double> latencies_;
+  int64_t advisor_selections_ = 0;
+  int64_t advisor_explores_ = 0;
+  int64_t advisor_class_hits_ = 0;
+  std::map<std::string, int64_t> strategy_selections_;
 };
 
 }  // namespace dflow::runtime

@@ -9,12 +9,19 @@ Shard::Shard(int index, const core::Schema* schema,
              const core::Strategy& strategy, const ShardOptions& options,
              StatsCollector* stats)
     : index_(index),
+      schema_(schema),
+      strategy_(strategy),
+      harness_options_{options.backend, options.db},
       queue_(options.queue_capacity),
-      harness_(schema, strategy,
-               core::HarnessOptions{options.backend, options.db}),
+      advisor_(strategy.is_auto ? options.advisor : nullptr),
       cache_(options.result_cache_capacity, strategy,
-             options.result_cache_max_bytes),
-      stats_(stats) {}
+             options.result_cache_max_bytes, options.result_cache_min_cost),
+      stats_(stats) {
+  if (!strategy_.is_auto) {
+    fixed_harness_ = std::make_unique<core::FlowHarness>(schema_, strategy_,
+                                                         harness_options_);
+  }
+}
 
 Shard::~Shard() { Drain(); }
 
@@ -32,31 +39,70 @@ void Shard::Drain() {
   if (worker_.joinable()) worker_.join();
 }
 
+core::FlowHarness* Shard::HarnessFor(const core::Strategy& strategy,
+                                     const std::string& name) {
+  if (fixed_harness_ != nullptr) return fixed_harness_.get();
+  std::unique_ptr<core::FlowHarness>& harness = auto_harnesses_[name];
+  if (harness == nullptr) {
+    harness = std::make_unique<core::FlowHarness>(schema_, strategy,
+                                                  harness_options_);
+  }
+  return harness.get();
+}
+
 void Shard::WorkerLoop() {
   while (std::optional<FlowRequest> request = queue_.Pop()) {
+    // Resolve the strategy first: under AUTO the advisor's choice is a
+    // pure function of the request, so the same request picks the same
+    // concrete strategy on any shard, for any shard count.
+    core::Strategy executed = strategy_;
+    std::string executed_name;  // filled only under AUTO; stringify once
+    uint64_t variant = 0;
+    uint64_t class_key = 0;
+    bool explored = false;
+    bool class_hit = false;
+    if (advisor_ != nullptr) {
+      const opt::AdvisorChoice choice =
+          advisor_->Choose(request->sources, request->seed);
+      executed = choice.strategy;
+      executed_name = executed.ToString();
+      class_key = choice.class_key;
+      explored = choice.explored;
+      class_hit = choice.class_hit;
+      variant = ResultCache::StrategyVariantSalt(executed);
+    }
     const core::InstanceResult* cached = nullptr;
     if (cache_.enabled()) {
-      cached = cache_.Lookup(request->sources, request->seed);
+      cached = cache_.Lookup(request->sources, request->seed, variant);
     }
     std::optional<core::InstanceResult> computed;
     if (cached == nullptr) {
-      computed = harness_.Run(request->sources, request->seed);
+      computed = HarnessFor(executed, executed_name)
+                     ->Run(request->sources, request->seed);
       if (cache_.enabled()) {
-        cache_.Insert(request->sources, request->seed, *computed);
+        cache_.Insert(request->sources, request->seed, *computed, variant);
       }
     }
     // A hit replays the cached result — byte-identical to what the harness
     // would produce (the FlowHarness determinism contract) — so the stats
     // stream below is the same with the cache on or off.
     const core::InstanceResult& result = cached ? *cached : *computed;
-    stats_->Record(result.metrics);
+    stats_->Record(result.metrics,
+                   advisor_ != nullptr ? &executed_name : nullptr, explored,
+                   class_hit);
+    if (advisor_ != nullptr) {
+      // Observed metrics are deterministic per request, so the online
+      // statistics are too (up to fold order); they never feed back into
+      // Choose() on this advisor — see the determinism contract.
+      advisor_->Observe(class_key, executed_name, result.metrics);
+    }
     processed_.fetch_add(1, std::memory_order_relaxed);
     ResultCallback callback;
     {
       std::lock_guard<std::mutex> lock(callback_mu_);
       callback = result_callback_;
     }
-    if (callback) callback(index_, *request, result);
+    if (callback) callback(index_, *request, result, executed);
   }
 }
 

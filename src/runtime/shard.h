@@ -4,10 +4,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "core/runner.h"
+#include "opt/strategy_advisor.h"
 #include "runtime/request_queue.h"
 #include "runtime/result_cache.h"
 #include "runtime/server_stats.h"
@@ -16,7 +20,8 @@ namespace dflow::runtime {
 
 // Per-shard configuration: admission-queue depth, which QueryService backend
 // the shard's harness owns (each bounded shard gets a *private*
-// DatabaseServer with these DatabaseParams), and the result-cache bound.
+// DatabaseServer with these DatabaseParams), the result-cache bounds, and —
+// when the server runs the AUTO strategy — the shared strategy advisor.
 struct ShardOptions {
   size_t queue_capacity = 256;
   core::BackendKind backend = core::BackendKind::kInfinite;
@@ -24,14 +29,22 @@ struct ShardOptions {
   size_t result_cache_capacity = 0;  // entries; 0 disables the cache
   // Byte budget for the shard's result cache; 0 means entries-only bounding.
   int64_t result_cache_max_bytes = 0;
+  // Cost-based cache admission: results with work below this are not
+  // cached (0 admits everything).
+  int64_t result_cache_min_cost = 0;
+  // Shared per-request strategy selector; required (and only consulted)
+  // when the shard's strategy is the AUTO sentinel. The FlowServer owns
+  // the advisor's lifetime; shards only Choose/Observe on it.
+  opt::StrategyAdvisor* advisor = nullptr;
 };
 
 // One worker shard of the FlowServer: a bounded request queue, a dedicated
-// std::thread, a core::FlowHarness the shard exclusively owns, and a
-// shard-local ResultCache. Because the simulator, query service, execution
-// engine, and cache are all confined to the shard's thread, none of the
-// single-threaded core needs locks — the only cross-thread touch points are
-// the queue and the StatsCollector.
+// std::thread, one or more core::FlowHarness instances the shard exclusively
+// owns, and a shard-local ResultCache. Because the simulator, query service,
+// execution engine, and cache are all confined to the shard's thread, none
+// of the single-threaded core needs locks — the only cross-thread touch
+// points are the queue, the StatsCollector, and the advisor (which is
+// internally synchronized).
 //
 // Requests pop in FIFO order and run to completion one at a time, so every
 // instance observes a quiescent engine; combined with the FlowHarness
@@ -39,12 +52,22 @@ struct ShardOptions {
 // request, independent of shard count and interleaving. A cache hit returns
 // the byte-identical InstanceResult the harness would have produced, so
 // caching preserves that contract (only wall-clock time changes).
+//
+// AUTO: when the configured strategy is the AUTO sentinel, the shard asks
+// the advisor for a concrete strategy per request (a pure function of the
+// request — see opt::StrategyAdvisor) and lazily builds one private harness
+// per chosen strategy. The harness determinism contract makes each result
+// independent of which other strategies ran on the shard before, so AUTO
+// results are byte-identical across shard counts too.
 class Shard {
  public:
-  // Invoked on the shard's worker thread after each completed instance.
+  // Invoked on the shard's worker thread after each completed instance;
+  // `executed` is the concrete strategy that ran it (the configured
+  // strategy on fixed-strategy servers, the advisor's choice under AUTO).
   using ResultCallback =
       std::function<void(int shard_index, const FlowRequest& request,
-                         const core::InstanceResult& result)>;
+                         const core::InstanceResult& result,
+                         const core::Strategy& executed)>;
 
   Shard(int index, const core::Schema* schema, const core::Strategy& strategy,
         const ShardOptions& options, StatsCollector* stats);
@@ -86,16 +109,29 @@ class Shard {
     return processed_.load(std::memory_order_relaxed);
   }
   size_t queue_depth() const { return queue_.size(); }
-  core::BackendKind backend() const { return harness_.backend(); }
+  core::BackendKind backend() const { return harness_options_.backend; }
   // Thread-safe gauge/counter snapshot of this shard's result cache.
   ResultCacheStats cache_stats() const { return cache_.Stats(); }
 
  private:
   void WorkerLoop();
+  // The harness for one concrete strategy (`name` = strategy.ToString(),
+  // passed in so the hot path stringifies once): the fixed harness on
+  // fixed-strategy shards, a lazily created per-strategy harness under
+  // AUTO. Worker-thread only.
+  core::FlowHarness* HarnessFor(const core::Strategy& strategy,
+                                const std::string& name);
 
   const int index_;
+  const core::Schema* const schema_;
+  const core::Strategy strategy_;  // may be the AUTO sentinel
+  const core::HarnessOptions harness_options_;
   RequestQueue queue_;
-  core::FlowHarness harness_;
+  std::unique_ptr<core::FlowHarness> fixed_harness_;  // null under AUTO
+  // AUTO: one private harness per concrete strategy the advisor chose so
+  // far, keyed by notation. Worker-thread only.
+  std::map<std::string, std::unique_ptr<core::FlowHarness>> auto_harnesses_;
+  opt::StrategyAdvisor* const advisor_;  // null unless AUTO
   ResultCache cache_;
   StatsCollector* const stats_;
   std::mutex callback_mu_;  // guards result_callback_

@@ -61,7 +61,8 @@ TEST(FlowServerStressTest, BoundedBackendResultsIdenticalAcross1_3_7_8Shards) {
     std::map<uint64_t, WorkAndResponse> by_seed;
     bool repeat_mismatch = false;
     server.SetResultCallback([&](int, const FlowRequest& request,
-                                 const core::InstanceResult& result) {
+                                 const core::InstanceResult& result,
+                                 const core::Strategy&) {
       const WorkAndResponse wr{result.metrics.work,
                                result.metrics.ResponseTime()};
       std::lock_guard<std::mutex> lock(mu);

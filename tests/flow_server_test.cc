@@ -55,7 +55,8 @@ std::map<uint64_t, int64_t> RunSharded(const gen::GeneratedSchema& pattern,
   std::mutex mu;
   std::map<uint64_t, int64_t> work_by_seed;
   server.SetResultCallback([&](int, const FlowRequest& request,
-                               const core::InstanceResult& result) {
+                               const core::InstanceResult& result,
+                               const core::Strategy&) {
     std::lock_guard<std::mutex> lock(mu);
     work_by_seed[request.seed] = result.metrics.work;
   });
@@ -201,7 +202,8 @@ TEST(FlowServerTest, TrySubmitRejectsWhenShardQueueIsFull) {
   bool release = false;
   bool first_started = false;
   server.SetResultCallback(
-      [&](int, const FlowRequest&, const core::InstanceResult&) {
+      [&](int, const FlowRequest&, const core::InstanceResult&,
+          const core::Strategy&) {
         std::unique_lock<std::mutex> lock(mu);
         first_started = true;
         cv.notify_all();

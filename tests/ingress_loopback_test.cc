@@ -155,7 +155,8 @@ TEST(IngressLoopbackTest, WireResultsMatchInProcessAcrossShardCounts) {
   std::mutex mu;
   std::map<uint64_t, WireOutcome> expected;
   reference.SetResultCallback([&](int, const runtime::FlowRequest& request,
-                                  const core::InstanceResult& result) {
+                                  const core::InstanceResult& result,
+                                  const core::Strategy&) {
     std::lock_guard<std::mutex> lock(mu);
     expected.emplace(request.seed, FromInstanceResult(result));
   });

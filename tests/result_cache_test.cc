@@ -76,7 +76,8 @@ std::map<uint64_t, CapturedResult> Serve(const gen::GeneratedSchema& pattern,
   std::map<uint64_t, CapturedResult> by_seed;
   bool repeat_mismatch = false;
   server.SetResultCallback([&](int, const FlowRequest& request,
-                               const core::InstanceResult& result) {
+                               const core::InstanceResult& result,
+                               const core::Strategy&) {
     CapturedResult captured = Capture(result);
     std::lock_guard<std::mutex> lock(mu);
     auto [it, inserted] = by_seed.emplace(request.seed, std::move(captured));
@@ -325,6 +326,79 @@ TEST_F(ResultCacheTest, KeyDistinguishesSeedSourcesAndStrategy) {
   // compared on lookup.
   pse.Insert(a.sources, a.seed, Run(a));
   EXPECT_EQ(pse.Lookup(b.sources, a.seed), nullptr);
+}
+
+// --- Cost-based admission: results cheaper than min_cost are never
+// cached, so cheap instances stop evicting expensive ones.
+TEST_F(ResultCacheTest, MinCostAdmissionSkipsCheapResults) {
+  const FlowRequest a = Request(1);
+  const core::InstanceResult result = Run(a);
+  // A threshold above this instance's work: the insert is skipped.
+  ResultCache strict(4, S("PSE100"), /*max_bytes=*/0,
+                     /*min_cost=*/result.metrics.work + 1);
+  EXPECT_EQ(strict.min_cost(), result.metrics.work + 1);
+  strict.Insert(a.sources, a.seed, result);
+  EXPECT_EQ(strict.Lookup(a.sources, a.seed), nullptr);
+  EXPECT_EQ(strict.Stats().admission_skips, 1);
+  EXPECT_EQ(strict.Stats().entries, 0);
+  // At (or below) the instance's work, the insert is admitted.
+  ResultCache lenient(4, S("PSE100"), /*max_bytes=*/0,
+                      /*min_cost=*/result.metrics.work);
+  lenient.Insert(a.sources, a.seed, result);
+  EXPECT_NE(lenient.Lookup(a.sources, a.seed), nullptr);
+  EXPECT_EQ(lenient.Stats().admission_skips, 0);
+}
+
+// End to end: a server-wide min-cost above every instance's work caches
+// nothing (every insert skipped), while results stay byte-identical.
+TEST(ResultCacheServerTest, MinCostAboveAllWorkDisablesCachingButNotResults) {
+  const gen::GeneratedSchema pattern = MakePattern(17);
+  const std::vector<FlowRequest> requests = RepeatedWorkload(pattern, 80, 20);
+  FlowServerOptions options;
+  options.num_shards = 2;
+  options.strategy = S("PSE100");
+
+  options.result_cache_capacity = 0;
+  const auto uncached = Serve(pattern, requests, options, nullptr);
+
+  options.result_cache_capacity = 64;
+  options.result_cache_min_cost = 1'000'000;  // above any 16-node instance
+  FlowServerReport report;
+  const auto cached = Serve(pattern, requests, options, &report);
+
+  EXPECT_EQ(uncached, cached);
+  EXPECT_EQ(report.cache.hits, 0);
+  EXPECT_EQ(report.cache.entries, 0);
+  EXPECT_EQ(report.cache.admission_skips, 80);
+}
+
+// --- AUTO support: the per-call variant salt keeps results of different
+// chosen strategies from aliasing under one cache.
+TEST_F(ResultCacheTest, VariantSaltSeparatesStrategiesWithinOneCache) {
+  ResultCache cache(4, S("AUTO"));
+  const FlowRequest a = Request(2);
+  const uint64_t pse = ResultCache::StrategyVariantSalt(S("PSE100"));
+  const uint64_t pce = ResultCache::StrategyVariantSalt(S("PCE0"));
+  ASSERT_NE(pse, pce);
+  EXPECT_NE(cache.KeyHash(a.sources, a.seed, pse),
+            cache.KeyHash(a.sources, a.seed, pce));
+
+  const core::InstanceResult pse_result = core::RunSingleInfinite(
+      pattern_.schema, a.sources, a.seed, S("PSE100"));
+  const core::InstanceResult pce_result = core::RunSingleInfinite(
+      pattern_.schema, a.sources, a.seed, S("PCE0"));
+  cache.Insert(a.sources, a.seed, pse_result, pse);
+  // The other variant misses; after inserting, each variant returns its
+  // own strategy's result.
+  EXPECT_EQ(cache.Lookup(a.sources, a.seed, pce), nullptr);
+  cache.Insert(a.sources, a.seed, pce_result, pce);
+  const core::InstanceResult* pse_hit = cache.Lookup(a.sources, a.seed, pse);
+  const core::InstanceResult* pce_hit = cache.Lookup(a.sources, a.seed, pce);
+  ASSERT_NE(pse_hit, nullptr);
+  ASSERT_NE(pce_hit, nullptr);
+  EXPECT_EQ(Capture(*pse_hit), Capture(pse_result));
+  EXPECT_EQ(Capture(*pce_hit), Capture(pce_result));
+  EXPECT_EQ(cache.Stats().entries, 2);
 }
 
 // Capacity 0 end to end: the server runs uncached and reports zero cache

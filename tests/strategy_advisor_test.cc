@@ -1,0 +1,377 @@
+#include "opt/strategy_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gen/schema_generator.h"
+#include "net/wire_protocol.h"
+#include "opt/cost_model.h"
+#include "runtime/flow_server.h"
+
+namespace dflow::opt {
+namespace {
+
+gen::GeneratedSchema MakePattern(int pct_enabled, int nb_rows = 4,
+                                 uint64_t seed = 7, int nb_nodes = 32) {
+  gen::PatternParams params;
+  params.nb_nodes = nb_nodes;
+  params.nb_rows = nb_rows;
+  params.pct_enabled = pct_enabled;
+  params.seed = seed;
+  return gen::GeneratePattern(params);
+}
+
+std::vector<CalibrationInstance> MakeInstances(
+    const gen::GeneratedSchema& pattern, int count, int first = 0) {
+  std::vector<CalibrationInstance> instances;
+  instances.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, first + i);
+    instances.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+  return instances;
+}
+
+CostModel CalibrateOn(const gen::GeneratedSchema& pattern, int samples) {
+  CalibrationOptions options;
+  options.candidates = StrategyAdvisor::DefaultCandidates();
+  options.schema_salt = SchemaSaltFromParams(pattern.params);
+  return CalibrateCostModel(pattern.schema, MakeInstances(pattern, samples),
+                            options);
+}
+
+AdvisorOptions OptionsFor(const gen::GeneratedSchema& pattern) {
+  AdvisorOptions options;
+  options.schema_salt = SchemaSaltFromParams(pattern.params);
+  return options;
+}
+
+// --- CostModel plumbing.
+
+TEST(CostModelTest, SerializeParseRoundTripPreservesEverything) {
+  const gen::GeneratedSchema pattern = MakePattern(50);
+  const CostModel model = CalibrateOn(pattern, 8);
+  ASSERT_GT(model.num_classes(), 0u);
+
+  const std::optional<CostModel> parsed = CostModel::Parse(model.Serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, model);
+  EXPECT_EQ(parsed->Fingerprint(), model.Fingerprint());
+  EXPECT_EQ(parsed->Serialize(), model.Serialize());
+}
+
+TEST(CostModelTest, ParseRejectsMalformedText) {
+  EXPECT_FALSE(CostModel::Parse("").has_value());
+  EXPECT_FALSE(CostModel::Parse("not a model\n").has_value());
+  EXPECT_FALSE(
+      CostModel::Parse("dflow-cost-model v1\nbogus line\n").has_value());
+  EXPECT_FALSE(CostModel::Parse("dflow-cost-model v1\nclass xyzzy\n")
+                   .has_value());
+  // The header alone is a valid (empty) model.
+  const std::optional<CostModel> empty =
+      CostModel::Parse("dflow-cost-model v1\n");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(CostModelTest, FingerprintTracksContents) {
+  const gen::GeneratedSchema pattern = MakePattern(50);
+  CostModel a = CalibrateOn(pattern, 6);
+  const CostModel b = CalibrateOn(pattern, 6);
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());  // calibration deterministic
+  a.Record(1, "PCE0", 10, 10);
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(CostModelTest, CalibrationIsDeterministic) {
+  const gen::GeneratedSchema pattern = MakePattern(25);
+  EXPECT_EQ(CalibrateOn(pattern, 10).Serialize(),
+            CalibrateOn(pattern, 10).Serialize());
+}
+
+// --- Advisor decision rule.
+
+TEST(StrategyAdvisorTest, ChooseIsAPureFunctionOfTheRequest) {
+  const gen::GeneratedSchema pattern = MakePattern(50);
+  StrategyAdvisor advisor(CalibrateOn(pattern, 12),
+                          StrategyAdvisor::DefaultCandidates(),
+                          OptionsFor(pattern));
+  // A restarted advisor over the round-tripped model must agree on every
+  // choice — including after this advisor absorbed observations, which
+  // must never leak into Choose().
+  StrategyAdvisor restarted(
+      *CostModel::Parse(advisor.model().Serialize()),
+      StrategyAdvisor::DefaultCandidates(), OptionsFor(pattern));
+  EXPECT_EQ(advisor.Fingerprint(), restarted.Fingerprint());
+
+  for (const CalibrationInstance& instance : MakeInstances(pattern, 40)) {
+    const AdvisorChoice first = advisor.Choose(instance.sources,
+                                               instance.seed);
+    advisor.Observe(instance.sources, first.strategy,
+                    core::InstanceMetrics{});
+    const AdvisorChoice again = advisor.Choose(instance.sources,
+                                               instance.seed);
+    const AdvisorChoice other = restarted.Choose(instance.sources,
+                                                 instance.seed);
+    EXPECT_EQ(first.strategy, again.strategy);
+    EXPECT_EQ(first.explored, again.explored);
+    EXPECT_EQ(first.strategy, other.strategy);
+    EXPECT_EQ(first.explored, other.explored);
+  }
+}
+
+TEST(StrategyAdvisorTest, ExploreScheduleIsDeterministicAndSparse) {
+  const gen::GeneratedSchema pattern = MakePattern(50);
+  AdvisorOptions options = OptionsFor(pattern);
+  options.explore_period = 16;
+  StrategyAdvisor advisor(CalibrateOn(pattern, 8),
+                          StrategyAdvisor::DefaultCandidates(), options);
+  int explored = 0;
+  const int kRequests = 1600;
+  for (const CalibrationInstance& instance :
+       MakeInstances(pattern, kRequests)) {
+    if (advisor.Choose(instance.sources, instance.seed).explored) ++explored;
+  }
+  // ~1/16 of requests explore; the hash draw keeps it near that rate.
+  EXPECT_GT(explored, kRequests / 64);
+  EXPECT_LT(explored, kRequests / 4);
+  const AdvisorStats stats = advisor.Stats();
+  EXPECT_EQ(stats.selections, kRequests);
+  EXPECT_EQ(stats.explores, explored);
+
+  // explore_period = 0 disables exploration entirely.
+  AdvisorOptions no_explore = options;
+  no_explore.explore_period = 0;
+  StrategyAdvisor exploit_only(CalibrateOn(pattern, 8),
+                               StrategyAdvisor::DefaultCandidates(),
+                               no_explore);
+  for (const CalibrationInstance& instance : MakeInstances(pattern, 200)) {
+    EXPECT_FALSE(exploit_only.Choose(instance.sources, instance.seed).explored);
+  }
+}
+
+TEST(StrategyAdvisorTest, ObservationsPromoteOnlyThroughAnExplicitEpoch) {
+  const gen::GeneratedSchema pattern = MakePattern(50);
+  StrategyAdvisor advisor(CostModel(), StrategyAdvisor::DefaultCandidates(),
+                          OptionsFor(pattern));
+  const std::vector<CalibrationInstance> instances = MakeInstances(pattern, 4);
+  // With an empty model every exploit choice is the first candidate.
+  const std::string first =
+      StrategyAdvisor::DefaultCandidates().front().ToString();
+  for (const CalibrationInstance& instance : instances) {
+    const AdvisorChoice choice = advisor.Choose(instance.sources,
+                                                instance.seed);
+    if (!choice.explored) EXPECT_EQ(choice.strategy.ToString(), first);
+    EXPECT_FALSE(choice.class_hit);
+    core::InstanceMetrics metrics;
+    metrics.work = 123;
+    metrics.end_time = 9;
+    advisor.Observe(instance.sources, choice.strategy, metrics);
+  }
+  EXPECT_EQ(advisor.Stats().observations, 4);
+  // The frozen model is untouched; the promoted model has the classes.
+  EXPECT_TRUE(advisor.model().empty());
+  const CostModel promoted = advisor.PromotedModel();
+  EXPECT_EQ(promoted.num_classes(), 4u);
+  const uint64_t salt = SchemaSaltFromParams(pattern.params);
+  // The observed class may have been an explore pick of another strategy;
+  // whichever strategy was observed must be present with work 123.
+  bool found = false;
+  for (const core::Strategy& candidate :
+       StrategyAdvisor::DefaultCandidates()) {
+    const CostEstimate* e = promoted.Find(
+        ClassKeyFor(salt, instances[0].sources), candidate.ToString());
+    if (e != nullptr) {
+      EXPECT_DOUBLE_EQ(e->mean_work, 123);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- The acceptance grid: per calibration regime, AUTO's total work is
+// never worse than the worst fixed candidate and within 10% of the best.
+TEST(StrategyAdvisorTest, AutoWorkBoundedByFixedStrategiesAcrossGrid) {
+  const std::vector<core::Strategy> candidates =
+      StrategyAdvisor::DefaultCandidates();
+  struct Regime {
+    int pct_enabled;
+    int nb_rows;
+  };
+  const Regime regimes[] = {{10, 4}, {50, 4}, {100, 4}, {50, 8}};
+  double mixed_auto = 0;
+  std::map<std::string, double> mixed_fixed;
+  for (const Regime& regime : regimes) {
+    const gen::GeneratedSchema pattern =
+        MakePattern(regime.pct_enabled, regime.nb_rows, /*seed=*/21);
+    const std::vector<CalibrationInstance> workload =
+        MakeInstances(pattern, 48);
+    const std::vector<CalibrationInstance> calibration_set(
+        workload.begin(), workload.begin() + 16);
+    CalibrationOptions calibration;
+    calibration.candidates = candidates;
+    calibration.schema_salt = SchemaSaltFromParams(pattern.params);
+    StrategyAdvisor advisor(
+        CalibrateCostModel(pattern.schema, calibration_set, calibration),
+        candidates, OptionsFor(pattern));
+
+    double auto_work = 0;
+    std::map<std::string, std::unique_ptr<core::FlowHarness>> harnesses;
+    for (const CalibrationInstance& instance : workload) {
+      const AdvisorChoice choice =
+          advisor.Choose(instance.sources, instance.seed);
+      auto& harness = harnesses[choice.strategy.ToString()];
+      if (harness == nullptr) {
+        harness = std::make_unique<core::FlowHarness>(&pattern.schema,
+                                                      choice.strategy);
+      }
+      auto_work += static_cast<double>(
+          harness->Run(instance.sources, instance.seed).metrics.work);
+    }
+
+    double best = 0, worst = 0;
+    bool first = true;
+    for (const core::Strategy& candidate : candidates) {
+      core::FlowHarness harness(&pattern.schema, candidate);
+      double total = 0;
+      for (const CalibrationInstance& instance : workload) {
+        total += static_cast<double>(
+            harness.Run(instance.sources, instance.seed).metrics.work);
+      }
+      mixed_fixed[candidate.ToString()] += total;
+      best = first ? total : std::min(best, total);
+      worst = first ? total : std::max(worst, total);
+      first = false;
+    }
+    mixed_auto += auto_work;
+    // Per regime: never worse than the worst fixed strategy, and within
+    // the stated 10% factor of the best.
+    EXPECT_LE(auto_work, worst)
+        << "pct=" << regime.pct_enabled << " rows=" << regime.nb_rows;
+    EXPECT_LE(auto_work, 1.10 * best)
+        << "pct=" << regime.pct_enabled << " rows=" << regime.nb_rows;
+  }
+  // On the mixed workload the regimes' best strategies differ, so AUTO
+  // must beat the worst fixed strategy strictly.
+  double mixed_best = 0, mixed_worst = 0;
+  bool first = true;
+  for (const auto& [name, total] : mixed_fixed) {
+    mixed_best = first ? total : std::min(mixed_best, total);
+    mixed_worst = first ? total : std::max(mixed_worst, total);
+    first = false;
+  }
+  EXPECT_LT(mixed_auto, mixed_worst);
+  EXPECT_LE(mixed_auto, 1.10 * mixed_best);
+}
+
+// --- The tentpole determinism contract, end to end through the serving
+// runtime: the same AUTO request stream produces byte-identical results
+// and identical strategy choices across 1/2/8 shards and across a server
+// restart with the same calibration.
+
+struct AutoOutcome {
+  uint64_t fingerprint = 0;
+  std::string strategy;
+
+  friend bool operator==(const AutoOutcome&, const AutoOutcome&) = default;
+};
+
+std::map<uint64_t, AutoOutcome> ServeAuto(
+    const gen::GeneratedSchema& pattern,
+    const std::vector<runtime::FlowRequest>& requests,
+    std::shared_ptr<StrategyAdvisor> advisor, int num_shards,
+    runtime::FlowServerReport* report_out = nullptr) {
+  runtime::FlowServerOptions options;
+  options.num_shards = num_shards;
+  options.strategy = *core::Strategy::Parse("AUTO");
+  options.advisor = std::move(advisor);
+  options.result_cache_capacity = 16;  // exercise the AUTO variant salt too
+  runtime::FlowServer server(&pattern.schema, options);
+
+  std::mutex mu;
+  std::map<uint64_t, AutoOutcome> by_seed;
+  bool repeat_mismatch = false;
+  server.SetResultCallback([&](int, const runtime::FlowRequest& request,
+                               const core::InstanceResult& result,
+                               const core::Strategy& executed) {
+    AutoOutcome outcome{net::FingerprintResult(result), executed.ToString()};
+    std::lock_guard<std::mutex> lock(mu);
+    auto [it, inserted] = by_seed.emplace(request.seed, std::move(outcome));
+    if (!inserted &&
+        it->second != AutoOutcome{net::FingerprintResult(result),
+                                  executed.ToString()}) {
+      repeat_mismatch = true;
+    }
+  });
+  for (const runtime::FlowRequest& request : requests) {
+    EXPECT_TRUE(server.Submit(request));
+  }
+  server.Drain();
+  EXPECT_FALSE(repeat_mismatch);
+  if (report_out != nullptr) *report_out = server.Report();
+  return by_seed;
+}
+
+TEST(StrategyAdvisorServerTest, AutoIsByteIdenticalAcrossShardsAndRestart) {
+  const gen::GeneratedSchema pattern = MakePattern(50, 4, /*seed=*/31);
+  const CostModel model = CalibrateOn(pattern, 16);
+  const AdvisorOptions options = OptionsFor(pattern);
+
+  // A mixed stream: calibrated classes, uncalibrated classes, repeats.
+  std::vector<runtime::FlowRequest> requests;
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i % 40);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+
+  runtime::FlowServerReport report1;
+  const auto one = ServeAuto(
+      pattern, requests,
+      std::make_shared<StrategyAdvisor>(
+          model, StrategyAdvisor::DefaultCandidates(), options),
+      1, &report1);
+  const auto two = ServeAuto(
+      pattern, requests,
+      std::make_shared<StrategyAdvisor>(
+          model, StrategyAdvisor::DefaultCandidates(), options),
+      2);
+  const auto eight = ServeAuto(
+      pattern, requests,
+      std::make_shared<StrategyAdvisor>(
+          model, StrategyAdvisor::DefaultCandidates(), options),
+      8);
+  ASSERT_EQ(one.size(), 40u);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+
+  // "Restart": a fresh advisor built from the model's serialized form
+  // (what --advisor-calibration reloads) reproduces everything.
+  const auto restarted = ServeAuto(
+      pattern, requests,
+      std::make_shared<StrategyAdvisor>(
+          *CostModel::Parse(model.Serialize()),
+          StrategyAdvisor::DefaultCandidates(), options),
+      2);
+  EXPECT_EQ(one, restarted);
+
+  // The report carries the selection accounting.
+  EXPECT_EQ(report1.stats.completed, 120);
+  EXPECT_EQ(report1.stats.advisor_selections, 120);
+  int64_t histogram_total = 0;
+  for (const auto& [name, count] : report1.stats.strategy_selections) {
+    EXPECT_FALSE(core::Strategy::Parse(name)->is_auto) << name;
+    histogram_total += count;
+  }
+  EXPECT_EQ(histogram_total, 120);
+}
+
+}  // namespace
+}  // namespace dflow::opt

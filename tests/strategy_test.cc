@@ -81,5 +81,23 @@ TEST(StrategyTest, DefaultIsConservativeSerialPropagation) {
   EXPECT_EQ(s.ToString(), "PCE0");
 }
 
+TEST(StrategyTest, ParseAcceptsTheAutoSentinel) {
+  for (const char* text : {"AUTO", "auto", "Auto"}) {
+    const auto s = Strategy::Parse(text);
+    ASSERT_TRUE(s.has_value()) << text;
+    EXPECT_TRUE(s->is_auto);
+    EXPECT_EQ(s->ToString(), "AUTO");
+  }
+  // The sentinel survives a round trip and never collides with concrete
+  // notation (concrete strategies start with P/N).
+  const auto round_tripped = Strategy::Parse(Strategy::Parse("AUTO")->ToString());
+  ASSERT_TRUE(round_tripped.has_value());
+  EXPECT_TRUE(round_tripped->is_auto);
+  EXPECT_FALSE(Strategy::Parse("AUT").has_value());
+  EXPECT_FALSE(Strategy::Parse("AUTOX").has_value());
+  EXPECT_FALSE(Strategy::Parse("AUTO0").has_value());
+  EXPECT_FALSE(Strategy::Parse("PSE100")->is_auto);
+}
+
 }  // namespace
 }  // namespace dflow::core

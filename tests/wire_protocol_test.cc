@@ -55,6 +55,7 @@ SubmitResult RandomSubmitResult(Rng* rng) {
   msg.queries_launched = static_cast<int32_t>(rng->UniformInt(0, 1000));
   msg.speculative_launches = static_cast<int32_t>(rng->UniformInt(0, 100));
   msg.fingerprint = rng->Next();
+  if (rng->Chance(0.5)) msg.strategy = rng->Chance(0.5) ? "PCE0" : "AUTO";
   msg.has_snapshot = rng->Chance(0.5);
   if (msg.has_snapshot) {
     const int n = static_cast<int>(rng->UniformInt(0, 24));
@@ -116,6 +117,18 @@ ServerInfo RandomInfo(Rng* rng) {
       backend.unavailable = rng->UniformInt(0, 1 << 10);
       backend.reconnects = rng->UniformInt(0, 100);
       msg.router.backends.push_back(std::move(backend));
+    }
+  }
+  msg.advisor.enabled = rng->Chance(0.5) ? 1 : 0;
+  if (msg.advisor.enabled == 1) {
+    msg.advisor.fingerprint = rng->Next();
+    msg.advisor.selections = rng->UniformInt(0, 1 << 30);
+    msg.advisor.explores = rng->UniformInt(0, 1 << 20);
+    const int n = static_cast<int>(rng->UniformInt(0, 6));
+    for (int i = 0; i < n; ++i) {
+      msg.advisor.by_strategy.push_back(
+          {rng->Chance(0.5) ? "PCE0" : "PSE" + std::to_string(i),
+           rng->UniformInt(0, 1 << 20)});
     }
   }
   return msg;

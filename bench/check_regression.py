@@ -94,6 +94,18 @@ def main():
               % current["dflow_load"]["errors"])
         failures += 1
 
+    # Observability-overhead gate (absolute ceiling, not drop-relative):
+    # tracing at the default sampling rate must stay off the hot path.
+    if "obs_overhead" in current and "obs_overhead" in baseline:
+        overhead = current["obs_overhead"]["sampled_overhead_pct"]
+        ceiling = baseline["obs_overhead"]["max_sampled_overhead_pct"]
+        ok = overhead <= ceiling
+        print("%-4s %-48s current=%10.2f ceiling=%10.2f"
+              % ("OK" if ok else "FAIL",
+                 "obs_overhead sampled_overhead_pct", overhead, ceiling))
+        if not ok:
+            failures += 1
+
     # Strategy-advisor quality gate (absolute, not drop-relative).
     if "strategy_advisor" in current and "strategy_advisor" in baseline:
         advisor = current["strategy_advisor"]

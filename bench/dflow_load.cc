@@ -44,13 +44,20 @@
 // --json report also carries a per-strategy selection histogram — on an
 // AUTO fleet this shows the advisor's choices across the workload.
 //
+// Observability: --trace sets the v4 trace flag on every submit (trace_id
+// 0, so the first node on the path — router or ingress — mints the id),
+// prints a few per-request span waterfalls to stderr, and folds every
+// returned timing trailer into a per-stage summary (the "stages" object in
+// --json). --metrics-dump scrapes the server's metrics endpoint after the
+// run and prints the Prometheus-style text.
+//
 // Run:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
 //           [--mode=closed|open] [--rate=R] [--distinct=K] [--nonblocking]
 //           [--snapshot] [--info-every=N] [--strategy=PSE100]
 //           [--nodes=64 --rows=4 --pattern-seed=1]
 //           [--dist=zipf:0.9] [--dist-seed=42]
 //           [--connect-timeout=5] [--json] [--fail-on-reject]
-//           [--expect-fingerprint-match=HEX]
+//           [--expect-fingerprint-match=HEX] [--trace] [--metrics-dump]
 
 #include <algorithm>
 #include <atomic>
@@ -70,6 +77,7 @@
 #include "common/rng.h"
 #include "gen/schema_generator.h"
 #include "net/client.h"
+#include "obs/trace.h"
 
 using namespace dflow;
 
@@ -98,7 +106,17 @@ struct Config {
   bool fail_on_reject = false;
   bool expect_fingerprint = false;
   uint64_t expected_fingerprint = 0;
+  // Request end-to-end tracing: every submit carries the v4 trace
+  // extension with trace_id 0, so the entry point (router or ingress)
+  // assigns the id and the result comes back with the span trailer.
+  bool trace = false;
+  // Scrape and print the server's metrics text after the run.
+  bool metrics_dump = false;
 };
+
+// How many full span waterfalls --trace prints (the rest only feed the
+// aggregate per-stage summary).
+constexpr size_t kMaxWaterfalls = 4;
 
 // Deterministic class picker behind --dist: Pick(i) is a pure function of
 // (kind, parameters, dist_seed, i), so the generated workload is
@@ -214,7 +232,42 @@ struct WorkerResult {
   // Executed-strategy histogram from the results (per-request AUTO
   // choices on an advisor-driven fleet; one bucket on a fixed fleet).
   std::map<std::string, int64_t> strategies;
+  // Per-stage (span kind -> {count, total duration ns}) from the timing
+  // trailers of traced responses, plus a few rendered waterfalls.
+  std::map<uint8_t, std::pair<int64_t, uint64_t>> span_stats;
+  std::vector<std::string> waterfalls;
 };
+
+// Renders one traced response as an aligned waterfall: spans in pipeline
+// order, bar widths proportional to the longest stage. router.forward
+// (when present) nests the whole downstream pipeline, so its bar is the
+// end-to-end reference.
+std::string FormatWaterfall(const net::SubmitResult& result) {
+  std::vector<net::WireSpan> spans = result.spans;
+  std::sort(spans.begin(), spans.end(),
+            [](const net::WireSpan& a, const net::WireSpan& b) {
+              return a.kind < b.kind;  // pipeline order
+            });
+  uint64_t max_ns = 1;
+  for (const net::WireSpan& span : spans) {
+    max_ns = std::max(max_ns, span.duration_ns);
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "# trace %016llx (request %llu):\n",
+                static_cast<unsigned long long>(result.trace_id),
+                static_cast<unsigned long long>(result.request_id));
+  std::string out = line;
+  for (const net::WireSpan& span : spans) {
+    const int width =
+        1 + static_cast<int>((span.duration_ns * 31) / max_ns);
+    std::snprintf(line, sizeof(line), "#   %-16s %10.1f us  %.*s\n",
+                  obs::ToString(static_cast<obs::SpanKind>(span.kind)),
+                  static_cast<double>(span.duration_ns) / 1e3, width,
+                  "================================");
+    out += line;
+  }
+  return out;
+}
 
 // Escapes a string for embedding in the hand-built JSON output. Strategy
 // names come off the wire, so a buggy or hostile server must not be able
@@ -278,6 +331,16 @@ void TallyReply(const net::ServerMessage& message, const Clock::time_point& t0,
       if (!message.result.strategy.empty()) {
         ++result->strategies[message.result.strategy];
       }
+      if (message.result.trace_id != 0 && !message.result.spans.empty()) {
+        for (const net::WireSpan& span : message.result.spans) {
+          auto& stat = result->span_stats[span.kind];
+          ++stat.first;
+          stat.second += span.duration_ns;
+        }
+        if (result->waterfalls.size() < kMaxWaterfalls) {
+          result->waterfalls.push_back(FormatWaterfall(message.result));
+        }
+      }
       ++result->ok;
       return;
     }
@@ -315,6 +378,7 @@ WorkerResult RunClosedWorker(const Config& config,
     request.seed = gen::InstanceSeed(pattern.params, picker.Pick(index));
     request.blocking = !config.nonblocking;
     request.want_snapshot = config.want_snapshot;
+    request.has_trace = config.trace;  // trace_id 0: entry point assigns
     request.strategy = config.strategy;
     request.sources = gen::MakeSourceBinding(pattern, request.seed);
     const Clock::time_point t0 = Clock::now();
@@ -393,6 +457,7 @@ WorkerResult RunOpenWorker(const Config& config,
     request.seed = gen::InstanceSeed(pattern.params, picker.Pick(index));
     request.blocking = !config.nonblocking;
     request.want_snapshot = config.want_snapshot;
+    request.has_trace = config.trace;  // trace_id 0: entry point assigns
     request.strategy = config.strategy;
     request.sources = gen::MakeSourceBinding(pattern, request.seed);
     {
@@ -460,6 +525,10 @@ int main(int argc, char** argv) {
     }
     else if (std::strcmp(arg, "--nonblocking") == 0) config.nonblocking = true;
     else if (std::strcmp(arg, "--snapshot") == 0) config.want_snapshot = true;
+    else if (std::strcmp(arg, "--trace") == 0) config.trace = true;
+    else if (std::strcmp(arg, "--metrics-dump") == 0) {
+      config.metrics_dump = true;
+    }
     else if (std::strcmp(arg, "--json") == 0) config.json = true;
     else if (std::strcmp(arg, "--fail-on-reject") == 0) {
       config.fail_on_reject = true;
@@ -531,6 +600,16 @@ int main(int argc, char** argv) {
     for (const auto& [strategy, count] : result.strategies) {
       total.strategies[strategy] += count;
     }
+    for (const auto& [kind, stat] : result.span_stats) {
+      auto& entry = total.span_stats[kind];
+      entry.first += stat.first;
+      entry.second += stat.second;
+    }
+    for (std::string& waterfall : result.waterfalls) {
+      if (total.waterfalls.size() < kMaxWaterfalls) {
+        total.waterfalls.push_back(std::move(waterfall));
+      }
+    }
   }
   // Workload fingerprint: per-request fingerprints folded in request_id
   // order, so it is independent of completion order, connection split, and
@@ -555,6 +634,7 @@ int main(int argc, char** argv) {
   // decode_errors being zero, not just on this process's view.
   int64_t server_decode_errors = -1;
   int64_t server_completed = -1;
+  std::string metrics_text;
   {
     net::Client probe;
     std::string error;
@@ -563,6 +643,11 @@ int main(int argc, char** argv) {
       if (const std::optional<net::ServerInfo> info = probe.Info()) {
         server_decode_errors = info->ingress.decode_errors;
         server_completed = info->completed;
+      }
+      if (config.metrics_dump) {
+        if (const std::optional<std::string> metrics = probe.Metrics()) {
+          metrics_text = *metrics;
+        }
       }
       probe.Goodbye();
     }
@@ -578,6 +663,22 @@ int main(int argc, char** argv) {
         "\"" + JsonEscape(strategy) + "\":" + std::to_string(count);
   }
   strategies_json += "}";
+  // Per-stage summary from the timing trailers ({} without --trace).
+  std::string stages_json = "{";
+  for (const auto& [kind, stat] : total.span_stats) {
+    if (stages_json.size() > 1) stages_json += ",";
+    char buffer[96];
+    std::snprintf(
+        buffer, sizeof(buffer), "\"%s\":{\"count\":%lld,\"mean_us\":%.1f}",
+        obs::ToString(static_cast<obs::SpanKind>(kind)),
+        static_cast<long long>(stat.first),
+        stat.first > 0
+            ? static_cast<double>(stat.second) / 1e3 /
+                  static_cast<double>(stat.first)
+            : 0.0);
+    stages_json += buffer;
+  }
+  stages_json += "}";
   if (config.json) {
     std::printf(
         "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"requests\":%d,"
@@ -586,8 +687,12 @@ int main(int argc, char** argv) {
         "\"rejected_shutdown\":%lld,\"errors\":%lld,\"info_ok\":%lld,"
         "\"wall_s\":%.6f,\"requests_per_second\":%.1f,"
         "\"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f,"
-        "\"max\":%.3f},\"bytes_sent\":%lld,\"bytes_received\":%lld,"
+        "\"max\":%.3f},"
+        "\"wall_latency_p50_us\":%.1f,\"wall_latency_p95_us\":%.1f,"
+        "\"wall_latency_p99_us\":%.1f,"
+        "\"bytes_sent\":%lld,\"bytes_received\":%lld,"
         "\"workload_fingerprint\":\"%016llx\",\"strategies\":%s,"
+        "\"stages\":%s,"
         "\"server\":{\"completed\":%lld,\"decode_errors\":%lld}}\n",
         config.open_loop ? "open" : "closed", config.requests,
         config.connections, JsonEscape(config.dist).c_str(),
@@ -597,10 +702,11 @@ int main(int argc, char** argv) {
         static_cast<long long>(total.rejected_shutdown),
         static_cast<long long>(total.errors),
         static_cast<long long>(total.info_ok), wall_s, rps, p50, p95, p99,
-        lat_max, static_cast<long long>(total.bytes_sent),
+        lat_max, p50 * 1000.0, p95 * 1000.0, p99 * 1000.0,
+        static_cast<long long>(total.bytes_sent),
         static_cast<long long>(total.bytes_received),
         static_cast<unsigned long long>(workload_fingerprint),
-        strategies_json.c_str(),
+        strategies_json.c_str(), stages_json.c_str(),
         static_cast<long long>(server_completed),
         static_cast<long long>(server_decode_errors));
   } else {
@@ -640,6 +746,29 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
+    if (!total.span_stats.empty()) {
+      std::printf("# stages (mean over traced requests):");
+      for (const auto& [kind, stat] : total.span_stats) {
+        std::printf(" %s=%.1fus/%lld",
+                    obs::ToString(static_cast<obs::SpanKind>(kind)),
+                    static_cast<double>(stat.second) / 1e3 /
+                        static_cast<double>(std::max<int64_t>(1, stat.first)),
+                    static_cast<long long>(stat.first));
+      }
+      std::printf("\n");
+    }
+  }
+  // Waterfalls go to stderr so --json stdout stays one parseable line.
+  for (const std::string& waterfall : total.waterfalls) {
+    std::fputs(waterfall.c_str(), stderr);
+  }
+  if (config.metrics_dump) {
+    if (metrics_text.empty()) {
+      std::fprintf(stderr, "dflow_load: --metrics-dump: scrape failed\n");
+      return 1;
+    }
+    // Raw exposition to stdout, after the report (CI greps for families).
+    std::printf("--- metrics ---\n%s", metrics_text.c_str());
   }
 
   if (total.errors > 0) return 1;

@@ -1,0 +1,194 @@
+// Observability-overhead benchmark: proves request tracing is off the hot
+// path. Drives the in-process runtime::FlowServer (the same shard/engine
+// pipeline the ingress feeds) in three configurations —
+//
+//   off      tracing disabled: every stage pays one null-pointer test
+//   sampled  --trace-sample=64, the default production setting
+//   full     --trace-sample=1, every request traced end to end
+//
+// — and reports closed-loop throughput for each plus the relative
+// overheads. The acceptance bar (gated in CI via BENCH_baseline.json's
+// obs_overhead.max_sampled_overhead_pct): sampled tracing costs < 2%.
+//
+// Methodology: the three modes are INTERLEAVED round-robin for
+// --rounds=5 rounds (so thermal drift and noisy neighbors hit all modes
+// equally) and each mode's throughput is the median across rounds. The
+// determinism rider is checked as a side effect: total simulated work
+// must be byte-identical across all modes and rounds, because tracing
+// only stamps timings and never touches execution.
+//
+// Run:  ./build/bench_obs_overhead [num_requests] [--rounds=N] [--json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "gen/schema_generator.h"
+#include "obs/trace.h"
+#include "runtime/flow_server.h"
+
+using namespace dflow;
+
+namespace {
+
+struct Segment {
+  double requests_per_second = 0;
+  int64_t total_work = 0;
+  int64_t traces_finished = 0;
+};
+
+Segment RunOnce(const gen::GeneratedSchema& pattern,
+                const std::vector<runtime::FlowRequest>& requests,
+                uint32_t sample_period) {
+  obs::TraceRecorderOptions trace_options;
+  trace_options.sample_period = sample_period;
+  trace_options.ring_capacity = 64;
+  obs::TraceRecorder recorder(trace_options, "bench");
+
+  runtime::FlowServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity_per_shard = 1024;
+  options.strategy = *core::Strategy::Parse("PSE100");
+  runtime::FlowServer server(&pattern.schema, options);
+  server.SetResultCallback([&recorder](int, const runtime::FlowRequest& done,
+                                       const core::InstanceResult&,
+                                       const core::Strategy&) {
+    if (done.trace != nullptr) {
+      recorder.Finish(done.trace,
+                      obs::MonotonicNs() - done.trace->begin_ns());
+    }
+  });
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const runtime::FlowRequest& request : requests) {
+    runtime::FlowRequest submit = request;
+    if (recorder.ShouldTrace(submit.seed)) {
+      // Mirror the ingress front door: mint the trace, stamp the
+      // admission span, mark the enqueue instant for shard.queue_wait.
+      submit.trace = recorder.Begin(submit.seed);
+      const uint64_t now = obs::MonotonicNs();
+      submit.trace->AddSpan(obs::SpanKind::kIngressQueue,
+                            submit.trace->begin_ns(), now);
+      submit.trace->SetEnqueue(now);
+    }
+    server.Submit(std::move(submit));
+  }
+  server.Drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  Segment segment;
+  segment.requests_per_second =
+      wall_s > 0 ? static_cast<double>(requests.size()) / wall_s : 0;
+  segment.total_work = server.Report().stats.total_work;
+  segment.traces_finished = recorder.finished();
+  return segment;
+}
+
+double Median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+// Overhead of `mode` relative to `off`, clamped at 0 (timing jitter can
+// make an instrumented run come out faster; negative overhead is noise).
+double OverheadPct(double off_rps, double mode_rps) {
+  if (off_rps <= 0) return 0;
+  return std::max(0.0, (off_rps - mode_rps) / off_rps * 100.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_requests = 0;
+  int rounds = 5;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      json = true;
+    } else if (std::strncmp(arg, "--rounds=", 9) == 0) {
+      rounds = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+      return 2;
+    } else {
+      num_requests = std::atoi(arg);
+    }
+  }
+  if (num_requests <= 0) num_requests = 4000;
+  if (rounds <= 0) rounds = 5;
+
+  gen::PatternParams params;
+  params.nb_nodes = 64;
+  params.nb_rows = 4;
+  params.seed = 1;
+  const gen::GeneratedSchema pattern = gen::GeneratePattern(params);
+  std::vector<runtime::FlowRequest> requests;
+  requests.reserve(static_cast<size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) {
+    const uint64_t seed = gen::InstanceSeed(params, i);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+
+  const uint32_t kModes[] = {0, obs::kDefaultSamplePeriod, 1};
+  const char* kModeNames[] = {"off", "sampled", "full"};
+  std::vector<double> rps[3];
+  int64_t traces[3] = {0, 0, 0};
+  int64_t expected_work = -1;
+  for (int round = 0; round < rounds; ++round) {
+    for (int mode = 0; mode < 3; ++mode) {
+      const Segment segment = RunOnce(pattern, requests, kModes[mode]);
+      rps[mode].push_back(segment.requests_per_second);
+      traces[mode] = segment.traces_finished;
+      if (expected_work < 0) expected_work = segment.total_work;
+      if (segment.total_work != expected_work) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: mode %s round %d produced "
+                     "work %lld, expected %lld\n",
+                     kModeNames[mode], round,
+                     static_cast<long long>(segment.total_work),
+                     static_cast<long long>(expected_work));
+        return 1;
+      }
+    }
+  }
+  const double off_rps = Median(rps[0]);
+  const double sampled_rps = Median(rps[1]);
+  const double full_rps = Median(rps[2]);
+  const double sampled_pct = OverheadPct(off_rps, sampled_rps);
+  const double full_pct = OverheadPct(off_rps, full_rps);
+
+  if (json) {
+    std::printf(
+        "{\"tool\":\"bench_obs_overhead\",\"requests\":%d,\"rounds\":%d,"
+        "\"sample_period\":%u,\"off_rps\":%.1f,\"sampled_rps\":%.1f,"
+        "\"full_rps\":%.1f,\"sampled_overhead_pct\":%.2f,"
+        "\"full_overhead_pct\":%.2f,\"sampled_traces\":%lld,"
+        "\"full_traces\":%lld,\"total_work\":%lld}\n",
+        num_requests, rounds, obs::kDefaultSamplePeriod, off_rps,
+        sampled_rps, full_rps, sampled_pct, full_pct,
+        static_cast<long long>(traces[1]), static_cast<long long>(traces[2]),
+        static_cast<long long>(expected_work));
+  } else {
+    std::printf("obs overhead (%d requests, median of %d interleaved "
+                "rounds)\n",
+                num_requests, rounds);
+    std::printf("  %-8s %12s %10s %s\n", "mode", "req/s", "overhead",
+                "traces/run");
+    std::printf("  %-8s %12.1f %9s%% %lld\n", "off", off_rps, "-",
+                static_cast<long long>(0));
+    std::printf("  %-8s %12.1f %9.2f%% %lld\n", "sampled", sampled_rps,
+                sampled_pct, static_cast<long long>(traces[1]));
+    std::printf("  %-8s %12.1f %9.2f%% %lld\n", "full", full_rps, full_pct,
+                static_cast<long long>(traces[2]));
+    std::printf("  determinism: total work %lld identical across all "
+                "modes and rounds\n",
+                static_cast<long long>(expected_work));
+  }
+  return 0;
+}

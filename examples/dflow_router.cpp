@@ -18,11 +18,15 @@
 //         ./build/dflow_router --port=4517 --backends=4521,4522
 // Drive:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "net/router.h"
@@ -38,6 +42,13 @@ bool FlagValue(const char* arg, const char* name, const char** value) {
     return true;
   }
   return false;
+}
+
+// "--trace-sample=64" and "--trace-sample=1/64" both mean "1 in 64".
+uint32_t ParseSamplePeriod(const char* value) {
+  if (std::strncmp(value, "1/", 2) == 0) value += 2;
+  const long parsed = std::atol(value);
+  return parsed <= 0 ? 0u : static_cast<uint32_t>(parsed);
 }
 
 // "4521,4522" or "host:4521,host:4522" (mixed forms allowed); host
@@ -71,6 +82,8 @@ int main(int argc, char** argv) {
   net::RouterOptions options;
   int port = 4517;
   std::string backends_text;
+  bool metrics_dump = false;
+  int log_stats_every = 0;  // seconds; 0 = no periodic self-report
 
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
@@ -84,6 +97,20 @@ int main(int argc, char** argv) {
       options.connect_timeout_s = std::atof(value);
     } else if (FlagValue(argv[i], "--node-id", &value)) {
       options.node_id = value;
+    } else if (FlagValue(argv[i], "--trace-sample", &value)) {
+      // 1-in-N deterministic trace sampling at the fleet's entry point
+      // (accepts "64" or "1/64"). Sampled submits are forwarded with the
+      // v4 trace extension, so the backend traces the same requests under
+      // the router-minted id.
+      options.trace.sample_period = ParseSamplePeriod(value);
+    } else if (FlagValue(argv[i], "--trace-jsonl", &value)) {
+      options.trace.jsonl_path = value;
+    } else if (FlagValue(argv[i], "--slow-ms", &value)) {
+      options.trace.slow_ms = std::atof(value);
+    } else if (FlagValue(argv[i], "--log-stats-every", &value)) {
+      log_stats_every = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      metrics_dump = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       options.verbose = true;
     } else {
@@ -131,11 +158,41 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
+  // Periodic self-report: one stderr line every --log-stats-every seconds.
+  std::mutex log_mu;
+  std::condition_variable log_cv;
+  bool log_stop = false;
+  std::thread logger;
+  if (log_stats_every > 0) {
+    logger = std::thread([&] {
+      std::unique_lock<std::mutex> lock(log_mu);
+      while (!log_cv.wait_for(lock, std::chrono::seconds(log_stats_every),
+                              [&] { return log_stop; })) {
+        const runtime::IngressStats front = router.front_stats();
+        std::fprintf(
+            stderr,
+            "[router] routed=%lld busy=%lld shutdown=%lld traces=%lld "
+            "outbox_stalls=%lld\n",
+            static_cast<long long>(front.requests_accepted),
+            static_cast<long long>(front.requests_rejected_busy),
+            static_cast<long long>(front.requests_rejected_shutdown),
+            static_cast<long long>(router.recorder().finished()),
+            static_cast<long long>(front.outbox_write_stalls));
+      }
+    });
+  }
+
   int signal_number = 0;
   sigwait(&mask, &signal_number);
   std::printf("dflow_router: received signal %d, draining...\n",
               signal_number);
   std::fflush(stdout);
+  {
+    std::lock_guard<std::mutex> lock(log_mu);
+    log_stop = true;
+  }
+  log_cv.notify_all();
+  if (logger.joinable()) logger.join();
   router.Stop();
 
   const net::ServerInfo report = router.BuildInfo();
@@ -168,6 +225,15 @@ int main(int argc, char** argv) {
                 static_cast<long long>(backend.unavailable),
                 static_cast<long long>(backend.reconnects),
                 backend.connected == 1 ? "" : " (down)");
+  }
+  if (router.recorder().finished() > 0) {
+    std::printf("traces               %lld finished (%lld slow-logged)\n",
+                static_cast<long long>(router.recorder().finished()),
+                static_cast<long long>(router.recorder().slow_logged()));
+  }
+  if (metrics_dump) {
+    // The same text a kMetricsRequest frame answers, as a final snapshot.
+    std::printf("--- metrics ---\n%s", router.MetricsText().c_str());
   }
   return 0;
 }

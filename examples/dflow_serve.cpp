@@ -13,11 +13,15 @@
 // Run:    ./build/dflow_serve --port=4517 --shards=4 --cache=256
 // Drive:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
 
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "gen/schema_generator.h"
 #include "net/ingress_server.h"
@@ -34,6 +38,13 @@ bool FlagValue(const char* arg, const char* name, const char** value) {
     return true;
   }
   return false;
+}
+
+// "--trace-sample=64" and "--trace-sample=1/64" both mean "1 in 64".
+uint32_t ParseSamplePeriod(const char* value) {
+  if (std::strncmp(value, "1/", 2) == 0) value += 2;
+  const long parsed = std::atol(value);
+  return parsed <= 0 ? 0u : static_cast<uint32_t>(parsed);
 }
 
 }  // namespace
@@ -54,6 +65,9 @@ int main(int argc, char** argv) {
   int advisor_samples = 48;
   int advisor_explore = 64;
   std::string advisor_calibration;  // load-or-create path; empty = in-memory
+  obs::TraceRecorderOptions trace;
+  bool metrics_dump = false;
+  int log_stats_every = 0;  // seconds; 0 = no periodic self-report
 
   for (int i = 1; i < argc; ++i) {
     const char* value = nullptr;
@@ -103,6 +117,23 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown backend '%s'\n", value);
         return 2;
       }
+    } else if (FlagValue(argv[i], "--trace-sample", &value)) {
+      // 1-in-N deterministic trace sampling (accepts "64" or "1/64");
+      // 1 traces everything, 0 disables tracing.
+      trace.sample_period = ParseSamplePeriod(value);
+    } else if (FlagValue(argv[i], "--trace-jsonl", &value)) {
+      // Append every finished trace as one JSON line to this file.
+      trace.jsonl_path = value;
+    } else if (FlagValue(argv[i], "--slow-ms", &value)) {
+      // Slow-request log threshold (wall ms). >0 traces EVERY request and
+      // dumps the full span breakdown of any that crosses the threshold.
+      trace.slow_ms = std::atof(value);
+    } else if (FlagValue(argv[i], "--log-stats-every", &value)) {
+      // Periodic one-line self-report on stderr every N seconds.
+      log_stats_every = std::atoi(value);
+    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
+      // Print the final Prometheus-style metrics exposition on drain.
+      metrics_dump = true;
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       verbose = true;
     } else {
@@ -198,6 +229,7 @@ int main(int argc, char** argv) {
   ingress_options.port = static_cast<uint16_t>(port);
   ingress_options.verbose = verbose;
   ingress_options.node_id = node_id;
+  ingress_options.trace = trace;
 
   // Block the shutdown signals *before* spawning server threads so every
   // thread inherits the mask and sigwait below is the only consumer.
@@ -232,12 +264,54 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(server_options.advisor->Fingerprint()),
         server_options.advisor->model().num_classes(), advisor_explore);
   }
+  if (trace.sample_period > 0 || trace.slow_ms > 0) {
+    std::printf("tracing: sample 1/%u%s%s%s\n",
+                trace.slow_ms > 0 ? 1u : trace.sample_period,
+                trace.slow_ms > 0 ? " (slow log arms full tracing)" : "",
+                trace.jsonl_path.empty() ? "" : ", jsonl=",
+                trace.jsonl_path.c_str());
+  }
   std::fflush(stdout);
+
+  // Periodic self-report: one stderr line every --log-stats-every seconds,
+  // from counters that are cheap to read (no reservoir sort).
+  std::mutex log_mu;
+  std::condition_variable log_cv;
+  bool log_stop = false;
+  std::thread logger;
+  if (log_stats_every > 0) {
+    logger = std::thread([&] {
+      std::unique_lock<std::mutex> lock(log_mu);
+      while (!log_cv.wait_for(lock, std::chrono::seconds(log_stats_every),
+                              [&] { return log_stop; })) {
+        const runtime::IngressStats in = server.ingress_stats();
+        const runtime::ResultCacheStats cache =
+            server.flow_server().cache_totals();
+        std::fprintf(
+            stderr,
+            "[serve] completed=%lld accepted=%lld busy=%lld cache=%lld/%lld "
+            "traces=%lld outbox_stalls=%lld\n",
+            static_cast<long long>(server.flow_server().total_processed()),
+            static_cast<long long>(in.requests_accepted),
+            static_cast<long long>(in.requests_rejected_busy),
+            static_cast<long long>(cache.hits),
+            static_cast<long long>(cache.hits + cache.misses),
+            static_cast<long long>(server.recorder().finished()),
+            static_cast<long long>(in.outbox_write_stalls));
+      }
+    });
+  }
 
   int signal_number = 0;
   sigwait(&mask, &signal_number);
   std::printf("dflow_serve: received signal %d, draining...\n", signal_number);
   std::fflush(stdout);
+  {
+    std::lock_guard<std::mutex> lock(log_mu);
+    log_stop = true;
+  }
+  log_cv.notify_all();
+  if (logger.joinable()) logger.join();
   server.Stop();
 
   const runtime::FlowServerReport report = server.Report();
@@ -281,5 +355,14 @@ int main(int argc, char** argv) {
   std::printf("ingress bytes        %lld in, %lld out\n",
               static_cast<long long>(in.bytes_in),
               static_cast<long long>(in.bytes_out));
+  if (server.recorder().finished() > 0) {
+    std::printf("traces               %lld finished (%lld slow-logged)\n",
+                static_cast<long long>(server.recorder().finished()),
+                static_cast<long long>(server.recorder().slow_logged()));
+  }
+  if (metrics_dump) {
+    // The same text a kMetricsRequest frame answers, as a final snapshot.
+    std::printf("--- metrics ---\n%s", server.MetricsText().c_str());
+  }
   return 0;
 }

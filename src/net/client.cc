@@ -29,6 +29,12 @@ bool Client::SendInfoRequest() {
   return SendFrame(frame);
 }
 
+bool Client::SendMetricsRequest() {
+  std::vector<uint8_t> frame;
+  EncodeMetricsRequest(&frame);
+  return SendFrame(frame);
+}
+
 bool Client::SendGoodbye() {
   std::vector<uint8_t> frame;
   EncodeGoodbye(&frame);
@@ -67,6 +73,10 @@ std::optional<ServerMessage> Client::ReadMessage() {
       message.type = MsgType::kInfo;
       if (!DecodeInfo(frame->payload, &message.info)) break;
       return message;
+    case MsgType::kMetrics:
+      message.type = MsgType::kMetrics;
+      if (!DecodeMetrics(frame->payload, &message.metrics)) break;
+      return message;
     case MsgType::kGoodbyeAck:
       message.type = MsgType::kGoodbyeAck;
       return message;
@@ -91,6 +101,15 @@ std::optional<ServerInfo> Client::Info() {
     return std::nullopt;
   }
   return message->info;
+}
+
+std::optional<std::string> Client::Metrics() {
+  if (!SendMetricsRequest()) return std::nullopt;
+  const std::optional<ServerMessage> message = ReadMessage();
+  if (!message.has_value() || message->type != MsgType::kMetrics) {
+    return std::nullopt;
+  }
+  return message->metrics;
 }
 
 bool Client::Goodbye() {

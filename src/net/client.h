@@ -17,6 +17,7 @@ struct ServerMessage {
   SubmitResult result;  // when kSubmitResult
   ErrorReply error;     // when kError
   ServerInfo info;      // when kInfo
+  std::string metrics;  // when kMetrics (text exposition)
 };
 
 // Client side of the wire protocol: one TCP connection, blocking calls.
@@ -51,6 +52,7 @@ class Client {
   // Fire-and-record senders; false on transport failure.
   bool SendSubmit(const SubmitRequest& request);
   bool SendInfoRequest();
+  bool SendMetricsRequest();
   bool SendGoodbye();
 
   // --- Raw-frame layer. The router's backend pool is built on these: it
@@ -74,6 +76,8 @@ class Client {
   // Synchronous conveniences.
   std::optional<ServerMessage> Call(const SubmitRequest& request);
   std::optional<ServerInfo> Info();
+  // Scrapes the server's metrics endpoint (Prometheus text exposition).
+  std::optional<std::string> Metrics();
   // Graceful close: sends kGoodbye, waits for the ack (the server flushes
   // every outstanding response first — any still-pending results arrive
   // before the ack and are DISCARDED here, so call this only after reading

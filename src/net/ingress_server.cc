@@ -1,5 +1,6 @@
 #include "net/ingress_server.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -14,7 +15,11 @@ constexpr size_t kRecvChunkBytes = 64 * 1024;
 IngressServer::IngressServer(const core::Schema* schema,
                              runtime::FlowServerOptions server_options,
                              IngressOptions ingress_options)
-    : options_(ingress_options), server_(schema, server_options) {
+    : options_(ingress_options),
+      server_(schema, server_options),
+      recorder_(ingress_options.trace,
+                ingress_options.node_id.empty() ? "serve"
+                                                : ingress_options.node_id) {
   // Installed before the listener exists, so it observes every request the
   // ingress will ever admit.
   server_.SetResultCallback(
@@ -23,6 +28,42 @@ IngressServer::IngressServer(const core::Schema* schema,
              const core::Strategy& executed) {
         OnResult(shard_index, request, result, executed);
       });
+  // Counters and gauges are callbacks over state the server maintains
+  // anyway, so registering them costs the request path nothing.
+  const auto counter = [this](const char* name, std::atomic<int64_t>* src) {
+    metrics_.AddCounter(name, {}, [src] { return src->load(); });
+  };
+  counter("dflow_connections_opened_total", &connections_opened_);
+  counter("dflow_connections_closed_total", &connections_closed_);
+  counter("dflow_requests_accepted_total", &requests_accepted_);
+  counter("dflow_requests_rejected_busy_total", &requests_rejected_busy_);
+  counter("dflow_requests_rejected_shutdown_total",
+          &requests_rejected_shutdown_);
+  counter("dflow_decode_errors_total", &decode_errors_);
+  counter("dflow_protocol_errors_total", &protocol_errors_);
+  counter("dflow_bytes_in_total", &bytes_in_);
+  counter("dflow_bytes_out_total", &bytes_out_);
+  metrics_.AddCounter("dflow_completed_total", {},
+                      [this] { return server_.total_processed(); });
+  metrics_.AddCounter("dflow_cache_hits_total", {},
+                      [this] { return server_.cache_totals().hits; });
+  metrics_.AddCounter("dflow_cache_misses_total", {},
+                      [this] { return server_.cache_totals().misses; });
+  metrics_.AddCounter("dflow_traces_started_total", {},
+                      [this] { return recorder_.started(); });
+  metrics_.AddCounter("dflow_traces_finished_total", {},
+                      [this] { return recorder_.finished(); });
+  for (int i = 0; i < server_.num_shards(); ++i) {
+    metrics_.AddGauge(
+        "dflow_queue_depth", {{"shard", std::to_string(i)}}, [this, i] {
+          return static_cast<double>(server_.queue_depths()[static_cast<
+              size_t>(i)]);
+        });
+  }
+  wall_latency_us_ = metrics_.AddHistogram(
+      "dflow_wall_latency_us", {}, obs::DefaultWallLatencyBucketsUs());
+  latency_units_ = metrics_.AddHistogram("dflow_latency_units", {},
+                                         obs::DefaultWorkUnitBuckets());
 }
 
 IngressServer::~IngressServer() { Stop(); }
@@ -73,6 +114,21 @@ runtime::IngressStats IngressServer::ingress_stats() const {
   stats.info_requests = info_requests_.load();
   stats.bytes_in = bytes_in_.load();
   stats.bytes_out = bytes_out_.load();
+  // Outbox stats: the closed-session accumulator plus a live-session scan,
+  // all under sessions_mu_ so a session tearing down concurrently is
+  // counted exactly once (stats_folded flips under the same lock).
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  stats.outbox_inflight_hwm = closed_outbox_.inflight_hwm;
+  stats.outbox_bytes_written = closed_outbox_.bytes_written;
+  stats.outbox_write_stalls = closed_outbox_.write_stalls;
+  for (const std::shared_ptr<Session>& session : sessions_) {
+    if (session->stats_folded) continue;
+    const SessionOutbox::Stats live = session->outbox.GetStats();
+    stats.outbox_inflight_hwm =
+        std::max(stats.outbox_inflight_hwm, live.inflight_hwm);
+    stats.outbox_bytes_written += live.bytes_written;
+    stats.outbox_write_stalls += live.write_stalls;
+  }
   return stats;
 }
 
@@ -160,6 +216,17 @@ void IngressServer::SessionLoop(const std::shared_ptr<Session>& session) {
   // shutdown() leaves the fd valid; the Socket destructor closes it once
   // the last shared_ptr (sessions_ vector / pending map) lets go.
   session->socket.ShutdownBoth();
+  {
+    // Fold this session's outbox stats into the closed-session accumulator
+    // before it disappears from the live scan (same lock as that scan).
+    const SessionOutbox::Stats outbox = session->outbox.GetStats();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    closed_outbox_.inflight_hwm =
+        std::max(closed_outbox_.inflight_hwm, outbox.inflight_hwm);
+    closed_outbox_.bytes_written += outbox.bytes_written;
+    closed_outbox_.write_stalls += outbox.write_stalls;
+    session->stats_folded = true;
+  }
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
   if (options_.verbose) {
     std::fprintf(
@@ -211,6 +278,12 @@ bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
       Enqueue(session, std::move(out));
       return true;
     }
+    case MsgType::kMetricsRequest: {
+      std::vector<uint8_t> out;
+      EncodeMetrics(metrics_.RenderText(), &out);
+      Enqueue(session, std::move(out));
+      return true;
+    }
     case MsgType::kGoodbye: {
       // Flush-then-ack: every accepted submit on this connection is
       // answered before the ack, so a client that waits for the ack has
@@ -249,17 +322,37 @@ void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
       return;
     }
   }
+  // Trace when the client (or an upstream router) asked for one via the
+  // wire extension, or when this recorder's own sampling picks the seed.
+  // The id travels: a propagated nonzero id is adopted verbatim.
+  std::shared_ptr<obs::RequestTrace> trace;
+  if (request.has_trace || recorder_.ShouldTrace(request.seed)) {
+    trace = recorder_.Begin(request.seed, request.trace_id);
+  }
+  const uint64_t start_ns =
+      trace != nullptr ? trace->begin_ns() : obs::MonotonicNs();
   const uint64_t ticket =
       next_ticket_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     pending_.emplace(ticket,
                      Pending{session, request.request_id,
-                             request.want_snapshot});
+                             request.want_snapshot, start_ns, trace});
   }
   session->outbox.BeginRequest();
   runtime::FlowRequest flow_request{std::move(request.sources), request.seed,
-                                    ticket};
+                                    ticket, trace};
+  // Stamped before the queue push so both are visible to the shard worker
+  // no matter how quickly the pop lands — the worker may snapshot the
+  // trace for the reply while this reader is still returning from Submit.
+  // ingress.queue therefore covers decode -> admission attempt; a blocking
+  // submit that parks on a full queue shows the stall in shard.queue_wait,
+  // which measures from this same instant.
+  if (trace != nullptr) {
+    const uint64_t enqueue_ns = obs::MonotonicNs();
+    trace->AddSpan(obs::SpanKind::kIngressQueue, start_ns, enqueue_ns);
+    trace->SetEnqueue(enqueue_ns);
+  }
   WireError refusal = WireError::kNone;
   if (request.blocking) {
     // May park this reader on the shard's bounded queue: that is the
@@ -290,6 +383,12 @@ void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
     pending_.erase(ticket);
   }
   session->outbox.FinishRequest();
+  // A refused traced request still finishes its trace (with only the
+  // admission attempt in it): refusals are exactly what a latency
+  // investigation wants to see.
+  if (trace != nullptr) {
+    recorder_.Finish(trace, obs::MonotonicNs() - start_ns);
+  }
   if (refusal == WireError::kRejectedBusy) {
     session->rejected_busy.fetch_add(1, std::memory_order_relaxed);
     requests_rejected_busy_.fetch_add(1, std::memory_order_relaxed);
@@ -306,6 +405,7 @@ void IngressServer::OnResult(int shard_index,
                              const core::InstanceResult& result,
                              const core::Strategy& executed) {
   if (request.ticket == 0) return;  // not one of ours
+  const uint64_t completion_ns = obs::MonotonicNs();
   Pending pending;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
@@ -314,6 +414,11 @@ void IngressServer::OnResult(int shard_index,
     pending = std::move(it->second);
     pending_.erase(it);
   }
+  // Real wall-clock latency (submit decoded -> completion) next to the
+  // paper's work-unit latency, for every request — traced or not.
+  wall_latency_us_->Observe(
+      static_cast<double>(completion_ns - pending.start_ns) / 1e3);
+  latency_units_->Observe(result.metrics.ResponseTime());
   SubmitResult reply;
   reply.request_id = pending.request_id;
   reply.shard = shard_index;
@@ -334,10 +439,28 @@ void IngressServer::OnResult(int shard_index,
           attr, result.snapshot.state(attr), result.snapshot.value(attr)});
     }
   }
+  if (pending.trace != nullptr) {
+    // outbox.write covers the response assembly above; it cannot extend
+    // into the encode below because the span must land inside the very
+    // trailer that encode serializes.
+    pending.trace->AddSpan(obs::SpanKind::kOutboxWrite, completion_ns,
+                           obs::MonotonicNs());
+    const obs::RequestTrace::View view = pending.trace->Snapshot();
+    reply.trace_id = pending.trace->trace_id();
+    reply.spans.reserve(view.spans.size());
+    for (const obs::Span& span : view.spans) {
+      reply.spans.push_back(WireSpan{static_cast<uint8_t>(span.kind),
+                                     span.start_ns, span.duration_ns});
+    }
+  }
   std::vector<uint8_t> out;
   EncodeSubmitResult(reply, &out);
   Enqueue(pending.session, std::move(out));
   pending.session->outbox.FinishRequest();
+  if (pending.trace != nullptr) {
+    recorder_.Finish(pending.trace,
+                     obs::MonotonicNs() - pending.start_ns);
+  }
 }
 
 void IngressServer::Enqueue(const std::shared_ptr<Session>& session,

@@ -13,6 +13,8 @@
 #include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "runtime/flow_server.h"
 
 namespace dflow::net {
@@ -37,6 +39,12 @@ struct IngressOptions {
   // node_id); a router records it per backend at handshake time. Empty
   // means "serve:<bound port>".
   std::string node_id;
+  // Observability: sampling, JSONL sink, and slow-request-log threshold
+  // for the ingress's TraceRecorder. All-default (sample_period 0, no
+  // sink, slow_ms 0) means tracing is off — untraced requests pay one
+  // pointer test per stage and nothing else. Propagated trace contexts
+  // (a submit carrying the v4 trace extension) are honored regardless.
+  obs::TraceRecorderOptions trace;
 };
 
 // The network front door of the flow-serving runtime: a TCP listener whose
@@ -91,6 +99,11 @@ class IngressServer {
   runtime::FlowServerReport Report() const;
   runtime::IngressStats ingress_stats() const;
 
+  // Prometheus-style text exposition of every registered metric family —
+  // what a kMetricsRequest frame answers and what --metrics-dump prints.
+  std::string MetricsText() const { return metrics_.RenderText(); }
+  const obs::TraceRecorder& recorder() const { return recorder_; }
+
   const runtime::FlowServer& flow_server() const { return server_; }
 
  private:
@@ -114,6 +127,11 @@ class IngressServer {
     std::atomic<int64_t> bytes_out{0};
 
     std::thread thread;  // reader; joins the writer before exiting
+    // Outbox stats already folded into the closed-session accumulator
+    // (set, under sessions_mu_, by the session's own teardown); the live
+    // scan in ingress_stats() skips folded sessions so each session is
+    // counted exactly once.
+    bool stats_folded = false;  // guarded by sessions_mu_
     std::atomic<bool> finished{false};  // safe to reap
   };
 
@@ -121,6 +139,10 @@ class IngressServer {
     std::shared_ptr<Session> session;
     uint64_t request_id = 0;
     bool want_snapshot = false;
+    // Admission timestamp (the trace's begin when traced): the wall-clock
+    // latency histogram and TraceRecorder::Finish measure from here.
+    uint64_t start_ns = 0;
+    std::shared_ptr<obs::RequestTrace> trace;  // null = untraced
   };
 
   void AcceptLoop();
@@ -148,6 +170,14 @@ class IngressServer {
 
   const IngressOptions options_;
   runtime::FlowServer server_;
+  obs::TraceRecorder recorder_;
+  obs::MetricsRegistry metrics_;
+  // Registry-owned latency histograms, observed on the completion path:
+  // real wall-clock microseconds (submit decoded -> response built)
+  // alongside the paper's work-unit latency, so the two views stay
+  // side-by-side in one scrape.
+  obs::Histogram* wall_latency_us_ = nullptr;
+  obs::Histogram* latency_units_ = nullptr;
   ListenSocket listener_;
   std::thread acceptor_;
   std::atomic<bool> started_{false};
@@ -155,9 +185,12 @@ class IngressServer {
   std::mutex stop_mu_;  // serializes Stop()
   bool stopped_ = false;
 
-  std::mutex sessions_mu_;
+  mutable std::mutex sessions_mu_;
   std::vector<std::shared_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 1;
+  // Outbox stats of sessions that already tore down (under sessions_mu_);
+  // the HWM folds by max, the totals by sum (see IngressStats).
+  SessionOutbox::Stats closed_outbox_;
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, Pending> pending_;

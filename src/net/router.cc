@@ -29,7 +29,34 @@ std::string AddressText(const BackendAddress& address) {
 
 }  // namespace
 
-Router::Router(RouterOptions options) : options_(std::move(options)) {}
+Router::Router(RouterOptions options)
+    : options_(std::move(options)),
+      recorder_(options_.trace, options_.node_id.empty() ? "router"
+                                                         : options_.node_id) {
+  // Counters and gauges are callbacks over counters the router maintains
+  // anyway, so registering them costs the relay path nothing. Per-backend
+  // families are registered in Start(), once the fleet is known.
+  const auto counter = [this](const char* name, std::atomic<int64_t>* src) {
+    metrics_.AddCounter(name, {}, [src] { return src->load(); });
+  };
+  counter("dflow_connections_opened_total", &connections_opened_);
+  counter("dflow_connections_closed_total", &connections_closed_);
+  counter("dflow_requests_routed_total", &requests_routed_);
+  counter("dflow_relayed_results_total", &relayed_results_);
+  counter("dflow_relayed_busy_total", &relayed_busy_);
+  counter("dflow_relayed_shutdown_total", &relayed_shutdown_);
+  counter("dflow_unavailable_total", &unavailable_total_);
+  counter("dflow_decode_errors_total", &decode_errors_);
+  counter("dflow_protocol_errors_total", &protocol_errors_);
+  counter("dflow_bytes_in_total", &bytes_in_);
+  counter("dflow_bytes_out_total", &bytes_out_);
+  metrics_.AddCounter("dflow_traces_started_total", {},
+                      [this] { return recorder_.started(); });
+  metrics_.AddCounter("dflow_traces_finished_total", {},
+                      [this] { return recorder_.finished(); });
+  wall_latency_us_ = metrics_.AddHistogram(
+      "dflow_wall_latency_us", {}, obs::DefaultWallLatencyBucketsUs());
+}
 
 Router::~Router() { Stop(); }
 
@@ -61,6 +88,34 @@ bool Router::Start(std::string* error) {
         BackendLoop(backend, raw);
       });
     }
+  }
+  // Per-backend metric families, one labeled series per backend. The
+  // Backend objects (and their conns vectors) are append-only from here,
+  // so the raw pointers the callbacks capture stay valid for the router's
+  // lifetime. Family-outer loops keep each family's series contiguous in
+  // the text exposition.
+  const auto backend_counter = [this](const char* name,
+                                      std::atomic<int64_t> Backend::*member) {
+    for (const std::unique_ptr<Backend>& backend : backends_) {
+      Backend* raw = backend.get();
+      metrics_.AddCounter(name, {{"backend", AddressText(raw->address)}},
+                          [raw, member] { return (raw->*member).load(); });
+    }
+  };
+  backend_counter("dflow_backend_forwarded_total", &Backend::forwarded);
+  backend_counter("dflow_backend_answered_total", &Backend::answered);
+  backend_counter("dflow_backend_unavailable_total", &Backend::unavailable);
+  backend_counter("dflow_backend_reconnects_total", &Backend::reconnects);
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    Backend* raw = backend.get();
+    metrics_.AddGauge(
+        "dflow_backend_connected", {{"backend", AddressText(raw->address)}},
+        [raw] {
+          for (const std::unique_ptr<BackendConn>& conn : raw->conns) {
+            if (conn->ready.load(std::memory_order_acquire)) return 1.0;
+          }
+          return 0.0;
+        });
   }
   // Admit no client until the whole fleet answered its identity handshake:
   // a router that starts half-connected would deterministically fail every
@@ -194,6 +249,21 @@ runtime::IngressStats Router::front_stats() const {
   stats.info_requests = info_requests_.load();
   stats.bytes_in = bytes_in_.load();
   stats.bytes_out = bytes_out_.load();
+  // Outbox stats: the closed-session accumulator plus a live-session scan,
+  // all under sessions_mu_ so a session tearing down concurrently is
+  // counted exactly once (stats_folded flips under the same lock).
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  stats.outbox_inflight_hwm = closed_outbox_.inflight_hwm;
+  stats.outbox_bytes_written = closed_outbox_.bytes_written;
+  stats.outbox_write_stalls = closed_outbox_.write_stalls;
+  for (const std::shared_ptr<Session>& session : sessions_) {
+    if (session->stats_folded) continue;
+    const SessionOutbox::Stats live = session->outbox.GetStats();
+    stats.outbox_inflight_hwm =
+        std::max(stats.outbox_inflight_hwm, live.inflight_hwm);
+    stats.outbox_bytes_written += live.bytes_written;
+    stats.outbox_write_stalls += live.write_stalls;
+  }
   return stats;
 }
 
@@ -331,6 +401,19 @@ void Router::SessionLoop(const std::shared_ptr<Session>& session) {
   // shutdown(), not close(): Stop() may be touching this socket
   // concurrently; the fd stays valid until the last shared_ptr drops.
   session->socket.ShutdownBoth();
+  // Fold the outbox counters into the closed-session accumulator before
+  // the reap flag: front_stats() skips folded sessions, so the fold and
+  // the flag flipping under one sessions_mu_ hold keep each session
+  // counted exactly once.
+  {
+    const SessionOutbox::Stats outbox = session->outbox.GetStats();
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    closed_outbox_.inflight_hwm =
+        std::max(closed_outbox_.inflight_hwm, outbox.inflight_hwm);
+    closed_outbox_.bytes_written += outbox.bytes_written;
+    closed_outbox_.write_stalls += outbox.write_stalls;
+    session->stats_folded = true;
+  }
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
   if (options_.verbose) {
     std::fprintf(stderr,
@@ -365,6 +448,12 @@ bool Router::HandleFrame(const std::shared_ptr<Session>& session,
       info_requests_.fetch_add(1, std::memory_order_relaxed);
       std::vector<uint8_t> out;
       EncodeInfo(BuildInfo(), &out);
+      Enqueue(session, std::move(out));
+      return true;
+    }
+    case MsgType::kMetricsRequest: {
+      std::vector<uint8_t> out;
+      EncodeMetrics(metrics_.RenderText(), &out);
       Enqueue(session, std::move(out));
       return true;
     }
@@ -406,13 +495,48 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
   const int backend_index =
       runtime::FlowServer::ShardFor(seed, num_backends());
   Backend* backend = backends_[static_cast<size_t>(backend_index)].get();
+  // Trace decision at the fleet's entry point: a client-set trace flag is
+  // always honored, otherwise the router's own deterministic sample
+  // applies. Either way the forwarded frame carries the v4 trace extension
+  // with the router-minted id, so the backend adopts one identity and the
+  // router.forward span appended on the way back joins the backend's spans
+  // under a single trace. Still no payload decode: the flag is one bit of
+  // the fixed-offset flags word, and the extension is the payload's last
+  // nine bytes.
+  std::shared_ptr<obs::RequestTrace> trace;
+  const bool client_flagged = (frame.payload[16] & 0x04) != 0;
+  if (client_flagged || recorder_.ShouldTrace(seed)) {
+    const bool has_extension =
+        client_flagged && frame.payload.size() >= kSubmitPeekBytes + 9;
+    uint64_t upstream_id = 0;
+    if (has_extension) {
+      upstream_id =
+          ReadLe64(frame.payload.data() + frame.payload.size() - 9);
+    }
+    trace = recorder_.Begin(seed, upstream_id);
+    if (has_extension) {
+      // trace_id 0 in a client extension means "assign at the entry
+      // point" — that is us; a nonzero id came from further upstream and
+      // Begin() adopted it, so this write is then a no-op.
+      WriteLe64(trace->trace_id(),
+                frame.payload.data() + frame.payload.size() - 9);
+    } else {
+      frame.payload[16] |= 0x04;  // kFlagHasTrace (flags u32 LE @ 16)
+      uint8_t extension[9] = {0};
+      WriteLe64(trace->trace_id(), extension);
+      frame.payload.insert(frame.payload.end(), extension, extension + 9);
+    }
+  }
+  const uint64_t start_ns =
+      trace != nullptr ? trace->begin_ns() : obs::MonotonicNs();
   const uint64_t ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed);
   WriteLe64(ticket, frame.payload.data());
   std::vector<uint8_t> forward;
   forward.reserve(kFrameHeaderBytes + frame.payload.size());
   EncodeRawFrame(frame.type, frame.payload, &forward);
   session->outbox.BeginRequest();
-  switch (Forward(backend, session, request_id, ticket, forward)) {
+  switch (Forward(backend, session, request_id, ticket, forward, start_ns,
+                  trace)) {
     case ForwardOutcome::kForwarded:
       session->accepted.fetch_add(1, std::memory_order_relaxed);
       requests_routed_.fetch_add(1, std::memory_order_relaxed);
@@ -423,6 +547,11 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
     case ForwardOutcome::kUnavailable:
       backend->unavailable.fetch_add(1, std::memory_order_relaxed);
       unavailable_total_.fetch_add(1, std::memory_order_relaxed);
+      // A refused-but-traced request still finishes its trace: fast-fail
+      // storms are exactly what the slow log and JSONL sink investigate.
+      if (trace != nullptr) {
+        recorder_.Finish(trace, obs::MonotonicNs() - start_ns);
+      }
       SendError(session, request_id, WireError::kBackendUnavailable,
                 "backend " + AddressText(backend->address) +
                     " disconnected");
@@ -434,7 +563,8 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
 Router::ForwardOutcome Router::Forward(
     Backend* backend, const std::shared_ptr<Session>& session,
     uint64_t request_id, uint64_t ticket,
-    const std::vector<uint8_t>& frame) {
+    const std::vector<uint8_t>& frame, uint64_t start_ns,
+    std::shared_ptr<obs::RequestTrace> trace) {
   const int pool = static_cast<int>(backend->conns.size());
   const uint32_t start = backend->rr.fetch_add(1, std::memory_order_relaxed);
   for (int k = 0; k < pool; ++k) {
@@ -457,7 +587,7 @@ Router::ForwardOutcome Router::Forward(
       std::lock_guard<std::mutex> pending_lock(pending_mu_);
       pending_.emplace(ticket, Pending{session, request_id,
                                        conn->backend_index,
-                                       conn->conn_index});
+                                       conn->conn_index, start_ns, trace});
     }
     // May block on a full TCP window — that is the end-to-end
     // backpressure path (downstream queue full -> downstream reader
@@ -646,9 +776,31 @@ void Router::HandleBackendFrame(Backend* backend, Frame frame) {
     }
   }
   backend->answered.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t now_ns = obs::MonotonicNs();
+  if (type == MsgType::kSubmitResult) {
+    wall_latency_us_->Observe(
+        static_cast<double>(now_ns - pending.start_ns) / 1e3);
+  }
   // Restore the client's correlation id in place and relay the frame
   // byte-for-byte otherwise (one re-framing copy, no decode).
   WriteLe64(pending.request_id, frame.payload.data());
+  if (pending.trace != nullptr) {
+    if (type == MsgType::kSubmitResult) {
+      // The cross-node span: start_ns 0 by convention (the two nodes'
+      // monotonic clocks are not comparable), duration the router's
+      // forward->relay extent. O(1) in-place append to the v4 timing
+      // trailer; a saturated trailer relays untouched.
+      AppendResultSpan(&frame.payload, pending.trace->trace_id(),
+                       static_cast<uint8_t>(obs::SpanKind::kRouterForward),
+                       /*start_ns=*/0, now_ns - pending.start_ns);
+      pending.trace->AddSpan(obs::SpanKind::kRouterForward, pending.start_ns,
+                             now_ns);
+    }
+    // Errors finish the trace too — relayed rejections are investigation
+    // material, and an unfinished trace would leak from the started/
+    // finished counters' point of view.
+    recorder_.Finish(pending.trace, now_ns - pending.start_ns);
+  }
   std::vector<uint8_t> out;
   out.reserve(kFrameHeaderBytes + frame.payload.size());
   EncodeRawFrame(frame.type, frame.payload, &out);
@@ -674,9 +826,13 @@ void Router::FailPendingOn(int backend_index, int conn_index) {
   Backend* backend = backends_[static_cast<size_t>(backend_index)].get();
   const std::string message =
       "backend " + AddressText(backend->address) + " connection lost";
+  const uint64_t now_ns = obs::MonotonicNs();
   for (const Pending& pending : victims) {
     backend->unavailable.fetch_add(1, std::memory_order_relaxed);
     unavailable_total_.fetch_add(1, std::memory_order_relaxed);
+    if (pending.trace != nullptr) {
+      recorder_.Finish(pending.trace, now_ns - pending.start_ns);
+    }
     SendError(pending.session, pending.request_id,
               WireError::kBackendUnavailable, message);
     FinishOne(pending.session);

@@ -15,6 +15,8 @@
 #include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "runtime/server_stats.h"
 
 namespace dflow::net {
@@ -54,6 +56,13 @@ struct RouterOptions {
   bool verbose = false;
   // Identity reported in Info responses; empty means "router:<port>".
   std::string node_id;
+  // Observability for the routing tier's own TraceRecorder. The router is
+  // the entry point of a multi-node deployment, so this is where sampled
+  // trace ids are minted: a sampled submit gets the v4 trace extension
+  // patched in before forwarding, the backend adopts the id, and the
+  // router appends its router.forward span to the relayed result — one
+  // trace identity across nodes. All-default means tracing off.
+  obs::TraceRecorderOptions trace;
 };
 
 // The multi-node routing tier: a standalone ingress process that speaks
@@ -121,6 +130,12 @@ class Router {
   RouterStats router_stats() const;
   ServerInfo BuildInfo() const;
 
+  // Prometheus-style text exposition of every registered metric family —
+  // what a kMetricsRequest frame answers and what --metrics-dump prints.
+  // Per-backend families carry a {backend="host:port"} label.
+  std::string MetricsText() const { return metrics_.RenderText(); }
+  const obs::TraceRecorder& recorder() const { return recorder_; }
+
  private:
   // A client connection on the front door (same shape as the ingress
   // server's sessions: reader thread + writer thread + the shared
@@ -136,6 +151,11 @@ class Router {
     std::atomic<int64_t> bytes_out{0};
 
     std::thread thread;  // reader; joins the writer before exiting
+    // Outbox stats already folded into the closed-session accumulator
+    // (set, under sessions_mu_, by the session's own teardown); the live
+    // scan in front_stats() skips folded sessions so each session is
+    // counted exactly once.
+    bool stats_folded = false;  // guarded by sessions_mu_
     std::atomic<bool> finished{false};
   };
 
@@ -176,6 +196,10 @@ class Router {
     uint64_t request_id = 0;  // client-chosen id, restored on the way back
     int backend_index = 0;
     int conn_index = 0;  // which pool connection carried it (death sweep)
+    // Forward timestamp: the wall-clock latency histogram and the
+    // router.forward span measure from here.
+    uint64_t start_ns = 0;
+    std::shared_ptr<obs::RequestTrace> trace;  // null = untraced
   };
 
   // How one forward attempt ended (see HandleSubmit).
@@ -189,7 +213,9 @@ class Router {
   ForwardOutcome Forward(Backend* backend,
                          const std::shared_ptr<Session>& session,
                          uint64_t request_id, uint64_t ticket,
-                         const std::vector<uint8_t>& frame);
+                         const std::vector<uint8_t>& frame,
+                         uint64_t start_ns,
+                         std::shared_ptr<obs::RequestTrace> trace);
   void ReapSessions(bool all);
   static void Enqueue(const std::shared_ptr<Session>& session,
                       std::vector<uint8_t> frame);
@@ -206,6 +232,12 @@ class Router {
   void FailPendingOn(int backend_index, int conn_index);
 
   const RouterOptions options_;
+  obs::TraceRecorder recorder_;
+  obs::MetricsRegistry metrics_;
+  // Registry-owned wall-clock latency histogram, observed on the relay
+  // path (submit forwarded -> result relayed): the cross-node counterpart
+  // of the ingress's dflow_wall_latency_us.
+  obs::Histogram* wall_latency_us_ = nullptr;
   ListenSocket listener_;
   std::thread acceptor_;
   std::atomic<bool> started_{false};
@@ -231,9 +263,12 @@ class Router {
   std::mutex backoff_mu_;
   std::condition_variable backoff_cv_;
 
-  std::mutex sessions_mu_;
+  mutable std::mutex sessions_mu_;
   std::vector<std::shared_ptr<Session>> sessions_;
   uint64_t next_session_id_ = 1;
+  // Outbox stats of sessions that already tore down (under sessions_mu_);
+  // the HWM folds by max, the totals by sum (see IngressStats).
+  SessionOutbox::Stats closed_outbox_;
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, Pending> pending_;

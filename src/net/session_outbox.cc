@@ -8,6 +8,7 @@ void SessionOutbox::Push(std::vector<uint8_t> frame) {
   {
     std::lock_guard<std::mutex> lock(out_mu_);
     if (out_closed_) return;  // session tearing down; drop
+    if (!outbox_.empty()) ++write_stalls_;  // queued behind unsent frames
     outbox_.push_back(std::move(frame));
   }
   out_cv_.notify_one();
@@ -33,9 +34,14 @@ void SessionOutbox::DrainTo(
       outbox_.pop_front();
       if (dead_) continue;  // discard; peer is unreachable
     }
-    if (!send(frame)) {
+    const bool sent = send(frame);
+    {
       std::lock_guard<std::mutex> lock(out_mu_);
-      dead_ = true;
+      if (sent) {
+        bytes_written_ += static_cast<int64_t>(frame.size());
+      } else {
+        dead_ = true;
+      }
     }
   }
 }
@@ -43,6 +49,7 @@ void SessionOutbox::DrainTo(
 void SessionOutbox::BeginRequest() {
   std::lock_guard<std::mutex> lock(inflight_mu_);
   ++inflight_;
+  if (inflight_ > inflight_hwm_) inflight_hwm_ = inflight_;
 }
 
 void SessionOutbox::FinishRequest() {
@@ -56,6 +63,18 @@ void SessionOutbox::FinishRequest() {
 void SessionOutbox::WaitDrained() {
   std::unique_lock<std::mutex> lock(inflight_mu_);
   inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+SessionOutbox::Stats SessionOutbox::GetStats() const {
+  Stats stats;
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    stats.bytes_written = bytes_written_;
+    stats.write_stalls = write_stalls_;
+  }
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  stats.inflight_hwm = inflight_hwm_;
+  return stats;
 }
 
 }  // namespace dflow::net

@@ -56,16 +56,31 @@ class SessionOutbox {
   void FinishRequest();
   void WaitDrained();
 
+  // Write-side health counters for this session. inflight_hwm is the peak
+  // Begin/Finish imbalance (how deep the session ever ran); bytes_written
+  // counts bytes actually handed to a *successful* send; write_stalls
+  // counts Pushes that queued behind unsent frames (the writer was not
+  // keeping up at that instant — a per-event signal, not a duration).
+  struct Stats {
+    int64_t inflight_hwm = 0;
+    int64_t bytes_written = 0;
+    int64_t write_stalls = 0;
+  };
+  Stats GetStats() const;
+
  private:
-  std::mutex out_mu_;
+  mutable std::mutex out_mu_;
   std::condition_variable out_cv_;
   std::deque<std::vector<uint8_t>> outbox_;
   bool out_closed_ = false;
   bool dead_ = false;  // a send failed; drain without sending
+  int64_t bytes_written_ = 0;  // under out_mu_
+  int64_t write_stalls_ = 0;   // under out_mu_
 
-  std::mutex inflight_mu_;
+  mutable std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;
   int64_t inflight_ = 0;
+  int64_t inflight_hwm_ = 0;  // under inflight_mu_
 };
 
 }  // namespace dflow::net

@@ -163,6 +163,10 @@ class Reader {
   // True iff every byte was consumed and nothing failed.
   bool Done() const { return ok_ && pos_ == data_.size(); }
 
+  // Unconsumed bytes (0 once poisoned) — lets the SubmitResult decoder
+  // size the count-terminated timing trailer before walking it.
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
+
  private:
   bool Need(size_t n) {
     if (!ok_ || data_.size() - pos_ < n) return Fail();
@@ -201,7 +205,23 @@ void SealFrame(size_t header_at, std::vector<uint8_t>* out) {
 
 constexpr uint32_t kFlagBlocking = 1u << 0;
 constexpr uint32_t kFlagWantSnapshot = 1u << 1;
-constexpr uint32_t kKnownFlags = kFlagBlocking | kFlagWantSnapshot;
+// v4: the submit payload carries a trailing trace-context extension
+// ([trace_id u64][trace_flags u8], after the sources). The routing tier
+// sets this bit by patching the flags word in place at offset 16 — keep
+// that offset stable.
+constexpr uint32_t kFlagHasTrace = 1u << 2;
+constexpr uint32_t kKnownFlags =
+    kFlagBlocking | kFlagWantSnapshot | kFlagHasTrace;
+
+// The SubmitResult timing trailer: [trace_id u64][count x 17-byte spans]
+// [count u8]. The span count terminates the payload (rather than leading
+// the trailer) so a router can append its own span without decoding the
+// body: insert 17 bytes before the last byte, bump it.
+constexpr size_t kWireSpanBytes = 17;
+constexpr size_t kMinTrailerBytes = 9;  // trace_id + count, zero spans
+// Valid obs::SpanKind range on the wire (kMinSpanKind..kMaxSpanKind).
+constexpr uint8_t kMinWireSpanKind = 1;
+constexpr uint8_t kMaxWireSpanKind = 7;
 
 bool GetSnapshotEntry(Reader* reader, SnapshotEntry* entry) {
   uint32_t attr;
@@ -228,6 +248,9 @@ void PutIngressStats(const runtime::IngressStats& s,
   PutI64(s.info_requests, out);
   PutI64(s.bytes_in, out);
   PutI64(s.bytes_out, out);
+  PutI64(s.outbox_inflight_hwm, out);
+  PutI64(s.outbox_bytes_written, out);
+  PutI64(s.outbox_write_stalls, out);
 }
 
 bool GetIngressStats(Reader* reader, runtime::IngressStats* s) {
@@ -239,7 +262,10 @@ bool GetIngressStats(Reader* reader, runtime::IngressStats* s) {
          reader->GetI64(&s->decode_errors) &&
          reader->GetI64(&s->protocol_errors) &&
          reader->GetI64(&s->info_requests) && reader->GetI64(&s->bytes_in) &&
-         reader->GetI64(&s->bytes_out);
+         reader->GetI64(&s->bytes_out) &&
+         reader->GetI64(&s->outbox_inflight_hwm) &&
+         reader->GetI64(&s->outbox_bytes_written) &&
+         reader->GetI64(&s->outbox_write_stalls);
 }
 
 }  // namespace
@@ -267,12 +293,17 @@ void EncodeSubmit(const SubmitRequest& msg, std::vector<uint8_t>* out) {
   uint32_t flags = 0;
   if (msg.blocking) flags |= kFlagBlocking;
   if (msg.want_snapshot) flags |= kFlagWantSnapshot;
+  if (msg.has_trace) flags |= kFlagHasTrace;
   PutU32(flags, out);
   PutString(msg.strategy, out);
   PutU32(static_cast<uint32_t>(msg.sources.size()), out);
   for (const auto& [attr, value] : msg.sources) {
     PutU32(static_cast<uint32_t>(attr), out);
     PutValue(value, out);
+  }
+  if (msg.has_trace) {
+    PutU64(msg.trace_id, out);
+    PutU8(0, out);  // trace_flags, reserved; receivers reject nonzero
   }
   SealFrame(frame, out);
 }
@@ -288,6 +319,8 @@ bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitRequest* out) {
   if ((flags & ~kKnownFlags) != 0) return false;
   out->blocking = (flags & kFlagBlocking) != 0;
   out->want_snapshot = (flags & kFlagWantSnapshot) != 0;
+  out->has_trace = (flags & kFlagHasTrace) != 0;
+  out->trace_id = 0;
   // An attacker-controlled count must not drive a huge reserve; each
   // binding is at least 5 payload bytes, so the payload length bounds it.
   if (num_sources > payload.size() / 5) return false;
@@ -299,6 +332,13 @@ bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitRequest* out) {
     if (!reader.GetU32(&attr) || !reader.GetValue(&value)) return false;
     out->sources.emplace_back(static_cast<AttributeId>(attr),
                               std::move(value));
+  }
+  if (out->has_trace) {
+    uint8_t trace_flags;
+    if (!reader.GetU64(&out->trace_id) || !reader.GetU8(&trace_flags) ||
+        trace_flags != 0) {
+      return false;
+    }
   }
   return reader.Done();
 }
@@ -323,6 +363,18 @@ void EncodeSubmitResult(const SubmitResult& msg, std::vector<uint8_t>* out) {
       PutValue(entry.value, out);
     }
   }
+  // v4 timing trailer, always present, count-terminated so a relaying
+  // router can append spans in place (AppendResultSpan). The count byte
+  // caps spans at 255 — far above the 7-kind taxonomy times any sane
+  // router depth; excess spans are dropped rather than corrupting framing.
+  PutU64(msg.trace_id, out);
+  const size_t num_spans = std::min<size_t>(msg.spans.size(), 255);
+  for (size_t i = 0; i < num_spans; ++i) {
+    PutU8(msg.spans[i].kind, out);
+    PutU64(msg.spans[i].start_ns, out);
+    PutU64(msg.spans[i].duration_ns, out);
+  }
+  PutU8(static_cast<uint8_t>(num_spans), out);
   SealFrame(frame, out);
 }
 
@@ -354,6 +406,27 @@ bool DecodeSubmitResult(const std::vector<uint8_t>& payload,
       out->snapshot.push_back(std::move(entry));
     }
   }
+  // Timing trailer: trace_id, then exactly (remaining - 9) / 17 spans as
+  // named by the terminating count byte — anything else is malformed.
+  if (reader.remaining() < kMinTrailerBytes || !reader.GetU64(&out->trace_id)) {
+    return false;
+  }
+  const uint8_t span_count = payload.back();
+  if (reader.remaining() != kWireSpanBytes * span_count + 1) return false;
+  if (out->trace_id == 0 && span_count != 0) return false;
+  out->spans.clear();
+  out->spans.reserve(span_count);
+  for (uint8_t i = 0; i < span_count; ++i) {
+    WireSpan span;
+    if (!reader.GetU8(&span.kind) || span.kind < kMinWireSpanKind ||
+        span.kind > kMaxWireSpanKind || !reader.GetU64(&span.start_ns) ||
+        !reader.GetU64(&span.duration_ns)) {
+      return false;
+    }
+    out->spans.push_back(span);
+  }
+  uint8_t trailing_count;
+  if (!reader.GetU8(&trailing_count)) return false;
   return reader.Done();
 }
 
@@ -519,6 +592,41 @@ void EncodeGoodbye(std::vector<uint8_t>* out) {
 
 void EncodeGoodbyeAck(std::vector<uint8_t>* out) {
   SealFrame(BeginFrame(MsgType::kGoodbyeAck, out), out);
+}
+
+void EncodeMetricsRequest(std::vector<uint8_t>* out) {
+  SealFrame(BeginFrame(MsgType::kMetricsRequest, out), out);
+}
+
+void EncodeMetrics(const std::string& text, std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kMetrics, out);
+  PutString(text, out);
+  SealFrame(frame, out);
+}
+
+bool DecodeMetrics(const std::vector<uint8_t>& payload, std::string* out) {
+  Reader reader(payload);
+  return reader.GetString(out) && reader.Done();
+}
+
+bool AppendResultSpan(std::vector<uint8_t>* payload, uint64_t trace_id,
+                      uint8_t kind, uint64_t start_ns, uint64_t duration_ns) {
+  if (payload->size() < kMinTrailerBytes) return false;
+  const uint8_t count = payload->back();
+  if (count == 255) return false;  // trailer saturated; drop the span
+  const size_t trailer_bytes = kMinTrailerBytes + kWireSpanBytes * count;
+  if (payload->size() < trailer_bytes) return false;
+  // An untraced backend result (trace_id 0) adopts the appender's id, so
+  // the span still belongs to an identified trace downstream.
+  uint8_t* trace_id_at = payload->data() + payload->size() - trailer_bytes;
+  if (ReadLe64(trace_id_at) == 0) WriteLe64(trace_id, trace_id_at);
+  uint8_t span[kWireSpanBytes];
+  span[0] = kind;
+  WriteLe64(start_ns, span + 1);
+  WriteLe64(duration_ns, span + 9);
+  payload->insert(payload->end() - 1, span, span + kWireSpanBytes);
+  payload->back() = static_cast<uint8_t>(count + 1);
+  return true;
 }
 
 FrameAssembler::FrameAssembler(uint32_t max_payload_bytes)

@@ -37,10 +37,15 @@ inline constexpr uint8_t kMagic1 = 'F';
 // Info payload with the node identity and the routing-tier section
 // (node_id, RouterStats); v3 added the executed strategy to SubmitResult
 // and the strategy-advisor section (AUTO flag, calibration fingerprint,
-// selection histogram) to Info. Each bump makes a mixed-version fleet
-// fail with a detectable UNSUPPORTED_VERSION instead of a silent decode
-// error.
-inline constexpr uint8_t kWireVersion = 3;
+// selection histogram) to Info. v4 added observability: an OPTIONAL
+// trace-context extension on Submit (flag-gated trailing bytes — a client
+// that never sets the flag produces payloads byte-identical to v3 apart
+// from the version byte, so v3-era client code recompiled against v4 is
+// unaffected), an always-present span timing trailer on SubmitResult, and
+// the MetricsRequest/Metrics scrape pair. Each bump makes a mixed-version
+// fleet fail with a detectable UNSUPPORTED_VERSION instead of a silent
+// decode error.
+inline constexpr uint8_t kWireVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 8;
 // Default ceiling on one frame's payload. Generous for request/response
 // traffic (a submit is dominated by its source bindings) while bounding
@@ -56,6 +61,8 @@ enum class MsgType : uint8_t {
   kInfo = 5,          // info response
   kGoodbye = 6,       // graceful close: server flushes, acks, disconnects
   kGoodbyeAck = 7,    // goodbye acknowledgment (empty payload)
+  kMetricsRequest = 8,  // metrics scrape (empty payload)
+  kMetrics = 9,         // text exposition response (one length-prefixed string)
 };
 
 // Typed error codes carried by kError frames.
@@ -99,6 +106,16 @@ struct SubmitRequest {
   // with kBadStrategy rather than silently executed differently.
   std::string strategy;
   core::SourceBinding sources;
+  // Optional trace context (the v4 extension). When has_trace is set the
+  // payload carries trailing trace bytes after the sources and the server
+  // traces this request regardless of its own sampling. trace_id == 0
+  // means "assign one at this entry point" (what a client forcing a trace
+  // sends); a nonzero id is adopted verbatim (what a router propagates, so
+  // one request keeps one identity across nodes). Clients that leave
+  // has_trace unset produce payloads identical to v3 — old client code is
+  // unaffected by the extension.
+  bool has_trace = false;
+  uint64_t trace_id = 0;
 
   friend bool operator==(const SubmitRequest&, const SubmitRequest&) = default;
 };
@@ -110,6 +127,19 @@ struct SnapshotEntry {
   Value value;
 
   friend bool operator==(const SnapshotEntry&, const SnapshotEntry&) = default;
+};
+
+// One span of the SubmitResult timing trailer: a per-stage timing the
+// serving node (or a router on the way back) measured for this request.
+// kind is an obs::SpanKind value; start_ns is relative to the recording
+// node's trace begin (0 for router spans — cross-node monotonic clocks are
+// not comparable, so only durations travel meaningfully across nodes).
+struct WireSpan {
+  uint8_t kind = 0;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+
+  friend bool operator==(const WireSpan&, const WireSpan&) = default;
 };
 
 // Server -> client: the outcome of one submitted instance.
@@ -133,6 +163,14 @@ struct SubmitResult {
   // Full terminal snapshot; present iff the request set want_snapshot.
   bool has_snapshot = false;
   std::vector<SnapshotEntry> snapshot;
+  // Server timing block (the v4 trailer, ALWAYS present on the wire).
+  // trace_id == 0 means "this request was not traced" and spans is empty;
+  // otherwise each stage the serving node timed contributes one span, and
+  // a router relaying the result appends its own router.forward span
+  // without decoding the payload (the trailer is count-terminated for
+  // exactly that O(1) append). At most 255 spans travel.
+  uint64_t trace_id = 0;
+  std::vector<WireSpan> spans;
 
   friend bool operator==(const SubmitResult&, const SubmitResult&) = default;
 };
@@ -232,6 +270,8 @@ void EncodeInfoRequest(std::vector<uint8_t>* out);
 void EncodeInfo(const ServerInfo& msg, std::vector<uint8_t>* out);
 void EncodeGoodbye(std::vector<uint8_t>* out);
 void EncodeGoodbyeAck(std::vector<uint8_t>* out);
+void EncodeMetricsRequest(std::vector<uint8_t>* out);
+void EncodeMetrics(const std::string& text, std::vector<uint8_t>* out);
 
 // --- Decoders. Each parses the *payload* of a frame whose header named the
 // matching type. Returns false (leaving *out unspecified) when the payload
@@ -242,6 +282,7 @@ bool DecodeSubmitResult(const std::vector<uint8_t>& payload,
                         SubmitResult* out);
 bool DecodeError(const std::vector<uint8_t>& payload, ErrorReply* out);
 bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out);
+bool DecodeMetrics(const std::vector<uint8_t>& payload, std::string* out);
 
 // One complete frame as split off the stream by the FrameAssembler. `type`
 // is the raw on-wire byte: values outside MsgType are surfaced to the
@@ -256,6 +297,17 @@ struct Frame {
 // correlation id in the payload, never re-encoding the message body.
 void EncodeRawFrame(uint8_t type, const std::vector<uint8_t>& payload,
                     std::vector<uint8_t>* out);
+
+// Appends one span to a raw kSubmitResult *payload* in place — the router's
+// O(1) relay-path hook, no body decode. The v4 trailer is count-terminated
+// (the last payload byte is the span count) precisely so this can patch it:
+// insert 17 span bytes before the count, bump the count. When the trailer's
+// trace_id is 0 (backend did not trace) it is patched to `trace_id` so the
+// appended span still belongs to an identified trace. Returns false (payload
+// untouched) when the payload is too short to carry a trailer or the span
+// count is saturated at 255.
+bool AppendResultSpan(std::vector<uint8_t>* payload, uint64_t trace_id,
+                      uint8_t kind, uint64_t start_ns, uint64_t duration_ns);
 
 // Little-endian peek/poke over raw payload bytes — the single home of the
 // fixed-offset contract that submit/result/error payloads lead with the

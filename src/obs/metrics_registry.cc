@@ -1,0 +1,182 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dflow::obs {
+namespace {
+
+// Label values travel inside double quotes; escape per the exposition
+// format (backslash, quote, newline).
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string RenderLabels(const MetricsRegistry::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += labels[i].first + "=\"" + EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+// Labels with one extra pair appended (histogram `le`).
+std::string RenderLabelsPlus(const MetricsRegistry::Labels& labels,
+                             const std::string& key,
+                             const std::string& value) {
+  MetricsRegistry::Labels extended = labels;
+  extended.emplace_back(key, value);
+  return RenderLabels(extended);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(new std::atomic<int64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // le semantics: a value equal to a bound belongs to that bound's bucket,
+  // so the bucket is the first bound >= value (+Inf bucket past the end).
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void MetricsRegistry::AddCounter(std::string name, Labels labels,
+                                 std::function<int64_t()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.name = std::move(name);
+  entry.labels = std::move(labels);
+  entry.read_counter = std::move(read);
+  entries_.push_back(std::move(entry));
+}
+
+void MetricsRegistry::AddGauge(std::string name, Labels labels,
+                               std::function<double()> read) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.name = std::move(name);
+  entry.labels = std::move(labels);
+  entry.read_gauge = std::move(read);
+  entries_.push_back(std::move(entry));
+}
+
+Histogram* MetricsRegistry::AddHistogram(std::string name, Labels labels,
+                                         std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.name = std::move(name);
+  entry.labels = std::move(labels);
+  entry.histogram = std::make_unique<Histogram>(std::move(upper_bounds));
+  Histogram* raw = entry.histogram.get();
+  entries_.push_back(std::move(entry));
+  return raw;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_typed;  // one # TYPE line per family, first occurrence
+  char buf[128];
+  for (const Entry& entry : entries_) {
+    const char* type = entry.kind == Kind::kCounter     ? "counter"
+                       : entry.kind == Kind::kGauge     ? "gauge"
+                                                        : "histogram";
+    if (entry.name != last_typed) {
+      out += "# TYPE " + entry.name + " " + type + "\n";
+      last_typed = entry.name;
+    }
+    switch (entry.kind) {
+      case Kind::kCounter: {
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n",
+                      entry.read_counter());
+        out += entry.name + RenderLabels(entry.labels) + buf;
+        break;
+      }
+      case Kind::kGauge: {
+        out += entry.name + RenderLabels(entry.labels) + " " +
+               FormatDouble(entry.read_gauge()) + "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        const Histogram::Snapshot snap = entry.histogram->Snap();
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < snap.bounds.size(); ++i) {
+          cumulative += snap.counts[i];
+          std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", cumulative);
+          out += entry.name + "_bucket" +
+                 RenderLabelsPlus(entry.labels, "le",
+                                  FormatDouble(snap.bounds[i])) +
+                 buf;
+        }
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", snap.count);
+        out += entry.name + "_bucket" +
+               RenderLabelsPlus(entry.labels, "le", "+Inf") + buf;
+        out += entry.name + "_sum" + RenderLabels(entry.labels) + " " +
+               FormatDouble(snap.sum) + "\n";
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", snap.count);
+        out += entry.name + "_count" + RenderLabels(entry.labels) + buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> DefaultWallLatencyBucketsUs() {
+  return {50,    100,   250,    500,    1000,   2500,   5000,
+          10000, 25000, 50000,  100000, 250000, 500000, 1000000};
+}
+
+std::vector<double> DefaultWorkUnitBuckets() {
+  return {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000};
+}
+
+}  // namespace dflow::obs

@@ -1,0 +1,99 @@
+#ifndef DFLOW_OBS_METRICS_REGISTRY_H_
+#define DFLOW_OBS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dflow::obs {
+
+// Fixed-bucket histogram with lock-free observation: Observe() is one
+// branchless upper-bound scan plus relaxed atomic increments, safe from
+// any thread and cheap enough for per-request paths. Bucket bounds are
+// fixed at construction (upper bounds, ascending; an implicit +Inf bucket
+// catches the tail).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;     // upper bounds, ascending (no +Inf)
+    std::vector<int64_t> counts;    // per-bucket; counts.size() == bounds+1
+    int64_t count = 0;
+    double sum = 0;
+  };
+  Snapshot Snap() const;
+
+ private:
+  const std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<int64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+// A pull-style metrics registry: counters and gauges are registered as
+// callbacks over state the owner already maintains (the ingress/router
+// atomics, the FlowServer report), so the request hot path pays nothing
+// for them; histograms are owned by the registry and observed directly.
+// RenderText() produces Prometheus-style text exposition:
+//
+//   # TYPE dflow_requests_accepted_total counter
+//   dflow_requests_accepted_total 123
+//   dflow_wall_latency_us_bucket{le="100"} 5
+//   ...
+//   dflow_wall_latency_us_bucket{le="+Inf"} 42
+//   dflow_wall_latency_us_sum 98765
+//   dflow_wall_latency_us_count 42
+//
+// Registration happens at server construction/start; rendering takes the
+// registry mutex and runs the callbacks, so it is meant for scrapes and
+// periodic logs, not per-request paths.
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void AddCounter(std::string name, Labels labels,
+                  std::function<int64_t()> read);
+  void AddGauge(std::string name, Labels labels, std::function<double()> read);
+  // The registry owns the histogram; the returned pointer stays valid for
+  // the registry's lifetime and is safe to Observe() from any thread.
+  Histogram* AddHistogram(std::string name, Labels labels,
+                          std::vector<double> upper_bounds);
+
+  std::string RenderText() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    Labels labels;
+    std::function<int64_t()> read_counter;
+    std::function<double()> read_gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+// Bucket ladders shared by every front door, so dashboards line up.
+std::vector<double> DefaultWallLatencyBucketsUs();
+std::vector<double> DefaultWorkUnitBuckets();
+
+}  // namespace dflow::obs
+
+#endif  // DFLOW_OBS_METRICS_REGISTRY_H_

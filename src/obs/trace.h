@@ -1,0 +1,208 @@
+#ifndef DFLOW_OBS_TRACE_H_
+#define DFLOW_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dflow::obs {
+
+// Monotonic wall clock in nanoseconds (steady_clock). All span timestamps
+// are taken from this clock and stored relative to the trace's begin, so
+// they are comparable within one node but NOT across nodes — cross-node
+// spans (router.forward) travel with start_ns = 0 by convention.
+uint64_t MonotonicNs();
+
+// The per-stage span taxonomy, in canonical pipeline order. The enum value
+// doubles as the on-wire kind byte in the SubmitResult timing trailer, and
+// the ordering is the nesting invariant ValidateSpans checks: a stage
+// earlier in the pipeline must not start after a later one.
+enum class SpanKind : uint8_t {
+  kRouterForward = 1,  // router: forward sent -> response relayed
+  kIngressQueue = 2,   // ingress: submit decoded -> admitted to a shard queue
+  kShardQueueWait = 3, // enqueued -> popped by the shard worker
+  kAdvisorChoose = 4,  // AUTO only: per-request strategy selection
+  kCacheLookup = 5,    // result-cache consult (0-length when caching is off)
+  kHarnessExec = 6,    // engine execution (absent on a cache hit)
+  kOutboxWrite = 7,    // response assembly on the completion path
+};
+
+inline constexpr uint8_t kMinSpanKind = 1;
+inline constexpr uint8_t kMaxSpanKind = 7;
+
+const char* ToString(SpanKind kind);
+
+// One completed stage. start_ns is relative to the recording node's trace
+// begin; duration_ns is the stage's extent on that node's monotonic clock.
+struct Span {
+  SpanKind kind = SpanKind::kIngressQueue;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+// The trace context one sampled request carries through the pipeline
+// (FlowRequest::trace holds a shared_ptr; null means untraced and costs a
+// single pointer test per stage). Stages append spans as they complete;
+// the tiny per-trace mutex exists because the ingress reader and the shard
+// worker can legitimately overlap (a worker may pop a request while the
+// submitting reader is still returning from the blocking Submit). No
+// global lock is ever taken on the request path.
+class RequestTrace {
+ public:
+  RequestTrace(uint64_t trace_id, uint64_t seed, uint64_t begin_ns)
+      : trace_id_(trace_id), seed_(seed), begin_ns_(begin_ns) {}
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+  uint64_t seed() const { return seed_; }
+  uint64_t begin_ns() const { return begin_ns_; }
+
+  // Records one completed stage from absolute monotonic timestamps; the
+  // stored start is clamped relative to begin_ns.
+  void AddSpan(SpanKind kind, uint64_t start_abs_ns, uint64_t end_abs_ns);
+
+  // The admission timestamp shard.queue_wait measures from. Stamped by the
+  // front door immediately before the queue push, so it is visible to the
+  // worker no matter how fast the pop lands.
+  void SetEnqueue(uint64_t abs_ns);
+  uint64_t enqueue_ns() const;
+
+  // Execution facts for the slow-request log and the JSONL sink, stamped
+  // by the shard worker.
+  void SetExecution(int shard, uint64_t queue_depth, std::string strategy,
+                    bool cache_hit);
+
+  // Everything a completed trace carries, copied out under the lock.
+  struct View {
+    uint64_t trace_id = 0;
+    uint64_t seed = 0;
+    int shard = -1;
+    uint64_t queue_depth = 0;
+    std::string strategy;
+    bool cache_hit = false;
+    uint64_t wall_ns = 0;  // filled by TraceRecorder::Finish
+    std::vector<Span> spans;
+  };
+  View Snapshot() const;
+
+ private:
+  const uint64_t trace_id_;
+  const uint64_t seed_;
+  const uint64_t begin_ns_;
+  mutable std::mutex mu_;
+  uint64_t enqueue_abs_ns_ = 0;
+  int shard_ = -1;
+  uint64_t queue_depth_ = 0;
+  std::string strategy_;
+  bool cache_hit_ = false;
+  std::vector<Span> spans_;
+};
+
+struct TraceRecorderOptions {
+  // Sampling period: 0 disables tracing (zero instrumentation cost beyond
+  // a null-pointer test), 1 traces every request, N traces the seeds with
+  // Mix(seed, salt) % N == 0 — a pure function of the seed, so every node
+  // of a fleet samples the same requests and cross-node traces join.
+  uint32_t sample_period = 0;
+  // Completed traces retained in memory for inspection (bounded ring; the
+  // oldest trace is dropped when full).
+  size_t ring_capacity = 256;
+  // When non-empty, every finished trace is appended as one JSON line.
+  std::string jsonl_path;
+  // Slow-request log threshold in wall milliseconds. When > 0 EVERY
+  // request is traced regardless of sample_period (a slow request must
+  // never be missed; the cost is full tracing) and any trace whose wall
+  // time exceeds the threshold is dumped to stderr with its full span
+  // breakdown, seed, strategy, cache outcome, and queue depth.
+  double slow_ms = 0;
+};
+
+// The --trace-sample default the bench overhead gate is calibrated for.
+inline constexpr uint32_t kDefaultSamplePeriod = 64;
+
+// Owns the sampling decision, trace-id assignment, the bounded ring of
+// completed traces, the JSONL sink, and the slow-request log. One per
+// front door (ingress or router). Begin/Finish take the recorder mutex
+// once per *sampled* request; unsampled requests never touch it.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(TraceRecorderOptions options, std::string node = "");
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // The deterministic sampling predicate, usable without a recorder.
+  static bool SampledBySeed(uint64_t seed, uint32_t period);
+
+  // True when this recorder wants a trace for the seed: the deterministic
+  // sample, or everything while the slow-request log is armed.
+  bool ShouldTrace(uint64_t seed) const;
+
+  // Tracing configured at all (sampling or slow log)? Front doors use this
+  // to skip even the timestamp reads when observability is fully off.
+  bool enabled() const {
+    return options_.sample_period > 0 || options_.slow_ms > 0;
+  }
+
+  // Opens a trace. trace_id == 0 assigns a fresh id (unique per recorder,
+  // seed-salted); a nonzero id is adopted verbatim — that is how a trace
+  // propagated from an upstream router keeps one identity across nodes.
+  std::shared_ptr<RequestTrace> Begin(uint64_t seed, uint64_t trace_id = 0);
+
+  // Completes a trace: stamps the wall time, appends to the ring and the
+  // JSONL sink, and emits the slow-request log line when it qualifies.
+  void Finish(const std::shared_ptr<RequestTrace>& trace, uint64_t wall_ns);
+
+  // The ring's current contents, oldest first.
+  std::vector<RequestTrace::View> Completed() const;
+
+  int64_t started() const { return started_.load(std::memory_order_relaxed); }
+  int64_t finished() const {
+    return finished_.load(std::memory_order_relaxed);
+  }
+  int64_t slow_logged() const {
+    return slow_logged_.load(std::memory_order_relaxed);
+  }
+  const TraceRecorderOptions& options() const { return options_; }
+  const std::string& node() const { return node_; }
+
+ private:
+  const TraceRecorderOptions options_;
+  const std::string node_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<int64_t> started_{0};
+  std::atomic<int64_t> finished_{0};
+  std::atomic<int64_t> slow_logged_{0};
+  mutable std::mutex ring_mu_;
+  std::deque<RequestTrace::View> ring_;
+  std::mutex sink_mu_;
+  std::FILE* sink_ = nullptr;
+};
+
+// Deterministic-by-construction span-structure view: the span kinds in
+// start order (ties broken by pipeline order), ';'-joined. Timestamps vary
+// run to run; which stages ran, and their order, does not — tests assert
+// on this string.
+std::string SpanStructure(const RequestTrace::View& view);
+
+// The span parentage/nesting invariants every well-formed trace obeys:
+// known kinds only, at most one span per kind per node, and pipeline-order
+// starts (a stage earlier in SpanKind order never starts after a later
+// one). Returns false and fills *error on the first violation.
+bool ValidateSpans(const RequestTrace::View& view, std::string* error);
+
+// One trace as a JSONL line (no trailing newline).
+std::string ToJsonLine(const RequestTrace::View& view,
+                       const std::string& node);
+
+}  // namespace dflow::obs
+
+#endif  // DFLOW_OBS_TRACE_H_

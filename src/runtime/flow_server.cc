@@ -96,6 +96,33 @@ void FlowServer::Drain() {
   drained_ = true;
 }
 
+std::vector<size_t> FlowServer::queue_depths() const {
+  std::vector<size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard : shards_) depths.push_back(shard->queue_depth());
+  return depths;
+}
+
+int64_t FlowServer::total_processed() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) total += shard->processed();
+  return total;
+}
+
+ResultCacheStats FlowServer::cache_totals() const {
+  ResultCacheStats totals;
+  for (const auto& shard : shards_) {
+    const ResultCacheStats cache = shard->cache_stats();
+    totals.hits += cache.hits;
+    totals.misses += cache.misses;
+    totals.evictions += cache.evictions;
+    totals.entries += cache.entries;
+    totals.bytes += cache.bytes;
+    totals.admission_skips += cache.admission_skips;
+  }
+  return totals;
+}
+
 FlowServerReport FlowServer::Report() const {
   FlowServerReport report;
   report.stats = stats_.Snapshot();

@@ -124,6 +124,15 @@ class FlowServer {
   void Drain();
 
   FlowServerReport Report() const;
+  // Live per-shard admission-queue depths (a point-in-time gauge for the
+  // slow-request log, periodic self-reports, and the metrics endpoint).
+  std::vector<size_t> queue_depths() const;
+  // Completed-instance count from the per-shard atomics — unlike Report()
+  // this never copies or sorts the latency reservoir, so it is cheap
+  // enough for metrics-scrape callbacks.
+  int64_t total_processed() const;
+  // Result-cache counters summed over shards, likewise scrape-cheap.
+  ResultCacheStats cache_totals() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const core::Strategy& strategy() const { return options_.strategy; }
   const FlowServerOptions& options() const { return options_; }

@@ -4,11 +4,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
 
 #include "core/snapshot.h"
+#include "obs/trace.h"
 
 namespace dflow::runtime {
 
@@ -27,6 +29,12 @@ struct FlowRequest {
   core::SourceBinding sources;
   uint64_t seed = 0;
   uint64_t ticket = 0;
+  // Observability context, null for the overwhelming majority of requests
+  // (untraced: every pipeline stage pays one pointer test and nothing
+  // else). Like `ticket`, it takes no part in routing, execution, or cache
+  // keying, so it cannot perturb the determinism contract — stages only
+  // stamp timings into it.
+  std::shared_ptr<obs::RequestTrace> trace;
 };
 
 // Why a non-blocking push failed. kFull is the backpressure signal (the

@@ -17,12 +17,23 @@ double Percentile(const std::vector<double>& sorted, double q) {
   return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
 }
 
+// Salt for the reservoir's per-seed hash: independent of the sampling,
+// shard-placement, and cache-key salts.
+constexpr uint64_t kReservoirSalt = 0x7e57a75eed5ca1eULL;
+
+// Max-heap on the hash: the root is the eviction candidate.
+bool HashBefore(const std::pair<uint64_t, double>& a,
+                const std::pair<uint64_t, double>& b) {
+  return a.first < b.first;
+}
+
 }  // namespace
 
 StatsCollector::StatsCollector(size_t reservoir_capacity)
     : reservoir_capacity_(reservoir_capacity > 0 ? reservoir_capacity : 1) {}
 
-void StatsCollector::Record(const core::InstanceMetrics& metrics,
+void StatsCollector::Record(uint64_t seed,
+                            const core::InstanceMetrics& metrics,
                             const std::string* selected_strategy,
                             bool explored, bool class_hit) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -36,18 +47,18 @@ void StatsCollector::Record(const core::InstanceMetrics& metrics,
   total_work_ += metrics.work;
   total_wasted_work_ += metrics.wasted_work;
   max_latency_ = std::max(max_latency_, metrics.ResponseTime());
-  if (latencies_.size() < reservoir_capacity_) {
-    latencies_.push_back(metrics.ResponseTime());
-  } else {
-    // Algorithm R with a stateless hash of the completion count standing in
-    // for the random draw: sample i replaces a reservoir slot with
-    // probability capacity/i, keeping the sample uniform over the stream.
-    const uint64_t slot = Rng::Mix(static_cast<uint64_t>(completed_),
-                                   0x7e57a75eed5ca1eULL) %
-                          static_cast<uint64_t>(completed_);
-    if (slot < reservoir_capacity_) {
-      latencies_[static_cast<size_t>(slot)] = metrics.ResponseTime();
-    }
+  // Bottom-k by seed hash (see the class comment): keep the completion iff
+  // its hash is among the k smallest seen. Strictly-less on eviction keeps
+  // the incumbent on a hash tie (a repeated seed), so the kept set is a
+  // function of the seed multiset alone, not of Record() interleaving.
+  const uint64_t hash = Rng::Mix(seed, kReservoirSalt);
+  if (reservoir_.size() < reservoir_capacity_) {
+    reservoir_.emplace_back(hash, metrics.ResponseTime());
+    std::push_heap(reservoir_.begin(), reservoir_.end(), HashBefore);
+  } else if (hash < reservoir_.front().first) {
+    std::pop_heap(reservoir_.begin(), reservoir_.end(), HashBefore);
+    reservoir_.back() = {hash, metrics.ResponseTime()};
+    std::push_heap(reservoir_.begin(), reservoir_.end(), HashBefore);
   }
 }
 
@@ -71,7 +82,8 @@ ServerStats StatsCollector::Snapshot() const {
     stats.advisor_class_hits = advisor_class_hits_;
     stats.strategy_selections.assign(strategy_selections_.begin(),
                                      strategy_selections_.end());
-    sorted = latencies_;
+    sorted.reserve(reservoir_.size());
+    for (const auto& [hash, latency] : reservoir_) sorted.push_back(latency);
   }
   std::sort(sorted.begin(), sorted.end());
   if (stats.completed > 0) {

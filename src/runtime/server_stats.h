@@ -73,6 +73,14 @@ struct IngressStats {
   int64_t info_requests = 0;
   int64_t bytes_in = 0;
   int64_t bytes_out = 0;
+  // Write-side (SessionOutbox) health. The high-water mark is the MAX over
+  // sessions of each session's peak in-flight count (never summed — a sum
+  // of peaks is meaningless); the other two are totals. A rising stall
+  // count with a high HWM means responses are produced faster than the
+  // peer drains them.
+  int64_t outbox_inflight_hwm = 0;
+  int64_t outbox_bytes_written = 0;
+  int64_t outbox_write_stalls = 0;  // pushes that queued behind unsent data
 
   friend bool operator==(const IngressStats&, const IngressStats&) = default;
 };
@@ -85,8 +93,19 @@ struct IngressStats {
 // Memory is bounded for long-running servers: counts and work totals are
 // exact forever, while latencies are kept in a fixed-capacity reservoir.
 // Up to `reservoir_capacity` completions the percentiles are exact; beyond
-// it, Algorithm R (with a deterministic SplitMix64 draw per completion)
-// keeps a uniform sample, so percentiles become estimates.
+// it, the reservoir keeps the completions whose seed hash is among the k
+// smallest (bottom-k over Mix(seed, salt)). Because the kept *set* is a
+// pure function of the multiset of seeds recorded — and the determinism
+// contract makes a seed's latency a constant — the reservoir contents, and
+// therefore the reported percentiles, are identical no matter how
+// concurrent shards interleave their Record() calls. (The previous
+// Algorithm R variant indexed slots by completion count, so the kept
+// sample depended on arrival order and percentiles drifted run to run
+// once the reservoir overflowed.) The hash is uniform over seeds, so the
+// sample stays an unbiased estimate for seed-distinct workloads; when one
+// seed repeats heavily its duplicates share one hash and the sample
+// under-represents it — a documented bias traded for determinism. The
+// maximum is tracked exactly, outside the reservoir.
 class StatsCollector {
  public:
   static constexpr size_t kDefaultReservoirCapacity = 1 << 20;
@@ -96,14 +115,14 @@ class StatsCollector {
   StatsCollector(const StatsCollector&) = delete;
   StatsCollector& operator=(const StatsCollector&) = delete;
 
-  void Record(const core::InstanceMetrics& metrics) {
-    Record(metrics, nullptr, false, false);
+  void Record(uint64_t seed, const core::InstanceMetrics& metrics) {
+    Record(seed, metrics, nullptr, false, false);
   }
   // AUTO shards: one completed instance plus its advisor selection —
   // which concrete strategy ran it and how it was picked (explore draw /
   // class found in the model) — folded in under a single lock
   // acquisition, so the per-request path pays the shared mutex once.
-  void Record(const core::InstanceMetrics& metrics,
+  void Record(uint64_t seed, const core::InstanceMetrics& metrics,
               const std::string* selected_strategy, bool explored,
               bool class_hit);
   void RecordRejected();
@@ -118,7 +137,9 @@ class StatsCollector {
   int64_t total_work_ = 0;
   int64_t total_wasted_work_ = 0;
   double max_latency_ = 0;  // exact, independent of the reservoir
-  std::vector<double> latencies_;
+  // Bottom-k by seed hash, kept as a max-heap on the hash so the eviction
+  // candidate (largest hash) is O(1) to find and O(log k) to replace.
+  std::vector<std::pair<uint64_t, double>> reservoir_;
   int64_t advisor_selections_ = 0;
   int64_t advisor_explores_ = 0;
   int64_t advisor_class_hits_ = 0;

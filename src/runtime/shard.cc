@@ -52,6 +52,13 @@ core::FlowHarness* Shard::HarnessFor(const core::Strategy& strategy,
 
 void Shard::WorkerLoop() {
   while (std::optional<FlowRequest> request = queue_.Pop()) {
+    const obs::RequestTrace* trace = request->trace.get();
+    uint64_t stage_ns = 0;
+    if (trace != nullptr) {
+      stage_ns = obs::MonotonicNs();
+      request->trace->AddSpan(obs::SpanKind::kShardQueueWait,
+                              request->trace->enqueue_ns(), stage_ns);
+    }
     // Resolve the strategy first: under AUTO the advisor's choice is a
     // pure function of the request, so the same request picks the same
     // concrete strategy on any shard, for any shard count.
@@ -70,10 +77,24 @@ void Shard::WorkerLoop() {
       explored = choice.explored;
       class_hit = choice.class_hit;
       variant = ResultCache::StrategyVariantSalt(executed);
+      if (trace != nullptr) {
+        const uint64_t now = obs::MonotonicNs();
+        request->trace->AddSpan(obs::SpanKind::kAdvisorChoose, stage_ns, now);
+        stage_ns = now;
+      }
     }
     const core::InstanceResult* cached = nullptr;
     if (cache_.enabled()) {
       cached = cache_.Lookup(request->sources, request->seed, variant);
+    }
+    if (trace != nullptr) {
+      // Recorded even when the cache is off (a 0-length span): the span
+      // set of a traced request is the full pipeline taxonomy, so a
+      // missing cache.lookup always means "trace truncated", never "cache
+      // disabled".
+      const uint64_t now = obs::MonotonicNs();
+      request->trace->AddSpan(obs::SpanKind::kCacheLookup, stage_ns, now);
+      stage_ns = now;
     }
     std::optional<core::InstanceResult> computed;
     if (cached == nullptr) {
@@ -82,12 +103,22 @@ void Shard::WorkerLoop() {
       if (cache_.enabled()) {
         cache_.Insert(request->sources, request->seed, *computed, variant);
       }
+      if (trace != nullptr) {
+        request->trace->AddSpan(obs::SpanKind::kHarnessExec, stage_ns,
+                                obs::MonotonicNs());
+      }
     }
     // A hit replays the cached result — byte-identical to what the harness
     // would produce (the FlowHarness determinism contract) — so the stats
     // stream below is the same with the cache on or off.
     const core::InstanceResult& result = cached ? *cached : *computed;
-    stats_->Record(result.metrics,
+    if (trace != nullptr) {
+      request->trace->SetExecution(
+          index_, queue_.size(),
+          executed_name.empty() ? executed.ToString() : executed_name,
+          cached != nullptr);
+    }
+    stats_->Record(request->seed, result.metrics,
                    advisor_ != nullptr ? &executed_name : nullptr, explored,
                    class_hit);
     if (advisor_ != nullptr) {

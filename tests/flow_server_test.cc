@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -328,7 +329,7 @@ TEST(ServerStatsTest, SnapshotAggregatesAndRanksLatencies) {
     metrics.end_time = i;  // latencies 1..100 units
     metrics.work = 2 * i;
     metrics.wasted_work = i % 3;
-    collector.Record(metrics);
+    collector.Record(static_cast<uint64_t>(i), metrics);
   }
   collector.RecordRejected();
 
@@ -349,7 +350,7 @@ TEST(ServerStatsTest, LatencyReservoirIsBoundedWhileCountsStayExact) {
     core::InstanceMetrics metrics;
     metrics.end_time = 5;  // constant latency: percentiles must stay exact
     metrics.work = 1;
-    collector.Record(metrics);
+    collector.Record(static_cast<uint64_t>(i), metrics);
   }
   const ServerStats stats = collector.Snapshot();
   EXPECT_EQ(stats.completed, 10000);
@@ -357,6 +358,41 @@ TEST(ServerStatsTest, LatencyReservoirIsBoundedWhileCountsStayExact) {
   EXPECT_DOUBLE_EQ(stats.p50_latency_units, 5.0);
   EXPECT_DOUBLE_EQ(stats.p99_latency_units, 5.0);
   EXPECT_DOUBLE_EQ(stats.max_latency_units, 5.0);
+}
+
+TEST(ServerStatsTest, OverflowedReservoirIsOrderIndependent) {
+  // The kept sample is bottom-k by seed hash, a pure function of the seed
+  // multiset — so two collectors fed the same (seed, latency) pairs in
+  // opposite orders must report byte-identical percentiles even with the
+  // reservoir overflowed 16x. This is exactly the guarantee concurrent
+  // shard interleavings need (any interleaving is *some* order).
+  constexpr int kRecords = 256;
+  const auto record = [](StatsCollector* collector, int i) {
+    core::InstanceMetrics metrics;
+    metrics.start_time = 0;
+    metrics.end_time = 1 + (i * 37) % 1000;  // latency is seed-determined
+    metrics.work = 1;
+    collector->Record(static_cast<uint64_t>(i), metrics);
+  };
+  StatsCollector forward(/*reservoir_capacity=*/16);
+  StatsCollector backward(/*reservoir_capacity=*/16);
+  for (int i = 0; i < kRecords; ++i) record(&forward, i);
+  for (int i = kRecords - 1; i >= 0; --i) record(&backward, i);
+
+  const ServerStats a = forward.Snapshot();
+  const ServerStats b = backward.Snapshot();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.p50_latency_units, b.p50_latency_units);
+  EXPECT_DOUBLE_EQ(a.p95_latency_units, b.p95_latency_units);
+  EXPECT_DOUBLE_EQ(a.p99_latency_units, b.p99_latency_units);
+  EXPECT_DOUBLE_EQ(a.max_latency_units, b.max_latency_units);
+  // The max is tracked outside the reservoir: exact even though at most
+  // 16 of 256 latencies were kept.
+  double max_latency = 0;
+  for (int i = 0; i < kRecords; ++i) {
+    max_latency = std::max(max_latency, 1.0 + (i * 37) % 1000);
+  }
+  EXPECT_DOUBLE_EQ(a.max_latency_units, max_latency);
 }
 
 }  // namespace

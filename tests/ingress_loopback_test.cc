@@ -20,6 +20,7 @@
 #include "net/ingress_server.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
+#include "obs/trace.h"
 #include "runtime/flow_server.h"
 
 namespace dflow::net {
@@ -427,6 +428,211 @@ TEST(IngressLoopbackTest, StopAnswersEveryAcceptedRequest) {
                 report.ingress.requests_rejected_shutdown,
             kCount);
   EXPECT_EQ(report.stats.completed, report.ingress.requests_accepted);
+}
+
+// --- Observability: tracing must not perturb results, and every traced
+// reply must carry a reconstructable per-stage breakdown.
+
+TEST(IngressLoopbackTest, TracedResultsAreByteIdenticalAndCoverThePipeline) {
+  const gen::GeneratedSchema pattern = MakePattern(17);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 40);
+  const std::map<uint64_t, WireOutcome> untraced =
+      ServeOverWire(pattern, requests, 2);
+  ASSERT_EQ(untraced.size(), requests.size());
+
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PSE100");
+  IngressOptions ingress_options;
+  ingress_options.trace.sample_period = 1;  // trace every request
+  IngressServer server(&pattern.schema, server_options, ingress_options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.want_snapshot = true;
+    submit.sources = requests[i].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+  }
+  std::map<uint64_t, WireOutcome> traced;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::optional<ServerMessage> message = client.ReadMessage();
+    ASSERT_TRUE(message.has_value());
+    ASSERT_EQ(message->type, MsgType::kSubmitResult);
+    const SubmitResult& result = message->result;
+    const size_t index = static_cast<size_t>(result.request_id) - 1;
+    ASSERT_LT(index, requests.size());
+    traced.emplace(requests[index].seed, FromWire(result));
+
+    // Every reply carries a trace: nonzero id and a span per stage the
+    // request actually passed through, satisfying the span invariants.
+    EXPECT_NE(result.trace_id, 0u);
+    obs::RequestTrace::View view;
+    view.trace_id = result.trace_id;
+    for (const WireSpan& span : result.spans) {
+      view.spans.push_back(obs::Span{static_cast<obs::SpanKind>(span.kind),
+                                     span.start_ns, span.duration_ns});
+    }
+    std::string invariant_error;
+    EXPECT_TRUE(obs::ValidateSpans(view, &invariant_error))
+        << invariant_error;
+    std::map<obs::SpanKind, int> kinds;
+    for (const obs::Span& span : view.spans) ++kinds[span.kind];
+    EXPECT_EQ(kinds.count(obs::SpanKind::kIngressQueue), 1u);
+    EXPECT_EQ(kinds.count(obs::SpanKind::kShardQueueWait), 1u);
+    // cache.lookup is stamped whether the cache hits, misses, or is off.
+    EXPECT_EQ(kinds.count(obs::SpanKind::kCacheLookup), 1u);
+    EXPECT_EQ(kinds.count(obs::SpanKind::kOutboxWrite), 1u);
+  }
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+
+  // The determinism contract survives tracing: byte-identical outcomes.
+  EXPECT_EQ(traced, untraced);
+  EXPECT_EQ(server.recorder().finished(),
+            static_cast<int64_t>(requests.size()));
+}
+
+TEST(IngressLoopbackTest, ClientTraceFlagForcesTracingAndPropagatesTheId) {
+  const gen::GeneratedSchema pattern = MakePattern(19);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 1;
+  server_options.strategy = S("PSE100");
+  // Server-side sampling OFF: only the client's flag can arm a trace.
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 3);
+
+  SubmitRequest plain;  // no flag: untraced even though tracing code exists
+  plain.request_id = 1;
+  plain.seed = requests[0].seed;
+  plain.sources = requests[0].sources;
+  std::optional<ServerMessage> reply = client.Call(plain);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kSubmitResult);
+  EXPECT_EQ(reply->result.trace_id, 0u);
+  EXPECT_TRUE(reply->result.spans.empty());
+
+  SubmitRequest minted = plain;  // flag, id 0: the ingress mints the id
+  minted.request_id = 2;
+  minted.seed = requests[1].seed;
+  minted.sources = requests[1].sources;
+  minted.has_trace = true;
+  reply = client.Call(minted);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kSubmitResult);
+  EXPECT_NE(reply->result.trace_id, 0u);
+  EXPECT_FALSE(reply->result.spans.empty());
+
+  SubmitRequest adopted = plain;  // upstream id: adopted verbatim
+  adopted.request_id = 3;
+  adopted.seed = requests[2].seed;
+  adopted.sources = requests[2].sources;
+  adopted.has_trace = true;
+  adopted.trace_id = 0x5eed1234;
+  reply = client.Call(adopted);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kSubmitResult);
+  EXPECT_EQ(reply->result.trace_id, 0x5eed1234u);
+
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+}
+
+// SessionOutbox accounting surfaces through IngressStats, and folding a
+// closed session's stats happens exactly once (two reads agree).
+TEST(IngressLoopbackTest, OutboxStatsSurfaceThroughIngressStats) {
+  const gen::GeneratedSchema pattern = MakePattern(23);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 30);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.want_snapshot = true;  // fat replies: inflight bytes accumulate
+    submit.sources = requests[i].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+  }
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(client.ReadMessage().has_value());
+  }
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+
+  const runtime::IngressStats first = server.ingress_stats();
+  EXPECT_GT(first.outbox_bytes_written, 0);
+  EXPECT_GE(first.outbox_inflight_hwm, 1);
+  EXPECT_GE(first.outbox_write_stalls, 0);
+  // Every byte the sessions sent went through the outbox.
+  EXPECT_EQ(first.outbox_bytes_written, first.bytes_out);
+  // Closed-session folding is exactly-once: a second read is identical.
+  const runtime::IngressStats second = server.ingress_stats();
+  EXPECT_EQ(second.outbox_bytes_written, first.outbox_bytes_written);
+  EXPECT_EQ(second.outbox_inflight_hwm, first.outbox_inflight_hwm);
+  EXPECT_EQ(second.outbox_write_stalls, first.outbox_write_stalls);
+}
+
+TEST(IngressLoopbackTest, MetricsFrameScrapesTheRegistry) {
+  const gen::GeneratedSchema pattern = MakePattern(29);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PSE100");
+  IngressOptions ingress_options;
+  ingress_options.trace.sample_period = 1;
+  IngressServer server(&pattern.schema, server_options, ingress_options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 8);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.sources = requests[i].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+    ASSERT_TRUE(client.ReadMessage().has_value());
+  }
+  // Finish runs on the completion path after the reply is handed to the
+  // outbox, so the last trace may still be finishing when the client has
+  // its result; settle before scraping so the counter assert is exact.
+  for (int spin = 0; spin < 10000 && server.recorder().finished() < 8;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(client.SendMetricsRequest());
+  const std::optional<std::string> text = client.Metrics();
+  ASSERT_TRUE(text.has_value());
+  for (const char* family :
+       {"# TYPE dflow_requests_accepted_total counter",
+        "# TYPE dflow_completed_total counter",
+        "# TYPE dflow_queue_depth gauge",
+        "# TYPE dflow_wall_latency_us histogram",
+        "# TYPE dflow_traces_finished_total counter",
+        "dflow_requests_accepted_total 8",
+        "dflow_completed_total 8", "dflow_traces_finished_total 8",
+        "dflow_wall_latency_us_count 8"}) {
+    EXPECT_NE(text->find(family), std::string::npos)
+        << "missing '" << family << "' in:\n"
+        << *text;
+  }
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
 }
 
 }  // namespace

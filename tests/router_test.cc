@@ -24,6 +24,7 @@
 #include "net/ingress_server.h"
 #include "net/router.h"
 #include "net/wire_protocol.h"
+#include "obs/trace.h"
 #include "runtime/flow_server.h"
 
 namespace dflow::net {
@@ -629,6 +630,130 @@ TEST(RouterTest, StopAnswersEveryAdmittedRequest) {
   reader.join();
   const runtime::IngressStats front = fleet->router->front_stats();
   EXPECT_EQ(front.requests_accepted, static_cast<int64_t>(requests.size()));
+}
+
+// --- Observability: the router is the fleet's trace entry point. With
+// --trace-sample=1 on the router and NO tracing configured on the
+// backends, every routed reply must still carry a full cross-node trace:
+// the backend adopts the router-minted id via the forwarded v4 extension
+// and the router appends its router.forward span to the relayed result.
+TEST(RouterTest, RoutedTraceCoversRouterAndBackendStages) {
+  const gen::GeneratedSchema pattern = MakePattern(43);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 24);
+  const std::unique_ptr<Fleet> untraced_fleet = MakeFleet(pattern, {1, 2});
+  const std::map<uint64_t, WireOutcome> untraced =
+      ServeThroughRouter(*untraced_fleet, requests);
+  ASSERT_EQ(untraced.size(), requests.size());
+
+  RouterOptions router_options;
+  router_options.trace.sample_period = 1;
+  const std::unique_ptr<Fleet> fleet =
+      MakeFleet(pattern, {1, 2}, router_options);
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet->router->port(), &error))
+      << error;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.want_snapshot = true;
+    submit.sources = requests[i].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+  }
+  std::map<uint64_t, WireOutcome> traced;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::optional<ServerMessage> message = client.ReadMessage();
+    ASSERT_TRUE(message.has_value());
+    ASSERT_EQ(message->type, MsgType::kSubmitResult);
+    const SubmitResult& result = message->result;
+    const size_t index = static_cast<size_t>(result.request_id) - 1;
+    ASSERT_LT(index, requests.size());
+    traced.emplace(requests[index].seed, FromWire(result));
+
+    EXPECT_NE(result.trace_id, 0u);
+    std::map<uint8_t, int> kinds;
+    for (const WireSpan& span : result.spans) ++kinds[span.kind];
+    // Backend stages, recorded under the router-minted id.
+    EXPECT_EQ(kinds.count(
+                  static_cast<uint8_t>(obs::SpanKind::kIngressQueue)), 1u);
+    EXPECT_EQ(kinds.count(
+                  static_cast<uint8_t>(obs::SpanKind::kShardQueueWait)), 1u);
+    EXPECT_EQ(kinds.count(
+                  static_cast<uint8_t>(obs::SpanKind::kCacheLookup)), 1u);
+    EXPECT_EQ(kinds.count(
+                  static_cast<uint8_t>(obs::SpanKind::kOutboxWrite)), 1u);
+    // The router's own stage, appended to the relayed payload. Its start
+    // travels as 0: cross-node monotonic clocks are not comparable.
+    const auto forward = static_cast<uint8_t>(obs::SpanKind::kRouterForward);
+    ASSERT_EQ(kinds.count(forward), 1u);
+    for (const WireSpan& span : result.spans) {
+      if (span.kind != forward) continue;
+      EXPECT_EQ(span.start_ns, 0u);
+      EXPECT_GT(span.duration_ns, 0u);
+    }
+  }
+
+  // An upstream id supplied by the client is adopted by the whole chain.
+  SubmitRequest flagged;
+  flagged.request_id = requests.size() + 1;
+  flagged.seed = requests[0].seed;
+  flagged.sources = requests[0].sources;
+  flagged.has_trace = true;
+  flagged.trace_id = 0xfeedface;
+  const std::optional<ServerMessage> reply = client.Call(flagged);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, MsgType::kSubmitResult);
+  EXPECT_EQ(reply->result.trace_id, 0xfeedfaceu);
+  EXPECT_TRUE(client.Goodbye());
+
+  // Tracing does not perturb routed bytes.
+  EXPECT_EQ(traced, untraced);
+  EXPECT_EQ(fleet->router->recorder().finished(),
+            static_cast<int64_t>(requests.size()) + 1);
+}
+
+// The router front door accounts its outboxes and serves its registry
+// over the same kMetricsRequest frame the backends answer.
+TEST(RouterTest, FrontStatsAndMetricsScrapeExposeTheRoutingTier) {
+  const gen::GeneratedSchema pattern = MakePattern(47);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 20);
+  const std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {2, 1});
+  const std::map<uint64_t, WireOutcome> served =
+      ServeThroughRouter(*fleet, requests);
+  ASSERT_EQ(served.size(), requests.size());
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet->router->port(), &error))
+      << error;
+  ASSERT_TRUE(client.SendMetricsRequest());
+  const std::optional<std::string> text = client.Metrics();
+  ASSERT_TRUE(text.has_value());
+  for (const char* needle :
+       {"# TYPE dflow_requests_routed_total counter",
+        "dflow_requests_routed_total 20", "dflow_relayed_results_total 20",
+        "# TYPE dflow_backend_forwarded_total counter",
+        "dflow_backend_connected{backend=", "dflow_wall_latency_us_count 20"}) {
+    EXPECT_NE(text->find(needle), std::string::npos)
+        << "missing '" << needle << "' in:\n"
+        << *text;
+  }
+  // Per-backend forwarded counters carry address labels and sum to the
+  // routed total.
+  EXPECT_TRUE(client.Goodbye());
+  fleet->router->Stop();
+
+  const runtime::IngressStats front = fleet->router->front_stats();
+  EXPECT_GT(front.outbox_bytes_written, 0);
+  EXPECT_GE(front.outbox_inflight_hwm, 1);
+  EXPECT_EQ(front.outbox_bytes_written, front.bytes_out);
+  // Exactly-once folding of closed sessions: a second read is identical.
+  const runtime::IngressStats again = fleet->router->front_stats();
+  EXPECT_EQ(again.outbox_bytes_written, front.outbox_bytes_written);
+  EXPECT_EQ(again.outbox_inflight_hwm, front.outbox_inflight_hwm);
 }
 
 }  // namespace

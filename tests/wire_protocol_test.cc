@@ -42,6 +42,8 @@ SubmitRequest RandomSubmit(Rng* rng) {
     msg.sources.emplace_back(static_cast<AttributeId>(rng->UniformInt(0, 500)),
                              RandomValue(rng));
   }
+  msg.has_trace = rng->Chance(0.5);
+  if (msg.has_trace && rng->Chance(0.5)) msg.trace_id = rng->Next();
   return msg;
 }
 
@@ -65,6 +67,15 @@ SubmitResult RandomSubmitResult(Rng* rng) {
           static_cast<core::AttrState>(rng->UniformInt(
               0, static_cast<int64_t>(core::AttrState::kDisabled))),
           RandomValue(rng)});
+    }
+  }
+  if (rng->Chance(0.5)) {
+    msg.trace_id = rng->Next() | 1;  // nonzero: traced results carry spans
+    const int num_spans = static_cast<int>(rng->UniformInt(0, 7));
+    for (int i = 0; i < num_spans; ++i) {
+      msg.spans.push_back(WireSpan{
+          static_cast<uint8_t>(rng->UniformInt(1, 7)), rng->Next(),
+          rng->Next()});
     }
   }
   return msg;

@@ -33,6 +33,25 @@ def load(path):
         return json.load(f)
 
 
+def fetch(obj, source, *keys):
+    """Walks obj[k0][k1]... and fails loudly when a level is missing.
+
+    A benchmark job that silently skipped a section used to surface here
+    as a bare KeyError traceback; name the file and the missing path
+    instead so the CI log says what to fix.
+    """
+    path = []
+    for key in keys:
+        path.append(str(key))
+        if not isinstance(obj, dict) or key not in obj:
+            print("FAIL: %s is missing benchmark row '%s' -- did the "
+                  "benchmark job that writes it get skipped or fail?"
+                  % (source, ".".join(path)))
+            raise SystemExit(1)
+        obj = obj[key]
+    return obj
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("current", help="BENCH_pr.json from this run")
@@ -51,27 +70,28 @@ def main():
     checks = []
     base_rows = {
         row["shards"]: row
-        for row in baseline["throughput_vs_shards"]["rows"]
+        for row in fetch(baseline, args.baseline,
+                         "throughput_vs_shards", "rows")
     }
-    for row in current["throughput_vs_shards"]["rows"]:
+    for row in fetch(current, args.current, "throughput_vs_shards", "rows"):
         base = base_rows.get(row["shards"])
         if base is None:
             continue
+        shards = row["shards"]
         checks.append((
-            "throughput_vs_shards[%d shards] instances/s" % row["shards"],
-            row["instances_per_second"],
-            base["instances_per_second"],
+            "throughput_vs_shards[%d shards] instances/s" % shards,
+            fetch(row, args.current, "instances_per_second"),
+            fetch(base, args.baseline, "instances_per_second"),
         ))
         checks.append((
-            "throughput_vs_shards[%d shards] cached instances/s"
-            % row["shards"],
-            row["cached_instances_per_second"],
-            base["cached_instances_per_second"],
+            "throughput_vs_shards[%d shards] cached instances/s" % shards,
+            fetch(row, args.current, "cached_instances_per_second"),
+            fetch(base, args.baseline, "cached_instances_per_second"),
         ))
     checks.append((
         "dflow_load requests/s",
-        current["dflow_load"]["requests_per_second"],
-        baseline["dflow_load"]["requests_per_second"],
+        fetch(current, args.current, "dflow_load", "requests_per_second"),
+        fetch(baseline, args.baseline, "dflow_load", "requests_per_second"),
     ))
 
     if not checks:
@@ -89,16 +109,18 @@ def main():
 
     # Correctness rider: the archived load-driver run must have been clean
     # (determinism violations already fail the bench binary itself).
-    if current["dflow_load"]["errors"] != 0:
-        print("FAIL dflow_load saw %d errors"
-              % current["dflow_load"]["errors"])
+    load_errors = fetch(current, args.current, "dflow_load", "errors")
+    if load_errors != 0:
+        print("FAIL dflow_load saw %d errors" % load_errors)
         failures += 1
 
     # Observability-overhead gate (absolute ceiling, not drop-relative):
     # tracing at the default sampling rate must stay off the hot path.
     if "obs_overhead" in current and "obs_overhead" in baseline:
-        overhead = current["obs_overhead"]["sampled_overhead_pct"]
-        ceiling = baseline["obs_overhead"]["max_sampled_overhead_pct"]
+        overhead = fetch(current, args.current,
+                         "obs_overhead", "sampled_overhead_pct")
+        ceiling = fetch(baseline, args.baseline,
+                        "obs_overhead", "max_sampled_overhead_pct")
         ok = overhead <= ceiling
         print("%-4s %-48s current=%10.2f ceiling=%10.2f"
               % ("OK" if ok else "FAIL",
@@ -108,19 +130,23 @@ def main():
 
     # Strategy-advisor quality gate (absolute, not drop-relative).
     if "strategy_advisor" in current and "strategy_advisor" in baseline:
-        advisor = current["strategy_advisor"]
-        max_vs_best = baseline["strategy_advisor"]["max_auto_vs_best"]
-        ok = advisor["auto_vs_best"] <= max_vs_best
+        auto_vs_best = fetch(current, args.current,
+                             "strategy_advisor", "auto_vs_best")
+        auto_vs_worst = fetch(current, args.current,
+                              "strategy_advisor", "auto_vs_worst")
+        max_vs_best = fetch(baseline, args.baseline,
+                            "strategy_advisor", "max_auto_vs_best")
+        ok = auto_vs_best <= max_vs_best
         print("%-4s %-48s current=%10.4f ceiling=%10.4f"
               % ("OK" if ok else "FAIL",
-                 "strategy_advisor auto_vs_best", advisor["auto_vs_best"],
+                 "strategy_advisor auto_vs_best", auto_vs_best,
                  max_vs_best))
         if not ok:
             failures += 1
-        ok = advisor["auto_vs_worst"] < 1.0
+        ok = auto_vs_worst < 1.0
         print("%-4s %-48s current=%10.4f ceiling=%10.4f"
               % ("OK" if ok else "FAIL",
-                 "strategy_advisor auto_vs_worst", advisor["auto_vs_worst"],
+                 "strategy_advisor auto_vs_worst", auto_vs_worst,
                  1.0))
         if not ok:
             failures += 1

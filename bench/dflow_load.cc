@@ -634,6 +634,7 @@ int main(int argc, char** argv) {
   // decode_errors being zero, not just on this process's view.
   int64_t server_decode_errors = -1;
   int64_t server_completed = -1;
+  net::RouterStats router_stats;  // is_router stays 0 against dflow_serve
   std::string metrics_text;
   {
     net::Client probe;
@@ -643,6 +644,7 @@ int main(int argc, char** argv) {
       if (const std::optional<net::ServerInfo> info = probe.Info()) {
         server_decode_errors = info->ingress.decode_errors;
         server_completed = info->completed;
+        router_stats = info->router;
       }
       if (config.metrics_dump) {
         if (const std::optional<std::string> metrics = probe.Metrics()) {
@@ -679,6 +681,24 @@ int main(int argc, char** argv) {
     stages_json += buffer;
   }
   stages_json += "}";
+  // Routing-tier fleet counters when the target is a dflow_router ({}
+  // against a direct dflow_serve). CI's chaos stage gates on failovers
+  // being nonzero and divergence_mismatches being zero.
+  std::string router_json = "{";
+  if (router_stats.is_router != 0) {
+    char buffer[224];
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"replicas\":%d,\"failovers\":%lld,"
+                  "\"divergence_checks\":%lld,\"divergence_mismatches\":%lld,"
+                  "\"divergence_incomplete\":%lld",
+                  router_stats.replicas,
+                  static_cast<long long>(router_stats.failovers),
+                  static_cast<long long>(router_stats.divergence_checks),
+                  static_cast<long long>(router_stats.divergence_mismatches),
+                  static_cast<long long>(router_stats.divergence_incomplete));
+    router_json += buffer;
+  }
+  router_json += "}";
   if (config.json) {
     std::printf(
         "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"requests\":%d,"
@@ -692,7 +712,7 @@ int main(int argc, char** argv) {
         "\"wall_latency_p99_us\":%.1f,"
         "\"bytes_sent\":%lld,\"bytes_received\":%lld,"
         "\"workload_fingerprint\":\"%016llx\",\"strategies\":%s,"
-        "\"stages\":%s,"
+        "\"stages\":%s,\"router\":%s,"
         "\"server\":{\"completed\":%lld,\"decode_errors\":%lld}}\n",
         config.open_loop ? "open" : "closed", config.requests,
         config.connections, JsonEscape(config.dist).c_str(),
@@ -706,7 +726,7 @@ int main(int argc, char** argv) {
         static_cast<long long>(total.bytes_sent),
         static_cast<long long>(total.bytes_received),
         static_cast<unsigned long long>(workload_fingerprint),
-        strategies_json.c_str(), stages_json.c_str(),
+        strategies_json.c_str(), stages_json.c_str(), router_json.c_str(),
         static_cast<long long>(server_completed),
         static_cast<long long>(server_decode_errors));
   } else {
@@ -736,6 +756,15 @@ int main(int argc, char** argv) {
     std::printf("# workload fingerprint: %016llx (over %lld results)\n",
                 static_cast<unsigned long long>(workload_fingerprint),
                 static_cast<long long>(total.ok));
+    if (router_stats.is_router != 0) {
+      std::printf("# fleet: replicas=%d failovers=%lld divergence "
+                  "checks=%lld mismatches=%lld incomplete=%lld\n",
+                  router_stats.replicas,
+                  static_cast<long long>(router_stats.failovers),
+                  static_cast<long long>(router_stats.divergence_checks),
+                  static_cast<long long>(router_stats.divergence_mismatches),
+                  static_cast<long long>(router_stats.divergence_incomplete));
+    }
     std::printf("# dist: %s (seed %llu)", config.dist.c_str(),
                 static_cast<unsigned long long>(config.dist_seed));
     if (!total.strategies.empty()) {

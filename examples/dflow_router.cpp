@@ -83,6 +83,7 @@ int main(int argc, char** argv) {
   int port = 4517;
   std::string backends_text;
   bool metrics_dump = false;
+  bool abort_on_divergence = true;  // the binary hard-fails by default
   int log_stats_every = 0;  // seconds; 0 = no periodic self-report
 
   for (int i = 1; i < argc; ++i) {
@@ -93,6 +94,19 @@ int main(int argc, char** argv) {
       backends_text = value;
     } else if (FlagValue(argv[i], "--pool", &value)) {
       options.connections_per_backend = std::atoi(value);
+    } else if (FlagValue(argv[i], "--replicas", &value)) {
+      // Replica group width: consecutive runs of N backends form one hash
+      // slot; the router prefers the group's lowest live member and fails
+      // in-flight work over to a sibling when a member dies.
+      options.replicas = std::atoi(value);
+    } else if (FlagValue(argv[i], "--divergence-sample", &value)) {
+      // 1-in-N sampled replica cross-check (accepts "8" or "1/8"): the
+      // same request goes to two replicas and the result fingerprints
+      // must match. A mismatch is fatal (exit 3) unless
+      // --no-abort-on-divergence.
+      options.divergence_sample_period = ParseSamplePeriod(value);
+    } else if (std::strcmp(argv[i], "--no-abort-on-divergence") == 0) {
+      abort_on_divergence = false;
     } else if (FlagValue(argv[i], "--connect-timeout", &value)) {
       options.connect_timeout_s = std::atof(value);
     } else if (FlagValue(argv[i], "--node-id", &value)) {
@@ -130,6 +144,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.port = static_cast<uint16_t>(port);
+  options.abort_on_divergence =
+      abort_on_divergence && options.divergence_sample_period > 0;
+  if (options.replicas > 1 &&
+      options.backends.size() % static_cast<size_t>(options.replicas) != 0) {
+    std::fprintf(stderr,
+                 "dflow_router: %zu backends is not a multiple of "
+                 "--replicas=%d\n",
+                 options.backends.size(), options.replicas);
+    return 2;
+  }
 
   // Block the shutdown signals before spawning server threads so every
   // thread inherits the mask and sigwait below is the only consumer.
@@ -147,14 +171,23 @@ int main(int argc, char** argv) {
   }
   const net::ServerInfo info = router.BuildInfo();
   std::printf(
-      "dflow_router listening on 127.0.0.1:%u (%d backends, %d total "
-      "shards, strategy=%s, pool=%d conns/backend)\n",
-      router.port(), router.num_backends(), info.num_shards,
-      info.strategy.c_str(), options.connections_per_backend);
+      "dflow_router listening on 127.0.0.1:%u (%d backends = %d slots x %d "
+      "replicas, %d total shards, strategy=%s, epoch=%llu, pool=%d "
+      "conns/backend)\n",
+      router.port(), router.num_backends(),
+      router.num_backends() / info.router.replicas, info.router.replicas,
+      info.num_shards, info.strategy.c_str(),
+      static_cast<unsigned long long>(info.fleet_epoch),
+      options.connections_per_backend);
   for (const net::RouterBackendStats& backend : info.router.backends) {
-    std::printf("  backend %-21s node_id=%-12s shards=%d\n",
+    std::printf("  backend %-21s node_id=%-12s shards=%d slot=%d replica=%d\n",
                 backend.address.c_str(), backend.node_id.c_str(),
-                backend.shards);
+                backend.shards, backend.slot, backend.replica);
+  }
+  if (options.divergence_sample_period > 0) {
+    std::printf("  divergence cross-check: 1 in %u submits%s\n",
+                options.divergence_sample_period,
+                options.abort_on_divergence ? ", mismatch is fatal" : "");
   }
   std::fflush(stdout);
 
@@ -217,14 +250,24 @@ int main(int argc, char** argv) {
               static_cast<long long>(front.bytes_in),
               static_cast<long long>(front.bytes_out));
   for (const net::RouterBackendStats& backend : report.router.backends) {
-    std::printf("backend %-21s forwarded=%lld answered=%lld "
-                "unavailable=%lld reconnects=%lld%s\n",
-                backend.address.c_str(),
+    std::printf("backend %-21s slot=%d/%d forwarded=%lld answered=%lld "
+                "unavailable=%lld reconnects=%lld failovers=%lld%s\n",
+                backend.address.c_str(), backend.slot, backend.replica,
                 static_cast<long long>(backend.forwarded),
                 static_cast<long long>(backend.answered),
                 static_cast<long long>(backend.unavailable),
                 static_cast<long long>(backend.reconnects),
+                static_cast<long long>(backend.failovers),
                 backend.connected == 1 ? "" : " (down)");
+  }
+  if (report.router.replicas > 1) {
+    std::printf("fleet                replicas=%d failovers=%lld "
+                "divergence: %lld checks, %lld mismatches, %lld incomplete\n",
+                report.router.replicas,
+                static_cast<long long>(report.router.failovers),
+                static_cast<long long>(report.router.divergence_checks),
+                static_cast<long long>(report.router.divergence_mismatches),
+                static_cast<long long>(report.router.divergence_incomplete));
   }
   if (router.recorder().finished() > 0) {
     std::printf("traces               %lld finished (%lld slow-logged)\n",

@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
   unsigned long long pattern_seed = 1;
   std::string strategy_text = "PSE100";
   std::string node_id;
+  unsigned long long fleet_epoch = 0;
   core::BackendKind backend = core::BackendKind::kInfinite;
   bool verbose = false;
   int advisor_samples = 48;
@@ -110,6 +111,11 @@ int main(int argc, char** argv) {
       // Identity reported in Info; a dflow_router records it per backend
       // at handshake time. Defaults to "serve:<port>".
       node_id = value;
+    } else if (FlagValue(argv[i], "--fleet-epoch", &value)) {
+      // Deployment generation reported in Info. A replicated router
+      // refuses to mix backends with different epochs — pass the same
+      // value to every member of a replica set.
+      fleet_epoch = std::strtoull(value, nullptr, 10);
     } else if (FlagValue(argv[i], "--backend", &value)) {
       if (std::strcmp(value, "bounded") == 0) {
         backend = core::BackendKind::kBoundedDb;
@@ -229,6 +235,7 @@ int main(int argc, char** argv) {
   ingress_options.port = static_cast<uint16_t>(port);
   ingress_options.verbose = verbose;
   ingress_options.node_id = node_id;
+  ingress_options.fleet_epoch = fleet_epoch;
   ingress_options.trace = trace;
 
   // Block the shutdown signals *before* spawning server threads so every

@@ -490,6 +490,7 @@ ServerInfo IngressServer::BuildInfo() const {
   info.node_id = options_.node_id.empty()
                      ? "serve:" + std::to_string(listener_.port())
                      : options_.node_id;
+  info.fleet_epoch = options_.fleet_epoch;
   info.ingress = ingress_stats();
   if (server_.advisor() != nullptr) {
     info.advisor.enabled = 1;

@@ -39,6 +39,12 @@ struct IngressOptions {
   // node_id); a router records it per backend at handshake time. Empty
   // means "serve:<bound port>".
   std::string node_id;
+  // Deployment generation stamped into Info responses (ServerInfo::
+  // fleet_epoch, the v5 handshake field). A replicated router refuses a
+  // fleet whose members disagree on it — bump it together across a
+  // replica set whenever a deploy could change served bytes, so a
+  // half-upgraded set fails at handshake time instead of diverging.
+  uint64_t fleet_epoch = 0;
   // Observability: sampling, JSONL sink, and slow-request-log threshold
   // for the ingress's TraceRecorder. All-default (sample_period 0, no
   // sink, slow_ms 0) means tracing is off — untraced requests pay one

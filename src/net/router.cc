@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
+#include "common/rng.h"
 #include "runtime/flow_server.h"
 
 namespace dflow::net {
@@ -19,9 +21,31 @@ constexpr int kHandshakeRecvTimeoutMs = 5000;
 
 // Fixed payload offsets the router peeks/patches without decoding:
 //   Submit:        request_id u64 | seed u64 | flags u32 | ...
-//   SubmitResult:  request_id u64 | ...
+//   SubmitResult:  request_id u64 | shard u32 | work i64 | wasted i64 |
+//                  response_time f64 | queries u32 | speculative u32 |
+//                  fingerprint u64 | ...
 //   Error:         request_id u64 | code u16 | ...
 constexpr size_t kSubmitPeekBytes = 20;
+// The divergence check compares replica answers by the fingerprint field,
+// peeked at its fixed offset — still no body decode on the relay path.
+constexpr size_t kResultFingerprintOffset = 44;
+constexpr size_t kResultPeekBytes = kResultFingerprintOffset + 8;
+
+// Salt for the deterministic 1-in-N divergence sampling hash (the same
+// Mix(seed, salt) % N idiom trace sampling uses, with a different salt so
+// the two samples are uncorrelated).
+constexpr uint64_t kDivergenceSalt = 0xd1fe6e9ceull;
+
+// A ticket is re-issued at most this many times across backend deaths — a
+// flapping fleet degrades to BACKEND_UNAVAILABLE instead of bouncing one
+// request forever.
+constexpr int kMaxFailoverAttempts = 8;
+
+// A connection must survive this long past its handshake before a later
+// drop resets the reconnect backoff: a backend that handshakes and then
+// dies immediately keeps doubling instead of hot-looping at the initial
+// delay.
+constexpr auto kHealthyConnectionUptime = std::chrono::seconds(1);
 
 std::string AddressText(const BackendAddress& address) {
   return address.host + ":" + std::to_string(address.port);
@@ -50,6 +74,11 @@ Router::Router(RouterOptions options)
   counter("dflow_protocol_errors_total", &protocol_errors_);
   counter("dflow_bytes_in_total", &bytes_in_);
   counter("dflow_bytes_out_total", &bytes_out_);
+  counter("dflow_replica_failover_total", &failovers_total_);
+  counter("dflow_replica_divergence_checks_total", &divergence_checks_);
+  counter("dflow_replica_divergence_total", &divergence_mismatches_);
+  counter("dflow_replica_divergence_incomplete_total",
+          &divergence_incomplete_);
   metrics_.AddCounter("dflow_traces_started_total", {},
                       [this] { return recorder_.started(); });
   metrics_.AddCounter("dflow_traces_finished_total", {},
@@ -69,11 +98,23 @@ bool Router::Start(std::string* error) {
     if (error != nullptr) *error = "no backends configured";
     return false;
   }
+  replicas_ = std::max(1, options_.replicas);
+  if (options_.backends.size() % static_cast<size_t>(replicas_) != 0) {
+    if (error != nullptr) {
+      *error = "backend count (" + std::to_string(options_.backends.size()) +
+               ") is not a multiple of --replicas=" +
+               std::to_string(replicas_);
+    }
+    return false;
+  }
+  num_slots_ = static_cast<int>(options_.backends.size()) / replicas_;
   const int pool = std::max(1, options_.connections_per_backend);
   backends_.reserve(options_.backends.size());
   for (const BackendAddress& address : options_.backends) {
     auto backend = std::make_unique<Backend>();
     backend->address = address;
+    backend->slot = static_cast<int>(backends_.size()) / replicas_;
+    backend->replica = static_cast<int>(backends_.size()) % replicas_;
     backends_.push_back(std::move(backend));
   }
   for (size_t b = 0; b < backends_.size(); ++b) {
@@ -106,6 +147,7 @@ bool Router::Start(std::string* error) {
   backend_counter("dflow_backend_answered_total", &Backend::answered);
   backend_counter("dflow_backend_unavailable_total", &Backend::unavailable);
   backend_counter("dflow_backend_reconnects_total", &Backend::reconnects);
+  backend_counter("dflow_backend_failover_total", &Backend::failovers);
   for (const std::unique_ptr<Backend>& backend : backends_) {
     Backend* raw = backend.get();
     metrics_.AddGauge(
@@ -154,19 +196,36 @@ bool Router::Start(std::string* error) {
   // also reports the same advisor fingerprint (same calibration, same
   // candidates => identical per-request choices); AUTO backends with
   // different calibrations would serve different bytes for the same seed.
+  // The v5 fleet-epoch stamp extends the same rule to whole deployments: a
+  // mixed-epoch replica set (half-upgraded, mixed calibration data, ...)
+  // refuses to start rather than serving divergent bytes — replication
+  // makes this existential, since replicas stand in for each other.
   // (Re-handshakes enforce the same invariants later.)
   for (const std::unique_ptr<Backend>& backend : backends_) {
     std::string backend_strategy;
     uint64_t backend_advisor = 0;
+    uint64_t backend_epoch = 0;
     {
       std::lock_guard<std::mutex> lock(backend->info_mu);
       backend_strategy = backend->strategy;
       backend_advisor = backend->advisor_fingerprint;
+      backend_epoch = backend->fleet_epoch;
     }
     bool mismatch = false;
     {
       std::lock_guard<std::mutex> lock(strategy_mu_);
-      if (strategy_.empty()) {
+      if (!epoch_set_) {
+        fleet_epoch_ = backend_epoch;
+        epoch_set_ = true;
+      }
+      if (backend_epoch != fleet_epoch_) {
+        if (error != nullptr) {
+          *error = "backend " + AddressText(backend->address) +
+                   " reports fleet epoch " + std::to_string(backend_epoch) +
+                   " but the fleet runs epoch " + std::to_string(fleet_epoch_);
+        }
+        mismatch = true;
+      } else if (strategy_.empty()) {
         strategy_ = backend_strategy;
         advisor_fingerprint_ = backend_advisor;
       } else if (backend_strategy != strategy_) {
@@ -270,10 +329,17 @@ runtime::IngressStats Router::front_stats() const {
 RouterStats Router::router_stats() const {
   RouterStats stats;
   stats.is_router = 1;
+  stats.replicas = replicas_;
+  stats.failovers = failovers_total_.load();
+  stats.divergence_checks = divergence_checks_.load();
+  stats.divergence_mismatches = divergence_mismatches_.load();
+  stats.divergence_incomplete = divergence_incomplete_.load();
   stats.backends.reserve(backends_.size());
   for (const std::unique_ptr<Backend>& backend : backends_) {
     RouterBackendStats entry;
     entry.address = AddressText(backend->address);
+    entry.slot = backend->slot;
+    entry.replica = backend->replica;
     {
       std::lock_guard<std::mutex> lock(backend->info_mu);
       entry.node_id = backend->node_id;
@@ -289,6 +355,7 @@ RouterStats Router::router_stats() const {
     entry.answered = backend->answered.load();
     entry.unavailable = backend->unavailable.load();
     entry.reconnects = backend->reconnects.load();
+    entry.failovers = backend->failovers.load();
     stats.backends.push_back(std::move(entry));
   }
   return stats;
@@ -305,6 +372,7 @@ ServerInfo Router::BuildInfo() const {
   {
     std::lock_guard<std::mutex> lock(strategy_mu_);
     info.strategy = strategy_;
+    info.fleet_epoch = fleet_epoch_;
     if (advisor_fingerprint_ != 0) {
       info.advisor.enabled = 1;
       info.advisor.fingerprint = advisor_fingerprint_;
@@ -489,12 +557,11 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
   }
   const uint64_t request_id = ReadLe64(frame.payload.data());
   const uint64_t seed = ReadLe64(frame.payload.data() + 8);
-  // The same hash the FlowServer uses for shard placement, over the fleet:
-  // node choice is a pure function of the seed, so any node count serves
-  // byte-identical results.
-  const int backend_index =
-      runtime::FlowServer::ShardFor(seed, num_backends());
-  Backend* backend = backends_[static_cast<size_t>(backend_index)].get();
+  // The same hash the FlowServer uses for shard placement, over the slot
+  // count: slot choice is a pure function of the seed, so any fleet size
+  // serves byte-identical results — and within a slot every replica serves
+  // the same bytes, so replica choice is free.
+  const int slot = runtime::FlowServer::ShardFor(seed, num_slots_);
   // Trace decision at the fleet's entry point: a client-set trace flag is
   // always honored, otherwise the router's own deterministic sample
   // applies. Either way the forwarded frame carries the v4 trace extension
@@ -534,37 +601,82 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
   std::vector<uint8_t> forward;
   forward.reserve(kFrameHeaderBytes + frame.payload.size());
   EncodeRawFrame(frame.type, frame.payload, &forward);
+  // The sampled divergence cross-check: decide (deterministically, by seed
+  // hash) BEFORE forwarding and pre-register the check, so the primary's
+  // answer — which can arrive the instant the bytes leave — finds the
+  // check no matter how the race goes. The shadow copy itself is launched
+  // only after the primary forward succeeded.
+  const bool cross_check =
+      replicas_ > 1 && options_.divergence_sample_period > 0 &&
+      Rng::Mix(seed, kDivergenceSalt) % options_.divergence_sample_period == 0;
+  uint64_t check_id = 0;
+  std::vector<uint8_t> shadow_frame;
+  if (cross_check) {
+    check_id = next_ticket_.fetch_add(1, std::memory_order_relaxed);
+    shadow_frame = forward;
+    WriteLe64(check_id, shadow_frame.data() + kFrameHeaderBytes);
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    checks_.emplace(check_id, DivergenceCheck{seed});
+  }
+  Pending pending;
+  pending.session = session;
+  pending.request_id = request_id;
+  pending.start_ns = start_ns;
+  pending.trace = trace;
+  pending.frame =
+      std::make_shared<const std::vector<uint8_t>>(std::move(forward));
+  pending.check_id = check_id;
   session->outbox.BeginRequest();
-  switch (Forward(backend, session, request_id, ticket, forward, start_ns,
-                  trace)) {
+  int served = -1;
+  switch (ForwardToSlot(slot, ticket, &pending, &served)) {
     case ForwardOutcome::kForwarded:
       session->accepted.fetch_add(1, std::memory_order_relaxed);
       requests_routed_.fetch_add(1, std::memory_order_relaxed);
-      backend->forwarded.fetch_add(1, std::memory_order_relaxed);
+      backends_[static_cast<size_t>(served)]->forwarded.fetch_add(
+          1, std::memory_order_relaxed);
+      if (cross_check) {
+        LaunchShadow(slot, served, check_id, request_id, start_ns,
+                     std::move(shadow_frame));
+      }
       return;
     case ForwardOutcome::kAnsweredElsewhere:
+      if (cross_check) {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        checks_.erase(check_id);
+      }
       return;  // a death sweep answered (and decremented) already
-    case ForwardOutcome::kUnavailable:
-      backend->unavailable.fetch_add(1, std::memory_order_relaxed);
+    case ForwardOutcome::kUnavailable: {
+      if (cross_check) {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        checks_.erase(check_id);
+      }
+      for (int r = 0; r < replicas_; ++r) {
+        backends_[static_cast<size_t>(slot * replicas_ + r)]
+            ->unavailable.fetch_add(1, std::memory_order_relaxed);
+      }
       unavailable_total_.fetch_add(1, std::memory_order_relaxed);
       // A refused-but-traced request still finishes its trace: fast-fail
       // storms are exactly what the slow log and JSONL sink investigate.
       if (trace != nullptr) {
         recorder_.Finish(trace, obs::MonotonicNs() - start_ns);
       }
-      SendError(session, request_id, WireError::kBackendUnavailable,
-                "backend " + AddressText(backend->address) +
-                    " disconnected");
+      const std::string what =
+          replicas_ > 1
+              ? "slot " + std::to_string(slot) + ": all " +
+                    std::to_string(replicas_) + " replicas disconnected"
+              : "backend " +
+                    AddressText(
+                        backends_[static_cast<size_t>(slot)]->address) +
+                    " disconnected";
+      SendError(session, request_id, WireError::kBackendUnavailable, what);
       FinishOne(session);
       return;
+    }
   }
 }
 
-Router::ForwardOutcome Router::Forward(
-    Backend* backend, const std::shared_ptr<Session>& session,
-    uint64_t request_id, uint64_t ticket,
-    const std::vector<uint8_t>& frame, uint64_t start_ns,
-    std::shared_ptr<obs::RequestTrace> trace) {
+Router::ForwardOutcome Router::Forward(Backend* backend, uint64_t ticket,
+                                       Pending* pending) {
   const int pool = static_cast<int>(backend->conns.size());
   const uint32_t start = backend->rr.fetch_add(1, std::memory_order_relaxed);
   for (int k = 0; k < pool; ++k) {
@@ -583,27 +695,142 @@ Router::ForwardOutcome Router::Forward(
     // Register before sending — the response can arrive on the conn
     // thread the instant the bytes leave. Whoever erases the entry
     // (response relay, death sweep, or the unwind below) owns answering.
+    // Send from our own reference to the shared frame bytes, NOT from the
+    // map node: a fast response (or death sweep) can move the Pending out
+    // of the map while SendFrame is still reading, and only pending_mu_
+    // guards the node — this conn's send_mu does not.
+    std::shared_ptr<const std::vector<uint8_t>> frame;
     {
       std::lock_guard<std::mutex> pending_lock(pending_mu_);
-      pending_.emplace(ticket, Pending{session, request_id,
-                                       conn->backend_index,
-                                       conn->conn_index, start_ns, trace});
+      pending->backend_index = conn->backend_index;
+      pending->conn_index = conn->conn_index;
+      frame = pending->frame;
+      auto [it, inserted] = pending_.emplace(ticket, std::move(*pending));
+      if (!inserted) return ForwardOutcome::kAnsweredElsewhere;
     }
     // May block on a full TCP window — that is the end-to-end
     // backpressure path (downstream queue full -> downstream reader
     // parked -> our send stalls -> our session reader stalls -> the
     // client's TCP stalls).
-    if (conn->client->SendFrame(frame)) return ForwardOutcome::kForwarded;
+    if (conn->client->SendFrame(*frame)) return ForwardOutcome::kForwarded;
     // Not fully delivered, so no response can exist: reclaim the ticket
-    // (unless the death sweep already answered it) and try the next conn.
-    bool reclaimed;
+    // (unless a sweep already took it over) and try the next conn.
     {
       std::lock_guard<std::mutex> pending_lock(pending_mu_);
-      reclaimed = pending_.erase(ticket) > 0;
+      const auto it = pending_.find(ticket);
+      if (it == pending_.end()) return ForwardOutcome::kAnsweredElsewhere;
+      if (it->second.backend_index != conn->backend_index ||
+          it->second.conn_index != conn->conn_index) {
+        // A death sweep re-issued it to a sibling while we unwound: the
+        // ticket is in flight there and that path owns answering it.
+        return ForwardOutcome::kForwarded;
+      }
+      *pending = std::move(it->second);
+      pending_.erase(it);
     }
-    if (!reclaimed) return ForwardOutcome::kAnsweredElsewhere;
   }
   return ForwardOutcome::kUnavailable;
+}
+
+Router::ForwardOutcome Router::ForwardToSlot(int slot, uint64_t ticket,
+                                             Pending* pending, int* served) {
+  // Index order makes the lowest live replica the slot's primary: every
+  // session prefers the same member, so a healthy slot concentrates load
+  // (and cache locality) instead of spraying, and failover preference is
+  // deterministic.
+  for (int r = 0; r < replicas_; ++r) {
+    const int index = slot * replicas_ + r;
+    Backend* backend = backends_[static_cast<size_t>(index)].get();
+    switch (Forward(backend, ticket, pending)) {
+      case ForwardOutcome::kForwarded:
+        if (served != nullptr) *served = index;
+        return ForwardOutcome::kForwarded;
+      case ForwardOutcome::kAnsweredElsewhere:
+        return ForwardOutcome::kAnsweredElsewhere;
+      case ForwardOutcome::kUnavailable:
+        continue;  // dead replica; try the next sibling
+    }
+  }
+  return ForwardOutcome::kUnavailable;
+}
+
+void Router::LaunchShadow(int slot, int served, uint64_t shadow_ticket,
+                          uint64_t request_id, uint64_t start_ns,
+                          std::vector<uint8_t> shadow_frame) {
+  Pending shadow;
+  shadow.request_id = request_id;
+  shadow.start_ns = start_ns;
+  shadow.frame =
+      std::make_shared<const std::vector<uint8_t>>(std::move(shadow_frame));
+  shadow.check_id = shadow_ticket;
+  shadow.shadow = true;
+  for (int r = 0; r < replicas_; ++r) {
+    const int index = slot * replicas_ + r;
+    if (index == served) continue;  // the cross-check needs a SECOND replica
+    Backend* backend = backends_[static_cast<size_t>(index)].get();
+    if (Forward(backend, shadow_ticket, &shadow) !=
+        ForwardOutcome::kUnavailable) {
+      divergence_checks_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  // No second live replica: the sample is skipped, not failed. The primary
+  // side finds no check entry when it answers and relays as usual.
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  checks_.erase(shadow_ticket);
+}
+
+void Router::ResolveDivergence(uint64_t check_id, bool is_primary, bool ok,
+                               uint64_t fingerprint) {
+  bool settled = false;
+  bool incomplete = false;
+  DivergenceCheck done;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    const auto it = checks_.find(check_id);
+    if (it == checks_.end()) return;  // skipped or already settled
+    DivergenceCheck& check = it->second;
+    if (!ok) check.failed = true;
+    if (is_primary) {
+      check.primary_done = true;
+      check.primary_fingerprint = fingerprint;
+    } else {
+      check.shadow_done = true;
+      check.shadow_fingerprint = fingerprint;
+    }
+    if (check.failed) {
+      // An errored side (reject, malformed relay, ...) leaves nothing to
+      // compare; settle immediately rather than waiting for the peer.
+      incomplete = true;
+      settled = true;
+    } else if (check.primary_done && check.shadow_done) {
+      settled = true;
+    }
+    if (settled) {
+      done = check;
+      checks_.erase(it);
+    }
+  }
+  if (!settled) return;
+  if (incomplete) {
+    divergence_incomplete_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (done.primary_fingerprint == done.shadow_fingerprint) return;
+  // Byte-divergent replicas: the determinism contract — the very thing
+  // that makes failover provable — is broken. Always loud; fatal when the
+  // operator asked for it (dflow_router does).
+  divergence_mismatches_.fetch_add(1, std::memory_order_relaxed);
+  std::fprintf(stderr,
+               "[router] REPLICA DIVERGENCE seed=%016llx: primary "
+               "fingerprint %016llx != replica fingerprint %016llx\n",
+               static_cast<unsigned long long>(done.seed),
+               static_cast<unsigned long long>(done.primary_fingerprint),
+               static_cast<unsigned long long>(done.shadow_fingerprint));
+  if (options_.abort_on_divergence) {
+    std::fflush(nullptr);
+    std::_Exit(3);
+  }
 }
 
 void Router::Enqueue(const std::shared_ptr<Session>& session,
@@ -660,7 +887,7 @@ void Router::BackendLoop(Backend* backend, BackendConn* conn) {
       backend->reconnects.fetch_add(1, std::memory_order_relaxed);
     }
     connected_before = true;
-    backoff_ms = options_.backoff_initial_ms;
+    const auto up_since = std::chrono::steady_clock::now();
     if (options_.verbose) {
       std::fprintf(stderr, "[router] backend %s conn %d up\n",
                    AddressText(backend->address).c_str(), conn->conn_index);
@@ -669,6 +896,16 @@ void Router::BackendLoop(Backend* backend, BackendConn* conn) {
       std::optional<Frame> frame = conn->client->ReadFrame();
       if (!frame.has_value()) break;  // EOF, error, or Stop's Shutdown
       HandleBackendFrame(backend, std::move(*frame));
+    }
+    // Reset the reconnect backoff only once a connection PROVED healthy by
+    // surviving a while: a backend that completes the handshake and then
+    // dies right away (crash loop, bad deploy) keeps doubling toward the
+    // cap instead of hot-looping at the initial delay.
+    if (std::chrono::steady_clock::now() - up_since >=
+        kHealthyConnectionUptime) {
+      backoff_ms = options_.backoff_initial_ms;
+    } else {
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
     }
     // Disconnected. Clear ready first, then take send_mu: any sender
     // mid-SendAll finishes (failing), and no new ticket can be registered
@@ -726,6 +963,22 @@ bool Router::Handshake(Backend* backend, Client* client) {
       }
       return false;
     }
+    // Same rule for the v5 fleet-epoch stamp: a backend restarted under a
+    // different deployment generation is refused — with replicas standing
+    // in for each other, re-attaching it would let failover silently swap
+    // a request onto divergent bytes.
+    if (epoch_set_ && info.fleet_epoch != fleet_epoch_) {
+      if (options_.verbose) {
+        std::fprintf(
+            stderr,
+            "[router] backend %s refused: fleet epoch %llu, fleet runs "
+            "%llu\n",
+            AddressText(backend->address).c_str(),
+            static_cast<unsigned long long>(info.fleet_epoch),
+            static_cast<unsigned long long>(fleet_epoch_));
+      }
+      return false;
+    }
   }
   client->SetRecvTimeout(0);
   std::lock_guard<std::mutex> lock(backend->info_mu);
@@ -735,6 +988,7 @@ bool Router::Handshake(Backend* backend, Client* client) {
   backend->backend_kind = info.backend;
   backend->queue_capacity = info.queue_capacity_per_shard;
   backend->advisor_fingerprint = info.advisor.fingerprint;
+  backend->fleet_epoch = info.fleet_epoch;
   return true;
 }
 
@@ -765,6 +1019,20 @@ void Router::HandleBackendFrame(Backend* backend, Frame frame) {
     pending = std::move(it->second);
     pending_.erase(it);
   }
+  // Divergence bookkeeping: a checked side contributes its fingerprint
+  // (peeked at its fixed result offset — still no body decode). The
+  // shadow copy ends here: it has no session, no outbox slot, and is
+  // never relayed.
+  if (pending.check_id != 0) {
+    const bool result_ok = type == MsgType::kSubmitResult &&
+                           frame.payload.size() >= kResultPeekBytes;
+    const uint64_t fingerprint =
+        result_ok ? ReadLe64(frame.payload.data() + kResultFingerprintOffset)
+                  : 0;
+    ResolveDivergence(pending.check_id, /*is_primary=*/!pending.shadow,
+                      result_ok, fingerprint);
+  }
+  if (pending.shadow) return;
   if (type == MsgType::kSubmitResult) {
     relayed_results_.fetch_add(1, std::memory_order_relaxed);
   } else if (frame.payload.size() >= 10) {
@@ -809,13 +1077,13 @@ void Router::HandleBackendFrame(Backend* backend, Frame frame) {
 }
 
 void Router::FailPendingOn(int backend_index, int conn_index) {
-  std::vector<Pending> victims;
+  std::vector<std::pair<uint64_t, Pending>> victims;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
     for (auto it = pending_.begin(); it != pending_.end();) {
       if (it->second.backend_index == backend_index &&
           it->second.conn_index == conn_index) {
-        victims.push_back(std::move(it->second));
+        victims.emplace_back(it->first, std::move(it->second));
         it = pending_.erase(it);
       } else {
         ++it;
@@ -824,10 +1092,59 @@ void Router::FailPendingOn(int backend_index, int conn_index) {
   }
   if (victims.empty()) return;
   Backend* backend = backends_[static_cast<size_t>(backend_index)].get();
+  const int slot = backend->slot;
   const std::string message =
       "backend " + AddressText(backend->address) + " connection lost";
-  const uint64_t now_ns = obs::MonotonicNs();
-  for (const Pending& pending : victims) {
+  for (auto& [ticket, pending] : victims) {
+    // Divergence shadows are abandoned, never re-issued: the check is a
+    // sample, and re-running it against a THIRD party would not audit the
+    // pair it started on.
+    if (pending.shadow) {
+      bool had_check;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        had_check = checks_.erase(pending.check_id) > 0;
+      }
+      if (had_check) {
+        divergence_incomplete_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    // Transparent failover: replay the retained frame — same ticket, same
+    // bytes — against a live sibling replica. Deterministic, side-effect-
+    // free execution makes the re-run byte-identical, and the ticket
+    // lives in at most one pending entry, so the client still gets
+    // exactly one answer. Whatever the dead backend computed but never
+    // delivered is simply recomputed.
+    if (pending.attempts < kMaxFailoverAttempts) {
+      ++pending.attempts;
+      const ForwardOutcome outcome =
+          ForwardToSlot(slot, ticket, &pending, nullptr);
+      if (outcome != ForwardOutcome::kUnavailable) {
+        backend->failovers.fetch_add(1, std::memory_order_relaxed);
+        failovers_total_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.verbose) {
+          std::fprintf(stderr,
+                       "[router] ticket %llu failed over off %s\n",
+                       static_cast<unsigned long long>(ticket),
+                       AddressText(backend->address).c_str());
+        }
+        continue;
+      }
+    }
+    // Whole slot down (or a flapping fleet exhausted the attempt cap):
+    // answer with the typed error, exactly the pre-replication semantics.
+    if (pending.check_id != 0) {
+      bool had_check;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        had_check = checks_.erase(pending.check_id) > 0;
+      }
+      if (had_check) {
+        divergence_incomplete_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const uint64_t now_ns = obs::MonotonicNs();
     backend->unavailable.fetch_add(1, std::memory_order_relaxed);
     unavailable_total_.fetch_add(1, std::memory_order_relaxed);
     if (pending.trace != nullptr) {

@@ -31,10 +31,32 @@ struct RouterOptions {
   // Front-door TCP port; 0 asks the kernel for an ephemeral port (read the
   // result from port() after Start). Loopback-only, like the ingress.
   uint16_t port = 0;
-  // The fleet. Routing is FlowServer::ShardFor(seed, backends.size()), so
-  // the backend a request lands on — and therefore every result byte — is
-  // a pure function of the submitted request set, for any fleet size.
+  // The fleet. Routing is FlowServer::ShardFor(seed, num_slots) where
+  // num_slots = backends.size() / replicas, so the slot a request lands on
+  // — and therefore every result byte — is a pure function of the
+  // submitted request set, for any fleet size.
   std::vector<BackendAddress> backends;
+  // Replica group width: consecutive runs of `replicas` backends form one
+  // hash slot (backends [0, replicas) are slot 0, and so on), every member
+  // serving byte-identical results for the slot's seeds. Submits go to the
+  // slot's primary (its lowest-index live replica); when a replica's
+  // connection drops, its unanswered in-flight tickets are transparently
+  // re-issued to a live sibling. backends.size() must be a multiple of
+  // this; 1 (the default) is the PR-4 unreplicated behavior.
+  int replicas = 1;
+  // Replica-divergence cross-check sampling: 1-in-N submits (chosen by a
+  // deterministic seed hash, like trace sampling) are additionally sent to
+  // a second live replica of their slot, and the two result fingerprints
+  // must agree — byte-identity across replicas is the invariant that makes
+  // failover safe, so it is continuously audited rather than assumed.
+  // Shadow copies never reach the client and are invisible to front-door
+  // accounting. 0 disables the check; meaningless unless replicas > 1.
+  uint32_t divergence_sample_period = 0;
+  // Treat a divergence-check fingerprint mismatch as fatal: log the pair
+  // and terminate the process with exit code 3 (what dflow_router runs
+  // with). Off, the mismatch only feeds dflow_replica_divergence_total and
+  // the RouterStats counters — what the tests use.
+  bool abort_on_divergence = false;
   // Wire connections kept to each backend. 1 gives strict fan-in (all
   // sessions share one stream per backend, so one full downstream queue
   // stalls everything routed there, exactly like in-process Submit); more
@@ -91,13 +113,20 @@ struct RouterOptions {
 // session reader holding that frame, and TCP pushes the stall on to the
 // client. No queue in the chain is unbounded.
 //
-// Failure semantics: when a backend connection drops, every in-flight
-// ticket on it is answered with a typed BACKEND_UNAVAILABLE error, new
-// submits hashing to that backend fail fast with the same code, and a
+// Failure semantics: when a backend connection drops, every unanswered
+// in-flight ticket on it is transparently re-issued to a live replica of
+// the same slot (the stored forward frame is replayed under the same
+// ticket; deterministic, side-effect-free execution makes the re-run
+// byte-identical, and at-most-one pending entry per ticket keeps the
+// answer exactly-once), and new submits prefer the slot's lowest-index
+// live replica. Only when a slot has NO live replica do its tickets and
+// new submits fail fast with a typed BACKEND_UNAVAILABLE error, while a
 // per-connection thread reconnects with exponential backoff (re-running
-// the Info identity handshake); seeds hashing to live backends are
-// unaffected. The router never re-routes a seed to a different backend —
-// that would silently break the determinism contract.
+// the Info identity handshake); seeds hashing to healthy slots are
+// unaffected. The router never re-routes a seed outside its replica slot —
+// that would silently break the determinism contract; within a slot every
+// member serves the same bytes, which the sampled divergence cross-check
+// (see RouterOptions) continuously audits.
 //
 // Shutdown (Stop, also run by the destructor) answers every admitted
 // request before Goodbye: stop accepting, half-close session readers, let
@@ -175,6 +204,10 @@ class Router {
     BackendAddress address;
     std::vector<std::unique_ptr<BackendConn>> conns;
     std::atomic<uint32_t> rr{0};  // round-robin cursor over the pool
+    // Replica placement (fixed at Start): slot = index / replicas,
+    // replica = index % replicas.
+    int slot = 0;
+    int replica = 0;
 
     // Identity from the latest Info handshake, guarded by info_mu.
     mutable std::mutex info_mu;
@@ -184,15 +217,18 @@ class Router {
     uint8_t backend_kind = 0;
     uint64_t queue_capacity = 0;
     uint64_t advisor_fingerprint = 0;  // nonzero only on AUTO backends
+    uint64_t fleet_epoch = 0;
 
     std::atomic<int64_t> forwarded{0};
     std::atomic<int64_t> answered{0};
     std::atomic<int64_t> unavailable{0};
     std::atomic<int64_t> reconnects{0};
+    // In-flight tickets moved OFF this backend to a sibling after a drop.
+    std::atomic<int64_t> failovers{0};
   };
 
   struct Pending {
-    std::shared_ptr<Session> session;
+    std::shared_ptr<Session> session;  // null on divergence-shadow copies
     uint64_t request_id = 0;  // client-chosen id, restored on the way back
     int backend_index = 0;
     int conn_index = 0;  // which pool connection carried it (death sweep)
@@ -200,6 +236,34 @@ class Router {
     // router.forward span measure from here.
     uint64_t start_ns = 0;
     std::shared_ptr<obs::RequestTrace> trace;  // null = untraced
+    // The exact frame that was forwarded (ticket already patched in) —
+    // what a backend-death sweep replays against a sibling replica. One
+    // retained copy per in-flight request, bounded by the same end-to-end
+    // backpressure that bounds in-flight requests themselves. Shared (and
+    // immutable) because Forward sends from it after releasing
+    // pending_mu_, while a fast response can move this Pending out of the
+    // map concurrently — the sender's reference keeps the bytes pinned.
+    std::shared_ptr<const std::vector<uint8_t>> frame;
+    // Failover re-issues so far; capped so a flapping fleet cannot bounce
+    // one ticket forever.
+    int attempts = 0;
+    // Nonzero links this pending to a divergence check (checks_ key).
+    uint64_t check_id = 0;
+    // True for the cross-check's shadow copy: its answer feeds the check
+    // and is never relayed (no session, no outbox accounting).
+    bool shadow = false;
+  };
+
+  // One in-flight replica-divergence cross-check: the same request sent to
+  // two replicas, fingerprints compared when both answered. Guarded by
+  // pending_mu_ (the checks live and die with their pending entries).
+  struct DivergenceCheck {
+    uint64_t seed = 0;
+    bool primary_done = false;
+    bool shadow_done = false;
+    bool failed = false;  // a side answered an error: nothing to compare
+    uint64_t primary_fingerprint = 0;
+    uint64_t shadow_fingerprint = 0;
   };
 
   // How one forward attempt ended (see HandleSubmit).
@@ -210,12 +274,23 @@ class Router {
   void WriterLoop(const std::shared_ptr<Session>& session);
   bool HandleFrame(const std::shared_ptr<Session>& session, Frame frame);
   void HandleSubmit(const std::shared_ptr<Session>& session, Frame frame);
-  ForwardOutcome Forward(Backend* backend,
-                         const std::shared_ptr<Session>& session,
-                         uint64_t request_id, uint64_t ticket,
-                         const std::vector<uint8_t>& frame,
-                         uint64_t start_ns,
-                         std::shared_ptr<obs::RequestTrace> trace);
+  // One forward attempt against one backend: registers *pending under
+  // `ticket` (consuming it) and sends its frame. On kUnavailable the
+  // pending is handed back untouched so the caller can try a sibling.
+  ForwardOutcome Forward(Backend* backend, uint64_t ticket, Pending* pending);
+  // Tries every replica of `slot` in index order (lowest live index is the
+  // primary). On kForwarded, *served names the backend that took it.
+  ForwardOutcome ForwardToSlot(int slot, uint64_t ticket, Pending* pending,
+                               int* served);
+  // Launches the sampled cross-check: sends a shadow copy of the frame
+  // just forwarded to a live replica of `slot` other than `served`.
+  void LaunchShadow(int slot, int served, uint64_t shadow_ticket,
+                    uint64_t request_id, uint64_t start_ns,
+                    std::vector<uint8_t> shadow_frame);
+  // Feeds one side's answer into its divergence check; compares and
+  // settles the check when both sides are in.
+  void ResolveDivergence(uint64_t check_id, bool is_primary, bool ok,
+                         uint64_t fingerprint);
   void ReapSessions(bool all);
   static void Enqueue(const std::shared_ptr<Session>& session,
                       std::vector<uint8_t> frame);
@@ -227,8 +302,10 @@ class Router {
   void BackendLoop(Backend* backend, BackendConn* conn);
   bool Handshake(Backend* backend, Client* client);
   void HandleBackendFrame(Backend* backend, Frame frame);
-  // Answers (BACKEND_UNAVAILABLE) and erases every pending ticket carried
-  // by the given backend connection.
+  // Sweeps every pending ticket carried by the given backend connection:
+  // client tickets are re-issued to a live sibling replica (transparent
+  // failover) or, when the whole slot is down, answered with a typed
+  // BACKEND_UNAVAILABLE; divergence shadows are abandoned.
   void FailPendingOn(int backend_index, int conn_index);
 
   const RouterOptions options_;
@@ -246,6 +323,10 @@ class Router {
   bool stopped_ = false;
 
   std::vector<std::unique_ptr<Backend>> backends_;
+  // Fixed at Start(): normalized replica group width and the slot count
+  // the seed hash routes over (backends_.size() / replicas_).
+  int replicas_ = 1;
+  int num_slots_ = 0;
   // The fleet-wide strategy: set once by Start() from the initial
   // handshakes, then enforced by every re-handshake (a restarted backend
   // serving a different strategy is refused — re-attaching it would
@@ -258,6 +339,13 @@ class Router {
   mutable std::mutex strategy_mu_;
   std::string strategy_;
   uint64_t advisor_fingerprint_ = 0;  // fleet-wide; 0 unless AUTO
+  // Fleet-epoch stamp (v5): set by Start() from the initial handshakes and
+  // enforced — alongside strategy/advisor — on every re-handshake, so a
+  // replica restarted under a different deployment generation is refused
+  // instead of silently serving different bytes. epoch_set_ discriminates
+  // "not yet learned" from the valid epoch 0.
+  uint64_t fleet_epoch_ = 0;
+  bool epoch_set_ = false;
 
   // Wakes conn threads out of their backoff sleep on Stop.
   std::mutex backoff_mu_;
@@ -272,7 +360,16 @@ class Router {
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, Pending> pending_;
+  // In-flight divergence checks, keyed by the shadow copy's ticket (also
+  // stamped into both participating Pending entries as check_id).
+  std::unordered_map<uint64_t, DivergenceCheck> checks_;  // pending_mu_
   std::atomic<uint64_t> next_ticket_{1};
+
+  // Replicated-fleet counters (RouterStats + the obs registry).
+  std::atomic<int64_t> failovers_total_{0};
+  std::atomic<int64_t> divergence_checks_{0};
+  std::atomic<int64_t> divergence_mismatches_{0};
+  std::atomic<int64_t> divergence_incomplete_{0};
 
   // Front-door aggregates (IngressStats shape; `accepted` means forwarded
   // to a backend — the router's notion of admission).

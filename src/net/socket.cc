@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -59,9 +60,31 @@ Socket Socket::ConnectTcp(const std::string& host, uint16_t port,
     return Socket();
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    if (error != nullptr) *error = std::strerror(errno);
-    ::close(fd);
-    return Socket();
+    // EINTR does NOT abort a connect: POSIX keeps the attempt going
+    // asynchronously, and a second connect() would fail with EALREADY. The
+    // signal-safe completion is to wait for writability and read the
+    // outcome from SO_ERROR — without this, any signal landing during the
+    // three-way handshake (profilers, the serve binaries' signal handling)
+    // surfaces as a spurious connection failure.
+    bool connected = false;
+    if (errno == EINTR) {
+      pollfd pfd{fd, POLLOUT, 0};
+      while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) == 0 &&
+          so_error == 0) {
+        connected = true;
+      } else {
+        errno = so_error != 0 ? so_error : errno;
+      }
+    }
+    if (!connected) {
+      if (error != nullptr) *error = std::strerror(errno);
+      ::close(fd);
+      return Socket();
+    }
   }
   SetNoDelay(fd);
   return Socket(fd);

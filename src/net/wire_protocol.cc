@@ -468,18 +468,27 @@ void EncodeInfo(const ServerInfo& msg, std::vector<uint8_t>* out) {
   PutI64(msg.cache_hits, out);
   PutI64(msg.cache_misses, out);
   PutString(msg.node_id, out);
+  PutU64(msg.fleet_epoch, out);
   PutIngressStats(msg.ingress, out);
   PutU8(msg.router.is_router, out);
+  PutU32(static_cast<uint32_t>(msg.router.replicas), out);
+  PutI64(msg.router.failovers, out);
+  PutI64(msg.router.divergence_checks, out);
+  PutI64(msg.router.divergence_mismatches, out);
+  PutI64(msg.router.divergence_incomplete, out);
   PutU32(static_cast<uint32_t>(msg.router.backends.size()), out);
   for (const RouterBackendStats& backend : msg.router.backends) {
     PutString(backend.address, out);
     PutString(backend.node_id, out);
     PutU8(backend.connected, out);
     PutU32(static_cast<uint32_t>(backend.shards), out);
+    PutU32(static_cast<uint32_t>(backend.slot), out);
+    PutU32(static_cast<uint32_t>(backend.replica), out);
     PutI64(backend.forwarded, out);
     PutI64(backend.answered, out);
     PutI64(backend.unavailable, out);
     PutI64(backend.reconnects, out);
+    PutI64(backend.failovers, out);
   }
   PutU8(msg.advisor.enabled, out);
   PutU64(msg.advisor.fingerprint, out);
@@ -503,37 +512,52 @@ bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out) {
       !reader.GetI64(&out->cache_hits) ||
       !reader.GetI64(&out->cache_misses) ||
       !reader.GetString(&out->node_id) ||
+      !reader.GetU64(&out->fleet_epoch) ||
       !GetIngressStats(&reader, &out->ingress)) {
     return false;
   }
   out->num_shards = static_cast<int32_t>(shards);
   uint8_t is_router;
+  uint32_t replicas;
   uint32_t num_backends;
   if (!reader.GetU8(&is_router) || is_router > 1 ||
+      !reader.GetU32(&replicas) ||
+      !reader.GetI64(&out->router.failovers) ||
+      !reader.GetI64(&out->router.divergence_checks) ||
+      !reader.GetI64(&out->router.divergence_mismatches) ||
+      !reader.GetI64(&out->router.divergence_incomplete) ||
       !reader.GetU32(&num_backends)) {
     return false;
   }
   out->router.is_router = is_router;
-  // Each backend entry is at least 45 payload bytes (two empty strings:
-  // 2×4 length headers + 1 connected + 4 shards + 4×8 counters), so the
-  // payload length bounds a hostile count before the reserve.
-  if (num_backends > payload.size() / 45) return false;
+  out->router.replicas = static_cast<int32_t>(replicas);
+  // Each backend entry is at least 61 payload bytes (two empty strings:
+  // 2×4 length headers + 1 connected + 3×4 shards/slot/replica + 5×8
+  // counters), so the payload length bounds a hostile count before the
+  // reserve.
+  if (num_backends > payload.size() / 61) return false;
   out->router.backends.clear();
   out->router.backends.reserve(num_backends);
   for (uint32_t i = 0; i < num_backends; ++i) {
     RouterBackendStats backend;
     uint32_t backend_shards;
+    uint32_t slot;
+    uint32_t replica;
     if (!reader.GetString(&backend.address) ||
         !reader.GetString(&backend.node_id) ||
         !reader.GetU8(&backend.connected) || backend.connected > 1 ||
-        !reader.GetU32(&backend_shards) ||
+        !reader.GetU32(&backend_shards) || !reader.GetU32(&slot) ||
+        !reader.GetU32(&replica) ||
         !reader.GetI64(&backend.forwarded) ||
         !reader.GetI64(&backend.answered) ||
         !reader.GetI64(&backend.unavailable) ||
-        !reader.GetI64(&backend.reconnects)) {
+        !reader.GetI64(&backend.reconnects) ||
+        !reader.GetI64(&backend.failovers)) {
       return false;
     }
     backend.shards = static_cast<int32_t>(backend_shards);
+    backend.slot = static_cast<int32_t>(slot);
+    backend.replica = static_cast<int32_t>(replica);
     out->router.backends.push_back(std::move(backend));
   }
   uint32_t num_counts;

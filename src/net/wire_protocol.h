@@ -42,10 +42,13 @@ inline constexpr uint8_t kMagic1 = 'F';
 // that never sets the flag produces payloads byte-identical to v3 apart
 // from the version byte, so v3-era client code recompiled against v4 is
 // unaffected), an always-present span timing trailer on SubmitResult, and
-// the MetricsRequest/Metrics scrape pair. Each bump makes a mixed-version
-// fleet fail with a detectable UNSUPPORTED_VERSION instead of a silent
-// decode error.
-inline constexpr uint8_t kWireVersion = 4;
+// the MetricsRequest/Metrics scrape pair. v5 added the replicated-fleet
+// fields: a fleet-epoch stamp on ServerInfo (a router refuses a replica
+// set whose members disagree on it), replica/failover counters on the
+// routing-tier section, and per-backend slot/replica placement. Each bump
+// makes a mixed-version fleet fail with a detectable UNSUPPORTED_VERSION
+// instead of a silent decode error.
+inline constexpr uint8_t kWireVersion = 5;
 inline constexpr size_t kFrameHeaderBytes = 8;
 // Default ceiling on one frame's payload. Generous for request/response
 // traffic (a submit is dominated by its source bindings) while bounding
@@ -195,10 +198,17 @@ struct RouterBackendStats {
   std::string node_id;  // backend's self-reported identity (handshake)
   uint8_t connected = 0;  // >=1 pool connection is live right now
   int32_t shards = 0;     // backend's num_shards (handshake)
+  // v5 replica placement: which hash slot this backend belongs to and its
+  // position inside that slot's replica group (0 = preferred primary).
+  int32_t slot = 0;
+  int32_t replica = 0;
   int64_t forwarded = 0;  // submits sent to this backend
   int64_t answered = 0;   // results/typed errors relayed back from it
   int64_t unavailable = 0;  // submits refused: backend was disconnected
   int64_t reconnects = 0;   // successful re-handshakes after a drop
+  // In-flight tickets transparently re-issued to a sibling replica after
+  // this backend's connection dropped (the client never saw the failure).
+  int64_t failovers = 0;
 
   friend bool operator==(const RouterBackendStats&,
                          const RouterBackendStats&) = default;
@@ -208,6 +218,16 @@ struct RouterBackendStats {
 // net::Router's Info from a plain dflow_serve's (whose section is empty).
 struct RouterStats {
   uint8_t is_router = 0;
+  // v5 fleet shape/health: replica group width (1 = unreplicated), total
+  // transparent failovers, and the replica-divergence cross-check
+  // counters (checks started, fingerprint mismatches — any nonzero
+  // mismatch count means the determinism contract is broken somewhere —
+  // and checks abandoned because a replica died mid-check).
+  int32_t replicas = 1;
+  int64_t failovers = 0;
+  int64_t divergence_checks = 0;
+  int64_t divergence_mismatches = 0;
+  int64_t divergence_incomplete = 0;
   std::vector<RouterBackendStats> backends;
 
   friend bool operator==(const RouterStats&, const RouterStats&) = default;
@@ -252,6 +272,13 @@ struct ServerInfo {
   // "router:<port>" by default). The router's connect-time handshake
   // records it per backend, so misrouted fleet configs are visible.
   std::string node_id;
+  // v5 fleet-epoch stamp: an operator-chosen deployment generation
+  // (--fleet-epoch). A router refuses to start — and refuses to re-attach
+  // a restarted backend — when replica-set members disagree on it, so a
+  // half-upgraded or mixed-calibration fleet fails loudly at handshake
+  // time instead of serving divergent bytes. 0 is a valid epoch (the
+  // default); homogeneity is what is enforced, not a particular value.
+  uint64_t fleet_epoch = 0;
   runtime::IngressStats ingress;
   // Filled in (is_router = 1) only when a net::Router answers.
   RouterStats router;

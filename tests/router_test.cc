@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -754,6 +755,359 @@ TEST(RouterTest, FrontStatsAndMetricsScrapeExposeTheRoutingTier) {
   const runtime::IngressStats again = fleet->router->front_stats();
   EXPECT_EQ(again.outbox_bytes_written, front.outbox_bytes_written);
   EXPECT_EQ(again.outbox_inflight_hwm, front.outbox_inflight_hwm);
+}
+
+// --- The replicated fleet -------------------------------------------------
+
+// A byte-pumping TCP proxy in front of one backend that can die abruptly:
+// Kill() hard-shuts every proxied connection mid-stream, which is exactly
+// what a kill -9'd backend looks like to the router (no goodbye, no
+// drain). StallResponses() additionally swallows backend->router bytes, so
+// a test can pin a whole burst in the in-flight state before the kill.
+class TcpProxy {
+ public:
+  TcpProxy(std::string target_host, uint16_t target_port)
+      : target_host_(std::move(target_host)), target_port_(target_port) {}
+  ~TcpProxy() { Kill(); }
+
+  bool Start(std::string* error) {
+    if (!listener_.Listen(0, error)) return false;
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+    return true;
+  }
+
+  uint16_t port() const { return listener_.port(); }
+
+  // From now on, bytes flowing backend -> router are dropped (the
+  // connection stays up, answers just never arrive). Only meaningful on a
+  // proxy that is about to be killed.
+  void StallResponses() { stall_responses_ = true; }
+
+  // Abrupt death. Idempotent.
+  void Kill() {
+    killed_ = true;
+    listener_.Shutdown();
+    std::vector<std::thread> pumps;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const std::shared_ptr<Pair>& pair : pairs_) {
+        pair->client.ShutdownBoth();
+        pair->upstream.ShutdownBoth();
+      }
+      pumps.swap(pumps_);
+    }
+    if (acceptor_.joinable()) acceptor_.join();
+    for (std::thread& pump : pumps) pump.join();
+  }
+
+ private:
+  struct Pair {
+    Socket client;
+    Socket upstream;
+  };
+
+  void AcceptLoop() {
+    while (true) {
+      Socket client = listener_.Accept();
+      if (!client.valid()) return;
+      std::string error;
+      Socket upstream =
+          Socket::ConnectTcp(target_host_, target_port_, &error);
+      if (!upstream.valid()) continue;  // backend gone; drop this client
+      auto pair = std::make_shared<Pair>();
+      pair->client = std::move(client);
+      pair->upstream = std::move(upstream);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (killed_) return;
+      pairs_.push_back(pair);
+      pumps_.emplace_back([this, pair] {
+        PumpLoop(&pair->client, &pair->upstream, /*is_response=*/false);
+      });
+      pumps_.emplace_back([this, pair] {
+        PumpLoop(&pair->upstream, &pair->client, /*is_response=*/true);
+      });
+    }
+  }
+
+  void PumpLoop(Socket* from, Socket* to, bool is_response) {
+    uint8_t buffer[4096];
+    while (true) {
+      const ssize_t n = from->Recv(buffer, sizeof(buffer));
+      if (n <= 0) break;
+      if (is_response && stall_responses_) continue;  // swallow
+      if (!to->SendAll(buffer, static_cast<size_t>(n))) break;
+    }
+    to->ShutdownWrite();
+  }
+
+  const std::string target_host_;
+  const uint16_t target_port_;
+  ListenSocket listener_;
+  std::thread acceptor_;
+  std::atomic<bool> killed_{false};
+  std::atomic<bool> stall_responses_{false};
+  std::mutex mu_;
+  std::vector<std::shared_ptr<Pair>> pairs_;
+  std::vector<std::thread> pumps_;
+};
+
+// A replicated fleet serves the exact bytes of direct in-process
+// execution, slot/replica placement is observable in RouterStats, and the
+// sampled divergence cross-check stays clean on a healthy homogeneous
+// fleet.
+TEST(RouterTest, ReplicatedFleetServesIdenticalBytesWithCleanDivergence) {
+  const gen::GeneratedSchema pattern = MakePattern(51);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 45);
+
+  runtime::FlowServerOptions options = BackendOptions(2);
+  runtime::FlowServer reference(&pattern.schema, options);
+  std::mutex mu;
+  std::map<uint64_t, WireOutcome> expected;
+  reference.SetResultCallback([&](int, const runtime::FlowRequest& request,
+                                  const core::InstanceResult& result,
+                                  const core::Strategy&) {
+    std::lock_guard<std::mutex> lock(mu);
+    expected.emplace(request.seed, FromInstanceResult(result));
+  });
+  for (const runtime::FlowRequest& request : requests) {
+    ASSERT_TRUE(reference.Submit(request));
+  }
+  reference.Drain();
+  ASSERT_EQ(expected.size(), requests.size());
+
+  // Four backends, two replicas -> two slots. Shard counts deliberately
+  // differ ACROSS slots and WITHIN a slot: replica byte-identity must not
+  // depend on internal sharding.
+  RouterOptions router_options;
+  router_options.replicas = 2;
+  router_options.divergence_sample_period = 2;
+  const std::unique_ptr<Fleet> fleet =
+      MakeFleet(pattern, {1, 2, 3, 1}, router_options);
+  const std::map<uint64_t, WireOutcome> served =
+      ServeThroughRouter(*fleet, requests);
+  ASSERT_EQ(served.size(), requests.size());
+  EXPECT_EQ(served, expected);
+
+  const RouterStats stats = fleet->router->router_stats();
+  EXPECT_EQ(stats.replicas, 2);
+  ASSERT_EQ(stats.backends.size(), 4u);
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(stats.backends[b].slot, static_cast<int32_t>(b) / 2);
+    EXPECT_EQ(stats.backends[b].replica, static_cast<int32_t>(b) % 2);
+  }
+  // Healthy fleet: checks ran, none diverged, nothing failed over.
+  EXPECT_GT(stats.divergence_checks, 0);
+  EXPECT_EQ(stats.divergence_mismatches, 0);
+  EXPECT_EQ(stats.failovers, 0);
+  // Only slot primaries serve client traffic; shadows are the only load
+  // on replica 1 of each slot.
+  EXPECT_EQ(stats.backends[0].forwarded + stats.backends[2].forwarded,
+            static_cast<int64_t>(requests.size()));
+}
+
+// The headline failover contract: a replica dies abruptly (hard RST, no
+// drain) with a whole burst un-answered, and every request is still
+// answered with bytes identical to direct execution — the client never
+// sees an error frame.
+TEST(RouterTest, AbruptPrimaryDeathReissuesInflightBurstWithoutErrors) {
+  const gen::GeneratedSchema pattern = MakePattern(53);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 30);
+
+  runtime::FlowServerOptions backend_options = BackendOptions(1);
+  runtime::FlowServer reference(&pattern.schema, backend_options);
+  std::mutex mu;
+  std::map<uint64_t, WireOutcome> expected;
+  reference.SetResultCallback([&](int, const runtime::FlowRequest& request,
+                                  const core::InstanceResult& result,
+                                  const core::Strategy&) {
+    std::lock_guard<std::mutex> lock(mu);
+    expected.emplace(request.seed, FromInstanceResult(result));
+  });
+  for (const runtime::FlowRequest& request : requests) {
+    ASSERT_TRUE(reference.Submit(request));
+  }
+  reference.Drain();
+
+  // One slot of two replicas; the primary sits behind the kill-able proxy.
+  Fleet fleet;
+  fleet.pattern = &pattern;
+  for (int b = 0; b < 2; ++b) {
+    auto backend = std::make_unique<IngressServer>(
+        &pattern.schema, backend_options, IngressOptions{});
+    std::string error;
+    ASSERT_TRUE(backend->Start(&error)) << error;
+    fleet.backends.push_back(std::move(backend));
+  }
+  TcpProxy proxy("127.0.0.1", fleet.backends[0]->port());
+  std::string error;
+  ASSERT_TRUE(proxy.Start(&error)) << error;
+  RouterOptions router_options;
+  router_options.replicas = 2;
+  router_options.backoff_initial_ms = 10;
+  router_options.backoff_max_ms = 100;
+  router_options.backends = {
+      BackendAddress{"127.0.0.1", proxy.port()},
+      BackendAddress{"127.0.0.1", fleet.backends[1]->port()}};
+  fleet.router = std::make_unique<Router>(router_options);
+  ASSERT_TRUE(fleet.router->Start(&error)) << error;
+
+  // From here on the primary's answers are swallowed: the burst below is
+  // guaranteed to be fully in flight when the proxy dies.
+  proxy.StallResponses();
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet.router->port(), &error))
+      << error;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.want_snapshot = true;
+    submit.sources = requests[i].sources;
+    ASSERT_TRUE(client.SendSubmit(submit));
+  }
+  // Wait until the router forwarded the whole burst to the (stalled)
+  // primary, then kill it mid-flight.
+  for (int spin = 0; spin < 10000; ++spin) {
+    if (fleet.router->front_stats().requests_accepted ==
+        static_cast<int64_t>(requests.size())) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(fleet.router->front_stats().requests_accepted,
+            static_cast<int64_t>(requests.size()));
+  proxy.Kill();
+
+  std::map<uint64_t, WireOutcome> served;
+  int error_frames = 0;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::optional<ServerMessage> message = client.ReadMessage();
+    ASSERT_TRUE(message.has_value()) << "reply " << i << " never arrived";
+    if (message->type != MsgType::kSubmitResult) {
+      ++error_frames;
+      continue;
+    }
+    const size_t index = static_cast<size_t>(message->result.request_id) - 1;
+    ASSERT_LT(index, requests.size());
+    served.emplace(requests[index].seed, FromWire(message->result));
+  }
+  EXPECT_EQ(error_frames, 0);
+  ASSERT_EQ(served.size(), requests.size());
+  EXPECT_EQ(served, expected);
+
+  const RouterStats stats = fleet.router->router_stats();
+  EXPECT_GE(stats.failovers, 1);
+  ASSERT_EQ(stats.backends.size(), 2u);
+  EXPECT_GE(stats.backends[0].failovers, 1);
+  EXPECT_TRUE(client.Goodbye());
+}
+
+// A mis-seeded replica — same schema, same strategy, but configured so it
+// computes different bytes — must be caught by the sampled cross-check,
+// not trusted silently.
+TEST(RouterTest, MisconfiguredReplicaTripsTheDivergenceCheck) {
+  const gen::GeneratedSchema pattern = MakePattern(55);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 12);
+
+  Fleet fleet;
+  fleet.pattern = &pattern;
+  for (int b = 0; b < 2; ++b) {
+    runtime::FlowServerOptions options = BackendOptions(1);
+    options.backend = core::BackendKind::kBoundedDb;
+    // Replica 1's database "hardware" is twice as slow: response times —
+    // and therefore result fingerprints — differ from the primary's for
+    // the same seeds. Handshake identity (pattern, strategy, epoch) is
+    // identical, so only the cross-check can see it.
+    if (b == 1) options.db.unit_cpu_ms = 2.0;
+    auto backend = std::make_unique<IngressServer>(
+        &pattern.schema, options, IngressOptions{});
+    std::string error;
+    ASSERT_TRUE(backend->Start(&error)) << error;
+    fleet.backends.push_back(std::move(backend));
+  }
+  RouterOptions router_options;
+  router_options.replicas = 2;
+  router_options.divergence_sample_period = 1;  // cross-check everything
+  router_options.backoff_initial_ms = 10;
+  router_options.backoff_max_ms = 100;
+  for (const std::unique_ptr<IngressServer>& backend : fleet.backends) {
+    router_options.backends.push_back(
+        BackendAddress{"127.0.0.1", backend->port()});
+  }
+  fleet.router = std::make_unique<Router>(router_options);
+  std::string error;
+  ASSERT_TRUE(fleet.router->Start(&error)) << error;
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet.router->port(), &error))
+      << error;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.sources = requests[i].sources;
+    const std::optional<ServerMessage> reply = client.Call(submit);
+    ASSERT_TRUE(reply.has_value());
+    // The client always gets the primary's answer; detection is async.
+    EXPECT_EQ(reply->type, MsgType::kSubmitResult);
+  }
+  // Shadow answers race the primary's; poll for the verdict.
+  RouterStats stats;
+  for (int spin = 0; spin < 5000; ++spin) {
+    stats = fleet.router->router_stats();
+    if (stats.divergence_mismatches > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(stats.divergence_checks, 0);
+  EXPECT_GT(stats.divergence_mismatches, 0);
+  EXPECT_TRUE(client.Goodbye());
+}
+
+// Mixed fleet epochs are a deploy bug (half-upgraded replica set); the
+// router must refuse to start rather than risk serving from replicas that
+// disagree.
+TEST(RouterTest, StartRefusesMixedFleetEpochs) {
+  const gen::GeneratedSchema pattern = MakePattern(57);
+  IngressOptions epoch7;
+  epoch7.fleet_epoch = 7;
+  IngressOptions epoch8;
+  epoch8.fleet_epoch = 8;
+  IngressServer old_gen(&pattern.schema, BackendOptions(1), epoch7);
+  IngressServer new_gen(&pattern.schema, BackendOptions(1), epoch8);
+  std::string error;
+  ASSERT_TRUE(old_gen.Start(&error)) << error;
+  ASSERT_TRUE(new_gen.Start(&error)) << error;
+  RouterOptions options;
+  options.replicas = 2;
+  options.backends = {BackendAddress{"127.0.0.1", old_gen.port()},
+                      BackendAddress{"127.0.0.1", new_gen.port()}};
+  Router router(options);
+  EXPECT_FALSE(router.Start(&error));
+  EXPECT_NE(error.find("fleet epoch"), std::string::npos) << error;
+  router.Stop();
+  old_gen.Stop();
+  new_gen.Stop();
+}
+
+// A backend count that does not divide into whole replica groups is a
+// configuration error, caught before any connection is attempted.
+TEST(RouterTest, StartRefusesRaggedReplicaGroups) {
+  const gen::GeneratedSchema pattern = MakePattern(58);
+  IngressServer backend(&pattern.schema, BackendOptions(1), IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(backend.Start(&error)) << error;
+  RouterOptions options;
+  options.replicas = 2;
+  options.backends = {BackendAddress{"127.0.0.1", backend.port()}};
+  Router router(options);
+  EXPECT_FALSE(router.Start(&error));
+  EXPECT_NE(error.find("replicas"), std::string::npos) << error;
+  router.Stop();
+  backend.Stop();
 }
 
 }  // namespace

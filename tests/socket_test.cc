@@ -1,0 +1,153 @@
+// Regression tests for the POSIX socket wrappers, centered on signal
+// safety: every blocking path (Recv above all) must retry EINTR instead
+// of surfacing a phantom connection error. The original bug: a SIGPROF /
+// timer signal landing in a parked ::recv without SA_RESTART made Recv
+// return -1, which the framing layer upstack treated as a dead peer.
+
+#include <gtest/gtest.h>
+#include <pthread.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.h"
+
+namespace dflow::net {
+namespace {
+
+void NoopHandler(int) {}
+
+// Installs a no-op SIGUSR1 handler WITHOUT SA_RESTART for the test's
+// lifetime, so every signal delivery actually interrupts blocking
+// syscalls — the condition the retry loops exist for.
+class InterruptingSignal {
+ public:
+  InterruptingSignal() {
+    struct sigaction action {};
+    action.sa_handler = NoopHandler;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // deliberately no SA_RESTART
+    installed_ = sigaction(SIGUSR1, &action, &previous_) == 0;
+  }
+  ~InterruptingSignal() {
+    if (installed_) sigaction(SIGUSR1, &previous_, nullptr);
+  }
+  bool installed() const { return installed_; }
+
+ private:
+  bool installed_ = false;
+  struct sigaction previous_ {};
+};
+
+// A reader parked in Socket::Recv is blasted with signals while the
+// writer trickles bytes slowly enough that the reader spends nearly all
+// its time blocked in the kernel. Every byte must arrive, in order, with
+// no spurious end-of-stream.
+TEST(SocketTest, RecvSurvivesASignalStorm) {
+  InterruptingSignal guard;
+  ASSERT_TRUE(guard.installed());
+
+  ListenSocket listener;
+  std::string error;
+  ASSERT_TRUE(listener.Listen(0, &error)) << error;
+  Socket client = Socket::ConnectTcp("127.0.0.1", listener.port(), &error);
+  ASSERT_TRUE(client.valid()) << error;
+  Socket served = listener.Accept();
+  ASSERT_TRUE(served.valid());
+
+  constexpr size_t kTotal = 32 * 1024;
+  std::vector<uint8_t> sent(kTotal);
+  for (size_t i = 0; i < kTotal; ++i) {
+    sent[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+
+  std::vector<uint8_t> received;
+  received.reserve(kTotal);
+  std::atomic<bool> reader_done{false};
+  std::atomic<bool> reader_may_exit{false};
+  std::thread reader([&] {
+    uint8_t chunk[1024];
+    while (received.size() < kTotal) {
+      const ssize_t n = served.Recv(chunk, sizeof(chunk));
+      if (n <= 0) break;  // <0 here is exactly the EINTR regression
+      received.insert(received.end(), chunk, chunk + n);
+    }
+    reader_done.store(true);
+    // Stay alive until the storm stops: pthread_kill must always target
+    // a live thread.
+    while (!reader_may_exit.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread writer([&] {
+    // Small chunks with pauses: the reader drains each burst and parks
+    // back in the kernel, where the signals land.
+    constexpr size_t kChunk = 2048;
+    for (size_t offset = 0; offset < kTotal; offset += kChunk) {
+      ASSERT_TRUE(client.SendAll(sent.data() + offset,
+                                 std::min(kChunk, kTotal - offset)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  while (!reader_done.load()) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  writer.join();
+  reader_may_exit.store(true);
+  reader.join();
+
+  ASSERT_EQ(received.size(), kTotal);
+  EXPECT_EQ(received, sent);
+}
+
+// The same storm against the connect path: ConnectTcp must complete the
+// handshake even when ::connect itself is interrupted (EINTR leaves the
+// connect in progress; the fix finishes it via poll + SO_ERROR instead
+// of reporting a phantom failure).
+TEST(SocketTest, ConnectSurvivesSignalInterruptions) {
+  InterruptingSignal guard;
+  ASSERT_TRUE(guard.installed());
+
+  ListenSocket listener;
+  std::string error;
+  ASSERT_TRUE(listener.Listen(0, &error)) << error;
+
+  std::atomic<bool> connects_done{false};
+  std::atomic<int> failures{0};
+  std::thread connector([&] {
+    // Loopback connects are near-instant, so hammer many of them to give
+    // the storm a chance to land inside one.
+    for (int i = 0; i < 200; ++i) {
+      std::string connect_error;
+      Socket socket =
+          Socket::ConnectTcp("127.0.0.1", listener.port(), &connect_error);
+      if (!socket.valid()) failures.fetch_add(1);
+    }
+    connects_done.store(true);
+  });
+  std::thread acceptor([&] {
+    while (!connects_done.load()) {
+      Socket accepted = listener.Accept();
+      if (!accepted.valid()) return;
+    }
+  });
+  while (!connects_done.load()) {
+    pthread_kill(connector.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  connector.join();
+  listener.Shutdown();
+  acceptor.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace dflow::net

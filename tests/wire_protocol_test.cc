@@ -114,8 +114,14 @@ ServerInfo RandomInfo(Rng* rng) {
   msg.ingress.bytes_in = rng->UniformInt(0, 1LL << 40);
   msg.ingress.bytes_out = rng->UniformInt(0, 1LL << 40);
   msg.node_id = rng->Chance(0.5) ? "serve:4517" : "";
+  msg.fleet_epoch = rng->Chance(0.5) ? rng->Next() : 0;
   msg.router.is_router = rng->Chance(0.5) ? 1 : 0;
   if (msg.router.is_router == 1) {
+    msg.router.replicas = static_cast<int32_t>(rng->UniformInt(1, 4));
+    msg.router.failovers = rng->UniformInt(0, 1 << 20);
+    msg.router.divergence_checks = rng->UniformInt(0, 1 << 20);
+    msg.router.divergence_mismatches = rng->UniformInt(0, 100);
+    msg.router.divergence_incomplete = rng->UniformInt(0, 100);
     const int n = static_cast<int>(rng->UniformInt(0, 4));
     for (int i = 0; i < n; ++i) {
       RouterBackendStats backend;
@@ -123,10 +129,13 @@ ServerInfo RandomInfo(Rng* rng) {
       backend.node_id = rng->Chance(0.5) ? "serve:" + std::to_string(i) : "";
       backend.connected = rng->Chance(0.5) ? 1 : 0;
       backend.shards = static_cast<int32_t>(rng->UniformInt(0, 16));
+      backend.slot = static_cast<int32_t>(rng->UniformInt(0, 8));
+      backend.replica = static_cast<int32_t>(rng->UniformInt(0, 3));
       backend.forwarded = rng->UniformInt(0, 1 << 30);
       backend.answered = rng->UniformInt(0, 1 << 30);
       backend.unavailable = rng->UniformInt(0, 1 << 10);
       backend.reconnects = rng->UniformInt(0, 100);
+      backend.failovers = rng->UniformInt(0, 1 << 10);
       msg.router.backends.push_back(std::move(backend));
     }
   }

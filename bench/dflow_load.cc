@@ -12,6 +12,15 @@
 //     drains them concurrently), so queueing delay shows up in the
 //     latencies instead of slowing the arrival process.
 //
+// Either discipline can be time-bounded instead of quota-bounded:
+// --duration=SECS (with --distinct=K) drives until the deadline, drains
+// every in-flight request through the goodbye handshake, and reports the
+// achieved rate as requests_per_second over the actual window — the shape
+// soak tests and chaos stages want, where "how many requests" is an
+// output, not an input. Connections interleave the request index space
+// (connection c sends c, c+N, c+2N, ...), so the workload stays a
+// deterministic function of the index regardless of when the clock stops.
+//
 // Prints the same throughput/latency table shape as
 // bench_throughput_vs_shards, or a machine-readable object with --json.
 // Exit status is nonzero on any transport/decode/protocol error, or — with
@@ -52,7 +61,8 @@
 // run and prints the Prometheus-style text.
 //
 // Run:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
-//           [--mode=closed|open] [--rate=R] [--distinct=K] [--nonblocking]
+//           [--mode=closed|open] [--rate=R] [--duration=SECS]
+//           [--distinct=K] [--nonblocking]
 //           [--snapshot] [--info-every=N] [--strategy=PSE100]
 //           [--nodes=64 --rows=4 --pattern-seed=1]
 //           [--dist=zipf:0.9] [--dist-seed=42]
@@ -92,6 +102,11 @@ struct Config {
   int connections = 4;
   bool open_loop = false;
   double rate = 1000.0;  // total target arrivals/s across connections
+  // Time-bounded mode: > 0 drives for this many seconds instead of a fixed
+  // --requests quota (each connection strides the deterministic request
+  // index space, so the workload prefix is still reproducible). The JSON
+  // report's requests_per_second is then the achieved rate over the window.
+  double duration_s = 0;
   int distinct = 0;      // 0 => all unique
   std::string dist = "roundrobin";  // class distribution (see file header)
   uint64_t dist_seed = 42;
@@ -360,19 +375,28 @@ void TallyReply(const net::ServerMessage& message, const Clock::time_point& t0,
 }
 
 // Closed loop: one request in flight per connection, RTT per request.
+//
+// Both workers take the request index sequence as (first, count, stride):
+// the fixed-quota split gives each connection a contiguous range with
+// stride 1; --duration gives connection c the interleaved sequence
+// c, c+N, c+2N, ... (count < 0 = unbounded) and stops at `deadline`, so
+// for any instant the union of sent indices is a prefix-dense subset of
+// the same deterministic workload the quota mode draws from.
 WorkerResult RunClosedWorker(const Config& config,
                              const gen::GeneratedSchema& pattern,
-                             const ClassPicker& picker, int first,
-                             int count) {
+                             const ClassPicker& picker, int first, int count,
+                             int stride, Clock::time_point deadline) {
+  const bool timed = count < 0;
   WorkerResult result;
   net::Client client;
   std::string error;
   if (!ConnectWithRetry(&client, config, &error)) {
-    result.errors += count;
+    result.errors += timed ? 1 : count;
     return result;
   }
-  for (int i = 0; i < count; ++i) {
-    const int index = first + i;
+  for (int i = 0; timed || i < count; ++i) {
+    if (timed && Clock::now() >= deadline) break;
+    const int index = first + i * stride;
     net::SubmitRequest request;
     request.request_id = static_cast<uint64_t>(index) + 1;
     request.seed = gen::InstanceSeed(pattern.params, picker.Pick(index));
@@ -384,8 +408,9 @@ WorkerResult RunClosedWorker(const Config& config,
     const Clock::time_point t0 = Clock::now();
     const std::optional<net::ServerMessage> reply = client.Call(request);
     if (!reply.has_value()) {
-      // Connection is gone; everything still unsent counts as errored.
-      result.errors += count - i;
+      // Connection is gone; everything still unsent counts as errored
+      // (one error in timed mode — there is no remaining quota).
+      result.errors += timed ? 1 : count - i;
       break;
     }
     TallyReply(*reply, t0, &result);
@@ -407,13 +432,14 @@ WorkerResult RunClosedWorker(const Config& config,
 // Open loop: paced sender + concurrent reader on one connection.
 WorkerResult RunOpenWorker(const Config& config,
                            const gen::GeneratedSchema& pattern,
-                           const ClassPicker& picker, int first,
-                           int count) {
+                           const ClassPicker& picker, int first, int count,
+                           int stride, Clock::time_point deadline) {
+  const bool timed = count < 0;
   WorkerResult result;
   net::Client client;
   std::string error;
   if (!ConnectWithRetry(&client, config, &error)) {
-    result.errors += count;
+    result.errors += timed ? 1 : count;
     return result;
   }
   const double per_connection_rate =
@@ -427,11 +453,15 @@ WorkerResult RunOpenWorker(const Config& config,
 
   std::thread reader([&] {
     // Every submit produces exactly one reply (result or typed error);
-    // count replies until the sender's quota is fully answered.
+    // count replies until the sender's quota is fully answered. In timed
+    // mode the quota is unknown until the deadline hits, so the sender
+    // finishes with a kGoodbye: the server flushes every outstanding
+    // response before acking, making the ack the reader's end-of-stream.
     int answered = 0;
-    while (answered < count && !sender_failed.load()) {
+    while ((timed || answered < count) && !sender_failed.load()) {
       std::optional<net::ServerMessage> reply = client.ReadMessage();
       if (!reply.has_value()) break;
+      if (reply->type == net::MsgType::kGoodbyeAck) break;
       std::lock_guard<std::mutex> lock(mu);
       Clock::time_point t0 = Clock::now();
       const uint64_t id = reply->type == net::MsgType::kSubmitResult
@@ -448,10 +478,11 @@ WorkerResult RunOpenWorker(const Config& config,
   });
 
   Clock::time_point next_send = Clock::now();
-  for (int i = 0; i < count; ++i) {
+  for (int i = 0; timed || i < count; ++i) {
+    if (timed && next_send >= deadline) break;
     std::this_thread::sleep_until(next_send);
     next_send += interval;
-    const int index = first + i;
+    const int index = first + i * stride;
     net::SubmitRequest request;
     request.request_id = static_cast<uint64_t>(index) + 1;
     request.seed = gen::InstanceSeed(pattern.params, picker.Pick(index));
@@ -466,13 +497,22 @@ WorkerResult RunOpenWorker(const Config& config,
     }
     if (!client.SendSubmit(request)) {
       std::lock_guard<std::mutex> lock(mu);
-      result.errors += count - i;
+      result.errors += timed ? 1 : count - i;
       sender_failed.store(true);
       break;
     }
   }
+  if (timed && !sender_failed.load()) {
+    // Drain handshake: the ack trails every pending response, so the
+    // reader tallies the full send prefix before it exits.
+    if (!client.SendGoodbye()) sender_failed.store(true);
+  }
   reader.join();
-  if (client.connected() && !sender_failed.load()) client.Goodbye();
+  if (timed) {
+    client.Close();  // goodbye (with ack) already consumed by the reader
+  } else if (client.connected() && !sender_failed.load()) {
+    client.Goodbye();
+  }
   result.bytes_sent = client.bytes_sent();
   result.bytes_received = client.bytes_received();
   return result;
@@ -504,6 +544,7 @@ int main(int argc, char** argv) {
       }
     }
     else if ((v = value_of("--rate"))) config.rate = std::atof(v);
+    else if ((v = value_of("--duration"))) config.duration_s = std::atof(v);
     else if ((v = value_of("--distinct"))) config.distinct = std::atoi(v);
     else if ((v = value_of("--dist"))) config.dist = v;
     else if ((v = value_of("--dist-seed"))) {
@@ -540,6 +581,24 @@ int main(int argc, char** argv) {
   }
   config.connections = std::max(1, config.connections);
   config.requests = std::max(1, config.requests);
+  const bool timed = config.duration_s > 0;
+  if (timed && config.expect_fingerprint) {
+    // The fingerprint gate attests a *fixed* workload answered in full; a
+    // time-bounded run's request count is load-dependent by design.
+    std::fprintf(stderr,
+                 "dflow_load: --expect-fingerprint-match requires a fixed "
+                 "--requests quota, not --duration\n");
+    return 2;
+  }
+  if (timed && config.distinct == 0) {
+    // "All unique" sizes the class space off --requests, which a timed run
+    // ignores; demand an explicit class count instead of silently reusing
+    // a quota the run will not honor.
+    std::fprintf(stderr,
+                 "dflow_load: --duration requires --distinct=K (the class "
+                 "space cannot be sized by --requests)\n");
+    return 2;
+  }
 
   gen::PatternParams params;
   params.nb_nodes = config.nodes;
@@ -555,27 +614,41 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Split the request range across connections (remainder to the first).
+  // Split the request index space across connections: a fixed quota gets
+  // contiguous stride-1 ranges (remainder to the first); a timed run gives
+  // connection c the interleaved sequence c, c+N, c+2N, ... (count -1 =
+  // "until the deadline").
   std::vector<std::pair<int, int>> ranges;
-  const int base = config.requests / config.connections;
-  int cursor = 0;
-  for (int c = 0; c < config.connections; ++c) {
-    const int count = base + (c < config.requests % config.connections ? 1 : 0);
-    ranges.emplace_back(cursor, count);
-    cursor += count;
+  const int stride = timed ? config.connections : 1;
+  if (timed) {
+    for (int c = 0; c < config.connections; ++c) ranges.emplace_back(c, -1);
+  } else {
+    const int base = config.requests / config.connections;
+    int cursor = 0;
+    for (int c = 0; c < config.connections; ++c) {
+      const int count =
+          base + (c < config.requests % config.connections ? 1 : 0);
+      ranges.emplace_back(cursor, count);
+      cursor += count;
+    }
   }
 
   const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      timed ? start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(config.duration_s))
+            : Clock::time_point::max();
   std::vector<WorkerResult> results(ranges.size());
   std::vector<std::thread> workers;
   workers.reserve(ranges.size());
   for (size_t c = 0; c < ranges.size(); ++c) {
     workers.emplace_back([&, c] {
-      results[c] = config.open_loop
-                       ? RunOpenWorker(config, pattern, picker,
-                                       ranges[c].first, ranges[c].second)
-                       : RunClosedWorker(config, pattern, picker,
-                                         ranges[c].first, ranges[c].second);
+      results[c] =
+          config.open_loop
+              ? RunOpenWorker(config, pattern, picker, ranges[c].first,
+                              ranges[c].second, stride, deadline)
+              : RunClosedWorker(config, pattern, picker, ranges[c].first,
+                                ranges[c].second, stride, deadline);
     });
   }
   for (std::thread& worker : workers) worker.join();
@@ -699,9 +772,16 @@ int main(int argc, char** argv) {
     router_json += buffer;
   }
   router_json += "}";
+  // A timed run's effective quota is whatever got answered before the
+  // deadline; report that so "requests" always equals ok+rejected+errors
+  // for the run that actually happened.
+  const long long attempted =
+      timed ? total.ok + rejected + total.errors
+            : static_cast<long long>(config.requests);
   if (config.json) {
     std::printf(
-        "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"requests\":%d,"
+        "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"requests\":%lld,"
+        "\"duration_s\":%.3f,"
         "\"connections\":%d,\"dist\":\"%s\",\"dist_seed\":%llu,"
         "\"ok\":%lld,\"rejected_busy\":%lld,"
         "\"rejected_shutdown\":%lld,\"errors\":%lld,\"info_ok\":%lld,"
@@ -714,7 +794,7 @@ int main(int argc, char** argv) {
         "\"workload_fingerprint\":\"%016llx\",\"strategies\":%s,"
         "\"stages\":%s,\"router\":%s,"
         "\"server\":{\"completed\":%lld,\"decode_errors\":%lld}}\n",
-        config.open_loop ? "open" : "closed", config.requests,
+        config.open_loop ? "open" : "closed", attempted, config.duration_s,
         config.connections, JsonEscape(config.dist).c_str(),
         static_cast<unsigned long long>(config.dist_seed),
         static_cast<long long>(total.ok),
@@ -730,12 +810,21 @@ int main(int argc, char** argv) {
         static_cast<long long>(server_completed),
         static_cast<long long>(server_decode_errors));
   } else {
-    std::printf(
-        "# dflow_load: %s loop, %d requests over %d connections to "
-        "%s:%d%s\n",
-        config.open_loop ? "open" : "closed", config.requests,
-        config.connections, config.host.c_str(), config.port,
-        config.nonblocking ? " (nonblocking admission)" : "");
+    if (timed) {
+      std::printf(
+          "# dflow_load: %s loop, %.1fs timed run (%lld requests) over %d "
+          "connections to %s:%d%s\n",
+          config.open_loop ? "open" : "closed", config.duration_s, attempted,
+          config.connections, config.host.c_str(), config.port,
+          config.nonblocking ? " (nonblocking admission)" : "");
+    } else {
+      std::printf(
+          "# dflow_load: %s loop, %d requests over %d connections to "
+          "%s:%d%s\n",
+          config.open_loop ? "open" : "closed", config.requests,
+          config.connections, config.host.c_str(), config.port,
+          config.nonblocking ? " (nonblocking admission)" : "");
+    }
     std::printf("%-10s %-10s %-10s %-8s %-8s %-10s %-9s %-9s %-9s %-9s\n",
                 "ok", "busy", "shutdown", "errors", "wall_s", "req/s",
                 "p50_ms", "p95_ms", "p99_ms", "max_ms");

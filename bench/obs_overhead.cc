@@ -1,16 +1,21 @@
-// Observability-overhead benchmark: proves request tracing is off the hot
-// path. Drives the in-process runtime::FlowServer (the same shard/engine
-// pipeline the ingress feeds) in three configurations —
+// Observability-overhead benchmark: proves request tracing and the fleet
+// health plane are off the hot path. Drives the in-process
+// runtime::FlowServer (the same shard/engine pipeline the ingress feeds)
+// in four configurations —
 //
 //   off      tracing disabled: every stage pays one null-pointer test
 //   sampled  --trace-sample=64, the default production setting
 //   full     --trace-sample=1, every request traced end to end
+//   health   tracing off, the v6 health collector sampling at 100 Hz
+//            (100x the production cadence)
 //
 // — and reports closed-loop throughput for each plus the relative
-// overheads. The acceptance bar (gated in CI via BENCH_baseline.json's
-// obs_overhead.max_sampled_overhead_pct): sampled tracing costs < 2%.
+// overheads. The acceptance bars (gated in CI via BENCH_baseline.json's
+// obs_overhead section): sampled tracing costs < 2%
+// (max_sampled_overhead_pct), and the health collector costs < 2%
+// (max_health_overhead_pct) even at 100x cadence.
 //
-// Methodology: the three modes are INTERLEAVED round-robin for
+// Methodology: the modes are INTERLEAVED round-robin for
 // --rounds=5 rounds (so thermal drift and noisy neighbors hit all modes
 // equally) and each mode's throughput is the median across rounds. The
 // determinism rider is checked as a side effect: total simulated work
@@ -27,6 +32,8 @@
 #include <vector>
 
 #include "gen/schema_generator.h"
+#include "obs/event_log.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "runtime/flow_server.h"
 
@@ -42,7 +49,7 @@ struct Segment {
 
 Segment RunOnce(const gen::GeneratedSchema& pattern,
                 const std::vector<runtime::FlowRequest>& requests,
-                uint32_t sample_period) {
+                uint32_t sample_period, bool with_health) {
   obs::TraceRecorderOptions trace_options;
   trace_options.sample_period = sample_period;
   trace_options.ring_capacity = 64;
@@ -53,14 +60,34 @@ Segment RunOnce(const gen::GeneratedSchema& pattern,
   options.queue_capacity_per_shard = 1024;
   options.strategy = *core::Strategy::Parse("PSE100");
   runtime::FlowServer server(&pattern.schema, options);
-  server.SetResultCallback([&recorder](int, const runtime::FlowRequest& done,
-                                       const core::InstanceResult&,
-                                       const core::Strategy&) {
+  // The completed counter feeds the health collector's request-rate source
+  // and is bumped in every mode, so the hot-path cost under comparison is
+  // the collector thread itself, not the counter.
+  std::atomic<int64_t> completed{0};
+  server.SetResultCallback([&recorder, &completed](
+                               int, const runtime::FlowRequest& done,
+                               const core::InstanceResult&,
+                               const core::Strategy&) {
+    completed.fetch_add(1, std::memory_order_relaxed);
     if (done.trace != nullptr) {
       recorder.Finish(done.trace,
                       obs::MonotonicNs() - done.trace->begin_ns());
     }
   });
+
+  // Health mode: a journal plus a collector differencing the counters at
+  // 100 Hz — two orders of magnitude above the production 1 s cadence, so
+  // the <2% gate holds with enormous margin at the real setting.
+  obs::EventLog journal(obs::EventLogOptions{}, "bench");
+  obs::HealthSources sources;
+  sources.requests_total = [&completed] {
+    return completed.load(std::memory_order_relaxed);
+  };
+  obs::HealthOptions health_options;
+  health_options.interval_s = with_health ? 0.01 : 0;  // 0 = no thread
+  obs::HealthCollector collector(health_options, std::move(sources),
+                                 &journal);
+  collector.Start();
 
   const auto start = std::chrono::steady_clock::now();
   for (const runtime::FlowRequest& request : requests) {
@@ -80,6 +107,7 @@ Segment RunOnce(const gen::GeneratedSchema& pattern,
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  collector.Stop();
 
   Segment segment;
   segment.requests_per_second =
@@ -135,14 +163,17 @@ int main(int argc, char** argv) {
     requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
   }
 
-  const uint32_t kModes[] = {0, obs::kDefaultSamplePeriod, 1};
-  const char* kModeNames[] = {"off", "sampled", "full"};
-  std::vector<double> rps[3];
-  int64_t traces[3] = {0, 0, 0};
+  // Mode 3 keeps tracing off but runs the v6 health collector at 100 Hz;
+  // its overhead vs `off` is the fleet-health-plane hot-path cost.
+  const uint32_t kModes[] = {0, obs::kDefaultSamplePeriod, 1, 0};
+  const char* kModeNames[] = {"off", "sampled", "full", "health"};
+  std::vector<double> rps[4];
+  int64_t traces[4] = {0, 0, 0, 0};
   int64_t expected_work = -1;
   for (int round = 0; round < rounds; ++round) {
-    for (int mode = 0; mode < 3; ++mode) {
-      const Segment segment = RunOnce(pattern, requests, kModes[mode]);
+    for (int mode = 0; mode < 4; ++mode) {
+      const Segment segment =
+          RunOnce(pattern, requests, kModes[mode], mode == 3);
       rps[mode].push_back(segment.requests_per_second);
       traces[mode] = segment.traces_finished;
       if (expected_work < 0) expected_work = segment.total_work;
@@ -160,19 +191,24 @@ int main(int argc, char** argv) {
   const double off_rps = Median(rps[0]);
   const double sampled_rps = Median(rps[1]);
   const double full_rps = Median(rps[2]);
+  const double health_rps = Median(rps[3]);
   const double sampled_pct = OverheadPct(off_rps, sampled_rps);
   const double full_pct = OverheadPct(off_rps, full_rps);
+  const double health_pct = OverheadPct(off_rps, health_rps);
 
   if (json) {
     std::printf(
         "{\"tool\":\"bench_obs_overhead\",\"requests\":%d,\"rounds\":%d,"
         "\"sample_period\":%u,\"off_rps\":%.1f,\"sampled_rps\":%.1f,"
-        "\"full_rps\":%.1f,\"sampled_overhead_pct\":%.2f,"
-        "\"full_overhead_pct\":%.2f,\"sampled_traces\":%lld,"
+        "\"full_rps\":%.1f,\"health_rps\":%.1f,"
+        "\"sampled_overhead_pct\":%.2f,"
+        "\"full_overhead_pct\":%.2f,\"health_overhead_pct\":%.2f,"
+        "\"sampled_traces\":%lld,"
         "\"full_traces\":%lld,\"total_work\":%lld}\n",
         num_requests, rounds, obs::kDefaultSamplePeriod, off_rps,
-        sampled_rps, full_rps, sampled_pct, full_pct,
-        static_cast<long long>(traces[1]), static_cast<long long>(traces[2]),
+        sampled_rps, full_rps, health_rps, sampled_pct, full_pct,
+        health_pct, static_cast<long long>(traces[1]),
+        static_cast<long long>(traces[2]),
         static_cast<long long>(expected_work));
   } else {
     std::printf("obs overhead (%d requests, median of %d interleaved "
@@ -186,6 +222,8 @@ int main(int argc, char** argv) {
                 sampled_pct, static_cast<long long>(traces[1]));
     std::printf("  %-8s %12.1f %9.2f%% %lld\n", "full", full_rps, full_pct,
                 static_cast<long long>(traces[2]));
+    std::printf("  %-8s %12.1f %9.2f%% %s\n", "health", health_rps,
+                health_pct, "(collector @100Hz)");
     std::printf("  determinism: total work %lld identical across all "
                 "modes and rounds\n",
                 static_cast<long long>(expected_work));

@@ -119,8 +119,28 @@ int main(int argc, char** argv) {
       options.trace.sample_period = ParseSamplePeriod(value);
     } else if (FlagValue(argv[i], "--trace-jsonl", &value)) {
       options.trace.jsonl_path = value;
+    } else if (FlagValue(argv[i], "--trace-max-mb", &value)) {
+      // Size budget for the trace JSONL sink; crossing it rotates the
+      // file to <path>.1 (one generation kept). 0 = never rotate.
+      options.trace.jsonl_max_bytes =
+          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
     } else if (FlagValue(argv[i], "--slow-ms", &value)) {
       options.trace.slow_ms = std::atof(value);
+    } else if (FlagValue(argv[i], "--events-jsonl", &value)) {
+      // Append every journal event as one JSON line to this file.
+      options.events.jsonl_path = value;
+    } else if (FlagValue(argv[i], "--events-max-mb", &value)) {
+      // Rotation budget for the event JSONL sink, like --trace-max-mb.
+      options.events.jsonl_max_bytes =
+          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
+    } else if (FlagValue(argv[i], "--health-interval", &value)) {
+      // Health collector cadence in seconds; <= 0 disables the collector
+      // thread (HEALTH requests are still answered, minus rate series).
+      options.health.interval_s = std::atof(value);
+    } else if (FlagValue(argv[i], "--slo-ms", &value)) {
+      // p95 relay-latency SLO for the health watermark rules: sustained
+      // p95 above this degrades dflow_health_status.
+      options.health.slo_ms = std::atof(value);
     } else if (FlagValue(argv[i], "--log-stats-every", &value)) {
       log_stats_every = std::atoi(value);
     } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
@@ -144,6 +164,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   options.port = static_cast<uint16_t>(port);
+  options.events.log_to_stderr = options.verbose;
   options.abort_on_divergence =
       abort_on_divergence && options.divergence_sample_period > 0;
   if (options.replicas > 1 &&

@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
   int advisor_explore = 64;
   std::string advisor_calibration;  // load-or-create path; empty = in-memory
   obs::TraceRecorderOptions trace;
+  obs::EventLogOptions events;
+  obs::HealthOptions health;
   bool metrics_dump = false;
   int log_stats_every = 0;  // seconds; 0 = no periodic self-report
 
@@ -134,6 +136,26 @@ int main(int argc, char** argv) {
       // Slow-request log threshold (wall ms). >0 traces EVERY request and
       // dumps the full span breakdown of any that crosses the threshold.
       trace.slow_ms = std::atof(value);
+    } else if (FlagValue(argv[i], "--trace-max-mb", &value)) {
+      // Size budget for the trace JSONL sink; crossing it rotates the
+      // file to <path>.1 (one generation kept). 0 = never rotate.
+      trace.jsonl_max_bytes =
+          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
+    } else if (FlagValue(argv[i], "--events-jsonl", &value)) {
+      // Append every journal event as one JSON line to this file.
+      events.jsonl_path = value;
+    } else if (FlagValue(argv[i], "--events-max-mb", &value)) {
+      // Rotation budget for the event JSONL sink, like --trace-max-mb.
+      events.jsonl_max_bytes =
+          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
+    } else if (FlagValue(argv[i], "--health-interval", &value)) {
+      // Health collector cadence in seconds; <= 0 disables the collector
+      // thread (HEALTH requests are still answered, minus rate series).
+      health.interval_s = std::atof(value);
+    } else if (FlagValue(argv[i], "--slo-ms", &value)) {
+      // p95 wall-latency SLO for the health watermark rules: sustained
+      // p95 above this degrades dflow_health_status.
+      health.slo_ms = std::atof(value);
     } else if (FlagValue(argv[i], "--log-stats-every", &value)) {
       // Periodic one-line self-report on stderr every N seconds.
       log_stats_every = std::atoi(value);
@@ -237,6 +259,9 @@ int main(int argc, char** argv) {
   ingress_options.node_id = node_id;
   ingress_options.fleet_epoch = fleet_epoch;
   ingress_options.trace = trace;
+  events.log_to_stderr = verbose;
+  ingress_options.events = events;
+  ingress_options.health = health;
 
   // Block the shutdown signals *before* spawning server threads so every
   // thread inherits the mask and sigwait below is the only consumer.

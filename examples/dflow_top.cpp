@@ -1,0 +1,275 @@
+// dflow_top: a live terminal dashboard over the v6 fleet health plane.
+//
+// Polls a dflow_router (or a single dflow_serve) with HEALTH_REQUEST
+// frames and renders the fleet: per-node status verdict, request/failover
+// rates, p95 wall latency, queue pressure, the divergence audit counters,
+// and the tail of the structured event journal. Pointed at a router it
+// shows the router's own plane plus every backend the router could poll;
+// pointed at a server it shows that one node.
+//
+// Modes:
+//   default        redraw every --interval seconds until Ctrl-C
+//   --once         one poll, one render, exit (exit 1 if the poll failed)
+//   --once --json  one poll printed as a single JSON object — what CI
+//                  gates on (.self.status == "ok", journal contents,
+//                  counter cross-checks against the Prometheus scrape).
+//
+// Build:  cmake --build build --target dflow_top
+// Run:    ./build/dflow_top --port=4517
+//         ./build/dflow_top --port=4517 --once --json
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "obs/event_log.h"
+#include "obs/timeseries.h"
+
+using namespace dflow;
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+const char* StatusName(uint8_t status) {
+  return obs::ToString(static_cast<obs::HealthStatus>(status));
+}
+
+const char* KindName(uint8_t kind) {
+  return obs::ToString(static_cast<obs::EventKind>(kind));
+}
+
+const char* SeverityName(uint8_t severity) {
+  return obs::ToString(static_cast<obs::Severity>(severity));
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// The newest ring sample carries the node's current rates; a node whose
+// collector is disabled ships an empty series and reads as zeros.
+net::WireHealthSample LatestSample(const net::NodeHealth& node) {
+  return node.series.empty() ? net::WireHealthSample{} : node.series.back();
+}
+
+void AppendNodeJson(const net::NodeHealth& node, std::string* out) {
+  const net::WireHealthSample last = LatestSample(node);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"node_id\":\"%s\",\"status\":\"%s\",\"is_router\":%d,"
+      "\"completed\":%lld,\"failovers\":%lld,\"divergence_checks\":%lld,"
+      "\"divergence_mismatches\":%lld,\"events_total\":%lld,"
+      "\"requests_per_s\":%.3f,\"failovers_per_s\":%.3f,"
+      "\"cache_hit_rate\":%.4f,\"p95_wall_ms\":%.3f,"
+      "\"queue_depth_max\":%llu,\"queue_utilization\":%.4f,"
+      "\"samples\":%zu,\"events\":[",
+      JsonEscape(node.node_id).c_str(), StatusName(node.status),
+      node.is_router, static_cast<long long>(node.completed),
+      static_cast<long long>(node.failovers),
+      static_cast<long long>(node.divergence_checks),
+      static_cast<long long>(node.divergence_mismatches),
+      static_cast<long long>(node.events_total), last.requests_per_s,
+      last.failovers_per_s, last.cache_hit_rate, last.p95_wall_ms,
+      static_cast<unsigned long long>(last.queue_depth_max),
+      last.queue_utilization, node.series.size());
+  *out += buf;
+  for (size_t i = 0; i < node.events.size(); ++i) {
+    const net::WireEvent& event = node.events[i];
+    if (i > 0) *out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ts_ms\":%lld,\"severity\":\"%s\",\"kind\":\"%s\","
+                  "\"node\":\"%s\",\"detail\":\"%s\"}",
+                  static_cast<long long>(event.wall_ms),
+                  SeverityName(event.severity), KindName(event.kind),
+                  JsonEscape(event.node).c_str(),
+                  JsonEscape(event.detail).c_str());
+    *out += buf;
+  }
+  *out += "]}";
+}
+
+std::string ToJson(const net::HealthInfo& health) {
+  std::string out = "{\"status\":\"";
+  out += StatusName(health.self.status);
+  out += "\",\"self\":";
+  AppendNodeJson(health.self, &out);
+  out += ",\"backends\":[";
+  for (size_t i = 0; i < health.backends.size(); ++i) {
+    if (i > 0) out += ',';
+    AppendNodeJson(health.backends[i], &out);
+  }
+  out += "]}";
+  return out;
+}
+
+void PrintNodeRow(const net::NodeHealth& node) {
+  const net::WireHealthSample last = LatestSample(node);
+  char queue[16] = "    -";
+  if (last.queue_utilization > 0 || last.queue_depth_max > 0) {
+    std::snprintf(queue, sizeof(queue), "%4.0f%%",
+                  last.queue_utilization * 100.0);
+  }
+  char diverg[24] = "      -";
+  if (node.divergence_checks > 0 || node.divergence_mismatches > 0) {
+    std::snprintf(diverg, sizeof(diverg), "%5lld/%lld",
+                  static_cast<long long>(node.divergence_checks),
+                  static_cast<long long>(node.divergence_mismatches));
+  }
+  std::printf("%-22s %-8s %8.1f %8.2f %s %11lld %9lld %s %7lld\n",
+              node.node_id.c_str(), StatusName(node.status),
+              last.requests_per_s, last.p95_wall_ms, queue,
+              static_cast<long long>(node.completed),
+              static_cast<long long>(node.failovers), diverg,
+              static_cast<long long>(node.events_total));
+}
+
+void Render(const std::string& host, int port,
+            const net::HealthInfo& health, bool clear) {
+  if (clear) std::printf("\x1b[H\x1b[2J");
+  const std::time_t now = std::time(nullptr);
+  char clock[32];
+  std::strftime(clock, sizeof(clock), "%H:%M:%S", std::localtime(&now));
+  std::printf("dflow_top — %s:%d — fleet status: %s — %s\n\n", host.c_str(),
+              port, StatusName(health.self.status), clock);
+  std::printf("%-22s %-8s %8s %8s %5s %11s %9s %7s %7s\n", "NODE", "STATUS",
+              "REQ/S", "P95MS", "QUEUE", "COMPLETED", "FAILOVERS", "DIVERG",
+              "EVENTS");
+  PrintNodeRow(health.self);
+  for (const net::NodeHealth& backend : health.backends) {
+    PrintNodeRow(backend);
+  }
+  // The merged event pane: the router's own journal tail already carries
+  // the fleet story (deaths, failovers, divergence verdicts happen at the
+  // routing tier); backend tails add node-local context (drains, advisor
+  // explores). Show the router's tail plus warnings+ from the backends.
+  std::printf("\nrecent events (newest last):\n");
+  struct Line {
+    int64_t ts;
+    std::string text;
+  };
+  std::vector<Line> lines;
+  const auto add = [&lines](const net::WireEvent& event) {
+    const std::time_t ts = static_cast<std::time_t>(event.wall_ms / 1000);
+    char when[32];
+    std::strftime(when, sizeof(when), "%H:%M:%S", std::localtime(&ts));
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "  %s %-5s %-19s %-12s %s", when,
+                  SeverityName(event.severity), KindName(event.kind),
+                  event.node.c_str(), event.detail.c_str());
+    lines.push_back({event.wall_ms, buf});
+  };
+  for (const net::WireEvent& event : health.self.events) add(event);
+  for (const net::NodeHealth& backend : health.backends) {
+    for (const net::WireEvent& event : backend.events) {
+      if (event.severity >= 1) add(event);
+    }
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) { return a.ts < b.ts; });
+  const size_t start = lines.size() > 16 ? lines.size() - 16 : 0;
+  if (lines.empty()) std::printf("  (none)\n");
+  for (size_t i = start; i < lines.size(); ++i) {
+    std::printf("%s\n", lines[i].text.c_str());
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 4517;
+  double interval_s = 2.0;
+  bool once = false;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* value = nullptr;
+    if (FlagValue(argv[i], "--host", &value)) {
+      host = value;
+    } else if (FlagValue(argv[i], "--port", &value)) {
+      port = std::atoi(value);
+    } else if (FlagValue(argv[i], "--interval", &value)) {
+      interval_s = std::atof(value);
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      // Implies a single machine-readable poll.
+      json = true;
+      once = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (interval_s <= 0) interval_s = 2.0;
+
+  bool first = true;
+  while (true) {
+    // One short-lived connection per poll: dflow_top must keep working
+    // across server restarts, and a poll every couple of seconds is far
+    // below the cost of anything it observes.
+    net::Client client;
+    std::string error;
+    std::optional<net::HealthInfo> health;
+    if (client.Connect(host, static_cast<uint16_t>(port), &error)) {
+      client.SetRecvTimeout(5000);
+      health = client.Health();
+      client.Close();
+    }
+    if (!health.has_value()) {
+      if (once) {
+        std::fprintf(stderr, "dflow_top: no HEALTH answer from %s:%d%s%s\n",
+                     host.c_str(), port, error.empty() ? "" : ": ",
+                     error.c_str());
+        return 1;
+      }
+      std::printf("dflow_top: %s:%d unreachable, retrying...\n", host.c_str(),
+                  port);
+      std::fflush(stdout);
+    } else if (json) {
+      std::printf("%s\n", ToJson(*health).c_str());
+      return 0;
+    } else {
+      Render(host, port, *health, /*clear=*/!first || !once);
+      first = false;
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+  }
+}

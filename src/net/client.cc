@@ -35,6 +35,12 @@ bool Client::SendMetricsRequest() {
   return SendFrame(frame);
 }
 
+bool Client::SendHealthRequest() {
+  std::vector<uint8_t> frame;
+  EncodeHealthRequest(&frame);
+  return SendFrame(frame);
+}
+
 bool Client::SendGoodbye() {
   std::vector<uint8_t> frame;
   EncodeGoodbye(&frame);
@@ -77,6 +83,10 @@ std::optional<ServerMessage> Client::ReadMessage() {
       message.type = MsgType::kMetrics;
       if (!DecodeMetrics(frame->payload, &message.metrics)) break;
       return message;
+    case MsgType::kHealth:
+      message.type = MsgType::kHealth;
+      if (!DecodeHealth(frame->payload, &message.health)) break;
+      return message;
     case MsgType::kGoodbyeAck:
       message.type = MsgType::kGoodbyeAck;
       return message;
@@ -110,6 +120,15 @@ std::optional<std::string> Client::Metrics() {
     return std::nullopt;
   }
   return message->metrics;
+}
+
+std::optional<HealthInfo> Client::Health() {
+  if (!SendHealthRequest()) return std::nullopt;
+  const std::optional<ServerMessage> message = ReadMessage();
+  if (!message.has_value() || message->type != MsgType::kHealth) {
+    return std::nullopt;
+  }
+  return message->health;
 }
 
 bool Client::Goodbye() {

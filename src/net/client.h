@@ -18,6 +18,7 @@ struct ServerMessage {
   ErrorReply error;     // when kError
   ServerInfo info;      // when kInfo
   std::string metrics;  // when kMetrics (text exposition)
+  HealthInfo health;    // when kHealth
 };
 
 // Client side of the wire protocol: one TCP connection, blocking calls.
@@ -53,6 +54,7 @@ class Client {
   bool SendSubmit(const SubmitRequest& request);
   bool SendInfoRequest();
   bool SendMetricsRequest();
+  bool SendHealthRequest();
   bool SendGoodbye();
 
   // --- Raw-frame layer. The router's backend pool is built on these: it
@@ -78,6 +80,9 @@ class Client {
   std::optional<ServerInfo> Info();
   // Scrapes the server's metrics endpoint (Prometheus text exposition).
   std::optional<std::string> Metrics();
+  // Scrapes the v6 health plane: status, journal tail, rate series (a
+  // router answers with the whole fleet's view).
+  std::optional<HealthInfo> Health();
   // Graceful close: sends kGoodbye, waits for the ack (the server flushes
   // every outstanding response first — any still-pending results arrive
   // before the ack and are DISCARDED here, so call this only after reading

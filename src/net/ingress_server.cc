@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/strategy.h"
+#include "net/health_wire.h"
 
 namespace dflow::net {
 
@@ -19,7 +20,11 @@ IngressServer::IngressServer(const core::Schema* schema,
       server_(schema, server_options),
       recorder_(ingress_options.trace,
                 ingress_options.node_id.empty() ? "serve"
-                                                : ingress_options.node_id) {
+                                                : ingress_options.node_id),
+      journal_(ingress_options.events, ingress_options.node_id.empty()
+                                           ? "serve"
+                                           : ingress_options.node_id),
+      health_(ingress_options.health, MakeHealthSources(), &journal_) {
   // Installed before the listener exists, so it observes every request the
   // ingress will ever admit.
   server_.SetResultCallback(
@@ -64,6 +69,35 @@ IngressServer::IngressServer(const core::Schema* schema,
       "dflow_wall_latency_us", {}, obs::DefaultWallLatencyBucketsUs());
   latency_units_ = metrics_.AddHistogram("dflow_latency_units", {},
                                          obs::DefaultWorkUnitBuckets());
+  journal_.RegisterCounters(&metrics_);
+  health_.RegisterMetrics(&metrics_);
+}
+
+obs::HealthSources IngressServer::MakeHealthSources() {
+  // Closures over state the server maintains anyway, resolved at sample
+  // time (wall_latency_us_ is assigned later in the constructor; the
+  // closure reads it lazily).
+  obs::HealthSources sources;
+  sources.requests_total = [this] { return server_.total_processed(); };
+  sources.cache_hits_total = [this] { return server_.cache_totals().hits; };
+  sources.cache_misses_total = [this] {
+    return server_.cache_totals().misses;
+  };
+  sources.advisor_explores_total = [this] {
+    return server_.advisor() != nullptr
+               ? server_.Report().stats.advisor_explores
+               : 0;
+  };
+  sources.wall_latency = [this] {
+    return wall_latency_us_ != nullptr ? wall_latency_us_->Snap()
+                                       : obs::Histogram::Snapshot{};
+  };
+  sources.queue_depths = [this] {
+    const std::vector<size_t> depths = server_.queue_depths();
+    return std::vector<uint64_t>(depths.begin(), depths.end());
+  };
+  sources.queue_capacity = server_.options().queue_capacity_per_shard;
+  return sources;
 }
 
 IngressServer::~IngressServer() { Stop(); }
@@ -75,6 +109,7 @@ bool IngressServer::Start(std::string* error) {
   }
   if (!listener_.Listen(options_.port, error)) return false;
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  health_.Start();
   return true;
 }
 
@@ -100,6 +135,13 @@ void IngressServer::Stop() {
   // 3. Only now quiesce the execution layer: every accepted request was
   // answered, so the drain has nothing the wire still owes a client.
   server_.Drain();
+  // 4. Health plane teardown: journal the drain, stop the collector, and
+  // flush both JSONL sinks so a SIGTERM-driven exit loses no tail.
+  journal_.Emit(obs::EventKind::kDrain, obs::Severity::kInfo,
+                "completed=" + std::to_string(server_.total_processed()));
+  health_.Stop();
+  journal_.Flush();
+  recorder_.Flush();
 }
 
 runtime::IngressStats IngressServer::ingress_stats() const {
@@ -281,6 +323,12 @@ bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
     case MsgType::kMetricsRequest: {
       std::vector<uint8_t> out;
       EncodeMetrics(metrics_.RenderText(), &out);
+      Enqueue(session, std::move(out));
+      return true;
+    }
+    case MsgType::kHealthRequest: {
+      std::vector<uint8_t> out;
+      EncodeHealth(BuildHealth(), &out);
       Enqueue(session, std::move(out));
       return true;
     }
@@ -503,6 +551,17 @@ ServerInfo IngressServer::BuildInfo() const {
     }
   }
   return info;
+}
+
+HealthInfo IngressServer::BuildHealth() const {
+  HealthInfo health;
+  health.self.node_id = options_.node_id.empty()
+                            ? "serve:" + std::to_string(listener_.port())
+                            : options_.node_id;
+  health.self.is_router = 0;
+  health.self.completed = server_.total_processed();
+  FillNodeHealthPlane(journal_, &health_, &health.self);
+  return health;
 }
 
 }  // namespace dflow::net

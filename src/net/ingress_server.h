@@ -13,7 +13,9 @@
 #include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
+#include "obs/event_log.h"
 #include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "runtime/flow_server.h"
 
@@ -51,6 +53,14 @@ struct IngressOptions {
   // pointer test per stage and nothing else. Propagated trace contexts
   // (a submit carrying the v4 trace extension) are honored regardless.
   obs::TraceRecorderOptions trace;
+  // Structured event journal: ring size, optional JSONL sink (+ rotation
+  // budget), stderr mirroring of warnings. Always on — events are rare
+  // control-plane transitions, never per-request.
+  obs::EventLogOptions events;
+  // Health collector cadence + watermark rules (the v6 health plane).
+  // interval_s <= 0 disables the collector thread; kHealthRequest is still
+  // answered (with an empty rate series) so fleet polls never fail.
+  obs::HealthOptions health;
 };
 
 // The network front door of the flow-serving runtime: a TCP listener whose
@@ -109,6 +119,8 @@ class IngressServer {
   // what a kMetricsRequest frame answers and what --metrics-dump prints.
   std::string MetricsText() const { return metrics_.RenderText(); }
   const obs::TraceRecorder& recorder() const { return recorder_; }
+  const obs::EventLog& journal() const { return journal_; }
+  const obs::HealthCollector& health() const { return health_; }
 
   const runtime::FlowServer& flow_server() const { return server_; }
 
@@ -169,6 +181,8 @@ class IngressServer {
   void SendError(const std::shared_ptr<Session>& session, uint64_t request_id,
                  WireError code, const std::string& message);
   ServerInfo BuildInfo() const;
+  HealthInfo BuildHealth() const;
+  obs::HealthSources MakeHealthSources();
   // Joins and drops sessions that finished on their own (client
   // disconnects), so a long-lived server does not accumulate dead
   // sessions. Joins *all* sessions when `all` is set (shutdown path).
@@ -177,7 +191,11 @@ class IngressServer {
   const IngressOptions options_;
   runtime::FlowServer server_;
   obs::TraceRecorder recorder_;
+  obs::EventLog journal_;
   obs::MetricsRegistry metrics_;
+  // Declared after journal_ and the registry sources it differences; the
+  // collector thread runs Start() -> Stop().
+  obs::HealthCollector health_;
   // Registry-owned latency histograms, observed on the completion path:
   // real wall-clock microseconds (submit decoded -> response built)
   // alongside the paper's work-unit latency, so the two views stay

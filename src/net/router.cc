@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/rng.h"
+#include "net/health_wire.h"
 #include "runtime/flow_server.h"
 
 namespace dflow::net {
@@ -47,6 +48,12 @@ constexpr int kMaxFailoverAttempts = 8;
 // delay.
 constexpr auto kHealthyConnectionUptime = std::chrono::seconds(1);
 
+// Upper bound on one backend health poll. The request shares the pooled
+// stream with forwarded submits, so a backend parked on a full shard
+// queue delays the answer — after this long the poll gives up and
+// BuildHealth synthesizes a critical entry instead of blocking forever.
+constexpr int kHealthProbeTimeoutMs = 1000;
+
 std::string AddressText(const BackendAddress& address) {
   return address.host + ":" + std::to_string(address.port);
 }
@@ -56,7 +63,10 @@ std::string AddressText(const BackendAddress& address) {
 Router::Router(RouterOptions options)
     : options_(std::move(options)),
       recorder_(options_.trace, options_.node_id.empty() ? "router"
-                                                         : options_.node_id) {
+                                                         : options_.node_id),
+      journal_(options_.events,
+               options_.node_id.empty() ? "router" : options_.node_id),
+      health_(options_.health, MakeHealthSources(), &journal_) {
   // Counters and gauges are callbacks over counters the router maintains
   // anyway, so registering them costs the relay path nothing. Per-backend
   // families are registered in Start(), once the fleet is known.
@@ -85,6 +95,8 @@ Router::Router(RouterOptions options)
                       [this] { return recorder_.finished(); });
   wall_latency_us_ = metrics_.AddHistogram(
       "dflow_wall_latency_us", {}, obs::DefaultWallLatencyBucketsUs());
+  journal_.RegisterCounters(&metrics_);
+  health_.RegisterMetrics(&metrics_);
 }
 
 Router::~Router() { Stop(); }
@@ -253,6 +265,7 @@ bool Router::Start(std::string* error) {
     return false;
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
+  health_.Start();
   return true;
 }
 
@@ -294,6 +307,13 @@ void Router::Stop() {
       if (conn->thread.joinable()) conn->thread.join();
     }
   }
+  // 4. Retire the health plane last: the drain event closes the journal's
+  // story for this process, then both JSONL sinks flush.
+  health_.Stop();
+  journal_.Emit(obs::EventKind::kDrain, obs::Severity::kInfo,
+                "relayed=" + std::to_string(relayed_results_.load()));
+  journal_.Flush();
+  recorder_.Flush();
 }
 
 runtime::IngressStats Router::front_stats() const {
@@ -391,6 +411,112 @@ ServerInfo Router::BuildInfo() const {
                      : options_.node_id;
   info.ingress = front_stats();
   return info;
+}
+
+HealthInfo Router::BuildHealth() {
+  // One fleet poll at a time: concurrent kHealthRequests would otherwise
+  // race per-backend probes (the map holds one probe per backend).
+  std::lock_guard<std::mutex> poll_lock(health_poll_mu_);
+  HealthInfo health;
+  health.self.node_id = options_.node_id.empty()
+                            ? "router:" + std::to_string(listener_.port())
+                            : options_.node_id;
+  health.self.is_router = 1;
+  health.self.completed = relayed_results_.load();
+  health.self.failovers = failovers_total_.load();
+  health.self.divergence_checks = divergence_checks_.load();
+  health.self.divergence_mismatches = divergence_mismatches_.load();
+  FillNodeHealthPlane(journal_, &health_, &health.self);
+  health.backends.reserve(backends_.size());
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    NodeHealth node;
+    if (!PollBackendHealth(backend.get(), &node)) {
+      // Down or unresponsive: a synthesized critical entry, so the fleet
+      // view never silently omits a member.
+      std::lock_guard<std::mutex> lock(backend->info_mu);
+      node.node_id = backend->node_id.empty() ? AddressText(backend->address)
+                                              : backend->node_id;
+      node.status = static_cast<uint8_t>(obs::HealthStatus::kCritical);
+    }
+    health.backends.push_back(std::move(node));
+  }
+  return health;
+}
+
+bool Router::PollBackendHealth(const Backend* backend, NodeHealth* out) {
+  auto probe = std::make_shared<HealthProbe>();
+  {
+    std::lock_guard<std::mutex> lock(probes_mu_);
+    health_probes_[backend] = probe;
+  }
+  bool sent = false;
+  for (const std::unique_ptr<BackendConn>& conn : backend->conns) {
+    if (!conn->ready.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(conn->send_mu);
+    if (!conn->ready.load(std::memory_order_acquire) ||
+        conn->client == nullptr) {
+      continue;
+    }
+    std::vector<uint8_t> frame;
+    EncodeHealthRequest(&frame);
+    if (conn->client->SendFrame(frame)) {
+      sent = true;
+      break;
+    }
+  }
+  bool ok = false;
+  if (sent) {
+    std::unique_lock<std::mutex> lock(probe->mu);
+    probe->cv.wait_for(lock, std::chrono::milliseconds(kHealthProbeTimeoutMs),
+                       [&] { return probe->done; });
+    if (probe->done && probe->ok) {
+      *out = std::move(probe->info.self);
+      ok = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(probes_mu_);
+    const auto it = health_probes_.find(backend);
+    if (it != health_probes_.end() && it->second == probe) {
+      health_probes_.erase(it);
+    }
+  }
+  return ok;
+}
+
+obs::HealthSources Router::MakeHealthSources() {
+  obs::HealthSources sources;
+  sources.requests_total = [this] { return relayed_results_.load(); };
+  sources.failovers_total = [this] { return failovers_total_.load(); };
+  // wall_latency_us_ is assigned later in the constructor body; the lazy
+  // read (first used once the collector thread runs) makes the ordering
+  // benign.
+  sources.wall_latency = [this] {
+    return wall_latency_us_ != nullptr ? wall_latency_us_->Snap()
+                                       : obs::Histogram::Snapshot{};
+  };
+  sources.slots_total = [this] { return static_cast<int64_t>(num_slots_); };
+  sources.slots_down = [this] { return CountSlotsDown(); };
+  return sources;
+}
+
+int64_t Router::CountSlotsDown() const {
+  int64_t down = 0;
+  for (int slot = 0; slot < num_slots_; ++slot) {
+    bool live = false;
+    for (int r = 0; r < replicas_ && !live; ++r) {
+      const Backend* backend =
+          backends_[static_cast<size_t>(slot * replicas_ + r)].get();
+      for (const std::unique_ptr<BackendConn>& conn : backend->conns) {
+        if (conn->ready.load(std::memory_order_acquire)) {
+          live = true;
+          break;
+        }
+      }
+    }
+    if (!live) ++down;
+  }
+  return down;
 }
 
 // --- Front door: acceptor + sessions (the same reader/writer/outbox shape
@@ -522,6 +648,14 @@ bool Router::HandleFrame(const std::shared_ptr<Session>& session,
     case MsgType::kMetricsRequest: {
       std::vector<uint8_t> out;
       EncodeMetrics(metrics_.RenderText(), &out);
+      Enqueue(session, std::move(out));
+      return true;
+    }
+    case MsgType::kHealthRequest: {
+      // The fleet-wide poll runs on this session's reader thread; it is a
+      // monitoring request, and the per-backend probe timeout bounds it.
+      std::vector<uint8_t> out;
+      EncodeHealth(BuildHealth(), &out);
       Enqueue(session, std::move(out));
       return true;
     }
@@ -814,6 +948,17 @@ void Router::ResolveDivergence(uint64_t check_id, bool is_primary, bool ok,
   if (!settled) return;
   if (incomplete) {
     divergence_incomplete_.fetch_add(1, std::memory_order_relaxed);
+    // One side errored before producing a fingerprint: journal it (warn,
+    // not error — nothing diverged, the sample just yielded no verdict).
+    // Clean settles stay out of the journal on purpose: at a 1-in-N
+    // sample rate they would flood the bounded ring and evict the rare
+    // events the tail exists to preserve; their count lives in
+    // dflow_replica_divergence_checks_total.
+    char seed_hex[17];
+    std::snprintf(seed_hex, sizeof(seed_hex), "%016llx",
+                  static_cast<unsigned long long>(done.seed));
+    journal_.Emit(obs::EventKind::kDivergenceCheck, obs::Severity::kWarn,
+                  std::string("incomplete seed=") + seed_hex);
     return;
   }
   if (done.primary_fingerprint == done.shadow_fingerprint) return;
@@ -827,6 +972,17 @@ void Router::ResolveDivergence(uint64_t check_id, bool is_primary, bool ok,
                static_cast<unsigned long long>(done.seed),
                static_cast<unsigned long long>(done.primary_fingerprint),
                static_cast<unsigned long long>(done.shadow_fingerprint));
+  {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "seed=%016llx primary=%016llx shadow=%016llx",
+                  static_cast<unsigned long long>(done.seed),
+                  static_cast<unsigned long long>(done.primary_fingerprint),
+                  static_cast<unsigned long long>(done.shadow_fingerprint));
+    journal_.Emit(obs::EventKind::kDivergenceMismatch, obs::Severity::kError,
+                  detail);
+    journal_.Flush();
+  }
   if (options_.abort_on_divergence) {
     std::fflush(nullptr);
     std::_Exit(3);
@@ -885,6 +1041,9 @@ void Router::BackendLoop(Backend* backend, BackendConn* conn) {
     conn->ready.store(true, std::memory_order_release);
     if (connected_before) {
       backend->reconnects.fetch_add(1, std::memory_order_relaxed);
+      journal_.Emit(obs::EventKind::kBackendReconnect, obs::Severity::kInfo,
+                    "backend=" + AddressText(backend->address) +
+                        " conn=" + std::to_string(conn->conn_index));
     }
     connected_before = true;
     const auto up_since = std::chrono::steady_clock::now();
@@ -915,6 +1074,13 @@ void Router::BackendLoop(Backend* backend, BackendConn* conn) {
     {
       std::lock_guard<std::mutex> lock(conn->send_mu);
       conn->client->Close();
+    }
+    // A drop during graceful shutdown is the Goodbye exchange, not a
+    // death — only unexpected disconnects make the journal.
+    if (!stopping_.load(std::memory_order_acquire)) {
+      journal_.Emit(obs::EventKind::kBackendDeath, obs::Severity::kError,
+                    "backend=" + AddressText(backend->address) +
+                        " conn=" + std::to_string(conn->conn_index));
     }
     FailPendingOn(conn->backend_index, conn->conn_index);
     if (options_.verbose) {
@@ -961,6 +1127,9 @@ bool Router::Handshake(Backend* backend, Client* client) {
             strategy_.c_str(),
             static_cast<unsigned long long>(advisor_fingerprint_));
       }
+      journal_.Emit(obs::EventKind::kEpochRefusal, obs::Severity::kWarn,
+                    "backend=" + AddressText(backend->address) +
+                        " runs=" + info.strategy + " fleet=" + strategy_);
       return false;
     }
     // Same rule for the v5 fleet-epoch stamp: a backend restarted under a
@@ -977,6 +1146,10 @@ bool Router::Handshake(Backend* backend, Client* client) {
             static_cast<unsigned long long>(info.fleet_epoch),
             static_cast<unsigned long long>(fleet_epoch_));
       }
+      journal_.Emit(obs::EventKind::kEpochRefusal, obs::Severity::kWarn,
+                    "backend=" + AddressText(backend->address) +
+                        " epoch=" + std::to_string(info.fleet_epoch) +
+                        " fleet=" + std::to_string(fleet_epoch_));
       return false;
     }
   }
@@ -995,6 +1168,24 @@ bool Router::Handshake(Backend* backend, Client* client) {
 void Router::HandleBackendFrame(Backend* backend, Frame frame) {
   const MsgType type = static_cast<MsgType>(frame.type);
   if (type == MsgType::kInfo || type == MsgType::kGoodbyeAck) return;
+  if (type == MsgType::kHealth) {
+    // Fulfills the in-flight probe BuildHealth parked on this backend.
+    // No probe (a stale answer after the poll timed out) is fine: the
+    // shared_ptr keeps lifetimes safe and the bytes are simply dropped.
+    std::shared_ptr<HealthProbe> probe;
+    {
+      std::lock_guard<std::mutex> lock(probes_mu_);
+      const auto it = health_probes_.find(backend);
+      if (it != health_probes_.end()) probe = it->second;
+    }
+    if (probe != nullptr) {
+      std::lock_guard<std::mutex> lock(probe->mu);
+      probe->ok = DecodeHealth(frame.payload, &probe->info);
+      probe->done = true;
+      probe->cv.notify_all();
+    }
+    return;
+  }
   if (type != MsgType::kSubmitResult && type != MsgType::kError) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -1095,6 +1286,8 @@ void Router::FailPendingOn(int backend_index, int conn_index) {
   const int slot = backend->slot;
   const std::string message =
       "backend " + AddressText(backend->address) + " connection lost";
+  int failed_over = 0;
+  int unavailable = 0;
   for (auto& [ticket, pending] : victims) {
     // Divergence shadows are abandoned, never re-issued: the check is a
     // sample, and re-running it against a THIRD party would not audit the
@@ -1123,6 +1316,7 @@ void Router::FailPendingOn(int backend_index, int conn_index) {
       if (outcome != ForwardOutcome::kUnavailable) {
         backend->failovers.fetch_add(1, std::memory_order_relaxed);
         failovers_total_.fetch_add(1, std::memory_order_relaxed);
+        ++failed_over;
         if (options_.verbose) {
           std::fprintf(stderr,
                        "[router] ticket %llu failed over off %s\n",
@@ -1147,12 +1341,27 @@ void Router::FailPendingOn(int backend_index, int conn_index) {
     const uint64_t now_ns = obs::MonotonicNs();
     backend->unavailable.fetch_add(1, std::memory_order_relaxed);
     unavailable_total_.fetch_add(1, std::memory_order_relaxed);
+    ++unavailable;
     if (pending.trace != nullptr) {
       recorder_.Finish(pending.trace, now_ns - pending.start_ns);
     }
     SendError(pending.session, pending.request_id,
               WireError::kBackendUnavailable, message);
     FinishOne(pending.session);
+  }
+  // One journal entry per sweep, not per ticket: a death orphaning 500
+  // in-flight requests is one operational fact, and the bounded ring must
+  // not trade the death/reconnect story for 500 copies of it.
+  if (failed_over > 0) {
+    journal_.Emit(obs::EventKind::kFailover, obs::Severity::kWarn,
+                  "backend=" + AddressText(backend->address) +
+                      " tickets=" + std::to_string(failed_over));
+  }
+  if (unavailable > 0) {
+    journal_.Emit(obs::EventKind::kFailover, obs::Severity::kError,
+                  "backend=" + AddressText(backend->address) +
+                      " slot=" + std::to_string(slot) +
+                      " unanswerable=" + std::to_string(unavailable));
   }
 }
 

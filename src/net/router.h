@@ -15,7 +15,9 @@
 #include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
+#include "obs/event_log.h"
 #include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "runtime/server_stats.h"
 
@@ -85,6 +87,15 @@ struct RouterOptions {
   // router appends its router.forward span to the relayed result — one
   // trace identity across nodes. All-default means tracing off.
   obs::TraceRecorderOptions trace;
+  // Structured event journal for the routing tier's control-plane
+  // transitions (backend death/reconnect, failover, divergence verdicts,
+  // epoch refusals): ring size, optional JSONL sink (+ rotation budget),
+  // stderr mirroring of warnings. Always on.
+  obs::EventLogOptions events;
+  // Health collector cadence + watermark rules (the v6 health plane).
+  // interval_s <= 0 disables the collector thread; kHealthRequest is still
+  // answered (with an empty rate series) so fleet polls never fail.
+  obs::HealthOptions health;
 };
 
 // The multi-node routing tier: a standalone ingress process that speaks
@@ -164,6 +175,14 @@ class Router {
   // Per-backend families carry a {backend="host:port"} label.
   std::string MetricsText() const { return metrics_.RenderText(); }
   const obs::TraceRecorder& recorder() const { return recorder_; }
+  const obs::EventLog& journal() const { return journal_; }
+  const obs::HealthCollector& health() const { return health_; }
+
+  // The fleet-wide health view a kHealthRequest answers: the router's own
+  // plane plus one NodeHealth per backend, polled live over the pool (a
+  // down or unresponsive backend contributes a synthesized critical
+  // entry). Serialized internally; safe from any thread after Start().
+  HealthInfo BuildHealth();
 
  private:
   // A client connection on the front door (same shape as the ingress
@@ -269,6 +288,19 @@ class Router {
   // How one forward attempt ended (see HandleSubmit).
   enum class ForwardOutcome { kForwarded, kUnavailable, kAnsweredElsewhere };
 
+  // One in-flight health poll of a backend, sent over its pooled
+  // connection and fulfilled by the conn thread when the kHealth answer
+  // arrives (conn threads own all reads, so the poll cannot read
+  // synchronously). Keyed by backend index in health_probes_; shared_ptr
+  // so a timed-out waiter and a late fulfillment never race lifetimes.
+  struct HealthProbe {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    HealthInfo info;
+  };
+
   void AcceptLoop();
   void SessionLoop(const std::shared_ptr<Session>& session);
   void WriterLoop(const std::shared_ptr<Session>& session);
@@ -308,9 +340,28 @@ class Router {
   // BACKEND_UNAVAILABLE; divergence shadows are abandoned.
   void FailPendingOn(int backend_index, int conn_index);
 
+  // Health plane. PollBackendHealth sends a kHealthRequest on one of the
+  // backend's ready connections and waits (bounded) for the conn thread to
+  // fulfill the probe; false on a down backend or timeout.
+  bool PollBackendHealth(const Backend* backend, NodeHealth* out);
+  obs::HealthSources MakeHealthSources();
+  // Live replica slots with zero ready connections (the critical-status
+  // topology input).
+  int64_t CountSlotsDown() const;
+
   const RouterOptions options_;
   obs::TraceRecorder recorder_;
+  obs::EventLog journal_;
   obs::MetricsRegistry metrics_;
+  // Declared after journal_ and the counters it differences; the collector
+  // thread runs Start() -> Stop().
+  obs::HealthCollector health_;
+  // Serializes fleet-wide BuildHealth polls; probes_mu_ guards the
+  // per-backend probe map the conn threads fulfill.
+  std::mutex health_poll_mu_;
+  std::mutex probes_mu_;
+  std::unordered_map<const Backend*, std::shared_ptr<HealthProbe>>
+      health_probes_;
   // Registry-owned wall-clock latency histogram, observed on the relay
   // path (submit forwarded -> result relayed): the cross-node counterpart
   // of the ingress's dflow_wall_latency_us.

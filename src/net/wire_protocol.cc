@@ -253,6 +253,114 @@ void PutIngressStats(const runtime::IngressStats& s,
   PutI64(s.outbox_write_stalls, out);
 }
 
+// --- v6 health-plane helpers. Wire byte ranges for the obs enums carried
+// as raw u8 (obs::EventKind, obs::Severity, obs::HealthStatus); decoders
+// range-check before the structs ever reach obs code.
+constexpr uint8_t kMinWireEventKind = 1;
+constexpr uint8_t kMaxWireEventKind = 10;
+constexpr uint8_t kMaxWireSeverity = 2;
+constexpr uint8_t kMaxWireHealthStatus = 2;
+// Minimum payload bytes of each variable-count entry, bounding hostile
+// counts before a reserve: an event is 2 flag bytes + wall_ms + two empty
+// strings; a sample is a fixed 65-byte block; a node entry is an empty
+// node_id + 2 flag bytes + five i64 counters + two empty vectors.
+constexpr size_t kMinWireEventBytes = 18;
+constexpr size_t kWireHealthSampleBytes = 65;
+constexpr size_t kMinNodeHealthBytes = 54;
+
+void PutWireEvent(const WireEvent& event, std::vector<uint8_t>* out) {
+  PutU8(event.kind, out);
+  PutU8(event.severity, out);
+  PutI64(event.wall_ms, out);
+  PutString(event.node, out);
+  PutString(event.detail, out);
+}
+
+bool GetWireEvent(Reader* reader, WireEvent* event) {
+  return reader->GetU8(&event->kind) && event->kind >= kMinWireEventKind &&
+         event->kind <= kMaxWireEventKind &&
+         reader->GetU8(&event->severity) &&
+         event->severity <= kMaxWireSeverity &&
+         reader->GetI64(&event->wall_ms) && reader->GetString(&event->node) &&
+         reader->GetString(&event->detail);
+}
+
+void PutHealthSample(const WireHealthSample& sample,
+                     std::vector<uint8_t>* out) {
+  PutI64(sample.wall_ms, out);
+  PutDouble(sample.interval_s, out);
+  PutDouble(sample.requests_per_s, out);
+  PutDouble(sample.failovers_per_s, out);
+  PutDouble(sample.cache_hit_rate, out);
+  PutDouble(sample.p95_wall_ms, out);
+  PutU64(sample.queue_depth_max, out);
+  PutDouble(sample.queue_utilization, out);
+  PutU8(sample.status, out);
+}
+
+bool GetHealthSample(Reader* reader, WireHealthSample* sample) {
+  return reader->GetI64(&sample->wall_ms) &&
+         reader->GetDouble(&sample->interval_s) &&
+         reader->GetDouble(&sample->requests_per_s) &&
+         reader->GetDouble(&sample->failovers_per_s) &&
+         reader->GetDouble(&sample->cache_hit_rate) &&
+         reader->GetDouble(&sample->p95_wall_ms) &&
+         reader->GetU64(&sample->queue_depth_max) &&
+         reader->GetDouble(&sample->queue_utilization) &&
+         reader->GetU8(&sample->status) &&
+         sample->status <= kMaxWireHealthStatus;
+}
+
+void PutNodeHealth(const NodeHealth& node, std::vector<uint8_t>* out) {
+  PutString(node.node_id, out);
+  PutU8(node.status, out);
+  PutU8(node.is_router, out);
+  PutI64(node.completed, out);
+  PutI64(node.failovers, out);
+  PutI64(node.divergence_checks, out);
+  PutI64(node.divergence_mismatches, out);
+  PutI64(node.events_total, out);
+  PutU32(static_cast<uint32_t>(node.series.size()), out);
+  for (const WireHealthSample& sample : node.series) {
+    PutHealthSample(sample, out);
+  }
+  PutU32(static_cast<uint32_t>(node.events.size()), out);
+  for (const WireEvent& event : node.events) PutWireEvent(event, out);
+}
+
+bool GetNodeHealth(Reader* reader, const std::vector<uint8_t>& payload,
+                   NodeHealth* node) {
+  uint32_t num_samples;
+  if (!reader->GetString(&node->node_id) || !reader->GetU8(&node->status) ||
+      node->status > kMaxWireHealthStatus || !reader->GetU8(&node->is_router) ||
+      node->is_router > 1 || !reader->GetI64(&node->completed) ||
+      !reader->GetI64(&node->failovers) ||
+      !reader->GetI64(&node->divergence_checks) ||
+      !reader->GetI64(&node->divergence_mismatches) ||
+      !reader->GetI64(&node->events_total) || !reader->GetU32(&num_samples)) {
+    return false;
+  }
+  if (num_samples > payload.size() / kWireHealthSampleBytes) return false;
+  node->series.clear();
+  node->series.reserve(num_samples);
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    WireHealthSample sample;
+    if (!GetHealthSample(reader, &sample)) return false;
+    node->series.push_back(sample);
+  }
+  uint32_t num_events;
+  if (!reader->GetU32(&num_events)) return false;
+  if (num_events > payload.size() / kMinWireEventBytes) return false;
+  node->events.clear();
+  node->events.reserve(num_events);
+  for (uint32_t i = 0; i < num_events; ++i) {
+    WireEvent event;
+    if (!GetWireEvent(reader, &event)) return false;
+    node->events.push_back(std::move(event));
+  }
+  return true;
+}
+
 bool GetIngressStats(Reader* reader, runtime::IngressStats* s) {
   return reader->GetI64(&s->connections_opened) &&
          reader->GetI64(&s->connections_closed) &&
@@ -631,6 +739,36 @@ void EncodeMetrics(const std::string& text, std::vector<uint8_t>* out) {
 bool DecodeMetrics(const std::vector<uint8_t>& payload, std::string* out) {
   Reader reader(payload);
   return reader.GetString(out) && reader.Done();
+}
+
+void EncodeHealthRequest(std::vector<uint8_t>* out) {
+  SealFrame(BeginFrame(MsgType::kHealthRequest, out), out);
+}
+
+void EncodeHealth(const HealthInfo& msg, std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kHealth, out);
+  PutNodeHealth(msg.self, out);
+  PutU32(static_cast<uint32_t>(msg.backends.size()), out);
+  for (const NodeHealth& backend : msg.backends) {
+    PutNodeHealth(backend, out);
+  }
+  SealFrame(frame, out);
+}
+
+bool DecodeHealth(const std::vector<uint8_t>& payload, HealthInfo* out) {
+  Reader reader(payload);
+  if (!GetNodeHealth(&reader, payload, &out->self)) return false;
+  uint32_t num_backends;
+  if (!reader.GetU32(&num_backends)) return false;
+  if (num_backends > payload.size() / kMinNodeHealthBytes) return false;
+  out->backends.clear();
+  out->backends.reserve(num_backends);
+  for (uint32_t i = 0; i < num_backends; ++i) {
+    NodeHealth backend;
+    if (!GetNodeHealth(&reader, payload, &backend)) return false;
+    out->backends.push_back(std::move(backend));
+  }
+  return reader.Done();
 }
 
 bool AppendResultSpan(std::vector<uint8_t>* payload, uint64_t trace_id,

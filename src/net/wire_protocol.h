@@ -45,10 +45,14 @@ inline constexpr uint8_t kMagic1 = 'F';
 // the MetricsRequest/Metrics scrape pair. v5 added the replicated-fleet
 // fields: a fleet-epoch stamp on ServerInfo (a router refuses a replica
 // set whose members disagree on it), replica/failover counters on the
-// routing-tier section, and per-backend slot/replica placement. Each bump
-// makes a mixed-version fleet fail with a detectable UNSUPPORTED_VERSION
-// instead of a silent decode error.
-inline constexpr uint8_t kWireVersion = 5;
+// routing-tier section, and per-backend slot/replica placement. v6 added
+// the fleet health plane: the HealthRequest/Health scrape pair carrying a
+// node's journal tail (structured events), its recent rate time series,
+// and the ok/degraded/critical status verdict — a router answers with its
+// own plane plus one entry per polled backend, so one request sees the
+// whole fleet. Each bump makes a mixed-version fleet fail with a
+// detectable UNSUPPORTED_VERSION instead of a silent decode error.
+inline constexpr uint8_t kWireVersion = 6;
 inline constexpr size_t kFrameHeaderBytes = 8;
 // Default ceiling on one frame's payload. Generous for request/response
 // traffic (a submit is dominated by its source bindings) while bounding
@@ -66,6 +70,8 @@ enum class MsgType : uint8_t {
   kGoodbyeAck = 7,    // goodbye acknowledgment (empty payload)
   kMetricsRequest = 8,  // metrics scrape (empty payload)
   kMetrics = 9,         // text exposition response (one length-prefixed string)
+  kHealthRequest = 10,  // fleet health scrape (empty payload)
+  kHealth = 11,         // health response: status + journal tail + series
 };
 
 // Typed error codes carried by kError frames.
@@ -288,6 +294,66 @@ struct ServerInfo {
   friend bool operator==(const ServerInfo&, const ServerInfo&) = default;
 };
 
+// One structured journal entry on the wire (the v6 health plane). kind is
+// an obs::EventKind value and severity an obs::Severity value; both travel
+// as raw bytes and are range-checked on decode.
+struct WireEvent {
+  uint8_t kind = 1;
+  uint8_t severity = 0;
+  int64_t wall_ms = 0;
+  std::string node;
+  std::string detail;
+
+  friend bool operator==(const WireEvent&, const WireEvent&) = default;
+};
+
+// One interval snapshot of a node's rate ring (obs::HealthSample on the
+// wire). status is an obs::HealthStatus value (0 ok / 1 degraded /
+// 2 critical), range-checked on decode.
+struct WireHealthSample {
+  int64_t wall_ms = 0;
+  double interval_s = 0;
+  double requests_per_s = 0;
+  double failovers_per_s = 0;
+  double cache_hit_rate = 0;
+  double p95_wall_ms = 0;
+  uint64_t queue_depth_max = 0;
+  double queue_utilization = 0;
+  uint8_t status = 0;
+
+  friend bool operator==(const WireHealthSample&,
+                         const WireHealthSample&) = default;
+};
+
+// One node's health plane: identity, verdict, the counters dflow_top
+// cross-checks against the Prometheus exposition, the recent rate series
+// (oldest first), and the journal tail (oldest first).
+struct NodeHealth {
+  std::string node_id;
+  uint8_t status = 0;     // obs::HealthStatus
+  uint8_t is_router = 0;  // discriminates a router's own plane
+  int64_t completed = 0;  // requests completed (router: results relayed)
+  int64_t failovers = 0;
+  int64_t divergence_checks = 0;
+  int64_t divergence_mismatches = 0;
+  int64_t events_total = 0;  // journal lifetime count (tail may be shorter)
+  std::vector<WireHealthSample> series;
+  std::vector<WireEvent> events;
+
+  friend bool operator==(const NodeHealth&, const NodeHealth&) = default;
+};
+
+// Answers kHealthRequest. A plain server sends only `self`; a router sends
+// its own plane as `self` plus one entry per backend it could poll (a
+// backend that is down or timed out contributes a synthesized critical
+// entry, so the fleet view never silently omits a member).
+struct HealthInfo {
+  NodeHealth self;
+  std::vector<NodeHealth> backends;
+
+  friend bool operator==(const HealthInfo&, const HealthInfo&) = default;
+};
+
 // --- Encoders. Each appends one complete frame (header + payload) to
 // `out`, so consecutive encodes into the same buffer form a valid stream.
 void EncodeSubmit(const SubmitRequest& msg, std::vector<uint8_t>* out);
@@ -299,6 +365,8 @@ void EncodeGoodbye(std::vector<uint8_t>* out);
 void EncodeGoodbyeAck(std::vector<uint8_t>* out);
 void EncodeMetricsRequest(std::vector<uint8_t>* out);
 void EncodeMetrics(const std::string& text, std::vector<uint8_t>* out);
+void EncodeHealthRequest(std::vector<uint8_t>* out);
+void EncodeHealth(const HealthInfo& msg, std::vector<uint8_t>* out);
 
 // --- Decoders. Each parses the *payload* of a frame whose header named the
 // matching type. Returns false (leaving *out unspecified) when the payload
@@ -310,6 +378,7 @@ bool DecodeSubmitResult(const std::vector<uint8_t>& payload,
 bool DecodeError(const std::vector<uint8_t>& payload, ErrorReply* out);
 bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out);
 bool DecodeMetrics(const std::vector<uint8_t>& payload, std::string* out);
+bool DecodeHealth(const std::vector<uint8_t>& payload, HealthInfo* out);
 
 // One complete frame as split off the stream by the FrameAssembler. `type`
 // is the raw on-wire byte: values outside MsgType are surfaced to the

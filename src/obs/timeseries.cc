@@ -1,0 +1,291 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "obs/event_log.h"
+
+namespace dflow::obs {
+namespace {
+
+int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t ReadOrZero(const std::function<int64_t()>& source) {
+  return source ? source() : 0;
+}
+
+}  // namespace
+
+const char* ToString(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk: return "ok";
+    case HealthStatus::kDegraded: return "degraded";
+    case HealthStatus::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+HealthCollector::HealthCollector(HealthOptions options, HealthSources sources,
+                                 EventLog* journal)
+    : options_(std::move(options)),
+      sources_(std::move(sources)),
+      journal_(journal) {}
+
+HealthCollector::~HealthCollector() { Stop(); }
+
+void HealthCollector::Start() {
+  if (options_.interval_s <= 0) return;
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HealthCollector::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mu_);
+  thread_ = std::thread();
+}
+
+void HealthCollector::Loop() {
+  auto last = std::chrono::steady_clock::now();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(thread_mu_);
+      cv_.wait_for(lock,
+                   std::chrono::duration<double>(options_.interval_s),
+                   [this] { return stop_; });
+      if (stop_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last).count();
+    last = now;
+    SampleOnce(elapsed > 0 ? elapsed : options_.interval_s);
+  }
+}
+
+double HealthCollector::P95FromDelta(const Histogram::Snapshot& prev,
+                                     const Histogram::Snapshot& cur) {
+  const size_t n = cur.counts.size();
+  if (n == 0) return 0;
+  int64_t total = 0;
+  std::vector<int64_t> delta(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t before =
+        i < prev.counts.size() ? prev.counts[i] : 0;
+    delta[i] = cur.counts[i] - before;
+    if (delta[i] < 0) delta[i] = 0;  // histogram swapped out from under us
+    total += delta[i];
+  }
+  if (total <= 0) return 0;
+  const int64_t rank = static_cast<int64_t>(
+      std::ceil(0.95 * static_cast<double>(total)));
+  int64_t cum = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (delta[i] == 0) continue;
+    cum += delta[i];
+    if (cum < rank) continue;
+    const double lower = i == 0 ? 0 : cur.bounds[i - 1];
+    if (i >= cur.bounds.size()) return lower;  // +Inf bucket: best estimate
+    const double upper = cur.bounds[i];
+    const double frac = static_cast<double>(rank - (cum - delta[i])) /
+                        static_cast<double>(delta[i]);
+    return lower + frac * (upper - lower);
+  }
+  return 0;
+}
+
+HealthSample HealthCollector::SampleOnce(double interval_s) {
+  std::lock_guard<std::mutex> sample_lock(sample_mu_);
+
+  HealthSample sample;
+  sample.wall_ms = WallMs();
+  sample.interval_s = interval_s;
+
+  const int64_t requests = ReadOrZero(sources_.requests_total);
+  const int64_t failovers = ReadOrZero(sources_.failovers_total);
+  const int64_t hits = ReadOrZero(sources_.cache_hits_total);
+  const int64_t misses = ReadOrZero(sources_.cache_misses_total);
+  const int64_t explores = ReadOrZero(sources_.advisor_explores_total);
+  const int64_t slots_total = ReadOrZero(sources_.slots_total);
+  const int64_t slots_down = ReadOrZero(sources_.slots_down);
+  Histogram::Snapshot latency;
+  if (sources_.wall_latency) latency = sources_.wall_latency();
+  // Flap inputs: only the kinds that mean "the fleet itself is unstable".
+  // Health-plane events (transitions, watermarks) are deliberately
+  // excluded — counting them would feed the rule its own output and pin
+  // the status at degraded forever.
+  const int64_t flap_events =
+      journal_ == nullptr
+          ? 0
+          : journal_->CountFor(EventKind::kBackendDeath) +
+                journal_->CountFor(EventKind::kFailover) +
+                journal_->CountFor(EventKind::kDivergenceMismatch);
+
+  if (have_prev_ && interval_s > 0) {
+    sample.requests_per_s =
+        static_cast<double>(requests - prev_requests_) / interval_s;
+    sample.failovers_per_s =
+        static_cast<double>(failovers - prev_failovers_) / interval_s;
+    const int64_t lookups =
+        (hits - prev_cache_hits_) + (misses - prev_cache_misses_);
+    sample.cache_hit_rate =
+        lookups > 0
+            ? static_cast<double>(hits - prev_cache_hits_) / lookups
+            : 0;
+    // The latency histogram is in microseconds; the sample speaks ms.
+    sample.p95_wall_ms = P95FromDelta(prev_latency_, latency) / 1e3;
+  }
+  const int64_t flap_delta =
+      have_prev_ ? flap_events - prev_flap_events_ : 0;
+  const int64_t explore_delta = have_prev_ ? explores - prev_explores_ : 0;
+
+  if (sources_.queue_depths) {
+    for (uint64_t depth : sources_.queue_depths()) {
+      sample.queue_depth_max = std::max(sample.queue_depth_max, depth);
+    }
+  }
+  if (sources_.queue_capacity > 0) {
+    sample.queue_utilization =
+        static_cast<double>(sample.queue_depth_max) /
+        static_cast<double>(sources_.queue_capacity);
+  }
+
+  // --- Watermark rules ---------------------------------------------------
+  const bool slot_down = slots_down > 0;
+  const bool queue_critical =
+      sources_.queue_capacity > 0 &&
+      sample.queue_utilization >= options_.queue_critical_utilization;
+  const bool queue_degraded =
+      sources_.queue_capacity > 0 &&
+      sample.queue_utilization >= options_.queue_degraded_utilization;
+  const bool slo_breach = options_.slo_ms > 0 && sample.p95_wall_ms > 0 &&
+                          sample.p95_wall_ms > options_.slo_ms;
+  const bool flapping = flap_delta > 0;
+  const bool sustained_input = queue_degraded || slo_breach;
+
+  if (sustained_input) {
+    ++breach_streak_;
+  } else {
+    breach_streak_ = 0;
+  }
+
+  const HealthStatus before = status();
+  HealthStatus next = before;
+  std::string reason;
+
+  if (slot_down) {
+    // A replica slot with zero live members is a hard topology fact, not a
+    // noisy gauge — escalate immediately and hold until it heals.
+    next = HealthStatus::kCritical;
+    reason = "slots_down=" + std::to_string(slots_down) + "/" +
+             std::to_string(slots_total);
+  } else {
+    if (sustained_input && breach_streak_ >= options_.sustain_samples) {
+      next = queue_critical ? HealthStatus::kCritical
+                            : HealthStatus::kDegraded;
+      if (queue_degraded) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "queue_utilization=%.2f depth=%llu",
+                      sample.queue_utilization,
+                      static_cast<unsigned long long>(
+                          sample.queue_depth_max));
+        reason = buf;
+      } else {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf), "p95_ms=%.2f slo_ms=%.2f",
+                      sample.p95_wall_ms, options_.slo_ms);
+        reason = buf;
+      }
+      if (journal_ != nullptr && breach_streak_ == options_.sustain_samples) {
+        journal_->Emit(EventKind::kWatermark, Severity::kWarn, reason);
+      }
+    }
+    // Fleet instability is event-triggered, not threshold-triggered: one
+    // new death/failover/mismatch since the last sample degrades at once.
+    if (flapping && next < HealthStatus::kDegraded) {
+      next = HealthStatus::kDegraded;
+      reason = "flap_events=" + std::to_string(flap_delta);
+    }
+    const bool any_bad = queue_degraded || slo_breach || flapping;
+    if (any_bad) {
+      clean_streak_ = 0;
+    } else {
+      ++clean_streak_;
+      if (clean_streak_ >= options_.sustain_samples &&
+          next > HealthStatus::kOk) {
+        next = HealthStatus::kOk;
+        reason = "clean_samples=" + std::to_string(clean_streak_);
+      }
+    }
+  }
+  if (slot_down) clean_streak_ = 0;
+
+  if (next != before) {
+    status_.store(static_cast<uint8_t>(next), std::memory_order_relaxed);
+    if (journal_ != nullptr) {
+      const Severity severity =
+          next > before ? (next == HealthStatus::kCritical ? Severity::kError
+                                                           : Severity::kWarn)
+                        : Severity::kInfo;
+      journal_->Emit(EventKind::kHealthTransition, severity,
+                     std::string("from=") + ToString(before) +
+                         " to=" + ToString(next) +
+                         (reason.empty() ? "" : " " + reason));
+    }
+  }
+  sample.status = next;
+
+  if (explore_delta > 0 && journal_ != nullptr) {
+    journal_->Emit(EventKind::kAdvisorExplore, Severity::kInfo,
+                   "explores=" + std::to_string(explore_delta));
+  }
+
+  prev_requests_ = requests;
+  prev_failovers_ = failovers;
+  prev_cache_hits_ = hits;
+  prev_cache_misses_ = misses;
+  prev_explores_ = explores;
+  prev_flap_events_ = flap_events;
+  prev_latency_ = std::move(latency);
+  have_prev_ = true;
+
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (options_.ring_capacity > 0) {
+      while (ring_.size() >= options_.ring_capacity) ring_.pop_front();
+      ring_.push_back(sample);
+    }
+  }
+  samples_taken_.fetch_add(1, std::memory_order_relaxed);
+  return sample;
+}
+
+std::vector<HealthSample> HealthCollector::Recent(size_t max) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  const size_t n = std::min(max, ring_.size());
+  return {ring_.end() - static_cast<ptrdiff_t>(n), ring_.end()};
+}
+
+void HealthCollector::RegisterMetrics(MetricsRegistry* registry) {
+  registry->AddGauge("dflow_health_status", {}, [this] {
+    return static_cast<double>(status_.load(std::memory_order_relaxed));
+  });
+}
+
+}  // namespace dflow::obs

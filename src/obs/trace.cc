@@ -85,19 +85,11 @@ RequestTrace::View RequestTrace::Snapshot() const {
 TraceRecorder::TraceRecorder(TraceRecorderOptions options, std::string node)
     : options_(std::move(options)), node_(std::move(node)) {
   if (!options_.jsonl_path.empty()) {
-    sink_ = std::fopen(options_.jsonl_path.c_str(), "a");
-    if (sink_ == nullptr) {
-      std::fprintf(stderr, "[obs] cannot open trace sink %s\n",
-                   options_.jsonl_path.c_str());
-    }
+    sink_.Open(options_.jsonl_path, options_.jsonl_max_bytes);
   }
 }
 
-TraceRecorder::~TraceRecorder() {
-  std::lock_guard<std::mutex> lock(sink_mu_);
-  if (sink_ != nullptr) std::fclose(sink_);
-  sink_ = nullptr;
-}
+TraceRecorder::~TraceRecorder() = default;
 
 bool TraceRecorder::SampledBySeed(uint64_t seed, uint32_t period) {
   if (period == 0) return false;
@@ -130,14 +122,7 @@ void TraceRecorder::Finish(const std::shared_ptr<RequestTrace>& trace,
   view.wall_ns = wall_ns;
   const bool slow = options_.slow_ms > 0 &&
                     static_cast<double>(wall_ns) / 1e6 > options_.slow_ms;
-  {
-    std::lock_guard<std::mutex> lock(sink_mu_);
-    if (sink_ != nullptr) {
-      const std::string line = ToJsonLine(view, node_);
-      std::fwrite(line.data(), 1, line.size(), sink_);
-      std::fputc('\n', sink_);
-    }
-  }
+  if (sink_.open()) sink_.Append(ToJsonLine(view, node_));
   if (slow) {
     slow_logged_.fetch_add(1, std::memory_order_relaxed);
     std::string spans;
@@ -172,6 +157,8 @@ std::vector<RequestTrace::View> TraceRecorder::Completed() const {
   std::lock_guard<std::mutex> lock(ring_mu_);
   return {ring_.begin(), ring_.end()};
 }
+
+void TraceRecorder::Flush() { sink_.Flush(); }
 
 namespace {
 

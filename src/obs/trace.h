@@ -3,12 +3,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/jsonl_sink.h"
 
 namespace dflow::obs {
 
@@ -117,6 +118,10 @@ struct TraceRecorderOptions {
   size_t ring_capacity = 256;
   // When non-empty, every finished trace is appended as one JSON line.
   std::string jsonl_path;
+  // Rotation budget for the JSONL sink (bytes); 0 = never rotate. When the
+  // file would exceed the budget it is renamed to "<path>.1" and restarted,
+  // bounding disk use at ~2x the budget.
+  uint64_t jsonl_max_bytes = 0;
   // Slow-request log threshold in wall milliseconds. When > 0 EVERY
   // request is traced regardless of sample_period (a slow request must
   // never be missed; the cost is full tracing) and any trace whose wall
@@ -164,6 +169,10 @@ class TraceRecorder {
   // The ring's current contents, oldest first.
   std::vector<RequestTrace::View> Completed() const;
 
+  // Flushes the JSONL sink so the tail survives a SIGTERM-driven exit;
+  // called on the drain/shutdown path.
+  void Flush();
+
   int64_t started() const { return started_.load(std::memory_order_relaxed); }
   int64_t finished() const {
     return finished_.load(std::memory_order_relaxed);
@@ -183,8 +192,7 @@ class TraceRecorder {
   std::atomic<int64_t> slow_logged_{0};
   mutable std::mutex ring_mu_;
   std::deque<RequestTrace::View> ring_;
-  std::mutex sink_mu_;
-  std::FILE* sink_ = nullptr;
+  JsonlSink sink_;
 };
 
 // Deterministic-by-construction span-structure view: the span kinds in

@@ -1,0 +1,169 @@
+// Unit tests for the PR 8 structured event journal: ring wraparound,
+// severity-filtered tails, per-kind lock-free counters, the Prometheus
+// counter family, and the JSONL sink (flush durability + rotation caps).
+
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace dflow::obs {
+namespace {
+
+TEST(EventLogTest, EmitStampsNodeAndClockAndCounts) {
+  EventLog log(EventLogOptions{}, "router:4600");
+  EXPECT_EQ(log.total(), 0);
+  log.Emit(EventKind::kBackendDeath, Severity::kError, "backend=b0");
+  log.Emit(EventKind::kFailover, Severity::kWarn, "tickets=3");
+
+  const std::vector<Event> tail = log.Tail(10);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].kind, EventKind::kBackendDeath);
+  EXPECT_EQ(tail[0].severity, Severity::kError);
+  EXPECT_EQ(tail[0].node, "router:4600");
+  EXPECT_EQ(tail[0].detail, "backend=b0");
+  EXPECT_GT(tail[0].wall_ms, 0);
+  EXPECT_EQ(tail[1].kind, EventKind::kFailover);
+  EXPECT_LE(tail[0].wall_ms, tail[1].wall_ms);  // oldest first
+
+  EXPECT_EQ(log.total(), 2);
+  EXPECT_EQ(log.CountFor(EventKind::kBackendDeath), 1);
+  EXPECT_EQ(log.CountFor(EventKind::kFailover), 1);
+  EXPECT_EQ(log.CountFor(EventKind::kDrain), 0);
+}
+
+TEST(EventLogTest, RingWrapsDroppingOldestButCountersStayLifetime) {
+  EventLogOptions options;
+  options.ring_capacity = 8;
+  EventLog log(options, "n");
+  for (int i = 0; i < 100; ++i) {
+    log.Emit(EventKind::kDivergenceCheck, Severity::kInfo,
+             "seq=" + std::to_string(i));
+  }
+  // The ring holds only the newest 8 (92..99, oldest first); the lifetime
+  // counters remember all 100.
+  const std::vector<Event> tail = log.Tail(100);
+  ASSERT_EQ(tail.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(tail[i].detail, "seq=" + std::to_string(92 + i));
+  }
+  EXPECT_EQ(log.total(), 100);
+  EXPECT_EQ(log.CountFor(EventKind::kDivergenceCheck), 100);
+}
+
+TEST(EventLogTest, TailFiltersBySeverityAndBoundsMax) {
+  EventLog log(EventLogOptions{}, "n");
+  log.Emit(EventKind::kDrain, Severity::kInfo, "i1");
+  log.Emit(EventKind::kFailover, Severity::kWarn, "w1");
+  log.Emit(EventKind::kBackendDeath, Severity::kError, "e1");
+  log.Emit(EventKind::kDrain, Severity::kInfo, "i2");
+  log.Emit(EventKind::kBackendDeath, Severity::kError, "e2");
+
+  const std::vector<Event> warnings = log.Tail(10, Severity::kWarn);
+  ASSERT_EQ(warnings.size(), 3u);
+  EXPECT_EQ(warnings[0].detail, "w1");
+  EXPECT_EQ(warnings[1].detail, "e1");
+  EXPECT_EQ(warnings[2].detail, "e2");
+
+  const std::vector<Event> errors = log.Tail(10, Severity::kError);
+  ASSERT_EQ(errors.size(), 2u);
+
+  // `max` keeps the NEWEST matches, still reported oldest first.
+  const std::vector<Event> last_two = log.Tail(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].detail, "i2");
+  EXPECT_EQ(last_two[1].detail, "e2");
+}
+
+TEST(EventLogTest, RegistersPerKindCounterFamily) {
+  EventLog log(EventLogOptions{}, "n");
+  MetricsRegistry registry;
+  log.RegisterCounters(&registry);
+  log.Emit(EventKind::kFailover, Severity::kWarn, "");
+  log.Emit(EventKind::kFailover, Severity::kWarn, "");
+  log.Emit(EventKind::kEpochRefusal, Severity::kWarn, "");
+
+  const std::string text = registry.RenderText();
+  EXPECT_NE(text.find("dflow_events_total{kind=\"failover\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dflow_events_total{kind=\"epoch_refusal\"} 1"),
+            std::string::npos)
+      << text;
+}
+
+TEST(EventLogTest, JsonlSinkPersistsEventsOnFlush) {
+  const std::string path =
+      ::testing::TempDir() + "/event_log_test_events.jsonl";
+  std::remove(path.c_str());
+  EventLogOptions options;
+  options.jsonl_path = path;
+  EventLog log(options, "router:1");
+  log.Emit(EventKind::kBackendDeath, Severity::kError,
+           "backend=127.0.0.1:9 conn=2");
+  log.Emit(EventKind::kHealthTransition, Severity::kWarn,
+           "from=ok to=degraded");
+  log.Flush();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"kind\":\"backend_death\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"severity\":\"error\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"node\":\"router:1\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"health_transition\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, JsonlSinkRotatesAtTheByteBudget) {
+  const std::string path =
+      ::testing::TempDir() + "/event_log_test_rotate.jsonl";
+  const std::string rotated = path + ".1";
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+  JsonlSink sink;
+  ASSERT_TRUE(sink.Open(path, /*max_bytes=*/256));
+  const std::string line(100, 'x');
+  for (int i = 0; i < 10; ++i) sink.Append(line);
+  sink.Close();
+  EXPECT_GE(sink.rotations(), 1);
+  EXPECT_EQ(sink.lines_written(), 10);
+
+  // Both generations exist and neither exceeds ~max_bytes + one line.
+  std::ifstream current(path, std::ios::ate | std::ios::binary);
+  std::ifstream previous(rotated, std::ios::ate | std::ios::binary);
+  ASSERT_TRUE(current.good());
+  ASSERT_TRUE(previous.good());
+  EXPECT_LE(current.tellg(), 256 + 101);
+  EXPECT_LE(previous.tellg(), 256 + 101);
+  std::remove(path.c_str());
+  std::remove(rotated.c_str());
+}
+
+TEST(EventLogTest, ToJsonLineEscapesDetail) {
+  Event event;
+  event.kind = EventKind::kWatermark;
+  event.severity = Severity::kWarn;
+  event.wall_ms = 1234;
+  event.node = "n";
+  event.detail = "quote=\" backslash=\\ newline=\n";
+  const std::string line = ToJsonLine(event);
+  EXPECT_NE(line.find("\\\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\\\\"), std::string::npos) << line;
+  EXPECT_NE(line.find("\\n"), std::string::npos) << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos) << line;  // one JSONL line
+}
+
+}  // namespace
+}  // namespace dflow::obs

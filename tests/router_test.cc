@@ -25,6 +25,8 @@
 #include "net/ingress_server.h"
 #include "net/router.h"
 #include "net/wire_protocol.h"
+#include "obs/event_log.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "runtime/flow_server.h"
 
@@ -1002,7 +1004,130 @@ TEST(RouterTest, AbruptPrimaryDeathReissuesInflightBurstWithoutErrors) {
   EXPECT_GE(stats.failovers, 1);
   ASSERT_EQ(stats.backends.size(), 2u);
   EXPECT_GE(stats.backends[0].failovers, 1);
+  // PR 8: the journal tells the same story as the counters — the abrupt
+  // death was recorded and so was the failover sweep that re-issued the
+  // orphaned burst.
+  EXPECT_GE(fleet.router->journal().CountFor(obs::EventKind::kBackendDeath),
+            1);
+  EXPECT_GE(fleet.router->journal().CountFor(obs::EventKind::kFailover), 1);
+  bool failover_in_tail = false;
+  for (const obs::Event& event : fleet.router->journal().Tail(64)) {
+    if (event.kind == obs::EventKind::kFailover &&
+        event.detail.find("tickets=") != std::string::npos) {
+      failover_in_tail = true;
+    }
+  }
+  EXPECT_TRUE(failover_in_tail);
   EXPECT_TRUE(client.Goodbye());
+}
+
+// PR 8 end to end over the wire: a live health collector on the router, a
+// backend that dies and comes back, and a Client::Health() poller seeing
+// the status walk ok -> (not ok) -> ok with the death and reconnect in the
+// shipped journal tail — exactly what dflow_top and the CI chaos stage
+// consume.
+TEST(RouterTest, HealthPlaneTracksBackendDeathAndRecoveryOverTheWire) {
+  const gen::GeneratedSchema pattern = MakePattern(59);
+  RouterOptions router_options;
+  router_options.health.interval_s = 0.02;  // 50x test-speed cadence
+  router_options.health.sustain_samples = 2;
+  std::unique_ptr<Fleet> fleet = MakeFleet(pattern, {1, 1}, router_options);
+
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fleet->router->port(), &error))
+      << error;
+
+  // Healthy fleet: the router answers HEALTH with itself plus both
+  // backends, all ok, and the collector is actually sampling.
+  std::optional<HealthInfo> health;
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    health = client.Health();
+    ASSERT_TRUE(health.has_value());
+    if (!health->self.series.empty() &&
+        health->self.status == static_cast<uint8_t>(obs::HealthStatus::kOk)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->self.is_router, 1);
+  EXPECT_EQ(health->self.status,
+            static_cast<uint8_t>(obs::HealthStatus::kOk));
+  ASSERT_EQ(health->backends.size(), 2u);
+  for (const NodeHealth& backend : health->backends) {
+    EXPECT_EQ(backend.is_router, 0);
+    EXPECT_EQ(backend.status,
+              static_cast<uint8_t>(obs::HealthStatus::kOk));
+  }
+
+  // Kill backend 1. Its slot has no other replica, so the router's own
+  // plane must leave ok (the dead-slot rule makes it critical) and the
+  // dead backend's entry must be synthesized as critical.
+  const uint16_t backend1_port = fleet->backends[1]->port();
+  fleet->backends[1]->Stop();
+  bool saw_not_ok = false;
+  for (int attempt = 0; attempt < 500 && !saw_not_ok; ++attempt) {
+    health = client.Health();
+    ASSERT_TRUE(health.has_value());
+    if (health->self.status != static_cast<uint8_t>(obs::HealthStatus::kOk)) {
+      saw_not_ok = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  ASSERT_TRUE(saw_not_ok);
+  ASSERT_EQ(health->backends.size(), 2u);
+  EXPECT_EQ(health->backends[1].status,
+            static_cast<uint8_t>(obs::HealthStatus::kCritical));
+  // The journal tail shipped in the frame carries the death.
+  bool death_in_tail = false;
+  for (const WireEvent& event : health->self.events) {
+    if (event.kind == static_cast<uint8_t>(obs::EventKind::kBackendDeath)) {
+      death_in_tail = true;
+    }
+  }
+  EXPECT_TRUE(death_in_tail);
+  EXPECT_GE(fleet->router->journal().CountFor(obs::EventKind::kBackendDeath),
+            1);
+
+  // Resurrect on the same port: reconnect, then the sustained-clean rule
+  // walks the status back to ok — the degraded->ok transition CI gates on.
+  IngressOptions revived_options;
+  revived_options.port = backend1_port;
+  auto revived = std::make_unique<IngressServer>(
+      &pattern.schema, BackendOptions(1), revived_options);
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (revived->Start(&error)) break;
+    revived = std::make_unique<IngressServer>(&pattern.schema,
+                                              BackendOptions(1),
+                                              revived_options);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(revived->port(), backend1_port) << error;
+  bool recovered = false;
+  for (int attempt = 0; attempt < 1000 && !recovered; ++attempt) {
+    health = client.Health();
+    ASSERT_TRUE(health.has_value());
+    if (health->self.status ==
+        static_cast<uint8_t>(obs::HealthStatus::kOk)) {
+      recovered = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_GE(
+      fleet->router->journal().CountFor(obs::EventKind::kBackendReconnect),
+      1);
+  // Two transitions at least: away from ok at the death, back to ok after
+  // the sustained clean streak.
+  EXPECT_GE(
+      fleet->router->journal().CountFor(obs::EventKind::kHealthTransition),
+      2);
+  EXPECT_TRUE(client.Goodbye());
+  fleet->router->Stop();
+  revived->Stop();
 }
 
 // A mis-seeded replica — same schema, same strategy, but configured so it

@@ -1,0 +1,276 @@
+// Unit tests for the PR 8 health collector: rate differencing against
+// scripted sources, the watermark/status state machine (sustain, flap,
+// dead-slot, recovery), P95FromDelta, and the bounded sample ring. All
+// tests drive SampleOnce() directly — the exact code path the collector
+// thread runs — so no sleeps and no flakes.
+
+#include "obs/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics_registry.h"
+
+namespace dflow::obs {
+namespace {
+
+// Mutable counter state the scripted sources read through closures, the
+// same wiring shape the ingress/router use.
+struct Script {
+  int64_t requests = 0;
+  int64_t failovers = 0;
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t explores = 0;
+  int64_t slots_total = 0;
+  int64_t slots_down = 0;
+  std::vector<uint64_t> depths;
+
+  HealthSources Sources(uint64_t queue_capacity = 0) {
+    HealthSources sources;
+    sources.requests_total = [this] { return requests; };
+    sources.failovers_total = [this] { return failovers; };
+    sources.cache_hits_total = [this] { return hits; };
+    sources.cache_misses_total = [this] { return misses; };
+    sources.advisor_explores_total = [this] { return explores; };
+    sources.slots_total = [this] { return slots_total; };
+    sources.slots_down = [this] { return slots_down; };
+    sources.queue_depths = [this] { return depths; };
+    sources.queue_capacity = queue_capacity;
+    return sources;
+  }
+};
+
+HealthOptions NoThread() {
+  HealthOptions options;
+  options.interval_s = 0;  // tests drive SampleOnce directly
+  return options;
+}
+
+TEST(HealthCollectorTest, FirstSampleHasNoRatesSecondDifferences) {
+  Script script;
+  HealthCollector collector(NoThread(), script.Sources());
+
+  script.requests = 1000;
+  const HealthSample first = collector.SampleOnce(1.0);
+  EXPECT_EQ(first.requests_per_s, 0);  // nothing to difference against
+
+  script.requests = 1500;
+  script.failovers = 2;
+  script.hits = 30;
+  script.misses = 10;
+  const HealthSample second = collector.SampleOnce(2.0);
+  EXPECT_DOUBLE_EQ(second.requests_per_s, 250.0);
+  EXPECT_DOUBLE_EQ(second.failovers_per_s, 1.0);
+  EXPECT_DOUBLE_EQ(second.cache_hit_rate, 0.75);
+  EXPECT_EQ(second.status, HealthStatus::kOk);
+  EXPECT_EQ(collector.samples_taken(), 2);
+
+  // No lookups this interval: hit rate reads 0, not NaN.
+  const HealthSample third = collector.SampleOnce(1.0);
+  EXPECT_DOUBLE_EQ(third.cache_hit_rate, 0.0);
+  EXPECT_DOUBLE_EQ(third.requests_per_s, 0.0);
+}
+
+TEST(HealthCollectorTest, RingIsBoundedAndRecentIsOldestFirst) {
+  Script script;
+  HealthOptions options = NoThread();
+  options.ring_capacity = 4;
+  HealthCollector collector(options, script.Sources());
+  for (int i = 1; i <= 10; ++i) {
+    script.requests = 100 * i;
+    collector.SampleOnce(1.0);
+  }
+  const std::vector<HealthSample> recent = collector.Recent(100);
+  ASSERT_EQ(recent.size(), 4u);
+  // Samples 7..10: each interval added 100 requests over 1s.
+  for (const HealthSample& sample : recent) {
+    EXPECT_DOUBLE_EQ(sample.requests_per_s, 100.0);
+  }
+  EXPECT_LE(recent.front().wall_ms, recent.back().wall_ms);
+  EXPECT_EQ(collector.Recent(2).size(), 2u);
+  EXPECT_EQ(collector.samples_taken(), 10);
+}
+
+TEST(HealthCollectorTest, QueueWatermarkNeedsSustainThenRecovers) {
+  Script script;
+  script.depths = {10, 80};  // max-shard utilization 0.80 >= 0.75
+  EventLog journal(EventLogOptions{}, "n");
+  HealthOptions options = NoThread();
+  options.sustain_samples = 3;
+  HealthCollector collector(options, script.Sources(/*queue_capacity=*/100),
+                            &journal);
+
+  // Two breached samples are weather, not status.
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kOk);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kOk);
+  // The third in a row breaches the watermark: degraded, and both the
+  // watermark and the transition land in the journal.
+  const HealthSample breached = collector.SampleOnce(1.0);
+  EXPECT_EQ(breached.status, HealthStatus::kDegraded);
+  EXPECT_DOUBLE_EQ(breached.queue_utilization, 0.80);
+  EXPECT_EQ(breached.queue_depth_max, 80u);
+  EXPECT_EQ(journal.CountFor(EventKind::kWatermark), 1);
+  EXPECT_EQ(journal.CountFor(EventKind::kHealthTransition), 1);
+
+  // Recovery is sustained too: two clean samples keep degraded.
+  script.depths = {0, 5};
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kDegraded);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kDegraded);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kOk);
+  EXPECT_EQ(journal.CountFor(EventKind::kHealthTransition), 2);
+  const std::vector<Event> tail = journal.Tail(10);
+  EXPECT_NE(tail.back().detail.find("from=degraded to=ok"),
+            std::string::npos)
+      << tail.back().detail;
+}
+
+TEST(HealthCollectorTest, QueueCriticalUtilizationEscalates) {
+  Script script;
+  script.depths = {96};  // 0.96 >= 0.95
+  HealthOptions options = NoThread();
+  options.sustain_samples = 2;
+  HealthCollector collector(options, script.Sources(/*queue_capacity=*/100));
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kOk);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kCritical);
+  EXPECT_EQ(collector.status(), HealthStatus::kCritical);
+}
+
+TEST(HealthCollectorTest, SloBreachDegradesOnSustainedP95) {
+  Script script;
+  Histogram latency({100, 1000, 10000, 100000});  // microseconds
+  HealthSources sources = script.Sources();
+  sources.wall_latency = [&latency] { return latency.Snap(); };
+  HealthOptions options = NoThread();
+  options.slo_ms = 1.0;
+  options.sustain_samples = 2;
+  HealthCollector collector(options, std::move(sources));
+
+  collector.SampleOnce(1.0);  // baseline snapshot
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 100; ++i) latency.Observe(5000);  // 5 ms
+    collector.SampleOnce(1.0);
+  }
+  EXPECT_EQ(collector.status(), HealthStatus::kDegraded);
+  // The p95 came from bucket deltas: ~5 ms, well over the 1 ms SLO.
+  const HealthSample last = collector.Recent(1).front();
+  EXPECT_GT(last.p95_wall_ms, 1.0);
+  EXPECT_LE(last.p95_wall_ms, 10.0);
+}
+
+TEST(HealthCollectorTest, DeadSlotIsCriticalImmediatelyAndHolds) {
+  Script script;
+  script.slots_total = 2;
+  script.slots_down = 1;
+  EventLog journal(EventLogOptions{}, "n");
+  HealthOptions options = NoThread();
+  options.sustain_samples = 3;
+  HealthCollector collector(options, script.Sources(), &journal);
+
+  // A dead slot is a topology fact: critical on the very first sample.
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kCritical);
+  const std::vector<Event> tail = journal.Tail(10);
+  ASSERT_FALSE(tail.empty());
+  EXPECT_EQ(tail.back().kind, EventKind::kHealthTransition);
+  EXPECT_EQ(tail.back().severity, Severity::kError);
+  EXPECT_NE(tail.back().detail.find("slots_down=1/2"), std::string::npos);
+
+  // Heal the slot: recovery still needs the sustained clean streak.
+  script.slots_down = 0;
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kCritical);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kCritical);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kOk);
+}
+
+TEST(HealthCollectorTest, NewFlapEventsDegradeImmediately) {
+  Script script;
+  EventLog journal(EventLogOptions{}, "n");
+  HealthOptions options = NoThread();
+  options.sustain_samples = 3;
+  HealthCollector collector(options, script.Sources(), &journal);
+
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kOk);
+  // One backend death between samples: degraded at once, no sustain.
+  journal.Emit(EventKind::kBackendDeath, Severity::kError, "backend=b0");
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kDegraded);
+  // The transition event itself must NOT count as a flap (that would pin
+  // the status): three quiet samples recover.
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kDegraded);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kDegraded);
+  EXPECT_EQ(collector.SampleOnce(1.0).status, HealthStatus::kOk);
+}
+
+TEST(HealthCollectorTest, AdvisorExploreDeltasAreJournaled) {
+  Script script;
+  EventLog journal(EventLogOptions{}, "n");
+  HealthCollector collector(NoThread(), script.Sources(), &journal);
+  collector.SampleOnce(1.0);
+  script.explores = 7;
+  collector.SampleOnce(1.0);
+  EXPECT_EQ(journal.CountFor(EventKind::kAdvisorExplore), 1);
+  const std::vector<Event> tail = journal.Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].detail, "explores=7");
+}
+
+TEST(HealthCollectorTest, RegistersStatusGauge) {
+  Script script;
+  script.slots_total = 1;
+  script.slots_down = 1;
+  HealthCollector collector(NoThread(), script.Sources());
+  MetricsRegistry registry;
+  collector.RegisterMetrics(&registry);
+  EXPECT_NE(registry.RenderText().find("dflow_health_status 0"),
+            std::string::npos);
+  collector.SampleOnce(1.0);
+  EXPECT_NE(registry.RenderText().find("dflow_health_status 2"),
+            std::string::npos);
+}
+
+TEST(P95FromDeltaTest, InterpolatesWithinTheRankBucket) {
+  Histogram::Snapshot prev;
+  prev.bounds = {100, 200, 400};
+  prev.counts = {10, 10, 0, 0};
+  Histogram::Snapshot cur;
+  cur.bounds = {100, 200, 400};
+  cur.counts = {60, 60, 0, 0};
+  // Delta: 50 + 50 = 100 new observations; rank 95 falls in bucket
+  // (100, 200] at fraction (95-50)/50 = 0.9 -> 190.
+  EXPECT_DOUBLE_EQ(HealthCollector::P95FromDelta(prev, cur), 190.0);
+}
+
+TEST(P95FromDeltaTest, EmptyDeltaAndOverflowBucketEdgeCases) {
+  Histogram::Snapshot a;
+  a.bounds = {100};
+  a.counts = {5, 0};
+  // No new observations since the previous snapshot.
+  EXPECT_DOUBLE_EQ(HealthCollector::P95FromDelta(a, a), 0.0);
+  // Everything in the +Inf bucket: the last finite bound is the best
+  // (under-)estimate, never a crash or an infinity.
+  Histogram::Snapshot prev;
+  prev.bounds = {100, 400};
+  prev.counts = {0, 0, 0};
+  Histogram::Snapshot cur;
+  cur.bounds = {100, 400};
+  cur.counts = {0, 0, 50};
+  EXPECT_DOUBLE_EQ(HealthCollector::P95FromDelta(prev, cur), 400.0);
+  // A histogram swapped out from under us (counts went backwards) reads
+  // as empty, not negative.
+  EXPECT_DOUBLE_EQ(HealthCollector::P95FromDelta(cur, prev), 0.0);
+}
+
+TEST(HealthCollectorTest, DisabledIntervalMeansNoThreadButSamplingWorks) {
+  Script script;
+  HealthCollector collector(NoThread(), script.Sources());
+  collector.Start();  // no-op with interval_s <= 0
+  script.requests = 10;
+  collector.SampleOnce(1.0);
+  EXPECT_EQ(collector.samples_taken(), 1);
+  collector.Stop();  // idempotent, nothing to join
+}
+
+}  // namespace
+}  // namespace dflow::obs

@@ -89,6 +89,10 @@ def write_baseline(current, source, baseline_path, old_baseline, headroom):
     measured_rps = fetch(dflow_load, source, "requests_per_second")
     dflow_load["requests_per_second"] = round(measured_rps * headroom, 1)
 
+    batch = dict(fetch(current, source, "batch_throughput"))
+    measured_batch_rps = fetch(batch, source, "requests_per_second")
+    batch["requests_per_second"] = round(measured_batch_rps * headroom, 1)
+
     out = {
         "schema": "dflow-bench-v1",
         "comment": "Re-seeded by check_regression.py --write-baseline from "
@@ -113,6 +117,7 @@ def write_baseline(current, source, baseline_path, old_baseline, headroom):
             "max_auto_vs_best": ceiling(
                 "strategy_advisor", "max_auto_vs_best", 1.10),
         },
+        "batch_throughput": batch,
         "dflow_load": dflow_load,
     }
     with open(baseline_path, "w") as f:
@@ -125,6 +130,8 @@ def write_baseline(current, source, baseline_path, old_baseline, headroom):
               % (row["shards"], row["instances_per_second"]))
     print("  dflow_load floor %.1f requests/s (measured %.1f)"
           % (dflow_load["requests_per_second"], measured_rps))
+    print("  batch_throughput floor %.1f requests/s (measured %.1f)"
+          % (batch["requests_per_second"], measured_batch_rps))
     return 0
 
 
@@ -193,6 +200,17 @@ def main():
         fetch(current, args.current, "dflow_load", "requests_per_second"),
         fetch(baseline, args.baseline, "dflow_load", "requests_per_second"),
     ))
+    # Pipelined batch path (wire v7): gated like the other throughput
+    # floors, but only when both sides carry the row so pre-v7 artifacts
+    # still compare cleanly.
+    if "batch_throughput" in current and "batch_throughput" in baseline:
+        checks.append((
+            "batch_throughput (swarm) requests/s",
+            fetch(current, args.current,
+                  "batch_throughput", "requests_per_second"),
+            fetch(baseline, args.baseline,
+                  "batch_throughput", "requests_per_second"),
+        ))
 
     if not checks:
         print("FAIL: no comparable metrics between current and baseline")
@@ -213,6 +231,12 @@ def main():
     if load_errors != 0:
         print("FAIL dflow_load saw %d errors" % load_errors)
         failures += 1
+    if "batch_throughput" in current:
+        batch_errors = fetch(current, args.current,
+                             "batch_throughput", "errors")
+        if batch_errors != 0:
+            print("FAIL batch_throughput run saw %d errors" % batch_errors)
+            failures += 1
 
     # Observability-overhead gate (absolute ceiling, not drop-relative):
     # tracing at the default sampling rate must stay off the hot path.

@@ -11,6 +11,14 @@
 //     at R/connections per second regardless of responses (a reader
 //     drains them concurrently), so queueing delay shows up in the
 //     latencies instead of slowing the arrival process.
+//   - swarm (--mode=swarm --batch=B): holds EVERY connection open
+//     concurrently (a few worker threads each own hundreds of them — the
+//     event-driven ingress makes 10k+ connections cheap server-side) and
+//     drives each connection in batch-closed-loop discipline over the v7
+//     BATCH_SUBMIT frame: submit B requests in one frame, drain the B
+//     completions, repeat. Completions are mapped back to workload
+//     indices, so the workload fingerprint is comparable across all three
+//     modes — a swarm run attests the same bytes as a singleton run.
 //
 // Either discipline can be time-bounded instead of quota-bounded:
 // --duration=SECS (with --distinct=K) drives until the deadline, drains
@@ -87,6 +95,7 @@
 #include "common/rng.h"
 #include "gen/schema_generator.h"
 #include "net/client.h"
+#include "net/server_config.h"
 #include "obs/trace.h"
 
 using namespace dflow;
@@ -101,6 +110,11 @@ struct Config {
   int requests = 2000;
   int connections = 4;
   bool open_loop = false;
+  // Swarm discipline: hold every connection concurrently and drive each
+  // with BATCH_SUBMIT frames of `batch` requests.
+  bool swarm = false;
+  int batch = 16;
+  int swarm_threads = 0;  // worker threads owning the swarm; 0 = auto
   double rate = 1000.0;  // total target arrivals/s across connections
   // Time-bounded mode: > 0 drives for this many seconds instead of a fixed
   // --requests quota (each connection strides the deterministic request
@@ -518,70 +532,232 @@ WorkerResult RunOpenWorker(const Config& config,
   return result;
 }
 
+// Swarm: this worker owns many connections at once and drives each in a
+// batch-closed loop over the v7 async Client surface — SubmitBatch ships
+// B requests in one frame, DrainCompletions settles them. Rounds are
+// two-phase on purpose: first a batch goes out on EVERY owned connection,
+// then the answers are drained connection by connection, so while one
+// connection's drain blocks, every other connection's batch is still in
+// flight server-side. Concurrency scales with connections, not with
+// worker threads.
+WorkerResult RunSwarmWorker(const Config& config,
+                            const gen::GeneratedSchema& pattern,
+                            const ClassPicker& picker,
+                            const std::vector<std::pair<int, int>>& slices,
+                            std::atomic<int>* ready, int total_conns) {
+  struct Conn {
+    net::Client client;
+    int first = 0;  // workload index range [first, first + count)
+    int count = 0;
+    int next = 0;  // offset of the first unsent index
+    bool alive = false;
+    net::TicketRange range;  // the in-flight batch (count 0 = none)
+    int batch_base = 0;      // workload index answering under range.first
+    Clock::time_point t0;    // when the in-flight batch was sent
+  };
+  WorkerResult result;
+  std::vector<Conn> conns(slices.size());
+  for (size_t k = 0; k < slices.size(); ++k) {
+    conns[k].first = slices[k].first;
+    conns[k].count = slices[k].second;
+    std::string error;
+    conns[k].alive = ConnectWithRetry(&conns[k].client, config, &error);
+    if (!conns[k].alive) result.errors += conns[k].count;
+    ready->fetch_add(1);
+  }
+  // Hold the fleet: drive only once every worker's connections are
+  // established (or definitively failed), so the run really measures the
+  // configured concurrency level, not a ramp.
+  while (ready->load(std::memory_order_acquire) < total_conns) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const int batch = std::max(1, config.batch);
+  net::BatchOptions options;
+  options.blocking = !config.nonblocking;
+  options.want_snapshot = config.want_snapshot;
+  options.strategy = config.strategy;
+  std::vector<net::BatchItem> items;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (Conn& conn : conns) {
+      if (!conn.alive || conn.next >= conn.count) continue;
+      const int n = std::min(batch, conn.count - conn.next);
+      items.assign(static_cast<size_t>(n), net::BatchItem{});
+      for (int i = 0; i < n; ++i) {
+        const int index = conn.first + conn.next + i;
+        items[static_cast<size_t>(i)].seed =
+            gen::InstanceSeed(pattern.params, picker.Pick(index));
+        items[static_cast<size_t>(i)].sources =
+            gen::MakeSourceBinding(pattern, items[static_cast<size_t>(i)].seed);
+      }
+      conn.t0 = Clock::now();
+      conn.range = conn.client.SubmitBatch(items, options);
+      if (!conn.range.ok()) {
+        result.errors += conn.count - conn.next;
+        conn.alive = false;
+        continue;
+      }
+      conn.batch_base = conn.first + conn.next;
+      conn.next += n;
+      progress = true;
+    }
+    for (Conn& conn : conns) {
+      if (!conn.alive || !conn.range.ok()) continue;
+      const bool drained = conn.client.DrainCompletions(
+          [&](const net::Completion& completion) {
+            const double ms = std::chrono::duration<double, std::milli>(
+                                  Clock::now() - conn.t0)
+                                  .count();
+            // Map the auto-assigned correlation id back to the workload
+            // index, so fingerprints (and the fold over them) are
+            // comparable with the singleton modes.
+            const uint64_t workload_id =
+                static_cast<uint64_t>(conn.batch_base) +
+                (completion.request_id - conn.range.first_id) + 1;
+            if (completion.type == net::MsgType::kSubmitResult) {
+              result.latencies_ms.push_back(ms);
+              result.fingerprints.emplace_back(workload_id,
+                                               completion.result.fingerprint);
+              if (!completion.result.strategy.empty()) {
+                ++result.strategies[completion.result.strategy];
+              }
+              ++result.ok;
+            } else if (completion.error.code == net::WireError::kRejectedBusy) {
+              ++result.rejected_busy;
+            } else if (completion.error.code ==
+                       net::WireError::kShuttingDown) {
+              ++result.rejected_shutdown;
+            } else {
+              ++result.errors;
+            }
+          });
+      if (!drained) {
+        result.errors += conn.count - conn.next +
+                         static_cast<int64_t>(conn.client.outstanding());
+        conn.alive = false;
+      }
+      conn.range = net::TicketRange{};
+    }
+  }
+  for (Conn& conn : conns) {
+    if (conn.alive && conn.client.connected()) conn.client.Goodbye();
+    result.bytes_sent += conn.client.bytes_sent();
+    result.bytes_received += conn.client.bytes_received();
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Config config;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    auto value_of = [&](const char* name) -> const char* {
-      const size_t len = std::strlen(name);
-      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-        return arg + len + 1;
-      }
-      return nullptr;
-    };
-    const char* v;
-    if ((v = value_of("--host"))) config.host = v;
-    else if ((v = value_of("--port"))) config.port = std::atoi(v);
-    else if ((v = value_of("--requests"))) config.requests = std::atoi(v);
-    else if ((v = value_of("--connections"))) config.connections = std::atoi(v);
-    else if ((v = value_of("--mode"))) {
-      if (std::strcmp(v, "open") == 0) config.open_loop = true;
-      else if (std::strcmp(v, "closed") != 0) {
-        std::fprintf(stderr, "unknown mode '%s'\n", v);
-        return 2;
-      }
-    }
-    else if ((v = value_of("--rate"))) config.rate = std::atof(v);
-    else if ((v = value_of("--duration"))) config.duration_s = std::atof(v);
-    else if ((v = value_of("--distinct"))) config.distinct = std::atoi(v);
-    else if ((v = value_of("--dist"))) config.dist = v;
-    else if ((v = value_of("--dist-seed"))) {
-      config.dist_seed = std::strtoull(v, nullptr, 10);
-    }
-    else if ((v = value_of("--nodes"))) config.nodes = std::atoi(v);
-    else if ((v = value_of("--rows"))) config.rows = std::atoi(v);
-    else if ((v = value_of("--pattern-seed"))) {
-      config.pattern_seed = std::strtoull(v, nullptr, 10);
-    }
-    else if ((v = value_of("--info-every"))) config.info_every = std::atoi(v);
-    else if ((v = value_of("--strategy"))) config.strategy = v;
-    else if ((v = value_of("--connect-timeout"))) {
-      config.connect_timeout_s = std::atof(v);
-    }
-    else if ((v = value_of("--expect-fingerprint-match"))) {
-      config.expect_fingerprint = true;
-      config.expected_fingerprint = std::strtoull(v, nullptr, 16);
-    }
-    else if (std::strcmp(arg, "--nonblocking") == 0) config.nonblocking = true;
-    else if (std::strcmp(arg, "--snapshot") == 0) config.want_snapshot = true;
-    else if (std::strcmp(arg, "--trace") == 0) config.trace = true;
-    else if (std::strcmp(arg, "--metrics-dump") == 0) {
-      config.metrics_dump = true;
-    }
-    else if (std::strcmp(arg, "--json") == 0) config.json = true;
-    else if (std::strcmp(arg, "--fail-on-reject") == 0) {
-      config.fail_on_reject = true;
-    }
-    else {
-      std::fprintf(stderr, "unknown flag '%s'\n", arg);
+  net::ServerConfig flags(
+      "dflow_load",
+      "TCP load driver for dflow_serve / dflow_router: generates the Table "
+      "1 pattern workload (pattern flags MUST match the server's) and "
+      "drives it over the wire protocol in closed-loop, open-loop, or "
+      "swarm (many held connections, batched submits) discipline.");
+  flags.String("host", &config.host, "server to drive")
+      .Int("port", &config.port, "server's wire-protocol port", 1, 65535)
+      .Int("requests", &config.requests, "total request quota", 1)
+      .Int("connections", &config.connections, "concurrent connections", 1,
+           1 << 20)
+      .Custom("mode", "closed|open|swarm",
+              "loop discipline (see the file header)",
+              [&config](const char* value, std::string* error) {
+                config.open_loop = std::strcmp(value, "open") == 0;
+                config.swarm = std::strcmp(value, "swarm") == 0;
+                if (!config.open_loop && !config.swarm &&
+                    std::strcmp(value, "closed") != 0) {
+                  *error = "must be closed, open, or swarm";
+                  return false;
+                }
+                return true;
+              })
+      .Double("rate", &config.rate,
+              "open loop: total target arrivals/s across connections")
+      .Double("duration", &config.duration_s,
+              "drive for this many seconds instead of a fixed quota "
+              "(requires --distinct)")
+      .Int("batch", &config.batch,
+           "swarm: requests per BATCH_SUBMIT frame", 1, 65536)
+      .Int("swarm-threads", &config.swarm_threads,
+           "swarm: worker threads owning the connections (0 = auto)", 0,
+           4096)
+      .Int("distinct", &config.distinct,
+           "distinct request classes (0 = all unique)", 0)
+      .String("dist", &config.dist,
+              "class distribution: roundrobin, uniform, zipf:<theta>, or "
+              "hotset:<k>:<pct>")
+      .Uint64("dist-seed", &config.dist_seed, "class distribution PRNG seed")
+      .Int("nodes", &config.nodes, "pattern schema size in nodes", 1)
+      .Int("rows", &config.rows, "rows per pattern source", 1)
+      .Uint64("pattern-seed", &config.pattern_seed, "pattern generator seed")
+      .Int("info-every", &config.info_every,
+           "closed loop: every Nth request per connection also queries "
+           "Info (0 = never)",
+           0)
+      .String("strategy", &config.strategy,
+              "strategy override sent on every submit (empty = server "
+              "default)")
+      .Double("connect-timeout", &config.connect_timeout_s,
+              "seconds each connection retries the initial connect")
+      .Custom("expect-fingerprint-match", "HEX",
+              "exit nonzero unless every request succeeded and the "
+              "workload fingerprint equals this value",
+              [&config](const char* value, std::string* error) {
+                char* end = nullptr;
+                config.expected_fingerprint = std::strtoull(value, &end, 16);
+                if (end == value || *end != '\0') {
+                  *error = "must be a hex fingerprint";
+                  return false;
+                }
+                config.expect_fingerprint = true;
+                return true;
+              })
+      .Bool("nonblocking", &config.nonblocking,
+            "nonblocking admission (rejects instead of waiting for queue "
+            "room)")
+      .Bool("snapshot", &config.want_snapshot,
+            "request full result snapshots")
+      .Bool("trace", &config.trace,
+            "set the trace flag on every submit and fold the timing "
+            "trailers into a per-stage summary")
+      .Bool("metrics-dump", &config.metrics_dump,
+            "scrape and print the server's metrics text after the run")
+      .Bool("json", &config.json,
+            "print one machine-readable JSON object instead of the table")
+      .Bool("fail-on-reject", &config.fail_on_reject,
+            "exit nonzero on any REJECTED_BUSY/SHUTTING_DOWN response");
+  std::string flag_error;
+  switch (flags.Parse(argc, argv, &flag_error)) {
+    case net::ServerConfig::ParseStatus::kHelp:
+      std::fputs(flags.Help().c_str(), stdout);
+      return 0;
+    case net::ServerConfig::ParseStatus::kError:
+      std::fprintf(stderr, "dflow_load: %s\n", flag_error.c_str());
       return 2;
-    }
+    case net::ServerConfig::ParseStatus::kOk:
+      break;
   }
-  config.connections = std::max(1, config.connections);
-  config.requests = std::max(1, config.requests);
   const bool timed = config.duration_s > 0;
+  if (config.swarm && timed) {
+    // Swarm rounds are quota-driven; a deadline would cut batches midway
+    // and make the reported concurrency level a lie.
+    std::fprintf(stderr,
+                 "dflow_load: --mode=swarm is quota-bounded; drop "
+                 "--duration\n");
+    return 2;
+  }
+  if (config.swarm && config.trace) {
+    // BATCH_SUBMIT deliberately carries no trace extension (the batch is
+    // not one request); trace with the singleton modes instead.
+    std::fprintf(stderr,
+                 "dflow_load: --trace does not apply to --mode=swarm "
+                 "(batched submits carry no trace extension)\n");
+    return 2;
+  }
   if (timed && config.expect_fingerprint) {
     // The fingerprint gate attests a *fixed* workload answered in full; a
     // time-bounded run's request count is load-dependent by design.
@@ -638,18 +814,47 @@ int main(int argc, char** argv) {
       timed ? start + std::chrono::duration_cast<Clock::duration>(
                           std::chrono::duration<double>(config.duration_s))
             : Clock::time_point::max();
-  std::vector<WorkerResult> results(ranges.size());
+  std::vector<WorkerResult> results;
   std::vector<std::thread> workers;
-  workers.reserve(ranges.size());
-  for (size_t c = 0; c < ranges.size(); ++c) {
-    workers.emplace_back([&, c] {
-      results[c] =
-          config.open_loop
-              ? RunOpenWorker(config, pattern, picker, ranges[c].first,
-                              ranges[c].second, stride, deadline)
-              : RunClosedWorker(config, pattern, picker, ranges[c].first,
-                                ranges[c].second, stride, deadline);
-    });
+  if (config.swarm) {
+    // A few worker threads each own a block of connections; the swarm's
+    // concurrency comes from held connections with batches in flight, not
+    // from thread count.
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    const int num_workers = std::min(
+        config.connections,
+        config.swarm_threads > 0 ? config.swarm_threads
+                                 : std::max(8, 2 * std::max(1, hw)));
+    results.resize(static_cast<size_t>(num_workers));
+    workers.reserve(static_cast<size_t>(num_workers));
+    std::atomic<int> ready{0};
+    const int per_worker = config.connections / num_workers;
+    int cursor = 0;
+    for (int w = 0; w < num_workers; ++w) {
+      const int owned =
+          per_worker + (w < config.connections % num_workers ? 1 : 0);
+      std::vector<std::pair<int, int>> slices(
+          ranges.begin() + cursor, ranges.begin() + cursor + owned);
+      cursor += owned;
+      workers.emplace_back([&, w, slices = std::move(slices)] {
+        results[static_cast<size_t>(w)] =
+            RunSwarmWorker(config, pattern, picker, slices, &ready,
+                           config.connections);
+      });
+    }
+  } else {
+    results.resize(ranges.size());
+    workers.reserve(ranges.size());
+    for (size_t c = 0; c < ranges.size(); ++c) {
+      workers.emplace_back([&, c] {
+        results[c] =
+            config.open_loop
+                ? RunOpenWorker(config, pattern, picker, ranges[c].first,
+                                ranges[c].second, stride, deadline)
+                : RunClosedWorker(config, pattern, picker, ranges[c].first,
+                                  ranges[c].second, stride, deadline);
+      });
+    }
   }
   for (std::thread& worker : workers) worker.join();
   const double wall_s =
@@ -778,9 +983,12 @@ int main(int argc, char** argv) {
   const long long attempted =
       timed ? total.ok + rejected + total.errors
             : static_cast<long long>(config.requests);
+  const char* mode_name =
+      config.swarm ? "swarm" : (config.open_loop ? "open" : "closed");
   if (config.json) {
     std::printf(
-        "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"requests\":%lld,"
+        "{\"tool\":\"dflow_load\",\"mode\":\"%s\",\"batch\":%d,"
+        "\"requests\":%lld,"
         "\"duration_s\":%.3f,"
         "\"connections\":%d,\"dist\":\"%s\",\"dist_seed\":%llu,"
         "\"ok\":%lld,\"rejected_busy\":%lld,"
@@ -794,7 +1002,8 @@ int main(int argc, char** argv) {
         "\"workload_fingerprint\":\"%016llx\",\"strategies\":%s,"
         "\"stages\":%s,\"router\":%s,"
         "\"server\":{\"completed\":%lld,\"decode_errors\":%lld}}\n",
-        config.open_loop ? "open" : "closed", attempted, config.duration_s,
+        mode_name, config.swarm ? config.batch : 0, attempted,
+        config.duration_s,
         config.connections, JsonEscape(config.dist).c_str(),
         static_cast<unsigned long long>(config.dist_seed),
         static_cast<long long>(total.ok),
@@ -820,9 +1029,12 @@ int main(int argc, char** argv) {
     } else {
       std::printf(
           "# dflow_load: %s loop, %d requests over %d connections to "
-          "%s:%d%s\n",
-          config.open_loop ? "open" : "closed", config.requests,
+          "%s:%d%s%s\n",
+          mode_name, config.requests,
           config.connections, config.host.c_str(), config.port,
+          config.swarm
+              ? (" (batch=" + std::to_string(config.batch) + ")").c_str()
+              : "",
           config.nonblocking ? " (nonblocking admission)" : "");
     }
     std::printf("%-10s %-10s %-10s %-8s %-8s %-10s %-9s %-9s %-9s %-9s\n",

@@ -30,26 +30,11 @@
 #include <vector>
 
 #include "net/router.h"
+#include "net/server_config.h"
 
 using namespace dflow;
 
 namespace {
-
-bool FlagValue(const char* arg, const char* name, const char** value) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-// "--trace-sample=64" and "--trace-sample=1/64" both mean "1 in 64".
-uint32_t ParseSamplePeriod(const char* value) {
-  if (std::strncmp(value, "1/", 2) == 0) value += 2;
-  const long parsed = std::atol(value);
-  return parsed <= 0 ? 0u : static_cast<uint32_t>(parsed);
-}
 
 // "4521,4522" or "host:4521,host:4522" (mixed forms allowed); host
 // defaults to 127.0.0.1.
@@ -81,92 +66,101 @@ bool ParseBackends(const std::string& text,
 int main(int argc, char** argv) {
   net::RouterOptions options;
   int port = 4517;
-  std::string backends_text;
   bool metrics_dump = false;
-  bool abort_on_divergence = true;  // the binary hard-fails by default
+  bool no_abort_on_divergence = false;  // the binary hard-fails by default
   int log_stats_every = 0;  // seconds; 0 = no periodic self-report
 
-  for (int i = 1; i < argc; ++i) {
-    const char* value = nullptr;
-    if (FlagValue(argv[i], "--port", &value)) {
-      port = std::atoi(value);
-    } else if (FlagValue(argv[i], "--backends", &value)) {
-      backends_text = value;
-    } else if (FlagValue(argv[i], "--pool", &value)) {
-      options.connections_per_backend = std::atoi(value);
-    } else if (FlagValue(argv[i], "--replicas", &value)) {
-      // Replica group width: consecutive runs of N backends form one hash
-      // slot; the router prefers the group's lowest live member and fails
-      // in-flight work over to a sibling when a member dies.
-      options.replicas = std::atoi(value);
-    } else if (FlagValue(argv[i], "--divergence-sample", &value)) {
-      // 1-in-N sampled replica cross-check (accepts "8" or "1/8"): the
-      // same request goes to two replicas and the result fingerprints
-      // must match. A mismatch is fatal (exit 3) unless
-      // --no-abort-on-divergence.
-      options.divergence_sample_period = ParseSamplePeriod(value);
-    } else if (std::strcmp(argv[i], "--no-abort-on-divergence") == 0) {
-      abort_on_divergence = false;
-    } else if (FlagValue(argv[i], "--connect-timeout", &value)) {
-      options.connect_timeout_s = std::atof(value);
-    } else if (FlagValue(argv[i], "--node-id", &value)) {
-      options.node_id = value;
-    } else if (FlagValue(argv[i], "--trace-sample", &value)) {
-      // 1-in-N deterministic trace sampling at the fleet's entry point
-      // (accepts "64" or "1/64"). Sampled submits are forwarded with the
-      // v4 trace extension, so the backend traces the same requests under
-      // the router-minted id.
-      options.trace.sample_period = ParseSamplePeriod(value);
-    } else if (FlagValue(argv[i], "--trace-jsonl", &value)) {
-      options.trace.jsonl_path = value;
-    } else if (FlagValue(argv[i], "--trace-max-mb", &value)) {
-      // Size budget for the trace JSONL sink; crossing it rotates the
-      // file to <path>.1 (one generation kept). 0 = never rotate.
-      options.trace.jsonl_max_bytes =
-          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
-    } else if (FlagValue(argv[i], "--slow-ms", &value)) {
-      options.trace.slow_ms = std::atof(value);
-    } else if (FlagValue(argv[i], "--events-jsonl", &value)) {
-      // Append every journal event as one JSON line to this file.
-      options.events.jsonl_path = value;
-    } else if (FlagValue(argv[i], "--events-max-mb", &value)) {
-      // Rotation budget for the event JSONL sink, like --trace-max-mb.
-      options.events.jsonl_max_bytes =
-          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
-    } else if (FlagValue(argv[i], "--health-interval", &value)) {
-      // Health collector cadence in seconds; <= 0 disables the collector
-      // thread (HEALTH requests are still answered, minus rate series).
-      options.health.interval_s = std::atof(value);
-    } else if (FlagValue(argv[i], "--slo-ms", &value)) {
-      // p95 relay-latency SLO for the health watermark rules: sustained
-      // p95 above this degrades dflow_health_status.
-      options.health.slo_ms = std::atof(value);
-    } else if (FlagValue(argv[i], "--log-stats-every", &value)) {
-      log_stats_every = std::atoi(value);
-    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
-      metrics_dump = true;
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      options.verbose = true;
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+  net::ServerConfig config(
+      "dflow_router",
+      "The multi-node routing tier in front of a dflow_serve fleet: fans "
+      "every submit out to the configured backends by the same seed hash "
+      "the FlowServer uses for shard placement, so results are "
+      "byte-identical to a direct single-server run for any fleet size.");
+  config.Int("port", &port, "TCP listen port (0 = kernel-chosen)", 0, 65535)
+      .Custom("backends", "PORT[,PORT...]",
+              "REQUIRED: backend list, '4521,4522' or "
+              "'host:4521,host:4522' (host defaults to 127.0.0.1)",
+              [&options](const char* value, std::string* error) {
+                options.backends.clear();
+                if (!ParseBackends(value, &options.backends)) {
+                  *error = "cannot parse backend list";
+                  return false;
+                }
+                return true;
+              })
+      .Int("pool", &options.connections_per_backend,
+           "forwarding connections per backend", 1, 256)
+      .Int("replicas", &options.replicas,
+           "replica group width: consecutive runs of N backends form one "
+           "hash slot; the router prefers the group's lowest live member "
+           "and fails in-flight work over to a sibling when a member dies",
+           1, 256)
+      .Int("event-threads", &options.event_threads,
+           "event-loop threads owning client sockets (0 = min(4, hardware "
+           "threads))",
+           0, 256)
+      .SamplePeriod("divergence-sample", &options.divergence_sample_period,
+                    "1-in-N sampled replica cross-check: the same request "
+                    "goes to two replicas and the result fingerprints must "
+                    "match; a mismatch is fatal (exit 3) unless "
+                    "--no-abort-on-divergence")
+      .Bool("no-abort-on-divergence", &no_abort_on_divergence,
+            "log divergence mismatches instead of exiting")
+      .Double("connect-timeout", &options.connect_timeout_s,
+              "seconds to wait for each backend at startup")
+      .String("node-id", &options.node_id,
+              "identity this router reports (default router:<port>)")
+      .SamplePeriod("trace-sample", &options.trace.sample_period,
+                    "1-in-N deterministic trace sampling at the fleet's "
+                    "entry point; sampled submits are forwarded with the "
+                    "trace extension, so the backend traces the same "
+                    "requests under the router-minted id")
+      .String("trace-jsonl", &options.trace.jsonl_path,
+              "append every finished trace as one JSON line to this file")
+      .Megabytes("trace-max-mb", &options.trace.jsonl_max_bytes,
+                 "size budget for the trace JSONL sink; crossing it rotates "
+                 "the file to <path>.1 (0 = never rotate)")
+      .Double("slow-ms", &options.trace.slow_ms,
+              "slow-relay log threshold in wall ms")
+      .String("events-jsonl", &options.events.jsonl_path,
+              "append every journal event as one JSON line to this file")
+      .Megabytes("events-max-mb", &options.events.jsonl_max_bytes,
+                 "rotation budget for the event JSONL sink, like "
+                 "--trace-max-mb")
+      .Double("health-interval", &options.health.interval_s,
+              "health collector cadence in seconds; <= 0 disables the "
+              "collector thread (HEALTH requests still answered, minus rate "
+              "series)")
+      .Double("slo-ms", &options.health.slo_ms,
+              "p95 relay-latency SLO for the health watermark rules: "
+              "sustained p95 above this degrades dflow_health_status")
+      .Int("log-stats-every", &log_stats_every,
+           "periodic one-line self-report on stderr every N seconds", 0)
+      .Bool("metrics-dump", &metrics_dump,
+            "print the final Prometheus-style metrics exposition on drain")
+      .Bool("verbose", &options.verbose,
+            "per-connection log lines on stderr");
+  std::string flag_error;
+  switch (config.Parse(argc, argv, &flag_error)) {
+    case net::ServerConfig::ParseStatus::kHelp:
+      std::fputs(config.Help().c_str(), stdout);
+      return 0;
+    case net::ServerConfig::ParseStatus::kError:
+      std::fprintf(stderr, "dflow_router: %s\n", flag_error.c_str());
       return 2;
-    }
+    case net::ServerConfig::ParseStatus::kOk:
+      break;
   }
-  if (backends_text.empty()) {
+  if (options.backends.empty()) {
     std::fprintf(stderr,
                  "dflow_router: --backends=PORT[,PORT...] (or host:port "
                  "items) is required\n");
     return 2;
   }
-  if (!ParseBackends(backends_text, &options.backends)) {
-    std::fprintf(stderr, "dflow_router: cannot parse --backends '%s'\n",
-                 backends_text.c_str());
-    return 2;
-  }
   options.port = static_cast<uint16_t>(port);
   options.events.log_to_stderr = options.verbose;
   options.abort_on_divergence =
-      abort_on_divergence && options.divergence_sample_period > 0;
+      !no_abort_on_divergence && options.divergence_sample_period > 0;
   if (options.replicas > 1 &&
       options.backends.size() % static_cast<size_t>(options.replicas) != 0) {
     std::fprintf(stderr,

@@ -25,29 +25,10 @@
 
 #include "gen/schema_generator.h"
 #include "net/ingress_server.h"
+#include "net/server_config.h"
 #include "opt/strategy_advisor.h"
 
 using namespace dflow;
-
-namespace {
-
-bool FlagValue(const char* arg, const char* name, const char** value) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-// "--trace-sample=64" and "--trace-sample=1/64" both mean "1 in 64".
-uint32_t ParseSamplePeriod(const char* value) {
-  if (std::strncmp(value, "1/", 2) == 0) value += 2;
-  const long parsed = std::atol(value);
-  return parsed <= 0 ? 0u : static_cast<uint32_t>(parsed);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   int port = 4517;
@@ -57,12 +38,13 @@ int main(int argc, char** argv) {
   long long cache_bytes = 0;
   long long cache_min_cost = 0;
   int nodes = 64, rows = 4;
-  unsigned long long pattern_seed = 1;
+  uint64_t pattern_seed = 1;
   std::string strategy_text = "PSE100";
   std::string node_id;
-  unsigned long long fleet_epoch = 0;
+  uint64_t fleet_epoch = 0;
   core::BackendKind backend = core::BackendKind::kInfinite;
   bool verbose = false;
+  int event_threads = 0;
   int advisor_samples = 48;
   int advisor_explore = 64;
   std::string advisor_calibration;  // load-or-create path; empty = in-memory
@@ -72,102 +54,99 @@ int main(int argc, char** argv) {
   bool metrics_dump = false;
   int log_stats_every = 0;  // seconds; 0 = no periodic self-report
 
-  for (int i = 1; i < argc; ++i) {
-    const char* value = nullptr;
-    if (FlagValue(argv[i], "--port", &value)) {
-      port = std::atoi(value);
-    } else if (FlagValue(argv[i], "--shards", &value)) {
-      shards = std::atoi(value);
-    } else if (FlagValue(argv[i], "--queue", &value)) {
-      queue = std::atoi(value);
-    } else if (FlagValue(argv[i], "--cache", &value)) {
-      cache = std::atoi(value);
-    } else if (FlagValue(argv[i], "--cache-bytes", &value)) {
-      cache_bytes = std::atoll(value);
-    } else if (FlagValue(argv[i], "--cache-min-cost", &value)) {
-      // Cost-based cache admission: results with work below this are not
-      // cached, so cheap instances stop evicting expensive ones.
-      cache_min_cost = std::atoll(value);
-    } else if (FlagValue(argv[i], "--advisor-samples", &value)) {
-      // AUTO only: how many pattern instances the startup calibration
-      // profiles per candidate strategy.
-      advisor_samples = std::atoi(value);
-    } else if (FlagValue(argv[i], "--advisor-explore", &value)) {
-      // AUTO only: explore period (1 request in N re-measures a rotation
-      // candidate; 0 disables exploration).
-      advisor_explore = std::atoi(value);
-    } else if (FlagValue(argv[i], "--advisor-calibration", &value)) {
-      // AUTO only: cost-model file. Loaded when it exists (restarts then
-      // reproduce every AUTO choice byte-for-byte); otherwise the startup
-      // calibration runs and its model is saved here.
-      advisor_calibration = value;
-    } else if (FlagValue(argv[i], "--nodes", &value)) {
-      nodes = std::atoi(value);
-    } else if (FlagValue(argv[i], "--rows", &value)) {
-      rows = std::atoi(value);
-    } else if (FlagValue(argv[i], "--pattern-seed", &value)) {
-      pattern_seed = std::strtoull(value, nullptr, 10);
-    } else if (FlagValue(argv[i], "--strategy", &value)) {
-      strategy_text = value;
-    } else if (FlagValue(argv[i], "--node-id", &value)) {
-      // Identity reported in Info; a dflow_router records it per backend
-      // at handshake time. Defaults to "serve:<port>".
-      node_id = value;
-    } else if (FlagValue(argv[i], "--fleet-epoch", &value)) {
-      // Deployment generation reported in Info. A replicated router
-      // refuses to mix backends with different epochs — pass the same
-      // value to every member of a replica set.
-      fleet_epoch = std::strtoull(value, nullptr, 10);
-    } else if (FlagValue(argv[i], "--backend", &value)) {
-      if (std::strcmp(value, "bounded") == 0) {
-        backend = core::BackendKind::kBoundedDb;
-      } else if (std::strcmp(value, "infinite") != 0) {
-        std::fprintf(stderr, "unknown backend '%s'\n", value);
-        return 2;
-      }
-    } else if (FlagValue(argv[i], "--trace-sample", &value)) {
-      // 1-in-N deterministic trace sampling (accepts "64" or "1/64");
-      // 1 traces everything, 0 disables tracing.
-      trace.sample_period = ParseSamplePeriod(value);
-    } else if (FlagValue(argv[i], "--trace-jsonl", &value)) {
-      // Append every finished trace as one JSON line to this file.
-      trace.jsonl_path = value;
-    } else if (FlagValue(argv[i], "--slow-ms", &value)) {
-      // Slow-request log threshold (wall ms). >0 traces EVERY request and
-      // dumps the full span breakdown of any that crosses the threshold.
-      trace.slow_ms = std::atof(value);
-    } else if (FlagValue(argv[i], "--trace-max-mb", &value)) {
-      // Size budget for the trace JSONL sink; crossing it rotates the
-      // file to <path>.1 (one generation kept). 0 = never rotate.
-      trace.jsonl_max_bytes =
-          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
-    } else if (FlagValue(argv[i], "--events-jsonl", &value)) {
-      // Append every journal event as one JSON line to this file.
-      events.jsonl_path = value;
-    } else if (FlagValue(argv[i], "--events-max-mb", &value)) {
-      // Rotation budget for the event JSONL sink, like --trace-max-mb.
-      events.jsonl_max_bytes =
-          static_cast<uint64_t>(std::atof(value) * 1024 * 1024);
-    } else if (FlagValue(argv[i], "--health-interval", &value)) {
-      // Health collector cadence in seconds; <= 0 disables the collector
-      // thread (HEALTH requests are still answered, minus rate series).
-      health.interval_s = std::atof(value);
-    } else if (FlagValue(argv[i], "--slo-ms", &value)) {
-      // p95 wall-latency SLO for the health watermark rules: sustained
-      // p95 above this degrades dflow_health_status.
-      health.slo_ms = std::atof(value);
-    } else if (FlagValue(argv[i], "--log-stats-every", &value)) {
-      // Periodic one-line self-report on stderr every N seconds.
-      log_stats_every = std::atoi(value);
-    } else if (std::strcmp(argv[i], "--metrics-dump") == 0) {
-      // Print the final Prometheus-style metrics exposition on drain.
-      metrics_dump = true;
-    } else if (std::strcmp(argv[i], "--verbose") == 0) {
-      verbose = true;
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+  net::ServerConfig config(
+      "dflow_serve",
+      "The flow-serving runtime behind a real TCP front door: serves the "
+      "wire protocol on 127.0.0.1:<port> until SIGINT/SIGTERM, then drains "
+      "gracefully and prints the final report. Point dflow_load at the same "
+      "--nodes/--rows/--pattern-seed values.");
+  config.Int("port", &port, "TCP listen port (0 = kernel-chosen)", 0, 65535)
+      .Int("shards", &shards,
+           "worker shards (0 = one per hardware thread)", 0, 4096)
+      .Int("queue", &queue, "per-shard admission queue capacity", 1, 1 << 20)
+      .Int("cache", &cache, "result cache capacity in entries (0 = off)", 0)
+      .Int64("cache-bytes", &cache_bytes,
+             "result cache byte budget (0 = entries only)", 0)
+      .Int64("cache-min-cost", &cache_min_cost,
+             "cost-based cache admission: results with work below this are "
+             "not cached, so cheap instances stop evicting expensive ones",
+             0)
+      .Int("event-threads", &event_threads,
+           "event-loop threads owning client sockets (0 = min(4, hardware "
+           "threads))",
+           0, 256)
+      .Int("advisor-samples", &advisor_samples,
+           "AUTO only: pattern instances the startup calibration profiles "
+           "per candidate strategy",
+           1, 1 << 20)
+      .Int("advisor-explore", &advisor_explore,
+           "AUTO only: explore period (1 request in N re-measures a "
+           "rotation candidate; 0 disables)",
+           0)
+      .String("advisor-calibration", &advisor_calibration,
+              "AUTO only: cost-model file, loaded when it exists (restarts "
+              "then reproduce every AUTO choice byte-for-byte), otherwise "
+              "written after startup calibration")
+      .Int("nodes", &nodes, "pattern schema size in nodes", 1, 1 << 20)
+      .Int("rows", &rows, "rows per pattern source", 1, 1 << 20)
+      .Uint64("pattern-seed", &pattern_seed, "pattern generator seed")
+      .String("strategy", &strategy_text,
+              "execution strategy (e.g. PSE100, EAGER, AUTO)")
+      .String("node-id", &node_id,
+              "identity reported in Info; a dflow_router records it per "
+              "backend at handshake time (default serve:<port>)")
+      .Uint64("fleet-epoch", &fleet_epoch,
+              "deployment generation reported in Info; a replicated router "
+              "refuses to mix backends with different epochs")
+      .Custom("backend", "infinite|bounded",
+              "simulated database backend model",
+              [&backend](const char* value, std::string* error) {
+                if (std::strcmp(value, "bounded") == 0) {
+                  backend = core::BackendKind::kBoundedDb;
+                } else if (std::strcmp(value, "infinite") != 0) {
+                  *error = "must be 'infinite' or 'bounded'";
+                  return false;
+                }
+                return true;
+              })
+      .SamplePeriod("trace-sample", &trace.sample_period,
+                    "1-in-N deterministic trace sampling; 1 traces "
+                    "everything, 0 disables")
+      .String("trace-jsonl", &trace.jsonl_path,
+              "append every finished trace as one JSON line to this file")
+      .Double("slow-ms", &trace.slow_ms,
+              "slow-request log threshold in wall ms; >0 traces every "
+              "request and dumps the span breakdown of any that crosses it")
+      .Megabytes("trace-max-mb", &trace.jsonl_max_bytes,
+                 "size budget for the trace JSONL sink; crossing it rotates "
+                 "the file to <path>.1 (0 = never rotate)")
+      .String("events-jsonl", &events.jsonl_path,
+              "append every journal event as one JSON line to this file")
+      .Megabytes("events-max-mb", &events.jsonl_max_bytes,
+                 "rotation budget for the event JSONL sink, like "
+                 "--trace-max-mb")
+      .Double("health-interval", &health.interval_s,
+              "health collector cadence in seconds; <= 0 disables the "
+              "collector thread (HEALTH requests still answered, minus rate "
+              "series)")
+      .Double("slo-ms", &health.slo_ms,
+              "p95 wall-latency SLO for the health watermark rules: "
+              "sustained p95 above this degrades dflow_health_status")
+      .Int("log-stats-every", &log_stats_every,
+           "periodic one-line self-report on stderr every N seconds", 0)
+      .Bool("metrics-dump", &metrics_dump,
+            "print the final Prometheus-style metrics exposition on drain")
+      .Bool("verbose", &verbose, "per-connection log lines on stderr");
+  std::string flag_error;
+  switch (config.Parse(argc, argv, &flag_error)) {
+    case net::ServerConfig::ParseStatus::kHelp:
+      std::fputs(config.Help().c_str(), stdout);
+      return 0;
+    case net::ServerConfig::ParseStatus::kError:
+      std::fprintf(stderr, "dflow_serve: %s\n", flag_error.c_str());
       return 2;
-    }
+    case net::ServerConfig::ParseStatus::kOk:
+      break;
   }
 
   const std::optional<core::Strategy> strategy =
@@ -255,6 +234,7 @@ int main(int argc, char** argv) {
 
   net::IngressOptions ingress_options;
   ingress_options.port = static_cast<uint16_t>(port);
+  ingress_options.event_threads = event_threads;
   ingress_options.verbose = verbose;
   ingress_options.node_id = node_id;
   ingress_options.fleet_epoch = fleet_epoch;
@@ -288,7 +268,7 @@ int main(int argc, char** argv) {
       queue, cache,
       cache_bytes > 0 ? (", " + std::to_string(cache_bytes) + " bytes").c_str()
                       : "",
-      nodes, rows, pattern_seed);
+      nodes, rows, static_cast<unsigned long long>(pattern_seed));
   if (server_options.advisor != nullptr) {
     std::printf(
         "strategy advisor: fingerprint=%016llx, %zu calibrated classes, "

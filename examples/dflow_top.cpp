@@ -30,21 +30,13 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/server_config.h"
 #include "obs/event_log.h"
 #include "obs/timeseries.h"
 
 using namespace dflow;
 
 namespace {
-
-bool FlagValue(const char* arg, const char* name, const char** value) {
-  const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
 
 const char* StatusName(uint8_t status) {
   return obs::ToString(static_cast<obs::HealthStatus>(status));
@@ -218,25 +210,31 @@ int main(int argc, char** argv) {
   bool once = false;
   bool json = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const char* value = nullptr;
-    if (FlagValue(argv[i], "--host", &value)) {
-      host = value;
-    } else if (FlagValue(argv[i], "--port", &value)) {
-      port = std::atoi(value);
-    } else if (FlagValue(argv[i], "--interval", &value)) {
-      interval_s = std::atof(value);
-    } else if (std::strcmp(argv[i], "--once") == 0) {
-      once = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
-      // Implies a single machine-readable poll.
-      json = true;
-      once = true;
-    } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+  net::ServerConfig config(
+      "dflow_top",
+      "A live terminal dashboard over the fleet health plane: polls a "
+      "dflow_router (or a single dflow_serve) with HEALTH_REQUEST frames "
+      "and renders per-node status, rates, latency, queue pressure, and "
+      "the tail of the event journal.");
+  config.String("host", &host, "node to poll")
+      .Int("port", &port, "node's wire-protocol port", 1, 65535)
+      .Double("interval", &interval_s, "seconds between polls")
+      .Bool("once", &once, "one poll, one render, exit (exit 1 on failure)")
+      .Bool("json", &json,
+            "print one poll as a single JSON object and exit (implies "
+            "--once); what CI gates on");
+  std::string flag_error;
+  switch (config.Parse(argc, argv, &flag_error)) {
+    case net::ServerConfig::ParseStatus::kHelp:
+      std::fputs(config.Help().c_str(), stdout);
+      return 0;
+    case net::ServerConfig::ParseStatus::kError:
+      std::fprintf(stderr, "dflow_top: %s\n", flag_error.c_str());
       return 2;
-    }
+    case net::ServerConfig::ParseStatus::kOk:
+      break;
   }
+  if (json) once = true;  // --json implies a single machine-readable poll
   if (interval_s <= 0) interval_s = 2.0;
 
   bool first = true;

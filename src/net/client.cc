@@ -20,7 +20,64 @@ bool Client::SendFrame(const std::vector<uint8_t>& frame) {
 bool Client::SendSubmit(const SubmitRequest& request) {
   std::vector<uint8_t> frame;
   EncodeSubmit(request, &frame);
-  return SendFrame(frame);
+  if (!SendFrame(frame)) return false;
+  ++outstanding_;
+  return true;
+}
+
+TicketRange Client::SubmitBatch(std::span<const BatchItem> items,
+                                const BatchOptions& options) {
+  if (items.empty()) return {};
+  BatchSubmitRequest request;
+  request.request_id_base = next_request_id_;
+  request.blocking = options.blocking;
+  request.want_snapshot = options.want_snapshot;
+  request.strategy = options.strategy;
+  request.items.assign(items.begin(), items.end());
+  std::vector<uint8_t> frame;
+  EncodeBatchSubmit(request, &frame);
+  if (!SendFrame(frame)) return {};
+  const TicketRange range{next_request_id_,
+                          static_cast<uint32_t>(items.size())};
+  next_request_id_ += items.size();
+  outstanding_ += items.size();
+  return range;
+}
+
+std::optional<Completion> Client::NextCompletion() {
+  while (true) {
+    std::optional<ServerMessage> message = ReadMessage();
+    if (!message.has_value()) return std::nullopt;
+    Completion completion;
+    switch (message->type) {
+      case MsgType::kSubmitResult:
+        completion.request_id = message->result.request_id;
+        completion.type = MsgType::kSubmitResult;
+        completion.result = std::move(message->result);
+        return completion;
+      case MsgType::kError:
+        completion.request_id = message->error.request_id;
+        completion.type = MsgType::kError;
+        completion.error = std::move(message->error);
+        return completion;
+      default:
+        continue;  // not a completion; skip (see header contract)
+    }
+  }
+}
+
+bool Client::DrainCompletions(
+    const std::function<void(const Completion&)>& on_done,
+    uint64_t remaining) {
+  // remaining == 0 means "until everything outstanding settled";
+  // ReadMessage decrements outstanding_ as completions arrive.
+  const bool until_idle = remaining == 0;
+  while (until_idle ? outstanding_ > 0 : remaining-- > 0) {
+    std::optional<Completion> completion = NextCompletion();
+    if (!completion.has_value()) return false;
+    on_done(*completion);
+  }
+  return true;
 }
 
 bool Client::SendInfoRequest() {
@@ -70,10 +127,12 @@ std::optional<ServerMessage> Client::ReadMessage() {
     case MsgType::kSubmitResult:
       message.type = MsgType::kSubmitResult;
       if (!DecodeSubmitResult(frame->payload, &message.result)) break;
+      if (outstanding_ > 0) --outstanding_;
       return message;
     case MsgType::kError:
       message.type = MsgType::kError;
       if (!DecodeError(frame->payload, &message.error)) break;
+      if (outstanding_ > 0) --outstanding_;
       return message;
     case MsgType::kInfo:
       message.type = MsgType::kInfo;

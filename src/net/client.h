@@ -2,7 +2,9 @@
 #define DFLOW_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "net/socket.h"
@@ -21,19 +23,57 @@ struct ServerMessage {
   HealthInfo health;    // when kHealth
 };
 
+// The contiguous correlation-id range a SubmitBatch claimed: ids
+// first_id .. first_id + count - 1, item i answering under first_id + i.
+// count == 0 means the send failed and nothing is owed.
+struct TicketRange {
+  uint64_t first_id = 0;
+  uint32_t count = 0;
+
+  bool ok() const { return count > 0; }
+  bool Contains(uint64_t id) const {
+    return id >= first_id && id - first_id < count;
+  }
+};
+
+// Everything a batch shares across its items (the per-item variation —
+// seed + sources — travels in the BatchItems themselves).
+struct BatchOptions {
+  bool blocking = true;      // admission mode for every item
+  bool want_snapshot = false;
+  std::string strategy;      // optional override, empty = server default
+};
+
+// One settled request from the pipelined stream: the answer to correlation
+// id `request_id`, either a result (type == kSubmitResult) or a typed
+// refusal (type == kError).
+struct Completion {
+  uint64_t request_id = 0;
+  MsgType type = MsgType::kError;
+  SubmitResult result;  // when kSubmitResult
+  ErrorReply error;     // when kError
+};
+
 // Client side of the wire protocol: one TCP connection, blocking calls.
 //
-// Two usage styles:
+// Three usage styles:
+//   - asynchronous batches (the throughput path): SubmitBatch() ships many
+//     requests under one v7 BATCH_SUBMIT frame and returns the TicketRange
+//     they answer under; completions are consumed with NextCompletion()
+//     (poll style) or DrainCompletions() (callback style), in *completion*
+//     order — correlate by request_id. outstanding() tracks what is still
+//     owed across every SubmitBatch/SendSubmit on this connection.
 //   - synchronous RPC: Call() / Info() / Goodbye() pair one request with
 //     one response — the simplest correct loop for a closed-loop driver;
-//   - pipelined: issue several SendSubmit()s, then ReadMessage() until
-//     every request_id is answered. Responses arrive in *completion*
-//     order, not submission order; correlate by request_id.
+//   - pipelined singletons: issue several SendSubmit()s, then
+//     ReadMessage() (or NextCompletion()) until every request_id is
+//     answered.
 //
 // Threading: not generally thread-safe, with one supported overlap — a
-// dedicated sender thread (Send*) concurrent with a dedicated reader
-// thread (ReadMessage), as the open-loop load driver does; send-side and
-// receive-side state are disjoint. ReadMessage returning nullopt means the
+// dedicated sender thread (Send*/SubmitBatch) concurrent with a dedicated
+// reader thread (ReadMessage/NextCompletion), as the open-loop load driver
+// does; send-side and receive-side state are disjoint (outstanding() is
+// approximate under this overlap). ReadMessage returning nullopt means the
 // connection is unusable — EOF, transport error, or an unrecoverable
 // protocol error (see last_error()).
 class Client {
@@ -49,6 +89,36 @@ class Client {
   // Bounds one blocking read (see Socket::SetRecvTimeout); 0 restores
   // "block forever". A timed-out read surfaces as nullopt.
   void SetRecvTimeout(int timeout_ms) { socket_.SetRecvTimeout(timeout_ms); }
+
+  // --- Asynchronous batch surface (wire v7).
+
+  // Ships `items` as one BATCH_SUBMIT frame under a contiguous
+  // correlation-id range claimed from this connection's counter, and
+  // returns that range (item i answers under first_id + i). Returns a
+  // !ok() range on transport failure or an empty span; a returned ok()
+  // range owes exactly count completions. The server admits items in
+  // order and answers each with an ordinary SUBMIT_RESULT/ERROR frame,
+  // byte-identical to the same request submitted alone — batching changes
+  // how requests travel, never what they answer.
+  TicketRange SubmitBatch(std::span<const BatchItem> items,
+                          const BatchOptions& options = {});
+
+  // Blocks for the next settled request — the answer to any outstanding
+  // SubmitBatch item or SendSubmit. Non-completion frames (a stray Info/
+  // Metrics/Health answer, a GoodbyeAck) are skipped, so do not interleave
+  // unread RPC answers with a completion drain. nullopt means the stream
+  // broke (EOF, transport error, or last_error()).
+  std::optional<Completion> NextCompletion();
+
+  // Callback-style drain: reads completions until `remaining` of them
+  // settled (0 = until outstanding() hits zero), invoking `on_done` for
+  // each. Returns false if the stream broke first.
+  bool DrainCompletions(const std::function<void(const Completion&)>& on_done,
+                        uint64_t remaining = 0);
+
+  // Requests sent but not yet settled on this connection (batch items +
+  // singleton submits).
+  uint64_t outstanding() const { return outstanding_; }
 
   // Fire-and-record senders; false on transport failure.
   bool SendSubmit(const SubmitRequest& request);
@@ -109,6 +179,15 @@ class Client {
   WireError last_error_ = WireError::kNone;
   int64_t bytes_sent_ = 0;
   int64_t bytes_received_ = 0;
+  // Next correlation id SubmitBatch claims from. Starts high so auto-
+  // assigned ranges never collide with hand-chosen singleton ids in mixed
+  // use (the id space is per-connection, so this is convention, not
+  // correctness).
+  uint64_t next_request_id_ = 1ull << 32;
+  // Send-side increments, receive-side decrements; exact in single-
+  // threaded use, approximate (but eventually zero) under the supported
+  // sender/reader overlap.
+  uint64_t outstanding_ = 0;
 };
 
 }  // namespace dflow::net

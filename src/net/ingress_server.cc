@@ -1,6 +1,7 @@
 #include "net/ingress_server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -8,10 +9,6 @@
 #include "net/health_wire.h"
 
 namespace dflow::net {
-
-namespace {
-constexpr size_t kRecvChunkBytes = 64 * 1024;
-}  // namespace
 
 IngressServer::IngressServer(const core::Schema* schema,
                              runtime::FlowServerOptions server_options,
@@ -24,7 +21,9 @@ IngressServer::IngressServer(const core::Schema* schema,
       journal_(ingress_options.events, ingress_options.node_id.empty()
                                            ? "serve"
                                            : ingress_options.node_id),
-      health_(ingress_options.health, MakeHealthSources(), &journal_) {
+      health_(ingress_options.health, MakeHealthSources(), &journal_),
+      loop_(EventLoop::Options{ingress_options.event_threads,
+                               ingress_options.send_timeout_ms}) {
   // Installed before the listener exists, so it observes every request the
   // ingress will ever admit.
   server_.SetResultCallback(
@@ -46,8 +45,13 @@ IngressServer::IngressServer(const core::Schema* schema,
           &requests_rejected_shutdown_);
   counter("dflow_decode_errors_total", &decode_errors_);
   counter("dflow_protocol_errors_total", &protocol_errors_);
-  counter("dflow_bytes_in_total", &bytes_in_);
-  counter("dflow_bytes_out_total", &bytes_out_);
+  // Byte counters fold across live conns + the closed-session accumulator
+  // (scrape-time work, so the per-read hot path stays a single atomic add
+  // on the conn).
+  metrics_.AddCounter("dflow_bytes_in_total", {},
+                      [this] { return ingress_stats().bytes_in; });
+  metrics_.AddCounter("dflow_bytes_out_total", {},
+                      [this] { return ingress_stats().bytes_out; });
   metrics_.AddCounter("dflow_completed_total", {},
                       [this] { return server_.total_processed(); });
   metrics_.AddCounter("dflow_cache_hits_total", {},
@@ -108,6 +112,10 @@ bool IngressServer::Start(std::string* error) {
     return false;
   }
   if (!listener_.Listen(options_.port, error)) return false;
+  if (!loop_.Start(error)) {
+    listener_.Close();
+    return false;
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   health_.Start();
   return true;
@@ -122,16 +130,11 @@ void IngressServer::Stop() {
   listener_.Shutdown();
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
-  // 2. Half-close every session's read side: readers finish what they
-  // already buffered (which may still admit requests), then drain their
-  // in-flight responses and retire their writers.
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (const std::shared_ptr<Session>& session : sessions_) {
-      session->socket.ShutdownRead();
-    }
-  }
-  ReapSessions(/*all=*/true);
+  // 2. Gracefully close every conn: already-buffered frames finish
+  // dispatching (which may still admit requests — the shards are still
+  // running, so stalled admissions unwedge), every in-flight answer lands
+  // in its outbox, and the backlogs flush before the sockets close.
+  loop_.Stop();
   // 3. Only now quiesce the execution layer: every accepted request was
   // answered, so the drain has nothing the wire still owes a client.
   server_.Drain();
@@ -154,23 +157,25 @@ runtime::IngressStats IngressServer::ingress_stats() const {
   stats.decode_errors = decode_errors_.load();
   stats.protocol_errors = protocol_errors_.load();
   stats.info_requests = info_requests_.load();
-  stats.bytes_in = bytes_in_.load();
-  stats.bytes_out = bytes_out_.load();
-  // Outbox stats: the closed-session accumulator plus a live-session scan,
-  // all under sessions_mu_ so a session tearing down concurrently is
-  // counted exactly once (stats_folded flips under the same lock).
+  // Byte and outbox stats: the closed-session accumulators plus a
+  // live-conn scan, all under sessions_mu_ so a conn retiring concurrently
+  // is counted exactly once (on_close folds and unindexes under the same
+  // lock). bytes_out IS the outbox flush count — the outbox is the only
+  // writer a conn has.
   std::lock_guard<std::mutex> lock(sessions_mu_);
+  stats.bytes_in = closed_bytes_in_;
   stats.outbox_inflight_hwm = closed_outbox_.inflight_hwm;
   stats.outbox_bytes_written = closed_outbox_.bytes_written;
   stats.outbox_write_stalls = closed_outbox_.write_stalls;
-  for (const std::shared_ptr<Session>& session : sessions_) {
-    if (session->stats_folded) continue;
-    const SessionOutbox::Stats live = session->outbox.GetStats();
+  for (const auto& [id, conn] : conns_) {
+    const SessionOutbox::Stats live = conn->outbox().GetStats();
+    stats.bytes_in += conn->bytes_in();
     stats.outbox_inflight_hwm =
         std::max(stats.outbox_inflight_hwm, live.inflight_hwm);
     stats.outbox_bytes_written += live.bytes_written;
     stats.outbox_write_stalls += live.write_stalls;
   }
+  stats.bytes_out = stats.outbox_bytes_written;
   return stats;
 }
 
@@ -181,93 +186,76 @@ runtime::FlowServerReport IngressServer::Report() const {
 }
 
 void IngressServer::AcceptLoop() {
+  int backoff_ms = 10;
   while (true) {
-    Socket socket = listener_.Accept();
-    if (!socket.valid()) break;  // Shutdown() poisoned the listener
+    ListenSocket::AcceptStatus status = ListenSocket::AcceptStatus::kShutdown;
+    Socket socket = listener_.Accept(&status);
+    if (status == ListenSocket::AcceptStatus::kTransient) {
+      // Out of fds (or kernel buffers): survive it instead of exiting.
+      // Pausing the accept path sheds politely — unaccepted peers wait in
+      // the listen backlog — and the journal entry names the ceiling so an
+      // operator raises ulimit instead of chasing drops.
+      journal_.Emit(obs::EventKind::kWatermark, obs::Severity::kWarn,
+                    "accept: fd/buffer exhaustion; backing off " +
+                        std::to_string(backoff_ms) + "ms");
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 100);
+      continue;
+    }
+    backoff_ms = 10;
+    if (status != ListenSocket::AcceptStatus::kOk) break;
     if (stopping_.load(std::memory_order_acquire)) break;
-    socket.SetSendTimeout(options_.send_timeout_ms);
     auto session = std::make_shared<Session>();
-    session->socket = std::move(socket);
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       session->id = next_session_id_++;
-      sessions_.push_back(session);
     }
+    EventConn::Handlers handlers;
+    handlers.on_frame = [this, session](EventConn* conn, Frame& frame) {
+      return HandleFrame(conn, session, frame);
+    };
+    handlers.on_protocol_error = [this, session](EventConn* conn,
+                                                 WireError error) {
+      // Framing is lost: answer with the reason, then hang up (the loop
+      // begins the graceful close) — there is no way to find the next
+      // frame boundary in the stream.
+      session->decode_errors.fetch_add(1, std::memory_order_relaxed);
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, 0, error, "unrecoverable frame stream");
+    };
+    handlers.on_close = [this, session](EventConn* conn) {
+      OnConnClosed(conn, session);
+    };
+    const std::shared_ptr<EventConn> conn =
+        loop_.Add(std::move(socket), std::move(handlers), session,
+                  options_.max_payload_bytes);
+    if (conn == nullptr) continue;  // loop stopped under us; socket dropped
     connections_opened_.fetch_add(1, std::memory_order_relaxed);
     if (options_.verbose) {
       std::fprintf(stderr, "[ingress] connection %llu open\n",
                    static_cast<unsigned long long>(session->id));
     }
-    session->thread = std::thread([this, session] { SessionLoop(session); });
-    ReapSessions(/*all=*/false);
+    {
+      // Index for the stats live-scan — unless the conn already retired
+      // (a connect-and-vanish client can close before this line runs).
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (!session->retired) conns_.emplace(session->id, conn);
+    }
   }
 }
 
-void IngressServer::ReapSessions(bool all) {
-  std::vector<std::shared_ptr<Session>> to_join;
+void IngressServer::OnConnClosed(EventConn* conn,
+                                 const std::shared_ptr<Session>& session) {
+  const SessionOutbox::Stats outbox = conn->outbox().GetStats();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    auto keep = sessions_.begin();
-    for (auto& session : sessions_) {
-      if (all || session->finished.load(std::memory_order_acquire)) {
-        to_join.push_back(std::move(session));
-      } else {
-        *keep++ = std::move(session);
-      }
-    }
-    sessions_.erase(keep, sessions_.end());
-  }
-  for (const std::shared_ptr<Session>& session : to_join) {
-    if (session->thread.joinable()) session->thread.join();
-  }
-}
-
-void IngressServer::SessionLoop(const std::shared_ptr<Session>& session) {
-  std::thread writer([this, session] { WriterLoop(session); });
-  FrameAssembler assembler(options_.max_payload_bytes);
-  std::vector<uint8_t> chunk(kRecvChunkBytes);
-  bool open = true;
-  while (open) {
-    const ssize_t n = session->socket.Recv(chunk.data(), chunk.size());
-    if (n <= 0) break;  // peer closed, error, or our drain's ShutdownRead
-    session->bytes_in.fetch_add(n, std::memory_order_relaxed);
-    bytes_in_.fetch_add(n, std::memory_order_relaxed);
-    assembler.Feed(chunk.data(), static_cast<size_t>(n));
-    while (std::optional<Frame> frame = assembler.Next()) {
-      if (!HandleFrame(session, *frame)) {
-        open = false;
-        break;
-      }
-    }
-    if (open && assembler.error() != WireError::kNone) {
-      // Framing is lost: answer with the reason, then hang up — there is
-      // no way to find the next frame boundary in the stream.
-      session->decode_errors.fetch_add(1, std::memory_order_relaxed);
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
-      SendError(session, 0, assembler.error(), "unrecoverable frame stream");
-      break;
-    }
-  }
-  // Flush: answered everything we admitted, then retire the writer.
-  session->outbox.WaitDrained();
-  session->outbox.Close();
-  writer.join();
-  // Send the FIN now (the peer is owed an orderly close), but deliberately
-  // do NOT close(): Stop() may be calling ShutdownRead on this socket
-  // concurrently, and closing would free the fd for reuse under that call.
-  // shutdown() leaves the fd valid; the Socket destructor closes it once
-  // the last shared_ptr (sessions_ vector / pending map) lets go.
-  session->socket.ShutdownBoth();
-  {
-    // Fold this session's outbox stats into the closed-session accumulator
-    // before it disappears from the live scan (same lock as that scan).
-    const SessionOutbox::Stats outbox = session->outbox.GetStats();
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session->retired = true;
+    conns_.erase(session->id);
+    closed_bytes_in_ += conn->bytes_in();
     closed_outbox_.inflight_hwm =
         std::max(closed_outbox_.inflight_hwm, outbox.inflight_hwm);
     closed_outbox_.bytes_written += outbox.bytes_written;
     closed_outbox_.write_stalls += outbox.write_stalls;
-    session->stats_folded = true;
   }
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
   if (options_.verbose) {
@@ -280,25 +268,13 @@ void IngressServer::SessionLoop(const std::shared_ptr<Session>& session) {
         static_cast<long long>(session->rejected_busy.load()),
         static_cast<long long>(session->rejected_shutdown.load()),
         static_cast<long long>(session->decode_errors.load()),
-        static_cast<long long>(session->bytes_in.load()),
-        static_cast<long long>(session->bytes_out.load()));
+        static_cast<long long>(conn->bytes_in()),
+        static_cast<long long>(outbox.bytes_written));
   }
-  session->finished.store(true, std::memory_order_release);
 }
 
-void IngressServer::WriterLoop(const std::shared_ptr<Session>& session) {
-  session->outbox.DrainTo([this, &session](const std::vector<uint8_t>& frame) {
-    if (!session->socket.SendAll(frame.data(), frame.size())) return false;
-    session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
-                                 std::memory_order_relaxed);
-    bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
-                         std::memory_order_relaxed);
-    return true;
-  });
-}
-
-bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
-                                const Frame& frame) {
+EventConn::FrameAction IngressServer::HandleFrame(
+    EventConn* conn, const std::shared_ptr<Session>& session, Frame& frame) {
   switch (static_cast<MsgType>(frame.type)) {
     case MsgType::kSubmit: {
       SubmitRequest request;
@@ -306,76 +282,93 @@ bool IngressServer::HandleFrame(const std::shared_ptr<Session>& session,
         // The payload was bad but framing held: report and keep serving.
         session->decode_errors.fetch_add(1, std::memory_order_relaxed);
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
-        SendError(session, PeekRequestId(frame.payload),
+        SendError(conn, PeekRequestId(frame.payload),
                   WireError::kMalformedFrame, "undecodable submit payload");
-        return true;
+        return EventConn::FrameAction::kContinue;
       }
-      HandleSubmit(session, std::move(request));
-      return true;
+      return HandleSubmit(conn, session, std::move(request));
+    }
+    case MsgType::kBatchSubmit: {
+      BatchSubmitRequest request;
+      if (!DecodeBatchSubmit(frame.payload, &request)) {
+        session->decode_errors.fetch_add(1, std::memory_order_relaxed);
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        SendError(conn, PeekRequestId(frame.payload),
+                  WireError::kMalformedFrame, "undecodable batch payload");
+        return EventConn::FrameAction::kContinue;
+      }
+      return HandleBatchSubmit(conn, session, std::move(request));
     }
     case MsgType::kInfoRequest: {
       info_requests_.fetch_add(1, std::memory_order_relaxed);
       std::vector<uint8_t> out;
       EncodeInfo(BuildInfo(), &out);
-      Enqueue(session, std::move(out));
-      return true;
+      conn->outbox().Push(std::move(out));
+      return EventConn::FrameAction::kContinue;
     }
     case MsgType::kMetricsRequest: {
       std::vector<uint8_t> out;
       EncodeMetrics(metrics_.RenderText(), &out);
-      Enqueue(session, std::move(out));
-      return true;
+      conn->outbox().Push(std::move(out));
+      return EventConn::FrameAction::kContinue;
     }
     case MsgType::kHealthRequest: {
       std::vector<uint8_t> out;
       EncodeHealth(BuildHealth(), &out);
-      Enqueue(session, std::move(out));
-      return true;
+      conn->outbox().Push(std::move(out));
+      return EventConn::FrameAction::kContinue;
     }
     case MsgType::kGoodbye: {
-      // Flush-then-ack: every accepted submit on this connection is
-      // answered before the ack, so a client that waits for the ack has
-      // seen all its results.
-      session->outbox.WaitDrained();
-      std::vector<uint8_t> out;
-      EncodeGoodbyeAck(&out);
-      Enqueue(session, std::move(out));
-      return false;  // reader retires; teardown flushes the ack
+      // Flush-then-ack, without parking the loop thread: the ack rides as
+      // the graceful close's final frame, which the loop pushes only after
+      // every accepted submit on this connection has its answer in the
+      // outbox — a client that waits for the ack has seen all its results.
+      std::vector<uint8_t> ack;
+      EncodeGoodbyeAck(&ack);
+      conn->BeginGracefulClose(std::move(ack));
+      return EventConn::FrameAction::kClose;
     }
     default:
       session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      SendError(session, 0, WireError::kUnsupportedType,
+      SendError(conn, 0, WireError::kUnsupportedType,
                 "unknown frame type " + std::to_string(frame.type));
-      return true;
+      return EventConn::FrameAction::kContinue;
   }
 }
 
-void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
-                                 SubmitRequest request) {
-  if (!request.strategy.empty()) {
-    const std::optional<core::Strategy> parsed =
-        core::Strategy::Parse(request.strategy);
-    // An override may only name what this server already runs: its fixed
-    // strategy, or the AUTO sentinel on an advisor-driven server (the
-    // advisor still picks the concrete strategy — per-request pinning on
-    // an AUTO server is a ROADMAP item, as are multi-strategy shard
-    // pools).
-    if (!parsed.has_value() ||
-        parsed->ToString() != server_.strategy().ToString()) {
-      session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      SendError(session, request.request_id, WireError::kBadStrategy,
-                "server runs " + server_.strategy().ToString());
-      return;
-    }
+bool IngressServer::CheckStrategy(EventConn* conn, Session* session,
+                                  uint64_t request_id,
+                                  const std::string& strategy) {
+  if (strategy.empty()) return true;
+  const std::optional<core::Strategy> parsed = core::Strategy::Parse(strategy);
+  // An override may only name what this server already runs: its fixed
+  // strategy, or the AUTO sentinel on an advisor-driven server (the
+  // advisor still picks the concrete strategy — per-request pinning on
+  // an AUTO server is a ROADMAP item, as are multi-strategy shard
+  // pools).
+  if (parsed.has_value() &&
+      parsed->ToString() == server_.strategy().ToString()) {
+    return true;
   }
+  session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+  protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+  SendError(conn, request_id, WireError::kBadStrategy,
+            "server runs " + server_.strategy().ToString());
+  return false;
+}
+
+IngressServer::Admission IngressServer::PrepareAdmission(
+    const std::shared_ptr<EventConn>& conn,
+    const std::shared_ptr<Session>& session, uint64_t request_id,
+    bool want_snapshot, uint64_t seed, core::SourceBinding sources,
+    bool force_trace, uint64_t trace_id) {
   // Trace when the client (or an upstream router) asked for one via the
   // wire extension, or when this recorder's own sampling picks the seed.
   // The id travels: a propagated nonzero id is adopted verbatim.
   std::shared_ptr<obs::RequestTrace> trace;
-  if (request.has_trace || recorder_.ShouldTrace(request.seed)) {
-    trace = recorder_.Begin(request.seed, request.trace_id);
+  if (force_trace || recorder_.ShouldTrace(seed)) {
+    trace = recorder_.Begin(seed, trace_id);
   }
   const uint64_t start_ns =
       trace != nullptr ? trace->begin_ns() : obs::MonotonicNs();
@@ -383,68 +376,146 @@ void IngressServer::HandleSubmit(const std::shared_ptr<Session>& session,
       next_ticket_.fetch_add(1, std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_.emplace(ticket,
-                     Pending{session, request.request_id,
-                             request.want_snapshot, start_ns, trace});
+    pending_.emplace(ticket, Pending{conn, request_id, want_snapshot,
+                                     start_ns, trace});
   }
-  session->outbox.BeginRequest();
-  runtime::FlowRequest flow_request{std::move(request.sources), request.seed,
-                                    ticket, trace};
-  // Stamped before the queue push so both are visible to the shard worker
-  // no matter how quickly the pop lands — the worker may snapshot the
-  // trace for the reply while this reader is still returning from Submit.
-  // ingress.queue therefore covers decode -> admission attempt; a blocking
-  // submit that parks on a full queue shows the stall in shard.queue_wait,
-  // which measures from this same instant.
+  conn->outbox().BeginRequest();
+  // Stamped before the first admission offer so both are visible to the
+  // shard worker no matter how quickly the pop lands — the worker may
+  // snapshot the trace for the reply while this loop thread is still
+  // returning. ingress.queue therefore covers decode -> admission attempt;
+  // a blocking submit stalled on a full queue shows the wait in
+  // shard.queue_wait, which measures from this same instant.
   if (trace != nullptr) {
     const uint64_t enqueue_ns = obs::MonotonicNs();
     trace->AddSpan(obs::SpanKind::kIngressQueue, start_ns, enqueue_ns);
     trace->SetEnqueue(enqueue_ns);
   }
-  WireError refusal = WireError::kNone;
-  if (request.blocking) {
-    // May park this reader on the shard's bounded queue: that is the
-    // backpressure contract (TCP pushes the stall back to the client).
-    if (!server_.Submit(std::move(flow_request))) {
-      refusal = WireError::kShuttingDown;
-    }
-  } else {
-    switch (server_.TrySubmitEx(std::move(flow_request))) {
-      case runtime::TryPushResult::kOk:
-        break;
-      case runtime::TryPushResult::kFull:
-        refusal = WireError::kRejectedBusy;
-        break;
-      case runtime::TryPushResult::kClosed:
-        refusal = WireError::kShuttingDown;
-        break;
-    }
-  }
-  if (refusal == WireError::kNone) {
-    session->accepted.fetch_add(1, std::memory_order_relaxed);
+  return Admission{conn,  session, ticket, request_id,
+                   seed,  std::move(sources), trace,  start_ns};
+}
+
+runtime::TryPushResult IngressServer::Offer(const Admission& admission) {
+  runtime::FlowRequest flow_request{admission.sources, admission.seed,
+                                    admission.ticket, admission.trace};
+  return server_.OfferSubmit(std::move(flow_request));
+}
+
+void IngressServer::Resolve(const Admission& admission,
+                            runtime::TryPushResult result) {
+  if (result == runtime::TryPushResult::kOk) {
+    admission.session->accepted.fetch_add(1, std::memory_order_relaxed);
     requests_accepted_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   // Refused: unwind the pending entry and answer with the typed reason.
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
-    pending_.erase(ticket);
+    pending_.erase(admission.ticket);
   }
-  session->outbox.FinishRequest();
+  admission.conn->outbox().FinishRequest();
   // A refused traced request still finishes its trace (with only the
   // admission attempt in it): refusals are exactly what a latency
   // investigation wants to see.
-  if (trace != nullptr) {
-    recorder_.Finish(trace, obs::MonotonicNs() - start_ns);
+  if (admission.trace != nullptr) {
+    recorder_.Finish(admission.trace,
+                     obs::MonotonicNs() - admission.start_ns);
   }
-  if (refusal == WireError::kRejectedBusy) {
-    session->rejected_busy.fetch_add(1, std::memory_order_relaxed);
+  if (result == runtime::TryPushResult::kFull) {
+    admission.session->rejected_busy.fetch_add(1, std::memory_order_relaxed);
     requests_rejected_busy_.fetch_add(1, std::memory_order_relaxed);
-    SendError(session, request.request_id, refusal, "shard queue full");
+    // Parity with the counted TrySubmitEx path this refusal used to take.
+    SendError(admission.conn.get(), admission.request_id,
+              WireError::kRejectedBusy, "shard queue full");
   } else {
-    session->rejected_shutdown.fetch_add(1, std::memory_order_relaxed);
+    admission.session->rejected_shutdown.fetch_add(1,
+                                                   std::memory_order_relaxed);
     requests_rejected_shutdown_.fetch_add(1, std::memory_order_relaxed);
-    SendError(session, request.request_id, refusal, "server draining");
+    SendError(admission.conn.get(), admission.request_id,
+              WireError::kShuttingDown, "server draining");
+  }
+}
+
+EventConn::FrameAction IngressServer::HandleSubmit(
+    EventConn* conn, const std::shared_ptr<Session>& session,
+    SubmitRequest request) {
+  if (!CheckStrategy(conn, session.get(), request.request_id,
+                     request.strategy)) {
+    return EventConn::FrameAction::kContinue;
+  }
+  Admission admission = PrepareAdmission(
+      conn->shared_from_this(), session, request.request_id,
+      request.want_snapshot, request.seed, std::move(request.sources),
+      request.has_trace, request.trace_id);
+  if (!request.blocking) {
+    // Non-blocking refusals are shed load and count as rejections
+    // server-side, exactly like the old TrySubmitEx path.
+    runtime::FlowRequest flow_request{admission.sources, admission.seed,
+                                      admission.ticket, admission.trace};
+    Resolve(admission, server_.TrySubmitEx(std::move(flow_request)));
+    return EventConn::FrameAction::kContinue;
+  }
+  const runtime::TryPushResult result = Offer(admission);
+  if (result != runtime::TryPushResult::kFull) {
+    Resolve(admission, result);
+    return EventConn::FrameAction::kContinue;
+  }
+  // Blocking submit against a full queue: park the admission as a deferred
+  // retry. The loop pauses reads (kStall), so TCP pushes the stall back to
+  // the client while other conns on this thread keep being served.
+  conn->DeferRetry([this, admission = std::move(admission)] {
+    const runtime::TryPushResult retry = Offer(admission);
+    if (retry == runtime::TryPushResult::kFull) return false;
+    Resolve(admission, retry);
+    return true;
+  });
+  return EventConn::FrameAction::kStall;
+}
+
+EventConn::FrameAction IngressServer::HandleBatchSubmit(
+    EventConn* conn, const std::shared_ptr<Session>& session,
+    BatchSubmitRequest request) {
+  if (!CheckStrategy(conn, session.get(), request.request_id_base,
+                     request.strategy)) {
+    return EventConn::FrameAction::kContinue;
+  }
+  auto state = std::make_shared<BatchState>();
+  state->conn = conn->shared_from_this();
+  state->session = session;
+  state->request = std::move(request);
+  if (AdvanceBatch(state)) return EventConn::FrameAction::kContinue;
+  conn->DeferRetry([this, state] { return AdvanceBatch(state); });
+  return EventConn::FrameAction::kStall;
+}
+
+bool IngressServer::AdvanceBatch(const std::shared_ptr<BatchState>& state) {
+  while (true) {
+    if (!state->parked.has_value()) {
+      if (state->next >= state->request.items.size()) return true;
+      BatchItem& item = state->request.items[state->next];
+      // Item i answers under request_id_base + i — the contiguous ticket
+      // range the client was promised. Per-item admission, refusals and
+      // responses are then exactly the singleton path's, which is what
+      // makes a batch byte-identical to its unbatched equivalent.
+      const uint64_t request_id =
+          state->request.request_id_base + state->next;
+      ++state->next;
+      state->parked = PrepareAdmission(
+          state->conn, state->session, request_id,
+          state->request.want_snapshot, item.seed, std::move(item.sources),
+          /*force_trace=*/false, /*trace_id=*/0);
+    }
+    if (state->request.blocking) {
+      const runtime::TryPushResult result = Offer(*state->parked);
+      if (result == runtime::TryPushResult::kFull) return false;  // stall
+      Resolve(*state->parked, result);
+    } else {
+      runtime::FlowRequest flow_request{
+          state->parked->sources, state->parked->seed, state->parked->ticket,
+          state->parked->trace};
+      Resolve(*state->parked, server_.TrySubmitEx(std::move(flow_request)));
+    }
+    state->parked.reset();
   }
 }
 
@@ -503,25 +574,21 @@ void IngressServer::OnResult(int shard_index,
   }
   std::vector<uint8_t> out;
   EncodeSubmitResult(reply, &out);
-  Enqueue(pending.session, std::move(out));
-  pending.session->outbox.FinishRequest();
+  // Push before Finish: once the in-flight count hits zero during a
+  // graceful close, every answer is already in the outbox.
+  pending.conn->outbox().Push(std::move(out));
+  pending.conn->outbox().FinishRequest();
   if (pending.trace != nullptr) {
     recorder_.Finish(pending.trace,
                      obs::MonotonicNs() - pending.start_ns);
   }
 }
 
-void IngressServer::Enqueue(const std::shared_ptr<Session>& session,
-                            std::vector<uint8_t> frame) {
-  session->outbox.Push(std::move(frame));
-}
-
-void IngressServer::SendError(const std::shared_ptr<Session>& session,
-                              uint64_t request_id, WireError code,
-                              const std::string& message) {
+void IngressServer::SendError(EventConn* conn, uint64_t request_id,
+                              WireError code, const std::string& message) {
   std::vector<uint8_t> out;
   EncodeError(ErrorReply{request_id, code, message}, &out);
-  Enqueue(session, std::move(out));
+  conn->outbox().Push(std::move(out));
 }
 
 ServerInfo IngressServer::BuildInfo() const {

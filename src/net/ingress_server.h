@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "net/event_loop.h"
 #include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
@@ -30,11 +32,14 @@ struct IngressOptions {
   // Per-frame payload ceiling; larger frames kill the connection with
   // FRAME_TOO_LARGE (framing cannot be trusted past an oversized length).
   uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
-  // Upper bound on one blocking send to a client. A client that stops
-  // reading cannot wedge a writer (and therefore Stop()) forever: the send
-  // times out, the session is marked dead, and its remaining responses are
-  // discarded.
+  // Upper bound on the shutdown flush: how long Stop() lets graceful
+  // closes drain their outboxes before force-closing stragglers. A client
+  // that stops reading cannot wedge Stop() forever.
   int send_timeout_ms = 10000;
+  // Event-loop threads owning the sockets; 0 picks
+  // min(4, hardware_concurrency). Socket work is tiny next to shard
+  // execution, so a handful of loop threads carries 10k+ connections.
+  int event_threads = 0;
   // Per-connection open/close log lines on stderr.
   bool verbose = false;
   // Identity this server reports in its Info responses (ServerInfo::
@@ -64,34 +69,41 @@ struct IngressOptions {
 };
 
 // The network front door of the flow-serving runtime: a TCP listener whose
-// acceptor hands each connection to a session (reader thread + writer
-// thread), speaking the length-prefixed wire protocol and mapping submit
-// frames onto FlowServer::Submit / TrySubmitEx.
+// acceptor hands each connection to a shared net::EventLoop (a fixed pool
+// of epoll threads owning every socket), speaking the length-prefixed wire
+// protocol and mapping submit frames onto FlowServer admission. A
+// connection costs one fd and a few hundred bytes of state — not two
+// threads — which is what lets one server hold 10k+ concurrent clients.
 //
-// Flow of one submit: the session reader decodes the frame, registers a
-// pending entry under a fresh ticket (FlowRequest::ticket), and admits the
-// request. Completions arrive on shard worker threads via the FlowServer
-// result callback, which looks the ticket up, builds the response (summary
-// + fingerprint, plus the full terminal snapshot when requested), and
-// enqueues it on the owning session's outbox; the session writer owns the
-// socket's write side. Responses therefore interleave across a
-// connection's in-flight requests in *completion* order — the client
-// matches them by request_id.
+// Flow of one submit: the owning loop thread decodes the frame, registers
+// a pending entry under a fresh ticket (FlowRequest::ticket), and admits
+// the request. Completions arrive on shard worker threads via the
+// FlowServer result callback, which looks the ticket up, builds the
+// response (summary + fingerprint, plus the full terminal snapshot when
+// requested), and enqueues it on the owning conn's outbox; the outbox wake
+// doorbell schedules a drain on the loop thread that owns the socket.
+// Responses therefore interleave across a connection's in-flight requests
+// in *completion* order — the client matches them by request_id. A
+// BATCH_SUBMIT frame (wire v7) admits its items in order under a
+// contiguous ticket run and answers with ordinary per-item SubmitResult
+// frames, byte-identical to the same requests submitted one frame each.
 //
-// Backpressure contract: a blocking submit parks the session reader in
-// Submit() when the target shard's queue is full, so the connection stops
-// consuming bytes and TCP flow control pushes the stall back to the
-// client. A non-blocking submit never parks: queue-full comes back as a
-// REJECTED_BUSY error frame (and a post-drain submit as SHUTTING_DOWN),
-// making shedding explicit instead of silent. Outboxes need no bound of
-// their own: a response exists only for an admitted request, so the
-// bounded shard queues already cap what any connection can have in flight.
+// Backpressure contract: a blocking submit against a full shard queue
+// parks as a deferred retry on the loop — the conn stops reading, its
+// kernel receive buffer fills, and TCP flow control pushes the stall back
+// to the client (no loop thread blocks; other conns on the same thread
+// keep being served). A non-blocking submit never stalls: queue-full comes
+// back as a REJECTED_BUSY error frame (and a post-drain submit as
+// SHUTTING_DOWN), making shedding explicit instead of silent. Outboxes
+// need no bound of their own: a response exists only for an admitted
+// request, so the bounded shard queues already cap what any connection can
+// have in flight.
 //
-// Shutdown (Stop, also run by the destructor): stop accepting, half-close
-// every session's read side, join sessions — each reader finishes its
-// buffered frames, waits for its in-flight requests to complete, and
-// retires its writer after the responses flushed — and only then
-// FlowServer::Drain(). No accepted request is dropped without an answer.
+// Shutdown (Stop, also run by the destructor): stop accepting, then
+// EventLoop::Stop gracefully closes every conn — buffered frames finish
+// dispatching, in-flight requests complete into the outbox, the backlog
+// flushes, then the socket closes — and only then FlowServer::Drain(). No
+// accepted request is dropped without an answer.
 class IngressServer {
  public:
   IngressServer(const core::Schema* schema,
@@ -101,8 +113,9 @@ class IngressServer {
   IngressServer(const IngressServer&) = delete;
   IngressServer& operator=(const IngressServer&) = delete;
 
-  // Binds, listens, and starts the acceptor. Returns false and fills
-  // *error on failure (e.g. the port is taken). Call at most once.
+  // Binds, listens, starts the event loop and the acceptor. Returns false
+  // and fills *error on failure (e.g. the port is taken). Call at most
+  // once.
   bool Start(std::string* error);
 
   // Graceful shutdown as described above. Idempotent.
@@ -125,36 +138,26 @@ class IngressServer {
   const runtime::FlowServer& flow_server() const { return server_; }
 
  private:
+  // Per-connection session state (EventConn::user). The wire counters the
+  // aggregate IngressStats sums live here as atomics because refusals and
+  // accepts are counted on loop threads while tests read them from
+  // outside; byte counts come from the conn itself (bytes_in) and its
+  // outbox (bytes_written).
   struct Session {
     uint64_t id = 0;
-    Socket socket;
-
-    // The response outbox + in-flight accounting (the front-door
-    // invariants shared with the Router; see net::SessionOutbox).
-    SessionOutbox outbox;
-
-    // Per-connection counters (the same shape as the aggregate
-    // IngressStats; summed there as they happen, kept here for the
-    // verbose close log and tests).
     std::atomic<int64_t> accepted{0};
     std::atomic<int64_t> rejected_busy{0};
     std::atomic<int64_t> rejected_shutdown{0};
     std::atomic<int64_t> decode_errors{0};
     std::atomic<int64_t> protocol_errors{0};
-    std::atomic<int64_t> bytes_in{0};
-    std::atomic<int64_t> bytes_out{0};
-
-    std::thread thread;  // reader; joins the writer before exiting
-    // Outbox stats already folded into the closed-session accumulator
-    // (set, under sessions_mu_, by the session's own teardown); the live
-    // scan in ingress_stats() skips folded sessions so each session is
-    // counted exactly once.
-    bool stats_folded = false;  // guarded by sessions_mu_
-    std::atomic<bool> finished{false};  // safe to reap
+    // True once on_close folded this session's stats (or, for a conn that
+    // retired before the acceptor could index it, suppresses the index
+    // insert). Guarded by sessions_mu_.
+    bool retired = false;
   };
 
   struct Pending {
-    std::shared_ptr<Session> session;
+    std::shared_ptr<EventConn> conn;
     uint64_t request_id = 0;
     bool want_snapshot = false;
     // Admission timestamp (the trace's begin when traced): the wall-clock
@@ -163,30 +166,74 @@ class IngressServer {
     std::shared_ptr<obs::RequestTrace> trace;  // null = untraced
   };
 
+  // One request's admission state, registered (pending entry + in-flight
+  // Begin) before the first offer so a deferred retry can re-offer it
+  // without re-registering. Copyable: each offer rebuilds the FlowRequest
+  // from these fields (a refused offer consumes its argument).
+  struct Admission {
+    std::shared_ptr<EventConn> conn;
+    std::shared_ptr<Session> session;
+    uint64_t ticket = 0;
+    uint64_t request_id = 0;
+    uint64_t seed = 0;
+    core::SourceBinding sources;
+    std::shared_ptr<obs::RequestTrace> trace;
+    uint64_t start_ns = 0;
+  };
+
+  // A BATCH_SUBMIT mid-admission: the decoded frame plus how far the item
+  // cursor got, kept alive by the deferred-retry closure across stalls.
+  struct BatchState {
+    std::shared_ptr<EventConn> conn;
+    std::shared_ptr<Session> session;
+    BatchSubmitRequest request;
+    size_t next = 0;                  // next item to register
+    std::optional<Admission> parked;  // registered, not yet admitted
+  };
+
   void AcceptLoop();
-  void SessionLoop(const std::shared_ptr<Session>& session);
-  void WriterLoop(const std::shared_ptr<Session>& session);
-  // Handles one decoded frame on the session reader. Returns false when
-  // the connection must close (goodbye or unrecoverable stream state).
-  bool HandleFrame(const std::shared_ptr<Session>& session,
-                   const Frame& frame);
-  void HandleSubmit(const std::shared_ptr<Session>& session,
-                    SubmitRequest request);
+  // One decoded frame, on the conn's owning loop thread.
+  EventConn::FrameAction HandleFrame(EventConn* conn,
+                                     const std::shared_ptr<Session>& session,
+                                     Frame& frame);
+  EventConn::FrameAction HandleSubmit(EventConn* conn,
+                                      const std::shared_ptr<Session>& session,
+                                      SubmitRequest request);
+  EventConn::FrameAction HandleBatchSubmit(
+      EventConn* conn, const std::shared_ptr<Session>& session,
+      BatchSubmitRequest request);
+  // Validates a strategy override (empty = none). On mismatch, counts the
+  // protocol error and answers BAD_STRATEGY; returns false.
+  bool CheckStrategy(EventConn* conn, Session* session, uint64_t request_id,
+                     const std::string& strategy);
+  // Registers one request (trace, ticket, pending entry, in-flight Begin)
+  // so its answer — result or refusal — is owed from this moment on.
+  Admission PrepareAdmission(const std::shared_ptr<EventConn>& conn,
+                             const std::shared_ptr<Session>& session,
+                             uint64_t request_id, bool want_snapshot,
+                             uint64_t seed, core::SourceBinding sources,
+                             bool force_trace, uint64_t trace_id);
+  // One non-counting admission offer (see FlowServer::OfferSubmit).
+  runtime::TryPushResult Offer(const Admission& admission);
+  // Books the offer's outcome: accepted counters on kOk, refusal unwind +
+  // typed error frame otherwise. kFull only reaches here non-blocking.
+  void Resolve(const Admission& admission, runtime::TryPushResult result);
+  // Drives a batch forward: registers and offers items in order. Returns
+  // true when every item is resolved; false on a blocking stall (the
+  // parked item stays registered; call again to continue).
+  bool AdvanceBatch(const std::shared_ptr<BatchState>& state);
   // Result callback, invoked on shard worker threads.
   void OnResult(int shard_index, const runtime::FlowRequest& request,
                 const core::InstanceResult& result,
                 const core::Strategy& executed);
-  static void Enqueue(const std::shared_ptr<Session>& session,
-                      std::vector<uint8_t> frame);
-  void SendError(const std::shared_ptr<Session>& session, uint64_t request_id,
-                 WireError code, const std::string& message);
+  void SendError(EventConn* conn, uint64_t request_id, WireError code,
+                 const std::string& message);
+  // EventConn on_close hook: folds the conn's byte/outbox stats into the
+  // closed-session accumulators exactly once.
+  void OnConnClosed(EventConn* conn, const std::shared_ptr<Session>& session);
   ServerInfo BuildInfo() const;
   HealthInfo BuildHealth() const;
   obs::HealthSources MakeHealthSources();
-  // Joins and drops sessions that finished on their own (client
-  // disconnects), so a long-lived server does not accumulate dead
-  // sessions. Joins *all* sessions when `all` is set (shutdown path).
-  void ReapSessions(bool all);
 
   const IngressOptions options_;
   runtime::FlowServer server_;
@@ -203,24 +250,30 @@ class IngressServer {
   obs::Histogram* wall_latency_us_ = nullptr;
   obs::Histogram* latency_units_ = nullptr;
   ListenSocket listener_;
+  // Declared after server_ so it stops (destructor) before the shards do:
+  // graceful closes may be waiting on shard completions.
+  EventLoop loop_;
   std::thread acceptor_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::mutex stop_mu_;  // serializes Stop()
   bool stopped_ = false;
 
+  // Live conns indexed by session id, for the stats live-scan; closed
+  // conns fold into the accumulators below under the same lock (exactly
+  // once, see Session::retired).
   mutable std::mutex sessions_mu_;
-  std::vector<std::shared_ptr<Session>> sessions_;
+  std::unordered_map<uint64_t, std::shared_ptr<EventConn>> conns_;
   uint64_t next_session_id_ = 1;
-  // Outbox stats of sessions that already tore down (under sessions_mu_);
-  // the HWM folds by max, the totals by sum (see IngressStats).
   SessionOutbox::Stats closed_outbox_;
+  int64_t closed_bytes_in_ = 0;
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, Pending> pending_;
   std::atomic<uint64_t> next_ticket_{1};
 
-  // Aggregate ingress counters (see runtime::IngressStats).
+  // Aggregate ingress counters (see runtime::IngressStats). Byte and
+  // outbox counters are folded from the conns instead (ingress_stats()).
   std::atomic<int64_t> connections_opened_{0};
   std::atomic<int64_t> connections_closed_{0};
   std::atomic<int64_t> requests_accepted_{0};
@@ -229,8 +282,6 @@ class IngressServer {
   std::atomic<int64_t> decode_errors_{0};
   std::atomic<int64_t> protocol_errors_{0};
   std::atomic<int64_t> info_requests_{0};
-  std::atomic<int64_t> bytes_in_{0};
-  std::atomic<int64_t> bytes_out_{0};
 };
 
 }  // namespace dflow::net

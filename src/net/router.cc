@@ -14,7 +14,6 @@ namespace dflow::net {
 
 namespace {
 
-constexpr size_t kRecvChunkBytes = 64 * 1024;
 // Recv ceiling during the connect-time Info handshake only; steady-state
 // backend reads block forever (responses can legitimately be minutes away
 // behind a deep queue).
@@ -66,7 +65,9 @@ Router::Router(RouterOptions options)
                                                          : options_.node_id),
       journal_(options_.events,
                options_.node_id.empty() ? "router" : options_.node_id),
-      health_(options_.health, MakeHealthSources(), &journal_) {
+      health_(options_.health, MakeHealthSources(), &journal_),
+      loop_(EventLoop::Options{options_.event_threads,
+                               options_.send_timeout_ms}) {
   // Counters and gauges are callbacks over counters the router maintains
   // anyway, so registering them costs the relay path nothing. Per-backend
   // families are registered in Start(), once the fleet is known.
@@ -82,8 +83,13 @@ Router::Router(RouterOptions options)
   counter("dflow_unavailable_total", &unavailable_total_);
   counter("dflow_decode_errors_total", &decode_errors_);
   counter("dflow_protocol_errors_total", &protocol_errors_);
-  counter("dflow_bytes_in_total", &bytes_in_);
-  counter("dflow_bytes_out_total", &bytes_out_);
+  // Byte counters fold across live conns + the closed-session accumulator
+  // (scrape-time work, so the per-read hot path stays a single atomic add
+  // on the conn).
+  metrics_.AddCounter("dflow_bytes_in_total", {},
+                      [this] { return front_stats().bytes_in; });
+  metrics_.AddCounter("dflow_bytes_out_total", {},
+                      [this] { return front_stats().bytes_out; });
   counter("dflow_replica_failover_total", &failovers_total_);
   counter("dflow_replica_divergence_checks_total", &divergence_checks_);
   counter("dflow_replica_divergence_total", &divergence_mismatches_);
@@ -264,6 +270,10 @@ bool Router::Start(std::string* error) {
     Stop();
     return false;
   }
+  if (!loop_.Start(error)) {
+    Stop();
+    return false;
+  }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   health_.Start();
   return true;
@@ -278,17 +288,12 @@ void Router::Stop() {
   listener_.Shutdown();
   if (acceptor_.joinable()) acceptor_.join();
   listener_.Close();
-  // 2. Half-close every session's read side. Readers finish what they
-  // buffered (which may still forward submits), wait for their in-flight
-  // tickets to be answered, and flush their writers — so this join is the
-  // "every admitted request answered" barrier.
-  {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
-    for (const std::shared_ptr<Session>& session : sessions_) {
-      session->socket.ShutdownRead();
-    }
-  }
-  ReapSessions(/*all=*/true);
+  // 2. Gracefully close every front-door conn. The loop waits for each
+  // conn's in-flight tickets to be answered (the backend pool is still
+  // live, so forwarded submits complete) and flushes the responses before
+  // the sockets close — this is the "every admitted request answered"
+  // barrier.
+  loop_.Stop();
   // 3. Only now retire the pool: nothing is owed to any client, so the
   // backends get a best-effort Goodbye and the conn threads exit instead
   // of reconnecting (stopping_ is visible under each send_mu).
@@ -326,23 +331,25 @@ runtime::IngressStats Router::front_stats() const {
   stats.decode_errors = decode_errors_.load();
   stats.protocol_errors = protocol_errors_.load();
   stats.info_requests = info_requests_.load();
-  stats.bytes_in = bytes_in_.load();
-  stats.bytes_out = bytes_out_.load();
-  // Outbox stats: the closed-session accumulator plus a live-session scan,
-  // all under sessions_mu_ so a session tearing down concurrently is
-  // counted exactly once (stats_folded flips under the same lock).
+  // Byte and outbox stats: the closed-session accumulators plus a
+  // live-conn scan, all under sessions_mu_ so a conn retiring concurrently
+  // is counted exactly once (on_close folds and unindexes under the same
+  // lock). bytes_out IS the outbox flush count — the outbox is the only
+  // writer a front-door conn has.
   std::lock_guard<std::mutex> lock(sessions_mu_);
+  stats.bytes_in = closed_bytes_in_;
   stats.outbox_inflight_hwm = closed_outbox_.inflight_hwm;
   stats.outbox_bytes_written = closed_outbox_.bytes_written;
   stats.outbox_write_stalls = closed_outbox_.write_stalls;
-  for (const std::shared_ptr<Session>& session : sessions_) {
-    if (session->stats_folded) continue;
-    const SessionOutbox::Stats live = session->outbox.GetStats();
+  for (const auto& [id, conn] : conns_) {
+    const SessionOutbox::Stats live = conn->outbox().GetStats();
+    stats.bytes_in += conn->bytes_in();
     stats.outbox_inflight_hwm =
         std::max(stats.outbox_inflight_hwm, live.inflight_hwm);
     stats.outbox_bytes_written += live.bytes_written;
     stats.outbox_write_stalls += live.write_stalls;
   }
+  stats.bytes_out = stats.outbox_bytes_written;
   return stats;
 }
 
@@ -519,94 +526,76 @@ int64_t Router::CountSlotsDown() const {
   return down;
 }
 
-// --- Front door: acceptor + sessions (the same reader/writer/outbox shape
-// as the ingress server's sessions).
+// --- Front door: acceptor + event-loop conns (the same EventLoop shape as
+// the ingress server's front door).
 
 void Router::AcceptLoop() {
+  int backoff_ms = 10;
   while (true) {
-    Socket socket = listener_.Accept();
-    if (!socket.valid()) break;  // Shutdown() poisoned the listener
+    ListenSocket::AcceptStatus status = ListenSocket::AcceptStatus::kShutdown;
+    Socket socket = listener_.Accept(&status);
+    if (status == ListenSocket::AcceptStatus::kTransient) {
+      // Out of fds (or kernel buffers): survive it instead of exiting.
+      // Pausing the accept path sheds politely — unaccepted peers wait in
+      // the listen backlog — and the journal entry names the ceiling so an
+      // operator raises ulimit instead of chasing drops.
+      journal_.Emit(obs::EventKind::kWatermark, obs::Severity::kWarn,
+                    "accept: fd/buffer exhaustion; backing off " +
+                        std::to_string(backoff_ms) + "ms");
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 100);
+      continue;
+    }
+    backoff_ms = 10;
+    if (status != ListenSocket::AcceptStatus::kOk) break;
     if (stopping_.load(std::memory_order_acquire)) break;
-    socket.SetSendTimeout(options_.send_timeout_ms);
     auto session = std::make_shared<Session>();
-    session->socket = std::move(socket);
     {
       std::lock_guard<std::mutex> lock(sessions_mu_);
       session->id = next_session_id_++;
-      sessions_.push_back(session);
     }
+    EventConn::Handlers handlers;
+    handlers.on_frame = [this, session](EventConn* conn, Frame& frame) {
+      return HandleFrame(conn, session, frame);
+    };
+    handlers.on_protocol_error = [this, session](EventConn* conn,
+                                                 WireError error) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, 0, error, "unrecoverable frame stream");
+    };
+    handlers.on_close = [this, session](EventConn* conn) {
+      OnConnClosed(conn, session);
+    };
+    const std::shared_ptr<EventConn> conn =
+        loop_.Add(std::move(socket), std::move(handlers), session,
+                  options_.max_payload_bytes);
+    if (conn == nullptr) continue;  // loop stopped under us; socket dropped
     connections_opened_.fetch_add(1, std::memory_order_relaxed);
     if (options_.verbose) {
       std::fprintf(stderr, "[router] connection %llu open\n",
                    static_cast<unsigned long long>(session->id));
     }
-    session->thread = std::thread([this, session] { SessionLoop(session); });
-    ReapSessions(/*all=*/false);
+    {
+      // Index for the stats live-scan — unless the conn already retired
+      // (a connect-and-vanish client can close before this line runs).
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (!session->retired) conns_.emplace(session->id, conn);
+    }
   }
 }
 
-void Router::ReapSessions(bool all) {
-  std::vector<std::shared_ptr<Session>> to_join;
+void Router::OnConnClosed(EventConn* conn,
+                          const std::shared_ptr<Session>& session) {
+  const SessionOutbox::Stats outbox = conn->outbox().GetStats();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
-    auto keep = sessions_.begin();
-    for (auto& session : sessions_) {
-      if (all || session->finished.load(std::memory_order_acquire)) {
-        to_join.push_back(std::move(session));
-      } else {
-        *keep++ = std::move(session);
-      }
-    }
-    sessions_.erase(keep, sessions_.end());
-  }
-  for (const std::shared_ptr<Session>& session : to_join) {
-    if (session->thread.joinable()) session->thread.join();
-  }
-}
-
-void Router::SessionLoop(const std::shared_ptr<Session>& session) {
-  std::thread writer([this, session] { WriterLoop(session); });
-  FrameAssembler assembler(options_.max_payload_bytes);
-  std::vector<uint8_t> chunk(kRecvChunkBytes);
-  bool open = true;
-  while (open) {
-    const ssize_t n = session->socket.Recv(chunk.data(), chunk.size());
-    if (n <= 0) break;  // peer closed, error, or Stop's ShutdownRead
-    session->bytes_in.fetch_add(n, std::memory_order_relaxed);
-    bytes_in_.fetch_add(n, std::memory_order_relaxed);
-    assembler.Feed(chunk.data(), static_cast<size_t>(n));
-    while (std::optional<Frame> frame = assembler.Next()) {
-      if (!HandleFrame(session, std::move(*frame))) {
-        open = false;
-        break;
-      }
-    }
-    if (open && assembler.error() != WireError::kNone) {
-      decode_errors_.fetch_add(1, std::memory_order_relaxed);
-      SendError(session, 0, assembler.error(), "unrecoverable frame stream");
-      break;
-    }
-  }
-  // Flush: every ticket this session forwarded gets its answer before the
-  // writer retires.
-  session->outbox.WaitDrained();
-  session->outbox.Close();
-  writer.join();
-  // shutdown(), not close(): Stop() may be touching this socket
-  // concurrently; the fd stays valid until the last shared_ptr drops.
-  session->socket.ShutdownBoth();
-  // Fold the outbox counters into the closed-session accumulator before
-  // the reap flag: front_stats() skips folded sessions, so the fold and
-  // the flag flipping under one sessions_mu_ hold keep each session
-  // counted exactly once.
-  {
-    const SessionOutbox::Stats outbox = session->outbox.GetStats();
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    session->retired = true;
+    conns_.erase(session->id);
+    closed_bytes_in_ += conn->bytes_in();
     closed_outbox_.inflight_hwm =
         std::max(closed_outbox_.inflight_hwm, outbox.inflight_hwm);
     closed_outbox_.bytes_written += outbox.bytes_written;
     closed_outbox_.write_stalls += outbox.write_stalls;
-    session->stats_folded = true;
   }
   connections_closed_.fetch_add(1, std::memory_order_relaxed);
   if (options_.verbose) {
@@ -615,68 +604,95 @@ void Router::SessionLoop(const std::shared_ptr<Session>& session) {
                  "bytes_in=%lld bytes_out=%lld\n",
                  static_cast<unsigned long long>(session->id),
                  static_cast<long long>(session->accepted.load()),
-                 static_cast<long long>(session->bytes_in.load()),
-                 static_cast<long long>(session->bytes_out.load()));
+                 static_cast<long long>(conn->bytes_in()),
+                 static_cast<long long>(outbox.bytes_written));
   }
-  session->finished.store(true, std::memory_order_release);
 }
 
-void Router::WriterLoop(const std::shared_ptr<Session>& session) {
-  session->outbox.DrainTo([this, &session](const std::vector<uint8_t>& frame) {
-    if (!session->socket.SendAll(frame.data(), frame.size())) return false;
-    session->bytes_out.fetch_add(static_cast<int64_t>(frame.size()),
-                                 std::memory_order_relaxed);
-    bytes_out_.fetch_add(static_cast<int64_t>(frame.size()),
-                         std::memory_order_relaxed);
-    return true;
-  });
-}
-
-bool Router::HandleFrame(const std::shared_ptr<Session>& session,
-                         Frame frame) {
+EventConn::FrameAction Router::HandleFrame(
+    EventConn* conn, const std::shared_ptr<Session>& session, Frame& frame) {
   switch (static_cast<MsgType>(frame.type)) {
     case MsgType::kSubmit:
-      HandleSubmit(session, std::move(frame));
-      return true;
+      HandleSubmit(conn, session, std::move(frame));
+      return EventConn::FrameAction::kContinue;
+    case MsgType::kBatchSubmit:
+      HandleBatchSubmit(conn, session, frame);
+      return EventConn::FrameAction::kContinue;
     case MsgType::kInfoRequest: {
       info_requests_.fetch_add(1, std::memory_order_relaxed);
       std::vector<uint8_t> out;
       EncodeInfo(BuildInfo(), &out);
-      Enqueue(session, std::move(out));
-      return true;
+      conn->outbox().Push(std::move(out));
+      return EventConn::FrameAction::kContinue;
     }
     case MsgType::kMetricsRequest: {
       std::vector<uint8_t> out;
       EncodeMetrics(metrics_.RenderText(), &out);
-      Enqueue(session, std::move(out));
-      return true;
+      conn->outbox().Push(std::move(out));
+      return EventConn::FrameAction::kContinue;
     }
     case MsgType::kHealthRequest: {
-      // The fleet-wide poll runs on this session's reader thread; it is a
+      // The fleet-wide poll runs on this conn's loop thread; it is a
       // monitoring request, and the per-backend probe timeout bounds it.
       std::vector<uint8_t> out;
       EncodeHealth(BuildHealth(), &out);
-      Enqueue(session, std::move(out));
-      return true;
+      conn->outbox().Push(std::move(out));
+      return EventConn::FrameAction::kContinue;
     }
     case MsgType::kGoodbye: {
-      // Flush-then-ack, exactly like the ingress: every submit this
-      // connection forwarded is answered before the ack.
-      session->outbox.WaitDrained();
-      std::vector<uint8_t> out;
-      EncodeGoodbyeAck(&out);
-      Enqueue(session, std::move(out));
-      return false;  // reader retires; teardown flushes the ack
+      // Flush-then-ack, exactly like the ingress: the ack rides as the
+      // graceful close's final frame, which the loop pushes only after
+      // every submit this connection forwarded has its answer in the
+      // outbox.
+      std::vector<uint8_t> ack;
+      EncodeGoodbyeAck(&ack);
+      conn->BeginGracefulClose(std::move(ack));
+      return EventConn::FrameAction::kClose;
     }
     default:
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      SendError(session, 0, WireError::kUnsupportedType,
+      SendError(conn, 0, WireError::kUnsupportedType,
                 "unknown frame type " + std::to_string(frame.type));
-      return true;
+      return EventConn::FrameAction::kContinue;
   }
 }
 
-void Router::HandleSubmit(const std::shared_ptr<Session>& session,
+void Router::HandleBatchSubmit(EventConn* conn,
+                               const std::shared_ptr<Session>& session,
+                               Frame& frame) {
+  // The router cannot relay a batch wholesale: its items hash to different
+  // slots. Unbundle into per-item singleton submit frames — request_id
+  // base + i, everything shared stamped per item — and feed each through
+  // the ordinary forward path, so ticket translation, failover replay, and
+  // divergence sampling hold per item by construction. This is the one
+  // tier that pays a decode on the batch path; the per-item forwards are
+  // still the O(1) fixed-offset relay.
+  BatchSubmitRequest request;
+  if (!DecodeBatchSubmit(frame.payload, &request)) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    SendError(conn, PeekRequestId(frame.payload), WireError::kMalformedFrame,
+              "undecodable batch payload");
+    return;
+  }
+  for (size_t i = 0; i < request.items.size(); ++i) {
+    SubmitRequest item;
+    item.request_id = request.request_id_base + i;
+    item.seed = request.items[i].seed;
+    item.blocking = request.blocking;
+    item.want_snapshot = request.want_snapshot;
+    item.strategy = request.strategy;
+    item.sources = std::move(request.items[i].sources);
+    std::vector<uint8_t> bytes;
+    EncodeSubmit(item, &bytes);
+    Frame singleton;
+    singleton.type = static_cast<uint8_t>(MsgType::kSubmit);
+    singleton.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
+    HandleSubmit(conn, session, std::move(singleton));
+  }
+}
+
+void Router::HandleSubmit(EventConn* conn,
+                          const std::shared_ptr<Session>& session,
                           Frame frame) {
   // The routing key and correlation id sit at fixed offsets; anything
   // shorter cannot be a submit. Deeper validation is the backend's job —
@@ -685,8 +701,8 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
   // long enough to carry one, so the error stays attributable.
   if (frame.payload.size() < kSubmitPeekBytes) {
     decode_errors_.fetch_add(1, std::memory_order_relaxed);
-    SendError(session, PeekRequestId(frame.payload),
-              WireError::kMalformedFrame, "short submit payload");
+    SendError(conn, PeekRequestId(frame.payload), WireError::kMalformedFrame,
+              "short submit payload");
     return;
   }
   const uint64_t request_id = ReadLe64(frame.payload.data());
@@ -753,14 +769,14 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
     checks_.emplace(check_id, DivergenceCheck{seed});
   }
   Pending pending;
-  pending.session = session;
+  pending.conn = conn->shared_from_this();
   pending.request_id = request_id;
   pending.start_ns = start_ns;
   pending.trace = trace;
   pending.frame =
       std::make_shared<const std::vector<uint8_t>>(std::move(forward));
   pending.check_id = check_id;
-  session->outbox.BeginRequest();
+  conn->outbox().BeginRequest();
   int served = -1;
   switch (ForwardToSlot(slot, ticket, &pending, &served)) {
     case ForwardOutcome::kForwarded:
@@ -802,8 +818,8 @@ void Router::HandleSubmit(const std::shared_ptr<Session>& session,
                     AddressText(
                         backends_[static_cast<size_t>(slot)]->address) +
                     " disconnected";
-      SendError(session, request_id, WireError::kBackendUnavailable, what);
-      FinishOne(session);
+      SendError(conn, request_id, WireError::kBackendUnavailable, what);
+      conn->outbox().FinishRequest();
       return;
     }
   }
@@ -989,21 +1005,11 @@ void Router::ResolveDivergence(uint64_t check_id, bool is_primary, bool ok,
   }
 }
 
-void Router::Enqueue(const std::shared_ptr<Session>& session,
-                     std::vector<uint8_t> frame) {
-  session->outbox.Push(std::move(frame));
-}
-
-void Router::SendError(const std::shared_ptr<Session>& session,
-                       uint64_t request_id, WireError code,
+void Router::SendError(EventConn* conn, uint64_t request_id, WireError code,
                        const std::string& message) {
   std::vector<uint8_t> out;
   EncodeError(ErrorReply{request_id, code, message}, &out);
-  Enqueue(session, std::move(out));
-}
-
-void Router::FinishOne(const std::shared_ptr<Session>& session) {
-  session->outbox.FinishRequest();
+  conn->outbox().Push(std::move(out));
 }
 
 // --- Backend pool: one thread per pooled connection owns its whole
@@ -1263,8 +1269,12 @@ void Router::HandleBackendFrame(Backend* backend, Frame frame) {
   std::vector<uint8_t> out;
   out.reserve(kFrameHeaderBytes + frame.payload.size());
   EncodeRawFrame(frame.type, frame.payload, &out);
-  Enqueue(pending.session, std::move(out));
-  FinishOne(pending.session);
+  // Any-thread outbox surface: Push + Finish from this backend thread; the
+  // wake doorbell schedules the flush on the loop thread that owns the
+  // socket. Push before Finish, so a graceful close seeing in-flight zero
+  // finds every answer already in the outbox.
+  pending.conn->outbox().Push(std::move(out));
+  pending.conn->outbox().FinishRequest();
 }
 
 void Router::FailPendingOn(int backend_index, int conn_index) {
@@ -1345,9 +1355,9 @@ void Router::FailPendingOn(int backend_index, int conn_index) {
     if (pending.trace != nullptr) {
       recorder_.Finish(pending.trace, now_ns - pending.start_ns);
     }
-    SendError(pending.session, pending.request_id,
+    SendError(pending.conn.get(), pending.request_id,
               WireError::kBackendUnavailable, message);
-    FinishOne(pending.session);
+    pending.conn->outbox().FinishRequest();
   }
   // One journal entry per sweep, not per ticket: a death orphaning 500
   // in-flight requests is one operational fact, and the bounded ring must

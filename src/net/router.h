@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/event_loop.h"
 #include "net/session_outbox.h"
 #include "net/socket.h"
 #include "net/wire_protocol.h"
@@ -66,10 +67,15 @@ struct RouterOptions {
   int connections_per_backend = 1;
   // Per-frame payload ceiling on the front door.
   uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
-  // Upper bound on one blocking send to a *client* (a client that stops
-  // reading cannot wedge a writer). Backend sends are deliberately
-  // unbounded: a stalled backend send IS the backpressure path.
+  // Upper bound on the shutdown flush: how long Stop() lets graceful
+  // closes drain their outboxes before force-closing stragglers (a client
+  // that stops reading cannot wedge Stop()). Backend sends are
+  // deliberately unbounded: a stalled backend send IS the backpressure
+  // path.
   int send_timeout_ms = 10000;
+  // Event-loop threads owning the front-door sockets; 0 picks
+  // min(4, hardware_concurrency).
+  int event_threads = 0;
   // Start() fails unless every backend completed its Info handshake within
   // this window (connection attempts retry with backoff inside it).
   double connect_timeout_s = 10.0;
@@ -119,10 +125,13 @@ struct RouterOptions {
 // answered exactly once.
 //
 // Backpressure is end to end: a blocking submit that lands on a full
-// downstream shard queue parks the *backend's* session reader, TCP pushes
-// the stall back to the router's backend send, which parks the *router's*
-// session reader holding that frame, and TCP pushes the stall on to the
-// client. No queue in the chain is unbounded.
+// downstream shard queue parks the *backend's* conn, TCP pushes the stall
+// back to the router's backend send, which parks the loop thread holding
+// that frame, and TCP pushes the stall on to the client. No queue in the
+// chain is unbounded. (A parked backend send coarsens the stall to every
+// conn on that loop thread — deliberate: a full downstream queue is a
+// fleet-wide condition, and the alternative — buffering unsent forwards —
+// would unbound the very queue the stall exists to bound.)
 //
 // Failure semantics: when a backend connection drops, every unanswered
 // in-flight ticket on it is transparently re-issued to a live replica of
@@ -140,9 +149,11 @@ struct RouterOptions {
 // (see RouterOptions) continuously audits.
 //
 // Shutdown (Stop, also run by the destructor) answers every admitted
-// request before Goodbye: stop accepting, half-close session readers, let
-// each session drain its in-flight tickets and flush responses, and only
-// then send Goodbye to the backends and retire the pool.
+// request before Goodbye: stop accepting, then gracefully close every
+// front-door conn — the event loop waits for each conn's in-flight
+// tickets to be answered (the backend pool is still live) and flushes the
+// responses — and only then send Goodbye to the backends and retire the
+// pool.
 class Router {
  public:
   explicit Router(RouterOptions options);
@@ -185,26 +196,16 @@ class Router {
   HealthInfo BuildHealth();
 
  private:
-  // A client connection on the front door (same shape as the ingress
-  // server's sessions: reader thread + writer thread + the shared
-  // net::SessionOutbox front-door plumbing).
+  // Per-connection session state on the front door (EventConn::user) —
+  // the same shape as the ingress server's sessions: the conn itself and
+  // its outbox carry the byte counters, this carries the rest.
   struct Session {
     uint64_t id = 0;
-    Socket socket;
-
-    SessionOutbox outbox;
-
     std::atomic<int64_t> accepted{0};
-    std::atomic<int64_t> bytes_in{0};
-    std::atomic<int64_t> bytes_out{0};
-
-    std::thread thread;  // reader; joins the writer before exiting
-    // Outbox stats already folded into the closed-session accumulator
-    // (set, under sessions_mu_, by the session's own teardown); the live
-    // scan in front_stats() skips folded sessions so each session is
-    // counted exactly once.
-    bool stats_folded = false;  // guarded by sessions_mu_
-    std::atomic<bool> finished{false};
+    // True once on_close folded this session's stats (or, for a conn that
+    // retired before the acceptor could index it, suppresses the index
+    // insert). Guarded by sessions_mu_.
+    bool retired = false;
   };
 
   // One pooled wire connection to a backend. The conn thread owns the
@@ -247,7 +248,7 @@ class Router {
   };
 
   struct Pending {
-    std::shared_ptr<Session> session;  // null on divergence-shadow copies
+    std::shared_ptr<EventConn> conn;  // null on divergence-shadow copies
     uint64_t request_id = 0;  // client-chosen id, restored on the way back
     int backend_index = 0;
     int conn_index = 0;  // which pool connection carried it (death sweep)
@@ -302,10 +303,23 @@ class Router {
   };
 
   void AcceptLoop();
-  void SessionLoop(const std::shared_ptr<Session>& session);
-  void WriterLoop(const std::shared_ptr<Session>& session);
-  bool HandleFrame(const std::shared_ptr<Session>& session, Frame frame);
-  void HandleSubmit(const std::shared_ptr<Session>& session, Frame frame);
+  // One decoded frame, on the conn's owning loop thread. The router never
+  // stalls a front-door conn: forwarding either succeeds (the blocking
+  // backend send IS the backpressure path) or fails fast with a typed
+  // error, so kStall is never returned here.
+  EventConn::FrameAction HandleFrame(EventConn* conn,
+                                     const std::shared_ptr<Session>& session,
+                                     Frame& frame);
+  void HandleSubmit(EventConn* conn, const std::shared_ptr<Session>& session,
+                    Frame frame);
+  // Unbundles a v7 BATCH_SUBMIT into per-item singleton submit frames fed
+  // through HandleSubmit (items hash to different slots, so the router is
+  // the one tier that cannot relay a batch wholesale). Item i forwards
+  // under request_id_base + i; every ticket/failover/divergence invariant
+  // is then the singleton path's by construction.
+  void HandleBatchSubmit(EventConn* conn,
+                         const std::shared_ptr<Session>& session,
+                         Frame& frame);
   // One forward attempt against one backend: registers *pending under
   // `ticket` (consuming it) and sends its frame. On kUnavailable the
   // pending is handed back untouched so the caller can try a sibling.
@@ -323,12 +337,11 @@ class Router {
   // settles the check when both sides are in.
   void ResolveDivergence(uint64_t check_id, bool is_primary, bool ok,
                          uint64_t fingerprint);
-  void ReapSessions(bool all);
-  static void Enqueue(const std::shared_ptr<Session>& session,
-                      std::vector<uint8_t> frame);
-  void SendError(const std::shared_ptr<Session>& session, uint64_t request_id,
-                 WireError code, const std::string& message);
-  static void FinishOne(const std::shared_ptr<Session>& session);
+  static void SendError(EventConn* conn, uint64_t request_id, WireError code,
+                        const std::string& message);
+  // EventConn on_close hook: folds the conn's byte/outbox stats into the
+  // closed-session accumulators exactly once.
+  void OnConnClosed(EventConn* conn, const std::shared_ptr<Session>& session);
 
   // Backend-pool machinery, all on the per-connection thread.
   void BackendLoop(Backend* backend, BackendConn* conn);
@@ -367,6 +380,11 @@ class Router {
   // of the ingress's dflow_wall_latency_us.
   obs::Histogram* wall_latency_us_ = nullptr;
   ListenSocket listener_;
+  // The front door: a fixed pool of epoll threads owning every accepted
+  // socket (see EventLoop). Declared after listener_; stopped by Stop()
+  // before the backend pool retires, because graceful closes wait for
+  // in-flight tickets the backends still owe answers to.
+  EventLoop loop_;
   std::thread acceptor_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
@@ -402,12 +420,16 @@ class Router {
   std::mutex backoff_mu_;
   std::condition_variable backoff_cv_;
 
+  // Live conns indexed by session id, for the stats live-scan; closed
+  // conns fold into the accumulators below under the same lock (exactly
+  // once, see Session::retired).
   mutable std::mutex sessions_mu_;
-  std::vector<std::shared_ptr<Session>> sessions_;
+  std::unordered_map<uint64_t, std::shared_ptr<EventConn>> conns_;
   uint64_t next_session_id_ = 1;
-  // Outbox stats of sessions that already tore down (under sessions_mu_);
-  // the HWM folds by max, the totals by sum (see IngressStats).
+  // Byte/outbox stats of sessions that already tore down (under
+  // sessions_mu_); the HWM folds by max, the totals by sum.
   SessionOutbox::Stats closed_outbox_;
+  int64_t closed_bytes_in_ = 0;
 
   std::mutex pending_mu_;
   std::unordered_map<uint64_t, Pending> pending_;
@@ -434,8 +456,6 @@ class Router {
   std::atomic<int64_t> decode_errors_{0};
   std::atomic<int64_t> protocol_errors_{0};
   std::atomic<int64_t> info_requests_{0};
-  std::atomic<int64_t> bytes_in_{0};
-  std::atomic<int64_t> bytes_out_{0};
 };
 
 }  // namespace dflow::net

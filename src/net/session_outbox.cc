@@ -5,21 +5,32 @@
 namespace dflow::net {
 
 void SessionOutbox::Push(std::vector<uint8_t> frame) {
+  std::function<void()> wake;
   {
     std::lock_guard<std::mutex> lock(out_mu_);
     if (out_closed_) return;  // session tearing down; drop
     if (!outbox_.empty()) ++write_stalls_;  // queued behind unsent frames
     outbox_.push_back(std::move(frame));
+    wake = wake_;
   }
   out_cv_.notify_one();
+  if (wake) wake();
 }
 
 void SessionOutbox::Close() {
+  std::function<void()> wake;
   {
     std::lock_guard<std::mutex> lock(out_mu_);
     out_closed_ = true;
+    wake = wake_;
   }
   out_cv_.notify_all();
+  if (wake) wake();
+}
+
+void SessionOutbox::SetWakeCallback(std::function<void()> wake) {
+  std::lock_guard<std::mutex> lock(out_mu_);
+  wake_ = std::move(wake);
 }
 
 void SessionOutbox::DrainTo(
@@ -46,6 +57,47 @@ void SessionOutbox::DrainTo(
   }
 }
 
+SessionOutbox::DrainStatus SessionOutbox::TryDrain(
+    const std::function<IoResult(const uint8_t*, size_t)>& send_some) {
+  std::unique_lock<std::mutex> lock(out_mu_);
+  while (true) {
+    if (dead_ && !outbox_.empty()) {
+      // Peer unreachable: discard, as DrainTo does, so Close() still
+      // converges to kComplete and teardown never wedges.
+      outbox_.clear();
+      write_offset_ = 0;
+    }
+    if (outbox_.empty()) {
+      return out_closed_ ? DrainStatus::kComplete : DrainStatus::kDrained;
+    }
+    // Send outside the lock so shard workers can keep Pushing. Safe: only
+    // this (single-drainer) thread pops, and push_back on a deque does not
+    // invalidate the front reference.
+    std::vector<uint8_t>& frame = outbox_.front();
+    const size_t offset = write_offset_;
+    lock.unlock();
+    const IoResult result =
+        send_some(frame.data() + offset, frame.size() - offset);
+    lock.lock();
+    switch (result.status) {
+      case IoStatus::kOk:
+        bytes_written_ += static_cast<int64_t>(result.bytes);
+        write_offset_ += result.bytes;
+        if (write_offset_ == outbox_.front().size()) {
+          outbox_.pop_front();
+          write_offset_ = 0;
+        }
+        break;
+      case IoStatus::kWouldBlock:
+        return DrainStatus::kBlocked;
+      case IoStatus::kEof:
+      case IoStatus::kError:
+        dead_ = true;
+        break;
+    }
+  }
+}
+
 void SessionOutbox::BeginRequest() {
   std::lock_guard<std::mutex> lock(inflight_mu_);
   ++inflight_;
@@ -63,6 +115,11 @@ void SessionOutbox::FinishRequest() {
 void SessionOutbox::WaitDrained() {
   std::unique_lock<std::mutex> lock(inflight_mu_);
   inflight_cv_.wait(lock, [&] { return inflight_ == 0; });
+}
+
+int64_t SessionOutbox::Inflight() const {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return inflight_;
 }
 
 SessionOutbox::Stats SessionOutbox::GetStats() const {

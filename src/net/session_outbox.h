@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "net/socket.h"
+
 namespace dflow::net {
 
 // The front-door session plumbing IngressServer and Router share: the
@@ -49,12 +51,38 @@ class SessionOutbox {
   // discarded (the loop still runs to completion so Close() releases it).
   void DrainTo(const std::function<bool(const std::vector<uint8_t>&)>& send);
 
+  // Outcome of one TryDrain pass (the event-loop writer).
+  enum class DrainStatus : uint8_t {
+    kDrained,   // outbox empty; the stream is still open
+    kBlocked,   // the socket buffer filled mid-frame — arm EPOLLOUT
+    kComplete,  // Close() seen and every frame flushed (or discarded)
+  };
+
+  // Non-blocking drain for an event-loop conn: sends as much of the
+  // backlog as the socket takes right now, tracking a partial-write offset
+  // into the front frame across calls. A failed send marks the session
+  // dead exactly like DrainTo (subsequent frames are discarded, the
+  // status converges to kDrained/kComplete so teardown never wedges).
+  // Single-drainer: only the conn's owning loop thread may call this (or
+  // DrainTo — never both on one outbox).
+  DrainStatus TryDrain(
+      const std::function<IoResult(const uint8_t*, size_t)>& send_some);
+
+  // Installs a callback invoked (outside the lock) after every Push that
+  // enqueued a frame and after Close() — the event loop's cross-thread
+  // "this conn has bytes to write" doorbell. Install before the conn
+  // starts handling frames; not synchronized against in-flight Pushes.
+  void SetWakeCallback(std::function<void()> wake);
+
   // In-flight accounting: one Begin per admitted request, one Finish per
   // answer enqueued (or per unwound refusal). WaitDrained blocks until
   // they balance — the "every admitted request answered" barrier.
   void BeginRequest();
   void FinishRequest();
   void WaitDrained();
+  // Current Begin/Finish imbalance — the event loop polls this instead of
+  // parking a thread in WaitDrained during graceful close.
+  int64_t Inflight() const;
 
   // Write-side health counters for this session. inflight_hwm is the peak
   // Begin/Finish imbalance (how deep the session ever ran); bytes_written
@@ -76,6 +104,8 @@ class SessionOutbox {
   bool dead_ = false;  // a send failed; drain without sending
   int64_t bytes_written_ = 0;  // under out_mu_
   int64_t write_stalls_ = 0;   // under out_mu_
+  size_t write_offset_ = 0;  // bytes of outbox_.front() already sent
+  std::function<void()> wake_;  // under out_mu_ (copied out to invoke)
 
   mutable std::mutex inflight_mu_;
   std::condition_variable inflight_cv_;

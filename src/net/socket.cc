@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -131,6 +132,38 @@ ssize_t Socket::Recv(void* data, size_t size) {
   }
 }
 
+bool Socket::SetNonBlocking() {
+  if (fd_ < 0) return false;
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+IoResult Socket::SendSome(const void* data, size_t size) {
+  while (true) {
+    const ssize_t n = ::send(fd_, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return {IoStatus::kOk, static_cast<size_t>(n)};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
+IoResult Socket::RecvSome(void* data, size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd_, data, size, 0);
+    if (n > 0) return {IoStatus::kOk, static_cast<size_t>(n)};
+    if (n == 0) return {IoStatus::kEof, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoStatus::kWouldBlock, 0};
+    }
+    return {IoStatus::kError, 0};
+  }
+}
+
 void Socket::ShutdownRead() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
 }
@@ -178,18 +211,28 @@ bool ListenSocket::Listen(uint16_t port, std::string* error) {
   return true;
 }
 
-Socket ListenSocket::Accept() {
+Socket ListenSocket::Accept(AcceptStatus* status) {
   while (fd_ >= 0) {
     const int fd = ::accept(fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      // Signals and peers that gave up during the handshake are retried
+      // here, invisibly to the caller.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        if (status != nullptr) *status = AcceptStatus::kTransient;
+        return Socket();
+      }
       // Shutdown() poisons the listener: accept fails with EINVAL, the
       // acceptor thread's signal to exit.
+      if (status != nullptr) *status = AcceptStatus::kShutdown;
       return Socket();
     }
     SetNoDelay(fd);
+    if (status != nullptr) *status = AcceptStatus::kOk;
     return Socket(fd);
   }
+  if (status != nullptr) *status = AcceptStatus::kShutdown;
   return Socket();
 }
 

@@ -15,6 +15,16 @@ namespace dflow::net {
 // Deliberately not a general networking layer; IPv4 only ("localhost" is
 // accepted as an alias for 127.0.0.1).
 
+// Outcome of one non-blocking transfer attempt (SendSome/RecvSome).
+// kWouldBlock is the event loop's "arm epoll and come back" signal; kEof
+// only occurs on the receive side (orderly peer close).
+enum class IoStatus : uint8_t { kOk, kWouldBlock, kEof, kError };
+
+struct IoResult {
+  IoStatus status = IoStatus::kError;
+  size_t bytes = 0;  // transferred this call; meaningful only for kOk
+};
+
 // A connected stream socket. Move-only; the destructor closes.
 class Socket {
  public:
@@ -53,6 +63,20 @@ class Socket {
   // (or a local ShutdownRead), <0 error.
   ssize_t Recv(void* data, size_t size);
 
+  // Switches the fd to O_NONBLOCK (the event-loop mode; SendAll/Recv above
+  // assume blocking sockets and must not be mixed in afterwards). Returns
+  // false when the fcntl fails.
+  bool SetNonBlocking();
+
+  // One non-blocking send attempt: transfers what the socket buffer takes
+  // right now. EINTR is retried; a full buffer is kWouldBlock (arm
+  // EPOLLOUT), a vanished peer is kError. Never raises SIGPIPE.
+  IoResult SendSome(const void* data, size_t size);
+
+  // One non-blocking receive attempt. EINTR is retried; an empty buffer is
+  // kWouldBlock, an orderly peer close is kEof.
+  IoResult RecvSome(void* data, size_t size);
+
   // Half-close helpers. ShutdownRead unblocks a Recv() parked in the
   // kernel — the server uses it to retire session readers during drain
   // while their pending responses still flush out the write side.
@@ -83,10 +107,21 @@ class ListenSocket {
   // The actually bound port (resolves port 0 via getsockname).
   uint16_t port() const { return port_; }
 
+  // Why an Accept() returned an invalid Socket. kTransient is resource
+  // exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM): the listener is fine, the
+  // caller should back off and retry instead of exiting — under a
+  // connection flood, treating out-of-fds as fatal turns load into an
+  // outage. kShutdown is the poisoned listener (or a genuinely fatal
+  // accept error): the acceptor's exit signal.
+  enum class AcceptStatus : uint8_t { kOk, kTransient, kShutdown };
+
   // Blocks for the next connection; the accepted socket has TCP_NODELAY
   // set. Returns an invalid Socket once Shutdown() was called (the
-  // acceptor's exit signal) or on a fatal error.
-  Socket Accept();
+  // acceptor's exit signal) or on a fatal error; `status` (when non-null)
+  // distinguishes transient resource exhaustion from the terminal cases.
+  // EINTR and ECONNABORTED (peer gone before accept) are retried
+  // internally and never surface.
+  Socket Accept(AcceptStatus* status = nullptr);
 
   // Unblocks a pending Accept() and poisons the listener. Idempotent.
   void Shutdown();

@@ -451,6 +451,69 @@ bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitRequest* out) {
   return reader.Done();
 }
 
+void EncodeBatchSubmit(const BatchSubmitRequest& msg,
+                       std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kBatchSubmit, out);
+  // request_id_base leads the payload at offset 0 like every correlation
+  // id, so PeekRequestId attributes even an undecodable batch.
+  PutU64(msg.request_id_base, out);
+  uint32_t flags = 0;
+  if (msg.blocking) flags |= kFlagBlocking;
+  if (msg.want_snapshot) flags |= kFlagWantSnapshot;
+  PutU32(flags, out);
+  PutString(msg.strategy, out);
+  PutU32(static_cast<uint32_t>(msg.items.size()), out);
+  for (const BatchItem& item : msg.items) {
+    PutU64(item.seed, out);
+    PutU32(static_cast<uint32_t>(item.sources.size()), out);
+    for (const auto& [attr, value] : item.sources) {
+      PutU32(static_cast<uint32_t>(attr), out);
+      PutValue(value, out);
+    }
+  }
+  SealFrame(frame, out);
+}
+
+bool DecodeBatchSubmit(const std::vector<uint8_t>& payload,
+                       BatchSubmitRequest* out) {
+  Reader reader(payload);
+  uint32_t flags, num_items;
+  if (!reader.GetU64(&out->request_id_base) || !reader.GetU32(&flags) ||
+      !reader.GetString(&out->strategy) || !reader.GetU32(&num_items)) {
+    return false;
+  }
+  // Batches share the singleton flag word but carry no trace-context
+  // extension, so kFlagHasTrace is out of range here, not just unknown.
+  if ((flags & ~(kFlagBlocking | kFlagWantSnapshot)) != 0) return false;
+  out->blocking = (flags & kFlagBlocking) != 0;
+  out->want_snapshot = (flags & kFlagWantSnapshot) != 0;
+  // The ticket range base + count must not wrap uint64 (responses carry
+  // base + i), and an item is at least 12 payload bytes (seed + empty
+  // source count), bounding a hostile count before the reserve.
+  if (num_items > payload.size() / 12) return false;
+  if (out->request_id_base > UINT64_MAX - num_items) return false;
+  out->items.clear();
+  out->items.reserve(num_items);
+  for (uint32_t i = 0; i < num_items; ++i) {
+    BatchItem item;
+    uint32_t num_sources;
+    if (!reader.GetU64(&item.seed) || !reader.GetU32(&num_sources)) {
+      return false;
+    }
+    if (num_sources > payload.size() / 5) return false;
+    item.sources.reserve(num_sources);
+    for (uint32_t j = 0; j < num_sources; ++j) {
+      uint32_t attr;
+      Value value;
+      if (!reader.GetU32(&attr) || !reader.GetValue(&value)) return false;
+      item.sources.emplace_back(static_cast<AttributeId>(attr),
+                                std::move(value));
+    }
+    out->items.push_back(std::move(item));
+  }
+  return reader.Done();
+}
+
 void EncodeSubmitResult(const SubmitResult& msg, std::vector<uint8_t>* out) {
   const size_t frame = BeginFrame(MsgType::kSubmitResult, out);
   PutU64(msg.request_id, out);
@@ -814,7 +877,7 @@ std::optional<Frame> FrameAssembler::Next() {
     error_ = WireError::kMalformedFrame;
     return std::nullopt;
   }
-  if (header[2] != kWireVersion) {
+  if (header[2] < kMinSupportedWireVersion || header[2] > kWireVersion) {
     error_ = WireError::kUnsupportedVersion;
     return std::nullopt;
   }

@@ -50,9 +50,21 @@ inline constexpr uint8_t kMagic1 = 'F';
 // node's journal tail (structured events), its recent rate time series,
 // and the ok/degraded/critical status verdict — a router answers with its
 // own plane plus one entry per polled backend, so one request sees the
-// whole fleet. Each bump makes a mixed-version fleet fail with a
-// detectable UNSUPPORTED_VERSION instead of a silent decode error.
-inline constexpr uint8_t kWireVersion = 6;
+// whole fleet. v7 added pipelined batch submission: the BATCH_SUBMIT frame
+// carries many requests under one header and one contiguous ticket range
+// (request_id_base .. base+count-1), each answered by an ordinary
+// SUBMIT_RESULT/ERROR frame byte-identical to what the same request
+// submitted alone would have produced. v7 is purely additive — every v6
+// payload is unchanged — so v7 receivers accept v6 frames
+// (kMinSupportedWireVersion) and a v6-era client keeps working against a
+// v7 server as long as it never sends the new frame type. Earlier bumps
+// make a mixed-version fleet fail with a detectable UNSUPPORTED_VERSION
+// instead of a silent decode error.
+inline constexpr uint8_t kWireVersion = 7;
+// Oldest version this build still accepts on ingest. Senders always stamp
+// kWireVersion; the FrameAssembler accepts the closed range
+// [kMinSupportedWireVersion, kWireVersion].
+inline constexpr uint8_t kMinSupportedWireVersion = 6;
 inline constexpr size_t kFrameHeaderBytes = 8;
 // Default ceiling on one frame's payload. Generous for request/response
 // traffic (a submit is dominated by its source bindings) while bounding
@@ -72,6 +84,7 @@ enum class MsgType : uint8_t {
   kMetrics = 9,         // text exposition response (one length-prefixed string)
   kHealthRequest = 10,  // fleet health scrape (empty payload)
   kHealth = 11,         // health response: status + journal tail + series
+  kBatchSubmit = 12,    // v7: many submits, one frame, one ticket range
 };
 
 // Typed error codes carried by kError frames.
@@ -127,6 +140,36 @@ struct SubmitRequest {
   uint64_t trace_id = 0;
 
   friend bool operator==(const SubmitRequest&, const SubmitRequest&) = default;
+};
+
+// One instance inside a BATCH_SUBMIT frame: just the per-request
+// variation (seed + sources). Everything shared — admission mode,
+// snapshot wish, strategy override — travels once per batch.
+struct BatchItem {
+  uint64_t seed = 0;
+  core::SourceBinding sources;
+
+  friend bool operator==(const BatchItem&, const BatchItem&) = default;
+};
+
+// Client -> server (v7): many instances under one header, one length
+// prefix, and one contiguous ticket range. Item i is answered with an
+// ordinary kSubmitResult (or kError) frame whose request_id is
+// request_id_base + i — byte-identical to submitting it alone, so the
+// batched and singleton paths share every response invariant. Responses
+// may arrive out of order across shards, exactly like singleton submits.
+// Batches carry no trace-context extension (per-item tracing still
+// happens under the server's own sampling); a batch is the throughput
+// path, traces ride the singleton path.
+struct BatchSubmitRequest {
+  uint64_t request_id_base = 0;  // tickets base .. base + items.size() - 1
+  bool blocking = true;          // admission mode, shared by every item
+  bool want_snapshot = false;    // snapshot wish, shared by every item
+  std::string strategy;          // optional override, shared by every item
+  std::vector<BatchItem> items;
+
+  friend bool operator==(const BatchSubmitRequest&,
+                         const BatchSubmitRequest&) = default;
 };
 
 // One attribute of a terminal snapshot on the wire.
@@ -357,6 +400,8 @@ struct HealthInfo {
 // --- Encoders. Each appends one complete frame (header + payload) to
 // `out`, so consecutive encodes into the same buffer form a valid stream.
 void EncodeSubmit(const SubmitRequest& msg, std::vector<uint8_t>* out);
+void EncodeBatchSubmit(const BatchSubmitRequest& msg,
+                       std::vector<uint8_t>* out);
 void EncodeSubmitResult(const SubmitResult& msg, std::vector<uint8_t>* out);
 void EncodeError(const ErrorReply& msg, std::vector<uint8_t>* out);
 void EncodeInfoRequest(std::vector<uint8_t>* out);
@@ -373,6 +418,8 @@ void EncodeHealth(const HealthInfo& msg, std::vector<uint8_t>* out);
 // is truncated, has trailing garbage, or contains an out-of-range tag —
 // the receiver should answer kMalformedFrame.
 bool DecodeSubmit(const std::vector<uint8_t>& payload, SubmitRequest* out);
+bool DecodeBatchSubmit(const std::vector<uint8_t>& payload,
+                       BatchSubmitRequest* out);
 bool DecodeSubmitResult(const std::vector<uint8_t>& payload,
                         SubmitResult* out);
 bool DecodeError(const std::vector<uint8_t>& payload, ErrorReply* out);

@@ -77,6 +77,11 @@ TryPushResult FlowServer::TrySubmitEx(FlowRequest request) {
   return result;
 }
 
+TryPushResult FlowServer::OfferSubmit(FlowRequest request) {
+  const int target = ShardFor(request.seed, num_shards());
+  return shards_[static_cast<size_t>(target)]->TrySubmitEx(std::move(request));
+}
+
 void FlowServer::Drain() {
   // join_mu_ serializes concurrent Drain() calls for the whole backlog
   // drain (Shard::Drain must not be entered twice concurrently, and a

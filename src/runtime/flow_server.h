@@ -116,6 +116,15 @@ class FlowServer {
   // TrySubmit's.
   TryPushResult TrySubmitEx(FlowRequest request);
 
+  // Non-blocking admission that records NO rejection: the event-loop
+  // ingress implements a *blocking* submit by offering the same request on
+  // every retry tick until space frees, so a transient kFull there is a
+  // stall in progress, not a shed request — exactly as Submit() never
+  // counted the wait. Stats parity with Submit() on kClosed too (Submit's
+  // false return was not recorded either; the ingress surfaces it as
+  // SHUTTING_DOWN on the wire).
+  TryPushResult OfferSubmit(FlowRequest request);
+
   // Finishes all admitted requests and stops the workers. Idempotent.
   // Post-Drain contract (explicit, tested): Submit returns false forever,
   // TrySubmit returns false / TrySubmitEx returns kClosed forever (still

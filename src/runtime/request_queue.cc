@@ -40,6 +40,24 @@ std::optional<FlowRequest> RequestQueue::Pop() {
   return request;
 }
 
+size_t RequestQueue::PopRun(size_t max_run, std::deque<FlowRequest>* out) {
+  if (max_run == 0) return 0;
+  size_t taken = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    while (taken < max_run && !items_.empty()) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++taken;
+    }
+  }
+  // A run can free many slots at once; wake every blocked producer rather
+  // than chaining notify_one through them.
+  if (taken > 0) not_full_.notify_all();
+  return taken;
+}
+
 void RequestQueue::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);

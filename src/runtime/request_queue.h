@@ -81,6 +81,15 @@ class RequestQueue {
   // (then returns nullopt).
   std::optional<FlowRequest> Pop();
 
+  // Batched pop: blocks like Pop() for the first request, then drains up
+  // to max_run - 1 more that are already queued, without waiting for
+  // stragglers. Appends to *out in queue order and returns the number
+  // taken (0 iff closed and drained). One mutex acquisition and one
+  // not_full_ broadcast cover the whole run, so a loaded shard amortizes
+  // its queue synchronization across the batch; an idle shard degrades to
+  // exactly Pop()'s behavior (runs of 1).
+  size_t PopRun(size_t max_run, std::deque<FlowRequest>* out);
+
   // Closes the queue: pending and future pushes fail, pops drain the
   // backlog. Idempotent.
   void Close();

@@ -51,90 +51,104 @@ core::FlowHarness* Shard::HarnessFor(const core::Strategy& strategy,
 }
 
 void Shard::WorkerLoop() {
-  while (std::optional<FlowRequest> request = queue_.Pop()) {
-    const obs::RequestTrace* trace = request->trace.get();
-    uint64_t stage_ns = 0;
-    if (trace != nullptr) {
-      stage_ns = obs::MonotonicNs();
-      request->trace->AddSpan(obs::SpanKind::kShardQueueWait,
-                              request->trace->enqueue_ns(), stage_ns);
-    }
-    // Resolve the strategy first: under AUTO the advisor's choice is a
-    // pure function of the request, so the same request picks the same
-    // concrete strategy on any shard, for any shard count.
-    core::Strategy executed = strategy_;
-    std::string executed_name;  // filled only under AUTO; stringify once
-    uint64_t variant = 0;
-    uint64_t class_key = 0;
-    bool explored = false;
-    bool class_hit = false;
-    if (advisor_ != nullptr) {
-      const opt::AdvisorChoice choice =
-          advisor_->Choose(request->sources, request->seed);
-      executed = choice.strategy;
-      executed_name = executed.ToString();
-      class_key = choice.class_key;
-      explored = choice.explored;
-      class_hit = choice.class_hit;
-      variant = ResultCache::StrategyVariantSalt(executed);
-      if (trace != nullptr) {
-        const uint64_t now = obs::MonotonicNs();
-        request->trace->AddSpan(obs::SpanKind::kAdvisorChoose, stage_ns, now);
-        stage_ns = now;
-      }
-    }
-    const core::InstanceResult* cached = nullptr;
-    if (cache_.enabled()) {
-      cached = cache_.Lookup(request->sources, request->seed, variant);
-    }
-    if (trace != nullptr) {
-      // Recorded even when the cache is off (a 0-length span): the span
-      // set of a traced request is the full pipeline taxonomy, so a
-      // missing cache.lookup always means "trace truncated", never "cache
-      // disabled".
-      const uint64_t now = obs::MonotonicNs();
-      request->trace->AddSpan(obs::SpanKind::kCacheLookup, stage_ns, now);
-      stage_ns = now;
-    }
-    std::optional<core::InstanceResult> computed;
-    if (cached == nullptr) {
-      computed = HarnessFor(executed, executed_name)
-                     ->Run(request->sources, request->seed);
-      if (cache_.enabled()) {
-        cache_.Insert(request->sources, request->seed, *computed, variant);
-      }
-      if (trace != nullptr) {
-        request->trace->AddSpan(obs::SpanKind::kHarnessExec, stage_ns,
-                                obs::MonotonicNs());
-      }
-    }
-    // A hit replays the cached result — byte-identical to what the harness
-    // would produce (the FlowHarness determinism contract) — so the stats
-    // stream below is the same with the cache on or off.
-    const core::InstanceResult& result = cached ? *cached : *computed;
-    if (trace != nullptr) {
-      request->trace->SetExecution(
-          index_, queue_.size(),
-          executed_name.empty() ? executed.ToString() : executed_name,
-          cached != nullptr);
-    }
-    stats_->Record(request->seed, result.metrics,
-                   advisor_ != nullptr ? &executed_name : nullptr, explored,
-                   class_hit);
-    if (advisor_ != nullptr) {
-      // Observed metrics are deterministic per request, so the online
-      // statistics are too (up to fold order); they never feed back into
-      // Choose() on this advisor — see the determinism contract.
-      advisor_->Observe(class_key, executed_name, result.metrics);
-    }
-    processed_.fetch_add(1, std::memory_order_relaxed);
+  // Batched pulls: one blocking wait covers a whole run of already-queued
+  // requests, and the callback snapshot (a mutex + std::function copy) is
+  // hoisted out of the per-request path. Requests still execute strictly
+  // in queue order, one at a time, so every determinism property of the
+  // one-at-a-time loop carries over unchanged.
+  std::deque<FlowRequest> run;
+  while (queue_.PopRun(kMaxRunLength, &run) > 0) {
     ResultCallback callback;
     {
       std::lock_guard<std::mutex> lock(callback_mu_);
       callback = result_callback_;
     }
-    if (callback) callback(index_, *request, result, executed);
+    while (!run.empty()) {
+      ProcessOne(run.front(), callback);
+      run.pop_front();
+    }
   }
+}
+
+void Shard::ProcessOne(FlowRequest& request,
+                       const ResultCallback& callback) {
+  const obs::RequestTrace* trace = request.trace.get();
+  uint64_t stage_ns = 0;
+  if (trace != nullptr) {
+    stage_ns = obs::MonotonicNs();
+    request.trace->AddSpan(obs::SpanKind::kShardQueueWait,
+                           request.trace->enqueue_ns(), stage_ns);
+  }
+  // Resolve the strategy first: under AUTO the advisor's choice is a
+  // pure function of the request, so the same request picks the same
+  // concrete strategy on any shard, for any shard count.
+  core::Strategy executed = strategy_;
+  std::string executed_name;  // filled only under AUTO; stringify once
+  uint64_t variant = 0;
+  uint64_t class_key = 0;
+  bool explored = false;
+  bool class_hit = false;
+  if (advisor_ != nullptr) {
+    const opt::AdvisorChoice choice =
+        advisor_->Choose(request.sources, request.seed);
+    executed = choice.strategy;
+    executed_name = executed.ToString();
+    class_key = choice.class_key;
+    explored = choice.explored;
+    class_hit = choice.class_hit;
+    variant = ResultCache::StrategyVariantSalt(executed);
+    if (trace != nullptr) {
+      const uint64_t now = obs::MonotonicNs();
+      request.trace->AddSpan(obs::SpanKind::kAdvisorChoose, stage_ns, now);
+      stage_ns = now;
+    }
+  }
+  const core::InstanceResult* cached = nullptr;
+  if (cache_.enabled()) {
+    cached = cache_.Lookup(request.sources, request.seed, variant);
+  }
+  if (trace != nullptr) {
+    // Recorded even when the cache is off (a 0-length span): the span
+    // set of a traced request is the full pipeline taxonomy, so a
+    // missing cache.lookup always means "trace truncated", never "cache
+    // disabled".
+    const uint64_t now = obs::MonotonicNs();
+    request.trace->AddSpan(obs::SpanKind::kCacheLookup, stage_ns, now);
+    stage_ns = now;
+  }
+  std::optional<core::InstanceResult> computed;
+  if (cached == nullptr) {
+    computed = HarnessFor(executed, executed_name)
+                   ->Run(request.sources, request.seed);
+    if (cache_.enabled()) {
+      cache_.Insert(request.sources, request.seed, *computed, variant);
+    }
+    if (trace != nullptr) {
+      request.trace->AddSpan(obs::SpanKind::kHarnessExec, stage_ns,
+                             obs::MonotonicNs());
+    }
+  }
+  // A hit replays the cached result — byte-identical to what the harness
+  // would produce (the FlowHarness determinism contract) — so the stats
+  // stream below is the same with the cache on or off.
+  const core::InstanceResult& result = cached ? *cached : *computed;
+  if (trace != nullptr) {
+    request.trace->SetExecution(
+        index_, queue_.size(),
+        executed_name.empty() ? executed.ToString() : executed_name,
+        cached != nullptr);
+  }
+  stats_->Record(request.seed, result.metrics,
+                 advisor_ != nullptr ? &executed_name : nullptr, explored,
+                 class_hit);
+  if (advisor_ != nullptr) {
+    // Observed metrics are deterministic per request, so the online
+    // statistics are too (up to fold order); they never feed back into
+    // Choose() on this advisor — see the determinism contract.
+    advisor_->Observe(class_key, executed_name, result.metrics);
+  }
+  processed_.fetch_add(1, std::memory_order_relaxed);
+  if (callback) callback(index_, request, result, executed);
 }
 
 }  // namespace dflow::runtime

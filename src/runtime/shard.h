@@ -76,9 +76,10 @@ class Shard {
   Shard& operator=(const Shard&) = delete;
 
   // Installs an optional per-result observer. Thread-safe: the worker
-  // re-reads the callback under the same lock for every request, so the
-  // new observer applies to requests popped after the call (requests
-  // already executing keep the callback they started with).
+  // re-reads the callback under the same lock once per popped run (at
+  // most kMaxRunLength requests), so the new observer applies to runs
+  // popped after the call (requests already popped keep the callback
+  // their run started with).
   void SetResultCallback(ResultCallback callback);
 
   // Spawns the worker thread. Must be called exactly once.
@@ -113,8 +114,19 @@ class Shard {
   // Thread-safe gauge/counter snapshot of this shard's result cache.
   ResultCacheStats cache_stats() const { return cache_.Stats(); }
 
+  // Upper bound on how many queued requests one worker wakeup drains
+  // (RequestQueue::PopRun). Large enough to amortize queue synchronization
+  // and the per-run callback snapshot under load, small enough that one
+  // run never starves the queue-depth gauge or drain latency.
+  static constexpr size_t kMaxRunLength = 64;
+
  private:
   void WorkerLoop();
+  // Executes one popped request start-to-finish: advisor choice, cache
+  // lookup, harness run, stats, and the (run-hoisted) result callback.
+  // Worker-thread only; identical per-request logic whether the request
+  // arrived in a run of 1 or of kMaxRunLength.
+  void ProcessOne(FlowRequest& request, const ResultCallback& callback);
   // The harness for one concrete strategy (`name` = strategy.ToString(),
   // passed in so the hot path stringifies once): the fixed harness on
   // fixed-strategy shards, a lazily created per-strategy harness under

@@ -6,11 +6,14 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -131,6 +134,69 @@ std::map<uint64_t, WireOutcome> ServeOverWire(
     }
     by_seed.emplace(requests[index].seed, FromWire(message->result));
   }
+  EXPECT_TRUE(client.Goodbye());
+
+  const runtime::FlowServerReport report = server.Report();
+  EXPECT_EQ(report.ingress.requests_accepted,
+            static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(report.ingress.decode_errors, 0);
+  server.Stop();
+  return by_seed;
+}
+
+// Serves the workload over TCP through v7 BATCH_SUBMIT frames (several
+// pipelined batches on one connection, full snapshots requested) and
+// returns seed -> outcome. Mirrors ServeOverWire so the two maps are
+// directly comparable.
+std::map<uint64_t, WireOutcome> ServeOverWireBatched(
+    const gen::GeneratedSchema& pattern,
+    const std::vector<runtime::FlowRequest>& requests, int num_shards,
+    size_t batch_size) {
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = num_shards;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  EXPECT_TRUE(server.Start(&error)) << error;
+
+  Client client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  std::vector<BatchItem> items;
+  items.reserve(requests.size());
+  for (const runtime::FlowRequest& request : requests) {
+    items.push_back(BatchItem{request.seed, request.sources});
+  }
+  BatchOptions options;
+  options.want_snapshot = true;
+  // Pipelined: every batch ships before the first completion is read.
+  struct Issued {
+    TicketRange range;
+    size_t first_index;
+  };
+  std::vector<Issued> issued;
+  for (size_t at = 0; at < items.size(); at += batch_size) {
+    const size_t n = std::min(batch_size, items.size() - at);
+    const TicketRange range = client.SubmitBatch(
+        std::span<const BatchItem>(items.data() + at, n), options);
+    EXPECT_TRUE(range.ok());
+    EXPECT_EQ(range.count, n);
+    issued.push_back({range, at});
+  }
+  std::map<uint64_t, WireOutcome> by_seed;
+  EXPECT_TRUE(client.DrainCompletions([&](const Completion& completion) {
+    EXPECT_EQ(completion.type, MsgType::kSubmitResult);
+    for (const Issued& batch : issued) {
+      if (!batch.range.Contains(completion.request_id)) continue;
+      const size_t index =
+          batch.first_index +
+          static_cast<size_t>(completion.request_id - batch.range.first_id);
+      by_seed.emplace(requests[index].seed, FromWire(completion.result));
+      return;
+    }
+    ADD_FAILURE() << "completion names unknown request_id "
+                  << completion.request_id;
+  }));
+  EXPECT_EQ(client.outstanding(), 0u);
   EXPECT_TRUE(client.Goodbye());
 
   const runtime::FlowServerReport report = server.Report();
@@ -632,6 +698,193 @@ TEST(IngressLoopbackTest, MetricsFrameScrapesTheRegistry) {
         << *text;
   }
   EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+}
+
+// --- The v7 acceptance-criteria test: results served through BATCH_SUBMIT
+// frames are byte-identical to the same requests submitted one frame at a
+// time, across shard counts — batching changes how requests travel, never
+// what they answer. Batch size 7 does not divide the 60-request workload,
+// so the final partial batch is exercised too.
+TEST(IngressLoopbackTest, BatchedResultsAreByteIdenticalToSingletons) {
+  const gen::GeneratedSchema pattern = MakePattern(31);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 60);
+  for (const int shards : {1, 3}) {
+    const std::map<uint64_t, WireOutcome> singleton =
+        ServeOverWire(pattern, requests, shards);
+    const std::map<uint64_t, WireOutcome> batched =
+        ServeOverWireBatched(pattern, requests, shards, 7);
+    ASSERT_EQ(batched.size(), requests.size()) << shards << " shards";
+    EXPECT_EQ(batched, singleton) << shards << " shards";
+  }
+}
+
+// v7 is additive: a v6-era client (frames stamped version 6, never the
+// new BATCH_SUBMIT type) shares the server with a v7 batch client and
+// both see the same bytes for the same seeds, while a frame stamped below
+// kMinSupportedWireVersion gets the final UNSUPPORTED_VERSION error and
+// an orderly close.
+TEST(IngressLoopbackTest, MixedVersionClientsShareTheServer) {
+  const gen::GeneratedSchema pattern = MakePattern(37);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 8);
+
+  // The v7 side: one batch over the Client API.
+  Client batch_client;
+  ASSERT_TRUE(batch_client.Connect("127.0.0.1", server.port(), &error))
+      << error;
+  std::vector<BatchItem> items;
+  for (const runtime::FlowRequest& request : requests) {
+    items.push_back(BatchItem{request.seed, request.sources});
+  }
+  const TicketRange range = batch_client.SubmitBatch(items);
+  ASSERT_TRUE(range.ok());
+  std::map<uint64_t, uint64_t> batched_fingerprints;  // seed -> fingerprint
+  ASSERT_TRUE(batch_client.DrainCompletions([&](const Completion& done) {
+    ASSERT_EQ(done.type, MsgType::kSubmitResult);
+    ASSERT_TRUE(range.Contains(done.request_id));
+    const size_t index =
+        static_cast<size_t>(done.request_id - range.first_id);
+    batched_fingerprints[requests[index].seed] = done.result.fingerprint;
+  }));
+  ASSERT_EQ(batched_fingerprints.size(), requests.size());
+  EXPECT_TRUE(batch_client.Goodbye());
+
+  // The v6 side: a raw socket re-stamping every outgoing frame to the
+  // oldest supported version before it ships. Served unchanged.
+  Socket raw = Socket::ConnectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  FrameAssembler assembler;
+  auto read_frame = [&]() -> std::optional<Frame> {
+    uint8_t chunk[4096];
+    while (true) {
+      if (std::optional<Frame> frame = assembler.Next()) return frame;
+      if (assembler.error() != WireError::kNone) return std::nullopt;
+      const ssize_t n = raw.Recv(chunk, sizeof(chunk));
+      if (n <= 0) return std::nullopt;
+      assembler.Feed(chunk, static_cast<size_t>(n));
+    }
+  };
+  for (size_t i = 0; i < requests.size(); ++i) {
+    SubmitRequest submit;
+    submit.request_id = i + 1;
+    submit.seed = requests[i].seed;
+    submit.sources = requests[i].sources;
+    std::vector<uint8_t> encoded;
+    EncodeSubmit(submit, &encoded);
+    encoded[2] = kMinSupportedWireVersion;  // what a v6 build stamps
+    ASSERT_TRUE(raw.SendAll(encoded.data(), encoded.size()));
+  }
+  std::map<uint64_t, uint64_t> v6_fingerprints;
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const std::optional<Frame> frame = read_frame();
+    ASSERT_TRUE(frame.has_value());
+    ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kSubmitResult));
+    SubmitResult result;
+    ASSERT_TRUE(DecodeSubmitResult(frame->payload, &result));
+    ASSERT_GE(result.request_id, 1u);
+    ASSERT_LE(result.request_id, requests.size());
+    v6_fingerprints[requests[result.request_id - 1].seed] =
+        result.fingerprint;
+  }
+  EXPECT_EQ(v6_fingerprints, batched_fingerprints);
+
+  // Below the support floor the stream is unrecoverable: the typed final
+  // error, then EOF.
+  std::vector<uint8_t> stale;
+  EncodeInfoRequest(&stale);
+  stale[2] = kMinSupportedWireVersion - 1;
+  ASSERT_TRUE(raw.SendAll(stale.data(), stale.size()));
+  const std::optional<Frame> frame = read_frame();
+  ASSERT_TRUE(frame.has_value());
+  ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kError));
+  ErrorReply reply;
+  ASSERT_TRUE(DecodeError(frame->payload, &reply));
+  EXPECT_EQ(reply.code, WireError::kUnsupportedVersion);
+  uint8_t byte;
+  EXPECT_EQ(raw.Recv(&byte, 1), 0);  // orderly close
+  server.Stop();
+}
+
+int CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int count = 0;
+  while (readdir(dir) != nullptr) ++count;
+  closedir(dir);
+  return count;
+}
+
+// Event-loop churn: a long run of connect / submit / disconnect cycles
+// (alternating the singleton and batch paths) must not leak descriptors —
+// every retired EventConn gives its fd back to the process. Client and
+// server share this process, so /proc/self/fd sees both ends of every
+// loopback connection.
+TEST(IngressLoopbackTest, ConnectionChurnDoesNotLeakFileDescriptors) {
+  const gen::GeneratedSchema pattern = MakePattern(41);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 4);
+
+  constexpr int kCycles = 1000;
+  constexpr int kWarmup = 50;  // let lazy allocations settle first
+  const auto settle_and_count = [&server]() {
+    // Session close is asynchronous on the event loop: wait until the
+    // server has retired every connection before counting descriptors.
+    for (int spin = 0; spin < 10000; ++spin) {
+      const runtime::IngressStats stats = server.ingress_stats();
+      if (stats.connections_closed == stats.connections_opened) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return CountOpenFds();
+  };
+  int baseline_fds = -1;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    Client client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error))
+        << "cycle " << cycle << ": " << error;
+    const runtime::FlowRequest& request =
+        requests[static_cast<size_t>(cycle) % requests.size()];
+    if (cycle % 2 == 0) {
+      SubmitRequest submit;
+      submit.request_id = 1;
+      submit.seed = request.seed;
+      submit.sources = request.sources;
+      const std::optional<ServerMessage> reply = client.Call(submit);
+      ASSERT_TRUE(reply.has_value()) << "cycle " << cycle;
+      EXPECT_EQ(reply->type, MsgType::kSubmitResult);
+    } else {
+      const BatchItem item{request.seed, request.sources};
+      const TicketRange range = client.SubmitBatch(std::span(&item, 1));
+      ASSERT_TRUE(range.ok()) << "cycle " << cycle;
+      const std::optional<Completion> done = client.NextCompletion();
+      ASSERT_TRUE(done.has_value()) << "cycle " << cycle;
+      EXPECT_EQ(done->type, MsgType::kSubmitResult);
+    }
+    ASSERT_TRUE(client.Goodbye()) << "cycle " << cycle;
+    if (cycle == kWarmup - 1) baseline_fds = settle_and_count();
+  }
+  const int final_fds = settle_and_count();
+  ASSERT_GT(baseline_fds, 0);
+  ASSERT_GT(final_fds, 0);
+  // Identical idle state before and after: upward drift is a leak. Small
+  // slack absorbs unrelated runtime descriptors.
+  EXPECT_LE(final_fds, baseline_fds + 4);
+  const runtime::IngressStats stats = server.ingress_stats();
+  EXPECT_EQ(stats.connections_opened, kCycles);
+  EXPECT_EQ(stats.connections_closed, kCycles);
+  EXPECT_EQ(stats.requests_accepted, kCycles);
+  EXPECT_EQ(stats.decode_errors, 0);
   server.Stop();
 }
 

@@ -47,6 +47,29 @@ SubmitRequest RandomSubmit(Rng* rng) {
   return msg;
 }
 
+BatchSubmitRequest RandomBatchSubmit(Rng* rng) {
+  BatchSubmitRequest msg;
+  // Keep the ticket base clear of the decoder's wrap guard (base + count
+  // must not overflow u64).
+  msg.request_id_base = rng->Next() >> 1;
+  msg.blocking = rng->Chance(0.5);
+  msg.want_snapshot = rng->Chance(0.5);
+  if (rng->Chance(0.5)) msg.strategy = rng->Chance(0.5) ? "PSE100" : "NCC0";
+  const int num_items = static_cast<int>(rng->UniformInt(0, 9));
+  for (int i = 0; i < num_items; ++i) {
+    BatchItem item;
+    item.seed = rng->Next();
+    const int num_sources = static_cast<int>(rng->UniformInt(0, 6));
+    for (int s = 0; s < num_sources; ++s) {
+      item.sources.emplace_back(
+          static_cast<AttributeId>(rng->UniformInt(0, 500)),
+          RandomValue(rng));
+    }
+    msg.items.push_back(std::move(item));
+  }
+  return msg;
+}
+
 SubmitResult RandomSubmitResult(Rng* rng) {
   SubmitResult msg;
   msg.request_id = rng->Next();
@@ -391,6 +414,97 @@ TEST(WireProtocolPropertyTest, EveryTruncationOfAPayloadIsRejected) {
     std::vector<uint8_t> extended = payload;
     extended.push_back(0x5a);
     EXPECT_FALSE(DecodeSubmit(extended, &out));
+  }
+}
+
+// The v7 batch frame round-trips like every other message, and its
+// payload honors the fixed-offset contract: PeekRequestId on the raw
+// payload reads the ticket-range base without decoding the body (what
+// the ingress uses to answer even an undecodable batch attributably).
+TEST(WireProtocolPropertyTest,
+     RandomizedBatchSubmitsRoundTripThroughTheStream) {
+  Rng rng(20260731);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const BatchSubmitRequest batch = RandomBatchSubmit(&rng);
+    std::vector<uint8_t> stream;
+    EncodeBatchSubmit(batch, &stream);
+    EncodeGoodbye(&stream);
+
+    WireError stream_error = WireError::kNone;
+    const std::vector<Frame> frames =
+        Reassemble(stream, rng.Next(), &stream_error);
+    ASSERT_EQ(stream_error, WireError::kNone);
+    ASSERT_EQ(frames.size(), 2u);
+    ASSERT_EQ(frames[0].type, static_cast<uint8_t>(MsgType::kBatchSubmit));
+    EXPECT_EQ(PeekRequestId(frames[0].payload), batch.request_id_base);
+    BatchSubmitRequest batch_rt;
+    ASSERT_TRUE(DecodeBatchSubmit(frames[0].payload, &batch_rt));
+    EXPECT_EQ(batch_rt, batch);
+    EXPECT_EQ(frames[1].type, static_cast<uint8_t>(MsgType::kGoodbye));
+  }
+}
+
+// The batch decoder is an exact parser too: every truncation and any
+// trailing garbage is rejected, never crashed on.
+TEST(WireProtocolPropertyTest, EveryTruncationOfABatchPayloadIsRejected) {
+  Rng rng(20260801);
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    std::vector<uint8_t> stream;
+    EncodeBatchSubmit(RandomBatchSubmit(&rng), &stream);
+    const std::vector<uint8_t> payload(stream.begin() + kFrameHeaderBytes,
+                                       stream.end());
+    BatchSubmitRequest out;
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::vector<uint8_t> truncated(payload.begin(),
+                                           payload.begin() + cut);
+      EXPECT_FALSE(DecodeBatchSubmit(truncated, &out))
+          << "decoded a " << cut << "-byte prefix of " << payload.size();
+    }
+    std::vector<uint8_t> extended = payload;
+    extended.push_back(0x5a);
+    EXPECT_FALSE(DecodeBatchSubmit(extended, &out));
+  }
+}
+
+// Batches share the singleton flag word, but kFlagHasTrace is out of
+// range here (a batch carries no trace-context extension), unknown bits
+// are a forward-compat error, and no single corrupted byte may silently
+// decode back to the original message.
+TEST(WireProtocolTest, BatchSubmitRejectsTraceFlagAndCorruptBytes) {
+  BatchSubmitRequest msg;
+  msg.request_id_base = 0x01020304;
+  msg.strategy = "PSE100";
+  for (int i = 0; i < 3; ++i) {
+    BatchItem item;
+    item.seed = static_cast<uint64_t>(100 + i);
+    item.sources.emplace_back(static_cast<AttributeId>(i),
+                              Value::Int(7 + i));
+    msg.items.push_back(std::move(item));
+  }
+  std::vector<uint8_t> stream;
+  EncodeBatchSubmit(msg, &stream);
+  const std::vector<uint8_t> payload(stream.begin() + kFrameHeaderBytes,
+                                     stream.end());
+  BatchSubmitRequest out;
+  ASSERT_TRUE(DecodeBatchSubmit(payload, &out));
+  EXPECT_EQ(out, msg);
+
+  // The flags u32 follows the u64 ticket base, at offset 8.
+  std::vector<uint8_t> trace_flag = payload;
+  trace_flag[8] |= 0x04;  // kFlagHasTrace: valid on a singleton, not here
+  EXPECT_FALSE(DecodeBatchSubmit(trace_flag, &out));
+  std::vector<uint8_t> unknown_flag = payload;
+  unknown_flag[8] |= 0x80;
+  EXPECT_FALSE(DecodeBatchSubmit(unknown_flag, &out));
+
+  for (size_t i = 0; i < payload.size(); ++i) {
+    if (payload[i] == 0xff) continue;  // not a flip
+    std::vector<uint8_t> corrupt = payload;
+    corrupt[i] = 0xff;
+    BatchSubmitRequest reparsed;
+    if (DecodeBatchSubmit(corrupt, &reparsed)) {
+      EXPECT_NE(reparsed, msg) << "byte " << i << " is dead on the wire";
+    }
   }
 }
 

@@ -21,7 +21,7 @@ bool Client::SendSubmit(const SubmitRequest& request) {
   std::vector<uint8_t> frame;
   EncodeSubmit(request, &frame);
   if (!SendFrame(frame)) return false;
-  ++outstanding_;
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -40,7 +40,7 @@ TicketRange Client::SubmitBatch(std::span<const BatchItem> items,
   const TicketRange range{next_request_id_,
                           static_cast<uint32_t>(items.size())};
   next_request_id_ += items.size();
-  outstanding_ += items.size();
+  outstanding_.fetch_add(items.size(), std::memory_order_relaxed);
   return range;
 }
 
@@ -119,6 +119,15 @@ std::optional<Frame> Client::ReadFrame() {
   }
 }
 
+void Client::SettleOne() {
+  // Only the reader side decrements, so check-then-sub cannot underflow;
+  // the guard absorbs unsolicited completions (e.g. a server error frame
+  // answering a request this client never counted).
+  if (outstanding_.load(std::memory_order_relaxed) > 0) {
+    outstanding_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
 std::optional<ServerMessage> Client::ReadMessage() {
   const std::optional<Frame> frame = ReadFrame();
   if (!frame.has_value()) return std::nullopt;
@@ -127,12 +136,12 @@ std::optional<ServerMessage> Client::ReadMessage() {
     case MsgType::kSubmitResult:
       message.type = MsgType::kSubmitResult;
       if (!DecodeSubmitResult(frame->payload, &message.result)) break;
-      if (outstanding_ > 0) --outstanding_;
+      SettleOne();
       return message;
     case MsgType::kError:
       message.type = MsgType::kError;
       if (!DecodeError(frame->payload, &message.error)) break;
-      if (outstanding_ > 0) --outstanding_;
+      SettleOne();
       return message;
     case MsgType::kInfo:
       message.type = MsgType::kInfo;

@@ -1,6 +1,7 @@
 #ifndef DFLOW_NET_CLIENT_H_
 #define DFLOW_NET_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -99,7 +100,10 @@ class Client {
   // range owes exactly count completions. The server admits items in
   // order and answers each with an ordinary SUBMIT_RESULT/ERROR frame,
   // byte-identical to the same request submitted alone — batching changes
-  // how requests travel, never what they answer.
+  // how requests travel, never what they answer. That accounting holds
+  // for refusals too: a batch-level refusal (e.g. a strategy override the
+  // server does not run) comes back as count per-item error frames,
+  // exactly as count singleton submits would have.
   TicketRange SubmitBatch(std::span<const BatchItem> items,
                           const BatchOptions& options = {});
 
@@ -118,7 +122,9 @@ class Client {
 
   // Requests sent but not yet settled on this connection (batch items +
   // singleton submits).
-  uint64_t outstanding() const { return outstanding_; }
+  uint64_t outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
 
   // Fire-and-record senders; false on transport failure.
   bool SendSubmit(const SubmitRequest& request);
@@ -174,6 +180,10 @@ class Client {
   int64_t bytes_received() const { return bytes_received_; }
 
  private:
+  // One completion settled: decrements outstanding_ (reader side only,
+  // floored at zero).
+  void SettleOne();
+
   Socket socket_;
   FrameAssembler assembler_;
   WireError last_error_ = WireError::kNone;
@@ -184,10 +194,12 @@ class Client {
   // use (the id space is per-connection, so this is convention, not
   // correctness).
   uint64_t next_request_id_ = 1ull << 32;
-  // Send-side increments, receive-side decrements; exact in single-
-  // threaded use, approximate (but eventually zero) under the supported
-  // sender/reader overlap.
-  uint64_t outstanding_ = 0;
+  // Send-side increments, receive-side decrements. Atomic because the
+  // supported dedicated-sender/dedicated-reader overlap makes the two
+  // sides genuinely concurrent (relaxed suffices: the socket itself
+  // orders a completion after its submit); exact in single-threaded use,
+  // momentarily approximate mid-overlap but eventually zero.
+  std::atomic<uint64_t> outstanding_{0};
 };
 
 }  // namespace dflow::net

@@ -39,6 +39,7 @@ struct LoopThread {
   }
 
   void UpdateEvents(EventConn* conn) {
+    if (conn->hangup_) return;  // fd already left the interest set
     epoll_event ev{};
     ev.events = (conn->reading_ ? EPOLLIN : 0u) |
                 (conn->want_write_ ? EPOLLOUT : 0u);
@@ -71,12 +72,11 @@ struct LoopThread {
     }
     conns.emplace(fd, conn);
     loop->OnConnRegistered();
-    // An Add() that raced Stop() may land here after close_all was already
-    // processed; begin its close now so Stop()'s retirement wait converges.
-    if (!loop->running()) {
-      conn->BeginGracefulClose();
-      TickClose(conn);
-    }
+    // An Add() that raced Stop() may land here after the close_all (or
+    // even force_close) pass was already processed, so nothing would ever
+    // close it again. It was never read and owes nothing — destroy it
+    // outright so Stop()'s retirement wait converges.
+    if (!loop->running()) Destroy(conn);
   }
 
   // Tears the conn down NOW: epoll deregistration, socket close, the
@@ -135,6 +135,13 @@ struct LoopThread {
   void DispatchFrames(EventConn* conn) {
     while (!conn->closing_ && !conn->retry_) {
       std::optional<Frame> frame = conn->assembler_.Next();
+      if (frame.has_value()) {
+        // Record what version the peer speaks before the handler runs, so
+        // every response to this frame — synchronous or from a worker
+        // thread later — can be stamped with a version the peer accepts.
+        conn->peer_version_.store(conn->assembler_.last_frame_version(),
+                                  std::memory_order_relaxed);
+      }
       if (!frame.has_value()) {
         if (conn->assembler_.error() != WireError::kNone &&
             !conn->saw_protocol_error_) {
@@ -181,6 +188,24 @@ struct LoopThread {
     }
   }
 
+  // EPOLLHUP/EPOLLERR arrive even with an empty interest mask. While the
+  // read path can still make progress it observes the EOF/error itself and
+  // begins the close; but a conn whose reads are paused (stalled
+  // admission) or that is already closing would leave the dead fd in the
+  // interest set, and level-triggered epoll_wait would redeliver the event
+  // every iteration — a busy spin pinning the loop thread at 100% CPU
+  // until the close completes. Pull the fd out of epoll and let the 1ms
+  // attention ticks finish whatever the conn still owes (sends to the dead
+  // peer fail, which turns the flush into a discard and retires it).
+  void HandleHangup(const std::shared_ptr<EventConn>& conn) {
+    if (conn->reading_ && !conn->closing_) return;  // read path owns it
+    conn->BeginGracefulClose();
+    if (!conn->hangup_) {
+      conn->hangup_ = true;
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn->socket_.fd(), nullptr);
+    }
+  }
+
   // Graceful-close progress: once the armed retry (if any) finished and
   // every admitted request's answer landed in the outbox, push the final
   // frame, close the outbox, and flush until kComplete destroys the conn.
@@ -188,6 +213,12 @@ struct LoopThread {
     if (!conn->finalized_) {
       if (conn->outbox_.Inflight() != 0) return;  // answers still landing
       if (!conn->final_frame_.empty()) {
+        // The final frame (goodbye ack) is a response like any other: it
+        // must carry a version the peer's assembler accepts.
+        if (conn->final_frame_.size() >= kFrameHeaderBytes) {
+          conn->final_frame_[2] =
+              conn->peer_version_.load(std::memory_order_relaxed);
+        }
         conn->outbox_.Push(std::move(conn->final_frame_));
         conn->final_frame_.clear();
       }
@@ -271,6 +302,13 @@ EventConn::EventConn(uint64_t id, Socket socket, Handlers handlers,
       assembler_(max_payload_bytes),
       handlers_(std::move(handlers)) {}
 
+void EventConn::PushResponse(std::vector<uint8_t> frame) {
+  if (frame.size() >= kFrameHeaderBytes) {
+    frame[2] = peer_version_.load(std::memory_order_relaxed);
+  }
+  outbox_.Push(std::move(frame));
+}
+
 void EventConn::PauseReads() {
   if (!reading_) return;
   reading_ = false;
@@ -350,15 +388,19 @@ void EventLoop::Stop() {
         lock, std::chrono::milliseconds(options_.drain_timeout_ms),
         [this] { return num_conns_.load(std::memory_order_acquire) == 0; });
   }
-  if (num_conns_.load(std::memory_order_acquire) != 0) {
-    // A peer that never drains its socket does not get to wedge shutdown.
+  // A peer that never drains its socket does not get to wedge shutdown.
+  // The force pass is re-posted in a bounded wait loop rather than awaited
+  // once: each pass destroys everything registered at that moment, and a
+  // registration that slips in after a pass self-destroys (see Register),
+  // so the count reaches zero in at most a few rounds.
+  while (num_conns_.load(std::memory_order_acquire) != 0) {
     for (auto& lt : threads_) {
       std::lock_guard<std::mutex> lock(lt->mu);
       lt->force_close = true;
     }
     for (auto& lt : threads_) lt->Wake();
     std::unique_lock<std::mutex> lock(retire_mu_);
-    retire_cv_.wait(lock, [this] {
+    retire_cv_.wait_for(lock, std::chrono::milliseconds(20), [this] {
       return num_conns_.load(std::memory_order_acquire) == 0;
     });
   }
@@ -454,6 +496,10 @@ void EventLoop::Run(LoopThread* lt) {
       if ((events[i].events & EPOLLOUT) != 0 &&
           lt->Live(conn) != nullptr) {
         lt->ServiceWrites(conn);
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          lt->Live(conn) != nullptr) {
+        lt->HandleHangup(conn);
       }
     }
     const bool should_stop = lt->ProcessInbox();

@@ -66,6 +66,21 @@ class EventConn : public std::enable_shared_from_this<EventConn> {
     return bytes_in_.load(std::memory_order_relaxed);
   }
 
+  // The wire version this peer most recently spoke (kWireVersion until its
+  // first frame arrives). Any-thread.
+  uint8_t peer_version() const {
+    return peer_version_.load(std::memory_order_relaxed);
+  }
+
+  // Stamps `frame`'s header version byte down to peer_version() and pushes
+  // it on the outbox. Response frames must carry a version the peer's own
+  // assembler accepts — a genuine v6-era build rejects a v7-stamped reply
+  // as UNSUPPORTED_VERSION — and every response payload is v6-shaped (v7
+  // only added a request type), so echoing the peer's version is always
+  // valid. Any-thread, like outbox().Push; use it for every server->client
+  // response frame.
+  void PushResponse(std::vector<uint8_t> frame);
+
   // Arbitrary per-connection session state, destroyed with the conn.
   std::shared_ptr<void> user;
 
@@ -105,12 +120,14 @@ class EventConn : public std::enable_shared_from_this<EventConn> {
   SessionOutbox outbox_;
   Handlers handlers_;
   std::atomic<int64_t> bytes_in_{0};
+  std::atomic<uint8_t> peer_version_{kWireVersion};
 
   // Loop-thread-only state machine.
   bool reading_ = true;        // EPOLLIN armed
   bool want_write_ = false;    // EPOLLOUT armed
   bool closing_ = false;       // BeginGracefulClose seen
   bool finalized_ = false;     // final frame pushed + outbox closed
+  bool hangup_ = false;        // EPOLLHUP/EPOLLERR seen; fd left epoll
   bool saw_protocol_error_ = false;
   std::vector<uint8_t> final_frame_;
   std::function<bool()> retry_;
@@ -146,17 +163,22 @@ class EventLoop {
 
   // Gracefully closes every conn (in-flight answers flushed, see
   // EventConn::BeginGracefulClose), waits for them to retire (up to
-  // drain_timeout_ms, then force-closes), and joins the threads.
-  // Idempotent.
+  // drain_timeout_ms, then force-closes in a bounded re-posted loop — a
+  // straggler or late registration cannot wedge shutdown), and joins the
+  // threads. Idempotent.
   void Stop();
 
   // Hands a connected socket to the pool (round-robin). The socket is
-  // switched to non-blocking here. Thread-safe; returns null when the loop
-  // is not running. The returned handle shares ownership: after the loop
-  // destroys the conn (socket closed, on_close delivered) the handle only
-  // keeps the any-thread surface alive — outbox() drops further Pushes,
-  // the counters stay readable. The loop-thread-only methods remain
-  // loop-thread-only; a caller may not invoke them through this handle.
+  // switched to non-blocking here. Thread-safe against other Add()s and
+  // the loop threads, but must NOT race Stop(): the caller must stop
+  // producing sockets before stopping the loop (IngressServer/Router join
+  // their acceptor first). A conn whose Add slipped in just before Stop is
+  // destroyed, not served. Returns null when the loop is not running. The
+  // returned handle shares ownership: after the loop destroys the conn
+  // (socket closed, on_close delivered) the handle only keeps the
+  // any-thread surface alive — outbox() drops further Pushes, the counters
+  // stay readable. The loop-thread-only methods remain loop-thread-only; a
+  // caller may not invoke them through this handle.
   std::shared_ptr<EventConn> Add(
       Socket socket, EventConn::Handlers handlers,
       std::shared_ptr<void> user,

@@ -293,9 +293,15 @@ EventConn::FrameAction IngressServer::HandleFrame(
       if (!DecodeBatchSubmit(frame.payload, &request)) {
         session->decode_errors.fetch_add(1, std::memory_order_relaxed);
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        // How many completions this frame owes is unknowable (the item
+        // count is part of what failed to decode), so per-item errors are
+        // impossible and the connection's completion accounting is broken.
+        // Answer the typed error, then close: a client blocked draining
+        // the batch's ticket range unblocks on EOF instead of hanging.
         SendError(conn, PeekRequestId(frame.payload),
                   WireError::kMalformedFrame, "undecodable batch payload");
-        return EventConn::FrameAction::kContinue;
+        conn->BeginGracefulClose();
+        return EventConn::FrameAction::kClose;
       }
       return HandleBatchSubmit(conn, session, std::move(request));
     }
@@ -303,19 +309,19 @@ EventConn::FrameAction IngressServer::HandleFrame(
       info_requests_.fetch_add(1, std::memory_order_relaxed);
       std::vector<uint8_t> out;
       EncodeInfo(BuildInfo(), &out);
-      conn->outbox().Push(std::move(out));
+      conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
     case MsgType::kMetricsRequest: {
       std::vector<uint8_t> out;
       EncodeMetrics(metrics_.RenderText(), &out);
-      conn->outbox().Push(std::move(out));
+      conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
     case MsgType::kHealthRequest: {
       std::vector<uint8_t> out;
       EncodeHealth(BuildHealth(), &out);
-      conn->outbox().Push(std::move(out));
+      conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
     case MsgType::kGoodbye: {
@@ -337,9 +343,7 @@ EventConn::FrameAction IngressServer::HandleFrame(
   }
 }
 
-bool IngressServer::CheckStrategy(EventConn* conn, Session* session,
-                                  uint64_t request_id,
-                                  const std::string& strategy) {
+bool IngressServer::StrategyAllowed(const std::string& strategy) const {
   if (strategy.empty()) return true;
   const std::optional<core::Strategy> parsed = core::Strategy::Parse(strategy);
   // An override may only name what this server already runs: its fixed
@@ -347,10 +351,14 @@ bool IngressServer::CheckStrategy(EventConn* conn, Session* session,
   // advisor still picks the concrete strategy — per-request pinning on
   // an AUTO server is a ROADMAP item, as are multi-strategy shard
   // pools).
-  if (parsed.has_value() &&
-      parsed->ToString() == server_.strategy().ToString()) {
-    return true;
-  }
+  return parsed.has_value() &&
+         parsed->ToString() == server_.strategy().ToString();
+}
+
+bool IngressServer::CheckStrategy(EventConn* conn, Session* session,
+                                  uint64_t request_id,
+                                  const std::string& strategy) {
+  if (StrategyAllowed(strategy)) return true;
   session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
   protocol_errors_.fetch_add(1, std::memory_order_relaxed);
   SendError(conn, request_id, WireError::kBadStrategy,
@@ -475,8 +483,18 @@ EventConn::FrameAction IngressServer::HandleSubmit(
 EventConn::FrameAction IngressServer::HandleBatchSubmit(
     EventConn* conn, const std::shared_ptr<Session>& session,
     BatchSubmitRequest request) {
-  if (!CheckStrategy(conn, session.get(), request.request_id_base,
-                     request.strategy)) {
+  if (!StrategyAllowed(request.strategy)) {
+    // A refused batch still owes exactly one completion per item: answer
+    // ids base..base+count-1 individually, exactly as `count` singleton
+    // submits carrying the same override would have (count BAD_STRATEGY
+    // errors), so the client's TicketRange settles instead of a drain
+    // waiting forever on completions that never come.
+    for (size_t i = 0; i < request.items.size(); ++i) {
+      session->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      SendError(conn, request.request_id_base + i, WireError::kBadStrategy,
+                "server runs " + server_.strategy().ToString());
+    }
     return EventConn::FrameAction::kContinue;
   }
   auto state = std::make_shared<BatchState>();
@@ -576,7 +594,7 @@ void IngressServer::OnResult(int shard_index,
   EncodeSubmitResult(reply, &out);
   // Push before Finish: once the in-flight count hits zero during a
   // graceful close, every answer is already in the outbox.
-  pending.conn->outbox().Push(std::move(out));
+  pending.conn->PushResponse(std::move(out));
   pending.conn->outbox().FinishRequest();
   if (pending.trace != nullptr) {
     recorder_.Finish(pending.trace,
@@ -588,7 +606,7 @@ void IngressServer::SendError(EventConn* conn, uint64_t request_id,
                               WireError code, const std::string& message) {
   std::vector<uint8_t> out;
   EncodeError(ErrorReply{request_id, code, message}, &out);
-  conn->outbox().Push(std::move(out));
+  conn->PushResponse(std::move(out));
 }
 
 ServerInfo IngressServer::BuildInfo() const {

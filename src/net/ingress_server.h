@@ -202,6 +202,9 @@ class IngressServer {
   EventConn::FrameAction HandleBatchSubmit(
       EventConn* conn, const std::shared_ptr<Session>& session,
       BatchSubmitRequest request);
+  // Whether a strategy override (empty = none) names what this server
+  // runs.
+  bool StrategyAllowed(const std::string& strategy) const;
   // Validates a strategy override (empty = none). On mismatch, counts the
   // protocol error and answers BAD_STRATEGY; returns false.
   bool CheckStrategy(EventConn* conn, Session* session, uint64_t request_id,

@@ -616,19 +616,18 @@ EventConn::FrameAction Router::HandleFrame(
       HandleSubmit(conn, session, std::move(frame));
       return EventConn::FrameAction::kContinue;
     case MsgType::kBatchSubmit:
-      HandleBatchSubmit(conn, session, frame);
-      return EventConn::FrameAction::kContinue;
+      return HandleBatchSubmit(conn, session, frame);
     case MsgType::kInfoRequest: {
       info_requests_.fetch_add(1, std::memory_order_relaxed);
       std::vector<uint8_t> out;
       EncodeInfo(BuildInfo(), &out);
-      conn->outbox().Push(std::move(out));
+      conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
     case MsgType::kMetricsRequest: {
       std::vector<uint8_t> out;
       EncodeMetrics(metrics_.RenderText(), &out);
-      conn->outbox().Push(std::move(out));
+      conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
     case MsgType::kHealthRequest: {
@@ -636,7 +635,7 @@ EventConn::FrameAction Router::HandleFrame(
       // monitoring request, and the per-backend probe timeout bounds it.
       std::vector<uint8_t> out;
       EncodeHealth(BuildHealth(), &out);
-      conn->outbox().Push(std::move(out));
+      conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
     case MsgType::kGoodbye: {
@@ -657,9 +656,8 @@ EventConn::FrameAction Router::HandleFrame(
   }
 }
 
-void Router::HandleBatchSubmit(EventConn* conn,
-                               const std::shared_ptr<Session>& session,
-                               Frame& frame) {
+EventConn::FrameAction Router::HandleBatchSubmit(
+    EventConn* conn, const std::shared_ptr<Session>& session, Frame& frame) {
   // The router cannot relay a batch wholesale: its items hash to different
   // slots. Unbundle into per-item singleton submit frames — request_id
   // base + i, everything shared stamped per item — and feed each through
@@ -670,9 +668,13 @@ void Router::HandleBatchSubmit(EventConn* conn,
   BatchSubmitRequest request;
   if (!DecodeBatchSubmit(frame.payload, &request)) {
     decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    // The owed completion count is part of what failed to decode, so the
+    // connection's accounting is broken: typed error, then close, exactly
+    // like the ingress — a client draining the range unblocks on EOF.
     SendError(conn, PeekRequestId(frame.payload), WireError::kMalformedFrame,
               "undecodable batch payload");
-    return;
+    conn->BeginGracefulClose();
+    return EventConn::FrameAction::kClose;
   }
   for (size_t i = 0; i < request.items.size(); ++i) {
     SubmitRequest item;
@@ -689,6 +691,7 @@ void Router::HandleBatchSubmit(EventConn* conn,
     singleton.payload.assign(bytes.begin() + kFrameHeaderBytes, bytes.end());
     HandleSubmit(conn, session, std::move(singleton));
   }
+  return EventConn::FrameAction::kContinue;
 }
 
 void Router::HandleSubmit(EventConn* conn,
@@ -1009,7 +1012,7 @@ void Router::SendError(EventConn* conn, uint64_t request_id, WireError code,
                        const std::string& message) {
   std::vector<uint8_t> out;
   EncodeError(ErrorReply{request_id, code, message}, &out);
-  conn->outbox().Push(std::move(out));
+  conn->PushResponse(std::move(out));
 }
 
 // --- Backend pool: one thread per pooled connection owns its whole
@@ -1272,8 +1275,10 @@ void Router::HandleBackendFrame(Backend* backend, Frame frame) {
   // Any-thread outbox surface: Push + Finish from this backend thread; the
   // wake doorbell schedules the flush on the loop thread that owns the
   // socket. Push before Finish, so a graceful close seeing in-flight zero
-  // finds every answer already in the outbox.
-  pending.conn->outbox().Push(std::move(out));
+  // finds every answer already in the outbox. PushResponse re-stamps the
+  // relayed header with the version the front-door peer spoke (the
+  // backend stamped its own).
+  pending.conn->PushResponse(std::move(out));
   pending.conn->outbox().FinishRequest();
 }
 

@@ -316,10 +316,11 @@ class Router {
   // through HandleSubmit (items hash to different slots, so the router is
   // the one tier that cannot relay a batch wholesale). Item i forwards
   // under request_id_base + i; every ticket/failover/divergence invariant
-  // is then the singleton path's by construction.
-  void HandleBatchSubmit(EventConn* conn,
-                         const std::shared_ptr<Session>& session,
-                         Frame& frame);
+  // is then the singleton path's by construction. An undecodable batch
+  // closes the connection (kClose): the owed completion count is
+  // unknowable, so the stream's accounting cannot be repaired.
+  EventConn::FrameAction HandleBatchSubmit(
+      EventConn* conn, const std::shared_ptr<Session>& session, Frame& frame);
   // One forward attempt against one backend: registers *pending under
   // `ticket` (consuming it) and sends its frame. On kUnavailable the
   // pending is handed back untouched so the caller can try a sibling.

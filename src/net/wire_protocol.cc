@@ -896,6 +896,7 @@ std::optional<Frame> FrameAssembler::Next() {
   frame.type = header[3];
   frame.payload.assign(header + kFrameHeaderBytes,
                        header + kFrameHeaderBytes + payload_len);
+  last_version_ = header[2];
   consumed_ += kFrameHeaderBytes + payload_len;
   return frame;
 }

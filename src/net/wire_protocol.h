@@ -56,14 +56,20 @@ inline constexpr uint8_t kMagic1 = 'F';
 // SUBMIT_RESULT/ERROR frame byte-identical to what the same request
 // submitted alone would have produced. v7 is purely additive — every v6
 // payload is unchanged — so v7 receivers accept v6 frames
-// (kMinSupportedWireVersion) and a v6-era client keeps working against a
-// v7 server as long as it never sends the new frame type. Earlier bumps
-// make a mixed-version fleet fail with a detectable UNSUPPORTED_VERSION
-// instead of a silent decode error.
+// (kMinSupportedWireVersion), and both front doors echo the version a
+// peer spoke when stamping response headers (EventConn::PushResponse): a
+// v6-era client sends v6 frames AND receives v6-stamped replies its own
+// assembler accepts, so it keeps working against a v7 server as long as
+// it never sends the new frame type. Earlier bumps make a mixed-version
+// fleet fail with a detectable UNSUPPORTED_VERSION instead of a silent
+// decode error.
 inline constexpr uint8_t kWireVersion = 7;
-// Oldest version this build still accepts on ingest. Senders always stamp
-// kWireVersion; the FrameAssembler accepts the closed range
-// [kMinSupportedWireVersion, kWireVersion].
+// Oldest version this build still accepts on ingest. Clients stamp
+// kWireVersion on requests; the FrameAssembler accepts the closed range
+// [kMinSupportedWireVersion, kWireVersion], and servers stamp each
+// response with the version its connection's peer last spoke (see
+// FrameAssembler::last_frame_version) so every reply is readable by a
+// genuine build of that version.
 inline constexpr uint8_t kMinSupportedWireVersion = 6;
 inline constexpr size_t kFrameHeaderBytes = 8;
 // Default ceiling on one frame's payload. Generous for request/response
@@ -484,12 +490,18 @@ class FrameAssembler {
   WireError error() const { return error_; }
   // Bytes buffered but not yet consumed as frames (diagnostics).
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+  // Header version of the most recent frame Next() yielded (kWireVersion
+  // until the first one) — the version this peer speaks, within the
+  // accepted range. Servers echo it when stamping responses so an
+  // older-version peer receives frames its own assembler accepts.
+  uint8_t last_frame_version() const { return last_version_; }
 
  private:
   const uint32_t max_payload_bytes_;
   std::vector<uint8_t> buffer_;
   size_t consumed_ = 0;  // prefix of buffer_ already handed out as frames
   WireError error_ = WireError::kNone;
+  uint8_t last_version_ = kWireVersion;
 };
 
 // A 64-bit digest of everything the determinism contract promises about an

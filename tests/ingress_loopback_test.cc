@@ -13,6 +13,7 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <thread>
@@ -785,6 +786,11 @@ TEST(IngressLoopbackTest, MixedVersionClientsShareTheServer) {
   for (size_t i = 0; i < requests.size(); ++i) {
     const std::optional<Frame> frame = read_frame();
     ASSERT_TRUE(frame.has_value());
+    // The server echoes the version the peer spoke: a genuine v6 build's
+    // assembler rejects any other stamp, so this is what makes the
+    // mixed-version claim real rather than an artifact of the v7 test
+    // assembler accepting both versions.
+    EXPECT_EQ(assembler.last_frame_version(), kMinSupportedWireVersion);
     ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kSubmitResult));
     SubmitResult result;
     ASSERT_TRUE(DecodeSubmitResult(frame->payload, &result));
@@ -803,6 +809,8 @@ TEST(IngressLoopbackTest, MixedVersionClientsShareTheServer) {
   ASSERT_TRUE(raw.SendAll(stale.data(), stale.size()));
   const std::optional<Frame> frame = read_frame();
   ASSERT_TRUE(frame.has_value());
+  // Even the final error is stamped with the last version the peer spoke.
+  EXPECT_EQ(assembler.last_frame_version(), kMinSupportedWireVersion);
   ASSERT_EQ(frame->type, static_cast<uint8_t>(MsgType::kError));
   ErrorReply reply;
   ASSERT_TRUE(DecodeError(frame->payload, &reply));
@@ -810,6 +818,108 @@ TEST(IngressLoopbackTest, MixedVersionClientsShareTheServer) {
   uint8_t byte;
   EXPECT_EQ(raw.Recv(&byte, 1), 0);  // orderly close
   server.Stop();
+}
+
+// An ok() TicketRange owes exactly count completions, even when the whole
+// batch is refused: a strategy override the server does not run answers
+// every item id with its own BAD_STRATEGY error — what count singleton
+// submits would have produced — so a drain settles instead of hanging on
+// completions that never come, and the connection stays usable.
+TEST(IngressLoopbackTest, RefusedBatchAnswersEveryItemAndConnectionSurvives) {
+  const gen::GeneratedSchema pattern = MakePattern(43);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 2;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  const std::vector<runtime::FlowRequest> requests = MakeWorkload(pattern, 5);
+
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port(), &error)) << error;
+  std::vector<BatchItem> items;
+  for (const runtime::FlowRequest& request : requests) {
+    items.push_back(BatchItem{request.seed, request.sources});
+  }
+  BatchOptions refused_options;
+  refused_options.strategy = "NCC0";  // valid notation, not what is served
+  const TicketRange refused = client.SubmitBatch(items, refused_options);
+  ASSERT_TRUE(refused.ok());
+  EXPECT_EQ(client.outstanding(), requests.size());
+  std::set<uint64_t> error_ids;
+  ASSERT_TRUE(client.DrainCompletions([&](const Completion& done) {
+    ASSERT_EQ(done.type, MsgType::kError);
+    EXPECT_EQ(done.error.code, WireError::kBadStrategy);
+    EXPECT_TRUE(refused.Contains(done.request_id));
+    error_ids.insert(done.request_id);
+  }));
+  EXPECT_EQ(error_ids.size(), requests.size());
+  EXPECT_EQ(client.outstanding(), 0u);
+
+  // The payload decoded and framing held, so the stream is still good: the
+  // same batch without the override is served normally.
+  const TicketRange accepted = client.SubmitBatch(items);
+  ASSERT_TRUE(accepted.ok());
+  size_t results = 0;
+  ASSERT_TRUE(client.DrainCompletions([&](const Completion& done) {
+    ASSERT_EQ(done.type, MsgType::kSubmitResult);
+    EXPECT_TRUE(accepted.Contains(done.request_id));
+    ++results;
+  }));
+  EXPECT_EQ(results, requests.size());
+  EXPECT_TRUE(client.Goodbye());
+  server.Stop();
+  EXPECT_EQ(server.ingress_stats().protocol_errors,
+            static_cast<int64_t>(requests.size()));
+}
+
+// A BATCH_SUBMIT whose payload does not decode owes an unknowable number
+// of completions — the count is part of what failed to parse — so the
+// server answers one typed error and closes: a client draining the range
+// unblocks on EOF instead of waiting forever.
+TEST(IngressLoopbackTest, UndecodableBatchAnswersErrorThenCloses) {
+  const gen::GeneratedSchema pattern = MakePattern(47);
+  runtime::FlowServerOptions server_options;
+  server_options.num_shards = 1;
+  server_options.strategy = S("PSE100");
+  IngressServer server(&pattern.schema, server_options, IngressOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  Socket raw = Socket::ConnectTcp("127.0.0.1", server.port(), &error);
+  ASSERT_TRUE(raw.valid()) << error;
+  // A well-framed batch frame whose payload is truncated garbage: the
+  // request_id_base peeks out, nothing else decodes.
+  std::vector<uint8_t> payload(12, 0);
+  WriteLe64(99, payload.data());
+  std::vector<uint8_t> frame_bytes;
+  EncodeRawFrame(static_cast<uint8_t>(MsgType::kBatchSubmit), payload,
+                 &frame_bytes);
+  ASSERT_TRUE(raw.SendAll(frame_bytes.data(), frame_bytes.size()));
+
+  FrameAssembler assembler;
+  uint8_t chunk[4096];
+  std::optional<Frame> reply;
+  while (!reply.has_value()) {
+    const ssize_t n = raw.Recv(chunk, sizeof(chunk));
+    ASSERT_GT(n, 0);
+    assembler.Feed(chunk, static_cast<size_t>(n));
+    reply = assembler.Next();
+  }
+  ASSERT_EQ(reply->type, static_cast<uint8_t>(MsgType::kError));
+  ErrorReply decoded;
+  ASSERT_TRUE(DecodeError(reply->payload, &decoded));
+  EXPECT_EQ(decoded.code, WireError::kMalformedFrame);
+  EXPECT_EQ(decoded.request_id, 99u);
+  // Then EOF: the orderly close that unblocks a parked drain.
+  ssize_t n;
+  while ((n = raw.Recv(chunk, sizeof(chunk))) > 0) {
+    assembler.Feed(chunk, static_cast<size_t>(n));
+    ASSERT_FALSE(assembler.Next().has_value());
+  }
+  EXPECT_EQ(n, 0);
+  server.Stop();
+  EXPECT_EQ(server.ingress_stats().decode_errors, 1);
 }
 
 int CountOpenFds() {

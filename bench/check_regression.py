@@ -102,13 +102,16 @@ def write_baseline(current, source, baseline_path, old_baseline, headroom):
                    "carried over unchanged." % headroom,
         "throughput_vs_shards": tvs_out,
         "obs_overhead": {
-            "comment": "Absolute ceilings: sampled tracing and the 100Hz "
-                       "health collector must each cost under their "
-                       "max_*_overhead_pct of closed-loop throughput.",
+            "comment": "Absolute ceilings: sampled tracing, the 100Hz "
+                       "health collector, and sampled execution profiling "
+                       "must each cost under their max_*_overhead_pct of "
+                       "closed-loop throughput.",
             "max_sampled_overhead_pct": ceiling(
                 "obs_overhead", "max_sampled_overhead_pct", 2.0),
             "max_health_overhead_pct": ceiling(
                 "obs_overhead", "max_health_overhead_pct", 2.0),
+            "max_profile_overhead_pct": ceiling(
+                "obs_overhead", "max_profile_overhead_pct", 2.0),
         },
         "strategy_advisor": {
             "comment": "Absolute quality gate: AUTO total work within "
@@ -263,6 +266,21 @@ def main():
             print("%-4s %-48s current=%10.2f ceiling=%10.2f"
                   % ("OK" if ok else "FAIL",
                      "obs_overhead health_overhead_pct", overhead, ceiling))
+            if not ok:
+                failures += 1
+        # Execution-profiler rider (v8 profiling plane): sampled profiling
+        # must stay under its own absolute ceiling. Both-sides-present so
+        # pre-v8 artifacts still compare cleanly.
+        if ("profile_overhead_pct" in current["obs_overhead"]
+                and "max_profile_overhead_pct" in baseline["obs_overhead"]):
+            overhead = fetch(current, args.current,
+                             "obs_overhead", "profile_overhead_pct")
+            ceiling = fetch(baseline, args.baseline,
+                            "obs_overhead", "max_profile_overhead_pct")
+            ok = overhead <= ceiling
+            print("%-4s %-48s current=%10.2f ceiling=%10.2f"
+                  % ("OK" if ok else "FAIL",
+                     "obs_overhead profile_overhead_pct", overhead, ceiling))
             if not ok:
                 failures += 1
 

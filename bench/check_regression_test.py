@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Self-test for the benchmark-regression gate (bench/check_regression.py).
+
+The gate is the last line of defense for every performance floor in CI,
+so its own failure modes are tested here: a missing benchmark row must
+fail loudly (not KeyError), a ceiling violation must gate, and the
+--write-baseline --headroom path must produce a baseline the gate then
+accepts for the very run that seeded it.
+
+Stdlib-only (unittest + importlib); run directly or via CI:
+    python3 bench/check_regression_test.py
+"""
+
+import contextlib
+import importlib.util
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "check_regression", os.path.join(_HERE, "check_regression.py"))
+check_regression = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_regression)
+
+
+def make_result(rps=1000.0, sampled_pct=0.5, health_pct=0.5,
+                profile_pct=0.5, auto_vs_best=1.02, auto_vs_worst=0.6):
+    """A complete BENCH_pr.json-shaped object with healthy numbers."""
+    return {
+        "throughput_vs_shards": {
+            "rows": [
+                {"shards": 1, "instances_per_second": rps,
+                 "cached_instances_per_second": rps * 4},
+                {"shards": 2, "instances_per_second": rps * 1.8,
+                 "cached_instances_per_second": rps * 7},
+            ],
+        },
+        "dflow_load": {"requests_per_second": rps, "errors": 0},
+        "batch_throughput": {"requests_per_second": rps * 2, "errors": 0},
+        "obs_overhead": {
+            "sampled_overhead_pct": sampled_pct,
+            "health_overhead_pct": health_pct,
+            "profile_overhead_pct": profile_pct,
+        },
+        "strategy_advisor": {
+            "auto_vs_best": auto_vs_best,
+            "auto_vs_worst": auto_vs_worst,
+        },
+    }
+
+
+def make_baseline(rps=500.0):
+    base = make_result(rps=rps)
+    base["obs_overhead"] = {
+        "max_sampled_overhead_pct": 2.0,
+        "max_health_overhead_pct": 2.0,
+        "max_profile_overhead_pct": 2.0,
+    }
+    base["strategy_advisor"] = {"max_auto_vs_best": 1.10}
+    return base
+
+
+class GateTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self._dir.cleanup)
+
+    def _write(self, name, obj):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            json.dump(obj, f)
+        return path
+
+    def _run(self, argv):
+        """Runs main() with argv, returning (exit_status, stdout_text)."""
+        out = io.StringIO()
+        old_argv = sys.argv
+        sys.argv = ["check_regression.py"] + argv
+        try:
+            with contextlib.redirect_stdout(out):
+                try:
+                    status = check_regression.main()
+                except SystemExit as e:  # fetch() raises SystemExit(1)
+                    status = e.code
+        finally:
+            sys.argv = old_argv
+        return status, out.getvalue()
+
+    def test_healthy_run_passes(self):
+        current = self._write("pr.json", make_result())
+        baseline = self._write("base.json", make_baseline())
+        status, out = self._run([current, baseline])
+        self.assertEqual(status, 0, out)
+        self.assertNotIn("FAIL", out)
+        self.assertIn("profile_overhead_pct", out)
+
+    def test_missing_row_fails_loudly(self):
+        broken = make_result()
+        del broken["dflow_load"]["requests_per_second"]
+        current = self._write("pr.json", broken)
+        baseline = self._write("base.json", make_baseline())
+        status, out = self._run([current, baseline])
+        self.assertEqual(status, 1, out)
+        self.assertIn("missing benchmark row", out)
+        self.assertIn("dflow_load.requests_per_second", out)
+
+    def test_throughput_drop_beyond_budget_fails(self):
+        current = self._write("pr.json", make_result(rps=100.0))
+        baseline = self._write("base.json", make_baseline(rps=500.0))
+        status, out = self._run([current, baseline, "--max-drop=0.30"])
+        self.assertEqual(status, 1, out)
+        self.assertIn("FAIL", out)
+
+    def test_profile_overhead_ceiling_violation_fails(self):
+        current = self._write("pr.json", make_result(profile_pct=5.0))
+        baseline = self._write("base.json", make_baseline())
+        status, out = self._run([current, baseline])
+        self.assertEqual(status, 1, out)
+        self.assertIn("FAIL obs_overhead profile_overhead_pct", out)
+
+    def test_pre_v8_artifact_without_profile_row_still_compares(self):
+        old = make_result()
+        del old["obs_overhead"]["profile_overhead_pct"]
+        current = self._write("pr.json", old)
+        baseline = self._write("base.json", make_baseline())
+        status, out = self._run([current, baseline])
+        self.assertEqual(status, 0, out)
+        self.assertNotIn("profile_overhead_pct", out)
+
+    def test_write_baseline_headroom_round_trip(self):
+        result = make_result(rps=1000.0)
+        current = self._write("pr.json", result)
+        baseline = self._write("base.json", make_baseline())
+        status, out = self._run(
+            [current, baseline, "--write-baseline", "--headroom=0.5"])
+        self.assertEqual(status, 0, out)
+
+        with open(baseline) as f:
+            written = json.load(f)
+        # Floors are measured * headroom; policy ceilings carry over.
+        self.assertAlmostEqual(
+            written["dflow_load"]["requests_per_second"], 500.0)
+        self.assertAlmostEqual(
+            written["batch_throughput"]["requests_per_second"], 1000.0)
+        self.assertEqual(
+            written["obs_overhead"]["max_profile_overhead_pct"], 2.0)
+        self.assertEqual(
+            written["strategy_advisor"]["max_auto_vs_best"], 1.10)
+
+        # The run that seeded the baseline must pass the gate against it.
+        status, out = self._run([current, baseline])
+        self.assertEqual(status, 0, out)
+
+    def test_write_baseline_rejects_bad_headroom(self):
+        current = self._write("pr.json", make_result())
+        baseline = self._write("base.json", make_baseline())
+        status, out = self._run(
+            [current, baseline, "--write-baseline", "--headroom=1.5"])
+        self.assertEqual(status, 1, out)
+        self.assertIn("--headroom", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

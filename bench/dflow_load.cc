@@ -65,8 +65,11 @@
 // 0, so the first node on the path — router or ingress — mints the id),
 // prints a few per-request span waterfalls to stderr, and folds every
 // returned timing trailer into a per-stage summary (the "stages" object in
-// --json). --metrics-dump scrapes the server's metrics endpoint after the
-// run and prints the Prometheus-style text.
+// --json). Swarm batches carry no per-item trace flag, so there --trace
+// folds whatever trailers the server's own sampler attached and adds a
+// client-side "client.batch" stage (send -> completion wait per item).
+// --metrics-dump scrapes the server's metrics endpoint after the run and
+// prints the Prometheus-style text.
 //
 // Run:  ./build/dflow_load --port=4517 --requests=2000 --connections=4
 //           [--mode=closed|open] [--rate=R] [--duration=SECS]
@@ -265,6 +268,11 @@ struct WorkerResult {
   // trailers of traced responses, plus a few rendered waterfalls.
   std::map<uint8_t, std::pair<int64_t, uint64_t>> span_stats;
   std::vector<std::string> waterfalls;
+  // Swarm --trace: client-observed batch wait (send -> each completion).
+  // Span kinds are a server-side wire keyspace, so this client-only stage
+  // rides its own tally and joins the stage summary as "client.batch".
+  int64_t batch_completions = 0;
+  uint64_t batch_wait_ns = 0;
 };
 
 // Renders one traced response as an aligned waterfall: spans in pipeline
@@ -622,6 +630,25 @@ WorkerResult RunSwarmWorker(const Config& config,
               if (!completion.result.strategy.empty()) {
                 ++result.strategies[completion.result.strategy];
               }
+              // Batch submits carry no trace extension, but the server's own
+              // sampler still traces a subset; fold those timing trailers
+              // into the same stage summary the singleton modes build.
+              if (completion.result.trace_id != 0 &&
+                  !completion.result.spans.empty()) {
+                for (const net::WireSpan& span : completion.result.spans) {
+                  auto& stat = result.span_stats[span.kind];
+                  ++stat.first;
+                  stat.second += span.duration_ns;
+                }
+                if (config.trace && result.waterfalls.size() < kMaxWaterfalls) {
+                  result.waterfalls.push_back(
+                      FormatWaterfall(completion.result));
+                }
+              }
+              if (config.trace) {
+                ++result.batch_completions;
+                result.batch_wait_ns += static_cast<uint64_t>(ms * 1e6);
+              }
               ++result.ok;
             } else if (completion.error.code == net::WireError::kRejectedBusy) {
               ++result.rejected_busy;
@@ -723,7 +750,8 @@ int main(int argc, char** argv) {
             "request full result snapshots")
       .Bool("trace", &config.trace,
             "set the trace flag on every submit and fold the timing "
-            "trailers into a per-stage summary")
+            "trailers into a per-stage summary (swarm mode folds the "
+            "server-sampled trailers plus client batch waits)")
       .Bool("metrics-dump", &config.metrics_dump,
             "scrape and print the server's metrics text after the run")
       .Bool("json", &config.json,
@@ -748,14 +776,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "dflow_load: --mode=swarm is quota-bounded; drop "
                  "--duration\n");
-    return 2;
-  }
-  if (config.swarm && config.trace) {
-    // BATCH_SUBMIT deliberately carries no trace extension (the batch is
-    // not one request); trace with the singleton modes instead.
-    std::fprintf(stderr,
-                 "dflow_load: --trace does not apply to --mode=swarm "
-                 "(batched submits carry no trace extension)\n");
     return 2;
   }
   if (timed && config.expect_fingerprint) {
@@ -888,6 +908,8 @@ int main(int argc, char** argv) {
         total.waterfalls.push_back(std::move(waterfall));
       }
     }
+    total.batch_completions += result.batch_completions;
+    total.batch_wait_ns += result.batch_wait_ns;
   }
   // Workload fingerprint: per-request fingerprints folded in request_id
   // order, so it is independent of completion order, connection split, and
@@ -956,6 +978,18 @@ int main(int argc, char** argv) {
             ? static_cast<double>(stat.second) / 1e3 /
                   static_cast<double>(stat.first)
             : 0.0);
+    stages_json += buffer;
+  }
+  // Swarm --trace adds the client-side batch wait (send -> completion) as
+  // its own stage; it is not a wire span kind, so it is appended by hand.
+  if (total.batch_completions > 0) {
+    if (stages_json.size() > 1) stages_json += ",";
+    char buffer[96];
+    std::snprintf(buffer, sizeof(buffer),
+                  "\"client.batch\":{\"count\":%lld,\"mean_us\":%.1f}",
+                  static_cast<long long>(total.batch_completions),
+                  static_cast<double>(total.batch_wait_ns) / 1e3 /
+                      static_cast<double>(total.batch_completions));
     stages_json += buffer;
   }
   stages_json += "}";
@@ -1076,7 +1110,7 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n");
-    if (!total.span_stats.empty()) {
+    if (!total.span_stats.empty() || total.batch_completions > 0) {
       std::printf("# stages (mean over traced requests):");
       for (const auto& [kind, stat] : total.span_stats) {
         std::printf(" %s=%.1fus/%lld",
@@ -1084,6 +1118,12 @@ int main(int argc, char** argv) {
                     static_cast<double>(stat.second) / 1e3 /
                         static_cast<double>(std::max<int64_t>(1, stat.first)),
                     static_cast<long long>(stat.first));
+      }
+      if (total.batch_completions > 0) {
+        std::printf(" client.batch=%.1fus/%lld",
+                    static_cast<double>(total.batch_wait_ns) / 1e3 /
+                        static_cast<double>(total.batch_completions),
+                    static_cast<long long>(total.batch_completions));
       }
       std::printf("\n");
     }

@@ -1,19 +1,22 @@
-// Observability-overhead benchmark: proves request tracing and the fleet
-// health plane are off the hot path. Drives the in-process
-// runtime::FlowServer (the same shard/engine pipeline the ingress feeds)
-// in four configurations —
+// Observability-overhead benchmark: proves request tracing, the fleet
+// health plane, and the v8 execution profiler are off the hot path.
+// Drives the in-process runtime::FlowServer (the same shard/engine
+// pipeline the ingress feeds) in five configurations —
 //
-//   off      tracing disabled: every stage pays one null-pointer test
+//   off      everything disabled: every stage pays one null-pointer test
 //   sampled  --trace-sample=64, the default production setting
 //   full     --trace-sample=1, every request traced end to end
 //   health   tracing off, the v6 health collector sampling at 100 Hz
 //            (100x the production cadence)
+//   profiled tracing/health off, the v8 execution profiler armed at its
+//            default --profile-sample period
 //
 // — and reports closed-loop throughput for each plus the relative
 // overheads. The acceptance bars (gated in CI via BENCH_baseline.json's
 // obs_overhead section): sampled tracing costs < 2%
-// (max_sampled_overhead_pct), and the health collector costs < 2%
-// (max_health_overhead_pct) even at 100x cadence.
+// (max_sampled_overhead_pct), the health collector costs < 2%
+// (max_health_overhead_pct) even at 100x cadence, and sampled profiling
+// costs < 2% (max_profile_overhead_pct).
 //
 // Methodology: the modes are INTERLEAVED round-robin for
 // --rounds=5 rounds (so thermal drift and noisy neighbors hit all modes
@@ -49,7 +52,8 @@ struct Segment {
 
 Segment RunOnce(const gen::GeneratedSchema& pattern,
                 const std::vector<runtime::FlowRequest>& requests,
-                uint32_t sample_period, bool with_health) {
+                uint32_t sample_period, bool with_health,
+                uint32_t profile_period) {
   obs::TraceRecorderOptions trace_options;
   trace_options.sample_period = sample_period;
   trace_options.ring_capacity = 64;
@@ -59,6 +63,9 @@ Segment RunOnce(const gen::GeneratedSchema& pattern,
   options.num_shards = 2;
   options.queue_capacity_per_shard = 1024;
   options.strategy = *core::Strategy::Parse("PSE100");
+  // Profiling defaults ON in FlowServerOptions; the comparison here needs
+  // each plane isolated, so every mode states its period explicitly.
+  options.profile_sample_period = profile_period;
   runtime::FlowServer server(&pattern.schema, options);
   // The completed counter feeds the health collector's request-rate source
   // and is bumped in every mode, so the hot-path cost under comparison is
@@ -164,16 +171,19 @@ int main(int argc, char** argv) {
   }
 
   // Mode 3 keeps tracing off but runs the v6 health collector at 100 Hz;
-  // its overhead vs `off` is the fleet-health-plane hot-path cost.
-  const uint32_t kModes[] = {0, obs::kDefaultSamplePeriod, 1, 0};
-  const char* kModeNames[] = {"off", "sampled", "full", "health"};
-  std::vector<double> rps[4];
-  int64_t traces[4] = {0, 0, 0, 0};
+  // its overhead vs `off` is the fleet-health-plane hot-path cost. Mode 4
+  // likewise isolates the v8 execution profiler at its default period.
+  const uint32_t kModes[] = {0, obs::kDefaultSamplePeriod, 1, 0, 0};
+  const char* kModeNames[] = {"off", "sampled", "full", "health", "profiled"};
+  const uint32_t kProfilePeriods[] = {0, 0, 0, 0,
+                                      obs::kDefaultProfileSamplePeriod};
+  std::vector<double> rps[5];
+  int64_t traces[5] = {0, 0, 0, 0, 0};
   int64_t expected_work = -1;
   for (int round = 0; round < rounds; ++round) {
-    for (int mode = 0; mode < 4; ++mode) {
-      const Segment segment =
-          RunOnce(pattern, requests, kModes[mode], mode == 3);
+    for (int mode = 0; mode < 5; ++mode) {
+      const Segment segment = RunOnce(pattern, requests, kModes[mode],
+                                      mode == 3, kProfilePeriods[mode]);
       rps[mode].push_back(segment.requests_per_second);
       traces[mode] = segment.traces_finished;
       if (expected_work < 0) expected_work = segment.total_work;
@@ -192,22 +202,27 @@ int main(int argc, char** argv) {
   const double sampled_rps = Median(rps[1]);
   const double full_rps = Median(rps[2]);
   const double health_rps = Median(rps[3]);
+  const double profiled_rps = Median(rps[4]);
   const double sampled_pct = OverheadPct(off_rps, sampled_rps);
   const double full_pct = OverheadPct(off_rps, full_rps);
   const double health_pct = OverheadPct(off_rps, health_rps);
+  const double profile_pct = OverheadPct(off_rps, profiled_rps);
 
   if (json) {
     std::printf(
         "{\"tool\":\"bench_obs_overhead\",\"requests\":%d,\"rounds\":%d,"
         "\"sample_period\":%u,\"off_rps\":%.1f,\"sampled_rps\":%.1f,"
-        "\"full_rps\":%.1f,\"health_rps\":%.1f,"
+        "\"full_rps\":%.1f,\"health_rps\":%.1f,\"profiled_rps\":%.1f,"
         "\"sampled_overhead_pct\":%.2f,"
         "\"full_overhead_pct\":%.2f,\"health_overhead_pct\":%.2f,"
+        "\"profile_overhead_pct\":%.2f,\"profile_sample_period\":%u,"
         "\"sampled_traces\":%lld,"
         "\"full_traces\":%lld,\"total_work\":%lld}\n",
         num_requests, rounds, obs::kDefaultSamplePeriod, off_rps,
-        sampled_rps, full_rps, health_rps, sampled_pct, full_pct,
-        health_pct, static_cast<long long>(traces[1]),
+        sampled_rps, full_rps, health_rps, profiled_rps, sampled_pct,
+        full_pct, health_pct, profile_pct,
+        obs::kDefaultProfileSamplePeriod,
+        static_cast<long long>(traces[1]),
         static_cast<long long>(traces[2]),
         static_cast<long long>(expected_work));
   } else {
@@ -224,6 +239,8 @@ int main(int argc, char** argv) {
                 static_cast<long long>(traces[2]));
     std::printf("  %-8s %12.1f %9.2f%% %s\n", "health", health_rps,
                 health_pct, "(collector @100Hz)");
+    std::printf("  %-8s %12.1f %9.2f%% %s\n", "profiled", profiled_rps,
+                profile_pct, "(profiler @default period)");
     std::printf("  determinism: total work %lld identical across all "
                 "modes and rounds\n",
                 static_cast<long long>(expected_work));

@@ -48,6 +48,10 @@ int main(int argc, char** argv) {
   int advisor_samples = 48;
   int advisor_explore = 64;
   std::string advisor_calibration;  // load-or-create path; empty = in-memory
+  std::string advisor_promote;      // write the promoted model here on drain
+  uint32_t profile_sample = obs::kDefaultProfileSamplePeriod;
+  std::string profile_jsonl;
+  uint64_t profile_max_bytes = 0;
   obs::TraceRecorderOptions trace;
   obs::EventLogOptions events;
   obs::HealthOptions health;
@@ -87,6 +91,20 @@ int main(int argc, char** argv) {
               "AUTO only: cost-model file, loaded when it exists (restarts "
               "then reproduce every AUTO choice byte-for-byte), otherwise "
               "written after startup calibration")
+      .String("advisor-promote", &advisor_promote,
+              "AUTO only: on drain, fold this run's online observations AND "
+              "its measured condition selectivities into a promoted cost "
+              "model written here — the next epoch's --advisor-calibration")
+      .SamplePeriod("profile-sample", &profile_sample,
+                    "1-in-N deterministic execution profiling (per-attribute "
+                    "work, per-condition selectivity; wire v8 PROFILE); 1 "
+                    "profiles everything, 0 disables")
+      .String("profile-jsonl", &profile_jsonl,
+              "append the merged profile as one JSON line to this file at "
+              "drain")
+      .Megabytes("profile-max-mb", &profile_max_bytes,
+                 "rotation budget for the profile JSONL sink, like "
+                 "--trace-max-mb")
       .Int("nodes", &nodes, "pattern schema size in nodes", 1, 1 << 20)
       .Int("rows", &rows, "rows per pattern source", 1, 1 << 20)
       .Uint64("pattern-seed", &pattern_seed, "pattern generator seed")
@@ -155,6 +173,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad --strategy '%s'\n", strategy_text.c_str());
     return 2;
   }
+  if (!advisor_promote.empty() && !strategy->is_auto) {
+    std::fprintf(stderr,
+                 "dflow_serve: --advisor-promote requires --strategy=AUTO "
+                 "(there is no advisor to promote)\n");
+    return 2;
+  }
 
   gen::PatternParams params;
   params.nb_nodes = nodes;
@@ -170,6 +194,7 @@ int main(int argc, char** argv) {
   server_options.result_cache_capacity = static_cast<size_t>(cache);
   server_options.result_cache_max_bytes = cache_bytes;
   server_options.result_cache_min_cost = cache_min_cost;
+  server_options.profile_sample_period = profile_sample;
 
   if (strategy->is_auto) {
     // Build the strategy advisor: load the calibration if one was saved,
@@ -242,6 +267,8 @@ int main(int argc, char** argv) {
   events.log_to_stderr = verbose;
   ingress_options.events = events;
   ingress_options.health = health;
+  ingress_options.profile_jsonl_path = profile_jsonl;
+  ingress_options.profile_jsonl_max_bytes = profile_max_bytes;
 
   // Block the shutdown signals *before* spawning server threads so every
   // thread inherits the mask and sigwait below is the only consumer.
@@ -282,6 +309,11 @@ int main(int argc, char** argv) {
                 trace.slow_ms > 0 ? " (slow log arms full tracing)" : "",
                 trace.jsonl_path.empty() ? "" : ", jsonl=",
                 trace.jsonl_path.c_str());
+  }
+  if (profile_sample > 0) {
+    std::printf("profiling: sample 1/%u%s%s\n", profile_sample,
+                profile_jsonl.empty() ? "" : ", jsonl=",
+                profile_jsonl.c_str());
   }
   std::fflush(stdout);
 
@@ -325,6 +357,26 @@ int main(int argc, char** argv) {
   log_cv.notify_all();
   if (logger.joinable()) logger.join();
   server.Stop();
+
+  if (!advisor_promote.empty() && server.flow_server().advisor() != nullptr) {
+    // Epoch step: fold this run's online cost observations and its measured
+    // condition selectivities into a new frozen model. The serving model is
+    // never mutated — the promoted copy only takes effect when a restart
+    // loads it via --advisor-calibration.
+    opt::CostModel promoted = server.flow_server().advisor()->PromotedModel();
+    promoted.MergeObservedSelectivities(server.flow_server().MergedProfile());
+    std::string save_error;
+    if (!promoted.SaveToFile(advisor_promote, &save_error)) {
+      std::fprintf(stderr, "dflow_serve: --advisor-promote: %s\n",
+                   save_error.c_str());
+    } else {
+      std::printf(
+          "advisor promote      %s (%zu classes, %zu observed "
+          "selectivities)\n",
+          advisor_promote.c_str(), promoted.num_classes(),
+          promoted.selectivities().size());
+    }
+  }
 
   const runtime::FlowServerReport report = server.Report();
   std::printf("completed            %lld instances\n",

@@ -13,6 +13,11 @@
 //   --once --json  one poll printed as a single JSON object — what CI
 //                  gates on (.self.status == "ok", journal contents,
 //                  counter cross-checks against the Prometheus scrape).
+//   --profile      the v8 profiling plane instead of health: fleet-merged
+//                  hot-attribute work, condition selectivities, and
+//                  request-class rollups (combines with --once/--json);
+//                  --profile --plan prints the EXPLAIN-style annotated
+//                  Graphviz plan instead of the tables.
 //
 // Build:  cmake --build build --target dflow_top
 // Run:    ./build/dflow_top --port=4517
@@ -30,6 +35,7 @@
 #include <vector>
 
 #include "net/client.h"
+#include "net/profile_wire.h"
 #include "net/server_config.h"
 #include "obs/event_log.h"
 #include "obs/timeseries.h"
@@ -201,6 +207,184 @@ void Render(const std::string& host, int port,
   std::fflush(stdout);
 }
 
+// --- The v8 profiling view (--profile): fleet-merged per-attribute /
+// per-condition execution profiles, class rollups, and the EXPLAIN-style
+// plan dot.
+
+struct FleetProfile {
+  std::vector<net::WireAttrProfile> attrs;
+  std::vector<net::WireCondProfile> conds;
+  std::vector<net::WireClassProfile> classes;
+  uint64_t profiled = 0;
+  uint64_t total = 0;
+  uint64_t sample_period = 0;
+  int nodes = 0;
+  // The fleet serves one schema, so any node's annotated plan stands for
+  // it; the first non-empty one wins (a router's self entry ships none).
+  std::string plan_dot;
+};
+
+FleetProfile MergeFleet(const net::ProfileInfo& info) {
+  FleetProfile fleet;
+  const auto fold = [&fleet](const net::NodeProfile& node) {
+    net::MergeNodeProfile(node, &fleet.attrs, &fleet.conds, &fleet.classes);
+    fleet.profiled += node.profiled_requests;
+    fleet.total += node.total_requests;
+    if (fleet.sample_period == 0) fleet.sample_period = node.sample_period;
+    if (fleet.plan_dot.empty()) fleet.plan_dot = node.plan_dot;
+    ++fleet.nodes;
+  };
+  fold(info.self);
+  for (const net::NodeProfile& backend : info.backends) fold(backend);
+  // Hottest first, everywhere this is shown or emitted: work-units desc,
+  // id asc for ties, so repeated polls of an idle fleet print identically.
+  std::sort(fleet.attrs.begin(), fleet.attrs.end(),
+            [](const net::WireAttrProfile& a, const net::WireAttrProfile& b) {
+              if (a.work_units != b.work_units) {
+                return a.work_units > b.work_units;
+              }
+              return a.attr < b.attr;
+            });
+  std::sort(fleet.conds.begin(), fleet.conds.end(),
+            [](const net::WireCondProfile& a, const net::WireCondProfile& b) {
+              if (a.evals != b.evals) return a.evals > b.evals;
+              return a.attr < b.attr;
+            });
+  std::sort(fleet.classes.begin(), fleet.classes.end(),
+            [](const net::WireClassProfile& a,
+               const net::WireClassProfile& b) {
+              if (a.requests != b.requests) return a.requests > b.requests;
+              return a.class_key < b.class_key;
+            });
+  return fleet;
+}
+
+std::string ProfileToJson(const FleetProfile& fleet) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"nodes\":%d,\"sample_period\":%llu,"
+                "\"profiled_requests\":%llu,\"total_requests\":%llu,"
+                "\"attrs\":[",
+                fleet.nodes,
+                static_cast<unsigned long long>(fleet.sample_period),
+                static_cast<unsigned long long>(fleet.profiled),
+                static_cast<unsigned long long>(fleet.total));
+  std::string out = buf;
+  for (size_t i = 0; i < fleet.attrs.size(); ++i) {
+    const net::WireAttrProfile& a = fleet.attrs[i];
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"attr\":%d,\"name\":\"%s\",\"launches\":%lld,"
+                  "\"work_units\":%lld,\"speculative\":%lld,"
+                  "\"wasted_work\":%lld,\"useful\":%lld}",
+                  a.attr, JsonEscape(a.name).c_str(),
+                  static_cast<long long>(a.launches),
+                  static_cast<long long>(a.work_units),
+                  static_cast<long long>(a.speculative_launches),
+                  static_cast<long long>(a.wasted_work),
+                  static_cast<long long>(a.useful_completions));
+    out += buf;
+  }
+  out += "],\"conds\":[";
+  for (size_t i = 0; i < fleet.conds.size(); ++i) {
+    const net::WireCondProfile& c = fleet.conds[i];
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"attr\":%d,\"name\":\"%s\",\"evals\":%lld,"
+                  "\"true\":%lld,\"false\":%lld,\"unknown\":%lld,"
+                  "\"eager_disables\":%lld,\"selectivity\":%.6f}",
+                  c.attr, JsonEscape(c.name).c_str(),
+                  static_cast<long long>(c.evals),
+                  static_cast<long long>(c.true_outcomes),
+                  static_cast<long long>(c.false_outcomes),
+                  static_cast<long long>(c.unknown_outcomes),
+                  static_cast<long long>(c.eager_disables),
+                  net::WireSelectivity(c));
+    out += buf;
+  }
+  out += "],\"classes\":[";
+  for (size_t i = 0; i < fleet.classes.size(); ++i) {
+    const net::WireClassProfile& cls = fleet.classes[i];
+    if (i > 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"class_key\":\"%016llx\",\"requests\":%lld,"
+                  "\"work\":%lld,\"wasted_work\":%lld,\"cache_hits\":%lld,"
+                  "\"cache_misses\":%lld}",
+                  static_cast<unsigned long long>(cls.class_key),
+                  static_cast<long long>(cls.requests),
+                  static_cast<long long>(cls.work),
+                  static_cast<long long>(cls.wasted_work),
+                  static_cast<long long>(cls.cache_hits),
+                  static_cast<long long>(cls.cache_misses));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+void RenderProfile(const std::string& host, int port,
+                   const FleetProfile& fleet, bool clear) {
+  if (clear) std::printf("\x1b[H\x1b[2J");
+  const std::time_t now = std::time(nullptr);
+  char clock[32];
+  std::strftime(clock, sizeof(clock), "%H:%M:%S", std::localtime(&now));
+  std::printf(
+      "dflow_top --profile — %s:%d — %d node(s), profiled %llu/%llu "
+      "requests (1/%llu sampling) — %s\n\n",
+      host.c_str(), port, fleet.nodes,
+      static_cast<unsigned long long>(fleet.profiled),
+      static_cast<unsigned long long>(fleet.total),
+      static_cast<unsigned long long>(fleet.sample_period), clock);
+  std::printf("hot attributes (by measured work):\n");
+  std::printf("%5s %-16s %10s %12s %10s %10s %10s\n", "ATTR", "NAME",
+              "LAUNCHES", "WORK", "SPECUL", "WASTED", "USEFUL");
+  const size_t attr_rows = std::min<size_t>(fleet.attrs.size(), 16);
+  if (attr_rows == 0) std::printf("  (no profiled executions yet)\n");
+  for (size_t i = 0; i < attr_rows; ++i) {
+    const net::WireAttrProfile& a = fleet.attrs[i];
+    std::printf("%5d %-16s %10lld %12lld %10lld %10lld %10lld\n", a.attr,
+                a.name.c_str(), static_cast<long long>(a.launches),
+                static_cast<long long>(a.work_units),
+                static_cast<long long>(a.speculative_launches),
+                static_cast<long long>(a.wasted_work),
+                static_cast<long long>(a.useful_completions));
+  }
+  std::printf("\nenabling conditions (by evaluations):\n");
+  std::printf("%5s %-16s %10s %8s %8s %8s %8s %7s\n", "ATTR", "NAME", "EVALS",
+              "TRUE", "FALSE", "UNKNOWN", "EAGER", "SEL");
+  const size_t cond_rows = std::min<size_t>(fleet.conds.size(), 16);
+  if (cond_rows == 0) std::printf("  (no conditions observed yet)\n");
+  for (size_t i = 0; i < cond_rows; ++i) {
+    const net::WireCondProfile& c = fleet.conds[i];
+    const double sel = net::WireSelectivity(c);
+    char sel_text[16] = "      -";
+    if (sel >= 0) std::snprintf(sel_text, sizeof(sel_text), "%6.1f%%",
+                                sel * 100.0);
+    std::printf("%5d %-16s %10lld %8lld %8lld %8lld %8lld %s\n", c.attr,
+                c.name.c_str(), static_cast<long long>(c.evals),
+                static_cast<long long>(c.true_outcomes),
+                static_cast<long long>(c.false_outcomes),
+                static_cast<long long>(c.unknown_outcomes),
+                static_cast<long long>(c.eager_disables), sel_text);
+  }
+  std::printf("\nrequest classes (hottest first):\n");
+  std::printf("%-18s %10s %12s %10s %8s %8s\n", "CLASS", "REQUESTS", "WORK",
+              "WASTED", "HITS", "MISSES");
+  const size_t class_rows = std::min<size_t>(fleet.classes.size(), 8);
+  if (class_rows == 0) std::printf("  (no profiled requests yet)\n");
+  for (size_t i = 0; i < class_rows; ++i) {
+    const net::WireClassProfile& cls = fleet.classes[i];
+    std::printf("%016llx   %10lld %12lld %10lld %8lld %8lld\n",
+                static_cast<unsigned long long>(cls.class_key),
+                static_cast<long long>(cls.requests),
+                static_cast<long long>(cls.work),
+                static_cast<long long>(cls.wasted_work),
+                static_cast<long long>(cls.cache_hits),
+                static_cast<long long>(cls.cache_misses));
+  }
+  std::fflush(stdout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,6 +393,8 @@ int main(int argc, char** argv) {
   double interval_s = 2.0;
   bool once = false;
   bool json = false;
+  bool profile = false;
+  bool plan = false;
 
   net::ServerConfig config(
       "dflow_top",
@@ -222,7 +408,15 @@ int main(int argc, char** argv) {
       .Bool("once", &once, "one poll, one render, exit (exit 1 on failure)")
       .Bool("json", &json,
             "print one poll as a single JSON object and exit (implies "
-            "--once); what CI gates on");
+            "--once); what CI gates on")
+      .Bool("profile", &profile,
+            "poll the v8 profiling plane instead of health: fleet-merged "
+            "hot-attribute work, condition selectivities, and request-class "
+            "rollups (combines with --once/--json)")
+      .Bool("plan", &plan,
+            "with --profile: print the EXPLAIN-style Graphviz plan "
+            "(the schema dot annotated with measured work and selectivity) "
+            "instead of the tables; implies --once");
   std::string flag_error;
   switch (config.Parse(argc, argv, &flag_error)) {
     case net::ServerConfig::ParseStatus::kHelp:
@@ -235,6 +429,11 @@ int main(int argc, char** argv) {
       break;
   }
   if (json) once = true;  // --json implies a single machine-readable poll
+  if (plan) once = true;  // the plan is a one-shot artifact, not a dashboard
+  if (plan && !profile) {
+    std::fprintf(stderr, "dflow_top: --plan requires --profile\n");
+    return 2;
+  }
   if (interval_s <= 0) interval_s = 2.0;
 
   bool first = true;
@@ -245,12 +444,47 @@ int main(int argc, char** argv) {
     net::Client client;
     std::string error;
     std::optional<net::HealthInfo> health;
+    std::optional<net::ProfileInfo> profile_info;
     if (client.Connect(host, static_cast<uint16_t>(port), &error)) {
       client.SetRecvTimeout(5000);
-      health = client.Health();
+      if (profile) {
+        profile_info = client.Profile();
+      } else {
+        health = client.Health();
+      }
       client.Close();
     }
-    if (!health.has_value()) {
+    if (profile) {
+      if (!profile_info.has_value()) {
+        if (once) {
+          std::fprintf(stderr,
+                       "dflow_top: no PROFILE answer from %s:%d%s%s\n",
+                       host.c_str(), port, error.empty() ? "" : ": ",
+                       error.c_str());
+          return 1;
+        }
+        std::printf("dflow_top: %s:%d unreachable, retrying...\n",
+                    host.c_str(), port);
+        std::fflush(stdout);
+      } else {
+        const FleetProfile fleet = MergeFleet(*profile_info);
+        if (plan) {
+          if (fleet.plan_dot.empty()) {
+            std::fprintf(stderr,
+                         "dflow_top: the fleet answered with no plan\n");
+            return 1;
+          }
+          std::fputs(fleet.plan_dot.c_str(), stdout);
+          return 0;
+        }
+        if (json) {
+          std::printf("%s\n", ProfileToJson(fleet).c_str());
+          return 0;
+        }
+        RenderProfile(host, port, fleet, /*clear=*/!first || !once);
+        first = false;
+      }
+    } else if (!health.has_value()) {
       if (once) {
         std::fprintf(stderr, "dflow_top: no HEALTH answer from %s:%d%s%s\n",
                      host.c_str(), port, error.empty() ? "" : ": ",

@@ -4,14 +4,34 @@
 
 namespace dflow::core {
 
-std::string ToDot(const Schema& schema) {
+std::string ToDot(const Schema& schema) { return ToDot(schema, nullptr); }
+
+std::string ToDot(const Schema& schema, const DotAnnotator& annotate) {
   std::ostringstream os;
   os << "digraph decision_flow {\n"
      << "  rankdir=LR;\n"
      << "  node [fontsize=10];\n";
   for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
     const Attribute& attr = schema.attribute(a);
-    os << "  a" << a << " [label=\"" << attr.name << "\"";
+    os << "  a" << a << " [label=\"" << attr.name;
+    if (annotate) {
+      const std::string note = annotate(a);
+      // Extra label lines under the name; "\n" escapes verbatim into the
+      // dot label (Graphviz line break), quotes are stripped to keep the
+      // attribute string well-formed.
+      if (!note.empty()) {
+        os << "\\n";
+        for (char c : note) {
+          if (c == '"') continue;
+          if (c == '\n') {
+            os << "\\n";
+          } else {
+            os << c;
+          }
+        }
+      }
+    }
+    os << "\"";
     if (attr.is_source) {
       os << ", shape=ellipse";
     } else if (attr.is_target) {

@@ -1,6 +1,7 @@
 #ifndef DFLOW_CORE_DOT_EXPORT_H_
 #define DFLOW_CORE_DOT_EXPORT_H_
 
+#include <functional>
 #include <string>
 
 #include "core/schema.h"
@@ -11,6 +12,16 @@ namespace dflow::core {
 // Figure 1(b): dashed edges for dataflow, solid edges for enabling flow,
 // boxes for attributes (sources as ellipses, targets shaded).
 std::string ToDot(const Schema& schema);
+
+// Per-attribute annotation hook for the EXPLAIN-style plan view: returns
+// extra label lines for one attribute ("\n"-joined, empty for none). The
+// callback form keeps this layer free of any dependency on where the
+// annotations come from (measured profiles live in obs).
+using DotAnnotator = std::function<std::string(AttributeId)>;
+
+// ToDot with a second label line per annotated attribute. A null/empty
+// annotator renders exactly like the plain overload.
+std::string ToDot(const Schema& schema, const DotAnnotator& annotate);
 
 }  // namespace dflow::core
 

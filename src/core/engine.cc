@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/flow_profiler.h"
+
 namespace dflow::core {
 
 ExecutionEngine::ExecutionEngine(const Schema* schema,
@@ -24,6 +26,8 @@ int64_t ExecutionEngine::StartInstance(const SourceBinding& sources,
   inst->seed = instance_seed;
   inst->snapshot.BindSources(sources);
   inst->launched.assign(static_cast<size_t>(schema_->num_attributes()), 0);
+  inst->speculative.assign(static_cast<size_t>(schema_->num_attributes()), 0);
+  inst->profiled = profiler_ != nullptr && profiler_->Sampled(instance_seed);
   inst->metrics.start_time = sim_->now();
   inst->inflight_mark = sim_->now();
   inst->done = std::move(done);
@@ -75,6 +79,7 @@ void ExecutionEngine::Launch(Instance* inst, AttributeId attr) {
   ++inst->metrics.queries_launched;
   if (inst->snapshot.state(attr) == AttrState::kReady) {
     ++inst->metrics.speculative_launches;
+    inst->speculative[static_cast<size_t>(attr)] = 1;
   }
   const int64_t id = inst->id;
   service_->Submit(task.cost_units,
@@ -131,6 +136,11 @@ void ExecutionEngine::Finish(Instance* inst) {
         inst->snapshot.state(a) != AttrState::kValue) {
       inst->metrics.wasted_work += schema_->task(a).cost_units;
     }
+  }
+
+  if (inst->profiled) {
+    profiler_->RecordInstance(inst->snapshot, inst->prequalifier,
+                              inst->launched, inst->speculative);
   }
 
   InstanceResult result{inst->id, std::move(inst->snapshot),

@@ -15,6 +15,10 @@
 #include "sim/query_service.h"
 #include "sim/simulator.h"
 
+namespace dflow::obs {
+class FlowProfiler;
+}  // namespace dflow::obs
+
 namespace dflow::core {
 
 // The outcome of one decision-flow instance: its terminal snapshot (all
@@ -60,6 +64,12 @@ class ExecutionEngine {
     trace_listener_ = std::move(listener);
   }
 
+  // Attaches a profiler that harvests per-attribute / per-condition
+  // statistics from instances whose seed passes its sampling predicate.
+  // Applies to instances started after the call; null detaches. The
+  // profiler must outlive every instance started while attached.
+  void SetProfiler(obs::FlowProfiler* profiler) { profiler_ = profiler; }
+
  private:
   struct Instance {
     int64_t id = 0;
@@ -67,6 +77,9 @@ class ExecutionEngine {
     Snapshot snapshot;
     Prequalifier prequalifier;
     std::vector<char> launched;
+    // Per-attribute flag: launched while READY (condition still open).
+    std::vector<char> speculative;
+    bool profiled = false;
     int in_flight = 0;
     sim::Time inflight_mark = 0;
     InstanceMetrics metrics;
@@ -92,6 +105,7 @@ class ExecutionEngine {
   sim::QueryService* service_;
   int64_t next_id_ = 1;
   TraceListener trace_listener_;
+  obs::FlowProfiler* profiler_ = nullptr;
   std::unordered_map<int64_t, std::unique_ptr<Instance>> instances_;
 };
 

@@ -7,6 +7,8 @@ Prequalifier::Prequalifier(const Schema* schema, const Strategy& strategy)
       strategy_(strategy),
       cond_state_(static_cast<size_t>(schema->num_attributes()),
                   expr::Tribool::kUnknown),
+      cond_evals_(static_cast<size_t>(schema->num_attributes()), 0),
+      eager_disabled_(static_cast<size_t>(schema->num_attributes()), 0),
       needed_(static_cast<size_t>(schema->num_attributes()), 1),
       counted_unneeded_(static_cast<size_t>(schema->num_attributes()), 0) {}
 
@@ -40,12 +42,16 @@ void Prequalifier::ForwardPass(Snapshot* snap) {
 
     expr::Tribool& cond = cond_state_[static_cast<size_t>(a)];
     if (cond == expr::Tribool::kUnknown) {
+      if (!schema_->enabling_condition(a).IsLiteralTrue()) {
+        ++cond_evals_[static_cast<size_t>(a)];
+      }
       cond = ConditionState(*snap, a);
       if (cond == expr::Tribool::kFalse) {
         // Eager if some condition input had not stabilized yet.
         for (AttributeId in : schema_->cond_inputs(a)) {
           if (!snap->IsStableAttr(in)) {
             ++eager_disables_;
+            eager_disabled_[static_cast<size_t>(a)] = 1;
             break;
           }
         }

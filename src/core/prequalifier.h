@@ -62,6 +62,23 @@ class Prequalifier {
   // per attribute).
   int unneeded_skipped() const { return unneeded_skipped_; }
 
+  // Profiling taps (obs::FlowProfiler). These describe the instance this
+  // prequalifier served and cost one vector write per condition evaluation
+  // to maintain.
+  //
+  // Times `a`'s (non-literal-true) enabling condition was evaluated.
+  int cond_evals(AttributeId a) const {
+    return cond_evals_[static_cast<size_t>(a)];
+  }
+  // Terminal truth of `a`'s condition (kUnknown if it never resolved).
+  expr::Tribool cond_state(AttributeId a) const {
+    return cond_state_[static_cast<size_t>(a)];
+  }
+  // True iff `a` was disabled before all its condition inputs stabilized.
+  bool eager_disabled(AttributeId a) const {
+    return eager_disabled_[static_cast<size_t>(a)] != 0;
+  }
+
  private:
   expr::Tribool ConditionState(const Snapshot& snap, AttributeId a) const;
   void ForwardPass(Snapshot* snap);
@@ -72,6 +89,8 @@ class Prequalifier {
   Strategy strategy_;
   // Cached condition truth per attribute; kUnknown until determined.
   std::vector<expr::Tribool> cond_state_;
+  std::vector<int> cond_evals_;
+  std::vector<char> eager_disabled_;
   std::vector<char> needed_;
   std::vector<char> counted_unneeded_;
   std::vector<AttributeId> candidates_;

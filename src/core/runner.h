@@ -63,6 +63,13 @@ class FlowHarness {
   // Runs one instance to completion and returns its result.
   InstanceResult Run(const SourceBinding& sources, uint64_t instance_seed);
 
+  // Attaches a profiler to the owned engine (see ExecutionEngine::
+  // SetProfiler). Profiling is a read-only tap: it never affects the
+  // determinism contract above.
+  void SetProfiler(obs::FlowProfiler* profiler) {
+    engine_.SetProfiler(profiler);
+  }
+
   BackendKind backend() const { return options_.backend; }
   // The owned DatabaseServer; null unless backend() == kBoundedDb.
   const sim::DatabaseServer* db() const { return db_; }

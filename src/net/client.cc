@@ -98,6 +98,12 @@ bool Client::SendHealthRequest() {
   return SendFrame(frame);
 }
 
+bool Client::SendProfileRequest() {
+  std::vector<uint8_t> frame;
+  EncodeProfileRequest(&frame);
+  return SendFrame(frame);
+}
+
 bool Client::SendGoodbye() {
   std::vector<uint8_t> frame;
   EncodeGoodbye(&frame);
@@ -155,6 +161,10 @@ std::optional<ServerMessage> Client::ReadMessage() {
       message.type = MsgType::kHealth;
       if (!DecodeHealth(frame->payload, &message.health)) break;
       return message;
+    case MsgType::kProfile:
+      message.type = MsgType::kProfile;
+      if (!DecodeProfile(frame->payload, &message.profile)) break;
+      return message;
     case MsgType::kGoodbyeAck:
       message.type = MsgType::kGoodbyeAck;
       return message;
@@ -197,6 +207,15 @@ std::optional<HealthInfo> Client::Health() {
     return std::nullopt;
   }
   return message->health;
+}
+
+std::optional<ProfileInfo> Client::Profile() {
+  if (!SendProfileRequest()) return std::nullopt;
+  const std::optional<ServerMessage> message = ReadMessage();
+  if (!message.has_value() || message->type != MsgType::kProfile) {
+    return std::nullopt;
+  }
+  return message->profile;
 }
 
 bool Client::Goodbye() {

@@ -22,6 +22,7 @@ struct ServerMessage {
   ServerInfo info;      // when kInfo
   std::string metrics;  // when kMetrics (text exposition)
   HealthInfo health;    // when kHealth
+  ProfileInfo profile;  // when kProfile
 };
 
 // The contiguous correlation-id range a SubmitBatch claimed: ids
@@ -131,6 +132,7 @@ class Client {
   bool SendInfoRequest();
   bool SendMetricsRequest();
   bool SendHealthRequest();
+  bool SendProfileRequest();
   bool SendGoodbye();
 
   // --- Raw-frame layer. The router's backend pool is built on these: it
@@ -159,6 +161,10 @@ class Client {
   // Scrapes the v6 health plane: status, journal tail, rate series (a
   // router answers with the whole fleet's view).
   std::optional<HealthInfo> Health();
+  // Scrapes the v8 profiling plane: per-attribute work, per-condition
+  // selectivities, class rollups (a router answers with every backend's
+  // profile alongside its own).
+  std::optional<ProfileInfo> Profile();
   // Graceful close: sends kGoodbye, waits for the ack (the server flushes
   // every outstanding response first — any still-pending results arrive
   // before the ack and are DISCARDED here, so call this only after reading

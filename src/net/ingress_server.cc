@@ -3,12 +3,60 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <sstream>
 #include <utility>
 
+#include "core/dot_export.h"
 #include "core/strategy.h"
 #include "net/health_wire.h"
+#include "net/profile_wire.h"
 
 namespace dflow::net {
+namespace {
+
+// One merged-profile snapshot as a JSONL line (the --profile-jsonl sink
+// format). Zero rows are skipped exactly as on the wire: a row that never
+// fired carries no signal.
+std::string ProfileJson(const std::string& node_id,
+                        const obs::ProfileSnapshot& p) {
+  std::ostringstream os;
+  os << "{\"kind\":\"profile_snapshot\",\"node\":\"" << node_id << "\""
+     << ",\"sample_period\":" << p.sample_period
+     << ",\"profiled_requests\":" << p.profiled_requests
+     << ",\"total_requests\":" << p.total_requests << ",\"attrs\":[";
+  bool first = true;
+  for (size_t i = 0; i < p.attrs.size(); ++i) {
+    const obs::AttrProfile& a = p.attrs[i];
+    if (a.launches == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"attr\":" << i << ",\"name\":\""
+       << (i < p.attr_names.size() ? p.attr_names[i] : "")
+       << "\",\"launches\":" << a.launches
+       << ",\"work_units\":" << a.work_units
+       << ",\"speculative\":" << a.speculative_launches
+       << ",\"wasted_work\":" << a.wasted_work << "}";
+  }
+  os << "],\"conds\":[";
+  first = true;
+  for (size_t i = 0; i < p.conds.size(); ++i) {
+    const obs::CondProfile& c = p.conds[i];
+    if (c.evals == 0 && c.true_outcomes == 0 && c.false_outcomes == 0) {
+      continue;
+    }
+    if (!first) os << ",";
+    first = false;
+    os << "{\"attr\":" << i << ",\"evals\":" << c.evals
+       << ",\"true\":" << c.true_outcomes
+       << ",\"false\":" << c.false_outcomes
+       << ",\"unknown\":" << c.unknown_outcomes
+       << ",\"eager_disables\":" << c.eager_disables << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace
 
 IngressServer::IngressServer(const core::Schema* schema,
                              runtime::FlowServerOptions server_options,
@@ -75,6 +123,28 @@ IngressServer::IngressServer(const core::Schema* schema,
                                          obs::DefaultWorkUnitBuckets());
   journal_.RegisterCounters(&metrics_);
   health_.RegisterMetrics(&metrics_);
+  // v8 profiling families: measured per-attribute work and per-condition
+  // selectivity, labeled by attribute name. Registered only when the
+  // profilers exist — a profiling-off server scrapes no empty families.
+  if (server_.profiling_enabled()) {
+    const core::Schema& schema = server_.schema();
+    for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+      metrics_.AddCounter("dflow_attr_work_units_total",
+                          {{"attr", schema.attribute(a).name}},
+                          [this, a] { return server_.ProfiledAttrWork(a); });
+      if (!schema.is_source(a) &&
+          !schema.enabling_condition(a).IsLiteralTrue()) {
+        metrics_.AddGauge("dflow_cond_selectivity",
+                          {{"attr", schema.attribute(a).name}}, [this, a] {
+                            return server_.ProfiledCondSelectivity(a);
+                          });
+      }
+    }
+  }
+  if (!options_.profile_jsonl_path.empty()) {
+    profile_sink_.Open(options_.profile_jsonl_path,
+                       options_.profile_jsonl_max_bytes);
+  }
 }
 
 obs::HealthSources IngressServer::MakeHealthSources() {
@@ -138,6 +208,9 @@ void IngressServer::Stop() {
   // 3. Only now quiesce the execution layer: every accepted request was
   // answered, so the drain has nothing the wire still owes a client.
   server_.Drain();
+  // Profile epilogue: the drained server's merged profile is final, so this
+  // one snapshot covers everything the process ever served.
+  WriteProfileSnapshot();
   // 4. Health plane teardown: journal the drain, stop the collector, and
   // flush both JSONL sinks so a SIGTERM-driven exit loses no tail.
   journal_.Emit(obs::EventKind::kDrain, obs::Severity::kInfo,
@@ -145,6 +218,7 @@ void IngressServer::Stop() {
   health_.Stop();
   journal_.Flush();
   recorder_.Flush();
+  profile_sink_.Flush();
 }
 
 runtime::IngressStats IngressServer::ingress_stats() const {
@@ -321,6 +395,12 @@ EventConn::FrameAction IngressServer::HandleFrame(
     case MsgType::kHealthRequest: {
       std::vector<uint8_t> out;
       EncodeHealth(BuildHealth(), &out);
+      conn->PushResponse(std::move(out));
+      return EventConn::FrameAction::kContinue;
+    }
+    case MsgType::kProfileRequest: {
+      std::vector<uint8_t> out;
+      EncodeProfile(BuildProfile(), &out);
       conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
@@ -636,6 +716,52 @@ ServerInfo IngressServer::BuildInfo() const {
     }
   }
   return info;
+}
+
+ProfileInfo IngressServer::BuildProfile() const {
+  ProfileInfo info;
+  info.self.node_id = options_.node_id.empty()
+                          ? "serve:" + std::to_string(listener_.port())
+                          : options_.node_id;
+  info.self.is_router = 0;
+  const obs::ProfileSnapshot merged = server_.MergedProfile();
+  FillNodeProfile(merged, &info.self);
+  // EXPLAIN-style plan view: the schema's dependency graph with measured
+  // work and selectivity as extra label lines on every observed attribute.
+  info.self.plan_dot =
+      core::ToDot(server_.schema(), [&merged](AttributeId a) {
+        std::string note;
+        const auto i = static_cast<size_t>(a);
+        if (i < merged.attrs.size() && merged.attrs[i].launches > 0) {
+          note += "work=" + std::to_string(merged.attrs[i].work_units) +
+                  " runs=" + std::to_string(merged.attrs[i].launches);
+        }
+        const double sel = merged.Selectivity(a);
+        if (sel >= 0) {
+          char text[32];
+          std::snprintf(text, sizeof(text), "sel=%.2f", sel);
+          if (!note.empty()) note += "\n";
+          note += text;
+        }
+        return note;
+      });
+  return info;
+}
+
+void IngressServer::WriteProfileSnapshot() {
+  if (!server_.profiling_enabled()) return;
+  const obs::ProfileSnapshot merged = server_.MergedProfile();
+  const std::string node_id = options_.node_id.empty()
+                                  ? "serve:" + std::to_string(listener_.port())
+                                  : options_.node_id;
+  if (profile_sink_.open()) {
+    profile_sink_.Append(ProfileJson(node_id, merged));
+  }
+  journal_.Emit(obs::EventKind::kProfileSnapshot, obs::Severity::kInfo,
+                "profiled=" + std::to_string(merged.profiled_requests) + "/" +
+                    std::to_string(merged.total_requests) +
+                    " sink_lines=" +
+                    std::to_string(profile_sink_.lines_written()));
 }
 
 HealthInfo IngressServer::BuildHealth() const {

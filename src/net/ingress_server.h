@@ -16,6 +16,7 @@
 #include "net/socket.h"
 #include "net/wire_protocol.h"
 #include "obs/event_log.h"
+#include "obs/jsonl_sink.h"
 #include "obs/metrics_registry.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
@@ -66,6 +67,12 @@ struct IngressOptions {
   // interval_s <= 0 disables the collector thread; kHealthRequest is still
   // answered (with an empty rate series) so fleet polls never fail.
   obs::HealthOptions health;
+  // v8 profiling plane: optional JSONL sink for merged profile snapshots
+  // (one line at every drain), with the same byte-budget rotation rule as
+  // the trace/journal sinks. Empty = no sink. Sampling itself lives on
+  // FlowServerOptions::profile_sample_period.
+  std::string profile_jsonl_path;
+  uint64_t profile_jsonl_max_bytes = 0;
 };
 
 // The network front door of the flow-serving runtime: a TCP listener whose
@@ -236,6 +243,13 @@ class IngressServer {
   void OnConnClosed(EventConn* conn, const std::shared_ptr<Session>& session);
   ServerInfo BuildInfo() const;
   HealthInfo BuildHealth() const;
+  // The v8 profile answer: this node's merged profile plus the annotated
+  // plan view (EXPLAIN-style dot with measured work/selectivity per node).
+  ProfileInfo BuildProfile() const;
+  // One merged-profile JSONL line into the profile sink + a
+  // profile_snapshot journal event; no-op when the sink is closed or
+  // profiling is off.
+  void WriteProfileSnapshot();
   obs::HealthSources MakeHealthSources();
 
   const IngressOptions options_;
@@ -246,6 +260,8 @@ class IngressServer {
   // Declared after journal_ and the registry sources it differences; the
   // collector thread runs Start() -> Stop().
   obs::HealthCollector health_;
+  // v8 profile snapshot sink (size-capped JSONL), written at drain.
+  obs::JsonlSink profile_sink_;
   // Registry-owned latency histograms, observed on the completion path:
   // real wall-clock microseconds (submit decoded -> response built)
   // alongside the paper's work-unit latency, so the two views stay

@@ -450,6 +450,74 @@ HealthInfo Router::BuildHealth() {
   return health;
 }
 
+ProfileInfo Router::BuildProfile() {
+  // One fleet poll at a time, like BuildHealth: the probe map holds one
+  // profile probe per backend.
+  std::lock_guard<std::mutex> poll_lock(profile_poll_mu_);
+  ProfileInfo info;
+  info.self.node_id = options_.node_id.empty()
+                          ? "router:" + std::to_string(listener_.port())
+                          : options_.node_id;
+  info.self.is_router = 1;
+  // A router executes no attributes: its self entry is identity only, and
+  // the fleet's substance is the per-backend profiles below (dflow_top
+  // merges them into the fleet view).
+  info.backends.reserve(backends_.size());
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    NodeProfile node;
+    if (!PollBackendProfile(backend.get(), &node)) {
+      // Down or unresponsive: an empty identity entry, so the fleet view
+      // never silently omits a member.
+      std::lock_guard<std::mutex> lock(backend->info_mu);
+      node.node_id = backend->node_id.empty() ? AddressText(backend->address)
+                                              : backend->node_id;
+    }
+    info.backends.push_back(std::move(node));
+  }
+  return info;
+}
+
+bool Router::PollBackendProfile(const Backend* backend, NodeProfile* out) {
+  auto probe = std::make_shared<ProfileProbe>();
+  {
+    std::lock_guard<std::mutex> lock(probes_mu_);
+    profile_probes_[backend] = probe;
+  }
+  bool sent = false;
+  for (const std::unique_ptr<BackendConn>& conn : backend->conns) {
+    if (!conn->ready.load(std::memory_order_acquire)) continue;
+    std::lock_guard<std::mutex> lock(conn->send_mu);
+    if (!conn->ready.load(std::memory_order_acquire) ||
+        conn->client == nullptr) {
+      continue;
+    }
+    std::vector<uint8_t> frame;
+    EncodeProfileRequest(&frame);
+    if (conn->client->SendFrame(frame)) {
+      sent = true;
+      break;
+    }
+  }
+  bool ok = false;
+  if (sent) {
+    std::unique_lock<std::mutex> lock(probe->mu);
+    probe->cv.wait_for(lock, std::chrono::milliseconds(kHealthProbeTimeoutMs),
+                       [&] { return probe->done; });
+    if (probe->done && probe->ok) {
+      *out = std::move(probe->info.self);
+      ok = true;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(probes_mu_);
+    const auto it = profile_probes_.find(backend);
+    if (it != profile_probes_.end() && it->second == probe) {
+      profile_probes_.erase(it);
+    }
+  }
+  return ok;
+}
+
 bool Router::PollBackendHealth(const Backend* backend, NodeHealth* out) {
   auto probe = std::make_shared<HealthProbe>();
   {
@@ -635,6 +703,13 @@ EventConn::FrameAction Router::HandleFrame(
       // monitoring request, and the per-backend probe timeout bounds it.
       std::vector<uint8_t> out;
       EncodeHealth(BuildHealth(), &out);
+      conn->PushResponse(std::move(out));
+      return EventConn::FrameAction::kContinue;
+    }
+    case MsgType::kProfileRequest: {
+      // Fleet-wide profile poll, bounded per backend exactly like health.
+      std::vector<uint8_t> out;
+      EncodeProfile(BuildProfile(), &out);
       conn->PushResponse(std::move(out));
       return EventConn::FrameAction::kContinue;
     }
@@ -1190,6 +1265,23 @@ void Router::HandleBackendFrame(Backend* backend, Frame frame) {
     if (probe != nullptr) {
       std::lock_guard<std::mutex> lock(probe->mu);
       probe->ok = DecodeHealth(frame.payload, &probe->info);
+      probe->done = true;
+      probe->cv.notify_all();
+    }
+    return;
+  }
+  if (type == MsgType::kProfile) {
+    // Fulfills the in-flight probe BuildProfile parked on this backend,
+    // with the same stale-answer tolerance as the health path.
+    std::shared_ptr<ProfileProbe> probe;
+    {
+      std::lock_guard<std::mutex> lock(probes_mu_);
+      const auto it = profile_probes_.find(backend);
+      if (it != profile_probes_.end()) probe = it->second;
+    }
+    if (probe != nullptr) {
+      std::lock_guard<std::mutex> lock(probe->mu);
+      probe->ok = DecodeProfile(frame.payload, &probe->info);
       probe->done = true;
       probe->cv.notify_all();
     }

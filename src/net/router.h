@@ -195,6 +195,13 @@ class Router {
   // entry). Serialized internally; safe from any thread after Start().
   HealthInfo BuildHealth();
 
+  // The fleet-wide profile view a kProfileRequest answers (wire v8): an
+  // identity-only self entry (a router executes nothing) plus one
+  // NodeProfile per backend, polled live over the pool exactly like
+  // BuildHealth (a down backend contributes an empty identity entry).
+  // Serialized internally; safe from any thread after Start().
+  ProfileInfo BuildProfile();
+
  private:
   // Per-connection session state on the front door (EventConn::user) —
   // the same shape as the ingress server's sessions: the conn itself and
@@ -302,6 +309,17 @@ class Router {
     HealthInfo info;
   };
 
+  // The profile plane's twin of HealthProbe: one in-flight kProfileRequest
+  // per backend, fulfilled by the conn thread when the kProfile answer
+  // arrives.
+  struct ProfileProbe {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool ok = false;
+    ProfileInfo info;
+  };
+
   void AcceptLoop();
   // One decoded frame, on the conn's owning loop thread. The router never
   // stalls a front-door conn: forwarding either succeeds (the blocking
@@ -358,6 +376,9 @@ class Router {
   // backend's ready connections and waits (bounded) for the conn thread to
   // fulfill the probe; false on a down backend or timeout.
   bool PollBackendHealth(const Backend* backend, NodeHealth* out);
+  // Same machinery for the v8 profile plane; false on a down backend or
+  // timeout.
+  bool PollBackendProfile(const Backend* backend, NodeProfile* out);
   obs::HealthSources MakeHealthSources();
   // Live replica slots with zero ready connections (the critical-status
   // topology input).
@@ -373,9 +394,12 @@ class Router {
   // Serializes fleet-wide BuildHealth polls; probes_mu_ guards the
   // per-backend probe map the conn threads fulfill.
   std::mutex health_poll_mu_;
+  std::mutex profile_poll_mu_;
   std::mutex probes_mu_;
   std::unordered_map<const Backend*, std::shared_ptr<HealthProbe>>
       health_probes_;
+  std::unordered_map<const Backend*, std::shared_ptr<ProfileProbe>>
+      profile_probes_;
   // Registry-owned wall-clock latency histogram, observed on the relay
   // path (submit forwarded -> result relayed): the cross-node counterpart
   // of the ingress's dflow_wall_latency_us.

@@ -257,7 +257,7 @@ void PutIngressStats(const runtime::IngressStats& s,
 // as raw u8 (obs::EventKind, obs::Severity, obs::HealthStatus); decoders
 // range-check before the structs ever reach obs code.
 constexpr uint8_t kMinWireEventKind = 1;
-constexpr uint8_t kMaxWireEventKind = 10;
+constexpr uint8_t kMaxWireEventKind = 11;  // v8: + profile_snapshot
 constexpr uint8_t kMaxWireSeverity = 2;
 constexpr uint8_t kMaxWireHealthStatus = 2;
 // Minimum payload bytes of each variable-count entry, bounding hostile
@@ -359,6 +359,135 @@ bool GetNodeHealth(Reader* reader, const std::vector<uint8_t>& payload,
     node->events.push_back(std::move(event));
   }
   return true;
+}
+
+// --- v8 profiling-plane helpers. Minimum bytes per variable-count entry,
+// bounding hostile counts before a reserve: an attr/cond row is a u32 id +
+// an empty string + five i64 counters; a class row is a fixed 48-byte
+// block; a node entry is an empty node_id + flag byte + sample_period +
+// two i64 counters + three empty vectors + an empty plan_dot.
+constexpr size_t kMinWireAttrProfileBytes = 48;
+constexpr size_t kMinWireCondProfileBytes = 48;
+constexpr size_t kWireClassProfileBytes = 48;
+constexpr size_t kMinNodeProfileBytes = 45;
+
+void PutWireAttrProfile(const WireAttrProfile& row, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(row.attr), out);
+  PutString(row.name, out);
+  PutI64(row.launches, out);
+  PutI64(row.work_units, out);
+  PutI64(row.speculative_launches, out);
+  PutI64(row.wasted_work, out);
+  PutI64(row.useful_completions, out);
+}
+
+bool GetWireAttrProfile(Reader* reader, WireAttrProfile* row) {
+  uint32_t attr;
+  if (!reader->GetU32(&attr) || !reader->GetString(&row->name) ||
+      !reader->GetI64(&row->launches) || !reader->GetI64(&row->work_units) ||
+      !reader->GetI64(&row->speculative_launches) ||
+      !reader->GetI64(&row->wasted_work) ||
+      !reader->GetI64(&row->useful_completions)) {
+    return false;
+  }
+  row->attr = static_cast<AttributeId>(attr);
+  return true;
+}
+
+void PutWireCondProfile(const WireCondProfile& row, std::vector<uint8_t>* out) {
+  PutU32(static_cast<uint32_t>(row.attr), out);
+  PutString(row.name, out);
+  PutI64(row.evals, out);
+  PutI64(row.true_outcomes, out);
+  PutI64(row.false_outcomes, out);
+  PutI64(row.unknown_outcomes, out);
+  PutI64(row.eager_disables, out);
+}
+
+bool GetWireCondProfile(Reader* reader, WireCondProfile* row) {
+  uint32_t attr;
+  if (!reader->GetU32(&attr) || !reader->GetString(&row->name) ||
+      !reader->GetI64(&row->evals) || !reader->GetI64(&row->true_outcomes) ||
+      !reader->GetI64(&row->false_outcomes) ||
+      !reader->GetI64(&row->unknown_outcomes) ||
+      !reader->GetI64(&row->eager_disables)) {
+    return false;
+  }
+  row->attr = static_cast<AttributeId>(attr);
+  return true;
+}
+
+void PutWireClassProfile(const WireClassProfile& row,
+                         std::vector<uint8_t>* out) {
+  PutU64(row.class_key, out);
+  PutI64(row.requests, out);
+  PutI64(row.work, out);
+  PutI64(row.wasted_work, out);
+  PutI64(row.cache_hits, out);
+  PutI64(row.cache_misses, out);
+}
+
+bool GetWireClassProfile(Reader* reader, WireClassProfile* row) {
+  return reader->GetU64(&row->class_key) && reader->GetI64(&row->requests) &&
+         reader->GetI64(&row->work) && reader->GetI64(&row->wasted_work) &&
+         reader->GetI64(&row->cache_hits) && reader->GetI64(&row->cache_misses);
+}
+
+void PutNodeProfile(const NodeProfile& node, std::vector<uint8_t>* out) {
+  PutString(node.node_id, out);
+  PutU8(node.is_router, out);
+  PutU64(node.sample_period, out);
+  PutI64(node.profiled_requests, out);
+  PutI64(node.total_requests, out);
+  PutU32(static_cast<uint32_t>(node.attrs.size()), out);
+  for (const WireAttrProfile& row : node.attrs) PutWireAttrProfile(row, out);
+  PutU32(static_cast<uint32_t>(node.conds.size()), out);
+  for (const WireCondProfile& row : node.conds) PutWireCondProfile(row, out);
+  PutU32(static_cast<uint32_t>(node.classes.size()), out);
+  for (const WireClassProfile& row : node.classes) {
+    PutWireClassProfile(row, out);
+  }
+  PutString(node.plan_dot, out);
+}
+
+bool GetNodeProfile(Reader* reader, const std::vector<uint8_t>& payload,
+                    NodeProfile* node) {
+  uint32_t num_attrs;
+  if (!reader->GetString(&node->node_id) || !reader->GetU8(&node->is_router) ||
+      node->is_router > 1 || !reader->GetU64(&node->sample_period) ||
+      !reader->GetI64(&node->profiled_requests) ||
+      !reader->GetI64(&node->total_requests) || !reader->GetU32(&num_attrs)) {
+    return false;
+  }
+  if (num_attrs > payload.size() / kMinWireAttrProfileBytes) return false;
+  node->attrs.clear();
+  node->attrs.reserve(num_attrs);
+  for (uint32_t i = 0; i < num_attrs; ++i) {
+    WireAttrProfile row;
+    if (!GetWireAttrProfile(reader, &row)) return false;
+    node->attrs.push_back(std::move(row));
+  }
+  uint32_t num_conds;
+  if (!reader->GetU32(&num_conds)) return false;
+  if (num_conds > payload.size() / kMinWireCondProfileBytes) return false;
+  node->conds.clear();
+  node->conds.reserve(num_conds);
+  for (uint32_t i = 0; i < num_conds; ++i) {
+    WireCondProfile row;
+    if (!GetWireCondProfile(reader, &row)) return false;
+    node->conds.push_back(std::move(row));
+  }
+  uint32_t num_classes;
+  if (!reader->GetU32(&num_classes)) return false;
+  if (num_classes > payload.size() / kWireClassProfileBytes) return false;
+  node->classes.clear();
+  node->classes.reserve(num_classes);
+  for (uint32_t i = 0; i < num_classes; ++i) {
+    WireClassProfile row;
+    if (!GetWireClassProfile(reader, &row)) return false;
+    node->classes.push_back(row);
+  }
+  return reader->GetString(&node->plan_dot);
 }
 
 bool GetIngressStats(Reader* reader, runtime::IngressStats* s) {
@@ -829,6 +958,36 @@ bool DecodeHealth(const std::vector<uint8_t>& payload, HealthInfo* out) {
   for (uint32_t i = 0; i < num_backends; ++i) {
     NodeHealth backend;
     if (!GetNodeHealth(&reader, payload, &backend)) return false;
+    out->backends.push_back(std::move(backend));
+  }
+  return reader.Done();
+}
+
+void EncodeProfileRequest(std::vector<uint8_t>* out) {
+  SealFrame(BeginFrame(MsgType::kProfileRequest, out), out);
+}
+
+void EncodeProfile(const ProfileInfo& msg, std::vector<uint8_t>* out) {
+  const size_t frame = BeginFrame(MsgType::kProfile, out);
+  PutNodeProfile(msg.self, out);
+  PutU32(static_cast<uint32_t>(msg.backends.size()), out);
+  for (const NodeProfile& backend : msg.backends) {
+    PutNodeProfile(backend, out);
+  }
+  SealFrame(frame, out);
+}
+
+bool DecodeProfile(const std::vector<uint8_t>& payload, ProfileInfo* out) {
+  Reader reader(payload);
+  if (!GetNodeProfile(&reader, payload, &out->self)) return false;
+  uint32_t num_backends;
+  if (!reader.GetU32(&num_backends)) return false;
+  if (num_backends > payload.size() / kMinNodeProfileBytes) return false;
+  out->backends.clear();
+  out->backends.reserve(num_backends);
+  for (uint32_t i = 0; i < num_backends; ++i) {
+    NodeProfile backend;
+    if (!GetNodeProfile(&reader, payload, &backend)) return false;
     out->backends.push_back(std::move(backend));
   }
   return reader.Done();

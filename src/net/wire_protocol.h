@@ -62,8 +62,16 @@ inline constexpr uint8_t kMagic1 = 'F';
 // assembler accepts, so it keeps working against a v7 server as long as
 // it never sends the new frame type. Earlier bumps make a mixed-version
 // fleet fail with a detectable UNSUPPORTED_VERSION instead of a silent
-// decode error.
-inline constexpr uint8_t kWireVersion = 7;
+// decode error. v8 added the plan-profiling plane: the
+// PROFILE_REQUEST/PROFILE scrape pair carrying a node's merged
+// obs::FlowProfiler snapshot — per-attribute launch/work/speculation
+// outcomes, per-condition tribool tallies (measured selectivity), the
+// per-request-class rollups, and an EXPLAIN-style annotated plan DOT — a
+// router answers with its own (engine-less) entry plus one per polled
+// backend, mirroring the v6 health fan-out. Like v7, v8 is purely
+// additive: every v6/v7 payload is unchanged, so v6-era clients keep
+// working as long as they never send the new frame types.
+inline constexpr uint8_t kWireVersion = 8;
 // Oldest version this build still accepts on ingest. Clients stamp
 // kWireVersion on requests; the FrameAssembler accepts the closed range
 // [kMinSupportedWireVersion, kWireVersion], and servers stamp each
@@ -91,6 +99,8 @@ enum class MsgType : uint8_t {
   kHealthRequest = 10,  // fleet health scrape (empty payload)
   kHealth = 11,         // health response: status + journal tail + series
   kBatchSubmit = 12,    // v7: many submits, one frame, one ticket range
+  kProfileRequest = 13,  // v8: plan-profile scrape (empty payload)
+  kProfile = 14,         // v8: profile response (fleet-merged on routers)
 };
 
 // Typed error codes carried by kError frames.
@@ -403,6 +413,82 @@ struct HealthInfo {
   friend bool operator==(const HealthInfo&, const HealthInfo&) = default;
 };
 
+// One attribute's execution profile on the wire (the v8 profiling plane):
+// obs::AttrProfile plus the identity that makes rows self-describing, so
+// dflow_top needs no schema to render the hot-attribute table.
+struct WireAttrProfile {
+  AttributeId attr = 0;
+  std::string name;
+  int64_t launches = 0;
+  int64_t work_units = 0;
+  int64_t speculative_launches = 0;
+  int64_t wasted_work = 0;
+  int64_t useful_completions = 0;
+
+  friend bool operator==(const WireAttrProfile&,
+                         const WireAttrProfile&) = default;
+};
+
+// One enabling condition's profile on the wire (obs::CondProfile + the
+// guarded attribute's identity). Selectivity is derived client-side as
+// true / (true + false); raw tallies travel so fleet merges stay exact.
+struct WireCondProfile {
+  AttributeId attr = 0;
+  std::string name;
+  int64_t evals = 0;
+  int64_t true_outcomes = 0;
+  int64_t false_outcomes = 0;
+  int64_t unknown_outcomes = 0;
+  int64_t eager_disables = 0;
+
+  friend bool operator==(const WireCondProfile&,
+                         const WireCondProfile&) = default;
+};
+
+// One request-class rollup row (obs::ClassProfile keyed by the CostModel
+// class key).
+struct WireClassProfile {
+  uint64_t class_key = 0;
+  int64_t requests = 0;
+  int64_t work = 0;
+  int64_t wasted_work = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  friend bool operator==(const WireClassProfile&,
+                         const WireClassProfile&) = default;
+};
+
+// One node's plan profile: identity, sampling shape, the three profile
+// tables, and the EXPLAIN-style plan view (the schema DAG in DOT notation
+// annotated with measured stats — rendered server-side because only the
+// serving node holds the schema). A router's own entry is engine-less
+// (is_router = 1, empty tables); the fleet data lives in `backends`.
+struct NodeProfile {
+  std::string node_id;
+  uint8_t is_router = 0;
+  uint64_t sample_period = 0;
+  int64_t profiled_requests = 0;
+  int64_t total_requests = 0;
+  std::vector<WireAttrProfile> attrs;
+  std::vector<WireCondProfile> conds;
+  std::vector<WireClassProfile> classes;
+  std::string plan_dot;
+
+  friend bool operator==(const NodeProfile&, const NodeProfile&) = default;
+};
+
+// Answers kProfileRequest, mirroring the HealthInfo fan-out: a plain
+// server sends only `self`; a router sends its own entry plus one per
+// polled backend (a down backend contributes a synthesized empty entry so
+// the fleet view never silently omits a member).
+struct ProfileInfo {
+  NodeProfile self;
+  std::vector<NodeProfile> backends;
+
+  friend bool operator==(const ProfileInfo&, const ProfileInfo&) = default;
+};
+
 // --- Encoders. Each appends one complete frame (header + payload) to
 // `out`, so consecutive encodes into the same buffer form a valid stream.
 void EncodeSubmit(const SubmitRequest& msg, std::vector<uint8_t>* out);
@@ -418,6 +504,8 @@ void EncodeMetricsRequest(std::vector<uint8_t>* out);
 void EncodeMetrics(const std::string& text, std::vector<uint8_t>* out);
 void EncodeHealthRequest(std::vector<uint8_t>* out);
 void EncodeHealth(const HealthInfo& msg, std::vector<uint8_t>* out);
+void EncodeProfileRequest(std::vector<uint8_t>* out);
+void EncodeProfile(const ProfileInfo& msg, std::vector<uint8_t>* out);
 
 // --- Decoders. Each parses the *payload* of a frame whose header named the
 // matching type. Returns false (leaving *out unspecified) when the payload
@@ -432,6 +520,7 @@ bool DecodeError(const std::vector<uint8_t>& payload, ErrorReply* out);
 bool DecodeInfo(const std::vector<uint8_t>& payload, ServerInfo* out);
 bool DecodeMetrics(const std::vector<uint8_t>& payload, std::string* out);
 bool DecodeHealth(const std::vector<uint8_t>& payload, HealthInfo* out);
+bool DecodeProfile(const std::vector<uint8_t>& payload, ProfileInfo* out);
 
 // One complete frame as split off the stream by the FrameAssembler. `type`
 // is the raw on-wire byte: values outside MsgType are surfaced to the

@@ -55,6 +55,7 @@ const char* ToString(EventKind kind) {
     case EventKind::kAdvisorExplore: return "advisor_explore";
     case EventKind::kHealthTransition: return "health_transition";
     case EventKind::kWatermark: return "watermark";
+    case EventKind::kProfileSnapshot: return "profile_snapshot";
   }
   return "unknown";
 }

@@ -28,10 +28,11 @@ enum class EventKind : uint8_t {
   kAdvisorExplore = 8,     // the AUTO advisor ran explore-epoch selections
   kHealthTransition = 9,   // the health status gauge changed level
   kWatermark = 10,         // a watermark rule breached (queue, SLO, flap)
+  kProfileSnapshot = 11,   // a plan profile was rotated/promoted (v8)
 };
 
 inline constexpr uint8_t kMinEventKind = 1;
-inline constexpr uint8_t kMaxEventKind = 10;
+inline constexpr uint8_t kMaxEventKind = 11;
 
 enum class Severity : uint8_t {
   kInfo = 0,

@@ -1,0 +1,202 @@
+#include "obs/flow_profiler.h"
+
+#include <algorithm>
+
+#include "obs/trace.h"
+
+namespace dflow::obs {
+
+void ProfileSnapshot::MergeFrom(const ProfileSnapshot& other) {
+  if (attr_names.empty()) {
+    attr_names = other.attr_names;
+    has_condition = other.has_condition;
+    attrs.resize(other.attrs.size());
+    conds.resize(other.conds.size());
+  }
+  if (sample_period == 0) sample_period = other.sample_period;
+  profiled_requests += other.profiled_requests;
+  total_requests += other.total_requests;
+  const size_t n = std::min(attrs.size(), other.attrs.size());
+  for (size_t i = 0; i < n; ++i) {
+    AttrProfile& a = attrs[i];
+    const AttrProfile& b = other.attrs[i];
+    a.launches += b.launches;
+    a.work_units += b.work_units;
+    a.speculative_launches += b.speculative_launches;
+    a.wasted_work += b.wasted_work;
+    a.useful_completions += b.useful_completions;
+    CondProfile& c = conds[i];
+    const CondProfile& d = other.conds[i];
+    c.evals += d.evals;
+    c.true_outcomes += d.true_outcomes;
+    c.false_outcomes += d.false_outcomes;
+    c.unknown_outcomes += d.unknown_outcomes;
+    c.eager_disables += d.eager_disables;
+  }
+  for (const auto& [key, cls] : other.classes) {
+    ClassProfile& mine = classes[key];
+    mine.requests += cls.requests;
+    mine.work += cls.work;
+    mine.wasted_work += cls.wasted_work;
+    mine.cache_hits += cls.cache_hits;
+    mine.cache_misses += cls.cache_misses;
+  }
+}
+
+double ProfileSnapshot::Selectivity(AttributeId attr) const {
+  const size_t i = static_cast<size_t>(attr);
+  if (i >= conds.size()) return -1.0;
+  const CondProfile& c = conds[i];
+  const int64_t resolved = c.true_outcomes + c.false_outcomes;
+  if (resolved == 0) return -1.0;
+  return static_cast<double>(c.true_outcomes) / static_cast<double>(resolved);
+}
+
+FlowProfiler::FlowProfiler(const core::Schema* schema,
+                           FlowProfilerOptions options)
+    : schema_(schema), options_(options) {
+  const int n = schema->num_attributes();
+  names_.reserve(static_cast<size_t>(n));
+  has_condition_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<AttributeId>(i);
+    names_.push_back(schema->attribute(a).name);
+    has_condition_.push_back(
+        !schema->is_source(a) &&
+                !schema->enabling_condition(a).IsLiteralTrue()
+            ? 1
+            : 0);
+  }
+  attrs_ = std::make_unique<AttrCounters[]>(static_cast<size_t>(n));
+  conds_ = std::make_unique<CondCounters[]>(static_cast<size_t>(n));
+}
+
+bool FlowProfiler::Sampled(uint64_t seed) const {
+  return TraceRecorder::SampledBySeed(seed, options_.sample_period);
+}
+
+void FlowProfiler::RecordClass(uint64_t class_key, int64_t work,
+                               int64_t wasted_work, bool cache_hit) {
+  profiled_requests_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(classes_mu_);
+  ClassProfile& cls = classes_[class_key];
+  ++cls.requests;
+  cls.work += work;
+  cls.wasted_work += wasted_work;
+  if (cache_hit) {
+    ++cls.cache_hits;
+  } else {
+    ++cls.cache_misses;
+  }
+}
+
+void FlowProfiler::RecordInstance(const core::Snapshot& snapshot,
+                                  const core::Prequalifier& prequalifier,
+                                  const std::vector<char>& launched,
+                                  const std::vector<char>& speculative) {
+  const int n = schema_->num_attributes();
+  for (int i = 0; i < n; ++i) {
+    const auto a = static_cast<AttributeId>(i);
+    const auto idx = static_cast<size_t>(i);
+    AttrCounters& ac = attrs_[idx];
+    if (idx < launched.size() && launched[idx] != 0) {
+      const int64_t cost = schema_->task(a).cost_units;
+      ac.launches.fetch_add(1, std::memory_order_relaxed);
+      ac.work_units.fetch_add(cost, std::memory_order_relaxed);
+      if (idx < speculative.size() && speculative[idx] != 0) {
+        ac.speculative_launches.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (snapshot.state(a) == core::AttrState::kValue) {
+        ac.useful_completions.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ac.wasted_work.fetch_add(cost, std::memory_order_relaxed);
+      }
+    }
+    if (has_condition_[idx] != 0) {
+      CondCounters& cc = conds_[idx];
+      const int evals = prequalifier.cond_evals(a);
+      if (evals > 0) {
+        cc.evals.fetch_add(evals, std::memory_order_relaxed);
+      }
+      switch (prequalifier.cond_state(a)) {
+        case expr::Tribool::kTrue:
+          cc.true_outcomes.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case expr::Tribool::kFalse:
+          cc.false_outcomes.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case expr::Tribool::kUnknown:
+          cc.unknown_outcomes.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      if (prequalifier.eager_disabled(a)) {
+        cc.eager_disables.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+ProfileSnapshot FlowProfiler::Snapshot() const {
+  ProfileSnapshot out;
+  out.sample_period = options_.sample_period;
+  out.profiled_requests = profiled_requests_.load(std::memory_order_relaxed);
+  out.total_requests = total_requests_.load(std::memory_order_relaxed);
+  out.attr_names = names_;
+  out.has_condition = has_condition_;
+  const size_t n = names_.size();
+  out.attrs.resize(n);
+  out.conds.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const AttrCounters& ac = attrs_[i];
+    AttrProfile& a = out.attrs[i];
+    a.launches = ac.launches.load(std::memory_order_relaxed);
+    a.work_units = ac.work_units.load(std::memory_order_relaxed);
+    a.speculative_launches =
+        ac.speculative_launches.load(std::memory_order_relaxed);
+    a.wasted_work = ac.wasted_work.load(std::memory_order_relaxed);
+    a.useful_completions =
+        ac.useful_completions.load(std::memory_order_relaxed);
+    const CondCounters& cc = conds_[i];
+    CondProfile& c = out.conds[i];
+    c.evals = cc.evals.load(std::memory_order_relaxed);
+    c.true_outcomes = cc.true_outcomes.load(std::memory_order_relaxed);
+    c.false_outcomes = cc.false_outcomes.load(std::memory_order_relaxed);
+    c.unknown_outcomes = cc.unknown_outcomes.load(std::memory_order_relaxed);
+    c.eager_disables = cc.eager_disables.load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(classes_mu_);
+    out.classes = classes_;
+  }
+  return out;
+}
+
+int64_t FlowProfiler::attr_work_units(AttributeId attr) const {
+  const size_t i = static_cast<size_t>(attr);
+  if (i >= names_.size()) return 0;
+  return attrs_[i].work_units.load(std::memory_order_relaxed);
+}
+
+int64_t FlowProfiler::cond_true_outcomes(AttributeId attr) const {
+  const size_t i = static_cast<size_t>(attr);
+  if (i >= names_.size()) return 0;
+  return conds_[i].true_outcomes.load(std::memory_order_relaxed);
+}
+
+int64_t FlowProfiler::cond_false_outcomes(AttributeId attr) const {
+  const size_t i = static_cast<size_t>(attr);
+  if (i >= names_.size()) return 0;
+  return conds_[i].false_outcomes.load(std::memory_order_relaxed);
+}
+
+double FlowProfiler::cond_selectivity(AttributeId attr) const {
+  const size_t i = static_cast<size_t>(attr);
+  if (i >= names_.size()) return -1.0;
+  const CondCounters& cc = conds_[i];
+  const int64_t t = cc.true_outcomes.load(std::memory_order_relaxed);
+  const int64_t f = cc.false_outcomes.load(std::memory_order_relaxed);
+  if (t + f == 0) return -1.0;
+  return static_cast<double>(t) / static_cast<double>(t + f);
+}
+
+}  // namespace dflow::obs

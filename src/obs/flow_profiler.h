@@ -1,0 +1,190 @@
+#ifndef DFLOW_OBS_FLOW_PROFILER_H_
+#define DFLOW_OBS_FLOW_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/prequalifier.h"
+#include "core/schema.h"
+#include "core/snapshot.h"
+#include "expr/tribool.h"
+
+namespace dflow::obs {
+
+// Per-attribute execution profile: how often the engine launched this
+// attribute's task, what it cost, and how the speculation gamble ended.
+struct AttrProfile {
+  int64_t launches = 0;             // task launches (queries issued)
+  int64_t work_units = 0;           // cost units spent on those launches
+  int64_t speculative_launches = 0; // launched in READY (condition open)
+  int64_t wasted_work = 0;          // cost of launches that never became VALUE
+  int64_t useful_completions = 0;   // launches whose value reached VALUE
+
+  friend bool operator==(const AttrProfile&, const AttrProfile&) = default;
+};
+
+// Per-enabling-condition profile: evaluation effort and the measured
+// tribool outcome distribution. selectivity = true / (true + false) — the
+// quantity Kougka/Gounaris-style task re-ordering needs, observed rather
+// than assumed. Attributes whose condition is the literal TRUE are not
+// profiled (their selectivity is 1 by construction).
+struct CondProfile {
+  int64_t evals = 0;            // prequalifier evaluation attempts
+  int64_t true_outcomes = 0;    // terminal condition state per instance
+  int64_t false_outcomes = 0;
+  int64_t unknown_outcomes = 0; // instance finished with the condition open
+  int64_t eager_disables = 0;   // resolved false before inputs stabilized
+
+  friend bool operator==(const CondProfile&, const CondProfile&) = default;
+};
+
+// Per-request-class rollup (class key = opt::ClassKeyFor over the source
+// binding — the same key the CostModel aggregates by, so a profile can
+// re-seed a calibration class-for-class). Cache attribution lives here and
+// ONLY here: hit patterns depend on shard-local cache state, so they are
+// excluded from the attr/cond tables whose merge is shard-count-exact.
+struct ClassProfile {
+  int64_t requests = 0;
+  int64_t work = 0;
+  int64_t wasted_work = 0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+
+  friend bool operator==(const ClassProfile&, const ClassProfile&) = default;
+};
+
+// A point-in-time copy of one profiler (or a merge of many). Snapshots
+// merge by summation: every counter is a sum of deterministic per-request
+// contributions, so the merge over any shard partition of the same
+// sampled request set is identical — the cross-shard byte-identity
+// contract flow_profiler_test proves for 1/2/8 shards.
+struct ProfileSnapshot {
+  uint64_t sample_period = 0;
+  int64_t profiled_requests = 0;  // requests the sampling predicate chose
+  int64_t total_requests = 0;     // everything the shard processed
+  std::vector<std::string> attr_names;  // index == AttributeId
+  std::vector<char> has_condition;      // non-literal-true condition?
+  std::vector<AttrProfile> attrs;
+  std::vector<CondProfile> conds;
+  std::map<uint64_t, ClassProfile> classes;  // ordered: deterministic walks
+
+  // Sums `other` into this snapshot (names/flags adopted when empty;
+  // merging profiles of different schemas is a programming error).
+  void MergeFrom(const ProfileSnapshot& other);
+
+  // Measured selectivity of `attr`'s enabling condition: resolved-true
+  // over resolved (true + false) outcomes, in [0, 1]. Returns -1 when the
+  // condition never resolved (or the attribute has no condition).
+  double Selectivity(AttributeId attr) const;
+
+  friend bool operator==(const ProfileSnapshot&,
+                         const ProfileSnapshot&) = default;
+};
+
+// The --profile-sample default the bench overhead gate is calibrated for:
+// the same 1-in-64 deterministic seed hash as request tracing, so the
+// profiled subset of a workload is a pure function of the request set —
+// identical for every shard count and every node of a fleet.
+inline constexpr uint32_t kDefaultProfileSamplePeriod = 64;
+
+struct FlowProfilerOptions {
+  // 1-in-N deterministic sampling; 1 profiles everything, 0 disables (the
+  // engine then skips even the per-instance sampling hash).
+  uint32_t sample_period = kDefaultProfileSamplePeriod;
+};
+
+// Per-shard, deterministic profile of engine execution. One instance per
+// shard, written only by that shard's worker thread; all counters are
+// relaxed atomics so any thread can Snapshot() concurrently without a
+// lock, and the hot path never takes one:
+//   - an UNSAMPLED request costs one relaxed increment plus one seed hash;
+//   - a SAMPLED request additionally pays the per-attribute harvest in
+//     ExecutionEngine::Finish (plain array walks + relaxed increments)
+//     and one mutex-guarded class-rollup touch here (off the per-request
+//     99%-path at the default 1/64 period).
+// Determinism: the sampling predicate is a pure function of the seed and
+// every recorded quantity is a pure function of the request (engine
+// execution is deterministic per the FlowHarness contract), so per-shard
+// profiles merge to the same totals for any shard count.
+class FlowProfiler {
+ public:
+  FlowProfiler(const core::Schema* schema, FlowProfilerOptions options);
+  FlowProfiler(const FlowProfiler&) = delete;
+  FlowProfiler& operator=(const FlowProfiler&) = delete;
+
+  // The deterministic sampling predicate (same hash as trace sampling).
+  bool Sampled(uint64_t seed) const;
+  uint32_t sample_period() const { return options_.sample_period; }
+
+  // Shard hot path: every processed request, regardless of sampling.
+  void CountRequest() {
+    total_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Shard, sampled requests only: the per-class rollup (work/waste from
+  // the result metrics, plus cache attribution).
+  void RecordClass(uint64_t class_key, int64_t work, int64_t wasted_work,
+                   bool cache_hit);
+
+  // Engine, sampled instances only (called from Finish on the shard's
+  // worker thread): folds one completed instance's per-attribute launch
+  // outcomes and per-condition tribool tallies into the profile.
+  // `launched` / `speculative` are the engine's per-attribute flags.
+  void RecordInstance(const core::Snapshot& snapshot,
+                      const core::Prequalifier& prequalifier,
+                      const std::vector<char>& launched,
+                      const std::vector<char>& speculative);
+
+  // Lock-free-read copy of every counter (relaxed loads; a concurrent
+  // writer may be mid-instance, which only means the snapshot sits on a
+  // request boundary slightly in the past).
+  ProfileSnapshot Snapshot() const;
+
+  // Cheap single-family reads for pull-style metrics callbacks.
+  int64_t attr_work_units(AttributeId attr) const;
+  double cond_selectivity(AttributeId attr) const;  // -1 when unknown
+  // Raw resolved-outcome counts, for ratio computation over summed shards.
+  int64_t cond_true_outcomes(AttributeId attr) const;
+  int64_t cond_false_outcomes(AttributeId attr) const;
+
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+
+ private:
+  // Flat atomic counter blocks, indexed by attribute id.
+  struct AttrCounters {
+    std::atomic<int64_t> launches{0};
+    std::atomic<int64_t> work_units{0};
+    std::atomic<int64_t> speculative_launches{0};
+    std::atomic<int64_t> wasted_work{0};
+    std::atomic<int64_t> useful_completions{0};
+  };
+  struct CondCounters {
+    std::atomic<int64_t> evals{0};
+    std::atomic<int64_t> true_outcomes{0};
+    std::atomic<int64_t> false_outcomes{0};
+    std::atomic<int64_t> unknown_outcomes{0};
+    std::atomic<int64_t> eager_disables{0};
+  };
+
+  const core::Schema* const schema_;
+  const FlowProfilerOptions options_;
+  std::vector<std::string> names_;
+  std::vector<char> has_condition_;
+  std::unique_ptr<AttrCounters[]> attrs_;
+  std::unique_ptr<CondCounters[]> conds_;
+  std::atomic<int64_t> total_requests_{0};
+  std::atomic<int64_t> profiled_requests_{0};
+  // Class rollups: touched only for sampled requests, never on the
+  // unsampled hot path.
+  mutable std::mutex classes_mu_;
+  std::map<uint64_t, ClassProfile> classes_;
+};
+
+}  // namespace dflow::obs
+
+#endif  // DFLOW_OBS_FLOW_PROFILER_H_

@@ -110,6 +110,25 @@ void CostModel::MergeFrom(const CostModel& other) {
   }
 }
 
+void CostModel::MergeObservedSelectivities(
+    const obs::ProfileSnapshot& profile) {
+  for (size_t i = 0; i < profile.conds.size(); ++i) {
+    const obs::CondProfile& c = profile.conds[i];
+    if (c.evals == 0 && c.true_outcomes == 0 && c.false_outcomes == 0) {
+      continue;  // literal-true or never-observed: no row
+    }
+    ObservedSelectivity& obs = selectivities_[static_cast<AttributeId>(i)];
+    obs.true_outcomes += c.true_outcomes;
+    obs.false_outcomes += c.false_outcomes;
+    obs.evals += c.evals;
+  }
+}
+
+const ObservedSelectivity* CostModel::FindSelectivity(AttributeId attr) const {
+  const auto it = selectivities_.find(attr);
+  return it == selectivities_.end() ? nullptr : &it->second;
+}
+
 const CostEstimate* CostModel::Find(uint64_t class_key,
                                     const std::string& strategy) const {
   const auto cls = classes_.find(class_key);
@@ -141,6 +160,17 @@ uint64_t CostModel::Fingerprint() const {
   for (const auto& [strategy, estimate] : defaults_) {
     h = FoldEstimate(h, strategy, estimate);
   }
+  // Guarded so a model without profile merges fingerprints exactly as it
+  // did before selectivities existed (epoch byte-identity).
+  if (!selectivities_.empty()) {
+    h = Rng::Mix(h, selectivities_.size());
+    for (const auto& [attr, sel] : selectivities_) {
+      h = Rng::Mix(h, static_cast<uint64_t>(attr));
+      h = Rng::Mix(h, static_cast<uint64_t>(sel.true_outcomes));
+      h = Rng::Mix(h, static_cast<uint64_t>(sel.false_outcomes));
+      h = Rng::Mix(h, static_cast<uint64_t>(sel.evals));
+    }
+  }
   return h;
 }
 
@@ -158,6 +188,15 @@ std::string CostModel::Serialize() const {
     for (const auto& [strategy, estimate] : by_strategy) {
       AppendEstimateLine("class", strategy, estimate, class_key, &out);
     }
+  }
+  // Integer counts (not a ratio) so the text round-trips exactly; absent
+  // entirely on models without profile merges, keeping pre-v8 files and
+  // their fingerprints byte-identical.
+  for (const auto& [attr, sel] : selectivities_) {
+    out += "selectivity " + std::to_string(attr) + " " +
+           std::to_string(sel.true_outcomes) + " " +
+           std::to_string(sel.false_outcomes) + " " +
+           std::to_string(sel.evals) + "\n";
   }
   return out;
 }
@@ -182,6 +221,17 @@ std::optional<CostModel> CostModel::Parse(const std::string& text) {
           fields.fail()) {
         return std::nullopt;
       }
+      continue;
+    }
+    if (kind == "selectivity") {
+      int64_t attr = -1;
+      ObservedSelectivity sel;
+      fields >> attr >> sel.true_outcomes >> sel.false_outcomes >> sel.evals;
+      if (fields.fail() || attr < 0 || sel.true_outcomes < 0 ||
+          sel.false_outcomes < 0 || sel.evals < 0) {
+        return std::nullopt;
+      }
+      model.selectivities_[static_cast<AttributeId>(attr)] = sel;
       continue;
     }
     if (kind == "class") {

@@ -12,6 +12,7 @@
 #include "core/snapshot.h"
 #include "core/strategy.h"
 #include "gen/pattern_params.h"
+#include "obs/flow_profiler.h"
 
 namespace dflow::opt {
 
@@ -28,6 +29,28 @@ struct CostEstimate {
   void FoldBatch(const CostEstimate& other);
 
   friend bool operator==(const CostEstimate&, const CostEstimate&) = default;
+};
+
+// Measured enabling-condition outcomes for one attribute, folded into a
+// CostModel from production profiles (obs::FlowProfiler). Raw integer
+// counts rather than a ratio: sums of deterministic per-request tallies
+// serialize exactly, so a model re-seeded from the same profile is
+// byte-identical on every node.
+struct ObservedSelectivity {
+  int64_t true_outcomes = 0;
+  int64_t false_outcomes = 0;
+  int64_t evals = 0;
+
+  // true / (true + false), or -1 while unresolved.
+  double Selectivity() const {
+    const int64_t resolved = true_outcomes + false_outcomes;
+    if (resolved == 0) return -1.0;
+    return static_cast<double>(true_outcomes) /
+           static_cast<double>(resolved);
+  }
+
+  friend bool operator==(const ObservedSelectivity&,
+                         const ObservedSelectivity&) = default;
 };
 
 // One instance of the calibration workload: the source bindings plus the
@@ -72,6 +95,20 @@ class CostModel {
   // observations into the next epoch's calibration.
   void MergeFrom(const CostModel& other);
 
+  // Folds a production profile's measured condition outcomes into the
+  // model (counts sum per attribute). Part of the same epoch step as
+  // MergeFrom: a frozen model never changes in place, the merged copy is
+  // saved and becomes the next epoch's calibration — byte-identity within
+  // an epoch is preserved.
+  void MergeObservedSelectivities(const obs::ProfileSnapshot& profile);
+
+  // The observed outcomes for one attribute's condition, or nullptr when
+  // no profile ever resolved (or evaluated) it.
+  const ObservedSelectivity* FindSelectivity(AttributeId attr) const;
+  const std::map<AttributeId, ObservedSelectivity>& selectivities() const {
+    return selectivities_;
+  }
+
   // The class-specific estimate, or nullptr when this (class, strategy)
   // was never recorded.
   const CostEstimate* Find(uint64_t class_key,
@@ -113,6 +150,10 @@ class CostModel {
   uint64_t schema_salt_ = 0;
   std::map<uint64_t, std::map<std::string, CostEstimate>> classes_;
   std::map<std::string, CostEstimate> defaults_;
+  // Observed per-attribute condition outcomes (v8 profile re-seeding);
+  // empty on models that predate profile merges — such models serialize
+  // and fingerprint exactly as before.
+  std::map<AttributeId, ObservedSelectivity> selectivities_;
 };
 
 // Calibration configuration: the candidate strategies to profile, the

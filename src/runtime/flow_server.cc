@@ -8,7 +8,7 @@
 namespace dflow::runtime {
 
 FlowServer::FlowServer(const core::Schema* schema, FlowServerOptions options)
-    : options_(std::move(options)) {
+    : schema_(schema), options_(std::move(options)) {
   int n = options_.num_shards;
   if (n <= 0) {
     n = static_cast<int>(std::thread::hardware_concurrency());
@@ -35,8 +35,18 @@ FlowServer::FlowServer(const core::Schema* schema, FlowServerOptions options)
   shard_options.result_cache_max_bytes = options_.result_cache_max_bytes;
   shard_options.result_cache_min_cost = options_.result_cache_min_cost;
   shard_options.advisor = options_.advisor.get();
+  if (options_.profile_sample_period > 0) {
+    profilers_.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      profilers_.push_back(std::make_unique<obs::FlowProfiler>(
+          schema,
+          obs::FlowProfilerOptions{options_.profile_sample_period}));
+    }
+  }
   shards_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
+    shard_options.profiler =
+        profilers_.empty() ? nullptr : profilers_[static_cast<size_t>(i)].get();
     shards_.push_back(std::make_unique<Shard>(i, schema, options_.strategy,
                                               shard_options, &stats_));
   }
@@ -126,6 +136,36 @@ ResultCacheStats FlowServer::cache_totals() const {
     totals.admission_skips += cache.admission_skips;
   }
   return totals;
+}
+
+obs::ProfileSnapshot FlowServer::MergedProfile() const {
+  obs::ProfileSnapshot merged;
+  for (const auto& profiler : profilers_) {
+    merged.MergeFrom(profiler->Snapshot());
+  }
+  if (!profilers_.empty()) {
+    merged.sample_period = options_.profile_sample_period;
+  }
+  return merged;
+}
+
+int64_t FlowServer::ProfiledAttrWork(AttributeId attr) const {
+  int64_t total = 0;
+  for (const auto& profiler : profilers_) {
+    total += profiler->attr_work_units(attr);
+  }
+  return total;
+}
+
+double FlowServer::ProfiledCondSelectivity(AttributeId attr) const {
+  int64_t t = 0;
+  int64_t f = 0;
+  for (const auto& profiler : profilers_) {
+    t += profiler->cond_true_outcomes(attr);
+    f += profiler->cond_false_outcomes(attr);
+  }
+  if (t + f == 0) return -1.0;
+  return static_cast<double>(t) / static_cast<double>(t + f);
 }
 
 FlowServerReport FlowServer::Report() const {

@@ -8,6 +8,7 @@
 
 #include "core/schema.h"
 #include "core/strategy.h"
+#include "obs/flow_profiler.h"
 #include "opt/strategy_advisor.h"
 #include "runtime/request_queue.h"
 #include "runtime/server_stats.h"
@@ -50,6 +51,11 @@ struct FlowServerOptions {
   // are not cached (ResultCacheStats::admission_skips counts them), so
   // cheap instances stop evicting expensive ones. 0 admits everything.
   int64_t result_cache_min_cost = 0;
+  // Execution profiling: 1-in-N deterministic seed sampling feeding one
+  // obs::FlowProfiler per shard (merged on demand by MergedProfile()).
+  // Default on at the trace-sampling rate; 0 disables profiling entirely
+  // (shards then skip even the per-request sampling hash).
+  uint32_t profile_sample_period = obs::kDefaultProfileSamplePeriod;
 };
 
 // Aggregate server report: simulated-time statistics from the shared
@@ -143,6 +149,7 @@ class FlowServer {
   // Result-cache counters summed over shards, likewise scrape-cheap.
   ResultCacheStats cache_totals() const;
   int num_shards() const { return static_cast<int>(shards_.size()); }
+  const core::Schema& schema() const { return *schema_; }
   const core::Strategy& strategy() const { return options_.strategy; }
   const FlowServerOptions& options() const { return options_; }
   // The strategy advisor, or null unless the server runs AUTO.
@@ -150,11 +157,32 @@ class FlowServer {
     return options_.advisor;
   }
 
+  // Execution profiling (obs::FlowProfiler, one per shard).
+  bool profiling_enabled() const { return !profilers_.empty(); }
+  uint32_t profile_sample_period() const {
+    return options_.profile_sample_period;
+  }
+  // Sum of every shard's profile. Per-attribute and per-condition counters
+  // are deterministic per request, so this merge is byte-identical for any
+  // shard count over the same request set (cache disabled; with a cache,
+  // hits skip engine execution and only the class rollups attribute them).
+  // Returns an empty snapshot when profiling is off.
+  obs::ProfileSnapshot MergedProfile() const;
+  // Scrape-cheap single-value reads over all shards (no map copies).
+  int64_t ProfiledAttrWork(AttributeId attr) const;
+  // Fleet-style selectivity over summed outcomes; -1 when unresolved.
+  double ProfiledCondSelectivity(AttributeId attr) const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
+  const core::Schema* schema_ = nullptr;
   FlowServerOptions options_;
   StatsCollector stats_;
+  // One profiler per shard (parallel to shards_), empty when profiling is
+  // off. Each is written only by its shard's worker; snapshots are
+  // lock-free reads, so MergedProfile() is safe at any time.
+  std::vector<std::unique_ptr<obs::FlowProfiler>> profilers_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Clock::time_point start_;
   // Serializes concurrent Drain() calls, which must not double-join the

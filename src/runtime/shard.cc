@@ -3,6 +3,9 @@
 #include <optional>
 #include <utility>
 
+#include "obs/flow_profiler.h"
+#include "opt/cost_model.h"
+
 namespace dflow::runtime {
 
 Shard::Shard(int index, const core::Schema* schema,
@@ -14,12 +17,14 @@ Shard::Shard(int index, const core::Schema* schema,
       harness_options_{options.backend, options.db},
       queue_(options.queue_capacity),
       advisor_(strategy.is_auto ? options.advisor : nullptr),
+      profiler_(options.profiler),
       cache_(options.result_cache_capacity, strategy,
              options.result_cache_max_bytes, options.result_cache_min_cost),
       stats_(stats) {
   if (!strategy_.is_auto) {
     fixed_harness_ = std::make_unique<core::FlowHarness>(schema_, strategy_,
                                                          harness_options_);
+    fixed_harness_->SetProfiler(profiler_);
   }
 }
 
@@ -46,6 +51,7 @@ core::FlowHarness* Shard::HarnessFor(const core::Strategy& strategy,
   if (harness == nullptr) {
     harness = std::make_unique<core::FlowHarness>(schema_, strategy,
                                                   harness_options_);
+    harness->SetProfiler(profiler_);
   }
   return harness.get();
 }
@@ -72,6 +78,13 @@ void Shard::WorkerLoop() {
 
 void Shard::ProcessOne(FlowRequest& request,
                        const ResultCallback& callback) {
+  // Profiling hot path: unsampled requests pay one relaxed increment plus
+  // one seed hash; the sampled subset is a pure function of the seed, so
+  // it is identical for every shard count (the merge-determinism
+  // contract).
+  const bool profiled =
+      profiler_ != nullptr && profiler_->Sampled(request.seed);
+  if (profiler_ != nullptr) profiler_->CountRequest();
   const obs::RequestTrace* trace = request.trace.get();
   uint64_t stage_ns = 0;
   if (trace != nullptr) {
@@ -146,6 +159,15 @@ void Shard::ProcessOne(FlowRequest& request,
     // statistics are too (up to fold order); they never feed back into
     // Choose() on this advisor — see the determinism contract.
     advisor_->Observe(class_key, executed_name, result.metrics);
+  }
+  if (profiled) {
+    // Fixed-strategy shards have no advisor choice to reuse, so derive the
+    // class key directly (salt 0: the rollup is keyed within one server).
+    const uint64_t key = advisor_ != nullptr
+                             ? class_key
+                             : opt::ClassKeyFor(0, request.sources);
+    profiler_->RecordClass(key, result.metrics.work,
+                           result.metrics.wasted_work, cached != nullptr);
   }
   processed_.fetch_add(1, std::memory_order_relaxed);
   if (callback) callback(index_, request, result, executed);

@@ -16,6 +16,10 @@
 #include "runtime/result_cache.h"
 #include "runtime/server_stats.h"
 
+namespace dflow::obs {
+class FlowProfiler;
+}  // namespace dflow::obs
+
 namespace dflow::runtime {
 
 // Per-shard configuration: admission-queue depth, which QueryService backend
@@ -36,6 +40,9 @@ struct ShardOptions {
   // when the shard's strategy is the AUTO sentinel. The FlowServer owns
   // the advisor's lifetime; shards only Choose/Observe on it.
   opt::StrategyAdvisor* advisor = nullptr;
+  // Optional per-shard execution profiler, owned by the FlowServer and
+  // written only from this shard's worker thread; null disables profiling.
+  obs::FlowProfiler* profiler = nullptr;
 };
 
 // One worker shard of the FlowServer: a bounded request queue, a dedicated
@@ -144,6 +151,7 @@ class Shard {
   // far, keyed by notation. Worker-thread only.
   std::map<std::string, std::unique_ptr<core::FlowHarness>> auto_harnesses_;
   opt::StrategyAdvisor* const advisor_;  // null unless AUTO
+  obs::FlowProfiler* const profiler_;    // null when profiling is off
   ResultCache cache_;
   StatsCollector* const stats_;
   std::mutex callback_mu_;  // guards result_callback_

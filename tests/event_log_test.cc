@@ -98,6 +98,28 @@ TEST(EventLogTest, RegistersPerKindCounterFamily) {
       << text;
 }
 
+// The v8 addition to the taxonomy: profile_snapshot is a first-class
+// kind — counted, named in the counter family, and rendered in JSONL.
+TEST(EventLogTest, ProfileSnapshotIsAFirstClassKind) {
+  EXPECT_EQ(kMaxEventKind, 11);
+  EXPECT_EQ(static_cast<uint8_t>(EventKind::kProfileSnapshot), 11);
+  EXPECT_STREQ(ToString(EventKind::kProfileSnapshot), "profile_snapshot");
+
+  EventLog log(EventLogOptions{}, "serve:1");
+  MetricsRegistry registry;
+  log.RegisterCounters(&registry);
+  log.Emit(EventKind::kProfileSnapshot, Severity::kInfo,
+           "profiled=3/200 sink_lines=1");
+  EXPECT_EQ(log.CountFor(EventKind::kProfileSnapshot), 1);
+  EXPECT_NE(registry.RenderText().find(
+                "dflow_events_total{kind=\"profile_snapshot\"} 1"),
+            std::string::npos);
+  const std::vector<Event> tail = log.Tail(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_NE(ToJsonLine(tail[0]).find("\"kind\":\"profile_snapshot\""),
+            std::string::npos);
+}
+
 TEST(EventLogTest, JsonlSinkPersistsEventsOnFlush) {
   const std::string path =
       ::testing::TempDir() + "/event_log_test_events.jsonl";

@@ -1,0 +1,256 @@
+#include "obs/flow_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/dot_export.h"
+#include "gen/schema_generator.h"
+#include "obs/trace.h"
+#include "opt/cost_model.h"
+#include "runtime/flow_server.h"
+
+namespace dflow::obs {
+namespace {
+
+core::Strategy S(const char* text) { return *core::Strategy::Parse(text); }
+
+gen::GeneratedSchema MakePattern(uint64_t seed = 7) {
+  gen::PatternParams params;
+  params.nb_nodes = 32;
+  params.nb_rows = 4;
+  params.seed = seed;
+  return gen::GeneratePattern(params);
+}
+
+std::vector<runtime::FlowRequest> MakeWorkload(
+    const gen::GeneratedSchema& pattern, int count) {
+  std::vector<runtime::FlowRequest> requests;
+  requests.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const uint64_t seed = gen::InstanceSeed(pattern.params, i);
+    requests.push_back({gen::MakeSourceBinding(pattern, seed), seed});
+  }
+  return requests;
+}
+
+// Runs the workload through a cache-free FlowServer with `num_shards`
+// shards and returns the merged profile.
+ProfileSnapshot RunProfiled(const gen::GeneratedSchema& pattern,
+                            const std::vector<runtime::FlowRequest>& requests,
+                            int num_shards, uint32_t sample_period) {
+  runtime::FlowServerOptions options;
+  options.num_shards = num_shards;
+  options.strategy = S("PSE100");
+  options.profile_sample_period = sample_period;
+  runtime::FlowServer server(&pattern.schema, options);
+  EXPECT_EQ(server.profiling_enabled(), sample_period > 0);
+  for (const runtime::FlowRequest& request : requests) {
+    EXPECT_TRUE(server.Submit(request));
+  }
+  server.Drain();
+  return server.MergedProfile();
+}
+
+// --- The tentpole determinism contract: the merged profile of the same
+// request set is byte-identical for 1, 2, and 8 shards. Profile
+// EVERYTHING (period 1) so the comparison covers every counter, not just
+// the sampled subset.
+TEST(FlowProfilerTest, MergedProfileIsIdenticalAcross1_2_8Shards) {
+  const gen::GeneratedSchema pattern = MakePattern();
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 96);
+
+  const ProfileSnapshot p1 = RunProfiled(pattern, requests, 1, 1);
+  const ProfileSnapshot p2 = RunProfiled(pattern, requests, 2, 1);
+  const ProfileSnapshot p8 = RunProfiled(pattern, requests, 8, 1);
+
+  ASSERT_EQ(p1.total_requests, static_cast<int64_t>(requests.size()));
+  EXPECT_EQ(p1.profiled_requests, p1.total_requests);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1, p8);
+  // And the profile is not vacuously equal: something actually launched.
+  int64_t launches = 0;
+  for (const AttrProfile& attr : p1.attrs) launches += attr.launches;
+  EXPECT_GT(launches, 0);
+}
+
+// Same contract at a sampling period > 1: the predicate is a pure
+// function of the seed, so the profiled subset (and hence the profile) is
+// shard-count-independent too.
+TEST(FlowProfilerTest, SampledProfileIsShardCountIndependent) {
+  const gen::GeneratedSchema pattern = MakePattern(11);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 128);
+
+  const ProfileSnapshot p1 = RunProfiled(pattern, requests, 1, 4);
+  const ProfileSnapshot p8 = RunProfiled(pattern, requests, 8, 4);
+  EXPECT_EQ(p1, p8);
+
+  // profiled_requests matches the predicate exactly.
+  int64_t expected = 0;
+  for (const runtime::FlowRequest& request : requests) {
+    if (TraceRecorder::SampledBySeed(request.seed, 4)) ++expected;
+  }
+  EXPECT_EQ(p1.profiled_requests, expected);
+  EXPECT_EQ(p1.total_requests, static_cast<int64_t>(requests.size()));
+  EXPECT_GT(expected, 0);
+  EXPECT_LT(expected, p1.total_requests);
+}
+
+// Condition tallies obey the schema: only attributes with a non-literal
+// enabling condition are profiled, selectivities are -1 or in [0, 1], and
+// resolved outcomes never exceed evaluation attempts.
+TEST(FlowProfilerTest, SelectivityInvariants) {
+  const gen::GeneratedSchema pattern = MakePattern(3);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 64);
+  const ProfileSnapshot profile = RunProfiled(pattern, requests, 2, 1);
+
+  ASSERT_EQ(profile.conds.size(), profile.attrs.size());
+  ASSERT_EQ(profile.has_condition.size(), profile.attrs.size());
+  bool any_resolved = false;
+  for (size_t i = 0; i < profile.conds.size(); ++i) {
+    const CondProfile& cond = profile.conds[i];
+    if (profile.has_condition[i] == 0) {
+      EXPECT_EQ(cond, CondProfile{}) << "attr " << i;
+      continue;
+    }
+    const int64_t resolved = cond.true_outcomes + cond.false_outcomes;
+    EXPECT_LE(resolved + cond.unknown_outcomes, cond.evals) << "attr " << i;
+    const double sel = profile.Selectivity(static_cast<AttributeId>(i));
+    if (resolved == 0) {
+      EXPECT_EQ(sel, -1.0) << "attr " << i;
+    } else {
+      any_resolved = true;
+      EXPECT_GE(sel, 0.0) << "attr " << i;
+      EXPECT_LE(sel, 1.0) << "attr " << i;
+    }
+  }
+  EXPECT_TRUE(any_resolved);
+}
+
+// Snapshot merge is summation: merging a profile into itself doubles
+// every counter.
+TEST(FlowProfilerTest, MergeFromSums) {
+  const gen::GeneratedSchema pattern = MakePattern(5);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 32);
+  const ProfileSnapshot once = RunProfiled(pattern, requests, 2, 1);
+  ProfileSnapshot twice = once;
+  twice.MergeFrom(once);
+
+  EXPECT_EQ(twice.total_requests, 2 * once.total_requests);
+  EXPECT_EQ(twice.profiled_requests, 2 * once.profiled_requests);
+  for (size_t i = 0; i < once.attrs.size(); ++i) {
+    EXPECT_EQ(twice.attrs[i].launches, 2 * once.attrs[i].launches);
+    EXPECT_EQ(twice.attrs[i].work_units, 2 * once.attrs[i].work_units);
+    EXPECT_EQ(twice.conds[i].evals, 2 * once.conds[i].evals);
+  }
+  for (const auto& [key, rollup] : once.classes) {
+    ASSERT_TRUE(twice.classes.count(key));
+    EXPECT_EQ(twice.classes.at(key).requests, 2 * rollup.requests);
+    EXPECT_EQ(twice.classes.at(key).work, 2 * rollup.work);
+  }
+  // Doubling the counts leaves every ratio alone.
+  for (size_t i = 0; i < once.conds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(twice.Selectivity(static_cast<AttributeId>(i)),
+                     once.Selectivity(static_cast<AttributeId>(i)));
+  }
+}
+
+// sample_period = 0 turns the whole plane off: no profilers, an empty
+// merged snapshot.
+TEST(FlowProfilerTest, PeriodZeroDisablesProfiling) {
+  const gen::GeneratedSchema pattern = MakePattern(9);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 8);
+  const ProfileSnapshot profile = RunProfiled(pattern, requests, 2, 0);
+  EXPECT_EQ(profile, ProfileSnapshot{});
+}
+
+// --- CostModel re-seeding: merging observed selectivities is part of the
+// epoch step, so it must survive the text round-trip byte-identically and
+// leave selectivity-free models untouched on the wire.
+TEST(FlowProfilerTest, CostModelMergeObservedSelectivitiesRoundTrip) {
+  const gen::GeneratedSchema pattern = MakePattern(13);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 48);
+  const ProfileSnapshot profile = RunProfiled(pattern, requests, 2, 1);
+
+  opt::CostModel model;
+  const std::string before = model.Serialize();
+  model.MergeObservedSelectivities(profile);
+  EXPECT_FALSE(model.selectivities().empty());
+  // Every merged entry mirrors the profile's raw counts.
+  for (const auto& [attr, observed] : model.selectivities()) {
+    ASSERT_GE(attr, 0);
+    ASSERT_LT(static_cast<size_t>(attr), profile.conds.size());
+    const CondProfile& cond = profile.conds[static_cast<size_t>(attr)];
+    EXPECT_EQ(observed.true_outcomes, cond.true_outcomes);
+    EXPECT_EQ(observed.false_outcomes, cond.false_outcomes);
+    EXPECT_EQ(observed.evals, cond.evals);
+  }
+
+  const std::string text = model.Serialize();
+  EXPECT_NE(text, before);  // the selectivities actually serialize
+  const std::optional<opt::CostModel> reparsed = opt::CostModel::Parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->selectivities(), model.selectivities());
+  EXPECT_EQ(reparsed->Fingerprint(), model.Fingerprint());
+  EXPECT_EQ(reparsed->Serialize(), text);  // byte-identity within the epoch
+
+  // Merging the same profile again sums the counts (two epochs of the
+  // same traffic = doubled tallies, same ratios).
+  opt::CostModel second = *reparsed;
+  second.MergeObservedSelectivities(profile);
+  for (const auto& [attr, observed] : second.selectivities()) {
+    const opt::ObservedSelectivity* first = model.FindSelectivity(attr);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(observed.evals, 2 * first->evals);
+    EXPECT_DOUBLE_EQ(observed.Selectivity(), first->Selectivity());
+  }
+}
+
+// A model without selectivities must serialize exactly as it did before
+// the v8 plane existed: pre-profile calibrations stay byte-identical.
+TEST(FlowProfilerTest, SelectivityFreeModelSerializesUnchanged) {
+  opt::CostModel model;
+  model.set_schema_salt(0xfeed);
+  const std::string text = model.Serialize();
+  EXPECT_EQ(text.find("selectivity"), std::string::npos);
+  const std::optional<opt::CostModel> reparsed = opt::CostModel::Parse(text);
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(reparsed->Fingerprint(), model.Fingerprint());
+  EXPECT_TRUE(reparsed->selectivities().empty());
+}
+
+// --- The EXPLAIN-style plan view: the annotated dot overload renders the
+// annotator's lines, and an empty annotator matches the plain overload.
+TEST(FlowProfilerTest, AnnotatedDotCarriesProfileLines) {
+  const gen::GeneratedSchema pattern = MakePattern(17);
+  const std::vector<runtime::FlowRequest> requests =
+      MakeWorkload(pattern, 32);
+  const ProfileSnapshot profile = RunProfiled(pattern, requests, 1, 1);
+
+  const std::string plain = core::ToDot(pattern.schema);
+  const std::string annotated =
+      core::ToDot(pattern.schema, [&profile](AttributeId attr) {
+        const AttrProfile& a = profile.attrs[static_cast<size_t>(attr)];
+        if (a.launches == 0) return std::string();
+        return "work=" + std::to_string(a.work_units);
+      });
+  EXPECT_EQ(plain.find("work="), std::string::npos);
+  EXPECT_NE(annotated.find("work="), std::string::npos);
+  EXPECT_NE(plain, annotated);
+
+  const std::string null_annotated =
+      core::ToDot(pattern.schema, core::DotAnnotator());
+  EXPECT_EQ(null_annotated, plain);
+}
+
+}  // namespace
+}  // namespace dflow::obs

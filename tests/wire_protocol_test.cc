@@ -179,7 +179,7 @@ ServerInfo RandomInfo(Rng* rng) {
 
 WireEvent RandomEvent(Rng* rng) {
   WireEvent event;
-  event.kind = static_cast<uint8_t>(rng->UniformInt(1, 10));
+  event.kind = static_cast<uint8_t>(rng->UniformInt(1, 11));
   event.severity = static_cast<uint8_t>(rng->UniformInt(0, 2));
   event.wall_ms = rng->UniformInt(0, 1LL << 45);
   event.node = rng->Chance(0.5) ? "router:4600" : "";
@@ -232,6 +232,87 @@ HealthInfo RandomHealth(Rng* rng) {
   const int num_backends = static_cast<int>(rng->UniformInt(0, 5));
   for (int i = 0; i < num_backends; ++i) {
     msg.backends.push_back(RandomNodeHealth(rng));
+  }
+  return msg;
+}
+
+std::string RandomName(Rng* rng) {
+  std::string name;
+  const int len = static_cast<int>(rng->UniformInt(0, 12));
+  for (int i = 0; i < len; ++i) {
+    name.push_back(static_cast<char>(rng->UniformInt(32, 126)));
+  }
+  return name;
+}
+
+WireAttrProfile RandomAttrProfile(Rng* rng) {
+  WireAttrProfile row;
+  row.attr = static_cast<AttributeId>(rng->UniformInt(0, 500));
+  row.name = RandomName(rng);
+  row.launches = rng->UniformInt(0, 1 << 30);
+  row.work_units = rng->UniformInt(0, 1LL << 40);
+  row.speculative_launches = rng->UniformInt(0, 1 << 20);
+  row.wasted_work = rng->UniformInt(0, 1 << 30);
+  row.useful_completions = rng->UniformInt(0, 1 << 30);
+  return row;
+}
+
+WireCondProfile RandomCondProfile(Rng* rng) {
+  WireCondProfile row;
+  row.attr = static_cast<AttributeId>(rng->UniformInt(0, 500));
+  row.name = RandomName(rng);
+  row.evals = rng->UniformInt(0, 1 << 30);
+  row.true_outcomes = rng->UniformInt(0, 1 << 28);
+  row.false_outcomes = rng->UniformInt(0, 1 << 28);
+  row.unknown_outcomes = rng->UniformInt(0, 1 << 20);
+  row.eager_disables = rng->UniformInt(0, 1 << 20);
+  return row;
+}
+
+WireClassProfile RandomClassProfile(Rng* rng) {
+  WireClassProfile row;
+  row.class_key = rng->Next();
+  row.requests = rng->UniformInt(0, 1 << 30);
+  row.work = rng->UniformInt(0, 1LL << 40);
+  row.wasted_work = rng->UniformInt(0, 1 << 30);
+  row.cache_hits = rng->UniformInt(0, 1 << 20);
+  row.cache_misses = rng->UniformInt(0, 1 << 20);
+  return row;
+}
+
+NodeProfile RandomNodeProfile(Rng* rng) {
+  NodeProfile node;
+  node.node_id = rng->Chance(0.5) ? "serve:" + std::to_string(rng->Next() % 10)
+                                  : "";
+  node.is_router = rng->Chance(0.5) ? 1 : 0;
+  node.sample_period = rng->UniformInt(0, 1 << 10);
+  node.profiled_requests = rng->UniformInt(0, 1 << 30);
+  node.total_requests = rng->UniformInt(0, 1 << 30);
+  const int num_attrs = static_cast<int>(rng->UniformInt(0, 8));
+  for (int i = 0; i < num_attrs; ++i) {
+    node.attrs.push_back(RandomAttrProfile(rng));
+  }
+  const int num_conds = static_cast<int>(rng->UniformInt(0, 6));
+  for (int i = 0; i < num_conds; ++i) {
+    node.conds.push_back(RandomCondProfile(rng));
+  }
+  const int num_classes = static_cast<int>(rng->UniformInt(0, 5));
+  for (int i = 0; i < num_classes; ++i) {
+    node.classes.push_back(RandomClassProfile(rng));
+  }
+  if (rng->Chance(0.5)) {
+    node.plan_dot = "digraph G { a" + std::to_string(rng->Next() % 100) +
+                    " -> b; }";
+  }
+  return node;
+}
+
+ProfileInfo RandomProfile(Rng* rng) {
+  ProfileInfo msg;
+  msg.self = RandomNodeProfile(rng);
+  const int num_backends = static_cast<int>(rng->UniformInt(0, 5));
+  for (int i = 0; i < num_backends; ++i) {
+    msg.backends.push_back(RandomNodeProfile(rng));
   }
   return msg;
 }
@@ -388,6 +469,91 @@ TEST(WireProtocolTest, HealthRejectsOutOfRangeEnumBytes) {
     corrupt[i] = 0xff;
     HealthInfo reparsed;
     if (DecodeHealth(corrupt, &reparsed)) {
+      EXPECT_NE(reparsed, out) << "byte " << i << " is dead on the wire";
+    }
+  }
+}
+
+// The v8 profiling plane round-trips: PROFILE_REQUEST + PROFILE (the
+// three profile tables, plan dot, the full per-backend fan-out) survive
+// encode -> chunked reassembly -> decode for randomized fleets.
+TEST(WireProtocolPropertyTest, RandomizedProfileRoundTripsThroughTheStream) {
+  Rng rng(20260808);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const ProfileInfo profile = RandomProfile(&rng);
+    std::vector<uint8_t> stream;
+    EncodeProfileRequest(&stream);
+    EncodeProfile(profile, &stream);
+
+    WireError stream_error = WireError::kNone;
+    const std::vector<Frame> frames =
+        Reassemble(stream, rng.Next(), &stream_error);
+    ASSERT_EQ(stream_error, WireError::kNone);
+    ASSERT_EQ(frames.size(), 2u);
+
+    EXPECT_EQ(frames[0].type, static_cast<uint8_t>(MsgType::kProfileRequest));
+    EXPECT_TRUE(frames[0].payload.empty());
+
+    EXPECT_EQ(frames[1].type, static_cast<uint8_t>(MsgType::kProfile));
+    ProfileInfo profile_rt;
+    ASSERT_TRUE(DecodeProfile(frames[1].payload, &profile_rt));
+    EXPECT_EQ(profile_rt, profile);
+  }
+}
+
+// PROFILE decoding is an exact parser too: every truncation and any
+// trailing garbage is rejected, never crashed on.
+TEST(WireProtocolPropertyTest, EveryTruncationOfAProfilePayloadIsRejected) {
+  Rng rng(778);
+  for (int iteration = 0; iteration < 10; ++iteration) {
+    std::vector<uint8_t> stream;
+    EncodeProfile(RandomProfile(&rng), &stream);
+    const std::vector<uint8_t> payload(stream.begin() + kFrameHeaderBytes,
+                                       stream.end());
+    ProfileInfo out;
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      const std::vector<uint8_t> truncated(payload.begin(),
+                                           payload.begin() + cut);
+      EXPECT_FALSE(DecodeProfile(truncated, &out))
+          << "decoded a " << cut << "-byte prefix of " << payload.size();
+    }
+    std::vector<uint8_t> extended = payload;
+    extended.push_back(0x5a);
+    EXPECT_FALSE(DecodeProfile(extended, &out));
+  }
+}
+
+// PROFILE's range-checked bytes (is_router, the length prefixes) must
+// reject corruption: a byte flip either fails the decode or decodes to a
+// DIFFERENT message — silently decoding to the original would mean the
+// byte is dead on the wire.
+TEST(WireProtocolTest, ProfileRejectsCorruptBytesOrDecodesDifferently) {
+  ProfileInfo msg;
+  msg.self.node_id = "n";
+  msg.self.is_router = 1;
+  msg.self.sample_period = 64;
+  msg.self.profiled_requests = 3;
+  msg.self.total_requests = 200;
+  msg.self.attrs.push_back(WireAttrProfile{4, "attr4", 9, 40, 1, 5, 8});
+  msg.self.conds.push_back(WireCondProfile{4, "attr4", 7, 5, 2, 0, 1});
+  msg.self.classes.push_back(WireClassProfile{0xabcd, 3, 120, 5, 1, 2});
+  msg.self.plan_dot = "digraph G {}";
+  NodeProfile backend;
+  backend.node_id = "serve:1";
+  msg.backends.push_back(backend);
+  std::vector<uint8_t> stream;
+  EncodeProfile(msg, &stream);
+  const std::vector<uint8_t> payload(stream.begin() + kFrameHeaderBytes,
+                                     stream.end());
+  ProfileInfo out;
+  ASSERT_TRUE(DecodeProfile(payload, &out));
+  EXPECT_EQ(out, msg);
+
+  for (size_t i = 0; i < payload.size(); ++i) {
+    std::vector<uint8_t> corrupt = payload;
+    corrupt[i] = 0xff;
+    ProfileInfo reparsed;
+    if (DecodeProfile(corrupt, &reparsed)) {
       EXPECT_NE(reparsed, out) << "byte " << i << " is dead on the wire";
     }
   }
